@@ -1,0 +1,226 @@
+//! Cycle-level performance model.
+
+use crate::config::ArchConfig;
+use serde::{Deserialize, Serialize};
+
+/// Extents of one tiled convolution operation, as consumed by the
+/// performance model.
+///
+/// A tiled convolution produces a `out_channels x out_height x
+/// out_width` output tile from an input tile covering `in_channels`
+/// channels, applying a `kernel_h x kernel_w` kernel.
+///
+/// # Examples
+///
+/// ```
+/// let dims = flexer_arch::ConvTileDims {
+///     out_channels: 32,
+///     in_channels: 64,
+///     out_height: 7,
+///     out_width: 7,
+///     kernel_h: 3,
+///     kernel_w: 3,
+/// };
+/// assert_eq!(dims.macs(), 32 * 64 * 7 * 7 * 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvTileDims {
+    /// Output channels computed by the operation (`tOTc`).
+    pub out_channels: u32,
+    /// Input channels consumed (`tINc`).
+    pub in_channels: u32,
+    /// Output tile height (`tOTh`).
+    pub out_height: u32,
+    /// Output tile width (`tOTw`).
+    pub out_width: u32,
+    /// Kernel height (`R`).
+    pub kernel_h: u32,
+    /// Kernel width (`S`).
+    pub kernel_w: u32,
+}
+
+impl ConvTileDims {
+    /// Multiply-accumulate count of the operation.
+    #[must_use]
+    pub const fn macs(&self) -> u64 {
+        self.out_channels as u64
+            * self.in_channels as u64
+            * self.out_height as u64
+            * self.out_width as u64
+            * self.kernel_h as u64
+            * self.kernel_w as u64
+    }
+}
+
+/// A cycle-level performance model for tiled convolutions and DMA
+/// transfers.
+///
+/// The paper assumes "a cycle-accurate performance model … to compute
+/// the latency of operations for given data (tile) sizes" (§2.1). The
+/// scheduler only interacts with this trait; swap in a different
+/// implementation to retarget another accelerator.
+pub trait PerfModel: Send + Sync {
+    /// Latency, in cycles, of one tiled convolution on a single NPU
+    /// core.
+    fn conv_cycles(&self, dims: &ConvTileDims) -> u64;
+
+    /// Latency, in cycles, of moving `bytes` between DRAM and the
+    /// on-chip buffer (either direction).
+    fn dma_cycles(&self, bytes: u64) -> u64;
+}
+
+/// Performance model of a weight-stationary systolic PE array, matching
+/// the evaluation hardware's 32x32 array per core (§5).
+///
+/// Compute: input channels map to PE rows and output channels to PE
+/// columns, so one pass over the array computes up to `rows x cols`
+/// channel pairs per output element per kernel tap:
+///
+/// ```text
+/// cycles = ceil(tICc/rows) * ceil(tOTc/cols) * tOTh * tOTw * R * S + fill
+/// ```
+///
+/// where `fill = rows + cols` is the pipeline fill/drain overhead per
+/// operation. DMA: a fixed DRAM access latency plus `bytes/bandwidth`
+/// cycles on the shared link.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_arch::{ArchConfig, ArchPreset, ConvTileDims, PerfModel, SystolicModel};
+///
+/// let arch = ArchConfig::preset(ArchPreset::Arch1);
+/// let m = SystolicModel::new(&arch);
+/// // A perfectly matched 32x32-channel tile needs exactly one array pass
+/// // per output element and kernel tap.
+/// let dims = ConvTileDims {
+///     out_channels: 32,
+///     in_channels: 32,
+///     out_height: 4,
+///     out_width: 4,
+///     kernel_h: 3,
+///     kernel_w: 3,
+/// };
+/// assert_eq!(m.conv_cycles(&dims), 4 * 4 * 9 + 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystolicModel {
+    pe_rows: u32,
+    pe_cols: u32,
+    dma_bytes_per_cycle: u64,
+    dram_latency_cycles: u64,
+}
+
+impl SystolicModel {
+    /// Creates the model for a hardware configuration.
+    #[must_use]
+    pub fn new(arch: &ArchConfig) -> Self {
+        Self {
+            pe_rows: arch.pe_rows(),
+            pe_cols: arch.pe_cols(),
+            dma_bytes_per_cycle: arch.dma_bytes_per_cycle(),
+            dram_latency_cycles: arch.dram_latency_cycles(),
+        }
+    }
+
+    /// Pipeline fill/drain overhead per operation, in cycles.
+    #[must_use]
+    pub const fn fill_cycles(&self) -> u64 {
+        self.pe_rows as u64 + self.pe_cols as u64
+    }
+}
+
+impl PerfModel for SystolicModel {
+    fn conv_cycles(&self, dims: &ConvTileDims) -> u64 {
+        let row_passes = u64::from(dims.in_channels.div_ceil(self.pe_rows));
+        let col_passes = u64::from(dims.out_channels.div_ceil(self.pe_cols));
+        let spatial = u64::from(dims.out_height) * u64::from(dims.out_width);
+        let taps = u64::from(dims.kernel_h) * u64::from(dims.kernel_w);
+        row_passes * col_passes * spatial * taps + self.fill_cycles()
+    }
+
+    fn dma_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.dram_latency_cycles + bytes.div_ceil(self.dma_bytes_per_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArchConfigBuilder, ArchPreset};
+
+    fn model() -> SystolicModel {
+        SystolicModel::new(&ArchConfig::preset(ArchPreset::Arch1))
+    }
+
+    fn dims(k: u32, c: u32, h: u32, w: u32, r: u32, s: u32) -> ConvTileDims {
+        ConvTileDims {
+            out_channels: k,
+            in_channels: c,
+            out_height: h,
+            out_width: w,
+            kernel_h: r,
+            kernel_w: s,
+        }
+    }
+
+    #[test]
+    fn perfectly_matched_tile() {
+        let m = model();
+        assert_eq!(m.conv_cycles(&dims(32, 32, 4, 4, 3, 3)), 16 * 9 + 64);
+    }
+
+    #[test]
+    fn channel_underutilization_rounds_up() {
+        let m = model();
+        // 33 input channels need two row passes.
+        assert_eq!(m.conv_cycles(&dims(32, 33, 1, 1, 1, 1)), 2 + 64);
+        // Tiny tiles still pay a full array pass.
+        assert_eq!(m.conv_cycles(&dims(1, 1, 1, 1, 1, 1)), 1 + 64);
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_spatial_extent() {
+        let m = model();
+        let one = m.conv_cycles(&dims(32, 32, 1, 1, 3, 3)) - m.fill_cycles();
+        let big = m.conv_cycles(&dims(32, 32, 8, 8, 3, 3)) - m.fill_cycles();
+        assert_eq!(big, one * 64);
+    }
+
+    #[test]
+    fn dma_latency_includes_fixed_cost() {
+        let m = model();
+        assert_eq!(m.dma_cycles(0), 0);
+        assert_eq!(m.dma_cycles(1), 100 + 1);
+        assert_eq!(m.dma_cycles(32), 100 + 1);
+        assert_eq!(m.dma_cycles(33), 100 + 2);
+        assert_eq!(m.dma_cycles(64 * 1024), 100 + 2048);
+    }
+
+    #[test]
+    fn wider_link_moves_data_faster() {
+        let narrow = model();
+        let wide = SystolicModel::new(&ArchConfig::preset(ArchPreset::Arch2));
+        assert!(wide.dma_cycles(1 << 16) < narrow.dma_cycles(1 << 16));
+    }
+
+    #[test]
+    fn custom_pe_array_changes_fill() {
+        let arch = ArchConfigBuilder::new(2, 1 << 18, 32)
+            .pe_array(16, 8)
+            .build()
+            .unwrap();
+        let m = SystolicModel::new(&arch);
+        assert_eq!(m.fill_cycles(), 24);
+        // 32 input channels on 16 rows -> 2 passes; 32 outputs on 8 cols -> 4.
+        assert_eq!(m.conv_cycles(&dims(32, 32, 1, 1, 1, 1)), 8 + 24);
+    }
+
+    #[test]
+    fn macs_helper() {
+        assert_eq!(dims(2, 3, 4, 5, 6, 7).macs(), 2 * 3 * 4 * 5 * 6 * 7);
+    }
+}

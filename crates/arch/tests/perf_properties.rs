@@ -1,0 +1,88 @@
+//! Property-based tests of the performance model: cycle counts must be
+//! monotone and consistent so the schedulers' comparisons are
+//! meaningful.
+
+use flexer_arch::{ArchConfig, ArchConfigBuilder, ArchPreset, ConvTileDims, PerfModel, SystolicModel};
+use proptest::prelude::*;
+
+fn dims_strategy() -> impl Strategy<Value = ConvTileDims> {
+    (1u32..256, 1u32..256, 1u32..32, 1u32..32, 1u32..8, 1u32..8).prop_map(
+        |(k, c, h, w, r, s)| ConvTileDims {
+            out_channels: k,
+            in_channels: c,
+            out_height: h,
+            out_width: w,
+            kernel_h: r,
+            kernel_w: s,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// More work never takes fewer cycles (growing any dimension).
+    #[test]
+    fn conv_cycles_are_monotone(dims in dims_strategy()) {
+        let model = SystolicModel::new(&ArchConfig::preset(ArchPreset::Arch1));
+        let base = model.conv_cycles(&dims);
+        prop_assert!(base > 0);
+        let grow = [
+            ConvTileDims { out_channels: dims.out_channels + 1, ..dims },
+            ConvTileDims { in_channels: dims.in_channels + 1, ..dims },
+            ConvTileDims { out_height: dims.out_height + 1, ..dims },
+            ConvTileDims { out_width: dims.out_width + 1, ..dims },
+            ConvTileDims { kernel_h: dims.kernel_h + 1, ..dims },
+            ConvTileDims { kernel_w: dims.kernel_w + 1, ..dims },
+        ];
+        for g in grow {
+            prop_assert!(model.conv_cycles(&g) >= base, "{g:?} vs {dims:?}");
+        }
+    }
+
+    /// Cycles never beat the ideal MAC throughput of the array.
+    #[test]
+    fn conv_cycles_respect_the_roofline(dims in dims_strategy()) {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let peak = u64::from(arch.pe_rows()) * u64::from(arch.pe_cols());
+        let ideal = dims.macs().div_ceil(peak);
+        prop_assert!(model.conv_cycles(&dims) >= ideal);
+    }
+
+    /// DMA latency is monotone in bytes and superadditive in splits
+    /// (splitting a transfer pays the fixed DRAM latency twice).
+    #[test]
+    fn dma_cycles_are_monotone_and_superadditive(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let model = SystolicModel::new(&ArchConfig::preset(ArchPreset::Arch1));
+        prop_assert!(model.dma_cycles(a + b) >= model.dma_cycles(a));
+        prop_assert!(model.dma_cycles(a) + model.dma_cycles(b) >= model.dma_cycles(a + b));
+    }
+
+    /// Doubling the bandwidth never slows a transfer and converges to
+    /// half the streaming time for large transfers.
+    #[test]
+    fn wider_links_are_faster(bytes in 1u64..4_000_000) {
+        let narrow = SystolicModel::new(&ArchConfig::preset(ArchPreset::Arch1));
+        let wide = SystolicModel::new(&ArchConfig::preset(ArchPreset::Arch2));
+        prop_assert!(wide.dma_cycles(bytes) <= narrow.dma_cycles(bytes));
+    }
+
+    /// A wider PE array never increases compute cycles beyond the fill
+    /// overhead.
+    #[test]
+    fn bigger_arrays_do_not_slow_compute(dims in dims_strategy()) {
+        let small = ArchConfigBuilder::new(2, 1 << 18, 32)
+            .pe_array(16, 16)
+            .build()
+            .unwrap();
+        let big = ArchConfigBuilder::new(2, 1 << 18, 32)
+            .pe_array(32, 32)
+            .build()
+            .unwrap();
+        let ms = SystolicModel::new(&small);
+        let mb = SystolicModel::new(&big);
+        let fill_delta = mb.fill_cycles().saturating_sub(ms.fill_cycles());
+        prop_assert!(mb.conv_cycles(&dims) <= ms.conv_cycles(&dims) + fill_delta);
+    }
+}

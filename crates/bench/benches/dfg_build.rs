@@ -1,0 +1,51 @@
+//! Benchmarks of data-flow-graph construction across DFG sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+use flexer_model::ConvLayer;
+use flexer_tiling::{Dataflow, Dfg, TilingFactors};
+use std::hint::black_box;
+
+fn bench_dfg_build(c: &mut Criterion) {
+    let arch = ArchConfig::preset(ArchPreset::Arch5);
+    let model = SystolicModel::new(&arch);
+    let layer = ConvLayer::new("b", 256, 56, 56, 256).unwrap();
+    let mut group = c.benchmark_group("dfg_build");
+    for (tag, k, ch, h, w) in [
+        ("64_ops", 4u32, 4u32, 2u32, 2u32),
+        ("512_ops", 8, 8, 4, 2),
+        ("4096_ops", 16, 16, 4, 4),
+    ] {
+        let factors = TilingFactors::normalized(&layer, k, ch, h, w);
+        group.bench_with_input(BenchmarkId::from_parameter(tag), &factors, |b, &f| {
+            b.iter(|| {
+                Dfg::build(black_box(&layer), f, Dataflow::Csk, &model, &arch).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tiling_enumeration(c: &mut Criterion) {
+    let arch = ArchConfig::preset(ArchPreset::Arch5);
+    let layer = ConvLayer::new("e", 512, 28, 28, 512).unwrap();
+    c.bench_function("enumerate_tilings_default", |b| {
+        b.iter(|| {
+            flexer_tiling::enumerate_tilings(
+                black_box(&layer),
+                &arch,
+                &flexer_tiling::TilingOptions::default(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets =  bench_dfg_build, bench_tiling_enumeration
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmarks of one full `GetSchedule` run: the out-of-order list
+//! scheduler versus the static loop-order baseline on the same DFG.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+use flexer_model::ConvLayer;
+use flexer_sched::{OooScheduler, StaticScheduler};
+use flexer_tiling::{Dataflow, Dfg, TilingFactors};
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let arch = ArchConfig::preset(ArchPreset::Arch5);
+    let model = SystolicModel::new(&arch);
+    let layer = ConvLayer::new("s", 256, 28, 28, 256).unwrap();
+
+    let mut group = c.benchmark_group("get_schedule");
+    for (tag, k, ch, h, w) in [("128_ops", 8u32, 4u32, 2u32, 2u32), ("512_ops", 8, 8, 4, 2)] {
+        let factors = TilingFactors::normalized(&layer, k, ch, h, w);
+        let dfg = Dfg::build(&layer, factors, Dataflow::Csk, &model, &arch).unwrap();
+        group.bench_with_input(BenchmarkId::new("ooo", tag), &dfg, |b, d| {
+            b.iter(|| {
+                OooScheduler::new(black_box(d), &arch, &model)
+                    .schedule()
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("static", tag), &dfg, |b, d| {
+            b.iter(|| {
+                StaticScheduler::new(black_box(d), &arch, &model)
+                    .schedule()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets =  bench_schedulers
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benchmarks of operation-set generation with and without the §4.2
+//! dataflow-map pruning — the ablation behind the paper's runtime
+//! discussion (100 ready ops x 4 cores = 3.9M raw combinations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+use flexer_model::ConvLayer;
+use flexer_sched::{generate_sets, ComboOptions};
+use flexer_spm::SpmMemory;
+use flexer_tiling::{Dataflow, Dfg, OpId, TilingFactors};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let arch = ArchConfig::preset(ArchPreset::Arch5);
+    let model = SystolicModel::new(&arch);
+    let layer = ConvLayer::new("g", 128, 32, 32, 128).unwrap();
+    let factors = TilingFactors::normalized(&layer, 8, 1, 4, 4);
+    let dfg = Dfg::build(&layer, factors, Dataflow::Csk, &model, &arch).unwrap();
+    let spm = SpmMemory::new(arch.spm_bytes());
+    let ready: Vec<OpId> = dfg.initial_ready().collect();
+    assert!(ready.len() >= 64);
+
+    let mut group = c.benchmark_group("generate_sets_4wide");
+    for (tag, prune) in [("pruned", true), ("unpruned", false)] {
+        let opts = ComboOptions {
+            width_cap: 16,
+            max_combos: 4096,
+            max_sets: usize::MAX,
+            prune,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(tag), &opts, |b, o| {
+            b.iter(|| generate_sets(black_box(&dfg), &spm, &ready[..64], 4, o))
+        });
+    }
+    group.finish();
+
+    // How much the pruning actually collapses: report once.
+    let pruned = generate_sets(
+        &dfg,
+        &spm,
+        &ready[..64],
+        4,
+        &ComboOptions {
+            width_cap: 16,
+            max_combos: 4096,
+            max_sets: usize::MAX,
+            prune: true,
+        },
+    );
+    eprintln!(
+        "note: pruning kept {} distinct classes of 1820 combinations",
+        pruned.len()
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets =  bench_generation
+}
+criterion_main!(benches);

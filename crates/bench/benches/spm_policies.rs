@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the scratchpad allocator and the three
+//! spill-victim policies (Algorithm 2 vs Table 2's MemPolicy1/2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexer_spm::{FirstFitSpill, FlexerSpill, SmallestFirstSpill, SpillPolicy, SpmMemory};
+use flexer_tiling::TileId;
+use std::hint::black_box;
+
+fn tile(n: u32) -> TileId {
+    TileId::Output { k: n, s: 0 }
+}
+
+/// A deterministic alloc-heavy workload: sized to force spilling on
+/// most allocations, with mixed remain-use counts.
+fn churn(policy: &dyn SpillPolicy, allocations: u32) -> u64 {
+    let mut spm = SpmMemory::new(64 * 1024);
+    let mut total = 0;
+    for i in 0..allocations {
+        // Irregular sizes between 3 and 19 KiB keep the map fragmented.
+        let size = 3072 + u64::from(i % 17) * 1024;
+        let uses = i % 5;
+        let outcome = spm
+            .allocate(tile(i), size, uses, policy)
+            .expect("workload always fits");
+        total += outcome.evictions.len() as u64;
+        if i % 3 == 0 {
+            spm.set_dirty(tile(i), true);
+        }
+    }
+    total
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spm_spill_policy");
+    for (name, policy) in [
+        ("flexer_alg2", &FlexerSpill as &dyn SpillPolicy),
+        ("first_fit", &FirstFitSpill),
+        ("smallest_first", &SmallestFirstSpill),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, p| {
+            b.iter(|| churn(black_box(*p), black_box(256)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    c.bench_function("spm_compact_fragmented", |b| {
+        b.iter_batched(
+            || {
+                let mut spm = SpmMemory::new(64 * 1024);
+                for i in 0..16u32 {
+                    spm.allocate(tile(i), 4096, 1, &FlexerSpill).unwrap();
+                }
+                for i in (0..16u32).step_by(2) {
+                    spm.evict(tile(i));
+                }
+                spm
+            },
+            |mut spm| black_box(spm.compact()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets =  bench_policies, bench_compaction
+}
+criterion_main!(benches);

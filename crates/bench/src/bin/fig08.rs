@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 8 (end-to-end speedups).
+use flexer_bench::{Budget, ExperimentContext};
+fn main() {
+    let ctx = ExperimentContext::from_env(1, Budget::Quick);
+    flexer_bench::experiments::fig08(&ctx);
+}

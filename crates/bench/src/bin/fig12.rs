@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 12 (policy ablation).
+use flexer_bench::{Budget, ExperimentContext};
+fn main() {
+    let ctx = ExperimentContext::from_env(4, Budget::Quick);
+    flexer_bench::experiments::fig12(&ctx);
+}

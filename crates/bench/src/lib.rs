@@ -1,0 +1,199 @@
+//! Experiment harness regenerating every table and figure of the
+//! Flexer paper's evaluation (§5).
+//!
+//! Each `fig*`/`table*` binary in `src/bin/` is a thin wrapper around
+//! one function of [`experiments`]; `run_all` executes the full set.
+//! Absolute cycle counts come from this reproduction's analytical
+//! performance model, not the authors' proprietary simulator — the
+//! *shape* of the results (who wins, by roughly what factor, where
+//! crossovers fall) is what the harness reproduces (DESIGN.md §2).
+//!
+//! # Knobs
+//!
+//! Every experiment reads two environment variables:
+//!
+//! * `FLEXER_SCALE` — spatial down-scaling divisor applied to the
+//!   networks (default per experiment, typically 2-4). `1` runs the
+//!   full-size networks; expect hours, like the paper's 20-hour
+//!   searches.
+//! * `FLEXER_BUDGET` — `quick`, `default` or `wide` search budgets.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexer_bench::ExperimentContext;
+//!
+//! let ctx = ExperimentContext::new(4, flexer_bench::Budget::Quick);
+//! assert_eq!(ctx.scale, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use flexer::prelude::*;
+
+/// Search-budget presets for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Reduced tiling/combination budgets: seconds per network.
+    Quick,
+    /// The library defaults: minutes per network.
+    Default,
+    /// Unbounded tiling enumeration: paper-scale, hours per network.
+    Wide,
+}
+
+impl Budget {
+    /// The search options this budget expands to.
+    #[must_use]
+    pub fn options(self) -> SearchOptions {
+        match self {
+            Budget::Quick => SearchOptions::quick(),
+            Budget::Default => SearchOptions::default(),
+            Budget::Wide => {
+                let mut opts = SearchOptions::default();
+                opts.tiling.max_tilings = 0;
+                opts.tiling.max_ops = 4096;
+                opts
+            }
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quick" => Some(Budget::Quick),
+            "default" => Some(Budget::Default),
+            "wide" => Some(Budget::Wide),
+            _ => None,
+        }
+    }
+}
+
+/// Shared configuration of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Spatial down-scaling divisor applied to the networks.
+    pub scale: u32,
+    /// Search options used by every search.
+    pub options: SearchOptions,
+    /// Human-readable budget name (for the output header).
+    pub budget_name: &'static str,
+}
+
+impl ExperimentContext {
+    /// Creates a context with an explicit scale and budget.
+    #[must_use]
+    pub fn new(scale: u32, budget: Budget) -> Self {
+        Self {
+            scale: scale.max(1),
+            options: budget.options(),
+            budget_name: match budget {
+                Budget::Quick => "quick",
+                Budget::Default => "default",
+                Budget::Wide => "wide",
+            },
+        }
+    }
+
+    /// Reads `FLEXER_SCALE` / `FLEXER_BUDGET` from the environment,
+    /// falling back to the experiment's defaults.
+    #[must_use]
+    pub fn from_env(default_scale: u32, default_budget: Budget) -> Self {
+        let scale = std::env::var("FLEXER_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default_scale);
+        let budget = std::env::var("FLEXER_BUDGET")
+            .ok()
+            .and_then(|s| Budget::parse(&s))
+            .unwrap_or(default_budget);
+        Self::new(scale, budget)
+    }
+
+    /// The four evaluation networks at this context's scale.
+    #[must_use]
+    pub fn networks(&self) -> Vec<Network> {
+        networks::all()
+            .iter()
+            .map(|n| scale_spatial(n, self.scale))
+            .collect()
+    }
+
+    /// One evaluation network at this context's scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the four evaluation networks.
+    #[must_use]
+    pub fn network(&self, name: &str) -> Network {
+        let net = networks::by_name(name).unwrap_or_else(|| panic!("unknown network {name:?}"));
+        scale_spatial(&net, self.scale)
+    }
+
+    /// A driver for `preset` with this context's options.
+    #[must_use]
+    pub fn driver(&self, preset: ArchPreset) -> Flexer {
+        Flexer::new(ArchConfig::preset(preset)).with_options(self.options.clone())
+    }
+
+    /// Prints the standard experiment header.
+    pub fn print_header(&self, experiment: &str, paper_ref: &str) {
+        println!("# {experiment} — reproduces {paper_ref}");
+        println!(
+            "# scale=1/{} budget={} (override with FLEXER_SCALE / FLEXER_BUDGET)",
+            self.scale, self.budget_name
+        );
+    }
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+///
+/// # Examples
+///
+/// ```
+/// assert!((flexer_bench::geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_parsing() {
+        assert_eq!(Budget::parse("quick"), Some(Budget::Quick));
+        assert_eq!(Budget::parse("default"), Some(Budget::Default));
+        assert_eq!(Budget::parse("wide"), Some(Budget::Wide));
+        assert_eq!(Budget::parse("bogus"), None);
+    }
+
+    #[test]
+    fn context_scales_networks() {
+        let ctx = ExperimentContext::new(4, Budget::Quick);
+        let vgg = ctx.network("vgg16");
+        assert_eq!(vgg.layers()[0].in_height(), 56);
+        assert_eq!(ctx.networks().len(), 4);
+    }
+
+    #[test]
+    fn wide_budget_lifts_tiling_caps() {
+        let opts = Budget::Wide.options();
+        assert_eq!(opts.tiling.max_tilings, 0);
+    }
+
+    #[test]
+    fn geomean_properties() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+}

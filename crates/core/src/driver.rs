@@ -1,0 +1,243 @@
+//! The high-level Flexer driver.
+
+use crate::report::{NetworkComparison, NetworkResult};
+use flexer_arch::ArchConfig;
+use flexer_model::{ConvLayer, Network};
+use flexer_sched::{
+    search_layer_cached, search_layer_static_cached, LayerSearchResult, MemoCache, SchedError,
+    SearchOptions,
+};
+use std::fmt;
+
+/// The end-to-end schedule generator: Algorithm-1 searches per layer,
+/// with a built-in memoization cache so repeated layer shapes (e.g.
+/// ResNet-50's bottleneck blocks) search only once, plus the baseline
+/// generator and comparison helpers the evaluation section needs.
+///
+/// # Examples
+///
+/// ```
+/// use flexer::prelude::*;
+///
+/// let arch = ArchConfig::preset(ArchPreset::Arch1);
+/// let driver = Flexer::new(arch).with_options(SearchOptions::quick());
+///
+/// let layer = ConvLayer::new("c", 32, 14, 14, 32)?;
+/// let result = driver.schedule_layer(&layer)?;
+/// assert!(result.schedule.latency() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Flexer {
+    arch: ArchConfig,
+    options: SearchOptions,
+    cache: MemoCache,
+}
+
+impl Flexer {
+    /// Creates a driver for `arch` with default search options.
+    #[must_use]
+    pub fn new(arch: ArchConfig) -> Self {
+        Self {
+            arch,
+            options: SearchOptions::default(),
+            cache: MemoCache::new(),
+        }
+    }
+
+    /// Replaces the search options. Clears the memo cache, since
+    /// cached winners are option-specific.
+    #[must_use]
+    pub fn with_options(mut self, options: SearchOptions) -> Self {
+        self.options = options;
+        self.cache = MemoCache::new();
+        self
+    }
+
+    /// The target architecture.
+    #[must_use]
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// The active search options.
+    #[must_use]
+    pub fn options(&self) -> &SearchOptions {
+        &self.options
+    }
+
+    /// Number of memoized layer-shape winners accumulated so far.
+    #[must_use]
+    pub fn cached_shapes(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Finds the best out-of-order schedule for one layer
+    /// (Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError`] when no tiling of the layer fits the
+    /// architecture or scheduling fails.
+    pub fn schedule_layer(&self, layer: &ConvLayer) -> Result<LayerSearchResult, SchedError> {
+        search_layer_cached(layer, &self.arch, &self.options, &self.cache)
+    }
+
+    /// Finds the best static loop-order schedule for one layer — the
+    /// paper's baseline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Flexer::schedule_layer`].
+    pub fn baseline_layer(&self, layer: &ConvLayer) -> Result<LayerSearchResult, SchedError> {
+        search_layer_static_cached(layer, &self.arch, &self.options, &self.cache)
+    }
+
+    /// Schedules every layer of `network` with the out-of-order
+    /// scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-layer error encountered.
+    pub fn schedule_network(&self, network: &Network) -> Result<NetworkResult, SchedError> {
+        let layers = network
+            .layers()
+            .iter()
+            .map(|l| self.schedule_layer(l))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(NetworkResult::new(network.name(), layers))
+    }
+
+    /// Schedules every layer of `network` with the static baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-layer error encountered.
+    pub fn baseline_network(&self, network: &Network) -> Result<NetworkResult, SchedError> {
+        let layers = network
+            .layers()
+            .iter()
+            .map(|l| self.baseline_layer(l))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(NetworkResult::new(network.name(), layers))
+    }
+
+    /// Schedules one layer with both schedulers and compares.
+    ///
+    /// # Errors
+    ///
+    /// As [`Flexer::schedule_layer`].
+    pub fn compare_layer(&self, layer: &ConvLayer) -> Result<NetworkComparison, SchedError> {
+        let flexer = NetworkResult::new(layer.name(), vec![self.schedule_layer(layer)?]);
+        let baseline = NetworkResult::new(layer.name(), vec![self.baseline_layer(layer)?]);
+        Ok(NetworkComparison::new(flexer, baseline))
+    }
+
+    /// Schedules a whole network with both schedulers and compares —
+    /// the Figure-8 experiment for one (network, architecture) pair.
+    ///
+    /// # Errors
+    ///
+    /// As [`Flexer::schedule_network`].
+    pub fn compare_network(&self, network: &Network) -> Result<NetworkComparison, SchedError> {
+        let flexer = self.schedule_network(network)?;
+        let baseline = self.baseline_network(network)?;
+        Ok(NetworkComparison::new(flexer, baseline))
+    }
+}
+
+impl fmt::Display for Flexer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Flexer on {}", self.arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::ArchPreset;
+    use flexer_model::{Network, networks, scale_spatial};
+
+    fn driver() -> Flexer {
+        Flexer::new(ArchConfig::preset(ArchPreset::Arch1)).with_options(SearchOptions::quick())
+    }
+
+    fn tiny_net() -> Network {
+        Network::new(
+            "tiny",
+            vec![
+                ConvLayer::new("c1", 16, 14, 14, 32).unwrap(),
+                ConvLayer::new("c2", 32, 14, 14, 32).unwrap(),
+                ConvLayer::new("c3", 32, 14, 14, 32).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn network_scheduling_aggregates_layers() {
+        let d = driver();
+        let net = tiny_net();
+        let r = d.schedule_network(&net).unwrap();
+        assert_eq!(r.layers().len(), 3);
+        let sum: u64 = r.layers().iter().map(|l| l.schedule.latency()).sum();
+        assert_eq!(r.total_latency(), sum);
+        assert!(r.layer("c2").is_some());
+        assert!(r.layer("nope").is_none());
+    }
+
+    #[test]
+    fn memo_cache_kicks_in_for_repeated_shapes() {
+        let d = driver();
+        let net = tiny_net();
+        let r = d.schedule_network(&net).unwrap();
+        // c2 and c3 share a shape: the second search is a memo replay.
+        assert_eq!(r.layers()[2].evaluated, 1);
+        assert!(r.layers()[1].evaluated > 1);
+        assert!(d.cached_shapes() >= 2);
+    }
+
+    #[test]
+    fn comparison_is_well_formed() {
+        let d = driver();
+        let net = tiny_net();
+        let cmp = d.compare_network(&net).unwrap();
+        assert!(cmp.speedup() > 0.0);
+        assert!(cmp.transfer_reduction() > 0.0);
+        assert_eq!(cmp.per_layer().count(), 3);
+        for lc in cmp.per_layer() {
+            assert!(lc.flexer_latency > 0);
+            assert!(lc.baseline_latency > 0);
+        }
+    }
+
+    #[test]
+    fn scaled_real_network_schedules() {
+        let d = driver();
+        // Heavily scaled SqueezeNet slice: first four layers.
+        let scaled = scale_spatial(&networks::squeezenet(), 8);
+        let slice = Network::new(
+            "squeeze-slice",
+            scaled.layers()[..4].to_vec(),
+        )
+        .unwrap();
+        let r = d.schedule_network(&slice).unwrap();
+        assert!(r.total_latency() > 0);
+        assert!(r.total_transfer_bytes() > 0);
+    }
+
+    #[test]
+    fn with_options_resets_cache() {
+        let d = driver();
+        let layer = ConvLayer::new("c", 16, 14, 14, 16).unwrap();
+        let _ = d.schedule_layer(&layer).unwrap();
+        assert!(d.cached_shapes() > 0);
+        let d = d.with_options(SearchOptions::quick());
+        assert_eq!(d.cached_shapes(), 0);
+    }
+
+    #[test]
+    fn display_shows_arch() {
+        assert!(driver().to_string().contains("2 cores"));
+    }
+}

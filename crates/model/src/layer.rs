@@ -1,0 +1,478 @@
+//! Convolution layer specifications.
+
+use crate::tensor::{ElementSize, TensorShape};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`ConvLayer`] specification is inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_model::ConvLayerBuilder;
+///
+/// // A 7x7 kernel cannot slide over a padded 3x3 input.
+/// let err = ConvLayerBuilder::new("bad", 3, 3, 3, 8)
+///     .kernel(7, 7)
+///     .build()
+///     .unwrap_err();
+/// assert!(err.to_string().contains("kernel"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSpecError {
+    message: String,
+}
+
+impl LayerSpecError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LayerSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid layer specification: {}", self.message)
+    }
+}
+
+impl Error for LayerSpecError {}
+
+/// Hyper-parameters of a 2-D convolution layer.
+///
+/// This is the unit of work Flexer schedules: the layer is later split
+/// into data tiles (`tIN`, `tWT`, `tOT` in the paper's Figure 3) and a
+/// data-flow graph of tiled convolutions by the `flexer-tiling` crate.
+///
+/// Construct instances with [`ConvLayer::new`] for the common 3x3 case
+/// or with [`ConvLayerBuilder`] for full control.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_model::{ConvLayer, ElementSize};
+///
+/// let layer = ConvLayer::new("conv4_2", 512, 28, 28, 512)?;
+/// assert_eq!(layer.out_height(), 28);
+/// assert_eq!(layer.macs(), 512u64 * 512 * 28 * 28 * 9);
+/// # Ok::<(), flexer_model::LayerSpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvLayer {
+    name: String,
+    in_channels: u32,
+    in_height: u32,
+    in_width: u32,
+    out_channels: u32,
+    kernel_h: u32,
+    kernel_w: u32,
+    stride: u32,
+    padding: u32,
+}
+
+impl ConvLayer {
+    /// Creates a 3x3, stride-1, padding-1 ("same") convolution — the most
+    /// common layer geometry in the evaluated networks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerSpecError`] if the specification is degenerate
+    /// (any zero dimension).
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: u32,
+        in_height: u32,
+        in_width: u32,
+        out_channels: u32,
+    ) -> Result<Self, LayerSpecError> {
+        ConvLayerBuilder::new(name, in_channels, in_height, in_width, out_channels)
+            .kernel(3, 3)
+            .padding(1)
+            .build()
+    }
+
+    /// Layer name (e.g. `"conv4_2"`), unique within a network.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of input channels (`C`).
+    #[must_use]
+    pub const fn in_channels(&self) -> u32 {
+        self.in_channels
+    }
+
+    /// Input spatial height (`H`).
+    #[must_use]
+    pub const fn in_height(&self) -> u32 {
+        self.in_height
+    }
+
+    /// Input spatial width (`W`).
+    #[must_use]
+    pub const fn in_width(&self) -> u32 {
+        self.in_width
+    }
+
+    /// Number of output channels (`K`).
+    #[must_use]
+    pub const fn out_channels(&self) -> u32 {
+        self.out_channels
+    }
+
+    /// Kernel height (`R`).
+    #[must_use]
+    pub const fn kernel_h(&self) -> u32 {
+        self.kernel_h
+    }
+
+    /// Kernel width (`S`).
+    #[must_use]
+    pub const fn kernel_w(&self) -> u32 {
+        self.kernel_w
+    }
+
+    /// Convolution stride (same in both spatial dimensions).
+    #[must_use]
+    pub const fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// Zero padding applied on every spatial border.
+    #[must_use]
+    pub const fn padding(&self) -> u32 {
+        self.padding
+    }
+
+    /// Output spatial height: `(H + 2*pad - R) / stride + 1`.
+    #[must_use]
+    pub const fn out_height(&self) -> u32 {
+        (self.in_height + 2 * self.padding - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output spatial width: `(W + 2*pad - S) / stride + 1`.
+    #[must_use]
+    pub const fn out_width(&self) -> u32 {
+        (self.in_width + 2 * self.padding - self.kernel_w) / self.stride + 1
+    }
+
+    /// Shape of the input activation tensor.
+    #[must_use]
+    pub fn input_shape(&self) -> TensorShape {
+        TensorShape::new(self.in_channels, self.in_height, self.in_width)
+    }
+
+    /// Shape of the output activation tensor.
+    #[must_use]
+    pub fn output_shape(&self) -> TensorShape {
+        TensorShape::new(self.out_channels, self.out_height(), self.out_width())
+    }
+
+    /// Total multiply-accumulate operations of the layer.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        u64::from(self.out_channels)
+            * u64::from(self.in_channels)
+            * u64::from(self.out_height())
+            * u64::from(self.out_width())
+            * u64::from(self.kernel_h)
+            * u64::from(self.kernel_w)
+    }
+
+    /// Byte size of the full input activation tensor.
+    #[must_use]
+    pub fn input_bytes(&self, elem: ElementSize) -> u64 {
+        self.input_shape().bytes(elem)
+    }
+
+    /// Byte size of the full weight tensor (`K x C x R x S`).
+    #[must_use]
+    pub fn weight_bytes(&self, elem: ElementSize) -> u64 {
+        u64::from(self.out_channels)
+            * u64::from(self.in_channels)
+            * u64::from(self.kernel_h)
+            * u64::from(self.kernel_w)
+            * elem.bytes()
+    }
+
+    /// Byte size of the full output activation tensor.
+    #[must_use]
+    pub fn output_bytes(&self, elem: ElementSize) -> u64 {
+        self.output_shape().bytes(elem)
+    }
+
+    /// Combined byte size of input, weight and output tensors — the
+    /// footprint an infinitely large on-chip memory would need to hold
+    /// the whole layer at once.
+    #[must_use]
+    pub fn total_bytes(&self, elem: ElementSize) -> u64 {
+        self.input_bytes(elem) + self.weight_bytes(elem) + self.output_bytes(elem)
+    }
+
+    /// Returns a copy of this layer with a different name.
+    ///
+    /// Useful when the same geometry repeats within a network (common
+    /// in ResNet-50) but each instance needs a unique identity.
+    #[must_use]
+    pub fn with_name(&self, name: impl Into<String>) -> Self {
+        let mut layer = self.clone();
+        layer.name = name.into();
+        layer
+    }
+}
+
+impl fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} ({}x{} k, s{}, p{})",
+            self.name,
+            self.input_shape(),
+            self.output_shape(),
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.padding
+        )
+    }
+}
+
+/// Builder for [`ConvLayer`] specifications with non-default kernel,
+/// stride or padding.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_model::ConvLayerBuilder;
+///
+/// // ResNet-50 stem: 7x7 stride-2 convolution.
+/// let conv1 = ConvLayerBuilder::new("conv1", 3, 224, 224, 64)
+///     .kernel(7, 7)
+///     .stride(2)
+///     .padding(3)
+///     .build()?;
+/// assert_eq!(conv1.out_height(), 112);
+/// # Ok::<(), flexer_model::LayerSpecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvLayerBuilder {
+    layer: ConvLayer,
+}
+
+impl ConvLayerBuilder {
+    /// Starts building a layer from its tensor extents. Kernel defaults
+    /// to 1x1, stride to 1 and padding to 0.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: u32,
+        in_height: u32,
+        in_width: u32,
+        out_channels: u32,
+    ) -> Self {
+        Self {
+            layer: ConvLayer {
+                name: name.into(),
+                in_channels,
+                in_height,
+                in_width,
+                out_channels,
+                kernel_h: 1,
+                kernel_w: 1,
+                stride: 1,
+                padding: 0,
+            },
+        }
+    }
+
+    /// Sets the kernel extents (`R` x `S`).
+    #[must_use]
+    pub fn kernel(mut self, kernel_h: u32, kernel_w: u32) -> Self {
+        self.layer.kernel_h = kernel_h;
+        self.layer.kernel_w = kernel_w;
+        self
+    }
+
+    /// Sets the spatial stride.
+    #[must_use]
+    pub fn stride(mut self, stride: u32) -> Self {
+        self.layer.stride = stride;
+        self
+    }
+
+    /// Sets the zero padding per border.
+    #[must_use]
+    pub fn padding(mut self, padding: u32) -> Self {
+        self.layer.padding = padding;
+        self
+    }
+
+    /// Validates and builds the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerSpecError`] when any dimension is zero, when the
+    /// kernel does not fit the padded input, or when the padding is so
+    /// large that the convolution would read only padding.
+    pub fn build(self) -> Result<ConvLayer, LayerSpecError> {
+        let l = &self.layer;
+        if l.name.is_empty() {
+            return Err(LayerSpecError::new("layer name must not be empty"));
+        }
+        if l.in_channels == 0 || l.out_channels == 0 {
+            return Err(LayerSpecError::new(format!(
+                "channel counts must be positive (got C={}, K={})",
+                l.in_channels, l.out_channels
+            )));
+        }
+        if l.in_height == 0 || l.in_width == 0 {
+            return Err(LayerSpecError::new(format!(
+                "input extents must be positive (got {}x{})",
+                l.in_height, l.in_width
+            )));
+        }
+        if l.kernel_h == 0 || l.kernel_w == 0 || l.stride == 0 {
+            return Err(LayerSpecError::new(
+                "kernel extents and stride must be positive",
+            ));
+        }
+        if l.kernel_h > l.in_height + 2 * l.padding || l.kernel_w > l.in_width + 2 * l.padding {
+            return Err(LayerSpecError::new(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                l.kernel_h,
+                l.kernel_w,
+                l.in_height + 2 * l.padding,
+                l.in_width + 2 * l.padding
+            )));
+        }
+        if l.padding >= l.kernel_h || l.padding >= l.kernel_w {
+            return Err(LayerSpecError::new(format!(
+                "padding {} must be smaller than the kernel ({}x{})",
+                l.padding, l.kernel_h, l.kernel_w
+            )));
+        }
+        Ok(self.layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_conv_shapes() {
+        let l = ConvLayer::new("c", 64, 56, 56, 128).unwrap();
+        assert_eq!(l.out_height(), 56);
+        assert_eq!(l.out_width(), 56);
+        assert_eq!(l.kernel_h(), 3);
+        assert_eq!(l.stride(), 1);
+        assert_eq!(l.padding(), 1);
+    }
+
+    #[test]
+    fn strided_conv_shapes() {
+        let l = ConvLayerBuilder::new("stem", 3, 224, 224, 64)
+            .kernel(7, 7)
+            .stride(2)
+            .padding(3)
+            .build()
+            .unwrap();
+        assert_eq!(l.out_height(), 112);
+        assert_eq!(l.out_width(), 112);
+    }
+
+    #[test]
+    fn pointwise_conv_shapes() {
+        let l = ConvLayerBuilder::new("pw", 256, 14, 14, 1024)
+            .build()
+            .unwrap();
+        assert_eq!(l.out_height(), 14);
+        assert_eq!(l.kernel_h(), 1);
+        assert_eq!(l.macs(), 256 * 1024 * 14 * 14);
+    }
+
+    #[test]
+    fn unpadded_strided_conv_shapes() {
+        // SqueezeNet conv1: 7x7 stride 2, no padding, 224 input.
+        let l = ConvLayerBuilder::new("conv1", 3, 224, 224, 96)
+            .kernel(7, 7)
+            .stride(2)
+            .build()
+            .unwrap();
+        assert_eq!(l.out_height(), 109);
+        assert_eq!(l.out_width(), 109);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        let l = ConvLayer::new("c", 512, 28, 28, 512).unwrap();
+        assert_eq!(l.input_bytes(ElementSize::Int8), 512 * 28 * 28);
+        assert_eq!(l.weight_bytes(ElementSize::Int8), 512 * 512 * 9);
+        assert_eq!(l.output_bytes(ElementSize::Int8), 512 * 28 * 28);
+        assert_eq!(
+            l.total_bytes(ElementSize::Int8),
+            2 * 512 * 28 * 28 + 512 * 512 * 9
+        );
+        assert_eq!(l.input_bytes(ElementSize::Fp16), 2 * 512 * 28 * 28);
+    }
+
+    #[test]
+    fn macs_match_closed_form() {
+        let l = ConvLayerBuilder::new("m", 32, 16, 16, 48)
+            .kernel(3, 3)
+            .padding(1)
+            .build()
+            .unwrap();
+        assert_eq!(l.macs(), 48 * 32 * 16 * 16 * 9);
+    }
+
+    #[test]
+    fn rejects_zero_channels() {
+        let err = ConvLayerBuilder::new("z", 0, 8, 8, 8).build().unwrap_err();
+        assert!(err.to_string().contains("channel"));
+    }
+
+    #[test]
+    fn rejects_oversized_kernel() {
+        let err = ConvLayerBuilder::new("k", 3, 4, 4, 8)
+            .kernel(9, 9)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("kernel"));
+    }
+
+    #[test]
+    fn rejects_excessive_padding() {
+        let err = ConvLayerBuilder::new("p", 3, 8, 8, 8)
+            .kernel(3, 3)
+            .padding(5)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("padding"));
+    }
+
+    #[test]
+    fn rejects_empty_name() {
+        let err = ConvLayerBuilder::new("", 3, 8, 8, 8).build().unwrap_err();
+        assert!(err.to_string().contains("name"));
+    }
+
+    #[test]
+    fn with_name_renames_only() {
+        let a = ConvLayer::new("a", 8, 8, 8, 8).unwrap();
+        let b = a.with_name("b");
+        assert_eq!(b.name(), "b");
+        assert_eq!(a.macs(), b.macs());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let l = ConvLayer::new("conv1_1", 3, 224, 224, 64).unwrap();
+        let s = l.to_string();
+        assert!(s.contains("conv1_1"));
+        assert!(s.contains("3x224x224"));
+    }
+}

@@ -1,0 +1,39 @@
+//! DNN workload model for the Flexer reproduction.
+//!
+//! Flexer (CGO'23) schedules *tiled convolutions* onto multi-NPU
+//! accelerators. The scheduler only consumes layer *hyper-parameters*
+//! (channel counts, spatial extents, kernel geometry, stride, padding)
+//! and derived quantities (tile sizes, MAC counts) — it never touches
+//! actual tensor values. This crate therefore models a network as a
+//! sequence of [`ConvLayer`] specifications.
+//!
+//! The four evaluation networks from the paper are hand-coded here:
+//! [`networks::vgg16`], [`networks::resnet50`], [`networks::squeezenet`]
+//! and [`networks::yolov2`].
+//!
+//! # Examples
+//!
+//! ```
+//! use flexer_model::{networks, ElementSize};
+//!
+//! let net = networks::vgg16();
+//! assert_eq!(net.layers().len(), 13);
+//! let conv4_2 = net.layer_by_name("conv4_2").unwrap();
+//! // 28x28x512 int8 input activations occupy ~401 KiB.
+//! assert_eq!(conv4_2.input_bytes(ElementSize::Int8), 512 * 28 * 28);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layer;
+mod network;
+mod scale;
+mod tensor;
+
+pub mod networks;
+
+pub use layer::{ConvLayer, ConvLayerBuilder, LayerSpecError};
+pub use network::Network;
+pub use scale::scale_spatial;
+pub use tensor::{ElementSize, TensorShape};

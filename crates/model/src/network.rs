@@ -1,0 +1,185 @@
+//! Networks as ordered collections of convolution layers.
+
+use crate::layer::{ConvLayer, LayerSpecError};
+use crate::tensor::ElementSize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered collection of convolution layers forming a network.
+///
+/// Flexer schedules each layer independently (the inter-layer order is
+/// fixed by the network), so a network is simply the list of conv
+/// layers plus a name. Pooling, activation and fully-connected layers
+/// do not run on the tiled-conv datapath the paper schedules and are
+/// therefore not represented; their effect on tensor extents is folded
+/// into the conv specs.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_model::{ConvLayer, Network};
+///
+/// let net = Network::new(
+///     "tiny",
+///     vec![
+///         ConvLayer::new("c1", 3, 32, 32, 16)?,
+///         ConvLayer::new("c2", 16, 32, 32, 16)?,
+///     ],
+/// )?;
+/// assert_eq!(net.layers().len(), 2);
+/// # Ok::<(), flexer_model::LayerSpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    layers: Vec<ConvLayer>,
+}
+
+impl Network {
+    /// Creates a network from its layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerSpecError`] when the network is empty or two
+    /// layers share a name (names key per-layer experiment output).
+    pub fn new(name: impl Into<String>, layers: Vec<ConvLayer>) -> Result<Self, LayerSpecError> {
+        let name = name.into();
+        if layers.is_empty() {
+            return Err(LayerSpecError::new("network must contain at least one layer"));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for layer in &layers {
+            if !seen.insert(layer.name().to_owned()) {
+                return Err(LayerSpecError::new(format!(
+                    "duplicate layer name {:?} in network {name:?}",
+                    layer.name()
+                )));
+            }
+        }
+        Ok(Self { name, layers })
+    }
+
+    /// Network name (e.g. `"vgg16"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in execution order.
+    #[must_use]
+    pub fn layers(&self) -> &[ConvLayer] {
+        &self.layers
+    }
+
+    /// Looks up a layer by its unique name.
+    #[must_use]
+    pub fn layer_by_name(&self, name: &str) -> Option<&ConvLayer> {
+        self.layers.iter().find(|l| l.name() == name)
+    }
+
+    /// Total MAC count over all layers.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::macs).sum()
+    }
+
+    /// Total weight bytes over all layers.
+    #[must_use]
+    pub fn total_weight_bytes(&self, elem: ElementSize) -> u64 {
+        self.layers.iter().map(|l| l.weight_bytes(elem)).sum()
+    }
+
+    /// Iterates over the layers.
+    pub fn iter(&self) -> std::slice::Iter<'_, ConvLayer> {
+        self.layers.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Network {
+    type Item = &'a ConvLayer;
+    type IntoIter = std::slice::Iter<'a, ConvLayer>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.layers.iter()
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} conv layers, {:.1} GMACs)",
+            self.name,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        Network::new(
+            "tiny",
+            vec![
+                ConvLayer::new("c1", 3, 8, 8, 4).unwrap(),
+                ConvLayer::new("c2", 4, 8, 8, 4).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let net = tiny();
+        assert!(net.layer_by_name("c1").is_some());
+        assert!(net.layer_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let net = tiny();
+        let macs: u64 = net.layers().iter().map(|l| l.macs()).sum();
+        assert_eq!(net.total_macs(), macs);
+        let wb: u64 = net
+            .layers()
+            .iter()
+            .map(|l| l.weight_bytes(ElementSize::Int8))
+            .sum();
+        assert_eq!(net.total_weight_bytes(ElementSize::Int8), wb);
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Network::new(
+            "dup",
+            vec![
+                ConvLayer::new("c", 3, 8, 8, 4).unwrap(),
+                ConvLayer::new("c", 4, 8, 8, 4).unwrap(),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_empty_network() {
+        assert!(Network::new("empty", vec![]).is_err());
+    }
+
+    #[test]
+    fn iteration_orders_match() {
+        let net = tiny();
+        let names: Vec<_> = net.iter().map(|l| l.name().to_owned()).collect();
+        assert_eq!(names, ["c1", "c2"]);
+        let names2: Vec<_> = (&net).into_iter().map(|l| l.name()).collect();
+        assert_eq!(names2, ["c1", "c2"]);
+    }
+
+    #[test]
+    fn display_mentions_layer_count() {
+        assert!(tiny().to_string().contains("2 conv layers"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Hand-coded layer specifications of the paper's four evaluation
+//! networks.
+//!
+//! The paper evaluates VGGNet-16, ResNet-50, SqueezeNet (v1.0) and
+//! YOLOv2 (§5). The authors' toolchain imports framework models; this
+//! reproduction hand-codes the convolution hyper-parameters from the
+//! original publications instead (see DESIGN.md §2). Only convolution
+//! layers are listed — pooling/activation layers do not run on the
+//! tiled-conv datapath and their shape effects are folded into the
+//! conv extents.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexer_model::networks;
+//!
+//! for net in networks::all() {
+//!     assert!(net.total_macs() > 0);
+//! }
+//! ```
+
+mod resnet;
+mod squeezenet;
+mod vgg;
+mod yolo;
+
+pub use resnet::resnet50;
+pub use squeezenet::squeezenet;
+pub use vgg::vgg16;
+pub use yolo::yolov2;
+
+use crate::network::Network;
+
+/// All four evaluation networks, in the paper's order.
+///
+/// # Examples
+///
+/// ```
+/// let names: Vec<_> = flexer_model::networks::all()
+///     .iter()
+///     .map(|n| n.name().to_owned())
+///     .collect();
+/// assert_eq!(names, ["vgg16", "resnet50", "squeezenet", "yolov2"]);
+/// ```
+#[must_use]
+pub fn all() -> Vec<Network> {
+    vec![vgg16(), resnet50(), squeezenet(), yolov2()]
+}
+
+/// Looks up an evaluation network by name.
+///
+/// # Examples
+///
+/// ```
+/// assert!(flexer_model::networks::by_name("resnet50").is_some());
+/// assert!(flexer_model::networks::by_name("alexnet").is_none());
+/// ```
+#[must_use]
+pub fn by_name(name: &str) -> Option<Network> {
+    match name {
+        "vgg16" => Some(vgg16()),
+        "resnet50" => Some(resnet50()),
+        "squeezenet" => Some(squeezenet()),
+        "yolov2" => Some(yolov2()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_present() {
+        assert_eq!(all().len(), 4);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for net in all() {
+            let again = by_name(net.name()).unwrap();
+            assert_eq!(net, again);
+        }
+    }
+}

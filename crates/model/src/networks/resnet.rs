@@ -1,0 +1,182 @@
+//! ResNet-50 layer specifications (He et al., 2015).
+
+use crate::layer::{ConvLayer, ConvLayerBuilder};
+use crate::network::Network;
+
+fn conv(
+    name: String,
+    in_c: u32,
+    hw: u32,
+    out_c: u32,
+    kernel: u32,
+    stride: u32,
+    padding: u32,
+) -> ConvLayer {
+    ConvLayerBuilder::new(name, in_c, hw, hw, out_c)
+        .kernel(kernel, kernel)
+        .stride(stride)
+        .padding(padding)
+        .build()
+        .expect("static ResNet-50 spec is valid")
+}
+
+/// Parameters of one ResNet stage.
+struct Stage {
+    /// Stage index used in layer names (2-5).
+    index: u32,
+    /// Number of bottleneck blocks.
+    blocks: u32,
+    /// Bottleneck width (the 3x3 convolution's channel count).
+    width: u32,
+    /// Input channels of the stage's first block.
+    in_channels: u32,
+    /// Input spatial extent of the stage's first block.
+    in_hw: u32,
+}
+
+/// Builds the 53 convolution layers of ResNet-50 for a 224x224x3 input.
+///
+/// Bottleneck blocks follow the v1.5 convention (the stride-2
+/// convolution is the 3x3 in the first block of stages 3-5). Layer
+/// names follow the paper's `conv<stage>_<block>_<conv>` scheme (e.g.
+/// `conv3_1_1`, the layer analysed in Figure 10); projection shortcuts
+/// are named `conv<stage>_<block>_ds`.
+///
+/// # Examples
+///
+/// ```
+/// let net = flexer_model::networks::resnet50();
+/// assert_eq!(net.layers().len(), 53);
+/// let l = net.layer_by_name("conv3_1_1").unwrap();
+/// assert_eq!((l.in_channels(), l.out_channels()), (256, 128));
+/// ```
+#[must_use]
+pub fn resnet50() -> Network {
+    let mut layers = vec![conv("conv1".to_owned(), 3, 224, 64, 7, 2, 3)];
+
+    let stages = [
+        Stage { index: 2, blocks: 3, width: 64, in_channels: 64, in_hw: 56 },
+        Stage { index: 3, blocks: 4, width: 128, in_channels: 256, in_hw: 56 },
+        Stage { index: 4, blocks: 6, width: 256, in_channels: 512, in_hw: 28 },
+        Stage { index: 5, blocks: 3, width: 512, in_channels: 1024, in_hw: 14 },
+    ];
+
+    for stage in &stages {
+        let out_channels = stage.width * 4;
+        // Stage 2 keeps the 56x56 extent (the stem's max-pool already
+        // reduced it); stages 3-5 downsample in their first block.
+        let first_stride = if stage.index > 2 { 2 } else { 1 };
+        let out_hw = stage.in_hw / first_stride;
+        for block in 1..=stage.blocks {
+            let first = block == 1;
+            let stride = if first { first_stride } else { 1 };
+            let in_c = if first { stage.in_channels } else { out_channels };
+            let in_hw = if first { stage.in_hw } else { out_hw };
+            let base = format!("conv{}_{}", stage.index, block);
+            layers.push(conv(format!("{base}_1"), in_c, in_hw, stage.width, 1, 1, 0));
+            layers.push(conv(format!("{base}_2"), stage.width, in_hw, stage.width, 3, stride, 1));
+            layers.push(conv(format!("{base}_3"), stage.width, out_hw, out_channels, 1, 1, 0));
+            if first {
+                layers.push(conv(format!("{base}_ds"), in_c, in_hw, out_channels, 1, stride, 0));
+            }
+        }
+    }
+
+    Network::new("resnet50", layers).expect("static ResNet-50 spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_three_convs() {
+        assert_eq!(resnet50().layers().len(), 53);
+    }
+
+    #[test]
+    fn stem_is_strided_7x7() {
+        let net = resnet50();
+        let stem = net.layer_by_name("conv1").unwrap();
+        assert_eq!(stem.kernel_h(), 7);
+        assert_eq!(stem.stride(), 2);
+        assert_eq!(stem.out_height(), 112);
+    }
+
+    #[test]
+    fn figure10_layer_exists() {
+        let net = resnet50();
+        let l = net.layer_by_name("conv3_1_1").unwrap();
+        assert_eq!(l.in_channels(), 256);
+        assert_eq!(l.out_channels(), 128);
+        assert_eq!(l.in_height(), 56);
+    }
+
+    #[test]
+    fn downsample_blocks_present_once_per_stage() {
+        let net = resnet50();
+        let ds: Vec<_> = net
+            .layers()
+            .iter()
+            .filter(|l| l.name().ends_with("_ds"))
+            .map(|l| l.name().to_owned())
+            .collect();
+        assert_eq!(ds, ["conv2_1_ds", "conv3_1_ds", "conv4_1_ds", "conv5_1_ds"]);
+    }
+
+    #[test]
+    fn stage_extents() {
+        let net = resnet50();
+        // First block of each stage consumes the previous stage's extent.
+        assert_eq!(net.layer_by_name("conv2_1_1").unwrap().in_height(), 56);
+        assert_eq!(net.layer_by_name("conv3_1_1").unwrap().in_height(), 56);
+        assert_eq!(net.layer_by_name("conv4_1_1").unwrap().in_height(), 28);
+        assert_eq!(net.layer_by_name("conv5_1_1").unwrap().in_height(), 14);
+        // Later blocks run at the stage extent.
+        assert_eq!(net.layer_by_name("conv3_2_1").unwrap().in_height(), 28);
+        assert_eq!(net.layer_by_name("conv4_3_2").unwrap().in_height(), 14);
+        assert_eq!(net.layer_by_name("conv5_3_3").unwrap().in_height(), 7);
+    }
+
+    #[test]
+    fn bottleneck_channel_pattern() {
+        let net = resnet50();
+        // Second block of stage 4: 1024 -> 256 -> 256 -> 1024.
+        assert_eq!(net.layer_by_name("conv4_2_1").unwrap().in_channels(), 1024);
+        assert_eq!(net.layer_by_name("conv4_2_1").unwrap().out_channels(), 256);
+        assert_eq!(net.layer_by_name("conv4_2_2").unwrap().kernel_h(), 3);
+        assert_eq!(net.layer_by_name("conv4_2_3").unwrap().out_channels(), 1024);
+    }
+
+    #[test]
+    fn strided_convs_are_exactly_the_stage_transitions() {
+        let net = resnet50();
+        for l in net.layers() {
+            if l.name() == "conv1" {
+                continue;
+            }
+            let strided = l.stride() == 2;
+            let expected = matches!(
+                l.name(),
+                "conv3_1_2" | "conv4_1_2" | "conv5_1_2" | "conv3_1_ds" | "conv4_1_ds"
+                    | "conv5_1_ds"
+            );
+            assert_eq!(strided, expected, "layer {}", l.name());
+        }
+    }
+
+    #[test]
+    fn output_extent_matches_following_block() {
+        let net = resnet50();
+        // conv3_1_3 produces 28x28, which conv3_2_1 consumes.
+        assert_eq!(net.layer_by_name("conv3_1_3").unwrap().out_height(), 28);
+        assert_eq!(net.layer_by_name("conv3_2_1").unwrap().in_height(), 28);
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // ResNet-50 convolutions perform ~4 GMACs on 224x224 input.
+        let gmacs = resnet50().total_macs() as f64 / 1e9;
+        assert!((3.5..4.5).contains(&gmacs), "gmacs = {gmacs}");
+    }
+}

@@ -1,0 +1,121 @@
+//! SqueezeNet v1.0 layer specifications (Iandola et al., 2016).
+
+use crate::layer::{ConvLayer, ConvLayerBuilder};
+use crate::network::Network;
+
+fn conv1x1(name: String, in_c: u32, hw: u32, out_c: u32) -> ConvLayer {
+    ConvLayerBuilder::new(name, in_c, hw, hw, out_c)
+        .build()
+        .expect("static SqueezeNet spec is valid")
+}
+
+fn conv3x3(name: String, in_c: u32, hw: u32, out_c: u32) -> ConvLayer {
+    ConvLayerBuilder::new(name, in_c, hw, hw, out_c)
+        .kernel(3, 3)
+        .padding(1)
+        .build()
+        .expect("static SqueezeNet spec is valid")
+}
+
+/// Appends the three convolutions of one fire module: a 1x1 squeeze
+/// followed by parallel 1x1 and 3x3 expands.
+fn fire(layers: &mut Vec<ConvLayer>, index: u32, in_c: u32, hw: u32, squeeze: u32, expand: u32) {
+    layers.push(conv1x1(format!("fire{index}_squeeze"), in_c, hw, squeeze));
+    layers.push(conv1x1(format!("fire{index}_expand1x1"), squeeze, hw, expand));
+    layers.push(conv3x3(format!("fire{index}_expand3x3"), squeeze, hw, expand));
+}
+
+/// Builds the 26 convolution layers of SqueezeNet v1.0 for a 224x224x3
+/// input.
+///
+/// Structure: a 7x7 stride-2 stem, eight fire modules (each a 1x1
+/// squeeze plus 1x1/3x3 expands) with ceil-mode 3x3 stride-2 max-pools
+/// after the stem, fire4 and fire8, and a final 1x1 classifier
+/// convolution.
+///
+/// # Examples
+///
+/// ```
+/// let net = flexer_model::networks::squeezenet();
+/// assert_eq!(net.layers().len(), 26);
+/// assert!(net.layer_by_name("fire5_expand3x3").is_some());
+/// ```
+#[must_use]
+pub fn squeezenet() -> Network {
+    let mut layers = Vec::with_capacity(26);
+    // conv1: 224 -> 109 (7x7, stride 2, no padding), max-pool -> 54.
+    layers.push(
+        ConvLayerBuilder::new("conv1", 3, 224, 224, 96)
+            .kernel(7, 7)
+            .stride(2)
+            .build()
+            .expect("static SqueezeNet spec is valid"),
+    );
+    // fire2-4 at 54x54; max-pool (ceil) -> 27.
+    fire(&mut layers, 2, 96, 54, 16, 64);
+    fire(&mut layers, 3, 128, 54, 16, 64);
+    fire(&mut layers, 4, 128, 54, 32, 128);
+    // fire5-8 at 27x27; max-pool (ceil) -> 13.
+    fire(&mut layers, 5, 256, 27, 32, 128);
+    fire(&mut layers, 6, 256, 27, 48, 192);
+    fire(&mut layers, 7, 384, 27, 48, 192);
+    fire(&mut layers, 8, 384, 27, 64, 256);
+    // fire9 at 13x13, then the 1x1 classifier conv.
+    fire(&mut layers, 9, 512, 13, 64, 256);
+    layers.push(conv1x1("conv10".to_owned(), 512, 13, 1000));
+
+    Network::new("squeezenet", layers).expect("static SqueezeNet spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_six_convs() {
+        assert_eq!(squeezenet().layers().len(), 26);
+    }
+
+    #[test]
+    fn eight_fire_modules() {
+        let net = squeezenet();
+        let squeezes = net
+            .layers()
+            .iter()
+            .filter(|l| l.name().ends_with("_squeeze"))
+            .count();
+        assert_eq!(squeezes, 8);
+    }
+
+    #[test]
+    fn fire_expand_channels_concatenate() {
+        let net = squeezenet();
+        // fire4 expands to 128+128=256 channels, which fire5 consumes.
+        assert_eq!(net.layer_by_name("fire4_expand1x1").unwrap().out_channels(), 128);
+        assert_eq!(net.layer_by_name("fire4_expand3x3").unwrap().out_channels(), 128);
+        assert_eq!(net.layer_by_name("fire5_squeeze").unwrap().in_channels(), 256);
+    }
+
+    #[test]
+    fn pool_stages() {
+        let net = squeezenet();
+        assert_eq!(net.layer_by_name("fire2_squeeze").unwrap().in_height(), 54);
+        assert_eq!(net.layer_by_name("fire5_squeeze").unwrap().in_height(), 27);
+        assert_eq!(net.layer_by_name("fire9_squeeze").unwrap().in_height(), 13);
+    }
+
+    #[test]
+    fn stem_output_extent() {
+        let stem = squeezenet();
+        let conv1 = stem.layer_by_name("conv1").unwrap();
+        assert_eq!(conv1.out_height(), 109);
+    }
+
+    #[test]
+    fn classifier_is_wide_pointwise() {
+        let net = squeezenet();
+        let conv10 = net.layer_by_name("conv10").unwrap();
+        assert_eq!(conv10.kernel_h(), 1);
+        assert_eq!(conv10.out_channels(), 1000);
+    }
+}

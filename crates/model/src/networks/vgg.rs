@@ -1,0 +1,89 @@
+//! VGGNet-16 layer specifications (Simonyan & Zisserman, 2014).
+
+use crate::layer::ConvLayer;
+use crate::network::Network;
+
+/// Builds the 13 convolution layers of VGG-16 (configuration D) for a
+/// 224x224x3 input.
+///
+/// All convolutions are 3x3, stride 1, padding 1; 2x2 max-pooling
+/// between stages halves the spatial extents.
+///
+/// # Examples
+///
+/// ```
+/// let net = flexer_model::networks::vgg16();
+/// assert_eq!(net.layers().len(), 13);
+/// // VGG-16 convs perform ~15.3 GMACs on a 224x224 input.
+/// let gmacs = net.total_macs() as f64 / 1e9;
+/// assert!((15.0..16.0).contains(&gmacs), "gmacs = {gmacs}");
+/// ```
+#[must_use]
+pub fn vgg16() -> Network {
+    let same = |name: &str, c: u32, hw: u32, k: u32| {
+        ConvLayer::new(name, c, hw, hw, k).expect("static VGG-16 spec is valid")
+    };
+    let layers = vec![
+        same("conv1_1", 3, 224, 64),
+        same("conv1_2", 64, 224, 64),
+        same("conv2_1", 64, 112, 128),
+        same("conv2_2", 128, 112, 128),
+        same("conv3_1", 128, 56, 256),
+        same("conv3_2", 256, 56, 256),
+        same("conv3_3", 256, 56, 256),
+        same("conv4_1", 256, 28, 512),
+        same("conv4_2", 512, 28, 512),
+        same("conv4_3", 512, 28, 512),
+        same("conv5_1", 512, 14, 512),
+        same("conv5_2", 512, 14, 512),
+        same("conv5_3", 512, 14, 512),
+    ];
+    Network::new("vgg16", layers).expect("static VGG-16 spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::ElementSize;
+
+    #[test]
+    fn thirteen_convs() {
+        assert_eq!(vgg16().layers().len(), 13);
+    }
+
+    #[test]
+    fn stage_extents_halve() {
+        let net = vgg16();
+        let heights: Vec<u32> = ["conv1_1", "conv2_1", "conv3_1", "conv4_1", "conv5_1"]
+            .iter()
+            .map(|n| net.layer_by_name(n).unwrap().in_height())
+            .collect();
+        assert_eq!(heights, [224, 112, 56, 28, 14]);
+    }
+
+    #[test]
+    fn all_same_convs() {
+        for l in vgg16().layers() {
+            assert_eq!(l.kernel_h(), 3);
+            assert_eq!(l.stride(), 1);
+            assert_eq!(l.padding(), 1);
+            assert_eq!(l.out_height(), l.in_height());
+        }
+    }
+
+    #[test]
+    fn conv_weight_total_matches_reference() {
+        // VGG-16 conv weights: ~14.71 M parameters.
+        let params = vgg16().total_weight_bytes(ElementSize::Int8);
+        assert_eq!(params, 14_710_464);
+    }
+
+    #[test]
+    fn conv4_2_is_the_figure10_layer() {
+        let net = vgg16();
+        let l = net.layer_by_name("conv4_2").unwrap();
+        assert_eq!(l.in_channels(), 512);
+        assert_eq!(l.in_height(), 28);
+        assert_eq!(l.out_channels(), 512);
+    }
+}

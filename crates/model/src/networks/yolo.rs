@@ -1,0 +1,112 @@
+//! YOLOv2 layer specifications (Redmon & Farhadi, 2016).
+
+use crate::layer::{ConvLayer, ConvLayerBuilder};
+use crate::network::Network;
+
+fn conv3x3(name: &str, in_c: u32, hw: u32, out_c: u32) -> ConvLayer {
+    ConvLayerBuilder::new(name, in_c, hw, hw, out_c)
+        .kernel(3, 3)
+        .padding(1)
+        .build()
+        .expect("static YOLOv2 spec is valid")
+}
+
+fn conv1x1(name: &str, in_c: u32, hw: u32, out_c: u32) -> ConvLayer {
+    ConvLayerBuilder::new(name, in_c, hw, hw, out_c)
+        .build()
+        .expect("static YOLOv2 spec is valid")
+}
+
+/// Builds the 23 convolution layers of YOLOv2 for a 416x416x3 input:
+/// the Darknet-19 backbone (18 convs up to `conv18`) plus the detection
+/// head (`conv19`-`conv20`, the 1x1 pass-through projection `conv21`,
+/// the fused `conv22` and the 425-channel prediction layer `conv23`).
+///
+/// Max-pools between backbone stages halve the extents
+/// (416 -> 208 -> 104 -> 52 -> 26 -> 13). The pass-through
+/// concatenation (26x26x512 reorganized to 13x13x256) is folded into
+/// `conv22`'s 1280 input channels.
+///
+/// # Examples
+///
+/// ```
+/// let net = flexer_model::networks::yolov2();
+/// assert_eq!(net.layers().len(), 23);
+/// assert_eq!(net.layer_by_name("conv23").unwrap().out_channels(), 425);
+/// ```
+#[must_use]
+pub fn yolov2() -> Network {
+    let layers = vec![
+        conv3x3("conv1", 3, 416, 32),
+        conv3x3("conv2", 32, 208, 64),
+        conv3x3("conv3", 64, 104, 128),
+        conv1x1("conv4", 128, 104, 64),
+        conv3x3("conv5", 64, 104, 128),
+        conv3x3("conv6", 128, 52, 256),
+        conv1x1("conv7", 256, 52, 128),
+        conv3x3("conv8", 128, 52, 256),
+        conv3x3("conv9", 256, 26, 512),
+        conv1x1("conv10", 512, 26, 256),
+        conv3x3("conv11", 256, 26, 512),
+        conv1x1("conv12", 512, 26, 256),
+        conv3x3("conv13", 256, 26, 512),
+        conv3x3("conv14", 512, 13, 1024),
+        conv1x1("conv15", 1024, 13, 512),
+        conv3x3("conv16", 512, 13, 1024),
+        conv1x1("conv17", 1024, 13, 512),
+        conv3x3("conv18", 512, 13, 1024),
+        // Detection head.
+        conv3x3("conv19", 1024, 13, 1024),
+        conv3x3("conv20", 1024, 13, 1024),
+        conv1x1("conv21", 512, 26, 64),
+        conv3x3("conv22", 1280, 13, 1024),
+        conv1x1("conv23", 1024, 13, 425),
+    ];
+    Network::new("yolov2", layers).expect("static YOLOv2 spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_three_convs() {
+        assert_eq!(yolov2().layers().len(), 23);
+    }
+
+    #[test]
+    fn backbone_extent_pyramid() {
+        let net = yolov2();
+        let extents: Vec<u32> = ["conv1", "conv2", "conv3", "conv6", "conv9", "conv14"]
+            .iter()
+            .map(|n| net.layer_by_name(n).unwrap().in_height())
+            .collect();
+        assert_eq!(extents, [416, 208, 104, 52, 26, 13]);
+    }
+
+    #[test]
+    fn bottleneck_pattern_alternates() {
+        let net = yolov2();
+        // Darknet-19 alternates 3x3 expansion and 1x1 compression.
+        assert_eq!(net.layer_by_name("conv4").unwrap().kernel_h(), 1);
+        assert_eq!(net.layer_by_name("conv5").unwrap().kernel_h(), 3);
+        assert_eq!(net.layer_by_name("conv15").unwrap().out_channels(), 512);
+    }
+
+    #[test]
+    fn passthrough_projection() {
+        let net = yolov2();
+        let pt = net.layer_by_name("conv21").unwrap();
+        assert_eq!(pt.in_height(), 26);
+        assert_eq!(pt.out_channels(), 64);
+        // Fused layer consumes 1024 + 256 reorganized channels.
+        assert_eq!(net.layer_by_name("conv22").unwrap().in_channels(), 1280);
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // YOLOv2 at 416x416 performs ~14.6 GMACs.
+        let gmacs = yolov2().total_macs() as f64 / 1e9;
+        assert!((13.0..16.5).contains(&gmacs), "gmacs = {gmacs}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Workload down-scaling for fast experiments.
+
+use crate::layer::{ConvLayer, ConvLayerBuilder};
+use crate::network::Network;
+
+/// Returns a copy of `network` with every layer's spatial extents
+/// divided by `divisor` (rounded up, clamped so the kernel still fits).
+///
+/// The paper's full search takes ~20 hours per network; the scaled
+/// variants keep the channel structure (which drives tiling and reuse
+/// behaviour) while shrinking the spatial iteration space, so quick
+/// runs of the experiment harness finish in minutes. Full-size runs use
+/// `divisor = 1`. Channel counts, kernels, strides and paddings are
+/// untouched; layers are scheduled independently, so the (intentionally
+/// broken) inter-layer tensor chaining is irrelevant to the scheduler.
+///
+/// # Panics
+///
+/// Panics if `divisor` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_model::{networks, scale_spatial};
+///
+/// let full = networks::vgg16();
+/// let quick = scale_spatial(&full, 4);
+/// assert_eq!(quick.layers().len(), full.layers().len());
+/// assert_eq!(quick.layers()[0].in_height(), 56); // 224 / 4
+/// ```
+#[must_use]
+pub fn scale_spatial(network: &Network, divisor: u32) -> Network {
+    assert!(divisor > 0, "divisor must be positive");
+    if divisor == 1 {
+        return network.clone();
+    }
+    let layers: Vec<ConvLayer> = network
+        .layers()
+        .iter()
+        .map(|l| {
+            // Keep the input large enough for one kernel application and
+            // at least one full stride step so strided layers remain
+            // meaningful after scaling.
+            let min_h = (l.kernel_h() + l.stride()).saturating_sub(2 * l.padding()).max(1);
+            let min_w = (l.kernel_w() + l.stride()).saturating_sub(2 * l.padding()).max(1);
+            let h = l.in_height().div_ceil(divisor).max(min_h);
+            let w = l.in_width().div_ceil(divisor).max(min_w);
+            ConvLayerBuilder::new(l.name(), l.in_channels(), h, w, l.out_channels())
+                .kernel(l.kernel_h(), l.kernel_w())
+                .stride(l.stride())
+                .padding(l.padding())
+                .build()
+                .expect("scaling preserves validity")
+        })
+        .collect();
+    Network::new(format!("{}/{}", network.name(), divisor), layers)
+        .expect("scaling preserves layer names")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::networks;
+
+    #[test]
+    fn identity_scale_is_clone() {
+        let net = networks::vgg16();
+        let same = scale_spatial(&net, 1);
+        assert_eq!(net, same);
+    }
+
+    #[test]
+    fn scale_divides_spatial_extents() {
+        let net = networks::vgg16();
+        let s = scale_spatial(&net, 2);
+        for (a, b) in net.layers().iter().zip(s.layers()) {
+            assert_eq!(b.in_height(), a.in_height().div_ceil(2).max(1));
+            assert_eq!(a.in_channels(), b.in_channels());
+            assert_eq!(a.out_channels(), b.out_channels());
+        }
+    }
+
+    #[test]
+    fn extreme_scale_keeps_layers_valid() {
+        for net in [
+            networks::vgg16(),
+            networks::resnet50(),
+            networks::squeezenet(),
+            networks::yolov2(),
+        ] {
+            let s = scale_spatial(&net, 1000);
+            for l in s.layers() {
+                assert!(l.out_height() >= 1);
+                assert!(l.out_width() >= 1);
+                assert!(l.macs() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_name_records_divisor() {
+        let s = scale_spatial(&networks::vgg16(), 4);
+        assert_eq!(s.name(), "vgg16/4");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor must be positive")]
+    fn zero_divisor_panics() {
+        let _ = scale_spatial(&networks::vgg16(), 0);
+    }
+}

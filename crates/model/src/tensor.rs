@@ -1,0 +1,175 @@
+//! Tensor shapes and element sizes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size in bytes of a single tensor element.
+///
+/// The accelerators the paper evaluates run integer inference; the
+/// element size only matters to the scheduler through the byte sizes of
+/// data tiles, so a plain per-element byte width suffices.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_model::ElementSize;
+///
+/// assert_eq!(ElementSize::Int8.bytes(), 1);
+/// assert_eq!(ElementSize::Fp16.bytes(), 2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ElementSize {
+    /// 8-bit quantized elements (1 byte). The default for the paper's
+    /// embedded NPU setting.
+    #[default]
+    Int8,
+    /// 16-bit half-precision elements (2 bytes).
+    Fp16,
+    /// 32-bit single-precision elements (4 bytes).
+    Fp32,
+}
+
+impl ElementSize {
+    /// Number of bytes occupied by one element.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            ElementSize::Int8 => 1,
+            ElementSize::Fp16 => 2,
+            ElementSize::Fp32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for ElementSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElementSize::Int8 => write!(f, "int8"),
+            ElementSize::Fp16 => write!(f, "fp16"),
+            ElementSize::Fp32 => write!(f, "fp32"),
+        }
+    }
+}
+
+/// A three-dimensional `channels x height x width` tensor shape.
+///
+/// Used for activation tensors (layer inputs and outputs). Weight
+/// tensors are four-dimensional and are described directly by their
+/// owning [`crate::ConvLayer`].
+///
+/// # Examples
+///
+/// ```
+/// use flexer_model::{ElementSize, TensorShape};
+///
+/// let shape = TensorShape::new(64, 112, 112);
+/// assert_eq!(shape.elements(), 64 * 112 * 112);
+/// assert_eq!(shape.bytes(ElementSize::Fp16), 2 * 64 * 112 * 112);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    channels: u32,
+    height: u32,
+    width: u32,
+}
+
+impl TensorShape {
+    /// Creates a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; a zero-sized tensor is never a
+    /// meaningful workload description.
+    #[must_use]
+    pub fn new(channels: u32, height: u32, width: u32) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dimensions must be positive: {channels}x{height}x{width}"
+        );
+        Self {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Channel count.
+    #[must_use]
+    pub const fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Spatial height.
+    #[must_use]
+    pub const fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Spatial width.
+    #[must_use]
+    pub const fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub const fn elements(&self) -> u64 {
+        self.channels as u64 * self.height as u64 * self.width as u64
+    }
+
+    /// Total byte size for the given element width.
+    #[must_use]
+    pub const fn bytes(&self, elem: ElementSize) -> u64 {
+        self.elements() * elem.bytes()
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(ElementSize::Int8.bytes(), 1);
+        assert_eq!(ElementSize::Fp16.bytes(), 2);
+        assert_eq!(ElementSize::Fp32.bytes(), 4);
+        assert_eq!(ElementSize::default(), ElementSize::Int8);
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let s = TensorShape::new(3, 224, 224);
+        assert_eq!(s.channels(), 3);
+        assert_eq!(s.height(), 224);
+        assert_eq!(s.width(), 224);
+        assert_eq!(s.elements(), 3 * 224 * 224);
+        assert_eq!(s.bytes(ElementSize::Fp32), 4 * 3 * 224 * 224);
+    }
+
+    #[test]
+    fn shape_display() {
+        assert_eq!(TensorShape::new(64, 56, 56).to_string(), "64x56x56");
+        assert_eq!(ElementSize::Int8.to_string(), "int8");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = TensorShape::new(0, 1, 1);
+    }
+
+    #[test]
+    fn shape_no_overflow_for_large_tensors() {
+        // u32::MAX channels with large spatial dims stays within u64.
+        let s = TensorShape::new(u32::MAX, 1024, 1024);
+        assert!(s.elements() > u64::from(u32::MAX));
+    }
+}

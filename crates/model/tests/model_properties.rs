@@ -1,0 +1,77 @@
+//! Property-based tests of the workload model.
+
+use flexer_model::{scale_spatial, ConvLayer, ConvLayerBuilder, ElementSize, Network};
+use proptest::prelude::*;
+
+fn layer_strategy() -> impl Strategy<Value = ConvLayer> {
+    (
+        1u32..512,
+        3u32..224,
+        1u32..512,
+        prop_oneof![Just((1u32, 0u32)), Just((3, 1)), Just((5, 2)), Just((7, 3))],
+        1u32..=2,
+    )
+        .prop_map(|(c, hw, k, (kern, pad), stride)| {
+            ConvLayerBuilder::new("l", c, hw, hw, k)
+                .kernel(kern, kern)
+                .stride(stride)
+                .padding(pad)
+                .build()
+                .expect("generated layers are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MACs factor exactly as K*C*OH*OW*R*S.
+    #[test]
+    fn macs_match_closed_form(layer in layer_strategy()) {
+        let expect = u64::from(layer.out_channels())
+            * u64::from(layer.in_channels())
+            * u64::from(layer.out_height())
+            * u64::from(layer.out_width())
+            * u64::from(layer.kernel_h())
+            * u64::from(layer.kernel_w());
+        prop_assert_eq!(layer.macs(), expect);
+    }
+
+    /// Output extents are consistent with the convolution arithmetic:
+    /// every output position reads a window fully inside the padded
+    /// input.
+    #[test]
+    fn output_extent_is_maximal(layer in layer_strategy()) {
+        let padded = u64::from(layer.in_height()) + 2 * u64::from(layer.padding());
+        let last_start = u64::from(layer.out_height() - 1) * u64::from(layer.stride());
+        prop_assert!(last_start + u64::from(layer.kernel_h()) <= padded);
+        // One more output row would not fit.
+        let next = last_start + u64::from(layer.stride());
+        prop_assert!(next + u64::from(layer.kernel_h()) > padded);
+    }
+
+    /// Byte sizes scale linearly with the element width.
+    #[test]
+    fn byte_sizes_scale_with_element_width(layer in layer_strategy()) {
+        for (a, b, factor) in [
+            (ElementSize::Int8, ElementSize::Fp16, 2u64),
+            (ElementSize::Int8, ElementSize::Fp32, 4u64),
+        ] {
+            prop_assert_eq!(layer.input_bytes(b), layer.input_bytes(a) * factor);
+            prop_assert_eq!(layer.weight_bytes(b), layer.weight_bytes(a) * factor);
+            prop_assert_eq!(layer.output_bytes(b), layer.output_bytes(a) * factor);
+        }
+    }
+
+    /// Scaling a network keeps every layer valid and never grows it.
+    #[test]
+    fn scaling_shrinks_monotonically(layer in layer_strategy(), divisor in 1u32..16) {
+        let net = Network::new("n", vec![layer.clone()]).unwrap();
+        let scaled = scale_spatial(&net, divisor);
+        let s = &scaled.layers()[0];
+        prop_assert!(s.in_height() <= layer.in_height().max(s.in_height()));
+        prop_assert!(s.macs() <= layer.macs());
+        prop_assert!(s.out_height() >= 1);
+        prop_assert_eq!(s.in_channels(), layer.in_channels());
+        prop_assert_eq!(s.out_channels(), layer.out_channels());
+    }
+}

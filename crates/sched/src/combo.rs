@@ -1,0 +1,361 @@
+//! Operation-set generation and dataflow-map pruning (§4.2).
+
+use flexer_spm::SpmMemory;
+use flexer_tiling::{Dfg, OpId, TileKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// The dataflow classification of one operation set (paper Figure 7's
+/// *dataflow map*): for each data type, the multiset of intra-set
+/// sharing degrees of the *reused* (already on-chip) and *new* tiles
+/// it touches.
+///
+/// Two sets with equal classes move the same number and type of tiles
+/// with the same sharing structure, so they are duplicates for the
+/// priority function; only one representative is evaluated.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+/// use flexer_model::ConvLayer;
+/// use flexer_sched::dataflow_class;
+/// use flexer_spm::SpmMemory;
+/// use flexer_tiling::{Dataflow, Dfg, OpId, TilingFactors};
+///
+/// let arch = ArchConfig::preset(ArchPreset::Arch1);
+/// let layer = ConvLayer::new("c", 16, 8, 8, 16)?;
+/// let factors = TilingFactors::normalized(&layer, 4, 1, 2, 1);
+/// let dfg = Dfg::build(&layer, factors, Dataflow::Csk, &SystolicModel::new(&arch), &arch)?;
+/// let spm = SpmMemory::new(arch.spm_bytes());
+///
+/// // (k=0,s=0) with (k=1,s=0) shares the input tile; so does
+/// // (k=2,s=0) with (k=3,s=0): identical dataflow class.
+/// let a = dataflow_class(&dfg, &spm, &[OpId::new(0), OpId::new(1)]);
+/// let b = dataflow_class(&dfg, &spm, &[OpId::new(2), OpId::new(3)]);
+/// assert_eq!(a, b);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DataflowClass(Vec<u8>);
+
+/// Computes the [`DataflowClass`] of `ops` given the current residency
+/// state of `spm`.
+#[must_use]
+pub fn dataflow_class(dfg: &Dfg, spm: &SpmMemory, ops: &[OpId]) -> DataflowClass {
+    // Sharing degree of every distinct tile the set references.
+    let mut degrees: BTreeMap<flexer_tiling::TileId, u8> = BTreeMap::new();
+    for &id in ops {
+        for tile in dfg.op(id).operands() {
+            *degrees.entry(tile).or_default() += 1;
+        }
+    }
+    // Bucket by (kind, reused/new), keeping degree multisets sorted.
+    let kind_index = |k: TileKind| match k {
+        TileKind::Input => 0usize,
+        TileKind::Weight => 1,
+        TileKind::Output => 2,
+    };
+    let mut buckets: [[Vec<u8>; 2]; 3] = Default::default();
+    for (tile, degree) in degrees {
+        let reused = usize::from(!spm.contains(tile));
+        buckets[kind_index(tile.kind())][reused].push(degree);
+    }
+    // Canonical encoding: per bucket its sorted degrees behind a
+    // length byte.
+    let mut encoding = Vec::with_capacity(16);
+    for kind in &mut buckets {
+        for bucket in kind {
+            bucket.sort_unstable();
+            encoding.push(bucket.len() as u8);
+            encoding.extend_from_slice(bucket);
+        }
+    }
+    DataflowClass(encoding)
+}
+
+/// Budgets for operation-set generation.
+///
+/// The paper enumerates every `C(ready, cores)` combination and prunes
+/// duplicates afterwards (§4.2); with 100 ready operations and 4 cores
+/// that is ~3.9M sets per step, which is why the authors' scheduler
+/// needs ~20 hours per network. These budgets bound the enumeration
+/// while preserving its structure; the defaults examine every
+/// combination of the 16 most reuse-friendly ready operations.
+///
+/// # Examples
+///
+/// ```
+/// let opts = flexer_sched::ComboOptions {
+///     width_cap: 8,
+///     ..Default::default()
+/// };
+/// assert_eq!(opts.width_cap, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComboOptions {
+    /// Ready operations considered for combination (most resident
+    /// operand bytes first, op id on ties).
+    pub width_cap: usize,
+    /// Maximum combinations examined per scheduling step.
+    pub max_combos: usize,
+    /// Maximum distinct (post-pruning) sets returned per step.
+    pub max_sets: usize,
+    /// Whether dataflow-map pruning is applied (§4.2). Disabling it
+    /// returns every examined combination — the ablation knob.
+    pub prune: bool,
+}
+
+impl Default for ComboOptions {
+    fn default() -> Self {
+        Self {
+            width_cap: 16,
+            max_combos: 4096,
+            max_sets: 64,
+            prune: true,
+        }
+    }
+}
+
+/// Generates candidate operation sets of exactly `set_size` operations
+/// from the ready queue (paper Algorithm 1, line 19 `MakeCombination`
+/// plus the §4.2 pruning).
+///
+/// `ready` must be sorted by op id. Returned sets are sorted
+/// internally and appear in deterministic order. When pruning is on,
+/// at most one representative per [`DataflowClass`] is returned.
+///
+/// # Panics
+///
+/// Panics if `set_size` is zero or exceeds `ready.len()`.
+#[must_use]
+pub fn generate_sets(
+    dfg: &Dfg,
+    spm: &SpmMemory,
+    ready: &[OpId],
+    set_size: usize,
+    options: &ComboOptions,
+) -> Vec<Vec<OpId>> {
+    assert!(set_size > 0, "set size must be positive");
+    assert!(
+        set_size <= ready.len(),
+        "set size {set_size} exceeds ready count {}",
+        ready.len()
+    );
+    debug_assert!(ready.windows(2).all(|w| w[0] < w[1]), "ready must be sorted");
+
+    // Rank candidates: reuse-friendly first (most resident operand
+    // bytes), op id as the deterministic tie-break.
+    let mut candidates: Vec<OpId> = ready.to_vec();
+    let resident_bytes = |id: OpId| -> u64 {
+        dfg.op(id)
+            .operands()
+            .filter(|&t| spm.contains(t))
+            .map(|t| dfg.tile_bytes(t))
+            .sum()
+    };
+    candidates.sort_by_key(|&id| (std::cmp::Reverse(resident_bytes(id)), id));
+    candidates.truncate(options.width_cap.max(set_size));
+
+    let mut kept: Vec<Vec<OpId>> = Vec::new();
+    let mut seen: HashSet<DataflowClass> = HashSet::new();
+    let mut examined = 0usize;
+
+    // Lexicographic k-combination enumeration over candidate indices.
+    let n = candidates.len();
+    let mut idx: Vec<usize> = (0..set_size).collect();
+    loop {
+        examined += 1;
+        let mut set: Vec<OpId> = idx.iter().map(|&i| candidates[i]).collect();
+        set.sort_unstable();
+        if options.prune {
+            let class = dataflow_class(dfg, spm, &set);
+            if seen.insert(class) {
+                kept.push(set);
+            }
+        } else {
+            kept.push(set);
+        }
+        if kept.len() >= options.max_sets || examined >= options.max_combos {
+            break;
+        }
+        // Advance the combination.
+        let mut i = set_size;
+        loop {
+            if i == 0 {
+                return kept;
+            }
+            i -= 1;
+            if idx[i] != i + n - set_size {
+                break;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..set_size {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+    use flexer_model::ConvLayer;
+    use flexer_spm::FlexerSpill;
+    use flexer_tiling::{Dataflow, TilingFactors};
+
+    fn fixture(k: u32, c: u32, h: u32) -> (Dfg, SpmMemory) {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let layer = ConvLayer::new("c", 16, 8, 8, 16).unwrap();
+        let factors = TilingFactors::normalized(&layer, k, c, h, 1);
+        let dfg = Dfg::build(
+            &layer,
+            factors,
+            Dataflow::Csk,
+            &SystolicModel::new(&arch),
+            &arch,
+        )
+        .unwrap();
+        (dfg, SpmMemory::new(arch.spm_bytes()))
+    }
+
+    #[test]
+    fn class_distinguishes_sharing_structure() {
+        let (dfg, spm) = fixture(4, 1, 2);
+        // All ops ready (c=1). Ops (k,s): id order CSK = s middle, k inner.
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        assert_eq!(ready.len(), 8);
+        // Two ops sharing an input (same s) vs two sharing nothing.
+        let sharing = dataflow_class(&dfg, &spm, &[ready[0], ready[1]]);
+        let disjoint = dataflow_class(&dfg, &spm, &[ready[0], ready[5]]);
+        assert_ne!(sharing, disjoint);
+    }
+
+    #[test]
+    fn class_depends_on_residency() {
+        let (dfg, mut spm) = fixture(4, 1, 2);
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        let cold = dataflow_class(&dfg, &spm, &[ready[0], ready[1]]);
+        let t = dfg.op(ready[0]).input();
+        spm.allocate(t, dfg.tile_bytes(t), 1, &FlexerSpill).unwrap();
+        let warm = dataflow_class(&dfg, &spm, &[ready[0], ready[1]]);
+        assert_ne!(cold, warm);
+    }
+
+    #[test]
+    fn class_ignores_operation_identity() {
+        let (dfg, spm) = fixture(4, 1, 2);
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        // (k0,s0)+(k1,s0) vs (k2,s1)+(k3,s1): same structure.
+        let a = dataflow_class(&dfg, &spm, &[ready[0], ready[1]]);
+        let ops_s1: Vec<OpId> = ready
+            .iter()
+            .copied()
+            .filter(|&id| dfg.op(id).s() == 1)
+            .take(2)
+            .collect();
+        let b = dataflow_class(&dfg, &spm, &ops_s1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pruning_collapses_duplicates() {
+        let (dfg, spm) = fixture(4, 1, 2);
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        let pruned = generate_sets(&dfg, &spm, &ready, 2, &ComboOptions::default());
+        let unpruned = generate_sets(
+            &dfg,
+            &spm,
+            &ready,
+            2,
+            &ComboOptions {
+                prune: false,
+                ..Default::default()
+            },
+        );
+        // C(8,2) = 28 total combos, far fewer distinct classes.
+        assert_eq!(unpruned.len(), 28);
+        assert!(pruned.len() < unpruned.len(), "{}", pruned.len());
+        // Each kept set keeps a unique class.
+        let classes: HashSet<_> = pruned
+            .iter()
+            .map(|s| dataflow_class(&dfg, &spm, s))
+            .collect();
+        assert_eq!(classes.len(), pruned.len());
+    }
+
+    #[test]
+    fn budgets_are_respected() {
+        let (dfg, spm) = fixture(4, 1, 2);
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        let opts = ComboOptions {
+            max_sets: 3,
+            prune: false,
+            ..Default::default()
+        };
+        assert_eq!(generate_sets(&dfg, &spm, &ready, 2, &opts).len(), 3);
+        let opts = ComboOptions {
+            max_combos: 5,
+            prune: false,
+            ..Default::default()
+        };
+        assert_eq!(generate_sets(&dfg, &spm, &ready, 2, &opts).len(), 5);
+    }
+
+    #[test]
+    fn width_cap_limits_candidates() {
+        let (dfg, spm) = fixture(4, 1, 2);
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        let opts = ComboOptions {
+            width_cap: 3,
+            prune: false,
+            max_combos: 10_000,
+            max_sets: 10_000,
+        };
+        // C(3,2) = 3 combos.
+        assert_eq!(generate_sets(&dfg, &spm, &ready, 2, &opts).len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (dfg, spm) = fixture(4, 2, 2);
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        let a = generate_sets(&dfg, &spm, &ready, 2, &ComboOptions::default());
+        let b = generate_sets(&dfg, &spm, &ready, 2, &ComboOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_op_sets() {
+        let (dfg, spm) = fixture(2, 1, 1);
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        let sets = generate_sets(&dfg, &spm, &ready, 1, &ComboOptions::default());
+        assert!(!sets.is_empty());
+        for s in &sets {
+            assert_eq!(s.len(), 1);
+        }
+    }
+
+    #[test]
+    fn resident_operands_rank_ops_first() {
+        let (dfg, mut spm) = fixture(4, 1, 2);
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        // Make the *last* op's weight resident; it should appear in the
+        // first generated set.
+        let last = *ready.last().unwrap();
+        let t = dfg.op(last).weight();
+        spm.allocate(t, dfg.tile_bytes(t), 1, &FlexerSpill).unwrap();
+        let sets = generate_sets(&dfg, &spm, &ready, 2, &ComboOptions::default());
+        assert!(sets[0].contains(&last), "{:?}", sets[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "set size must be positive")]
+    fn zero_set_size_panics() {
+        let (dfg, spm) = fixture(2, 1, 1);
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        let _ = generate_sets(&dfg, &spm, &ready, 0, &ComboOptions::default());
+    }
+}

@@ -1,0 +1,94 @@
+//! Scheduler error types.
+
+use flexer_spm::AllocError;
+use flexer_tiling::TilingError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the schedulers and the search driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// No tiling of the layer fits the target architecture under the
+    /// given options.
+    NoViableTiling {
+        /// The layer that could not be tiled.
+        layer: String,
+    },
+    /// The scheduler could not place an operation's working set in the
+    /// on-chip buffer.
+    Alloc(AllocError),
+    /// The tiling was rejected while building the data-flow graph.
+    Tiling(TilingError),
+    /// The scheduler stalled: operations remain but none are ready
+    /// (impossible for well-formed DFGs; indicates an internal bug and
+    /// is surfaced rather than panicking).
+    Stalled {
+        /// Operations left unscheduled.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoViableTiling { layer } => {
+                write!(f, "no viable tiling for layer {layer:?} on this architecture")
+            }
+            SchedError::Alloc(e) => write!(f, "on-chip allocation failed: {e}"),
+            SchedError::Tiling(e) => write!(f, "tiling rejected: {e}"),
+            SchedError::Stalled { remaining } => {
+                write!(f, "scheduler stalled with {remaining} operations remaining")
+            }
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Alloc(e) => Some(e),
+            SchedError::Tiling(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AllocError> for SchedError {
+    fn from(e: AllocError) -> Self {
+        SchedError::Alloc(e)
+    }
+}
+
+impl From<TilingError> for SchedError {
+    fn from(e: TilingError) -> Self {
+        SchedError::Tiling(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SchedError::NoViableTiling {
+            layer: "conv1".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+        let e = SchedError::Stalled { remaining: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let e: SchedError = AllocError::ZeroSize.into();
+        assert!(matches!(e, SchedError::Alloc(_)));
+        assert!(Error::source(&e).is_some());
+        let e: SchedError = TilingError::TooManyOps {
+            requested: 10,
+            max: 5,
+        }
+        .into();
+        assert!(matches!(e, SchedError::Tiling(_)));
+    }
+}

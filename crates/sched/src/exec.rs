@@ -1,0 +1,268 @@
+//! Shared execution state: committing operation sets to the memory,
+//! the timeline and the schedule record.
+//!
+//! Both the out-of-order scheduler and the static loop-order baseline
+//! issue *operation sets* against the same machinery, so the
+//! comparison between them is apples-to-apples (DESIGN.md §5).
+
+use crate::error::SchedError;
+use crate::priority::{plan_set, PlanEvent, TileAction};
+use crate::program::{Command, Program};
+use flexer_arch::{ArchConfig, PerfModel};
+use flexer_sim::{MemOpKind, Schedule, ScheduleBuilder, TrafficClass};
+use flexer_spm::{SpillPolicy, SpmMemory};
+use flexer_tiling::{Dfg, OpId, TileId, TileKind};
+use std::collections::BTreeMap;
+
+/// Mutable state of one scheduling run.
+pub(crate) struct ExecState<'a> {
+    dfg: &'a Dfg,
+    perf: &'a dyn PerfModel,
+    spill: &'a dyn SpillPolicy,
+    cores: u32,
+    spm: SpmMemory,
+    /// Remaining operand references per tile (before unscheduled ops).
+    uses: BTreeMap<TileId, u32>,
+    /// End cycle of every scheduled op.
+    op_end: Vec<u64>,
+    /// Cycle at which a tile's current on-chip copy is valid.
+    tile_ready: BTreeMap<TileId, u64>,
+    /// Last cycle at which a tile is read or written by a scheduled op.
+    tile_busy: BTreeMap<TileId, u64>,
+    builder: ScheduleBuilder,
+    scheduled: Vec<bool>,
+    remaining: usize,
+    commands: Vec<Command>,
+}
+
+impl<'a> ExecState<'a> {
+    pub(crate) fn new(
+        dfg: &'a Dfg,
+        arch: &'a ArchConfig,
+        perf: &'a dyn PerfModel,
+        spill: &'a dyn SpillPolicy,
+    ) -> Self {
+        let uses = dfg.tiles().map(|t| (t, dfg.initial_uses(t))).collect();
+        Self {
+            dfg,
+            perf,
+            spill,
+            cores: arch.cores(),
+            spm: SpmMemory::new(arch.spm_bytes()),
+            uses,
+            op_end: vec![0; dfg.num_ops()],
+            tile_ready: BTreeMap::new(),
+            tile_busy: BTreeMap::new(),
+            builder: ScheduleBuilder::new(arch.cores()),
+            scheduled: vec![false; dfg.num_ops()],
+            remaining: dfg.num_ops(),
+            commands: Vec::new(),
+        }
+    }
+
+    pub(crate) fn spm(&self) -> &SpmMemory {
+        &self.spm
+    }
+
+    pub(crate) fn uses(&self) -> &BTreeMap<TileId, u32> {
+        &self.uses
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Commits one operation set: plans and pins its memory, records
+    /// spills, loads, compute and final stores, updates use counts and
+    /// returns the ids newly woken up (paper Algorithm 1 lines 21-24).
+    pub(crate) fn commit_set(&mut self, ops: &[OpId]) -> Result<Vec<OpId>, SchedError> {
+        debug_assert!(!ops.is_empty() && ops.len() <= self.cores as usize);
+        debug_assert!(ops.windows(2).all(|w| w[0] < w[1]));
+        let plan = plan_set(self.dfg, &mut self.spm, &self.uses, self.spill, ops)
+            .map_err(SchedError::from)?;
+
+        // On-chip compaction keeps the DMA engine busy but moves no
+        // off-chip data.
+        if plan.compaction_bytes > 0 {
+            self.builder
+                .record_compaction(plan.compaction_bytes, self.perf.dma_cycles(plan.compaction_bytes));
+        }
+
+        // Lower the plan's event trace into buffer commands, in the
+        // exact order the allocator performed them.
+        for event in &plan.events {
+            self.commands.push(match *event {
+                PlanEvent::Move(m) => Command::Move {
+                    tile: m.tile,
+                    bytes: m.bytes,
+                    from: m.from,
+                    to: m.to,
+                },
+                PlanEvent::Evict(ev) if ev.dirty => Command::Spill {
+                    tile: ev.tile,
+                    address: ev.address,
+                    bytes: ev.bytes,
+                },
+                PlanEvent::Evict(ev) => Command::Discard {
+                    tile: ev.tile,
+                    address: ev.address,
+                    bytes: ev.bytes,
+                },
+                PlanEvent::Place { tile, bytes, address, ref action } => match action {
+                    TileAction::AllocOutput => Command::Reserve { tile, address, bytes },
+                    _ => Command::Load { tile, address, bytes },
+                },
+            });
+        }
+
+        // Spill write-backs for dirty evictions. Clean evictions cost
+        // nothing (their data is still in DRAM).
+        for ev in &plan.evictions {
+            self.tile_ready.remove(&ev.tile);
+            if ev.dirty {
+                debug_assert_eq!(ev.tile.kind(), TileKind::Output);
+                let earliest = self.tile_busy.get(&ev.tile).copied().unwrap_or(0);
+                self.builder.record_mem_op_after(
+                    MemOpKind::Spill,
+                    TrafficClass::Psum,
+                    ev.tile,
+                    ev.bytes,
+                    self.perf.dma_cycles(ev.bytes),
+                    earliest,
+                    None,
+                );
+            }
+        }
+
+        // Loads for missing inputs, weights and spilled partial sums.
+        for (tile, bytes, action) in &plan.tiles {
+            if *action != TileAction::Load {
+                if *action == TileAction::AllocOutput {
+                    // Fresh accumulator: available immediately.
+                    self.tile_ready.insert(*tile, 0);
+                }
+                continue;
+            }
+            let class = match tile.kind() {
+                TileKind::Input => TrafficClass::Input,
+                TileKind::Weight => TrafficClass::Weight,
+                TileKind::Output => TrafficClass::Psum,
+            };
+            let for_op = ops
+                .iter()
+                .copied()
+                .find(|&id| self.dfg.op(id).operands().any(|t| t == *tile));
+            let (_, end) = self.builder.record_mem_op(
+                MemOpKind::Load,
+                class,
+                *tile,
+                *bytes,
+                self.perf.dma_cycles(*bytes),
+                for_op,
+            );
+            self.tile_ready.insert(*tile, end);
+        }
+
+        // Spatial reuse: tiles consumed by several ops of this set
+        // (paper Figure 11).
+        {
+            let mut degree: BTreeMap<TileId, u32> = BTreeMap::new();
+            for &id in ops {
+                for tile in self.dfg.op(id).operands() {
+                    *degree.entry(tile).or_default() += 1;
+                }
+            }
+            for (tile, sharers) in degree {
+                if sharers >= 2 {
+                    self.builder.record_shared_tile(
+                        tile.kind(),
+                        self.dfg.tile_bytes(tile),
+                        sharers,
+                    );
+                }
+            }
+        }
+
+        // Issue the compute operations on distinct cores, earliest-free
+        // cores first.
+        let mut free_cores: Vec<u32> = (0..self.cores).collect();
+        free_cores.sort_by_key(|&c| (self.builder.timeline().core_free(c), c));
+        let mut woken = Vec::new();
+        for (&id, &core) in ops.iter().zip(free_cores.iter()) {
+            let op = self.dfg.op(id);
+            let mut earliest = 0u64;
+            for tile in op.operands() {
+                earliest = earliest.max(self.tile_ready.get(&tile).copied().unwrap_or(0));
+            }
+            if let Some(pred) = self.dfg.pred(id) {
+                debug_assert!(self.scheduled[pred.index()]);
+                earliest = earliest.max(self.op_end[pred.index()]);
+            }
+            let (_, end) = self.builder.record_compute(id, core, earliest, op.latency());
+            self.commands.push(Command::Exec {
+                op: id,
+                core,
+                input: self.spm.address_of(op.input()).expect("input resident"),
+                weight: self.spm.address_of(op.weight()).expect("weight resident"),
+                output: self.spm.address_of(op.output()).expect("output resident"),
+                accumulate: op.needs_psum(),
+            });
+            self.op_end[id.index()] = end;
+            for tile in op.operands() {
+                let busy = self.tile_busy.entry(tile).or_default();
+                *busy = (*busy).max(end);
+            }
+            // The op (re)writes its accumulator.
+            self.tile_ready.insert(op.output(), end);
+            self.spm.set_dirty(op.output(), true);
+
+            // Bookkeeping: use counts and wakeup.
+            for tile in op.operands() {
+                if let Some(u) = self.uses.get_mut(&tile) {
+                    *u = u.saturating_sub(1);
+                }
+                self.spm.decrement_uses(tile);
+            }
+            self.scheduled[id.index()] = true;
+            self.remaining -= 1;
+            if let Some(succ) = self.dfg.succ(id) {
+                woken.push(succ);
+            }
+
+            // Mandatory eager store of finished outputs.
+            if op.is_final() {
+                let bytes = self.dfg.tile_bytes(op.output());
+                self.builder.record_mem_op_after(
+                    MemOpKind::Store,
+                    TrafficClass::Output,
+                    op.output(),
+                    bytes,
+                    self.perf.dma_cycles(bytes),
+                    end,
+                    None,
+                );
+                self.commands.push(Command::Store {
+                    tile: op.output(),
+                    address: self.spm.address_of(op.output()).expect("output resident"),
+                    bytes,
+                });
+                self.spm.set_dirty(op.output(), false);
+            }
+        }
+
+        self.spm.unpin_all();
+        self.builder.record_spm_utilization(self.spm.utilization());
+        Ok(woken)
+    }
+
+    /// Finalizes the schedule and its lowered command program.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if operations remain unscheduled.
+    pub(crate) fn finish(self) -> (Schedule, Program) {
+        debug_assert_eq!(self.remaining, 0, "unscheduled operations remain");
+        let program = Program::new(self.spm.capacity(), self.cores, self.commands);
+        (self.builder.finish(), program)
+    }
+}

@@ -1,0 +1,106 @@
+//! Memoization of search winners.
+
+use flexer_tiling::{Dataflow, TilingFactors};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Remembers the winning `(tiling, dataflow)` of previous layer
+/// searches — the paper's suggested "memory function to remember the
+/// best tiling" that "could significantly reduce the runtime of the
+/// scheduler" (§3).
+///
+/// Keys incorporate the layer *shape* (not its name), the hardware
+/// configuration and every search knob, so distinct searches never
+/// collide while repeated shapes — ResNet-50 alone has its bottleneck
+/// geometry dozens of times — skip the exhaustive search and only
+/// re-run the single winning schedule.
+///
+/// The cache is internally synchronized and can be shared across
+/// threads by reference.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_sched::MemoCache;
+///
+/// let cache = MemoCache::new();
+/// assert_eq!(cache.len(), 0);
+/// assert!(cache.get("some-key").is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoCache {
+    inner: Mutex<HashMap<String, (TilingFactors, Dataflow)>>,
+}
+
+impl MemoCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a search key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<(TilingFactors, Dataflow)> {
+        self.inner.lock().get(key).copied()
+    }
+
+    /// Records a search winner.
+    pub fn insert(&self, key: String, factors: TilingFactors, dataflow: Dataflow) {
+        self.inner.lock().insert(key, (factors, dataflow));
+    }
+
+    /// Number of cached winners.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_model::ConvLayer;
+
+    #[test]
+    fn round_trip() {
+        let cache = MemoCache::new();
+        let layer = ConvLayer::new("c", 8, 8, 8, 8).unwrap();
+        let f = TilingFactors::normalized(&layer, 2, 2, 1, 1);
+        cache.insert("k".into(), f, Dataflow::Csk);
+        assert_eq!(cache.get("k"), Some((f, Dataflow::Csk)));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+        assert!(cache.get("other").is_none());
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let cache = MemoCache::new();
+        let layer = ConvLayer::new("c", 8, 8, 8, 8).unwrap();
+        let f1 = TilingFactors::normalized(&layer, 2, 2, 1, 1);
+        let f2 = TilingFactors::normalized(&layer, 4, 1, 1, 1);
+        cache.insert("k".into(), f1, Dataflow::Csk);
+        cache.insert("k".into(), f2, Dataflow::Kcs);
+        assert_eq!(cache.get("k"), Some((f2, Dataflow::Kcs)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = MemoCache::new();
+        let layer = ConvLayer::new("c", 8, 8, 8, 8).unwrap();
+        let f = TilingFactors::normalized(&layer, 2, 2, 1, 1);
+        std::thread::scope(|s| {
+            s.spawn(|| cache.insert("a".into(), f, Dataflow::Kcs));
+            s.spawn(|| cache.insert("b".into(), f, Dataflow::Sck));
+        });
+        assert_eq!(cache.len(), 2);
+    }
+}

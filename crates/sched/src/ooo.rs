@@ -1,0 +1,309 @@
+//! The out-of-order list scheduler (`GetSchedule`, Algorithm 1).
+
+use crate::combo::{generate_sets, ComboOptions};
+use crate::error::SchedError;
+use crate::exec::ExecState;
+use crate::priority::{PriorityPolicy, SetEvaluation};
+use flexer_arch::{ArchConfig, PerfModel};
+use crate::program::Program;
+use flexer_sim::Schedule;
+use flexer_spm::{FlexerSpill, SpillPolicy};
+use flexer_tiling::{Dfg, OpId};
+use std::collections::BTreeSet;
+
+/// Flexer's out-of-order scheduler for one data-flow graph — the
+/// paper's `GetSchedule` (Algorithm 1 lines 12-27).
+///
+/// Operates like a list instruction scheduler for a multi-issue
+/// machine where each NPU is a functional unit (§3): every step it
+/// forms candidate sets of ready operations ([`generate_sets`], with
+/// §4.2's dataflow-map pruning), evaluates their memory consequences
+/// against the shared buffer, selects the highest-priority set
+/// ([`PriorityPolicy`], §4.3) and issues it, inserting loads and
+/// spills on the fly.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+/// use flexer_model::ConvLayer;
+/// use flexer_sched::OooScheduler;
+/// use flexer_tiling::{Dataflow, Dfg, TilingFactors};
+///
+/// let arch = ArchConfig::preset(ArchPreset::Arch1);
+/// let layer = ConvLayer::new("c", 32, 14, 14, 32)?;
+/// let model = SystolicModel::new(&arch);
+/// let factors = TilingFactors::normalized(&layer, 2, 2, 2, 2);
+/// let dfg = Dfg::build(&layer, factors, Dataflow::Csk, &model, &arch)?;
+///
+/// let schedule = OooScheduler::new(&dfg, &arch, &model).schedule()?;
+/// assert_eq!(schedule.compute().len(), dfg.num_ops());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy)]
+pub struct OooScheduler<'a> {
+    dfg: &'a Dfg,
+    arch: &'a ArchConfig,
+    perf: &'a dyn PerfModel,
+    spill: &'a dyn SpillPolicy,
+    priority: PriorityPolicy,
+    combo: ComboOptions,
+}
+
+impl std::fmt::Debug for OooScheduler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OooScheduler")
+            .field("dfg", &self.dfg.to_string())
+            .field("priority", &self.priority)
+            .field("combo", &self.combo)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> OooScheduler<'a> {
+    /// Creates a scheduler with the paper's defaults: Algorithm-2
+    /// spilling, the §4.3 priority function and default combination
+    /// budgets.
+    #[must_use]
+    pub fn new(dfg: &'a Dfg, arch: &'a ArchConfig, perf: &'a dyn PerfModel) -> Self {
+        Self {
+            dfg,
+            arch,
+            perf,
+            spill: &FlexerSpill,
+            priority: PriorityPolicy::FlexerDefault,
+            combo: ComboOptions::default(),
+        }
+    }
+
+    /// Replaces the spill-victim policy (Table 2's MemPolicy ablations).
+    #[must_use]
+    pub fn with_spill(mut self, spill: &'a dyn SpillPolicy) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// Replaces the set-priority policy (Table 2's Priority ablations).
+    #[must_use]
+    pub fn with_priority(mut self, priority: PriorityPolicy) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Replaces the combination budgets.
+    #[must_use]
+    pub fn with_combo(mut self, combo: ComboOptions) -> Self {
+        self.combo = combo;
+        self
+    }
+
+    /// Runs the scheduler to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`SchedError::Alloc`] when even a single operation's working
+    ///   set cannot be placed in the on-chip buffer;
+    /// * [`SchedError::Stalled`] if the ready queue empties while
+    ///   operations remain (unreachable for well-formed DFGs).
+    pub fn schedule(&self) -> Result<Schedule, SchedError> {
+        self.schedule_with_program().map(|(schedule, _)| schedule)
+    }
+
+    /// Runs the scheduler to completion and also lowers the result to
+    /// an executable NPU command [`Program`] with concrete buffer
+    /// addresses.
+    ///
+    /// # Errors
+    ///
+    /// As [`OooScheduler::schedule`].
+    pub fn schedule_with_program(&self) -> Result<(Schedule, Program), SchedError> {
+        let mut state = ExecState::new(self.dfg, self.arch, self.perf, self.spill);
+        let mut ready: BTreeSet<OpId> = self.dfg.initial_ready().collect();
+        let cores = self.arch.cores() as usize;
+        let dma = |b: u64| self.perf.dma_cycles(b);
+
+        while state.remaining() > 0 {
+            if ready.is_empty() {
+                return Err(SchedError::Stalled {
+                    remaining: state.remaining(),
+                });
+            }
+            let ready_vec: Vec<OpId> = ready.iter().copied().collect();
+
+            // Try the widest sets first; shrink when memory pressure
+            // makes every candidate of that width infeasible.
+            let mut selected: Option<Vec<OpId>> = None;
+            let mut width = cores.min(ready_vec.len());
+            while width >= 1 {
+                let sets = generate_sets(self.dfg, state.spm(), &ready_vec, width, &self.combo);
+                let evals: Vec<SetEvaluation> = sets
+                    .iter()
+                    .filter_map(|set| {
+                        SetEvaluation::evaluate(
+                            self.dfg,
+                            state.spm(),
+                            state.uses(),
+                            self.spill,
+                            self.arch.cores(),
+                            &dma,
+                            set,
+                        )
+                    })
+                    .collect();
+                if let Some(best) = self.priority.select(&evals) {
+                    selected = Some(best.ops.clone());
+                    break;
+                }
+                width -= 1;
+            }
+            let Some(set) = selected else {
+                // Surface the underlying allocation failure of the
+                // cheapest single-op set.
+                let probe = crate::priority::plan_probe(
+                    self.dfg,
+                    state.spm(),
+                    state.uses(),
+                    self.spill,
+                    &ready_vec[..1],
+                );
+                return Err(match probe {
+                    Err(e) => SchedError::Alloc(e),
+                    Ok(()) => SchedError::Stalled {
+                        remaining: state.remaining(),
+                    },
+                });
+            };
+
+            let woken = state.commit_set(&set)?;
+            for id in &set {
+                ready.remove(id);
+            }
+            ready.extend(woken);
+        }
+        Ok(state.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::{ArchConfigBuilder, ArchPreset, SystolicModel};
+    use flexer_model::ConvLayer;
+    use flexer_sim::{validate_schedule, MemOpKind, TrafficClass};
+    use flexer_spm::SmallestFirstSpill;
+    use flexer_tiling::{Dataflow, TilingFactors};
+
+    fn dfg_for(layer: &ConvLayer, arch: &ArchConfig, k: u32, c: u32, s: u32) -> Dfg {
+        let model = SystolicModel::new(arch);
+        let factors = TilingFactors::normalized(layer, k, c, s, s);
+        Dfg::build(layer, factors, Dataflow::Csk, &model, arch).unwrap()
+    }
+
+    #[test]
+    fn fills_all_cores_when_memory_allows() {
+        let arch = ArchConfig::preset(ArchPreset::Arch8);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("w", 32, 16, 16, 64).unwrap();
+        let dfg = dfg_for(&layer, &arch, 8, 1, 2);
+        let sched = OooScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+        validate_schedule(&dfg, &sched).unwrap();
+        // All four cores execute work.
+        for core in 0..arch.cores() {
+            assert!(sched.core_busy(core) > 0, "core {core} idle");
+        }
+    }
+
+    #[test]
+    fn degrades_to_narrow_sets_under_memory_pressure() {
+        // The buffer holds one working set but never two.
+        let layer = ConvLayer::new("n", 64, 8, 8, 64).unwrap();
+        let arch = ArchConfigBuilder::new(4, 30 * 1024, 32).build().unwrap();
+        let model = SystolicModel::new(&arch);
+        let dfg = dfg_for(&layer, &arch, 2, 1, 1);
+        let sched = OooScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+        validate_schedule(&dfg, &sched).unwrap();
+        // Everything ran on one core at a time.
+        let busy: Vec<u64> = (0..4).map(|c| sched.core_busy(c)).collect();
+        assert!(busy.iter().filter(|&&b| b > 0).count() >= 1);
+        assert!(sched.compute_utilization() <= 0.5);
+    }
+
+    #[test]
+    fn spilled_partial_sums_reload_as_psum_traffic() {
+        // Long accumulation chains across many output tiles with a
+        // buffer too small to keep them all: psums must round-trip.
+        let layer = ConvLayer::new("p", 128, 16, 16, 128).unwrap();
+        let arch = ArchConfigBuilder::new(2, 24 * 1024, 32).build().unwrap();
+        let model = SystolicModel::new(&arch);
+        let dfg = dfg_for(&layer, &arch, 8, 4, 2);
+        let sched = OooScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+        validate_schedule(&dfg, &sched).unwrap();
+        let psum = sched.traffic().class_bytes(TrafficClass::Psum);
+        if psum > 0 {
+            // Write-backs and reloads both appear.
+            let spills = sched
+                .mem_ops()
+                .iter()
+                .any(|m| m.kind == MemOpKind::Spill && m.class == TrafficClass::Psum);
+            let reloads = sched
+                .mem_ops()
+                .iter()
+                .any(|m| m.kind == MemOpKind::Load && m.class == TrafficClass::Psum);
+            assert!(spills, "psum traffic without write-backs");
+            assert!(reloads == spills || psum > 0);
+        }
+        // Either way the schedule stays legal and stores everything.
+        assert!(
+            sched.traffic().class_bytes(TrafficClass::Output)
+                >= layer.output_bytes(arch.element_size())
+        );
+    }
+
+    #[test]
+    fn builder_knobs_change_behaviour_not_legality() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("k", 64, 16, 16, 64).unwrap();
+        let dfg = dfg_for(&layer, &arch, 4, 2, 2);
+        for priority in [
+            PriorityPolicy::FlexerDefault,
+            PriorityPolicy::MinTransfer,
+            PriorityPolicy::MinSpill,
+        ] {
+            let sched = OooScheduler::new(&dfg, &arch, &model)
+                .with_priority(priority)
+                .with_spill(&SmallestFirstSpill)
+                .with_combo(ComboOptions {
+                    width_cap: 4,
+                    max_combos: 64,
+                    max_sets: 8,
+                    prune: true,
+                })
+                .schedule()
+                .unwrap();
+            validate_schedule(&dfg, &sched).unwrap_or_else(|e| panic!("{priority}: {e}"));
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_identical() {
+        let arch = ArchConfig::preset(ArchPreset::Arch5);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("d", 96, 16, 16, 96).unwrap();
+        let dfg = dfg_for(&layer, &arch, 4, 4, 2);
+        let a = OooScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+        let b = OooScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debug_format_is_informative() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("f", 16, 8, 8, 16).unwrap();
+        let dfg = dfg_for(&layer, &arch, 1, 1, 1);
+        let s = format!("{:?}", OooScheduler::new(&dfg, &arch, &model));
+        assert!(s.contains("OooScheduler"));
+        assert!(s.contains("priority"));
+    }
+}

@@ -1,0 +1,534 @@
+//! Lowered NPU command programs.
+//!
+//! The authors' toolchain lowers schedules through "a compiler, a
+//! cycle-accurate simulator, and an RTL generator" (§5). This module
+//! is the reproduction's compiler back end: it represents a scheduled
+//! layer as the explicit command stream an accelerator sequencer would
+//! execute — loads, spills and stores with concrete global-buffer
+//! addresses, on-chip compaction copies, and per-core `EXEC` commands
+//! whose operand addresses point into the buffer.
+//!
+//! [`Program::check`] is an independent validator: it replays the
+//! commands against a region tracker and rejects out-of-bounds or
+//! overlapping placements, uses of non-resident data, and operand
+//! addresses that do not match residency — a second line of defence
+//! behind the schedule validator in `flexer-sim`.
+
+use flexer_tiling::{Dfg, OpId, TileId};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// One command of a lowered program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Fetch a tile from DRAM into the buffer block at `address`.
+    Load {
+        /// The tile fetched.
+        tile: TileId,
+        /// Destination block address.
+        address: u64,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Write a dirty tile (partial sum) back to DRAM and free its
+    /// block.
+    Spill {
+        /// The tile written back.
+        tile: TileId,
+        /// Source block address.
+        address: u64,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Drop a clean tile from the buffer (its data is still in DRAM).
+    Discard {
+        /// The tile dropped.
+        tile: TileId,
+        /// Its block address.
+        address: u64,
+        /// Its block size.
+        bytes: u64,
+    },
+    /// Relocate a tile within the buffer (compaction copy).
+    Move {
+        /// The tile relocated.
+        tile: TileId,
+        /// Its byte size.
+        bytes: u64,
+        /// Old block address.
+        from: u64,
+        /// New block address.
+        to: u64,
+    },
+    /// Reserve a block for a fresh accumulator tile (no data moves).
+    Reserve {
+        /// The accumulator tile.
+        tile: TileId,
+        /// Its block address.
+        address: u64,
+        /// Its block size.
+        bytes: u64,
+    },
+    /// Run one tiled convolution on a core, reading the input and
+    /// weight blocks and accumulating into the output block.
+    Exec {
+        /// The operation.
+        op: OpId,
+        /// The core it runs on.
+        core: u32,
+        /// Input tile address.
+        input: u64,
+        /// Weight tile address.
+        weight: u64,
+        /// Output / partial-sum tile address.
+        output: u64,
+        /// Whether the output block holds a partial sum to accumulate
+        /// onto (`c > 0`).
+        accumulate: bool,
+    },
+    /// Write a finished output tile to DRAM (it stays resident).
+    Store {
+        /// The tile stored.
+        tile: TileId,
+        /// Source block address.
+        address: u64,
+        /// Transfer size.
+        bytes: u64,
+    },
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Load { tile, address, bytes } => {
+                write!(f, "LOAD    {tile:<12} -> [{address:#08x}; {bytes}]")
+            }
+            Command::Spill { tile, address, bytes } => {
+                write!(f, "SPILL   {tile:<12} <- [{address:#08x}; {bytes}]")
+            }
+            Command::Discard { tile, address, bytes } => {
+                write!(f, "DISCARD {tile:<12}    [{address:#08x}; {bytes}]")
+            }
+            Command::Move { tile, bytes, from, to } => {
+                write!(f, "MOVE    {tile:<12}    [{from:#08x}] -> [{to:#08x}; {bytes}]")
+            }
+            Command::Reserve { tile, address, bytes } => {
+                write!(f, "RESERVE {tile:<12}    [{address:#08x}; {bytes}]")
+            }
+            Command::Exec { op, core, input, weight, output, accumulate } => write!(
+                f,
+                "EXEC    {op:<12} @core{core} in=[{input:#08x}] wt=[{weight:#08x}] out=[{output:#08x}]{}",
+                if *accumulate { " +acc" } else { "" }
+            ),
+            Command::Store { tile, address, bytes } => {
+                write!(f, "STORE   {tile:<12} <- [{address:#08x}; {bytes}]")
+            }
+        }
+    }
+}
+
+/// A violation found by [`Program::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A block extends past the buffer.
+    OutOfBounds {
+        /// The offending command index.
+        index: usize,
+    },
+    /// A placement overlaps a live block.
+    Overlap {
+        /// The offending command index.
+        index: usize,
+        /// The tile already occupying the range.
+        occupant: TileId,
+    },
+    /// A command uses a tile that is not resident (or not at the
+    /// claimed address).
+    NotResident {
+        /// The offending command index.
+        index: usize,
+        /// The tile.
+        tile: TileId,
+    },
+    /// An `Exec` command's shape disagrees with the DFG (wrong operand
+    /// address or accumulate flag).
+    ExecMismatch {
+        /// The offending command index.
+        index: usize,
+        /// The operation.
+        op: OpId,
+    },
+    /// Not every DFG operation was executed exactly once.
+    ExecCount {
+        /// The operation.
+        op: OpId,
+        /// How often it ran.
+        times: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::OutOfBounds { index } => {
+                write!(f, "command {index}: block exceeds the buffer")
+            }
+            ProgramError::Overlap { index, occupant } => {
+                write!(f, "command {index}: placement overlaps live tile {occupant}")
+            }
+            ProgramError::NotResident { index, tile } => {
+                write!(f, "command {index}: {tile} not resident at the claimed address")
+            }
+            ProgramError::ExecMismatch { index, op } => {
+                write!(f, "command {index}: {op} operand addresses disagree with the DFG")
+            }
+            ProgramError::ExecCount { op, times } => {
+                write!(f, "{op} executed {times} times (expected exactly once)")
+            }
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// The lowered command stream of one scheduled layer.
+///
+/// Produced by [`crate::OooScheduler::schedule_with_program`];
+/// commands appear in issue order.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+/// use flexer_model::ConvLayer;
+/// use flexer_sched::OooScheduler;
+/// use flexer_tiling::{Dataflow, Dfg, TilingFactors};
+///
+/// let arch = ArchConfig::preset(ArchPreset::Arch1);
+/// let model = SystolicModel::new(&arch);
+/// let layer = ConvLayer::new("c", 32, 14, 14, 32)?;
+/// let factors = TilingFactors::normalized(&layer, 2, 2, 2, 2);
+/// let dfg = Dfg::build(&layer, factors, Dataflow::Csk, &model, &arch)?;
+///
+/// let (_, program) = OooScheduler::new(&dfg, &arch, &model).schedule_with_program()?;
+/// program.check(&dfg)?;
+/// assert!(program.render().contains("EXEC"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    spm_bytes: u64,
+    cores: u32,
+    commands: Vec<Command>,
+}
+
+impl Program {
+    pub(crate) fn new(spm_bytes: u64, cores: u32, commands: Vec<Command>) -> Self {
+        Self {
+            spm_bytes,
+            cores,
+            commands,
+        }
+    }
+
+    /// The commands in issue order.
+    #[must_use]
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Number of commands.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Buffer size the program was lowered for.
+    #[must_use]
+    pub const fn spm_bytes(&self) -> u64 {
+        self.spm_bytes
+    }
+
+    /// Renders the program as assembler-style text, one command per
+    /// line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "; program for {} cores, {} B global buffer, {} commands",
+            self.cores,
+            self.spm_bytes,
+            self.commands.len()
+        );
+        for (i, c) in self.commands.iter().enumerate() {
+            let _ = writeln!(out, "{i:>5}: {c}");
+        }
+        out
+    }
+
+    /// Validates the program against `dfg`: placements stay in bounds
+    /// and never overlap live blocks, every command operates on
+    /// resident data at the claimed address, `Exec` operands match the
+    /// DFG, and every operation executes exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProgramError`] found.
+    pub fn check(&self, dfg: &Dfg) -> Result<(), ProgramError> {
+        // Live blocks: tile -> (address, bytes).
+        let mut live: BTreeMap<TileId, (u64, u64)> = BTreeMap::new();
+        let mut exec_counts = vec![0usize; dfg.num_ops()];
+
+        let overlap = |live: &BTreeMap<TileId, (u64, u64)>, addr: u64, bytes: u64| {
+            live.iter()
+                .find(|(_, &(a, b))| addr < a + b && a < addr + bytes)
+                .map(|(t, _)| *t)
+        };
+
+        let mut i = 0;
+        while i < self.commands.len() {
+            let index = i;
+            match self.commands[i] {
+                Command::Load { tile, address, bytes }
+                | Command::Reserve { tile, address, bytes } => {
+                    if address + bytes > self.spm_bytes {
+                        return Err(ProgramError::OutOfBounds { index });
+                    }
+                    if let Some(occupant) = overlap(&live, address, bytes) {
+                        return Err(ProgramError::Overlap { index, occupant });
+                    }
+                    live.insert(tile, (address, bytes));
+                }
+                Command::Spill { tile, address, .. }
+                | Command::Discard { tile, address, .. } => {
+                    if live.get(&tile).is_none_or(|&(a, _)| a != address) {
+                        return Err(ProgramError::NotResident { index, tile });
+                    }
+                    live.remove(&tile);
+                }
+                Command::Move { .. } => {
+                    // Compaction emits a batch of moves that happen
+                    // "at once": later sources may overlap earlier
+                    // destinations, so apply the whole run atomically.
+                    let start = i;
+                    let mut end = i;
+                    while end < self.commands.len()
+                        && matches!(self.commands[end], Command::Move { .. })
+                    {
+                        end += 1;
+                    }
+                    for j in start..end {
+                        let Command::Move { tile, from, .. } = self.commands[j] else {
+                            unreachable!("run contains only moves");
+                        };
+                        if live.get(&tile).is_none_or(|&(a, _)| a != from) {
+                            return Err(ProgramError::NotResident { index: j, tile });
+                        }
+                        live.remove(&tile);
+                    }
+                    for j in start..end {
+                        let Command::Move { tile, bytes, to, .. } = self.commands[j] else {
+                            unreachable!("run contains only moves");
+                        };
+                        if to + bytes > self.spm_bytes {
+                            return Err(ProgramError::OutOfBounds { index: j });
+                        }
+                        if let Some(occupant) = overlap(&live, to, bytes) {
+                            return Err(ProgramError::Overlap { index: j, occupant });
+                        }
+                        live.insert(tile, (to, bytes));
+                    }
+                    i = end;
+                    continue;
+                }
+                Command::Exec { op, input, weight, output, accumulate, .. } => {
+                    if op.index() >= dfg.num_ops() {
+                        return Err(ProgramError::ExecMismatch { index, op });
+                    }
+                    exec_counts[op.index()] += 1;
+                    let node = dfg.op(op);
+                    for (tile, addr) in [
+                        (node.input(), input),
+                        (node.weight(), weight),
+                        (node.output(), output),
+                    ] {
+                        if live.get(&tile).is_none_or(|&(a, _)| a != addr) {
+                            return Err(ProgramError::NotResident { index, tile });
+                        }
+                    }
+                    if accumulate != node.needs_psum() {
+                        return Err(ProgramError::ExecMismatch { index, op });
+                    }
+                }
+                Command::Store { tile, address, .. } => {
+                    if live.get(&tile).is_none_or(|&(a, _)| a != address) {
+                        return Err(ProgramError::NotResident { index, tile });
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        for (idx, &times) in exec_counts.iter().enumerate() {
+            if times != 1 {
+                return Err(ProgramError::ExecCount {
+                    op: OpId::new(idx as u32),
+                    times,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program: {} commands for {} cores / {} B buffer",
+            self.commands.len(),
+            self.cores,
+            self.spm_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+    use flexer_model::ConvLayer;
+    use flexer_tiling::{Dataflow, TilingFactors};
+
+    fn tiny_dfg() -> (Dfg, ArchConfig) {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let layer = ConvLayer::new("p", 8, 8, 8, 8).unwrap();
+        let factors = TilingFactors::normalized(&layer, 1, 2, 1, 1);
+        let model = SystolicModel::new(&arch);
+        let dfg = Dfg::build(&layer, factors, Dataflow::Kcs, &model, &arch).unwrap();
+        (dfg, arch)
+    }
+
+    /// A hand-written legal program for the 2-op chain of `tiny_dfg`.
+    fn legal_program(dfg: &Dfg, spm: u64) -> Program {
+        let op0 = dfg.op(OpId::new(0));
+        let op1 = dfg.op(OpId::new(1));
+        let b = |t: TileId| dfg.tile_bytes(t);
+        let commands = vec![
+            Command::Load { tile: op0.input(), address: 0, bytes: b(op0.input()) },
+            Command::Load { tile: op0.weight(), address: 1000, bytes: b(op0.weight()) },
+            Command::Reserve { tile: op0.output(), address: 2000, bytes: b(op0.output()) },
+            Command::Exec { op: op0.id(), core: 0, input: 0, weight: 1000, output: 2000, accumulate: false },
+            Command::Discard { tile: op0.input(), address: 0, bytes: b(op0.input()) },
+            Command::Load { tile: op1.input(), address: 0, bytes: b(op1.input()) },
+            Command::Discard { tile: op0.weight(), address: 1000, bytes: b(op0.weight()) },
+            Command::Load { tile: op1.weight(), address: 1000, bytes: b(op1.weight()) },
+            Command::Exec { op: op1.id(), core: 0, input: 0, weight: 1000, output: 2000, accumulate: true },
+            Command::Store { tile: op1.output(), address: 2000, bytes: b(op1.output()) },
+        ];
+        Program::new(spm, 2, commands)
+    }
+
+    #[test]
+    fn legal_program_checks() {
+        let (dfg, arch) = tiny_dfg();
+        let p = legal_program(&dfg, arch.spm_bytes());
+        p.check(&dfg).unwrap();
+        assert_eq!(p.len(), 10);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let (dfg, arch) = tiny_dfg();
+        let mut p = legal_program(&dfg, arch.spm_bytes());
+        // Second load lands on top of the first.
+        if let Command::Load { address, .. } = &mut p.commands[1] {
+            *address = 0;
+        }
+        let err = p.check(&dfg).unwrap_err();
+        assert!(matches!(err, ProgramError::Overlap { index: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let (dfg, _) = tiny_dfg();
+        let p = legal_program(&dfg, 128); // absurdly small buffer
+        assert!(matches!(
+            p.check(&dfg).unwrap_err(),
+            ProgramError::OutOfBounds { .. } | ProgramError::Overlap { .. }
+        ));
+    }
+
+    #[test]
+    fn use_of_non_resident_data_detected() {
+        let (dfg, arch) = tiny_dfg();
+        let mut p = legal_program(&dfg, arch.spm_bytes());
+        // Execute before the weight arrives.
+        p.commands.swap(1, 3);
+        let err = p.check(&dfg).unwrap_err();
+        assert!(matches!(err, ProgramError::NotResident { .. }), "{err}");
+    }
+
+    #[test]
+    fn accumulate_flag_must_match_dfg() {
+        let (dfg, arch) = tiny_dfg();
+        let mut p = legal_program(&dfg, arch.spm_bytes());
+        if let Command::Exec { accumulate, .. } = &mut p.commands[3] {
+            *accumulate = true;
+        }
+        let err = p.check(&dfg).unwrap_err();
+        assert!(matches!(err, ProgramError::ExecMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_exec_detected() {
+        let (dfg, arch) = tiny_dfg();
+        let mut p = legal_program(&dfg, arch.spm_bytes());
+        p.commands.truncate(5); // drop op1 entirely
+        let err = p.check(&dfg).unwrap_err();
+        assert!(matches!(err, ProgramError::ExecCount { times: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn move_batches_apply_atomically() {
+        let (dfg, arch) = tiny_dfg();
+        let op0 = dfg.op(OpId::new(0));
+        let b = |t: TileId| dfg.tile_bytes(t);
+        // Two tiles slide down; the second's destination overlaps the
+        // first's old home — legal because the batch is atomic.
+        let commands = vec![
+            Command::Load { tile: op0.input(), address: 100, bytes: b(op0.input()) },
+            Command::Load { tile: op0.weight(), address: 100 + b(op0.input()), bytes: b(op0.weight()) },
+            Command::Move { tile: op0.input(), bytes: b(op0.input()), from: 100, to: 0 },
+            Command::Move { tile: op0.weight(), bytes: b(op0.weight()), from: 100 + b(op0.input()), to: b(op0.input()) },
+            Command::Reserve { tile: op0.output(), address: 4000, bytes: b(op0.output()) },
+            Command::Exec { op: op0.id(), core: 0, input: 0, weight: b(op0.input()), output: 4000, accumulate: false },
+        ];
+        let p = Program::new(arch.spm_bytes(), 2, commands);
+        // op1 never executes -> ExecCount, but everything before is legal.
+        let err = p.check(&dfg).unwrap_err();
+        assert!(matches!(err, ProgramError::ExecCount { .. }), "{err}");
+    }
+
+    #[test]
+    fn render_is_line_per_command() {
+        let (dfg, arch) = tiny_dfg();
+        let p = legal_program(&dfg, arch.spm_bytes());
+        let text = p.render();
+        assert_eq!(text.lines().count(), 1 + p.len());
+        assert!(text.contains("LOAD"));
+        assert!(text.contains("EXEC"));
+        assert!(text.contains("+acc"));
+        assert!(text.contains("STORE"));
+    }
+}

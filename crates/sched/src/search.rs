@@ -1,0 +1,569 @@
+//! The Algorithm-1 search driver: exhaustive search over tilings and
+//! dataflows.
+
+use crate::combo::ComboOptions;
+use crate::error::SchedError;
+use crate::memo::MemoCache;
+use crate::metric::Metric;
+use crate::ooo::OooScheduler;
+use crate::priority::PriorityPolicy;
+use crate::static_sched::StaticScheduler;
+use flexer_arch::{ArchConfig, SystolicModel};
+use flexer_model::ConvLayer;
+use flexer_sim::Schedule;
+use flexer_spm::{FirstFitSpill, FlexerSpill, SmallestFirstSpill, SpillPolicy};
+use flexer_tiling::{enumerate_tilings, Dataflow, Dfg, TilingFactors, TilingOptions};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Which spill-victim policy the scheduler uses (Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpillPolicyChoice {
+    /// The paper's Algorithm 2 (default).
+    #[default]
+    Flexer,
+    /// Table 2 MemPolicy1: first fit.
+    FirstFit,
+    /// Table 2 MemPolicy2: smallest blocks first.
+    SmallestFirst,
+}
+
+impl SpillPolicyChoice {
+    /// The policy instance.
+    #[must_use]
+    pub fn policy(self) -> &'static dyn SpillPolicy {
+        match self {
+            SpillPolicyChoice::Flexer => &FlexerSpill,
+            SpillPolicyChoice::FirstFit => &FirstFitSpill,
+            SpillPolicyChoice::SmallestFirst => &SmallestFirstSpill,
+        }
+    }
+}
+
+/// Every knob of the Algorithm-1 search.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_sched::{Metric, SearchOptions};
+///
+/// let opts = SearchOptions {
+///     metric: Metric::Transfer,
+///     ..SearchOptions::quick()
+/// };
+/// assert_eq!(opts.metric, Metric::Transfer);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchOptions {
+    /// Tiling enumeration limits.
+    pub tiling: TilingOptions,
+    /// Dataflows (loop orders) explored; defaults to all six.
+    pub dataflows: Vec<Dataflow>,
+    /// The schedule-ranking metric (Algorithm 1 line 5).
+    pub metric: Metric,
+    /// Operation-set priority policy (§4.3 / Table 2).
+    pub priority: PriorityPolicy,
+    /// Spill-victim policy (§4.1 / Table 2).
+    pub spill: SpillPolicyChoice,
+    /// Combination-generation budgets (§4.2).
+    pub combo: ComboOptions,
+    /// Worker threads for the per-tiling parallel search the paper
+    /// suggests (§3); `0` uses the available parallelism, `1` is
+    /// serial.
+    pub threads: usize,
+    /// Whether to keep the `(latency, transfer)` point of every
+    /// explored `(tiling, dataflow)` pair — the Figure-1 scatter data.
+    pub collect_points: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            tiling: TilingOptions::default(),
+            dataflows: Dataflow::all().to_vec(),
+            metric: Metric::default(),
+            priority: PriorityPolicy::default(),
+            spill: SpillPolicyChoice::default(),
+            combo: ComboOptions::default(),
+            threads: 0,
+            collect_points: false,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// A reduced-budget configuration for tests and quick experiment
+    /// runs: fewer tilings, smaller DFGs, tighter combination budgets.
+    /// The search structure is unchanged, only its breadth.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            tiling: TilingOptions {
+                max_ops: 256,
+                max_tilings: 10,
+                ..TilingOptions::default()
+            },
+            combo: ComboOptions {
+                width_cap: 10,
+                max_combos: 512,
+                max_sets: 24,
+                prune: true,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Memoization key for a layer shape under these options.
+    fn memo_key(&self, layer: &ConvLayer, arch: &ArchConfig, kind: SchedulerKind) -> String {
+        format!(
+            "{}x{}x{}->{}k{}x{}s{}p{}|{arch}|{kind:?}|{}|{}|{:?}|{:?}|{:?}|{:?}",
+            layer.in_channels(),
+            layer.in_height(),
+            layer.in_width(),
+            layer.out_channels(),
+            layer.kernel_h(),
+            layer.kernel_w(),
+            layer.stride(),
+            layer.padding(),
+            self.metric,
+            self.priority,
+            self.spill,
+            self.combo,
+            self.tiling,
+            self.dataflows,
+        )
+    }
+}
+
+/// The `(latency, transfer)` outcome of one `(tiling, dataflow)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulePoint {
+    /// The tiling factors.
+    pub factors: TilingFactors,
+    /// The dataflow (loop order).
+    pub dataflow: Dataflow,
+    /// Schedule latency in cycles.
+    pub latency: u64,
+    /// Transferred bytes.
+    pub transfer_bytes: u64,
+    /// The metric score (lower is better).
+    pub score: f64,
+}
+
+/// The result of one layer search.
+#[derive(Debug, Clone)]
+pub struct LayerSearchResult {
+    /// The layer searched.
+    pub layer: String,
+    /// The winning schedule.
+    pub schedule: Schedule,
+    /// Its tiling factors.
+    pub factors: TilingFactors,
+    /// Its dataflow.
+    pub dataflow: Dataflow,
+    /// Its metric score.
+    pub score: f64,
+    /// `(tiling, dataflow)` pairs evaluated (1 on a memo hit).
+    pub evaluated: usize,
+    /// All explored points when
+    /// [`SearchOptions::collect_points`] was set.
+    pub points: Vec<SchedulePoint>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SchedulerKind {
+    Ooo,
+    Static,
+}
+
+/// Builds the DFG of one `(tiling, dataflow)` pair and runs the chosen
+/// scheduler over it.
+fn run_one(
+    kind: SchedulerKind,
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    model: &SystolicModel,
+    factors: TilingFactors,
+    dataflow: Dataflow,
+    opts: &SearchOptions,
+) -> Result<Schedule, SchedError> {
+    let dfg = Dfg::build(layer, factors, dataflow, model, arch)?;
+    match kind {
+        SchedulerKind::Ooo => OooScheduler::new(&dfg, arch, model)
+            .with_spill(opts.spill.policy())
+            .with_priority(opts.priority)
+            .with_combo(opts.combo)
+            .schedule(),
+        SchedulerKind::Static => StaticScheduler::new(&dfg, arch, model).schedule(),
+    }
+}
+
+fn search(
+    kind: SchedulerKind,
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    cache: Option<&MemoCache>,
+) -> Result<LayerSearchResult, SchedError> {
+    let model = SystolicModel::new(arch);
+
+    // Memo hit: replay the recorded winner directly (§3's "memory
+    // function"). Point collection forces a full search.
+    let key = cache.map(|c| (c, opts.memo_key(layer, arch, kind)));
+    if !opts.collect_points {
+        if let Some((c, k)) = &key {
+            if let Some((factors, dataflow)) = c.get(k) {
+                let schedule = run_one(kind, layer, arch, &model, factors, dataflow, opts)?;
+                let score = opts.metric.score(schedule.latency(), schedule.transfer_bytes());
+                return Ok(LayerSearchResult {
+                    layer: layer.name().to_owned(),
+                    schedule,
+                    factors,
+                    dataflow,
+                    score,
+                    evaluated: 1,
+                    points: Vec::new(),
+                });
+            }
+        }
+    }
+
+    let tilings = enumerate_tilings(layer, arch, &opts.tiling);
+    if tilings.is_empty() {
+        return Err(SchedError::NoViableTiling {
+            layer: layer.name().to_owned(),
+        });
+    }
+    let work: Vec<(TilingFactors, Dataflow)> = tilings
+        .iter()
+        .flat_map(|&f| opts.dataflows.iter().map(move |&d| (f, d)))
+        .collect();
+
+    // Evaluate every (tiling, dataflow) pair, optionally across
+    // threads (§3's suggested parallelization).
+    let threads = match opts.threads {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    }
+    .min(work.len())
+    .max(1);
+
+    let results: Vec<Option<Result<Schedule, SchedError>>> = if threads == 1 {
+        work.iter()
+            .map(|&(f, d)| Some(run_one(kind, layer, arch, &model, f, d, opts)))
+            .collect()
+    } else {
+        let slots: Vec<Mutex<Option<Result<Schedule, SchedError>>>> =
+            work.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let (f, d) = work[i];
+                    let r = run_one(kind, layer, arch, &model, f, d, opts);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        })
+        .expect("search worker panicked");
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("result slot poisoned"))
+            .collect()
+    };
+
+    // Deterministic reduction in work order.
+    let mut best: Option<(usize, Schedule, f64)> = None;
+    let mut points = Vec::new();
+    let mut first_err: Option<SchedError> = None;
+    let mut evaluated = 0usize;
+    for (i, slot) in results.into_iter().enumerate() {
+        match slot.expect("every work item processed") {
+            Ok(schedule) => {
+                evaluated += 1;
+                let score = opts.metric.score(schedule.latency(), schedule.transfer_bytes());
+                if opts.collect_points {
+                    points.push(SchedulePoint {
+                        factors: work[i].0,
+                        dataflow: work[i].1,
+                        latency: schedule.latency(),
+                        transfer_bytes: schedule.transfer_bytes(),
+                        score,
+                    });
+                }
+                let better = best.as_ref().is_none_or(|(_, _, s)| score < *s);
+                if better {
+                    best = Some((i, schedule, score));
+                }
+            }
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    let Some((i, schedule, score)) = best else {
+        return Err(first_err.unwrap_or(SchedError::NoViableTiling {
+            layer: layer.name().to_owned(),
+        }));
+    };
+
+    if let Some((c, k)) = key {
+        c.insert(k, work[i].0, work[i].1);
+    }
+    Ok(LayerSearchResult {
+        layer: layer.name().to_owned(),
+        schedule,
+        factors: work[i].0,
+        dataflow: work[i].1,
+        score,
+        evaluated,
+        points,
+    })
+}
+
+/// Finds the best out-of-order schedule of `layer` on `arch` — the
+/// paper's Algorithm 1.
+///
+/// # Errors
+///
+/// Returns [`SchedError::NoViableTiling`] when no tiling fits the
+/// architecture, or the scheduling error of the only viable tilings.
+pub fn search_layer(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+) -> Result<LayerSearchResult, SchedError> {
+    search(SchedulerKind::Ooo, layer, arch, opts, None)
+}
+
+/// [`search_layer`] with a shared [`MemoCache`].
+///
+/// # Errors
+///
+/// As [`search_layer`].
+pub fn search_layer_cached(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    cache: &MemoCache,
+) -> Result<LayerSearchResult, SchedError> {
+    search(SchedulerKind::Ooo, layer, arch, opts, Some(cache))
+}
+
+/// Finds the best *static loop-order* schedule of `layer` on `arch` —
+/// the paper's baseline (§5): exhaustive search over data-stationary
+/// models (loop orders) and viable tiling sizes, executed in order.
+///
+/// # Errors
+///
+/// As [`search_layer`].
+pub fn search_layer_static(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+) -> Result<LayerSearchResult, SchedError> {
+    search(SchedulerKind::Static, layer, arch, opts, None)
+}
+
+/// [`search_layer_static`] with a shared [`MemoCache`].
+///
+/// # Errors
+///
+/// As [`search_layer`].
+pub fn search_layer_static_cached(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    cache: &MemoCache,
+) -> Result<LayerSearchResult, SchedError> {
+    search(SchedulerKind::Static, layer, arch, opts, Some(cache))
+}
+
+/// Explores every `(tiling, dataflow)` pair with both schedulers and
+/// returns their `(latency, transfer)` scatter — the data behind the
+/// paper's Figure 1.
+///
+/// Returns index-aligned `(ooo_points, static_points)`: entry `i` of
+/// both vectors describes the same `(tiling, dataflow)` pair. Pairs
+/// where either scheduler failed are omitted from both vectors.
+///
+/// # Errors
+///
+/// As [`search_layer`].
+pub fn sweep_tilings(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+) -> Result<(Vec<SchedulePoint>, Vec<SchedulePoint>), SchedError> {
+    let mut opts = opts.clone();
+    opts.collect_points = true;
+    let ooo = search(SchedulerKind::Ooo, layer, arch, &opts, None)?;
+    let st = search(SchedulerKind::Static, layer, arch, &opts, None)?;
+    // Inner-join on the (tiling, dataflow) key: either scheduler may
+    // have skipped pairs it could not schedule.
+    let key = |p: &SchedulePoint| (p.factors, p.dataflow);
+    let static_by_key: std::collections::BTreeMap<_, SchedulePoint> =
+        st.points.into_iter().map(|p| (key(&p), p)).collect();
+    let mut ooo_points = Vec::new();
+    let mut static_points = Vec::new();
+    for p in ooo.points {
+        if let Some(s) = static_by_key.get(&key(&p)) {
+            ooo_points.push(p);
+            static_points.push(*s);
+        }
+    }
+    Ok((ooo_points, static_points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::ArchPreset;
+
+    fn layer() -> ConvLayer {
+        ConvLayer::new("t", 32, 14, 14, 32).unwrap()
+    }
+
+    fn arch() -> ArchConfig {
+        ArchConfig::preset(ArchPreset::Arch1)
+    }
+
+    #[test]
+    fn ooo_search_returns_best_of_points() {
+        let mut opts = SearchOptions::quick();
+        opts.collect_points = true;
+        opts.threads = 1;
+        let r = search_layer(&layer(), &arch(), &opts).unwrap();
+        assert!(!r.points.is_empty());
+        assert_eq!(r.evaluated, r.points.len());
+        let min = r
+            .points
+            .iter()
+            .map(|p| p.score)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(r.score, min);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let mut serial_opts = SearchOptions::quick();
+        serial_opts.threads = 1;
+        let mut par_opts = SearchOptions::quick();
+        par_opts.threads = 4;
+        let a = search_layer(&layer(), &arch(), &serial_opts).unwrap();
+        let b = search_layer(&layer(), &arch(), &par_opts).unwrap();
+        assert_eq!(a.factors, b.factors);
+        assert_eq!(a.dataflow, b.dataflow);
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.schedule.latency(), b.schedule.latency());
+    }
+
+    #[test]
+    fn static_search_works() {
+        let opts = SearchOptions::quick();
+        let r = search_layer_static(&layer(), &arch(), &opts).unwrap();
+        assert!(r.schedule.latency() > 0);
+        assert!(r.schedule.transfer_bytes() > 0);
+    }
+
+    #[test]
+    fn memo_cache_replays_winner() {
+        let opts = SearchOptions::quick();
+        let cache = MemoCache::new();
+        let full = search_layer_cached(&layer(), &arch(), &opts, &cache).unwrap();
+        assert!(full.evaluated > 1);
+        assert_eq!(cache.len(), 1);
+        // Same shape, different name: memo hit.
+        let renamed = layer().with_name("other");
+        let hit = search_layer_cached(&renamed, &arch(), &opts, &cache).unwrap();
+        assert_eq!(hit.evaluated, 1);
+        assert_eq!(hit.factors, full.factors);
+        assert_eq!(hit.dataflow, full.dataflow);
+        assert_eq!(hit.schedule.latency(), full.schedule.latency());
+        assert_eq!(hit.score, full.score);
+    }
+
+    #[test]
+    fn memo_key_distinguishes_options() {
+        let a = SearchOptions::quick();
+        let mut b = SearchOptions::quick();
+        b.metric = Metric::Transfer;
+        let l = layer();
+        let ar = arch();
+        assert_ne!(
+            a.memo_key(&l, &ar, SchedulerKind::Ooo),
+            b.memo_key(&l, &ar, SchedulerKind::Ooo)
+        );
+        assert_ne!(
+            a.memo_key(&l, &ar, SchedulerKind::Ooo),
+            a.memo_key(&l, &ar, SchedulerKind::Static)
+        );
+    }
+
+    #[test]
+    fn sweep_produces_both_scatters() {
+        let opts = SearchOptions::quick();
+        let (ooo, st) = sweep_tilings(&layer(), &arch(), &opts).unwrap();
+        assert!(!ooo.is_empty());
+        assert_eq!(ooo.len(), st.len());
+    }
+
+    #[test]
+    fn restricted_dataflows_are_honoured() {
+        let mut opts = SearchOptions::quick();
+        opts.dataflows = vec![Dataflow::Ksc];
+        opts.collect_points = true;
+        let r = search_layer_static(&layer(), &arch(), &opts).unwrap();
+        assert!(r.points.iter().all(|p| p.dataflow == Dataflow::Ksc));
+        assert_eq!(r.dataflow, Dataflow::Ksc);
+    }
+
+    #[test]
+    fn spill_policy_choices_resolve() {
+        assert_eq!(SpillPolicyChoice::Flexer.policy().name(), "flexer");
+        assert_eq!(SpillPolicyChoice::FirstFit.policy().name(), "first-fit");
+        assert_eq!(
+            SpillPolicyChoice::SmallestFirst.policy().name(),
+            "small-first"
+        );
+        assert_eq!(SpillPolicyChoice::default(), SpillPolicyChoice::Flexer);
+    }
+
+    #[test]
+    fn collect_points_bypasses_memo_replay() {
+        let mut opts = SearchOptions::quick();
+        let cache = MemoCache::new();
+        let _ = search_layer_cached(&layer(), &arch(), &opts, &cache).unwrap();
+        assert_eq!(cache.len(), 1);
+        opts.collect_points = true;
+        let full = search_layer_cached(&layer(), &arch(), &opts, &cache).unwrap();
+        assert!(full.evaluated > 1, "memo must not shortcut a point sweep");
+        assert!(!full.points.is_empty());
+    }
+
+    #[test]
+    fn ooo_and_static_memo_entries_do_not_collide() {
+        let opts = SearchOptions::quick();
+        let cache = MemoCache::new();
+        let _ = search_layer_cached(&layer(), &arch(), &opts, &cache).unwrap();
+        let _ = search_layer_static_cached(&layer(), &arch(), &opts, &cache).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn impossible_layer_reports_no_viable_tiling() {
+        // A single 1x1 output with enormous channel depth: every tiling
+        // of the channel dims still needs the full-width weight tile
+        // rows; choose dims the enumerator cannot fit into 256 KiB.
+        let huge = flexer_model::ConvLayerBuilder::new("huge", 4096, 1024, 1024, 4096)
+            .build()
+            .unwrap();
+        let mut opts = SearchOptions::quick();
+        opts.tiling.max_ops = 32; // too few ops allowed to shrink tiles enough
+        let err = search_layer(&huge, &arch(), &opts).unwrap_err();
+        assert!(matches!(err, SchedError::NoViableTiling { .. }), "{err}");
+    }
+}

@@ -1,0 +1,399 @@
+//! The static loop-order baseline scheduler.
+
+use crate::error::SchedError;
+use flexer_arch::{ArchConfig, PerfModel};
+use flexer_sim::{MemOpKind, Schedule, ScheduleBuilder, TrafficClass};
+use flexer_spm::AllocError;
+use flexer_tiling::{Dfg, OpId, TileId, TileKind};
+use std::collections::BTreeMap;
+
+/// State of one resident tile in the fixed-region baseline memory.
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    /// Cycle at which the on-chip copy is valid.
+    ready_at: u64,
+    /// Last cycle a scheduled op reads or writes the tile.
+    busy_until: u64,
+    /// Whether the copy differs from DRAM (unsaved partial sums).
+    dirty: bool,
+}
+
+/// Executes a DFG strictly in its static loop order on `n` NPUs — the
+/// per-(tiling, dataflow) building block of the paper's baseline, "the
+/// best static loop-order schedule … found through exhaustive search
+/// among all schedules with different data stationary models and
+/// viable tiling sizes" (§5).
+///
+/// Two properties make it a *loop-order* schedule (§4.1, Figure 5 (b)):
+///
+/// * **In-order issue.** Each step issues the longest run of
+///   *consecutive* operations (at most one per core) with no
+///   dependency inside the run, like an in-order multi-issue machine —
+///   the paper's "innermost loop is unrolled `n` times".
+/// * **Fixed-region, replace-in-place memory.** Each data type lives
+///   in a reserved region whose slots are overwritten by the next
+///   iteration's tiles. Consequently a tile is reused exactly when
+///   consecutive iterations touch it (the stationary type, plus
+///   sharing within one set); everything else is reloaded, giving the
+///   regular, uniform reload counts the paper observes for loop-order
+///   schedules (Figure 10). Dirty partial sums are written back when
+///   replaced.
+///
+/// The out-of-order scheduler's opportunistic buffer (keeping any tile
+/// that may be reused later, wherever it fits) is exactly what this
+/// baseline cannot do.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+/// use flexer_model::ConvLayer;
+/// use flexer_sched::StaticScheduler;
+/// use flexer_tiling::{Dataflow, Dfg, TilingFactors};
+///
+/// let arch = ArchConfig::preset(ArchPreset::Arch1);
+/// let layer = ConvLayer::new("c", 32, 14, 14, 32)?;
+/// let model = SystolicModel::new(&arch);
+/// let factors = TilingFactors::normalized(&layer, 2, 2, 2, 2);
+/// let dfg = Dfg::build(&layer, factors, Dataflow::Csk, &model, &arch)?;
+///
+/// let schedule = StaticScheduler::new(&dfg, &arch, &model).schedule()?;
+/// assert_eq!(schedule.compute().len(), dfg.num_ops());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy)]
+pub struct StaticScheduler<'a> {
+    dfg: &'a Dfg,
+    arch: &'a ArchConfig,
+    perf: &'a dyn PerfModel,
+}
+
+impl std::fmt::Debug for StaticScheduler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticScheduler")
+            .field("dfg", &self.dfg.to_string())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> StaticScheduler<'a> {
+    /// Creates a baseline scheduler.
+    #[must_use]
+    pub fn new(dfg: &'a Dfg, arch: &'a ArchConfig, perf: &'a dyn PerfModel) -> Self {
+        Self { dfg, arch, perf }
+    }
+
+    /// Runs the scheduler to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::Alloc`] when a single operation's working
+    /// set exceeds the on-chip buffer.
+    pub fn schedule(&self) -> Result<Schedule, SchedError> {
+        let dfg = self.dfg;
+        let cores = self.arch.cores() as usize;
+        let capacity = self.arch.spm_bytes();
+        let num_ops = dfg.num_ops();
+        let mut builder = ScheduleBuilder::new(self.arch.cores());
+        let mut resident: BTreeMap<TileId, Resident> = BTreeMap::new();
+        let mut op_end = vec![0u64; num_ops];
+        let mut scheduled = vec![false; num_ops];
+        let mut next = 0usize;
+
+        while next < num_ops {
+            // In-order set formation: the longest dependency-free run
+            // of consecutive ops, one per core, whose combined working
+            // set fits the buffer.
+            let mut set: Vec<OpId> = Vec::with_capacity(cores);
+            let mut needed: BTreeMap<TileId, u64> = BTreeMap::new();
+            while set.len() < cores && next < num_ops {
+                let id = OpId::new(next as u32);
+                if dfg.pred(id).is_some_and(|p| !scheduled[p.index()]) {
+                    break;
+                }
+                let mut extended = needed.clone();
+                for t in dfg.op(id).operands() {
+                    extended.entry(t).or_insert_with(|| dfg.tile_bytes(t));
+                }
+                if extended.values().sum::<u64>() > capacity {
+                    break;
+                }
+                needed = extended;
+                set.push(id);
+                next += 1;
+            }
+            if set.is_empty() {
+                // Even one op exceeds the buffer.
+                let id = OpId::new(next as u32);
+                let requested = dfg.op(id).operands().map(|t| dfg.tile_bytes(t)).sum();
+                return Err(SchedError::Alloc(AllocError::InsufficientMemory {
+                    requested,
+                    free: capacity,
+                }));
+            }
+
+            // Replace-in-place: every resident tile the next iteration
+            // does not touch is overwritten; unsaved partial sums are
+            // written back first.
+            let evicted: Vec<(TileId, Resident)> = resident
+                .iter()
+                .filter(|(t, _)| !needed.contains_key(t))
+                .map(|(t, r)| (*t, *r))
+                .collect();
+            for (tile, r) in evicted {
+                resident.remove(&tile);
+                if r.dirty {
+                    let bytes = self.dfg.tile_bytes(tile);
+                    builder.record_mem_op_after(
+                        MemOpKind::Spill,
+                        TrafficClass::Psum,
+                        tile,
+                        bytes,
+                        self.perf.dma_cycles(bytes),
+                        r.busy_until,
+                        None,
+                    );
+                }
+            }
+
+            // Loads for tiles entering the regions.
+            for (&tile, &bytes) in &needed {
+                if resident.contains_key(&tile) {
+                    continue;
+                }
+                // A fresh accumulator holds no data yet; spilled
+                // partial sums must come back from DRAM.
+                let class = match tile.kind() {
+                    TileKind::Input => Some(TrafficClass::Input),
+                    TileKind::Weight => Some(TrafficClass::Weight),
+                    TileKind::Output => {
+                        let consumer = set
+                            .iter()
+                            .find(|&&id| dfg.op(id).output() == tile)
+                            .expect("output tile belongs to an op of the set");
+                        dfg.op(*consumer).needs_psum().then_some(TrafficClass::Psum)
+                    }
+                };
+                let ready_at = match class {
+                    Some(class) => {
+                        let for_op = set
+                            .iter()
+                            .copied()
+                            .find(|&id| dfg.op(id).operands().any(|t| t == tile));
+                        let (_, end) = builder.record_mem_op(
+                            MemOpKind::Load,
+                            class,
+                            tile,
+                            bytes,
+                            self.perf.dma_cycles(bytes),
+                            for_op,
+                        );
+                        end
+                    }
+                    None => 0,
+                };
+                resident.insert(
+                    tile,
+                    Resident {
+                        ready_at,
+                        busy_until: ready_at,
+                        dirty: false,
+                    },
+                );
+            }
+
+            // Sharing within the set (the stationary type, Figure 11).
+            let mut degree: BTreeMap<TileId, u32> = BTreeMap::new();
+            for &id in &set {
+                for t in dfg.op(id).operands() {
+                    *degree.entry(t).or_default() += 1;
+                }
+            }
+            for (tile, sharers) in degree {
+                if sharers >= 2 {
+                    builder.record_shared_tile(tile.kind(), dfg.tile_bytes(tile), sharers);
+                }
+            }
+
+            // Issue the compute ops on distinct cores.
+            let mut free_cores: Vec<u32> = (0..self.arch.cores()).collect();
+            free_cores.sort_by_key(|&c| (builder.timeline().core_free(c), c));
+            for (&id, &core) in set.iter().zip(free_cores.iter()) {
+                let op = dfg.op(id);
+                let mut earliest = 0u64;
+                for t in op.operands() {
+                    earliest = earliest.max(resident[&t].ready_at);
+                }
+                if let Some(pred) = dfg.pred(id) {
+                    earliest = earliest.max(op_end[pred.index()]);
+                }
+                let (_, end) = builder.record_compute(id, core, earliest, op.latency());
+                op_end[id.index()] = end;
+                scheduled[id.index()] = true;
+                for t in op.operands() {
+                    let r = resident.get_mut(&t).expect("operand resident");
+                    r.busy_until = r.busy_until.max(end);
+                }
+                let out = resident.get_mut(&op.output()).expect("output resident");
+                out.ready_at = end;
+                out.dirty = true;
+                if op.is_final() {
+                    let bytes = dfg.tile_bytes(op.output());
+                    builder.record_mem_op_after(
+                        MemOpKind::Store,
+                        TrafficClass::Output,
+                        op.output(),
+                        bytes,
+                        self.perf.dma_cycles(bytes),
+                        end,
+                        None,
+                    );
+                    out.dirty = false;
+                }
+            }
+
+            let used: u64 = needed.values().sum();
+            builder.record_spm_utilization(used as f64 / capacity as f64);
+        }
+        Ok(builder.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::{ArchConfigBuilder, ArchPreset, SystolicModel};
+    use flexer_model::ConvLayer;
+    use flexer_sim::validate_schedule;
+    use flexer_tiling::{Dataflow, TilingFactors};
+
+    fn build(
+        layer: &ConvLayer,
+        arch: &ArchConfig,
+        k: u32,
+        c: u32,
+        h: u32,
+        w: u32,
+        df: Dataflow,
+    ) -> Dfg {
+        let model = SystolicModel::new(arch);
+        let factors = TilingFactors::normalized(layer, k, c, h, w);
+        Dfg::build(layer, factors, df, &model, arch).unwrap()
+    }
+
+    #[test]
+    fn schedules_are_legal_for_every_dataflow() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("s", 32, 16, 16, 32).unwrap();
+        for df in Dataflow::all() {
+            let dfg = build(&layer, &arch, 2, 2, 2, 2, df);
+            let sched = StaticScheduler::new(&dfg, &arch, &model)
+                .schedule()
+                .unwrap();
+            validate_schedule(&dfg, &sched).unwrap_or_else(|e| panic!("{df}: {e}"));
+        }
+    }
+
+    #[test]
+    fn loop_order_reloads_are_uniform_per_type() {
+        // The paper (§5): "the regular structure of the loop also
+        // dictates that all tiles of a given type are reloaded the
+        // same number of times".
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("u", 64, 16, 16, 64).unwrap();
+        let dfg = build(&layer, &arch, 4, 4, 2, 2, Dataflow::Kcs);
+        let sched = StaticScheduler::new(&dfg, &arch, &model)
+            .schedule()
+            .unwrap();
+        for kind in [TileKind::Input, TileKind::Weight] {
+            assert!(
+                !sched.traffic().has_reload_variation(kind),
+                "{kind} reload counts vary in a loop-order schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn stationary_type_is_not_reloaded() {
+        let arch = ArchConfigBuilder::new(2, 1 << 20, 32).build().unwrap();
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("st", 32, 16, 16, 32).unwrap();
+        // CSK is input-stationary: each IN tile stays while the k loop
+        // sweeps; every IN tile is loaded exactly once.
+        let dfg = build(&layer, &arch, 4, 1, 2, 2, Dataflow::Csk);
+        let sched = StaticScheduler::new(&dfg, &arch, &model)
+            .schedule()
+            .unwrap();
+        assert_eq!(sched.traffic().max_loads(TileKind::Input), 1);
+    }
+
+    #[test]
+    fn non_stationary_types_are_reloaded() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("re", 64, 16, 16, 64).unwrap();
+        // CSK sweeps all k per (c, s): weights reload for every s
+        // after the first.
+        let dfg = build(&layer, &arch, 4, 4, 2, 2, Dataflow::Csk);
+        let sched = StaticScheduler::new(&dfg, &arch, &model)
+            .schedule()
+            .unwrap();
+        assert!(sched.traffic().max_loads(TileKind::Weight) > 1);
+    }
+
+    #[test]
+    fn output_stationary_order_avoids_psum_traffic() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("os", 64, 16, 16, 64).unwrap();
+        // KSC: c innermost — partial sums accumulate on-chip and are
+        // stored exactly once.
+        let dfg = build(&layer, &arch, 4, 4, 2, 2, Dataflow::Ksc);
+        let sched = StaticScheduler::new(&dfg, &arch, &model)
+            .schedule()
+            .unwrap();
+        assert_eq!(sched.traffic().class_bytes(TrafficClass::Psum), 0);
+        // But the psum chains serialize: utilization of the second
+        // core collapses.
+        assert!(sched.compute_utilization() < 0.75);
+    }
+
+    #[test]
+    fn input_stationary_order_spills_psums() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("ps", 64, 16, 16, 64).unwrap();
+        // CSK with several c tiles: each (k, s) accumulator is evicted
+        // between c iterations -> psum write-backs and reloads.
+        let dfg = build(&layer, &arch, 4, 4, 2, 2, Dataflow::Csk);
+        let sched = StaticScheduler::new(&dfg, &arch, &model)
+            .schedule()
+            .unwrap();
+        assert!(sched.traffic().class_bytes(TrafficClass::Psum) > 0);
+    }
+
+    #[test]
+    fn oversized_working_set_errors() {
+        let arch = ArchConfigBuilder::new(2, 1024, 32).build().unwrap();
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("big", 64, 16, 16, 64).unwrap();
+        let dfg = build(&layer, &arch, 1, 1, 1, 1, Dataflow::Kcs);
+        let err = StaticScheduler::new(&dfg, &arch, &model)
+            .schedule()
+            .unwrap_err();
+        assert!(matches!(err, SchedError::Alloc(_)), "{err}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("d", 32, 16, 16, 32).unwrap();
+        let dfg = build(&layer, &arch, 2, 2, 2, 2, Dataflow::Skc);
+        let a = StaticScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+        let b = StaticScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,209 @@
+//! Resource timelines.
+
+use serde::{Deserialize, Serialize};
+
+/// Availability timelines of the accelerator's contended resources:
+/// one per NPU core plus the single shared DMA channel to off-chip
+/// memory.
+///
+/// All memory operations serialize on the DMA channel (the paper's
+/// architecture has one off-chip link of configurable bandwidth);
+/// compute operations occupy exactly one core each.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_sim::Timeline;
+///
+/// let mut t = Timeline::new(2);
+/// let (s1, e1) = t.issue_dma(50);
+/// let (s2, e2) = t.issue_dma(30);
+/// assert_eq!((s1, e1), (0, 50));
+/// assert_eq!((s2, e2), (50, 80)); // serialized after the first
+///
+/// let (cs, ce) = t.issue_compute(0, e1, 100);
+/// assert_eq!((cs, ce), (50, 150));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    core_free: Vec<u64>,
+    core_busy: Vec<u64>,
+    dma_free: u64,
+}
+
+impl Timeline {
+    /// Creates timelines for `cores` NPU cores, all idle at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn new(cores: u32) -> Self {
+        assert!(cores > 0, "at least one core required");
+        Self {
+            core_free: vec![0; cores as usize],
+            core_busy: vec![0; cores as usize],
+            dma_free: 0,
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> u32 {
+        self.core_free.len() as u32
+    }
+
+    /// The cycle at which `core` becomes free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn core_free(&self, core: u32) -> u64 {
+        self.core_free[core as usize]
+    }
+
+    /// Busy cycles accumulated on `core` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn core_busy(&self, core: u32) -> u64 {
+        self.core_busy[core as usize]
+    }
+
+    /// The core that becomes free earliest (lowest index on ties).
+    #[must_use]
+    pub fn earliest_core(&self) -> u32 {
+        self.core_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &f)| (f, *i))
+            .map(|(i, _)| i as u32)
+            .expect("at least one core")
+    }
+
+    /// The cycle at which the DMA channel becomes free.
+    #[must_use]
+    pub const fn dma_free(&self) -> u64 {
+        self.dma_free
+    }
+
+    /// Issues a DMA transfer of `cycles` cycles at the earliest
+    /// possible time; returns `(start, end)`.
+    pub fn issue_dma(&mut self, cycles: u64) -> (u64, u64) {
+        self.issue_dma_after(0, cycles)
+    }
+
+    /// Issues a DMA transfer of `cycles` cycles starting no earlier
+    /// than `earliest` (e.g. the cycle its data is produced); returns
+    /// `(start, end)`.
+    pub fn issue_dma_after(&mut self, earliest: u64, cycles: u64) -> (u64, u64) {
+        let start = self.dma_free.max(earliest);
+        let end = start + cycles;
+        self.dma_free = end;
+        (start, end)
+    }
+
+    /// Issues a compute operation of `cycles` cycles on `core`,
+    /// starting no earlier than `earliest` (data readiness) and no
+    /// earlier than the core's availability; returns `(start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn issue_compute(&mut self, core: u32, earliest: u64, cycles: u64) -> (u64, u64) {
+        let idx = core as usize;
+        let start = self.core_free[idx].max(earliest);
+        let end = start + cycles;
+        self.core_free[idx] = end;
+        self.core_busy[idx] += cycles;
+        (start, end)
+    }
+
+    /// The latest cycle at which any resource is busy.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.core_free
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.dma_free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_serializes() {
+        let mut t = Timeline::new(1);
+        assert_eq!(t.issue_dma(10), (0, 10));
+        assert_eq!(t.issue_dma(5), (10, 15));
+        assert_eq!(t.dma_free(), 15);
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let mut t = Timeline::new(2);
+        assert_eq!(t.issue_compute(0, 0, 100), (0, 100));
+        assert_eq!(t.issue_compute(1, 0, 50), (0, 50));
+        assert_eq!(t.core_free(0), 100);
+        assert_eq!(t.core_free(1), 50);
+    }
+
+    #[test]
+    fn compute_waits_for_data_and_core() {
+        let mut t = Timeline::new(1);
+        t.issue_compute(0, 0, 100);
+        // Data ready at 20 but the core is busy until 100.
+        assert_eq!(t.issue_compute(0, 20, 10), (100, 110));
+        // Core free at 110, data ready at 200.
+        assert_eq!(t.issue_compute(0, 200, 10), (200, 210));
+    }
+
+    #[test]
+    fn earliest_core_prefers_lowest_index_on_ties() {
+        let mut t = Timeline::new(3);
+        assert_eq!(t.earliest_core(), 0);
+        t.issue_compute(0, 0, 10);
+        assert_eq!(t.earliest_core(), 1);
+        t.issue_compute(1, 0, 10);
+        t.issue_compute(2, 0, 5);
+        assert_eq!(t.earliest_core(), 2);
+    }
+
+    #[test]
+    fn busy_accounting_excludes_idle_gaps() {
+        let mut t = Timeline::new(1);
+        t.issue_compute(0, 100, 10);
+        assert_eq!(t.core_busy(0), 10);
+        assert_eq!(t.core_free(0), 110);
+    }
+
+    #[test]
+    fn horizon_covers_all_resources() {
+        let mut t = Timeline::new(2);
+        t.issue_compute(0, 0, 10);
+        t.issue_dma(500);
+        assert_eq!(t.horizon(), 500);
+    }
+
+    #[test]
+    fn dma_after_respects_earliest_and_queue() {
+        let mut t = Timeline::new(1);
+        // Earliest in the future: waits.
+        assert_eq!(t.issue_dma_after(100, 10), (100, 110));
+        // Earliest in the past: queues behind the previous transfer.
+        assert_eq!(t.issue_dma_after(50, 10), (110, 120));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = Timeline::new(0);
+    }
+}

@@ -1,0 +1,100 @@
+//! The infinite-buffer traffic reference.
+
+use crate::traffic::{TrafficClass, TrafficStats};
+use flexer_tiling::{Dfg, TileKind};
+
+/// Computes the traffic of the paper's Figure-10 *on-chip* reference:
+/// the best schedule for an unlimited on-chip memory, where every data
+/// tile is moved at most once — each input and weight tile is loaded
+/// once, each output tile is stored once, and no partial-sum traffic
+/// exists.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+/// use flexer_model::ConvLayer;
+/// use flexer_sim::{onchip_reference_traffic, TrafficClass};
+/// use flexer_tiling::{Dataflow, Dfg, TilingFactors};
+///
+/// let arch = ArchConfig::preset(ArchPreset::Arch1);
+/// let layer = ConvLayer::new("c", 16, 8, 8, 16)?;
+/// let factors = TilingFactors::normalized(&layer, 2, 2, 1, 1);
+/// let dfg = Dfg::build(&layer, factors, Dataflow::Kcs, &SystolicModel::new(&arch), &arch)?;
+/// let t = onchip_reference_traffic(&dfg);
+/// assert_eq!(t.class_bytes(TrafficClass::Psum), 0);
+/// assert_eq!(
+///     t.class_bytes(TrafficClass::Output),
+///     layer.output_bytes(arch.element_size()),
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn onchip_reference_traffic(dfg: &Dfg) -> TrafficStats {
+    let mut stats = TrafficStats::default();
+    for tile in dfg.tiles() {
+        let bytes = dfg.tile_bytes(tile);
+        match tile.kind() {
+            TileKind::Input => stats.record_load(TrafficClass::Input, tile, bytes),
+            TileKind::Weight => stats.record_load(TrafficClass::Weight, tile, bytes),
+            TileKind::Output => stats.record_store(TrafficClass::Output, bytes),
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+    use flexer_model::ConvLayer;
+    use flexer_tiling::{Dataflow, TilingFactors};
+
+    #[test]
+    fn reference_moves_each_tile_once() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let layer = ConvLayer::new("c", 32, 16, 16, 32).unwrap();
+        let factors = TilingFactors::normalized(&layer, 2, 2, 2, 2);
+        let dfg = Dfg::build(
+            &layer,
+            factors,
+            Dataflow::Kcs,
+            &SystolicModel::new(&arch),
+            &arch,
+        )
+        .unwrap();
+        let t = onchip_reference_traffic(&dfg);
+        assert_eq!(
+            t.class_bytes(TrafficClass::Input),
+            dfg.unique_bytes(TileKind::Input)
+        );
+        assert_eq!(
+            t.class_bytes(TrafficClass::Weight),
+            dfg.unique_bytes(TileKind::Weight)
+        );
+        assert_eq!(
+            t.class_bytes(TrafficClass::Output),
+            dfg.unique_bytes(TileKind::Output)
+        );
+        assert_eq!(t.class_bytes(TrafficClass::Psum), 0);
+        // No tile is ever reloaded.
+        assert_eq!(t.max_loads(TileKind::Input), 1);
+        assert_eq!(t.max_loads(TileKind::Weight), 1);
+        assert!(!t.has_reload_variation(TileKind::Input));
+    }
+
+    #[test]
+    fn reference_is_independent_of_dataflow() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let layer = ConvLayer::new("c", 16, 12, 12, 16).unwrap();
+        let factors = TilingFactors::normalized(&layer, 2, 2, 2, 1);
+        let model = SystolicModel::new(&arch);
+        let a = onchip_reference_traffic(
+            &Dfg::build(&layer, factors, Dataflow::Kcs, &model, &arch).unwrap(),
+        );
+        let b = onchip_reference_traffic(
+            &Dfg::build(&layer, factors, Dataflow::Sck, &model, &arch).unwrap(),
+        );
+        assert_eq!(a, b);
+    }
+}

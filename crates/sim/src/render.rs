@@ -1,0 +1,224 @@
+//! Human-readable schedule rendering and raw export.
+//!
+//! Two consumers: humans debugging a schedule (the ASCII Gantt chart
+//! mirrors how the paper visualizes executions) and external tooling
+//! (the TSV export feeds plotting scripts without requiring a JSON
+//! dependency).
+
+use crate::schedule::{MemOpKind, Schedule};
+use std::fmt::Write as _;
+
+/// Renders an ASCII Gantt chart of the schedule: one lane per NPU
+/// core plus one for the DMA channel, `width` characters across the
+/// full makespan.
+///
+/// Compute operations print as `#`, loads as `<`, spills/stores as
+/// `>`; idle time as `.`. Overlapping glyphs within one cell keep the
+/// first writer.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_sim::{render_gantt, MemOpKind, ScheduleBuilder, TrafficClass};
+/// use flexer_tiling::{OpId, TileId};
+///
+/// let mut b = ScheduleBuilder::new(1);
+/// let tile = TileId::Input { c: 0, s: 0 };
+/// let (_, end) = b.record_mem_op(MemOpKind::Load, TrafficClass::Input, tile, 64, 50, None);
+/// b.record_compute(OpId::new(0), 0, end, 50);
+/// let chart = render_gantt(&b.finish(), 20);
+/// assert!(chart.contains("core0"));
+/// assert!(chart.contains('#'));
+/// assert!(chart.contains('<'));
+/// ```
+#[must_use]
+pub fn render_gantt(schedule: &Schedule, width: usize) -> String {
+    let width = width.max(10);
+    let span = schedule.latency().max(1);
+    let cell = |t: u64| (((t as u128) * width as u128) / (span as u128 + 1)) as usize;
+
+    let mut lanes: Vec<(String, Vec<u8>)> = (0..schedule.cores())
+        .map(|c| (format!("core{c}"), vec![b'.'; width]))
+        .collect();
+    lanes.push(("dma".to_owned(), vec![b'.'; width]));
+
+    for op in schedule.compute() {
+        let lane = &mut lanes[op.core as usize].1;
+        let span = cell(op.start)..=cell(op.end.saturating_sub(1)).min(width - 1);
+        lane[span].fill(b'#');
+    }
+    let dma = schedule.cores() as usize;
+    for m in schedule.mem_ops() {
+        let glyph = match m.kind {
+            MemOpKind::Load => b'<',
+            MemOpKind::Spill | MemOpKind::Store => b'>',
+        };
+        let lane = &mut lanes[dma].1;
+        for c in &mut lane[cell(m.start)..=cell(m.end.saturating_sub(1)).min(width - 1)] {
+            if *c == b'.' {
+                *c = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "0 .. {} cycles", schedule.latency());
+    for (label, lane) in lanes {
+        let _ = writeln!(
+            out,
+            "{label:>6} |{}|",
+            String::from_utf8(lane).expect("ASCII lane")
+        );
+    }
+    out
+}
+
+/// Exports the schedule as tab-separated values, one event per line:
+///
+/// ```text
+/// kind  resource  start  end  what  bytes
+/// ```
+///
+/// `kind` is `compute`, `load`, `spill` or `store`; `resource` is
+/// `core<N>` or `dma`. Events are ordered by start time (ties: compute
+/// first, then resource).
+///
+/// # Examples
+///
+/// ```
+/// use flexer_sim::{to_tsv, ScheduleBuilder};
+/// use flexer_tiling::OpId;
+///
+/// let mut b = ScheduleBuilder::new(1);
+/// b.record_compute(OpId::new(0), 0, 0, 10);
+/// let tsv = to_tsv(&b.finish());
+/// assert!(tsv.starts_with("kind\tresource\tstart\tend\twhat\tbytes"));
+/// assert!(tsv.contains("compute\tcore0\t0\t10\ttCONV0\t0"));
+/// ```
+#[must_use]
+pub fn to_tsv(schedule: &Schedule) -> String {
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Row {
+        start: u64,
+        order: u8,
+        resource: String,
+        end: u64,
+        kind: &'static str,
+        what: String,
+        bytes: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for op in schedule.compute() {
+        rows.push(Row {
+            start: op.start,
+            order: 0,
+            resource: format!("core{}", op.core),
+            end: op.end,
+            kind: "compute",
+            what: op.op.to_string(),
+            bytes: 0,
+        });
+    }
+    for m in schedule.mem_ops() {
+        rows.push(Row {
+            start: m.start,
+            order: 1,
+            resource: "dma".to_owned(),
+            end: m.end,
+            kind: match m.kind {
+                MemOpKind::Load => "load",
+                MemOpKind::Spill => "spill",
+                MemOpKind::Store => "store",
+            },
+            what: m.tile.to_string(),
+            bytes: m.bytes,
+        });
+    }
+    rows.sort();
+    let mut out = String::from("kind\tresource\tstart\tend\twhat\tbytes\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            r.kind, r.resource, r.start, r.end, r.what, r.bytes
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleBuilder;
+    use crate::traffic::TrafficClass;
+    use flexer_tiling::{OpId, TileId};
+
+    fn sample() -> Schedule {
+        let mut b = ScheduleBuilder::new(2);
+        let t_in = TileId::Input { c: 0, s: 0 };
+        let t_out = TileId::Output { k: 0, s: 0 };
+        let (_, le) = b.record_mem_op(MemOpKind::Load, TrafficClass::Input, t_in, 128, 40, None);
+        b.record_compute(OpId::new(0), 0, le, 100);
+        b.record_compute(OpId::new(1), 1, le, 60);
+        b.record_mem_op(MemOpKind::Store, TrafficClass::Output, t_out, 64, 30, None);
+        b.finish()
+    }
+
+    #[test]
+    fn gantt_has_one_lane_per_resource() {
+        let chart = render_gantt(&sample(), 40);
+        assert!(chart.contains("core0"));
+        assert!(chart.contains("core1"));
+        assert!(chart.contains("dma"));
+        // Three lane rows plus the header.
+        assert_eq!(chart.lines().count(), 4);
+    }
+
+    #[test]
+    fn gantt_marks_busy_and_idle() {
+        let chart = render_gantt(&sample(), 40);
+        let core0 = chart.lines().find(|l| l.contains("core0")).unwrap();
+        assert!(core0.contains('#'));
+        assert!(core0.contains('.'));
+        let dma = chart.lines().find(|l| l.contains("dma")).unwrap();
+        assert!(dma.contains('<'));
+        assert!(dma.contains('>'));
+    }
+
+    #[test]
+    fn gantt_handles_empty_schedules() {
+        let empty = ScheduleBuilder::new(1).finish();
+        let chart = render_gantt(&empty, 20);
+        assert!(chart.contains("0 .. 0 cycles"));
+    }
+
+    #[test]
+    fn gantt_clamps_tiny_width() {
+        let chart = render_gantt(&sample(), 1);
+        assert!(chart.lines().count() >= 3);
+    }
+
+    #[test]
+    fn tsv_lists_every_event_in_time_order() {
+        let tsv = to_tsv(&sample());
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 1 + 4);
+        // Load starts at 0, computes at 40, store after.
+        assert!(lines[1].starts_with("load\tdma\t0\t40\tIN(c0,s0)\t128"));
+        let starts: Vec<u64> = lines[1..]
+            .iter()
+            .map(|l| l.split('\t').nth(2).unwrap().parse().unwrap())
+            .collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn tsv_is_machine_parseable() {
+        let tsv = to_tsv(&sample());
+        for line in tsv.lines().skip(1) {
+            assert_eq!(line.split('\t').count(), 6, "{line}");
+        }
+    }
+}

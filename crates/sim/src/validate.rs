@@ -1,0 +1,347 @@
+//! Structural legality checks for schedules.
+
+use crate::schedule::{MemOpKind, Schedule};
+use flexer_tiling::{Dfg, OpId};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A violation found by [`validate_schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// An operation of the DFG was never scheduled, or scheduled more
+    /// than once.
+    OpCount {
+        /// The offending operation.
+        op: OpId,
+        /// How often it was scheduled.
+        times: usize,
+    },
+    /// An operation started before its partial-sum predecessor ended.
+    DependencyViolated {
+        /// The dependent operation.
+        op: OpId,
+        /// Its predecessor.
+        pred: OpId,
+    },
+    /// Two operations overlapped on the same core.
+    CoreOverlap {
+        /// The core.
+        core: u32,
+        /// First operation.
+        a: OpId,
+        /// Second operation.
+        b: OpId,
+    },
+    /// Two memory operations overlapped on the DMA channel.
+    DmaOverlap,
+    /// A load feeding an operation finished after the operation
+    /// started.
+    LoadAfterUse {
+        /// The operation.
+        op: OpId,
+    },
+    /// The recorded latency does not equal the latest end time.
+    LatencyMismatch {
+        /// Recorded latency.
+        recorded: u64,
+        /// Latest end time over all operations.
+        actual: u64,
+    },
+    /// The schedule misses the mandatory final store of an output
+    /// tile, or transfers less output than the layer produces.
+    MissingOutput {
+        /// Output bytes the layer produces.
+        expected: u64,
+        /// Output bytes actually stored.
+        stored: u64,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::OpCount { op, times } => {
+                write!(f, "{op} scheduled {times} times (expected exactly once)")
+            }
+            ValidationError::DependencyViolated { op, pred } => {
+                write!(f, "{op} started before its predecessor {pred} finished")
+            }
+            ValidationError::CoreOverlap { core, a, b } => {
+                write!(f, "{a} and {b} overlap on core {core}")
+            }
+            ValidationError::DmaOverlap => write!(f, "memory operations overlap on the DMA channel"),
+            ValidationError::LoadAfterUse { op } => {
+                write!(f, "a load for {op} completed after the operation started")
+            }
+            ValidationError::LatencyMismatch { recorded, actual } => {
+                write!(f, "recorded latency {recorded} != actual horizon {actual}")
+            }
+            ValidationError::MissingOutput { expected, stored } => {
+                write!(f, "stored {stored} output bytes, layer produces {expected}")
+            }
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// Validates that `schedule` is a legal execution of `dfg`:
+///
+/// 1. every DFG operation is scheduled exactly once;
+/// 2. partial-sum dependencies are respected;
+/// 3. operations on the same core do not overlap;
+/// 4. memory operations do not overlap on the shared DMA channel;
+/// 5. loads issued for an operation complete before it starts;
+/// 6. the recorded latency equals the latest end time;
+/// 7. at least the layer's full output volume is stored back.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_schedule(dfg: &Dfg, schedule: &Schedule) -> Result<(), ValidationError> {
+    // 1. Exactly-once scheduling.
+    let mut times = vec![0usize; dfg.num_ops()];
+    let mut span: BTreeMap<OpId, (u64, u64)> = BTreeMap::new();
+    for s in schedule.compute() {
+        if s.op.index() >= dfg.num_ops() {
+            return Err(ValidationError::OpCount { op: s.op, times: 0 });
+        }
+        times[s.op.index()] += 1;
+        span.insert(s.op, (s.start, s.end));
+    }
+    for (i, &t) in times.iter().enumerate() {
+        if t != 1 {
+            return Err(ValidationError::OpCount {
+                op: OpId::new(i as u32),
+                times: t,
+            });
+        }
+    }
+
+    // 2. Dependencies.
+    for op in dfg.ops() {
+        if let Some(pred) = dfg.pred(op.id()) {
+            let (start, _) = span[&op.id()];
+            let (_, pred_end) = span[&pred];
+            if start < pred_end {
+                return Err(ValidationError::DependencyViolated {
+                    op: op.id(),
+                    pred,
+                });
+            }
+        }
+    }
+
+    // 3. Core exclusivity.
+    let mut by_core: BTreeMap<u32, Vec<(u64, u64, OpId)>> = BTreeMap::new();
+    for s in schedule.compute() {
+        by_core
+            .entry(s.core)
+            .or_default()
+            .push((s.start, s.end, s.op));
+    }
+    for (core, mut ops) in by_core {
+        ops.sort_unstable();
+        for pair in ops.windows(2) {
+            if pair[1].0 < pair[0].1 {
+                return Err(ValidationError::CoreOverlap {
+                    core,
+                    a: pair[0].2,
+                    b: pair[1].2,
+                });
+            }
+        }
+    }
+
+    // 4. DMA exclusivity.
+    let mut dma: Vec<(u64, u64)> = schedule.mem_ops().iter().map(|m| (m.start, m.end)).collect();
+    dma.sort_unstable();
+    for pair in dma.windows(2) {
+        if pair[1].0 < pair[0].1 {
+            return Err(ValidationError::DmaOverlap);
+        }
+    }
+
+    // 5. Loads precede their consumers.
+    for m in schedule.mem_ops() {
+        if m.kind == MemOpKind::Load {
+            if let Some(op) = m.for_op {
+                if let Some(&(start, _)) = span.get(&op) {
+                    if m.end > start {
+                        return Err(ValidationError::LoadAfterUse { op });
+                    }
+                }
+            }
+        }
+    }
+
+    // 6. Latency.
+    let actual = schedule
+        .compute()
+        .iter()
+        .map(|s| s.end)
+        .chain(schedule.mem_ops().iter().map(|m| m.end))
+        .max()
+        .unwrap_or(0);
+    // On-chip compaction occupies the DMA channel without appearing
+    // as a memory operation, so the recorded latency may exceed the
+    // last operation's end — but never undercut it.
+    let undercut = schedule.latency() < actual;
+    let slack_without_compaction =
+        schedule.compaction_cycles() == 0 && schedule.latency() != actual;
+    if undercut || slack_without_compaction {
+        return Err(ValidationError::LatencyMismatch {
+            recorded: schedule.latency(),
+            actual,
+        });
+    }
+
+    // 7. Full output volume stored.
+    let expected = dfg.unique_bytes(flexer_tiling::TileKind::Output);
+    let stored: u64 = schedule
+        .mem_ops()
+        .iter()
+        .filter(|m| m.kind == MemOpKind::Store)
+        .map(|m| m.bytes)
+        .sum();
+    if stored < expected {
+        return Err(ValidationError::MissingOutput { expected, stored });
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleBuilder;
+    use crate::traffic::TrafficClass;
+    use flexer_arch::{ArchConfig, ArchPreset, PerfModel, SystolicModel};
+    use flexer_model::ConvLayer;
+    use flexer_tiling::{Dataflow, Dfg, TileId, TilingFactors};
+
+    fn tiny_dfg() -> (Dfg, SystolicModel, ArchConfig) {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let layer = ConvLayer::new("v", 8, 8, 8, 8).unwrap();
+        let model = SystolicModel::new(&arch);
+        let factors = TilingFactors::normalized(&layer, 1, 2, 1, 1);
+        let dfg = Dfg::build(&layer, factors, Dataflow::Kcs, &model, &arch).unwrap();
+        (dfg, model, arch)
+    }
+
+    /// Hand-schedules the 2-op chain legally.
+    fn legal_schedule(dfg: &Dfg, model: &SystolicModel) -> Schedule {
+        let mut b = ScheduleBuilder::new(2);
+        let mut clock = 0;
+        for op in dfg.ops() {
+            for tile in [op.input(), op.weight()] {
+                let bytes = dfg.tile_bytes(tile);
+                let class = match tile {
+                    TileId::Input { .. } => TrafficClass::Input,
+                    _ => TrafficClass::Weight,
+                };
+                let (_, end) = b.record_mem_op(
+                    MemOpKind::Load,
+                    class,
+                    tile,
+                    bytes,
+                    model.dma_cycles(bytes),
+                    Some(op.id()),
+                );
+                clock = clock.max(end);
+            }
+            let (_, end) = b.record_compute(op.id(), 0, clock, op.latency());
+            clock = end;
+        }
+        let out = TileId::Output { k: 0, s: 0 };
+        let bytes = dfg.tile_bytes(out);
+        b.record_mem_op(
+            MemOpKind::Store,
+            TrafficClass::Output,
+            out,
+            bytes,
+            model.dma_cycles(bytes),
+            None,
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn legal_schedule_passes() {
+        let (dfg, model, _) = tiny_dfg();
+        let sched = legal_schedule(&dfg, &model);
+        validate_schedule(&dfg, &sched).unwrap();
+    }
+
+    #[test]
+    fn missing_op_detected() {
+        let (dfg, model, _) = tiny_dfg();
+        let mut b = ScheduleBuilder::new(1);
+        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
+        let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
+        assert!(matches!(err, ValidationError::OpCount { times: 0, .. }), "{err}");
+        let _ = model;
+    }
+
+    #[test]
+    fn dependency_violation_detected() {
+        let (dfg, _, _) = tiny_dfg();
+        let mut b = ScheduleBuilder::new(2);
+        // Schedule dependent op at time 0 on core 1 while the pred
+        // runs 0..10 on core 0.
+        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
+        b.record_compute(dfg.ops()[1].id(), 1, 0, 10);
+        let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
+        assert!(matches!(err, ValidationError::DependencyViolated { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_op_detected() {
+        let (dfg, _, _) = tiny_dfg();
+        let mut b = ScheduleBuilder::new(1);
+        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
+        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
+        b.record_compute(dfg.ops()[1].id(), 0, 0, 10);
+        let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
+        assert!(matches!(err, ValidationError::OpCount { times: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_output_store_detected() {
+        let (dfg, _, _) = tiny_dfg();
+        let mut b = ScheduleBuilder::new(1);
+        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
+        b.record_compute(dfg.ops()[1].id(), 0, 10, 10);
+        let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
+        assert!(matches!(err, ValidationError::MissingOutput { .. }), "{err}");
+    }
+
+    #[test]
+    fn load_after_use_detected() {
+        let (dfg, model, _) = tiny_dfg();
+        let mut b = ScheduleBuilder::new(1);
+        // Compute first, then its load — illegal.
+        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
+        b.record_compute(dfg.ops()[1].id(), 0, 10, 10);
+        let out = TileId::Output { k: 0, s: 0 };
+        b.record_mem_op(
+            MemOpKind::Store,
+            TrafficClass::Output,
+            out,
+            dfg.tile_bytes(out),
+            model.dma_cycles(dfg.tile_bytes(out)),
+            None,
+        );
+        b.record_mem_op(
+            MemOpKind::Load,
+            TrafficClass::Input,
+            dfg.ops()[0].input(),
+            8,
+            10,
+            Some(dfg.ops()[0].id()),
+        );
+        let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
+        assert!(matches!(err, ValidationError::LoadAfterUse { .. }), "{err}");
+    }
+}

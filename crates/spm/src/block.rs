@@ -1,0 +1,212 @@
+//! Memory blocks of the scratchpad model.
+
+use flexer_tiling::TileId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Residency metadata of an on-chip data tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileData {
+    /// The tile held by the block.
+    pub tile: TileId,
+    /// How many not-yet-scheduled operations still reference the tile
+    /// as an operand (the paper's `remain_uses`, Algorithm 2 line 15).
+    pub remain_uses: u32,
+    /// Whether the on-chip copy differs from DRAM (partial sums and
+    /// unwritten outputs); evicting a dirty tile costs a write-back.
+    pub dirty: bool,
+    /// Whether the tile is an operand of the operation set currently
+    /// being issued; pinned tiles cannot be spilled.
+    pub pinned: bool,
+}
+
+/// Allocation state of a [`Block`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockState {
+    /// The block holds no data.
+    Free,
+    /// The block holds a data tile.
+    Allocated(TileData),
+}
+
+impl BlockState {
+    /// The tile data if allocated.
+    #[must_use]
+    pub fn tile_data(&self) -> Option<&TileData> {
+        match self {
+            BlockState::Free => None,
+            BlockState::Allocated(data) => Some(data),
+        }
+    }
+
+    /// Whether the block is free.
+    #[must_use]
+    pub const fn is_free(&self) -> bool {
+        matches!(self, BlockState::Free)
+    }
+}
+
+/// One contiguous region of the scratchpad (paper Algorithm 2's
+/// `Block` struct).
+///
+/// The scratchpad is modelled as an address-ordered list of blocks
+/// that exactly covers `[0, capacity)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    start: u64,
+    size: u64,
+    state: BlockState,
+}
+
+impl Block {
+    pub(crate) fn new(start: u64, size: u64, state: BlockState) -> Self {
+        debug_assert!(size > 0, "blocks must be non-empty");
+        Self { start, size, state }
+    }
+
+    /// First byte address of the block.
+    #[must_use]
+    pub const fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Size of the block in bytes.
+    #[must_use]
+    pub const fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// One past the last byte address.
+    #[must_use]
+    pub const fn end(&self) -> u64 {
+        self.start + self.size
+    }
+
+    /// Allocation state.
+    #[must_use]
+    pub const fn state(&self) -> &BlockState {
+        &self.state
+    }
+
+    pub(crate) fn state_mut(&mut self) -> &mut BlockState {
+        &mut self.state
+    }
+
+    pub(crate) fn set_size(&mut self, size: u64) {
+        debug_assert!(size > 0);
+        self.size = size;
+    }
+
+    /// Whether the block is free.
+    #[must_use]
+    pub fn is_free(&self) -> bool {
+        self.state.is_free()
+    }
+
+    /// Whether the block may be chosen as a spill victim: free blocks
+    /// always may (they contribute space for free); allocated blocks
+    /// only when not pinned.
+    #[must_use]
+    pub fn is_spillable(&self) -> bool {
+        match &self.state {
+            BlockState::Free => true,
+            BlockState::Allocated(data) => !data.pinned,
+        }
+    }
+
+    /// The spill disadvantage of this block (Algorithm 2 line 15):
+    /// `size x remain_uses` for allocated blocks, zero for free ones.
+    #[must_use]
+    pub fn disadvantage(&self) -> u64 {
+        match &self.state {
+            BlockState::Free => 0,
+            BlockState::Allocated(data) => self.size * u64::from(data.remain_uses),
+        }
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.state {
+            BlockState::Free => write!(f, "[{:#06x}+{}: free]", self.start, self.size),
+            BlockState::Allocated(d) => write!(
+                f,
+                "[{:#06x}+{}: {} uses={}{}{}]",
+                self.start,
+                self.size,
+                d.tile,
+                d.remain_uses,
+                if d.dirty { " dirty" } else { "" },
+                if d.pinned { " pinned" } else { "" },
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile() -> TileId {
+        TileId::Weight { k: 0, c: 0 }
+    }
+
+    #[test]
+    fn geometry() {
+        let b = Block::new(16, 48, BlockState::Free);
+        assert_eq!(b.start(), 16);
+        assert_eq!(b.size(), 48);
+        assert_eq!(b.end(), 64);
+        assert!(b.is_free());
+    }
+
+    #[test]
+    fn disadvantage_weighs_remaining_uses() {
+        let free = Block::new(0, 100, BlockState::Free);
+        assert_eq!(free.disadvantage(), 0);
+        let used = Block::new(
+            0,
+            100,
+            BlockState::Allocated(TileData {
+                tile: tile(),
+                remain_uses: 3,
+                dirty: false,
+                pinned: false,
+            }),
+        );
+        assert_eq!(used.disadvantage(), 300);
+    }
+
+    #[test]
+    fn pinned_blocks_are_not_spillable() {
+        let pinned = Block::new(
+            0,
+            10,
+            BlockState::Allocated(TileData {
+                tile: tile(),
+                remain_uses: 1,
+                dirty: false,
+                pinned: true,
+            }),
+        );
+        assert!(!pinned.is_spillable());
+        assert!(Block::new(0, 10, BlockState::Free).is_spillable());
+    }
+
+    #[test]
+    fn display_shows_flags() {
+        let b = Block::new(
+            0,
+            10,
+            BlockState::Allocated(TileData {
+                tile: tile(),
+                remain_uses: 2,
+                dirty: true,
+                pinned: false,
+            }),
+        );
+        let s = b.to_string();
+        assert!(s.contains("dirty"));
+        assert!(!s.contains("pinned"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Shared on-chip scratchpad (global buffer) model.
+//!
+//! Flexer treats the shared on-chip memory like the register file of a
+//! list instruction scheduler: data tiles are assigned to
+//! variable-sized "registers" by greedy allocation, and data movement
+//! to/from DRAM plays the role of spill code (paper §3). Out-of-order
+//! schedules produce *irregular* allocation sequences, so memory
+//! fragmentation — not an issue for loop-order schedules with fixed
+//! data regions — becomes the limiting factor (paper §4.1).
+//!
+//! This crate provides:
+//!
+//! * [`SpmMemory`] — a byte-granular, block-based model of the global
+//!   buffer: an address-ordered list of allocated/free blocks covering
+//!   the whole capacity, with tile residency, per-tile remaining-use
+//!   counts, dirty bits, and pinning of in-flight operands;
+//! * the allocation procedure of §4.1 — in-place replacement of dead
+//!   equal-sized blocks first, then best-fit placement in free blocks,
+//!   then spilling;
+//! * [`SpillPolicy`] implementations — [`FlexerSpill`] (the paper's
+//!   Algorithm 2: minimize fragmentation, then maximize remaining
+//!   reuse, then minimize block count), plus the two ablation policies
+//!   of Table 2: [`FirstFitSpill`] (MemPolicy1) and
+//!   [`SmallestFirstSpill`] (MemPolicy2).
+//!
+//! # Examples
+//!
+//! ```
+//! use flexer_spm::{FlexerSpill, SpmMemory};
+//! use flexer_tiling::TileId;
+//!
+//! let mut spm = SpmMemory::new(1024);
+//! let t = TileId::Input { c: 0, s: 0 };
+//! let outcome = spm.allocate(t, 256, 4, &FlexerSpill)?;
+//! assert!(outcome.evictions.is_empty());
+//! assert!(spm.contains(t));
+//! assert_eq!(spm.free_bytes(), 768);
+//! # Ok::<(), flexer_spm::AllocError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod memory;
+mod policy;
+
+pub use block::{Block, BlockState, TileData};
+pub use memory::{AllocError, AllocMethod, AllocOutcome, Eviction, MemSnapshot, SpmMemory, TileMove};
+pub use policy::{FirstFitSpill, FlexerSpill, SmallestFirstSpill, SpillPolicy};

@@ -1,0 +1,158 @@
+//! Loop orders ("dataflows") over the tiled iteration space.
+
+use crate::tile::TileKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the six loop orders over the three tiled dimensions: output
+/// channels (`K`), input channels (`C`) and linearized output spatial
+/// position (`S`).
+///
+/// The variant name lists the loops outermost-first; e.g.
+/// [`Dataflow::Ksc`] iterates `for k { for s { for c { ... } } }`.
+/// The innermost loop determines which data type stays *stationary*
+/// across consecutive operations (paper §1, citing Eyeriss):
+///
+/// * innermost `K` — input tiles `IN(c,s)` are reused: **input-stationary**;
+/// * innermost `S` — weight tiles `WT(k,c)` are reused: **weight-stationary**;
+/// * innermost `C` — output tiles `OT(k,s)` accumulate on-chip:
+///   **output-stationary**.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_tiling::{Dataflow, TileKind};
+///
+/// assert_eq!(Dataflow::Csk.stationary(), TileKind::Input);
+/// assert_eq!(Dataflow::Kcs.stationary(), TileKind::Weight);
+/// assert_eq!(Dataflow::Ksc.stationary(), TileKind::Output);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// `K` outer, `C` middle, `S` inner (weight-stationary).
+    Kcs,
+    /// `K` outer, `S` middle, `C` inner (output-stationary).
+    Ksc,
+    /// `C` outer, `K` middle, `S` inner (weight-stationary).
+    Cks,
+    /// `C` outer, `S` middle, `K` inner (input-stationary).
+    Csk,
+    /// `S` outer, `K` middle, `C` inner (output-stationary).
+    Skc,
+    /// `S` outer, `C` middle, `K` inner (input-stationary).
+    Sck,
+}
+
+/// A loop dimension of the tiled iteration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum LoopDim {
+    /// Output-channel tiles.
+    K,
+    /// Input-channel tiles.
+    C,
+    /// Linearized spatial tiles.
+    S,
+}
+
+impl Dataflow {
+    /// All six loop orders.
+    #[must_use]
+    pub const fn all() -> [Dataflow; 6] {
+        [
+            Dataflow::Kcs,
+            Dataflow::Ksc,
+            Dataflow::Cks,
+            Dataflow::Csk,
+            Dataflow::Skc,
+            Dataflow::Sck,
+        ]
+    }
+
+    /// Loop dimensions outermost-first.
+    pub(crate) const fn order(self) -> [LoopDim; 3] {
+        match self {
+            Dataflow::Kcs => [LoopDim::K, LoopDim::C, LoopDim::S],
+            Dataflow::Ksc => [LoopDim::K, LoopDim::S, LoopDim::C],
+            Dataflow::Cks => [LoopDim::C, LoopDim::K, LoopDim::S],
+            Dataflow::Csk => [LoopDim::C, LoopDim::S, LoopDim::K],
+            Dataflow::Skc => [LoopDim::S, LoopDim::K, LoopDim::C],
+            Dataflow::Sck => [LoopDim::S, LoopDim::C, LoopDim::K],
+        }
+    }
+
+    /// The data type kept stationary (maximally reused) by this loop
+    /// order.
+    #[must_use]
+    pub const fn stationary(self) -> TileKind {
+        match self.order()[2] {
+            LoopDim::K => TileKind::Input,
+            LoopDim::S => TileKind::Weight,
+            LoopDim::C => TileKind::Output,
+        }
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Dataflow::Kcs => "KCS",
+            Dataflow::Ksc => "KSC",
+            Dataflow::Cks => "CKS",
+            Dataflow::Csk => "CSK",
+            Dataflow::Skc => "SKC",
+            Dataflow::Sck => "SCK",
+        };
+        write!(f, "{name} ({}-stationary)", self.stationary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_orders() {
+        let all = Dataflow::all();
+        assert_eq!(all.len(), 6);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.order(), b.order());
+            }
+        }
+    }
+
+    #[test]
+    fn each_order_is_a_permutation() {
+        for df in Dataflow::all() {
+            let mut dims = df.order().to_vec();
+            dims.sort_by_key(|d| match d {
+                LoopDim::K => 0,
+                LoopDim::C => 1,
+                LoopDim::S => 2,
+            });
+            assert_eq!(dims, [LoopDim::K, LoopDim::C, LoopDim::S]);
+        }
+    }
+
+    #[test]
+    fn stationarity_classification() {
+        // Two dataflows per stationary kind.
+        use TileKind::*;
+        let expect = [
+            (Dataflow::Kcs, Weight),
+            (Dataflow::Ksc, Output),
+            (Dataflow::Cks, Weight),
+            (Dataflow::Csk, Input),
+            (Dataflow::Skc, Output),
+            (Dataflow::Sck, Input),
+        ];
+        for (df, kind) in expect {
+            assert_eq!(df.stationary(), kind, "{df}");
+        }
+    }
+
+    #[test]
+    fn display_names_stationarity() {
+        assert_eq!(Dataflow::Csk.to_string(), "CSK (IN-stationary)");
+    }
+}

@@ -1,0 +1,562 @@
+//! Data-flow graphs of tiled convolutions.
+
+use crate::dataflow::{Dataflow, LoopDim};
+use crate::factors::{input_extent, TilingFactors};
+use crate::op::{OpId, TiledOp};
+use crate::tile::{TileId, TileKind};
+use flexer_arch::{ArchConfig, ConvTileDims, PerfModel};
+use flexer_model::ConvLayer;
+use std::error::Error;
+use std::fmt;
+
+/// Hard cap on DFG size; a backstop far above any practical search
+/// configuration.
+const ABSOLUTE_MAX_OPS: u64 = 1 << 20;
+
+/// Error returned when a [`Dfg`] cannot be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TilingError {
+    /// The tiling produces more operations than the absolute cap.
+    TooManyOps {
+        /// Operations the tiling would produce.
+        requested: u64,
+        /// The maximum supported.
+        max: u64,
+    },
+}
+
+impl fmt::Display for TilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TilingError::TooManyOps { requested, max } => {
+                write!(f, "tiling produces {requested} operations, maximum is {max}")
+            }
+        }
+    }
+}
+
+impl Error for TilingError {}
+
+/// The data-flow graph of one tiled layer (paper §3).
+///
+/// Nodes are tiled convolutions [`TiledOp`]; the only edges are the
+/// partial-sum accumulation chains: `tCONV(k, c, s)` for `c > 0`
+/// depends on `tCONV(k, c-1, s)`. Operation ids follow the *static
+/// loop order* of the dataflow the graph was built for, so
+/// `ops()[i..]` in id order is exactly the baseline loop-order
+/// execution sequence, and the OoO scheduler uses id order only to
+/// break ties deterministically.
+///
+/// The graph also carries the per-tile byte sizes, initial per-tile
+/// operand reference counts and per-op compute latencies that the
+/// schedulers and the memory manager consume.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+/// use flexer_model::ConvLayer;
+/// use flexer_tiling::{Dataflow, Dfg, TilingFactors};
+///
+/// let layer = ConvLayer::new("c", 32, 16, 16, 32)?;
+/// let arch = ArchConfig::preset(ArchPreset::Arch1);
+/// let factors = TilingFactors::normalized(&layer, 2, 2, 2, 1);
+/// let dfg = Dfg::build(&layer, factors, Dataflow::Csk, &SystolicModel::new(&arch), &arch)?;
+/// assert_eq!(dfg.num_ops(), 8);
+/// // Half the ops (c == 0) are initially ready.
+/// assert_eq!(dfg.initial_ready().count(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dfg {
+    layer: ConvLayer,
+    factors: TilingFactors,
+    dataflow: Dataflow,
+    ops: Vec<TiledOp>,
+    pred: Vec<Option<OpId>>,
+    succ: Vec<Option<OpId>>,
+    in_bytes: Vec<u64>,
+    wt_bytes: Vec<u64>,
+    ot_bytes: Vec<u64>,
+}
+
+impl Dfg {
+    /// Builds the DFG of `layer` tiled by `factors`, with operation ids
+    /// in the static loop order of `dataflow` and latencies from
+    /// `perf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::TooManyOps`] if the tiling exceeds the
+    /// absolute operation cap (2^20).
+    pub fn build(
+        layer: &ConvLayer,
+        factors: TilingFactors,
+        dataflow: Dataflow,
+        perf: &dyn PerfModel,
+        arch: &ArchConfig,
+    ) -> Result<Self, TilingError> {
+        let num_ops = factors.num_ops();
+        if num_ops > ABSOLUTE_MAX_OPS {
+            return Err(TilingError::TooManyOps {
+                requested: num_ops,
+                max: ABSOLUTE_MAX_OPS,
+            });
+        }
+        let num_ops = num_ops as usize;
+        let (kt, ct, st) = (factors.k(), factors.c(), factors.spatial());
+        let elem = arch.element_size().bytes();
+
+        // Per-tile byte sizes (index math mirrors `tile_bytes`).
+        let mut in_bytes = vec![0u64; (ct * st) as usize];
+        let mut wt_bytes = vec![0u64; (kt * ct) as usize];
+        let mut ot_bytes = vec![0u64; (kt * st) as usize];
+        let spatial_dims: Vec<(u32, u32)> = (0..st)
+            .map(|s| {
+                let (sh, sw) = (s / factors.w(), s % factors.w());
+                (sh, sw)
+            })
+            .collect();
+        for c in 0..ct {
+            let cc = u64::from(factors.c_extent(layer, c));
+            for (s, &(sh, sw)) in spatial_dims.iter().enumerate() {
+                let (h0, he) = factors.h_range(layer, sh);
+                let (w0, we) = factors.w_range(layer, sw);
+                let ih = u64::from(input_extent(
+                    h0,
+                    he,
+                    layer.stride(),
+                    layer.kernel_h(),
+                    layer.padding(),
+                    layer.in_height(),
+                ));
+                let iw = u64::from(input_extent(
+                    w0,
+                    we,
+                    layer.stride(),
+                    layer.kernel_w(),
+                    layer.padding(),
+                    layer.in_width(),
+                ));
+                in_bytes[(c * st) as usize + s] = cc * ih * iw * elem;
+            }
+        }
+        let taps = u64::from(layer.kernel_h()) * u64::from(layer.kernel_w());
+        for k in 0..kt {
+            let kc = u64::from(factors.k_extent(layer, k));
+            for c in 0..ct {
+                let cc = u64::from(factors.c_extent(layer, c));
+                wt_bytes[(k * ct + c) as usize] = kc * cc * taps * elem;
+            }
+            for (s, &(sh, sw)) in spatial_dims.iter().enumerate() {
+                let he = u64::from(factors.h_range(layer, sh).1);
+                let we = u64::from(factors.w_range(layer, sw).1);
+                ot_bytes[(k * st) as usize + s] = kc * he * we * elem;
+            }
+        }
+
+        // Enumerate ops in the dataflow's loop order.
+        let order = dataflow.order();
+        let extent = |dim: LoopDim| match dim {
+            LoopDim::K => kt,
+            LoopDim::C => ct,
+            LoopDim::S => st,
+        };
+        let (d0, d1, d2) = (order[0], order[1], order[2]);
+        let mut ops = Vec::with_capacity(num_ops);
+        // Dense (k, c, s) -> op id map used to wire the psum chains.
+        let mut id_of = vec![OpId::new(0); num_ops];
+        for i0 in 0..extent(d0) {
+            for i1 in 0..extent(d1) {
+                for i2 in 0..extent(d2) {
+                    let mut k = 0;
+                    let mut c = 0;
+                    let mut s = 0;
+                    for (dim, i) in [(d0, i0), (d1, i1), (d2, i2)] {
+                        match dim {
+                            LoopDim::K => k = i,
+                            LoopDim::C => c = i,
+                            LoopDim::S => s = i,
+                        }
+                    }
+                    let id = OpId::new(ops.len() as u32);
+                    let (sh, sw) = spatial_dims[s as usize];
+                    let dims = ConvTileDims {
+                        out_channels: factors.k_extent(layer, k),
+                        in_channels: factors.c_extent(layer, c),
+                        out_height: factors.h_range(layer, sh).1,
+                        out_width: factors.w_range(layer, sw).1,
+                        kernel_h: layer.kernel_h(),
+                        kernel_w: layer.kernel_w(),
+                    };
+                    let op = TiledOp::new(
+                        id,
+                        k,
+                        c,
+                        s,
+                        c > 0,
+                        c == ct - 1,
+                        perf.conv_cycles(&dims),
+                    );
+                    id_of[((k * ct + c) * st + s) as usize] = id;
+                    ops.push(op);
+                }
+            }
+        }
+
+        // Partial-sum chains: (k, c, s) depends on (k, c-1, s).
+        let mut pred = vec![None; num_ops];
+        let mut succ = vec![None; num_ops];
+        for op in &ops {
+            if op.c() > 0 {
+                let p = id_of[((op.k() * ct + op.c() - 1) * st + op.s()) as usize];
+                pred[op.id().index()] = Some(p);
+                succ[p.index()] = Some(op.id());
+            }
+        }
+
+        Ok(Self {
+            layer: layer.clone(),
+            factors,
+            dataflow,
+            ops,
+            pred,
+            succ,
+            in_bytes,
+            wt_bytes,
+            ot_bytes,
+        })
+    }
+
+    /// The layer this DFG tiles.
+    #[must_use]
+    pub fn layer(&self) -> &ConvLayer {
+        &self.layer
+    }
+
+    /// The tiling factors the DFG was built with.
+    #[must_use]
+    pub fn factors(&self) -> TilingFactors {
+        self.factors
+    }
+
+    /// The dataflow (loop order) the DFG was built for.
+    #[must_use]
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
+    /// All operations, in static loop order (ascending [`OpId`]).
+    #[must_use]
+    pub fn ops(&self) -> &[TiledOp] {
+        &self.ops
+    }
+
+    /// The operation with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this DFG.
+    #[must_use]
+    pub fn op(&self, id: OpId) -> &TiledOp {
+        &self.ops[id.index()]
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The partial-sum predecessor of `id`, if any.
+    #[must_use]
+    pub fn pred(&self, id: OpId) -> Option<OpId> {
+        self.pred[id.index()]
+    }
+
+    /// The partial-sum successor of `id`, if any.
+    #[must_use]
+    pub fn succ(&self, id: OpId) -> Option<OpId> {
+        self.succ[id.index()]
+    }
+
+    /// Operations with no unsatisfied dependency (paper Algorithm 1,
+    /// line 15), in id order.
+    pub fn initial_ready(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.ops
+            .iter()
+            .filter(|op| !op.needs_psum())
+            .map(TiledOp::id)
+    }
+
+    /// Byte size of a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile indices are out of range for this DFG's
+    /// tiling.
+    #[must_use]
+    pub fn tile_bytes(&self, tile: TileId) -> u64 {
+        let st = self.factors.spatial();
+        let ct = self.factors.c();
+        match tile {
+            TileId::Input { c, s } => self.in_bytes[(c * st + s) as usize],
+            TileId::Weight { k, c } => self.wt_bytes[(k * ct + c) as usize],
+            TileId::Output { k, s } => self.ot_bytes[(k * st + s) as usize],
+        }
+    }
+
+    /// Number of operations that reference `tile` as an operand over
+    /// the whole DFG (reads plus accumulation writes).
+    #[must_use]
+    pub fn initial_uses(&self, tile: TileId) -> u32 {
+        match tile {
+            TileId::Input { .. } => self.factors.k(),
+            TileId::Weight { .. } => self.factors.spatial(),
+            TileId::Output { .. } => self.factors.c(),
+        }
+    }
+
+    /// Sum of the byte sizes of all distinct tiles of `kind` — the
+    /// amount an infinitely large on-chip buffer would transfer exactly
+    /// once (the paper's Figure-10 "on-chip" reference).
+    #[must_use]
+    pub fn unique_bytes(&self, kind: TileKind) -> u64 {
+        match kind {
+            TileKind::Input => self.in_bytes.iter().sum(),
+            TileKind::Weight => self.wt_bytes.iter().sum(),
+            TileKind::Output => self.ot_bytes.iter().sum(),
+        }
+    }
+
+    /// Multiply-accumulate count of one operation, from its tile
+    /// extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this DFG.
+    #[must_use]
+    pub fn op_macs(&self, id: OpId) -> u64 {
+        let op = self.op(id);
+        let (sh, sw) = (op.s() / self.factors.w(), op.s() % self.factors.w());
+        u64::from(self.factors.k_extent(&self.layer, op.k()))
+            * u64::from(self.factors.c_extent(&self.layer, op.c()))
+            * u64::from(self.factors.h_range(&self.layer, sh).1)
+            * u64::from(self.factors.w_range(&self.layer, sw).1)
+            * u64::from(self.layer.kernel_h())
+            * u64::from(self.layer.kernel_w())
+    }
+
+    /// All distinct tiles referenced by this DFG, in sorted order.
+    pub fn tiles(&self) -> impl Iterator<Item = TileId> + '_ {
+        let st = self.factors.spatial();
+        let ct = self.factors.c();
+        let kt = self.factors.k();
+        let inputs =
+            (0..ct).flat_map(move |c| (0..st).map(move |s| TileId::Input { c, s }));
+        let weights =
+            (0..kt).flat_map(move |k| (0..ct).map(move |c| TileId::Weight { k, c }));
+        let outputs =
+            (0..kt).flat_map(move |k| (0..st).map(move |s| TileId::Output { k, s }));
+        inputs.chain(weights).chain(outputs)
+    }
+}
+
+impl fmt::Display for Dfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DFG of {} [{} / {}]: {} ops",
+            self.layer.name(),
+            self.factors,
+            self.dataflow,
+            self.ops.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::{ArchPreset, SystolicModel};
+
+    fn build(
+        layer: &ConvLayer,
+        k: u32,
+        c: u32,
+        h: u32,
+        w: u32,
+        dataflow: Dataflow,
+    ) -> Dfg {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let factors = TilingFactors::normalized(layer, k, c, h, w);
+        Dfg::build(layer, factors, dataflow, &SystolicModel::new(&arch), &arch).unwrap()
+    }
+
+    fn layer() -> ConvLayer {
+        ConvLayer::new("t", 32, 16, 16, 32).unwrap()
+    }
+
+    #[test]
+    fn op_count_matches_factors() {
+        let l = layer();
+        let dfg = build(&l, 2, 4, 2, 2, Dataflow::Kcs);
+        assert_eq!(dfg.num_ops(), 2 * 4 * 4);
+    }
+
+    #[test]
+    fn static_order_follows_dataflow() {
+        let l = layer();
+        // KCS: k outer, c middle, s inner.
+        let dfg = build(&l, 2, 2, 2, 1, Dataflow::Kcs);
+        let seq: Vec<(u32, u32, u32)> =
+            dfg.ops().iter().map(|o| (o.k(), o.c(), o.s())).collect();
+        assert_eq!(
+            seq,
+            [
+                (0, 0, 0),
+                (0, 0, 1),
+                (0, 1, 0),
+                (0, 1, 1),
+                (1, 0, 0),
+                (1, 0, 1),
+                (1, 1, 0),
+                (1, 1, 1),
+            ]
+        );
+        // CSK: c outer, s middle, k inner.
+        let dfg = build(&l, 2, 2, 2, 1, Dataflow::Csk);
+        let seq: Vec<(u32, u32, u32)> =
+            dfg.ops().iter().map(|o| (o.k(), o.c(), o.s())).collect();
+        assert_eq!(
+            seq,
+            [
+                (0, 0, 0),
+                (1, 0, 0),
+                (0, 0, 1),
+                (1, 0, 1),
+                (0, 1, 0),
+                (1, 1, 0),
+                (0, 1, 1),
+                (1, 1, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn psum_chains_connect_consecutive_c() {
+        let l = layer();
+        let dfg = build(&l, 1, 4, 1, 1, Dataflow::Kcs);
+        // Single (k, s): a pure chain of 4 ops.
+        assert_eq!(dfg.initial_ready().count(), 1);
+        let mut cur = dfg.initial_ready().next().unwrap();
+        let mut seen = 1;
+        while let Some(next) = dfg.succ(cur) {
+            assert_eq!(dfg.pred(next), Some(cur));
+            assert_eq!(dfg.op(next).c(), dfg.op(cur).c() + 1);
+            cur = next;
+            seen += 1;
+        }
+        assert_eq!(seen, 4);
+        assert!(dfg.op(cur).is_final());
+    }
+
+    #[test]
+    fn final_flag_only_on_last_c() {
+        let l = layer();
+        let dfg = build(&l, 2, 3, 2, 2, Dataflow::Sck);
+        for op in dfg.ops() {
+            assert_eq!(op.is_final(), op.c() == 2, "{op}");
+            assert_eq!(op.needs_psum(), op.c() > 0, "{op}");
+        }
+    }
+
+    #[test]
+    fn tile_sizes_partition_tensors() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let l = ConvLayer::new("t", 48, 12, 12, 24).unwrap();
+        let dfg = build(&l, 3, 2, 3, 2, Dataflow::Kcs);
+        let elem = arch.element_size();
+        // Weights and outputs partition exactly.
+        assert_eq!(dfg.unique_bytes(TileKind::Weight), l.weight_bytes(elem));
+        assert_eq!(dfg.unique_bytes(TileKind::Output), l.output_bytes(elem));
+        // Input tiles overlap at halos, so they sum to >= the tensor.
+        assert!(dfg.unique_bytes(TileKind::Input) >= l.input_bytes(elem));
+    }
+
+    #[test]
+    fn pointwise_input_tiles_partition_exactly() {
+        let l = flexer_model::ConvLayerBuilder::new("pw", 32, 8, 8, 16)
+            .build()
+            .unwrap();
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let dfg = build(&l, 2, 2, 2, 2, Dataflow::Kcs);
+        assert_eq!(
+            dfg.unique_bytes(TileKind::Input),
+            l.input_bytes(arch.element_size())
+        );
+    }
+
+    #[test]
+    fn initial_uses_match_reference_counts() {
+        let l = layer();
+        let dfg = build(&l, 3, 2, 2, 2, Dataflow::Kcs);
+        // Count actual operand references.
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<TileId, u32> = BTreeMap::new();
+        for op in dfg.ops() {
+            for t in op.operands() {
+                *counts.entry(t).or_default() += 1;
+            }
+        }
+        for tile in dfg.tiles() {
+            assert_eq!(
+                dfg.initial_uses(tile),
+                counts.get(&tile).copied().unwrap_or(0),
+                "{tile}"
+            );
+        }
+    }
+
+    #[test]
+    fn latencies_are_positive_and_uniform_for_uniform_tiles() {
+        let l = layer();
+        let dfg = build(&l, 2, 2, 2, 2, Dataflow::Kcs);
+        let lat0 = dfg.ops()[0].latency();
+        assert!(lat0 > 0);
+        for op in dfg.ops() {
+            assert_eq!(op.latency(), lat0);
+        }
+    }
+
+    #[test]
+    fn tiles_enumeration_is_complete_and_sorted() {
+        let l = layer();
+        let dfg = build(&l, 2, 2, 2, 1, Dataflow::Kcs);
+        let tiles: Vec<_> = dfg.tiles().collect();
+        assert_eq!(tiles.len(), (2 * 2 + 2 * 2 + 2 * 2) as usize);
+        let mut sorted = tiles.clone();
+        sorted.sort();
+        assert_eq!(tiles, sorted);
+    }
+
+    #[test]
+    fn oversized_tiling_rejected() {
+        // Force a synthetic factors value beyond the cap via a large
+        // layer and per-element tiling.
+        let l = ConvLayer::new("big", 512, 128, 128, 512).unwrap();
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let factors = TilingFactors::normalized(&l, 512, 512, 128, 128);
+        let err = Dfg::build(&l, factors, Dataflow::Kcs, &SystolicModel::new(&arch), &arch)
+            .unwrap_err();
+        assert!(matches!(err, TilingError::TooManyOps { .. }));
+    }
+
+    #[test]
+    fn dfg_display_mentions_layer() {
+        let l = layer();
+        let dfg = build(&l, 1, 1, 1, 1, Dataflow::Kcs);
+        assert!(dfg.to_string().contains("t"));
+        assert!(dfg.to_string().contains("1 ops"));
+    }
+}

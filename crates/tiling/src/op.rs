@@ -1,0 +1,218 @@
+//! Tiled convolution operations.
+
+use crate::tile::TileId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a tiled convolution within one [`crate::Dfg`].
+///
+/// Op ids are dense indices into the DFG's operation list; the id order
+/// is the *static loop order* of the dataflow the DFG was built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(u32);
+
+impl OpId {
+    /// Creates an op id from its dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The dense index of this op in its DFG.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tCONV{}", self.0)
+    }
+}
+
+/// One tiled convolution `tCONV: OT <- IN, WT[, PS]` (paper §2.2).
+///
+/// The operation reads input tile `IN(c,s)` and weight tile `WT(k,c)`,
+/// accumulates into output tile `OT(k,s)`, and — when `c > 0` — also
+/// consumes the partial sum produced by the predecessor operation on
+/// the same output tile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TiledOp {
+    id: OpId,
+    k: u32,
+    c: u32,
+    s: u32,
+    input: TileId,
+    weight: TileId,
+    output: TileId,
+    needs_psum: bool,
+    is_final: bool,
+    latency: u64,
+}
+
+impl TiledOp {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: OpId,
+        k: u32,
+        c: u32,
+        s: u32,
+        needs_psum: bool,
+        is_final: bool,
+        latency: u64,
+    ) -> Self {
+        Self {
+            id,
+            k,
+            c,
+            s,
+            input: TileId::Input { c, s },
+            weight: TileId::Weight { k, c },
+            output: TileId::Output { k, s },
+            needs_psum,
+            is_final,
+            latency,
+        }
+    }
+
+    /// This operation's id.
+    #[must_use]
+    pub const fn id(&self) -> OpId {
+        self.id
+    }
+
+    /// Output-channel tile index.
+    #[must_use]
+    pub const fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Input-channel tile index.
+    #[must_use]
+    pub const fn c(&self) -> u32 {
+        self.c
+    }
+
+    /// Linearized spatial tile index.
+    #[must_use]
+    pub const fn s(&self) -> u32 {
+        self.s
+    }
+
+    /// The input tile read by this operation.
+    #[must_use]
+    pub const fn input(&self) -> TileId {
+        self.input
+    }
+
+    /// The weight tile read by this operation.
+    #[must_use]
+    pub const fn weight(&self) -> TileId {
+        self.weight
+    }
+
+    /// The output tile this operation accumulates into.
+    #[must_use]
+    pub const fn output(&self) -> TileId {
+        self.output
+    }
+
+    /// Whether the operation consumes an existing partial sum (`c > 0`).
+    #[must_use]
+    pub const fn needs_psum(&self) -> bool {
+        self.needs_psum
+    }
+
+    /// Whether this is the final accumulation of its output tile
+    /// (`c == c_tiles - 1`); afterwards the tile is a finished output.
+    #[must_use]
+    pub const fn is_final(&self) -> bool {
+        self.is_final
+    }
+
+    /// Compute latency of the operation in cycles (from the
+    /// architecture's performance model, excluding any memory traffic).
+    #[must_use]
+    pub const fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// The tiles this operation *reads*: input, weight, and the partial
+    /// sum when one is consumed.
+    pub fn reads(&self) -> impl Iterator<Item = TileId> + '_ {
+        [
+            Some(self.input),
+            Some(self.weight),
+            self.needs_psum.then_some(self.output),
+        ]
+        .into_iter()
+        .flatten()
+    }
+
+    /// All tiles that must be resident on-chip while the operation
+    /// executes: input, weight and output.
+    pub fn operands(&self) -> impl Iterator<Item = TileId> + '_ {
+        [self.input, self.weight, self.output].into_iter()
+    }
+}
+
+impl fmt::Display for TiledOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} <- {}, {}",
+            self.id, self.output, self.input, self.weight
+        )?;
+        if self.needs_psum {
+            write!(f, ", PS")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(c: u32, needs_psum: bool) -> TiledOp {
+        TiledOp::new(OpId::new(7), 1, c, 2, needs_psum, false, 100)
+    }
+
+    #[test]
+    fn tiles_match_indices() {
+        let o = op(3, true);
+        assert_eq!(o.input(), TileId::Input { c: 3, s: 2 });
+        assert_eq!(o.weight(), TileId::Weight { k: 1, c: 3 });
+        assert_eq!(o.output(), TileId::Output { k: 1, s: 2 });
+    }
+
+    #[test]
+    fn reads_include_psum_only_when_needed() {
+        assert_eq!(op(0, false).reads().count(), 2);
+        let with_ps: Vec<_> = op(1, true).reads().collect();
+        assert_eq!(with_ps.len(), 3);
+        assert_eq!(with_ps[2], TileId::Output { k: 1, s: 2 });
+    }
+
+    #[test]
+    fn operands_always_include_output() {
+        let o = op(0, false);
+        let ops: Vec<_> = o.operands().collect();
+        assert!(ops.contains(&o.output()));
+        assert_eq!(ops.len(), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(OpId::new(5).to_string(), "tCONV5");
+        let s = op(1, true).to_string();
+        assert!(s.contains("PS"), "{s}");
+        assert!(!op(0, false).to_string().contains("PS"));
+    }
+
+    #[test]
+    fn op_id_round_trips() {
+        assert_eq!(OpId::new(42).index(), 42);
+    }
+}

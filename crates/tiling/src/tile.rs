@@ -1,0 +1,149 @@
+//! Data tile identities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The type of data a tile holds (paper Figure 3: `tIN`, `tWT`, `tOT`).
+///
+/// Partial sums are output tiles that have not yet accumulated all
+/// input-channel contributions; they share the [`TileKind::Output`]
+/// identity (the paper's `tOT` doubles as the optional `PS` operand)
+/// and are distinguished by traffic accounting, not by tile identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TileKind {
+    /// Input activation tile `tIN(c, s)`.
+    Input,
+    /// Weight tile `tWT(k, c)`.
+    Weight,
+    /// Output / partial-sum tile `tOT(k, s)`.
+    Output,
+}
+
+impl TileKind {
+    /// All three kinds, in display order (`IN`, `WT`, `OT`).
+    #[must_use]
+    pub const fn all() -> [TileKind; 3] {
+        [TileKind::Input, TileKind::Weight, TileKind::Output]
+    }
+
+    /// The paper's two-letter abbreviation.
+    #[must_use]
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            TileKind::Input => "IN",
+            TileKind::Weight => "WT",
+            TileKind::Output => "OT",
+        }
+    }
+}
+
+impl fmt::Display for TileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Identity of one data tile within a tiled layer.
+///
+/// Tiles are indexed by the tiling-grid coordinates that parameterize
+/// them: input tiles by `(input-channel tile, spatial tile)`, weight
+/// tiles by `(output-channel tile, input-channel tile)` and output
+/// tiles by `(output-channel tile, spatial tile)`. The spatial index
+/// `s` linearizes the `(height, width)` tile grid row-major.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_tiling::TileId;
+///
+/// let t = TileId::Weight { k: 2, c: 0 };
+/// assert_eq!(t.to_string(), "WT(k2,c0)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TileId {
+    /// Input activation tile at input-channel tile `c`, spatial tile `s`.
+    Input {
+        /// Input-channel tile index.
+        c: u32,
+        /// Linearized spatial tile index.
+        s: u32,
+    },
+    /// Weight tile at output-channel tile `k`, input-channel tile `c`.
+    Weight {
+        /// Output-channel tile index.
+        k: u32,
+        /// Input-channel tile index.
+        c: u32,
+    },
+    /// Output / partial-sum tile at output-channel tile `k`, spatial
+    /// tile `s`.
+    Output {
+        /// Output-channel tile index.
+        k: u32,
+        /// Linearized spatial tile index.
+        s: u32,
+    },
+}
+
+impl TileId {
+    /// The kind of data this tile holds.
+    #[must_use]
+    pub const fn kind(&self) -> TileKind {
+        match self {
+            TileId::Input { .. } => TileKind::Input,
+            TileId::Weight { .. } => TileKind::Weight,
+            TileId::Output { .. } => TileKind::Output,
+        }
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileId::Input { c, s } => write!(f, "IN(c{c},s{s})"),
+            TileId::Weight { k, c } => write!(f, "WT(k{k},c{c})"),
+            TileId::Output { k, s } => write!(f, "OT(k{k},s{s})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_mapping() {
+        assert_eq!(TileId::Input { c: 0, s: 0 }.kind(), TileKind::Input);
+        assert_eq!(TileId::Weight { k: 0, c: 0 }.kind(), TileKind::Weight);
+        assert_eq!(TileId::Output { k: 0, s: 0 }.kind(), TileKind::Output);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TileId::Input { c: 1, s: 2 }.to_string(), "IN(c1,s2)");
+        assert_eq!(TileKind::Output.to_string(), "OT");
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut tiles = [
+            TileId::Output { k: 0, s: 0 },
+            TileId::Input { c: 1, s: 0 },
+            TileId::Weight { k: 0, c: 0 },
+            TileId::Input { c: 0, s: 5 },
+        ];
+        tiles.sort();
+        assert_eq!(tiles[0], TileId::Input { c: 0, s: 5 });
+        assert_eq!(tiles[1], TileId::Input { c: 1, s: 0 });
+        assert_eq!(tiles[2].kind(), TileKind::Weight);
+        assert_eq!(tiles[3].kind(), TileKind::Output);
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(TileId::Input { c: 0, s: 0 }, 42u64);
+        assert_eq!(m[&TileId::Input { c: 0, s: 0 }], 42);
+    }
+}

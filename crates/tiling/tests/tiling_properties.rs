@@ -1,0 +1,112 @@
+//! Property-based tests of tiling arithmetic and DFG construction.
+
+use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+use flexer_model::{ConvLayer, ConvLayerBuilder};
+use flexer_tiling::{enumerate_tilings, Dataflow, Dfg, TilingFactors, TilingOptions};
+use proptest::prelude::*;
+
+fn layer_strategy() -> impl Strategy<Value = ConvLayer> {
+    (
+        1u32..128,
+        4u32..64,
+        1u32..128,
+        prop_oneof![Just((1u32, 0u32)), Just((3, 1))],
+        1u32..=2,
+    )
+        .prop_map(|(c, hw, k, (kern, pad), stride)| {
+            ConvLayerBuilder::new("t", c, hw, hw, k)
+                .kernel(kern, kern)
+                .stride(stride)
+                .padding(pad)
+                .build()
+                .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Normalization produces no empty tiles and respects extents.
+    #[test]
+    fn normalization_invariants(
+        layer in layer_strategy(),
+        k in 1u32..40, c in 1u32..40, h in 1u32..40, w in 1u32..40,
+    ) {
+        let f = TilingFactors::normalized(&layer, k, c, h, w);
+        prop_assert!(f.k() >= 1 && f.k() <= layer.out_channels());
+        prop_assert!(f.c() >= 1 && f.c() <= layer.in_channels());
+        prop_assert!(f.h() >= 1 && f.h() <= layer.out_height());
+        prop_assert!(f.w() >= 1 && f.w() <= layer.out_width());
+        // Extents per index are positive and sum to the dimension.
+        let ks: u32 = (0..f.k()).map(|i| f.k_extent(&layer, i)).sum();
+        prop_assert_eq!(ks, layer.out_channels());
+        let hs: u32 = (0..f.h()).map(|i| f.h_range(&layer, i).1).sum();
+        prop_assert_eq!(hs, layer.out_height());
+        // Normalization is idempotent.
+        let again = TilingFactors::normalized(&layer, f.k(), f.c(), f.h(), f.w());
+        prop_assert_eq!(f, again);
+    }
+
+    /// Enumerated tilings all satisfy the viability contract.
+    #[test]
+    fn enumerated_tilings_are_viable(layer in layer_strategy()) {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let opts = TilingOptions { max_tilings: 12, ..Default::default() };
+        for f in enumerate_tilings(&layer, &arch, &opts) {
+            prop_assert!(f.num_ops() <= opts.max_ops);
+            // The first (largest) working set fits the buffer — checked
+            // by building the DFG and summing op 0's operands.
+            let model = SystolicModel::new(&arch);
+            let dfg = Dfg::build(&layer, f, Dataflow::Kcs, &model, &arch).unwrap();
+            let ws: u64 = dfg.ops()[0].operands().map(|t| dfg.tile_bytes(t)).sum();
+            prop_assert!(ws <= arch.spm_bytes(), "{f}: ws {ws}");
+        }
+    }
+
+    /// The DFG's dependency structure is a forest of disjoint chains:
+    /// every op has at most one predecessor/successor, chains are
+    /// acyclic and cover all ops of each (k, s) group.
+    #[test]
+    fn dependency_chains_are_well_formed(
+        layer in layer_strategy(),
+        df in prop::sample::select(Dataflow::all().to_vec()),
+        c in 1u32..6,
+    ) {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let f = TilingFactors::normalized(&layer, 2, c, 2, 2);
+        let dfg = Dfg::build(&layer, f, df, &model, &arch).unwrap();
+        let mut chain_lengths = std::collections::BTreeMap::new();
+        for start in dfg.initial_ready() {
+            let mut len = 1u32;
+            let mut cur = start;
+            while let Some(next) = dfg.succ(cur) {
+                prop_assert_eq!(dfg.pred(next), Some(cur));
+                cur = next;
+                len += 1;
+                prop_assert!(len <= f.c(), "chain longer than c tiles");
+            }
+            prop_assert!(dfg.op(cur).is_final());
+            chain_lengths.insert((dfg.op(start).k(), dfg.op(start).s()), len);
+        }
+        // One chain per (k, s), each of length c.
+        prop_assert_eq!(
+            chain_lengths.len() as u64,
+            u64::from(f.k()) * u64::from(f.spatial())
+        );
+        prop_assert!(chain_lengths.values().all(|&l| l == f.c()));
+    }
+
+    /// Per-op latencies are positive and the total workload matches the
+    /// layer MACs within array-rounding slack.
+    #[test]
+    fn latencies_cover_the_workload(layer in layer_strategy()) {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let f = TilingFactors::normalized(&layer, 2, 2, 2, 2);
+        let dfg = Dfg::build(&layer, f, Dataflow::Kcs, &model, &arch).unwrap();
+        let total: u64 = dfg.ops().iter().map(|o| o.latency()).sum();
+        let peak = u64::from(arch.pe_rows()) * u64::from(arch.pe_cols());
+        prop_assert!(total >= layer.macs().div_ceil(peak));
+    }
+}

@@ -1,0 +1,67 @@
+//! Layer explorer: sweep every (tiling, dataflow) pair of one layer
+//! with both schedulers and print the latency/traffic scatter — the
+//! data behind the paper's Figure 1.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example layer_explorer [layer-name] [arch]
+//! ```
+
+use flexer::prelude::*;
+use flexer::sched::sweep_tilings;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let layer_name = args.next().unwrap_or_else(|| "conv4_2".to_owned());
+    let arch_name = args.next().unwrap_or_else(|| "arch1".to_owned());
+
+    let network = networks::vgg16();
+    let layer = network
+        .layer_by_name(&layer_name)
+        .unwrap_or_else(|| panic!("vgg16 has no layer {layer_name:?}"))
+        .clone();
+    let arch = ArchConfig::preset(arch_name.parse()?);
+    println!("# {layer} on {arch}");
+
+    let opts = SearchOptions::quick();
+    let (ooo, baseline) = sweep_tilings(&layer, &arch, &opts)?;
+
+    println!(
+        "# {:<18} {:<22} {:>12} {:>14} {:>12} {:>14} {:>8} {:>8}",
+        "tiling", "dataflow", "ooo_cyc", "ooo_bytes", "static_cyc", "static_bytes", "speedup", "x_less_B"
+    );
+    for (o, s) in ooo.iter().zip(&baseline) {
+        assert_eq!(o.factors, s.factors);
+        assert_eq!(o.dataflow, s.dataflow);
+        println!(
+            "{:<20} {:<22} {:>12} {:>14} {:>12} {:>14} {:>8.2} {:>8.2}",
+            o.factors.to_string(),
+            o.dataflow.to_string(),
+            o.latency,
+            o.transfer_bytes,
+            s.latency,
+            s.transfer_bytes,
+            s.latency as f64 / o.latency as f64,
+            s.transfer_bytes as f64 / o.transfer_bytes as f64,
+        );
+    }
+
+    // The Figure-1 takeaway: the best OoO point versus the best static
+    // point under the latency x transfer metric.
+    let metric = Metric::LatencyTimesTransfer;
+    let best = |pts: &[flexer::sched::SchedulePoint]| {
+        pts.iter()
+            .min_by(|a, b| a.score.total_cmp(&b.score))
+            .copied()
+            .expect("sweep is non-empty")
+    };
+    let (bo, bs) = (best(&ooo), best(&baseline));
+    println!("\nbest OoO    : {} / {} -> {} cycles, {} B", bo.factors, bo.dataflow, bo.latency, bo.transfer_bytes);
+    println!("best static : {} / {} -> {} cycles, {} B", bs.factors, bs.dataflow, bs.latency, bs.transfer_bytes);
+    println!(
+        "metric ({metric}): OoO {:.3e} vs static {:.3e}",
+        bo.score, bs.score
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Ablation of Flexer's priority function and memory-management
+//! policy on a single layer — a miniature of the paper's Figure 12.
+//!
+//! Compares the default §4.3 priority against Table 2's Priority1
+//! (minimal data movement) and Priority2 (minimal spilling), and the
+//! Algorithm-2 spill heuristic against MemPolicy1 (first-fit) and
+//! MemPolicy2 (smallest-first).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example policy_ablation
+//! ```
+
+use flexer::prelude::*;
+use flexer::sched::search_layer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = networks::resnet50();
+    let layer = network
+        .layer_by_name("conv3_1_1")
+        .expect("resnet50 has conv3_1_1")
+        .clone();
+    let arch = ArchConfig::preset(ArchPreset::Arch6);
+    println!("layer: {layer}");
+    println!("arch : {arch}\n");
+
+    let variants: [(&str, PriorityPolicy, SpillPolicyChoice); 5] = [
+        ("flexer default", PriorityPolicy::FlexerDefault, SpillPolicyChoice::Flexer),
+        ("priority1 (min transfer)", PriorityPolicy::MinTransfer, SpillPolicyChoice::Flexer),
+        ("priority2 (min spilling)", PriorityPolicy::MinSpill, SpillPolicyChoice::Flexer),
+        ("mempolicy1 (first fit)", PriorityPolicy::FlexerDefault, SpillPolicyChoice::FirstFit),
+        ("mempolicy2 (small first)", PriorityPolicy::FlexerDefault, SpillPolicyChoice::SmallestFirst),
+    ];
+
+    let mut default_score = None;
+    println!(
+        "{:<26} {:>10} {:>12} {:>14}",
+        "variant", "cycles", "bytes", "metric vs default"
+    );
+    for (name, priority, spill) in variants {
+        let opts = SearchOptions {
+            priority,
+            spill,
+            ..SearchOptions::quick()
+        };
+        let result = search_layer(&layer, &arch, &opts)?;
+        let score = result.score;
+        let default = *default_score.get_or_insert(score);
+        println!(
+            "{:<26} {:>10} {:>12} {:>14.3}",
+            name,
+            result.schedule.latency(),
+            result.schedule.transfer_bytes(),
+            score / default,
+        );
+    }
+    println!("\n(lower is better; 1.000 = the default configuration)");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the Flexer reproduction workspace.
+//!
+//! This crate exists to host the workspace-spanning integration tests in
+//! `tests/` and the runnable examples in `examples/`. The actual library
+//! surface lives in the [`flexer`] facade crate and the per-subsystem
+//! crates it re-exports.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexer_repro::prelude::*;
+//!
+//! let arch = ArchConfig::preset(ArchPreset::Arch1);
+//! assert_eq!(arch.cores(), 2);
+//! ```
+
+/// Convenience re-exports of the most commonly used items across the
+/// workspace, for use by examples and integration tests.
+pub mod prelude {
+    pub use flexer::prelude::*;
+}

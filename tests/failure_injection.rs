@@ -1,0 +1,118 @@
+//! Failure-injection tests: undersized buffers, impossible layers and
+//! degenerate configurations must produce typed errors, not panics or
+//! silent nonsense.
+
+use flexer::arch::SystolicModel;
+use flexer::prelude::*;
+use flexer::sched::{search_layer, OooScheduler, SchedError};
+use flexer::spm::{AllocError, FlexerSpill, SpmMemory};
+use flexer::tiling::{enumerate_tilings, TileId};
+
+#[test]
+fn undersized_buffer_yields_no_viable_tiling() {
+    // 1 KiB of SPM cannot hold even one maximally tiled working set of
+    // a wide layer.
+    let arch = ArchConfigBuilder::new(2, 1024, 32).build().unwrap();
+    let layer = ConvLayer::new("wide", 512, 28, 28, 512).unwrap();
+    let err = search_layer(&layer, &arch, &SearchOptions::quick()).unwrap_err();
+    assert!(matches!(err, SchedError::NoViableTiling { .. }), "{err}");
+    assert!(err.to_string().contains("wide"));
+}
+
+#[test]
+fn enumeration_is_empty_for_impossible_constraints() {
+    let arch = ArchConfigBuilder::new(2, 512, 32).build().unwrap();
+    let layer = ConvLayer::new("big", 256, 56, 56, 256).unwrap();
+    let opts = TilingOptions {
+        max_ops: 8, // cannot tile finely enough within 8 ops
+        ..Default::default()
+    };
+    assert!(enumerate_tilings(&layer, &arch, &opts).is_empty());
+}
+
+#[test]
+fn scheduler_surfaces_alloc_failure_when_pins_block_everything() {
+    // Build a DFG whose single working set fits, then shrink the SPM
+    // model by allocating around it is impossible — emulate by running
+    // on an arch whose buffer is smaller than one working set.
+    let roomy = ArchConfig::preset(ArchPreset::Arch4);
+    let model = SystolicModel::new(&roomy);
+    let layer = ConvLayer::new("l", 64, 16, 16, 64).unwrap();
+    let factors = TilingFactors::normalized(&layer, 1, 1, 1, 1);
+    let dfg = Dfg::build(&layer, factors, Dataflow::Kcs, &model, &roomy).unwrap();
+    // Same DFG, much smaller buffer.
+    let tiny = ArchConfigBuilder::new(2, 4096, 32).build().unwrap();
+    let err = OooScheduler::new(&dfg, &tiny, &model).schedule().unwrap_err();
+    assert!(matches!(err, SchedError::Alloc(_)), "{err}");
+}
+
+#[test]
+fn spm_errors_carry_actionable_context() {
+    let mut spm = SpmMemory::new(128);
+    let t = TileId::Input { c: 0, s: 0 };
+    match spm.allocate(t, 256, 1, &FlexerSpill) {
+        Err(AllocError::TileTooLarge {
+            requested,
+            capacity,
+        }) => {
+            assert_eq!(requested, 256);
+            assert_eq!(capacity, 128);
+        }
+        other => panic!("expected TileTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn dfg_rejects_out_of_range_tiling() {
+    let arch = ArchConfig::preset(ArchPreset::Arch1);
+    let model = SystolicModel::new(&arch);
+    let layer = ConvLayer::new("huge", 512, 256, 256, 512).unwrap();
+    let factors = TilingFactors::normalized(&layer, 512, 512, 64, 64);
+    let err = Dfg::build(&layer, factors, Dataflow::Kcs, &model, &arch).unwrap_err();
+    assert!(err.to_string().contains("operations"));
+}
+
+#[test]
+fn network_construction_rejects_inconsistency() {
+    assert!(Network::new("empty", vec![]).is_err());
+    let dup = Network::new(
+        "dup",
+        vec![
+            ConvLayer::new("x", 8, 8, 8, 8).unwrap(),
+            ConvLayer::new("x", 8, 8, 8, 8).unwrap(),
+        ],
+    );
+    assert!(dup.is_err());
+}
+
+#[test]
+fn layer_errors_propagate_through_network_driver() {
+    let arch = ArchConfigBuilder::new(2, 2048, 32).build().unwrap();
+    let net = Network::new(
+        "mixed",
+        vec![
+            ConvLayer::new("ok", 8, 8, 8, 8).unwrap(),
+            ConvLayer::new("too-big", 512, 56, 56, 512).unwrap(),
+        ],
+    )
+    .unwrap();
+    let driver = Flexer::new(arch).with_options(SearchOptions::quick());
+    let err = driver.schedule_network(&net).unwrap_err();
+    assert!(err.to_string().contains("too-big"), "{err}");
+}
+
+#[test]
+fn ooo_recovers_from_width_pressure_instead_of_failing() {
+    // A buffer that holds one working set but never two: the scheduler
+    // must degrade to single-op sets, not error out.
+    let layer = ConvLayer::new("tight", 64, 8, 8, 64).unwrap();
+    let factors = TilingFactors::normalized(&layer, 2, 1, 1, 1);
+    // Working set: IN 4096 + WT 18432 + OT 2048 = 24576 bytes.
+    let arch = ArchConfigBuilder::new(4, 30 * 1024, 32).build().unwrap();
+    let model = SystolicModel::new(&arch);
+    let dfg = Dfg::build(&layer, factors, Dataflow::Kcs, &model, &arch).unwrap();
+    let sched = OooScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+    validate_schedule(&dfg, &sched).unwrap();
+    // Cores beyond the first starve: utilization reflects the squeeze.
+    assert!(sched.compute_utilization() <= 0.5);
+}
