@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Repo gate: release build, full test suite, lint-clean at -D warnings.
+set -euo pipefail
+cd "$(dirname "$0")"
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+echo "check.sh: all green"

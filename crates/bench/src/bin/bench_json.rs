@@ -1,0 +1,100 @@
+//! Machine-readable micro-benchmark: times the Algorithm-1 layer
+//! search under the default transactional SPM planning and under the
+//! clone-per-candidate baseline, in the same process, and writes the
+//! medians to `BENCH_PR1.json`.
+//!
+//! Schema: a JSON array of `{bench, arch, median_ns, evaluated}`
+//! objects. Output path defaults to `BENCH_PR1.json` in the current
+//! directory; override with `FLEXER_BENCH_OUT`. `FLEXER_BENCH_ITERS`
+//! sets the sample count (default 7, median reported).
+
+use flexer::prelude::*;
+use std::time::Instant;
+
+struct Row {
+    bench: &'static str,
+    arch: String,
+    median_ns: u128,
+    evaluated: usize,
+}
+
+fn median_ns(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time_search(layer: &ConvLayer, arch: &ArchConfig, opts: &SearchOptions, iters: usize) -> (u128, usize) {
+    // Warm-up run, then `iters` timed samples.
+    let warm = flexer::sched::search_layer(layer, arch, opts).expect("benchmark layer schedules");
+    let evaluated = warm.evaluated;
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            let r = flexer::sched::search_layer(layer, arch, opts).expect("benchmark layer schedules");
+            assert_eq!(r.evaluated, evaluated);
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    (median_ns(&mut samples), evaluated)
+}
+
+fn main() {
+    let iters: usize = std::env::var("FLEXER_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let out_path =
+        std::env::var("FLEXER_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR1.json".to_owned());
+
+    let preset = ArchPreset::Arch5;
+    let arch = ArchConfig::preset(preset);
+    let layer = ConvLayer::new("bench", 64, 28, 28, 64).expect("valid layer");
+
+    // The full default search on one thread: the per-candidate work is
+    // what's under test, so no parallelism noise.
+    let tx_opts = SearchOptions {
+        threads: 1,
+        ..SearchOptions::default()
+    };
+    let mut clone_opts = tx_opts.clone();
+    clone_opts.eval_mode = EvalMode::CloneBaseline;
+
+    let (tx_ns, tx_eval) = time_search(&layer, &arch, &tx_opts, iters);
+    let (clone_ns, clone_eval) = time_search(&layer, &arch, &clone_opts, iters);
+    assert_eq!(tx_eval, clone_eval, "both modes search the same space");
+
+    let rows = [
+        Row {
+            bench: "layer_search",
+            arch: preset.to_string(),
+            median_ns: tx_ns,
+            evaluated: tx_eval,
+        },
+        Row {
+            bench: "layer_search_clone_baseline",
+            arch: preset.to_string(),
+            median_ns: clone_ns,
+            evaluated: clone_eval,
+        },
+    ];
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"arch\": \"{}\", \"median_ns\": {}, \"evaluated\": {}}}{}\n",
+            r.bench,
+            r.arch,
+            r.median_ns,
+            r.evaluated,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+
+    let ratio = clone_ns as f64 / tx_ns as f64;
+    println!("wrote {out_path}");
+    println!("layer_search (transactional): {tx_ns} ns median, {tx_eval} pairs");
+    println!("layer_search (clone baseline): {clone_ns} ns median");
+    println!("speedup over clone-per-candidate: {ratio:.2}x");
+}

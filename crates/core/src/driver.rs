@@ -4,8 +4,8 @@ use crate::report::{NetworkComparison, NetworkResult};
 use flexer_arch::ArchConfig;
 use flexer_model::{ConvLayer, Network};
 use flexer_sched::{
-    search_layer_cached, search_layer_static_cached, LayerSearchResult, MemoCache, SchedError,
-    SearchOptions,
+    search_layer_cached, search_layer_static_cached, search_network_cached,
+    search_network_static_cached, LayerSearchResult, MemoCache, SchedError, SearchOptions,
 };
 use std::fmt;
 
@@ -96,29 +96,28 @@ impl Flexer {
     /// Schedules every layer of `network` with the out-of-order
     /// scheduler.
     ///
+    /// All layers feed one shared work queue of `(layer, tiling,
+    /// dataflow)` triples, so worker threads never serialize on layer
+    /// boundaries; repeated layer shapes search once and replay.
+    ///
     /// # Errors
     ///
     /// Returns the first per-layer error encountered.
     pub fn schedule_network(&self, network: &Network) -> Result<NetworkResult, SchedError> {
-        let layers = network
-            .layers()
-            .iter()
-            .map(|l| self.schedule_layer(l))
-            .collect::<Result<Vec<_>, _>>()?;
+        let layers =
+            search_network_cached(network.layers(), &self.arch, &self.options, &self.cache)?;
         Ok(NetworkResult::new(network.name(), layers))
     }
 
-    /// Schedules every layer of `network` with the static baseline.
+    /// Schedules every layer of `network` with the static baseline,
+    /// over the same shared work queue as [`Flexer::schedule_network`].
     ///
     /// # Errors
     ///
     /// Returns the first per-layer error encountered.
     pub fn baseline_network(&self, network: &Network) -> Result<NetworkResult, SchedError> {
-        let layers = network
-            .layers()
-            .iter()
-            .map(|l| self.baseline_layer(l))
-            .collect::<Result<Vec<_>, _>>()?;
+        let layers =
+            search_network_static_cached(network.layers(), &self.arch, &self.options, &self.cache)?;
         Ok(NetworkResult::new(network.name(), layers))
     }
 
@@ -195,6 +194,22 @@ mod tests {
         assert_eq!(r.layers()[2].evaluated, 1);
         assert!(r.layers()[1].evaluated > 1);
         assert!(d.cached_shapes() >= 2);
+    }
+
+    #[test]
+    fn network_stats_are_aggregated_and_reported() {
+        let d = driver();
+        let net = tiny_net();
+        let r = d.schedule_network(&net).unwrap();
+        let total = r.total_stats();
+        assert!(total.steps > 0);
+        assert!(total.sets_evaluated > 0);
+        assert!(total.rollback_bytes > 0, "transactional mode is default");
+        let line = r.to_string();
+        assert!(line.contains("steps"), "{line}");
+        assert!(line.contains("rollback"), "{line}");
+        let table = d.compare_network(&net).unwrap().render_table();
+        assert!(table.contains("search effort"), "{table}");
     }
 
     #[test]

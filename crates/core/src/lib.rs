@@ -77,7 +77,7 @@ pub mod prelude {
     };
     pub use flexer_model::{networks, scale_spatial, ConvLayer, ConvLayerBuilder, Network};
     pub use flexer_sched::{
-        Metric, PriorityPolicy, SearchOptions, SpillPolicyChoice,
+        EvalMode, Metric, PriorityPolicy, SearchOptions, SearchStats, SpillPolicyChoice,
     };
     pub use flexer_sim::{
         onchip_reference_traffic, schedule_energy, validate_schedule, TrafficClass,

@@ -1,6 +1,6 @@
 //! Network-level results and baseline comparisons.
 
-use flexer_sched::LayerSearchResult;
+use flexer_sched::{LayerSearchResult, SearchStats};
 use flexer_sim::TrafficClass;
 use std::fmt;
 
@@ -66,17 +66,30 @@ impl NetworkResult {
     pub fn total_evaluated(&self) -> usize {
         self.layers.iter().map(|l| l.evaluated).sum()
     }
+
+    /// Search-effort counters summed over every layer's search:
+    /// scheduler steps, candidate sets generated/pruned/evaluated,
+    /// rollback traffic, evictions, compactions and per-phase time.
+    #[must_use]
+    pub fn total_stats(&self) -> SearchStats {
+        let mut total = SearchStats::default();
+        for l in &self.layers {
+            total.merge(&l.stats);
+        }
+        total
+    }
 }
 
 impl fmt::Display for NetworkResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {} layers, {} cycles, {} B transferred",
+            "{}: {} layers, {} cycles, {} B transferred | search: {}",
             self.network,
             self.layers.len(),
             self.total_latency(),
-            self.total_transfer_bytes()
+            self.total_transfer_bytes(),
+            self.total_stats()
         )
     }
 }
@@ -222,6 +235,7 @@ impl NetworkComparison {
             self.baseline.total_transfer_bytes(),
             self.transfer_reduction()
         );
+        let _ = writeln!(out, "search effort (flexer): {}", self.flexer.total_stats());
         out
     }
 }

@@ -1,9 +1,38 @@
 //! Operation-set generation and dataflow-map pruning (§4.2).
 
+use crate::stats::SearchStats;
 use flexer_spm::SpmMemory;
-use flexer_tiling::{Dfg, OpId, TileKind};
+use flexer_tiling::{Dfg, OpId, TileId, TileKind};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, the hasher for the per-step duplicate-class set: the class
+/// encodings are ~10–20 bytes, where SipHash's setup cost dominates the
+/// hash itself. Membership tests run once per examined combination.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FnvSet<T> = HashSet<T, BuildHasherDefault<FnvHasher>>;
 
 /// The dataflow classification of one operation set (paper Figure 7's
 /// *dataflow map*): for each data type, the multiset of intra-set
@@ -39,38 +68,109 @@ use std::collections::{BTreeMap, HashSet};
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DataflowClass(Vec<u8>);
 
-/// Computes the [`DataflowClass`] of `ops` given the current residency
-/// state of `spm`.
-#[must_use]
-pub fn dataflow_class(dfg: &Dfg, spm: &SpmMemory, ops: &[OpId]) -> DataflowClass {
-    // Sharing degree of every distinct tile the set references.
-    let mut degrees: BTreeMap<flexer_tiling::TileId, u8> = BTreeMap::new();
-    for &id in ops {
-        for tile in dfg.op(id).operands() {
-            *degrees.entry(tile).or_default() += 1;
-        }
+impl std::borrow::Borrow<[u8]> for DataflowClass {
+    fn borrow(&self) -> &[u8] {
+        // Consistent with the derived Hash/Eq: a Vec<u8> hashes and
+        // compares exactly like its slice, so encodings can be looked
+        // up in a HashSet<DataflowClass> without allocating a class.
+        &self.0
     }
+}
+
+/// Reusable buffers for set generation and classification: one of
+/// these lives per scheduler run, so the per-combination inner loop
+/// allocates only when a *new* dataflow class is kept.
+#[derive(Debug, Default)]
+pub(crate) struct ComboScratch {
+    /// `(resident operand bytes, op)` ranking, computed once per call.
+    ranked: Vec<(u64, OpId)>,
+    /// Current combination's candidate indices.
+    idx: Vec<usize>,
+    /// Current combination's (sorted) operation set.
+    set: Vec<OpId>,
+    /// Dataflow classes already represented this call.
+    seen: FnvSet<DataflowClass>,
+    /// Classification scratch: the set's operand tiles, sorted so
+    /// sharing degrees fall out of a run-length pass (a flat vector —
+    /// a reused `BTreeMap` would still allocate tree nodes on every
+    /// rebuild, and per-element sorted insertion measures ~4x slower
+    /// than sort-then-scan at these sizes).
+    tiles: Vec<(TileId, bool)>,
+    /// Operand triples of the ranked candidates with their residency,
+    /// prefetched once per call so the inner loop never touches the
+    /// graph or re-answers a residency query.
+    cands: Vec<[(TileId, bool); 3]>,
+    /// Sorted snapshot of every tile resident in the memory, taken
+    /// once per call: `SpmMemory::contains` is a linear block scan,
+    /// far too expensive to repeat for every tile of every candidate
+    /// and combination. Residency cannot change mid-call (the memory
+    /// is held by `&`), so one snapshot answers every query.
+    resident: Vec<TileId>,
+    /// Classification scratch: degree multisets by (kind, reused/new).
+    buckets: [[Vec<u8>; 2]; 3],
+    /// Classification scratch: the canonical encoding.
+    class_buf: Vec<u8>,
+}
+
+/// Computes the canonical class encoding of the `(tile, resident)`
+/// operand pairs already collected in `tiles` into `out`, reusing the
+/// `buckets` scratch. Residency travels with each tile, so no lookup
+/// of any kind happens here.
+fn classify_tiles(
+    tiles: &mut [(TileId, bool)],
+    buckets: &mut [[Vec<u8>; 2]; 3],
+    out: &mut Vec<u8>,
+) {
+    // Sharing degree of every distinct tile the set references: sort
+    // the (tiny) operand list and count runs in ascending tile order.
+    // Duplicate tiles carry equal residency flags, so pair order
+    // within a run is immaterial.
+    tiles.sort_unstable();
     // Bucket by (kind, reused/new), keeping degree multisets sorted.
     let kind_index = |k: TileKind| match k {
         TileKind::Input => 0usize,
         TileKind::Weight => 1,
         TileKind::Output => 2,
     };
-    let mut buckets: [[Vec<u8>; 2]; 3] = Default::default();
-    for (tile, degree) in degrees {
-        let reused = usize::from(!spm.contains(tile));
+    for kind in buckets.iter_mut() {
+        for bucket in kind {
+            bucket.clear();
+        }
+    }
+    let mut i = 0;
+    while i < tiles.len() {
+        let (tile, resident) = tiles[i];
+        let mut degree = 0u8;
+        while i < tiles.len() && tiles[i].0 == tile {
+            degree += 1;
+            i += 1;
+        }
+        let reused = usize::from(!resident);
         buckets[kind_index(tile.kind())][reused].push(degree);
     }
     // Canonical encoding: per bucket its sorted degrees behind a
     // length byte.
-    let mut encoding = Vec::with_capacity(16);
-    for kind in &mut buckets {
+    out.clear();
+    for kind in buckets.iter_mut() {
         for bucket in kind {
             bucket.sort_unstable();
-            encoding.push(bucket.len() as u8);
-            encoding.extend_from_slice(bucket);
+            out.push(bucket.len() as u8);
+            out.extend_from_slice(bucket);
         }
     }
+}
+
+/// Computes the [`DataflowClass`] of `ops` given the current residency
+/// state of `spm`.
+#[must_use]
+pub fn dataflow_class(dfg: &Dfg, spm: &SpmMemory, ops: &[OpId]) -> DataflowClass {
+    let mut tiles = Vec::new();
+    for &id in ops {
+        tiles.extend(dfg.op(id).operands().map(|t| (t, spm.contains(t))));
+    }
+    let mut buckets: [[Vec<u8>; 2]; 3] = Default::default();
+    let mut encoding = Vec::with_capacity(16);
+    classify_tiles(&mut tiles, &mut buckets, &mut encoding);
     DataflowClass(encoding)
 }
 
@@ -92,7 +192,7 @@ pub fn dataflow_class(dfg: &Dfg, spm: &SpmMemory, ops: &[OpId]) -> DataflowClass
 /// };
 /// assert_eq!(opts.width_cap, 8);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ComboOptions {
     /// Ready operations considered for combination (most resident
     /// operand bytes first, op id on ties).
@@ -136,6 +236,31 @@ pub fn generate_sets(
     set_size: usize,
     options: &ComboOptions,
 ) -> Vec<Vec<OpId>> {
+    let mut scratch = ComboScratch::default();
+    let mut out = Vec::new();
+    let mut stats = SearchStats::default();
+    generate_sets_into(
+        dfg, spm, ready, set_size, options, &mut scratch, &mut out, &mut stats,
+    );
+    out
+}
+
+/// [`generate_sets`] writing into `out` and reusing `scratch` — the
+/// scheduler's per-step entry point. `out` is truncated to exactly the
+/// kept sets; its inner vectors are recycled across calls.
+///
+/// `stats` accumulates the examined/pruned counts.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn generate_sets_into(
+    dfg: &Dfg,
+    spm: &SpmMemory,
+    ready: &[OpId],
+    set_size: usize,
+    options: &ComboOptions,
+    scratch: &mut ComboScratch,
+    out: &mut Vec<Vec<OpId>>,
+    stats: &mut SearchStats,
+) {
     assert!(set_size > 0, "set size must be positive");
     assert!(
         set_size <= ready.len(),
@@ -144,9 +269,178 @@ pub fn generate_sets(
     );
     debug_assert!(ready.windows(2).all(|w| w[0] < w[1]), "ready must be sorted");
 
+    // Snapshot the resident tile set in one pass over the block list:
+    // every residency query below becomes a binary search instead of
+    // an `SpmMemory::contains` linear block scan.
+    let resident = &mut scratch.resident;
+    resident.clear();
+    resident.extend(
+        spm.blocks()
+            .iter()
+            .filter_map(|b| b.state().tile_data().map(|d| d.tile)),
+    );
+    resident.sort_unstable();
+    let resident = &scratch.resident;
+
     // Rank candidates: reuse-friendly first (most resident operand
-    // bytes), op id as the deterministic tie-break.
-    let mut candidates: Vec<OpId> = ready.to_vec();
+    // bytes), op id as the deterministic tie-break. The residency key
+    // is computed once per candidate up front, not re-derived inside
+    // every comparison of the sort.
+    let ranked = &mut scratch.ranked;
+    ranked.clear();
+    ranked.extend(ready.iter().map(|&id| {
+        let bytes: u64 = dfg
+            .op(id)
+            .operands()
+            .filter(|&t| resident.binary_search(&t).is_ok())
+            .map(|t| dfg.tile_bytes(t))
+            .sum();
+        (bytes, id)
+    }));
+    ranked.sort_unstable_by_key(|&(bytes, id)| (std::cmp::Reverse(bytes), id));
+    ranked.truncate(options.width_cap.max(set_size));
+
+    // Prefetch each candidate's operand triple with its residency, so
+    // the inner loop indexes a flat array instead of chasing into the
+    // graph or binary-searching the snapshot per tile.
+    let cands = &mut scratch.cands;
+    cands.clear();
+    cands.extend(ranked.iter().map(|&(_, id)| {
+        let op = dfg.op(id);
+        let tag = |t: TileId| (t, resident.binary_search(&t).is_ok());
+        [tag(op.input()), tag(op.weight()), tag(op.output())]
+    }));
+
+    let mut produced = 0usize;
+    // Appends the current combination to `out`, recycling a spare
+    // inner vector when one is available.
+    let keep = |set: &[OpId], out: &mut Vec<Vec<OpId>>, produced: &mut usize| {
+        if let Some(slot) = out.get_mut(*produced) {
+            slot.clear();
+            slot.extend_from_slice(set);
+        } else {
+            out.push(set.to_vec());
+        }
+        *produced += 1;
+    };
+    scratch.seen.clear();
+    let mut examined = 0usize;
+
+    // Lexicographic k-combination enumeration over candidate indices.
+    let n = ranked.len();
+    scratch.idx.clear();
+    scratch.idx.extend(0..set_size);
+    loop {
+        examined += 1;
+        stats.sets_generated += 1;
+        scratch.set.clear();
+        scratch
+            .set
+            .extend(scratch.idx.iter().map(|&i| ranked[i].1));
+        scratch.set.sort_unstable();
+        if options.prune {
+            scratch.tiles.clear();
+            for &i in scratch.idx.iter() {
+                scratch.tiles.extend_from_slice(&cands[i]);
+            }
+            classify_tiles(
+                &mut scratch.tiles,
+                &mut scratch.buckets,
+                &mut scratch.class_buf,
+            );
+            // Duplicates cost no allocation: the encoding buffer is
+            // looked up as a slice and only cloned when new.
+            if scratch.seen.contains(scratch.class_buf.as_slice()) {
+                stats.sets_pruned += 1;
+            } else {
+                scratch
+                    .seen
+                    .insert(DataflowClass(scratch.class_buf.clone()));
+                keep(&scratch.set, out, &mut produced);
+            }
+        } else {
+            keep(&scratch.set, out, &mut produced);
+        }
+        if produced >= options.max_sets || examined >= options.max_combos {
+            break;
+        }
+        // Advance the combination.
+        let mut i = set_size;
+        loop {
+            if i == 0 {
+                out.truncate(produced);
+                return;
+            }
+            i -= 1;
+            if scratch.idx[i] != i + n - set_size {
+                break;
+            }
+        }
+        scratch.idx[i] += 1;
+        for j in i + 1..set_size {
+            scratch.idx[j] = scratch.idx[j - 1] + 1;
+        }
+    }
+    out.truncate(produced);
+}
+
+/// The seed implementation of [`dataflow_class`], kept verbatim as
+/// part of the `CloneBaseline` reference path: a freshly allocated
+/// degree map per combination and a `contains` block scan per
+/// distinct tile. Produces encodings identical to [`classify_tiles`].
+fn dataflow_class_reference(dfg: &Dfg, spm: &SpmMemory, ops: &[OpId]) -> DataflowClass {
+    // Sharing degree of every distinct tile the set references.
+    let mut degrees: std::collections::BTreeMap<TileId, u8> = std::collections::BTreeMap::new();
+    for &id in ops {
+        for tile in dfg.op(id).operands() {
+            *degrees.entry(tile).or_default() += 1;
+        }
+    }
+    // Bucket by (kind, reused/new), keeping degree multisets sorted.
+    let kind_index = |k: TileKind| match k {
+        TileKind::Input => 0usize,
+        TileKind::Weight => 1,
+        TileKind::Output => 2,
+    };
+    let mut buckets: [[Vec<u8>; 2]; 3] = Default::default();
+    for (tile, degree) in degrees {
+        let reused = usize::from(!spm.contains(tile));
+        buckets[kind_index(tile.kind())][reused].push(degree);
+    }
+    // Canonical encoding: per bucket its sorted degrees behind a
+    // length byte.
+    let mut encoding = Vec::with_capacity(16);
+    for kind in &mut buckets {
+        for bucket in kind {
+            bucket.sort_unstable();
+            encoding.push(bucket.len() as u8);
+            encoding.extend_from_slice(bucket);
+        }
+    }
+    DataflowClass(encoding)
+}
+
+/// The pre-optimization reference twin of [`generate_sets_into`],
+/// kept for the `CloneBaseline` benchmark mode: it re-derives the
+/// residency ranking key inside every sort comparison and allocates
+/// fresh classification state (degree map, degree buckets, encoding)
+/// plus a fresh vector per combination — the per-combination
+/// allocation storm the scratch path eliminates. Output and stats
+/// counters are identical to the scratch path by construction.
+pub(crate) fn generate_sets_baseline(
+    dfg: &Dfg,
+    spm: &SpmMemory,
+    ready: &[OpId],
+    set_size: usize,
+    options: &ComboOptions,
+    stats: &mut SearchStats,
+) -> Vec<Vec<OpId>> {
+    assert!(set_size > 0, "set size must be positive");
+    assert!(
+        set_size <= ready.len(),
+        "set size {set_size} exceeds ready count {}",
+        ready.len()
+    );
     let resident_bytes = |id: OpId| -> u64 {
         dfg.op(id)
             .operands()
@@ -154,36 +448,38 @@ pub fn generate_sets(
             .map(|t| dfg.tile_bytes(t))
             .sum()
     };
-    candidates.sort_by_key(|&id| (std::cmp::Reverse(resident_bytes(id)), id));
-    candidates.truncate(options.width_cap.max(set_size));
+    let mut ranked: Vec<OpId> = ready.to_vec();
+    ranked.sort_by_key(|&id| (std::cmp::Reverse(resident_bytes(id)), id));
+    ranked.truncate(options.width_cap.max(set_size));
 
-    let mut kept: Vec<Vec<OpId>> = Vec::new();
+    let mut out: Vec<Vec<OpId>> = Vec::new();
     let mut seen: HashSet<DataflowClass> = HashSet::new();
     let mut examined = 0usize;
-
-    // Lexicographic k-combination enumeration over candidate indices.
-    let n = candidates.len();
+    let n = ranked.len();
     let mut idx: Vec<usize> = (0..set_size).collect();
     loop {
         examined += 1;
-        let mut set: Vec<OpId> = idx.iter().map(|&i| candidates[i]).collect();
+        stats.sets_generated += 1;
+        let mut set: Vec<OpId> = idx.iter().map(|&i| ranked[i]).collect();
         set.sort_unstable();
         if options.prune {
-            let class = dataflow_class(dfg, spm, &set);
-            if seen.insert(class) {
-                kept.push(set);
+            let class = dataflow_class_reference(dfg, spm, &set);
+            if seen.contains(&class) {
+                stats.sets_pruned += 1;
+            } else {
+                seen.insert(class);
+                out.push(set);
             }
         } else {
-            kept.push(set);
+            out.push(set);
         }
-        if kept.len() >= options.max_sets || examined >= options.max_combos {
+        if out.len() >= options.max_sets || examined >= options.max_combos {
             break;
         }
-        // Advance the combination.
         let mut i = set_size;
         loop {
             if i == 0 {
-                return kept;
+                return out;
             }
             i -= 1;
             if idx[i] != i + n - set_size {
@@ -195,7 +491,7 @@ pub fn generate_sets(
             idx[j] = idx[j - 1] + 1;
         }
     }
-    kept
+    out
 }
 
 #[cfg(test)]
@@ -349,6 +645,60 @@ mod tests {
         spm.allocate(t, dfg.tile_bytes(t), 1, &FlexerSpill).unwrap();
         let sets = generate_sets(&dfg, &spm, &ready, 2, &ComboOptions::default());
         assert!(sets[0].contains(&last), "{:?}", sets[0]);
+    }
+
+    #[test]
+    fn scratch_generation_matches_allocating_path() {
+        let (dfg, spm) = fixture(4, 1, 2);
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        let opts = ComboOptions::default();
+        let baseline = generate_sets(&dfg, &spm, &ready, 2, &opts);
+        let mut scratch = ComboScratch::default();
+        // Pre-fill with stale sets: the call must overwrite/truncate.
+        let mut out = vec![vec![OpId::new(99)]; 40];
+        let mut stats = SearchStats::default();
+        generate_sets_into(&dfg, &spm, &ready, 2, &opts, &mut scratch, &mut out, &mut stats);
+        assert_eq!(out, baseline);
+        // C(8,2) combinations examined; everything not kept was pruned.
+        assert_eq!(stats.sets_generated, 28);
+        assert_eq!(stats.sets_pruned as usize, 28 - baseline.len());
+        // Reusing the same scratch reproduces the result exactly.
+        generate_sets_into(&dfg, &spm, &ready, 2, &opts, &mut scratch, &mut out, &mut stats);
+        assert_eq!(out, baseline);
+    }
+
+    #[test]
+    fn baseline_generation_matches_scratch_path() {
+        let (dfg, mut spm) = fixture(4, 2, 2);
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        // Warm memory so the ranking is non-trivial.
+        let t = dfg.op(*ready.last().unwrap()).weight();
+        spm.allocate(t, dfg.tile_bytes(t), 1, &FlexerSpill).unwrap();
+        for prune in [true, false] {
+            let opts = ComboOptions {
+                prune,
+                ..ComboOptions::default()
+            };
+            let fast = generate_sets(&dfg, &spm, &ready, 2, &opts);
+            let mut stats = SearchStats::default();
+            let slow = generate_sets_baseline(&dfg, &spm, &ready, 2, &opts, &mut stats);
+            assert_eq!(fast, slow);
+            let mut fast_stats = SearchStats::default();
+            let mut out = Vec::new();
+            let mut scratch = ComboScratch::default();
+            generate_sets_into(
+                &dfg,
+                &spm,
+                &ready,
+                2,
+                &opts,
+                &mut scratch,
+                &mut out,
+                &mut fast_stats,
+            );
+            assert_eq!(stats.sets_generated, fast_stats.sets_generated);
+            assert_eq!(stats.sets_pruned, fast_stats.sets_pruned);
+        }
     }
 
     #[test]

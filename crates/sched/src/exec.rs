@@ -8,6 +8,7 @@
 use crate::error::SchedError;
 use crate::priority::{plan_set, PlanEvent, TileAction};
 use crate::program::{Command, Program};
+use crate::stats::SearchStats;
 use flexer_arch::{ArchConfig, PerfModel};
 use flexer_sim::{MemOpKind, Schedule, ScheduleBuilder, TrafficClass};
 use flexer_spm::{SpillPolicy, SpmMemory};
@@ -33,6 +34,7 @@ pub(crate) struct ExecState<'a> {
     scheduled: Vec<bool>,
     remaining: usize,
     commands: Vec<Command>,
+    stats: SearchStats,
 }
 
 impl<'a> ExecState<'a> {
@@ -57,6 +59,7 @@ impl<'a> ExecState<'a> {
             scheduled: vec![false; dfg.num_ops()],
             remaining: dfg.num_ops(),
             commands: Vec::new(),
+            stats: SearchStats::default(),
         }
     }
 
@@ -66,6 +69,17 @@ impl<'a> ExecState<'a> {
 
     pub(crate) fn uses(&self) -> &BTreeMap<TileId, u32> {
         &self.uses
+    }
+
+    /// Splits the borrow so the transactional evaluator can mutate the
+    /// scratchpad while reading the use counts.
+    pub(crate) fn spm_and_uses(&mut self) -> (&mut SpmMemory, &BTreeMap<TileId, u32>) {
+        (&mut self.spm, &self.uses)
+    }
+
+    /// Counters accumulated by committed sets (evictions, compactions).
+    pub(crate) fn stats(&self) -> &SearchStats {
+        &self.stats
     }
 
     pub(crate) fn remaining(&self) -> usize {
@@ -80,6 +94,10 @@ impl<'a> ExecState<'a> {
         debug_assert!(ops.windows(2).all(|w| w[0] < w[1]));
         let plan = plan_set(self.dfg, &mut self.spm, &self.uses, self.spill, ops)
             .map_err(SchedError::from)?;
+        self.stats.evictions += plan.evictions.len() as u64;
+        if plan.compaction_bytes > 0 {
+            self.stats.compactions += 1;
+        }
 
         // On-chip compaction keeps the DMA engine busy but moves no
         // off-chip data.

@@ -49,16 +49,19 @@ mod priority;
 mod program;
 mod search;
 mod static_sched;
+mod stats;
 
 pub use combo::{dataflow_class, generate_sets, ComboOptions, DataflowClass};
 pub use error::SchedError;
 pub use memo::MemoCache;
 pub use metric::Metric;
-pub use ooo::OooScheduler;
+pub use ooo::{EvalMode, OooScheduler};
 pub use priority::{PriorityPolicy, SetEvaluation};
+pub use stats::SearchStats;
 pub use program::{Command, Program, ProgramError};
 pub use search::{
     search_layer, search_layer_cached, search_layer_static, search_layer_static_cached,
-    sweep_tilings, LayerSearchResult, SchedulePoint, SearchOptions, SpillPolicyChoice,
+    search_network, search_network_cached, search_network_static, search_network_static_cached,
+    sweep_tilings, LayerSearchResult, MemoKey, SchedulePoint, SearchOptions, SpillPolicyChoice,
 };
 pub use static_sched::StaticScheduler;

@@ -1,5 +1,6 @@
 //! Memoization of search winners.
 
+use crate::search::MemoKey;
 use flexer_tiling::{Dataflow, TilingFactors};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -9,11 +10,11 @@ use std::collections::HashMap;
 /// best tiling" that "could significantly reduce the runtime of the
 /// scheduler" (§3).
 ///
-/// Keys incorporate the layer *shape* (not its name), the hardware
-/// configuration and every search knob, so distinct searches never
-/// collide while repeated shapes — ResNet-50 alone has its bottleneck
-/// geometry dozens of times — skip the exhaustive search and only
-/// re-run the single winning schedule.
+/// Keys are [`MemoKey`]s: the layer *shape* (not its name), the
+/// hardware configuration and every search knob, hashed structurally,
+/// so distinct searches never collide while repeated shapes —
+/// ResNet-50 alone has its bottleneck geometry dozens of times — skip
+/// the exhaustive search and only re-run the single winning schedule.
 ///
 /// The cache is internally synchronized and can be shared across
 /// threads by reference.
@@ -25,11 +26,11 @@ use std::collections::HashMap;
 ///
 /// let cache = MemoCache::new();
 /// assert_eq!(cache.len(), 0);
-/// assert!(cache.get("some-key").is_none());
+/// assert!(cache.is_empty());
 /// ```
 #[derive(Debug, Default)]
 pub struct MemoCache {
-    inner: Mutex<HashMap<String, (TilingFactors, Dataflow)>>,
+    inner: Mutex<HashMap<MemoKey, (TilingFactors, Dataflow)>>,
 }
 
 impl MemoCache {
@@ -41,12 +42,12 @@ impl MemoCache {
 
     /// Looks up a search key.
     #[must_use]
-    pub fn get(&self, key: &str) -> Option<(TilingFactors, Dataflow)> {
+    pub fn get(&self, key: &MemoKey) -> Option<(TilingFactors, Dataflow)> {
         self.inner.lock().get(key).copied()
     }
 
     /// Records a search winner.
-    pub fn insert(&self, key: String, factors: TilingFactors, dataflow: Dataflow) {
+    pub fn insert(&self, key: MemoKey, factors: TilingFactors, dataflow: Dataflow) {
         self.inner.lock().insert(key, (factors, dataflow));
     }
 
@@ -66,18 +67,26 @@ impl MemoCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search::{SchedulerKind, SearchOptions};
+    use flexer_arch::{ArchConfig, ArchPreset};
     use flexer_model::ConvLayer;
+
+    fn key(layer: &ConvLayer, kind: SchedulerKind) -> MemoKey {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        SearchOptions::quick().memo_key(layer, &arch, kind)
+    }
 
     #[test]
     fn round_trip() {
         let cache = MemoCache::new();
         let layer = ConvLayer::new("c", 8, 8, 8, 8).unwrap();
         let f = TilingFactors::normalized(&layer, 2, 2, 1, 1);
-        cache.insert("k".into(), f, Dataflow::Csk);
-        assert_eq!(cache.get("k"), Some((f, Dataflow::Csk)));
+        let k = key(&layer, SchedulerKind::Ooo);
+        cache.insert(k.clone(), f, Dataflow::Csk);
+        assert_eq!(cache.get(&k), Some((f, Dataflow::Csk)));
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
-        assert!(cache.get("other").is_none());
+        assert!(cache.get(&key(&layer, SchedulerKind::Static)).is_none());
     }
 
     #[test]
@@ -86,9 +95,10 @@ mod tests {
         let layer = ConvLayer::new("c", 8, 8, 8, 8).unwrap();
         let f1 = TilingFactors::normalized(&layer, 2, 2, 1, 1);
         let f2 = TilingFactors::normalized(&layer, 4, 1, 1, 1);
-        cache.insert("k".into(), f1, Dataflow::Csk);
-        cache.insert("k".into(), f2, Dataflow::Kcs);
-        assert_eq!(cache.get("k"), Some((f2, Dataflow::Kcs)));
+        let k = key(&layer, SchedulerKind::Ooo);
+        cache.insert(k.clone(), f1, Dataflow::Csk);
+        cache.insert(k.clone(), f2, Dataflow::Kcs);
+        assert_eq!(cache.get(&k), Some((f2, Dataflow::Kcs)));
         assert_eq!(cache.len(), 1);
     }
 
@@ -96,10 +106,11 @@ mod tests {
     fn shared_across_threads() {
         let cache = MemoCache::new();
         let layer = ConvLayer::new("c", 8, 8, 8, 8).unwrap();
+        let other = ConvLayer::new("c", 16, 8, 8, 8).unwrap();
         let f = TilingFactors::normalized(&layer, 2, 2, 1, 1);
         std::thread::scope(|s| {
-            s.spawn(|| cache.insert("a".into(), f, Dataflow::Kcs));
-            s.spawn(|| cache.insert("b".into(), f, Dataflow::Sck));
+            s.spawn(|| cache.insert(key(&layer, SchedulerKind::Ooo), f, Dataflow::Kcs));
+            s.spawn(|| cache.insert(key(&other, SchedulerKind::Ooo), f, Dataflow::Sck));
         });
         assert_eq!(cache.len(), 2);
     }

@@ -39,6 +39,19 @@ pub enum Metric {
 }
 
 impl Metric {
+    /// A hashable fingerprint: the variant discriminant plus the
+    /// weight's bit pattern (the `f64` makes the type itself neither
+    /// `Eq` nor `Hash`). Used by the search memo key.
+    #[must_use]
+    pub(crate) fn fingerprint(&self) -> (u8, u64) {
+        match *self {
+            Metric::LatencyTimesTransfer => (0, 0),
+            Metric::Latency => (1, 0),
+            Metric::Transfer => (2, 0),
+            Metric::TransferWeighted { weight } => (3, weight.to_bits()),
+        }
+    }
+
     /// Scores a schedule; lower is better.
     #[must_use]
     pub fn score(&self, latency: u64, transfer_bytes: u64) -> f64 {

@@ -1,15 +1,39 @@
 //! The out-of-order list scheduler (`GetSchedule`, Algorithm 1).
 
-use crate::combo::{generate_sets, ComboOptions};
+use crate::combo::{generate_sets_baseline, generate_sets_into, ComboOptions, ComboScratch};
 use crate::error::SchedError;
 use crate::exec::ExecState;
-use crate::priority::{PriorityPolicy, SetEvaluation};
-use flexer_arch::{ArchConfig, PerfModel};
+use crate::priority::{EvalScratch, PriorityPolicy, SetEvaluation};
 use crate::program::Program;
+use crate::stats::SearchStats;
+use flexer_arch::{ArchConfig, PerfModel};
 use flexer_sim::Schedule;
 use flexer_spm::{FlexerSpill, SpillPolicy};
 use flexer_tiling::{Dfg, OpId};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// How candidate operation sets are trial-planned against the shared
+/// scratchpad each scheduling step.
+///
+/// Both modes produce byte-identical schedules; they differ only in
+/// cost. Transactional planning journals the allocator's mutations and
+/// undoes them (`O(mutations)` per candidate), while the baseline
+/// deep-clones the whole block map per candidate — the behaviour of
+/// the original implementation, kept as a reference and as the
+/// benchmark baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvalMode {
+    /// Checkpoint/rollback on the live scratchpad (default).
+    #[default]
+    Transactional,
+    /// The pre-transactional reference path: clone-per-candidate
+    /// evaluation and per-combination allocating set generation. Kept
+    /// as the benchmark baseline; schedules are byte-identical.
+    CloneBaseline,
+}
 
 /// Flexer's out-of-order scheduler for one data-flow graph — the
 /// paper's `GetSchedule` (Algorithm 1 lines 12-27).
@@ -48,6 +72,7 @@ pub struct OooScheduler<'a> {
     spill: &'a dyn SpillPolicy,
     priority: PriorityPolicy,
     combo: ComboOptions,
+    eval_mode: EvalMode,
 }
 
 impl std::fmt::Debug for OooScheduler<'_> {
@@ -56,6 +81,7 @@ impl std::fmt::Debug for OooScheduler<'_> {
             .field("dfg", &self.dfg.to_string())
             .field("priority", &self.priority)
             .field("combo", &self.combo)
+            .field("eval_mode", &self.eval_mode)
             .finish_non_exhaustive()
     }
 }
@@ -73,6 +99,7 @@ impl<'a> OooScheduler<'a> {
             spill: &FlexerSpill,
             priority: PriorityPolicy::FlexerDefault,
             combo: ComboOptions::default(),
+            eval_mode: EvalMode::default(),
         }
     }
 
@@ -97,6 +124,13 @@ impl<'a> OooScheduler<'a> {
         self
     }
 
+    /// Replaces the candidate-evaluation mode (see [`EvalMode`]).
+    #[must_use]
+    pub fn with_eval_mode(mut self, eval_mode: EvalMode) -> Self {
+        self.eval_mode = eval_mode;
+        self
+    }
+
     /// Runs the scheduler to completion.
     ///
     /// # Errors
@@ -117,29 +151,97 @@ impl<'a> OooScheduler<'a> {
     ///
     /// As [`OooScheduler::schedule`].
     pub fn schedule_with_program(&self) -> Result<(Schedule, Program), SchedError> {
+        self.schedule_with_stats().map(|(s, p, _)| (s, p))
+    }
+
+    /// As [`OooScheduler::schedule_with_program`], additionally
+    /// returning the run's [`SearchStats`] counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`OooScheduler::schedule`].
+    pub fn schedule_with_stats(&self) -> Result<(Schedule, Program, SearchStats), SchedError> {
+        let mut stats = SearchStats::default();
         let mut state = ExecState::new(self.dfg, self.arch, self.perf, self.spill);
         let mut ready: BTreeSet<OpId> = self.dfg.initial_ready().collect();
         let cores = self.arch.cores() as usize;
         let dma = |b: u64| self.perf.dma_cycles(b);
 
+        // All step-loop buffers live across iterations: candidate
+        // generation, classification and plan evaluation run without
+        // per-candidate heap churn.
+        let mut combo_scratch = ComboScratch::default();
+        let mut eval_scratch = EvalScratch::default();
+        let mut ready_vec: Vec<OpId> = Vec::new();
+        let mut sets: Vec<Vec<OpId>> = Vec::new();
+
         while state.remaining() > 0 {
+            stats.steps += 1;
             if ready.is_empty() {
                 return Err(SchedError::Stalled {
                     remaining: state.remaining(),
                 });
             }
-            let ready_vec: Vec<OpId> = ready.iter().copied().collect();
+            ready_vec.clear();
+            ready_vec.extend(ready.iter().copied());
 
             // Try the widest sets first; shrink when memory pressure
             // makes every candidate of that width infeasible.
             let mut selected: Option<Vec<OpId>> = None;
             let mut width = cores.min(ready_vec.len());
             while width >= 1 {
-                let sets = generate_sets(self.dfg, state.spm(), &ready_vec, width, &self.combo);
-                let evals: Vec<SetEvaluation> = sets
-                    .iter()
-                    .filter_map(|set| {
-                        SetEvaluation::evaluate(
+                let gen_start = Instant::now();
+                match self.eval_mode {
+                    EvalMode::Transactional => generate_sets_into(
+                        self.dfg,
+                        state.spm(),
+                        &ready_vec,
+                        width,
+                        &self.combo,
+                        &mut combo_scratch,
+                        &mut sets,
+                        &mut stats,
+                    ),
+                    // The reference path regenerates every buffer from
+                    // scratch, as the scheduler did before the
+                    // transactional rewrite.
+                    EvalMode::CloneBaseline => {
+                        sets = generate_sets_baseline(
+                            self.dfg,
+                            state.spm(),
+                            &ready_vec,
+                            width,
+                            &self.combo,
+                            &mut stats,
+                        );
+                    }
+                }
+                stats.gen_nanos += gen_start.elapsed().as_nanos() as u64;
+
+                // Incremental selection: the priority comparison is a
+                // total order, so keeping the first strict minimum is
+                // equivalent to collecting every evaluation and running
+                // `PriorityPolicy::select`.
+                let eval_start = Instant::now();
+                let mut best: Option<SetEvaluation> = None;
+                for set in &sets {
+                    stats.sets_evaluated += 1;
+                    let eval = match self.eval_mode {
+                        EvalMode::Transactional => {
+                            let (spm, uses) = state.spm_and_uses();
+                            SetEvaluation::evaluate_transactional(
+                                self.dfg,
+                                spm,
+                                uses,
+                                self.spill,
+                                self.arch.cores(),
+                                &dma,
+                                set,
+                                &mut eval_scratch,
+                                &mut stats,
+                            )
+                        }
+                        EvalMode::CloneBaseline => SetEvaluation::evaluate(
                             self.dfg,
                             state.spm(),
                             state.uses(),
@@ -147,11 +249,20 @@ impl<'a> OooScheduler<'a> {
                             self.arch.cores(),
                             &dma,
                             set,
-                        )
-                    })
-                    .collect();
-                if let Some(best) = self.priority.select(&evals) {
-                    selected = Some(best.ops.clone());
+                        ),
+                    };
+                    if let Some(e) = eval {
+                        let better = best
+                            .as_ref()
+                            .is_none_or(|b| self.priority.compare(&e, b) == Ordering::Less);
+                        if better {
+                            best = Some(e);
+                        }
+                    }
+                }
+                stats.eval_nanos += eval_start.elapsed().as_nanos() as u64;
+                if let Some(best) = best {
+                    selected = Some(best.ops);
                     break;
                 }
                 width -= 1;
@@ -159,13 +270,9 @@ impl<'a> OooScheduler<'a> {
             let Some(set) = selected else {
                 // Surface the underlying allocation failure of the
                 // cheapest single-op set.
-                let probe = crate::priority::plan_probe(
-                    self.dfg,
-                    state.spm(),
-                    state.uses(),
-                    self.spill,
-                    &ready_vec[..1],
-                );
+                let (spm, uses) = state.spm_and_uses();
+                let probe =
+                    crate::priority::plan_probe(self.dfg, spm, uses, self.spill, &ready_vec[..1]);
                 return Err(match probe {
                     Err(e) => SchedError::Alloc(e),
                     Ok(()) => SchedError::Stalled {
@@ -174,13 +281,17 @@ impl<'a> OooScheduler<'a> {
                 });
             };
 
+            let commit_start = Instant::now();
             let woken = state.commit_set(&set)?;
+            stats.commit_nanos += commit_start.elapsed().as_nanos() as u64;
             for id in &set {
                 ready.remove(id);
             }
             ready.extend(woken);
         }
-        Ok(state.finish())
+        stats.merge(state.stats());
+        let (schedule, program) = state.finish();
+        Ok((schedule, program, stats))
     }
 }
 
@@ -294,6 +405,48 @@ mod tests {
         let a = OooScheduler::new(&dfg, &arch, &model).schedule().unwrap();
         let b = OooScheduler::new(&dfg, &arch, &model).schedule().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eval_modes_produce_identical_schedules() {
+        let arch = ArchConfig::preset(ArchPreset::Arch5);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("d", 96, 16, 16, 96).unwrap();
+        let dfg = dfg_for(&layer, &arch, 4, 4, 2);
+        let base = OooScheduler::new(&dfg, &arch, &model);
+        let (s_tx, p_tx, st_tx) = base.schedule_with_stats().unwrap();
+        let (s_cl, p_cl, st_cl) = base
+            .with_eval_mode(EvalMode::CloneBaseline)
+            .schedule_with_stats()
+            .unwrap();
+        // The transactional path must be a pure optimization: identical
+        // schedule, identical command stream, identical search shape.
+        assert_eq!(s_tx, s_cl);
+        assert_eq!(p_tx, p_cl);
+        assert_eq!(st_tx.steps, st_cl.steps);
+        assert_eq!(st_tx.sets_generated, st_cl.sets_generated);
+        assert_eq!(st_tx.sets_pruned, st_cl.sets_pruned);
+        assert_eq!(st_tx.sets_evaluated, st_cl.sets_evaluated);
+        // Rollback accounting only exists on the transactional path.
+        assert!(st_tx.steps > 0);
+        assert!(st_tx.rollback_bytes > 0);
+        assert!(st_tx.clone_bytes_avoided > 0);
+        assert_eq!(st_cl.rollback_bytes, 0);
+        assert_eq!(st_cl.clone_bytes_avoided, 0);
+    }
+
+    #[test]
+    fn stats_count_scheduler_work() {
+        let arch = ArchConfig::preset(ArchPreset::Arch8);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("w", 32, 16, 16, 64).unwrap();
+        let dfg = dfg_for(&layer, &arch, 8, 1, 2);
+        let (_, _, stats) = OooScheduler::new(&dfg, &arch, &model)
+            .schedule_with_stats()
+            .unwrap();
+        assert!(stats.steps > 0);
+        assert!(stats.sets_generated >= stats.sets_evaluated);
+        assert!(stats.sets_evaluated > 0);
     }
 
     #[test]

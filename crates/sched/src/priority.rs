@@ -1,5 +1,6 @@
 //! Operation-set planning, evaluation and priority policies (§4.3).
 
+use crate::stats::SearchStats;
 use flexer_spm::{AllocError, AllocMethod, Eviction, SpillPolicy, SpmMemory, TileMove};
 use flexer_tiling::{Dfg, OpId, TileId};
 use serde::{Deserialize, Serialize};
@@ -62,6 +63,26 @@ pub(crate) struct SetPlan {
     pub compaction_bytes: u64,
 }
 
+impl SetPlan {
+    /// Empties the plan for reuse, keeping every buffer's capacity.
+    fn clear(&mut self) {
+        self.tiles.clear();
+        self.evictions.clear();
+        self.events.clear();
+        self.reused_bytes = 0;
+        self.compaction_bytes = 0;
+    }
+}
+
+/// Reusable buffers for candidate evaluation: one set of these lives
+/// per scheduler run, so the inner candidate loop allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct EvalScratch {
+    plan: SetPlan,
+    seen: Vec<TileId>,
+    missing: Vec<(TileId, u64, TileAction)>,
+}
+
 /// Plans the memory operations of `ops` against `spm`, mutating it:
 /// resident operands are pinned, missing tiles are allocated (evicting
 /// victims chosen by `spill`), and every set operand ends up resident
@@ -81,29 +102,50 @@ pub(crate) fn plan_set(
     spill: &dyn SpillPolicy,
     ops: &[OpId],
 ) -> Result<SetPlan, AllocError> {
-    let mut plan = SetPlan::default();
+    let mut scratch = EvalScratch::default();
+    plan_set_into(dfg, spm, uses, spill, ops, &mut scratch)?;
+    Ok(std::mem::take(&mut scratch.plan))
+}
+
+/// [`plan_set`] writing into `scratch.plan` instead of allocating —
+/// the hot-loop entry point of the transactional evaluation path.
+pub(crate) fn plan_set_into(
+    dfg: &Dfg,
+    spm: &mut SpmMemory,
+    uses: &BTreeMap<TileId, u32>,
+    spill: &dyn SpillPolicy,
+    ops: &[OpId],
+    scratch: &mut EvalScratch,
+) -> Result<(), AllocError> {
+    let plan = &mut scratch.plan;
+    plan.clear();
+    let seen = &mut scratch.seen;
+    seen.clear();
+    let missing = &mut scratch.missing;
+    missing.clear();
 
     // Pin pass: protect everything the set touches that is already
     // on-chip, account per-reference reuse, and collect the missing
     // tiles in first-encounter order. A reference reuses data when the
     // tile was already resident *or* an earlier operation of the same
     // set brings it in — intra-set sharing is the spatial (inter-NPU)
-    // reuse of the paper's Figure 11 and counts fully.
-    let mut missing: Vec<(TileId, u64, TileAction)> = Vec::new();
-    let mut seen = Vec::new();
+    // reuse of the paper's Figure 11 and counts fully. `seen` stays
+    // sorted so the first-reference check is a binary search rather
+    // than a linear scan over every prior operand.
     for &id in ops {
         let op = dfg.op(id);
         for tile in op.operands() {
             let resident = spm.contains(tile);
-            let first_reference = !seen.contains(&tile);
+            let seen_slot = seen.binary_search(&tile);
+            let first_reference = seen_slot.is_err();
             if resident || !first_reference {
                 plan.reused_bytes += dfg.tile_bytes(tile);
             }
             if resident {
                 spm.pin(tile);
             }
-            if first_reference {
-                seen.push(tile);
+            if let Err(slot) = seen_slot {
+                seen.insert(slot, tile);
                 let bytes = dfg.tile_bytes(tile);
                 if resident {
                     plan.tiles.push((tile, bytes, TileAction::Reuse));
@@ -124,7 +166,7 @@ pub(crate) fn plan_set(
     // Allocation pass, largest tiles first (ties broken by tile id so
     // planning stays deterministic).
     missing.sort_by_key(|&(tile, bytes, _)| (std::cmp::Reverse(bytes), tile));
-    for (tile, bytes, action) in missing {
+    for (tile, bytes, action) in missing.drain(..) {
         let remain = uses.get(&tile).copied().unwrap_or(0);
         let outcome = spm.allocate(tile, bytes, remain, spill)?;
         debug_assert_ne!(outcome.method, AllocMethod::AlreadyResident);
@@ -145,21 +187,23 @@ pub(crate) fn plan_set(
         spm.pin(tile);
         plan.tiles.push((tile, bytes, action));
     }
-    Ok(plan)
+    Ok(())
 }
 
 /// Probes whether an operation set could be placed, returning the
-/// underlying allocation error if not. Runs against a clone; the real
-/// memory is untouched.
+/// underlying allocation error if not. Runs inside a checkpoint and
+/// rolls back, so the memory is observably untouched.
 pub(crate) fn plan_probe(
     dfg: &Dfg,
-    spm: &SpmMemory,
+    spm: &mut SpmMemory,
     uses: &BTreeMap<TileId, u32>,
     spill: &dyn SpillPolicy,
     ops: &[OpId],
 ) -> Result<(), AllocError> {
-    let mut scratch = spm.clone();
-    plan_set(dfg, &mut scratch, uses, spill, ops).map(|_| ())
+    let token = spm.checkpoint();
+    let result = plan_set(dfg, spm, uses, spill, ops).map(|_| ());
+    spm.rollback(token);
+    result
 }
 
 /// The measurable consequences of issuing one candidate operation set,
@@ -208,6 +252,56 @@ impl SetEvaluation {
     ) -> Option<Self> {
         let mut scratch = spm.clone();
         let plan = plan_set(dfg, &mut scratch, uses, spill, ops).ok()?;
+        Some(Self::from_plan(
+            &plan,
+            scratch.utilization(),
+            cores,
+            dma_cycles,
+            ops,
+        ))
+    }
+
+    /// As [`SetEvaluation::evaluate`], but plans against the *live*
+    /// scratchpad inside a checkpoint and rolls back afterwards —
+    /// `O(mutations)` per candidate instead of cloning the whole block
+    /// map. Observable memory state is unchanged on return; the
+    /// produced evaluation is bit-identical to the clone path's.
+    ///
+    /// `scratch` carries the reusable plan buffers; `stats` receives
+    /// the rollback/clone-savings accounting.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn evaluate_transactional(
+        dfg: &Dfg,
+        spm: &mut SpmMemory,
+        uses: &BTreeMap<TileId, u32>,
+        spill: &dyn SpillPolicy,
+        cores: u32,
+        dma_cycles: &dyn Fn(u64) -> u64,
+        ops: &[OpId],
+        scratch: &mut EvalScratch,
+        stats: &mut SearchStats,
+    ) -> Option<Self> {
+        stats.clone_bytes_avoided += spm.footprint_bytes();
+        let token = spm.checkpoint();
+        let planned = plan_set_into(dfg, spm, uses, spill, ops, scratch);
+        // Utilization must be read while the trial allocations are
+        // still in place, before the rollback erases them.
+        let eval = planned.ok().map(|()| {
+            Self::from_plan(&scratch.plan, spm.utilization(), cores, dma_cycles, ops)
+        });
+        stats.rollback_bytes += spm.rollback(token);
+        eval
+    }
+
+    /// Derives the evaluation metrics from a completed plan and the
+    /// post-plan scratchpad utilization.
+    fn from_plan(
+        plan: &SetPlan,
+        utilization_after: f64,
+        cores: u32,
+        dma_cycles: &dyn Fn(u64) -> u64,
+        ops: &[OpId],
+    ) -> Self {
         let mut loaded_bytes = 0;
         let mut mem_latency = 0;
         for (_, bytes, action) in &plan.tiles {
@@ -230,17 +324,17 @@ impl SetEvaluation {
         if plan.compaction_bytes > 0 {
             mem_latency += dma_cycles(plan.compaction_bytes);
         }
-        Some(Self {
+        Self {
             ops: ops.to_vec(),
             memory_benefit: plan.reused_bytes as i64 - spilled_value as i64,
-            utilization_after: scratch.utilization(),
+            utilization_after,
             mem_latency,
             loaded_bytes,
             spill_writeback_bytes,
             evicted_bytes,
             spilled_value,
             reused_bytes: plan.reused_bytes,
-        })
+        }
     }
 }
 
@@ -249,7 +343,7 @@ impl SetEvaluation {
 /// [`PriorityPolicy::FlexerDefault`] is the paper's §4.3 policy;
 /// [`PriorityPolicy::MinTransfer`] and [`PriorityPolicy::MinSpill`]
 /// are Table 2's Priority1/Priority2 ablations (Figure 12).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PriorityPolicy {
     /// Highest memory benefit, then highest utilization, then lowest
     /// memory-operation latency.
@@ -516,6 +610,73 @@ mod tests {
         assert_eq!(PriorityPolicy::MinSpill.compare(&b, &a), Ordering::Less);
         // Default: b's benefit wins.
         assert_eq!(PriorityPolicy::FlexerDefault.compare(&b, &a), Ordering::Less);
+    }
+
+    #[test]
+    fn transactional_evaluation_matches_clone_path() {
+        let (dfg, mut spm, uses, model) = fixture();
+        // Warm the memory a little so reuse/eviction paths differ from
+        // a cold start.
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        let first = dfg.op(ready[0]);
+        spm.allocate(first.input(), dfg.tile_bytes(first.input()), 3, &FlexerSpill)
+            .unwrap();
+        let mut scratch = EvalScratch::default();
+        let mut stats = SearchStats::default();
+        for width in 1..=2usize {
+            let set = &ready[..width];
+            let clone_based = eval(&dfg, &spm, &uses, &model, set);
+            let before = spm.clone();
+            let transactional = SetEvaluation::evaluate_transactional(
+                &dfg,
+                &mut spm,
+                &uses,
+                &FlexerSpill,
+                2,
+                &|b| model.dma_cycles(b),
+                set,
+                &mut scratch,
+                &mut stats,
+            );
+            assert_eq!(clone_based, transactional);
+            assert_eq!(spm, before, "rollback must restore the memory");
+        }
+        assert!(stats.rollback_bytes > 0);
+        assert!(stats.clone_bytes_avoided > 0);
+        assert!(!spm.in_transaction());
+    }
+
+    #[test]
+    fn transactional_evaluation_handles_infeasible_sets() {
+        let (dfg, _, uses, model) = fixture();
+        let mut spm = SpmMemory::new(4); // absurdly small
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        let mut scratch = EvalScratch::default();
+        let mut stats = SearchStats::default();
+        let e = SetEvaluation::evaluate_transactional(
+            &dfg,
+            &mut spm,
+            &uses,
+            &FlexerSpill,
+            2,
+            &|b| model.dma_cycles(b),
+            &ready[..1],
+            &mut scratch,
+            &mut stats,
+        );
+        assert!(e.is_none());
+        assert!(!spm.in_transaction());
+        assert_eq!(spm, SpmMemory::new(4));
+    }
+
+    #[test]
+    fn plan_probe_leaves_memory_untouched() {
+        let (dfg, mut spm, uses, _) = fixture();
+        let before = spm.clone();
+        let ready: Vec<OpId> = dfg.initial_ready().collect();
+        plan_probe(&dfg, &mut spm, &uses, &FlexerSpill, &ready[..1]).unwrap();
+        assert_eq!(spm, before);
+        assert!(!spm.in_transaction());
     }
 
     #[test]

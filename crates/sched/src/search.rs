@@ -5,8 +5,9 @@ use crate::combo::ComboOptions;
 use crate::error::SchedError;
 use crate::memo::MemoCache;
 use crate::metric::Metric;
-use crate::ooo::OooScheduler;
+use crate::ooo::{EvalMode, OooScheduler};
 use crate::priority::PriorityPolicy;
+use crate::stats::SearchStats;
 use crate::static_sched::StaticScheduler;
 use flexer_arch::{ArchConfig, SystolicModel};
 use flexer_model::ConvLayer;
@@ -14,11 +15,11 @@ use flexer_sim::Schedule;
 use flexer_spm::{FirstFitSpill, FlexerSpill, SmallestFirstSpill, SpillPolicy};
 use flexer_tiling::{enumerate_tilings, Dataflow, Dfg, TilingFactors, TilingOptions};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Which spill-victim policy the scheduler uses (Table 2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SpillPolicyChoice {
     /// The paper's Algorithm 2 (default).
     #[default]
@@ -68,9 +69,15 @@ pub struct SearchOptions {
     pub spill: SpillPolicyChoice,
     /// Combination-generation budgets (§4.2).
     pub combo: ComboOptions,
-    /// Worker threads for the per-tiling parallel search the paper
-    /// suggests (§3); `0` uses the available parallelism, `1` is
-    /// serial.
+    /// How candidate sets are trial-planned against SPM state:
+    /// transactionally on the live memory (default) or on a clone per
+    /// candidate (the pre-optimization baseline, kept for benchmarks).
+    /// Both produce byte-identical schedules.
+    pub eval_mode: EvalMode,
+    /// Worker threads for the parallel search the paper suggests (§3);
+    /// `0` uses the available parallelism, `1` is serial. The unit of
+    /// work is one `(layer, tiling, dataflow)` triple, so multi-layer
+    /// searches do not serialize on layer boundaries.
     pub threads: usize,
     /// Whether to keep the `(latency, transfer)` point of every
     /// explored `(tiling, dataflow)` pair — the Figure-1 scatter data.
@@ -86,6 +93,7 @@ impl Default for SearchOptions {
             priority: PriorityPolicy::default(),
             spill: SpillPolicyChoice::default(),
             combo: ComboOptions::default(),
+            eval_mode: EvalMode::default(),
             threads: 0,
             collect_points: false,
         }
@@ -115,25 +123,52 @@ impl SearchOptions {
     }
 
     /// Memoization key for a layer shape under these options.
-    fn memo_key(&self, layer: &ConvLayer, arch: &ArchConfig, kind: SchedulerKind) -> String {
-        format!(
-            "{}x{}x{}->{}k{}x{}s{}p{}|{arch}|{kind:?}|{}|{}|{:?}|{:?}|{:?}|{:?}",
-            layer.in_channels(),
-            layer.in_height(),
-            layer.in_width(),
-            layer.out_channels(),
-            layer.kernel_h(),
-            layer.kernel_w(),
-            layer.stride(),
-            layer.padding(),
-            self.metric,
-            self.priority,
-            self.spill,
-            self.combo,
-            self.tiling,
-            self.dataflows,
-        )
+    pub(crate) fn memo_key(
+        &self,
+        layer: &ConvLayer,
+        arch: &ArchConfig,
+        kind: SchedulerKind,
+    ) -> MemoKey {
+        MemoKey {
+            shape: [
+                layer.in_channels(),
+                layer.in_height(),
+                layer.in_width(),
+                layer.out_channels(),
+                layer.kernel_h(),
+                layer.kernel_w(),
+                layer.stride(),
+                layer.padding(),
+            ],
+            arch: arch.clone(),
+            kind,
+            metric: self.metric.fingerprint(),
+            priority: self.priority,
+            spill: self.spill,
+            combo: self.combo,
+            eval_mode: self.eval_mode,
+            tiling: self.tiling.clone(),
+            dataflows: self.dataflows.clone(),
+        }
     }
+}
+
+/// Memoization key of one layer search: the layer *shape* (not its
+/// name), the hardware configuration, the scheduler kind and every
+/// search knob. Derived `Hash + Eq` — distinct searches can never
+/// collide the way a formatted string key could.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    shape: [u32; 8],
+    arch: ArchConfig,
+    kind: SchedulerKind,
+    metric: (u8, u64),
+    priority: PriorityPolicy,
+    spill: SpillPolicyChoice,
+    combo: ComboOptions,
+    eval_mode: EvalMode,
+    tiling: TilingOptions,
+    dataflows: Vec<Dataflow>,
 }
 
 /// The `(latency, transfer)` outcome of one `(tiling, dataflow)` pair.
@@ -169,12 +204,30 @@ pub struct LayerSearchResult {
     /// All explored points when
     /// [`SearchOptions::collect_points`] was set.
     pub points: Vec<SchedulePoint>,
+    /// Search-effort counters summed over every evaluated pair
+    /// (zeroed for the static scheduler, which has no set search).
+    pub stats: SearchStats,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SchedulerKind {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum SchedulerKind {
     Ooo,
     Static,
+}
+
+/// How one layer of a batch search is resolved.
+enum Role {
+    /// Searched exhaustively; owns work items `span.0..span.1` of the
+    /// global queue.
+    Leader { span: (usize, usize) },
+    /// Same memo key as an earlier layer of this batch: replays the
+    /// leader's winner with a single scheduler run.
+    Duplicate { leader: usize },
+    /// Memo-cache hit: replays the recorded winner directly.
+    Replay {
+        factors: TilingFactors,
+        dataflow: Dataflow,
+    },
 }
 
 /// Builds the DFG of one `(tiling, dataflow)` pair and runs the chosen
@@ -187,16 +240,215 @@ fn run_one(
     factors: TilingFactors,
     dataflow: Dataflow,
     opts: &SearchOptions,
-) -> Result<Schedule, SchedError> {
+) -> Result<(Schedule, SearchStats), SchedError> {
     let dfg = Dfg::build(layer, factors, dataflow, model, arch)?;
     match kind {
         SchedulerKind::Ooo => OooScheduler::new(&dfg, arch, model)
             .with_spill(opts.spill.policy())
             .with_priority(opts.priority)
             .with_combo(opts.combo)
-            .schedule(),
-        SchedulerKind::Static => StaticScheduler::new(&dfg, arch, model).schedule(),
+            .with_eval_mode(opts.eval_mode)
+            .schedule_with_stats()
+            .map(|(schedule, _, stats)| (schedule, stats)),
+        SchedulerKind::Static => StaticScheduler::new(&dfg, arch, model)
+            .schedule()
+            .map(|schedule| (schedule, SearchStats::default())),
     }
+}
+
+/// Replays a known `(tiling, dataflow)` winner as a full
+/// [`LayerSearchResult`] with `evaluated == 1`.
+fn replay_one(
+    kind: SchedulerKind,
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    model: &SystolicModel,
+    factors: TilingFactors,
+    dataflow: Dataflow,
+    opts: &SearchOptions,
+) -> Result<LayerSearchResult, SchedError> {
+    let (schedule, stats) = run_one(kind, layer, arch, model, factors, dataflow, opts)?;
+    let score = opts.metric.score(schedule.latency(), schedule.transfer_bytes());
+    Ok(LayerSearchResult {
+        layer: layer.name().to_owned(),
+        schedule,
+        factors,
+        dataflow,
+        score,
+        evaluated: 1,
+        points: Vec::new(),
+        stats,
+    })
+}
+
+/// Searches a batch of layers over one flat work queue of
+/// `(layer, tiling, dataflow)` triples.
+///
+/// Workers pull triples off a single shared index, so a network search
+/// never serializes on layer boundaries: the last straggler tiling of
+/// layer *i* overlaps with layer *i+1*'s search. Layers that hit the
+/// memo cache, or that repeat an earlier in-batch shape, replay the
+/// winner with one scheduler run instead of contributing work items.
+///
+/// The reduction per layer is deterministic in work order regardless of
+/// thread count. Returns the first failing layer's error (in layer
+/// order) if any layer fails.
+fn search_many(
+    kind: SchedulerKind,
+    layers: &[ConvLayer],
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    cache: Option<&MemoCache>,
+) -> Result<Vec<LayerSearchResult>, SchedError> {
+    let model = SystolicModel::new(arch);
+
+    // Classify layers: memo replays (§3's "memory function"), in-batch
+    // duplicates, and leaders that contribute work to the global queue.
+    // Point collection forces a full search of every layer.
+    let mut seen: HashMap<MemoKey, usize> = HashMap::new();
+    let mut roles: Vec<Role> = Vec::with_capacity(layers.len());
+    let mut work: Vec<(usize, TilingFactors, Dataflow)> = Vec::new();
+    for (li, layer) in layers.iter().enumerate() {
+        if !opts.collect_points {
+            let key = opts.memo_key(layer, arch, kind);
+            if let Some((factors, dataflow)) = cache.and_then(|c| c.get(&key)) {
+                roles.push(Role::Replay { factors, dataflow });
+                continue;
+            }
+            if let Some(&leader) = seen.get(&key) {
+                roles.push(Role::Duplicate { leader });
+                continue;
+            }
+            seen.insert(key, li);
+        }
+        let tilings = enumerate_tilings(layer, arch, &opts.tiling);
+        let start = work.len();
+        work.extend(
+            tilings
+                .iter()
+                .flat_map(|&f| opts.dataflows.iter().map(move |&d| (li, f, d))),
+        );
+        roles.push(Role::Leader {
+            span: (start, work.len()),
+        });
+    }
+
+    // Drain the queue, optionally across threads (§3's suggested
+    // parallelization). Each worker keeps its results in a private
+    // vector — no per-slot lock — and they are scattered back into
+    // work order afterwards.
+    let threads = match opts.threads {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    }
+    .min(work.len())
+    .max(1);
+
+    type RunResult = Result<(Schedule, SearchStats), SchedError>;
+    let mut results: Vec<Option<RunResult>> = if threads == 1 {
+        work.iter()
+            .map(|&(li, f, d)| Some(run_one(kind, &layers[li], arch, &model, f, d, opts)))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let locals: Vec<Vec<(usize, RunResult)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= work.len() {
+                                break;
+                            }
+                            let (li, f, d) = work[i];
+                            local.push((i, run_one(kind, &layers[li], arch, &model, f, d, opts)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<RunResult>> = work.iter().map(|_| None).collect();
+        for (i, r) in locals.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+    };
+
+    // Deterministic per-layer reduction in work order. Leaders always
+    // precede their duplicates, so a single in-order pass resolves
+    // every role.
+    let mut out: Vec<Result<LayerSearchResult, SchedError>> = Vec::with_capacity(layers.len());
+    for (li, role) in roles.iter().enumerate() {
+        let layer = &layers[li];
+        let resolved = match *role {
+            Role::Replay { factors, dataflow } => {
+                replay_one(kind, layer, arch, &model, factors, dataflow, opts)
+            }
+            Role::Duplicate { leader } => match &out[leader] {
+                Ok(lead) => replay_one(kind, layer, arch, &model, lead.factors, lead.dataflow, opts),
+                Err(e) => Err(e.clone()),
+            },
+            Role::Leader { span: (start, end) } => {
+                let mut best: Option<(usize, Schedule, f64)> = None;
+                let mut points = Vec::new();
+                let mut first_err: Option<SchedError> = None;
+                let mut evaluated = 0usize;
+                let mut stats = SearchStats::default();
+                for i in start..end {
+                    match results[i].take().expect("every work item processed") {
+                        Ok((schedule, run_stats)) => {
+                            evaluated += 1;
+                            stats.merge(&run_stats);
+                            let score =
+                                opts.metric.score(schedule.latency(), schedule.transfer_bytes());
+                            if opts.collect_points {
+                                points.push(SchedulePoint {
+                                    factors: work[i].1,
+                                    dataflow: work[i].2,
+                                    latency: schedule.latency(),
+                                    transfer_bytes: schedule.transfer_bytes(),
+                                    score,
+                                });
+                            }
+                            if best.as_ref().is_none_or(|(_, _, s)| score < *s) {
+                                best = Some((i, schedule, score));
+                            }
+                        }
+                        Err(e) => first_err = first_err.or(Some(e)),
+                    }
+                }
+                match best {
+                    Some((i, schedule, score)) => {
+                        if let Some(c) = cache {
+                            c.insert(opts.memo_key(layer, arch, kind), work[i].1, work[i].2);
+                        }
+                        Ok(LayerSearchResult {
+                            layer: layer.name().to_owned(),
+                            schedule,
+                            factors: work[i].1,
+                            dataflow: work[i].2,
+                            score,
+                            evaluated,
+                            points,
+                            stats,
+                        })
+                    }
+                    None => Err(first_err.unwrap_or(SchedError::NoViableTiling {
+                        layer: layer.name().to_owned(),
+                    })),
+                }
+            }
+        };
+        out.push(resolved);
+    }
+
+    out.into_iter().collect()
 }
 
 fn search(
@@ -206,122 +458,8 @@ fn search(
     opts: &SearchOptions,
     cache: Option<&MemoCache>,
 ) -> Result<LayerSearchResult, SchedError> {
-    let model = SystolicModel::new(arch);
-
-    // Memo hit: replay the recorded winner directly (§3's "memory
-    // function"). Point collection forces a full search.
-    let key = cache.map(|c| (c, opts.memo_key(layer, arch, kind)));
-    if !opts.collect_points {
-        if let Some((c, k)) = &key {
-            if let Some((factors, dataflow)) = c.get(k) {
-                let schedule = run_one(kind, layer, arch, &model, factors, dataflow, opts)?;
-                let score = opts.metric.score(schedule.latency(), schedule.transfer_bytes());
-                return Ok(LayerSearchResult {
-                    layer: layer.name().to_owned(),
-                    schedule,
-                    factors,
-                    dataflow,
-                    score,
-                    evaluated: 1,
-                    points: Vec::new(),
-                });
-            }
-        }
-    }
-
-    let tilings = enumerate_tilings(layer, arch, &opts.tiling);
-    if tilings.is_empty() {
-        return Err(SchedError::NoViableTiling {
-            layer: layer.name().to_owned(),
-        });
-    }
-    let work: Vec<(TilingFactors, Dataflow)> = tilings
-        .iter()
-        .flat_map(|&f| opts.dataflows.iter().map(move |&d| (f, d)))
-        .collect();
-
-    // Evaluate every (tiling, dataflow) pair, optionally across
-    // threads (§3's suggested parallelization).
-    let threads = match opts.threads {
-        0 => std::thread::available_parallelism().map_or(1, usize::from),
-        n => n,
-    }
-    .min(work.len())
-    .max(1);
-
-    let results: Vec<Option<Result<Schedule, SchedError>>> = if threads == 1 {
-        work.iter()
-            .map(|&(f, d)| Some(run_one(kind, layer, arch, &model, f, d, opts)))
-            .collect()
-    } else {
-        let slots: Vec<Mutex<Option<Result<Schedule, SchedError>>>> =
-            work.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= work.len() {
-                        break;
-                    }
-                    let (f, d) = work[i];
-                    let r = run_one(kind, layer, arch, &model, f, d, opts);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
-                });
-            }
-        })
-        .expect("search worker panicked");
-        slots
-            .into_iter()
-            .map(|m| m.into_inner().expect("result slot poisoned"))
-            .collect()
-    };
-
-    // Deterministic reduction in work order.
-    let mut best: Option<(usize, Schedule, f64)> = None;
-    let mut points = Vec::new();
-    let mut first_err: Option<SchedError> = None;
-    let mut evaluated = 0usize;
-    for (i, slot) in results.into_iter().enumerate() {
-        match slot.expect("every work item processed") {
-            Ok(schedule) => {
-                evaluated += 1;
-                let score = opts.metric.score(schedule.latency(), schedule.transfer_bytes());
-                if opts.collect_points {
-                    points.push(SchedulePoint {
-                        factors: work[i].0,
-                        dataflow: work[i].1,
-                        latency: schedule.latency(),
-                        transfer_bytes: schedule.transfer_bytes(),
-                        score,
-                    });
-                }
-                let better = best.as_ref().is_none_or(|(_, _, s)| score < *s);
-                if better {
-                    best = Some((i, schedule, score));
-                }
-            }
-            Err(e) => first_err = first_err.or(Some(e)),
-        }
-    }
-    let Some((i, schedule, score)) = best else {
-        return Err(first_err.unwrap_or(SchedError::NoViableTiling {
-            layer: layer.name().to_owned(),
-        }));
-    };
-
-    if let Some((c, k)) = key {
-        c.insert(k, work[i].0, work[i].1);
-    }
-    Ok(LayerSearchResult {
-        layer: layer.name().to_owned(),
-        schedule,
-        factors: work[i].0,
-        dataflow: work[i].1,
-        score,
-        evaluated,
-        points,
-    })
+    search_many(kind, std::slice::from_ref(layer), arch, opts, cache)
+        .map(|mut v| v.pop().expect("one layer in, one result out"))
 }
 
 /// Finds the best out-of-order schedule of `layer` on `arch` — the
@@ -380,6 +518,68 @@ pub fn search_layer_static_cached(
     cache: &MemoCache,
 ) -> Result<LayerSearchResult, SchedError> {
     search(SchedulerKind::Static, layer, arch, opts, Some(cache))
+}
+
+/// Searches every layer of a network over one shared work queue — the
+/// multi-layer form of [`search_layer`].
+///
+/// All `(layer, tiling, dataflow)` triples feed one queue, so worker
+/// threads never idle at a layer boundary while a straggler tiling of
+/// the previous layer finishes. Repeated layer shapes are searched
+/// once and replayed. Results are index-aligned with `layers` and
+/// identical to per-layer [`search_layer`] calls.
+///
+/// # Errors
+///
+/// The first failing layer's error, in layer order — as
+/// [`search_layer`] for that layer.
+pub fn search_network(
+    layers: &[ConvLayer],
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+) -> Result<Vec<LayerSearchResult>, SchedError> {
+    search_many(SchedulerKind::Ooo, layers, arch, opts, None)
+}
+
+/// [`search_network`] with a shared [`MemoCache`].
+///
+/// # Errors
+///
+/// As [`search_network`].
+pub fn search_network_cached(
+    layers: &[ConvLayer],
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    cache: &MemoCache,
+) -> Result<Vec<LayerSearchResult>, SchedError> {
+    search_many(SchedulerKind::Ooo, layers, arch, opts, Some(cache))
+}
+
+/// The static-baseline counterpart of [`search_network`].
+///
+/// # Errors
+///
+/// As [`search_network`].
+pub fn search_network_static(
+    layers: &[ConvLayer],
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+) -> Result<Vec<LayerSearchResult>, SchedError> {
+    search_many(SchedulerKind::Static, layers, arch, opts, None)
+}
+
+/// [`search_network_static`] with a shared [`MemoCache`].
+///
+/// # Errors
+///
+/// As [`search_network`].
+pub fn search_network_static_cached(
+    layers: &[ConvLayer],
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    cache: &MemoCache,
+) -> Result<Vec<LayerSearchResult>, SchedError> {
+    search_many(SchedulerKind::Static, layers, arch, opts, Some(cache))
 }
 
 /// Explores every `(tiling, dataflow)` pair with both schedulers and
@@ -462,6 +662,53 @@ mod tests {
     }
 
     #[test]
+    fn network_search_matches_per_layer_searches() {
+        // One queue over all layers must produce exactly what
+        // independent per-layer searches produce, at any thread count.
+        let layers = [
+            layer(),
+            ConvLayer::new("u", 16, 28, 28, 32).unwrap(),
+            layer().with_name("t-again"),
+        ];
+        for threads in [1, 4] {
+            let mut opts = SearchOptions::quick();
+            opts.threads = threads;
+            let batch = search_network(&layers, &arch(), &opts).unwrap();
+            assert_eq!(batch.len(), layers.len());
+            for (l, b) in layers.iter().zip(&batch) {
+                let solo = search_layer(l, &arch(), &opts).unwrap();
+                assert_eq!(b.layer, l.name());
+                assert_eq!(b.factors, solo.factors);
+                assert_eq!(b.dataflow, solo.dataflow);
+                assert_eq!(b.score, solo.score);
+                assert_eq!(b.schedule, solo.schedule);
+            }
+        }
+    }
+
+    #[test]
+    fn network_search_replays_repeated_shapes() {
+        let layers = [layer(), layer().with_name("twin")];
+        let opts = SearchOptions::quick();
+        let batch = search_network(&layers, &arch(), &opts).unwrap();
+        assert!(batch[0].evaluated > 1, "leader searches exhaustively");
+        assert_eq!(batch[1].evaluated, 1, "duplicate replays the winner");
+        assert_eq!(batch[0].schedule, batch[1].schedule);
+    }
+
+    #[test]
+    fn search_results_carry_stats() {
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        let r = search_layer(&layer(), &arch(), &opts).unwrap();
+        assert!(r.stats.steps > 0);
+        assert!(r.stats.sets_evaluated > 0);
+        assert!(r.stats.rollback_bytes > 0, "transactional mode is default");
+        let s = search_layer_static(&layer(), &arch(), &opts).unwrap();
+        assert_eq!(s.stats, SearchStats::default());
+    }
+
+    #[test]
     fn static_search_works() {
         let opts = SearchOptions::quick();
         let r = search_layer_static(&layer(), &arch(), &opts).unwrap();
@@ -491,6 +738,8 @@ mod tests {
         let a = SearchOptions::quick();
         let mut b = SearchOptions::quick();
         b.metric = Metric::Transfer;
+        let mut c = SearchOptions::quick();
+        c.eval_mode = EvalMode::CloneBaseline;
         let l = layer();
         let ar = arch();
         assert_ne!(
@@ -499,7 +748,16 @@ mod tests {
         );
         assert_ne!(
             a.memo_key(&l, &ar, SchedulerKind::Ooo),
+            c.memo_key(&l, &ar, SchedulerKind::Ooo)
+        );
+        assert_ne!(
+            a.memo_key(&l, &ar, SchedulerKind::Ooo),
             a.memo_key(&l, &ar, SchedulerKind::Static)
+        );
+        // The key tracks the shape, not the name.
+        assert_eq!(
+            a.memo_key(&l, &ar, SchedulerKind::Ooo),
+            a.memo_key(&l.clone().with_name("alias"), &ar, SchedulerKind::Ooo)
         );
     }
 

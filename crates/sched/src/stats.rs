@@ -1,0 +1,120 @@
+//! Performance counters of a scheduling or search run.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing how much work one scheduling (or layer-search)
+/// run performed, and what the transactional candidate evaluation
+/// saved over the old clone-per-candidate implementation.
+///
+/// Counters are additive: per-scheduler stats merge into per-layer
+/// stats, which merge into per-network totals (see
+/// [`SearchStats::merge`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Scheduling steps (iterations of Algorithm 1's issue loop).
+    pub steps: u64,
+    /// Candidate combinations examined by set generation (§4.2).
+    pub sets_generated: u64,
+    /// Combinations discarded as dataflow-class duplicates (§4.2).
+    pub sets_pruned: u64,
+    /// Candidate sets trial-planned against the scratchpad.
+    pub sets_evaluated: u64,
+    /// Journal bytes undone rolling candidate plans back.
+    pub rollback_bytes: u64,
+    /// Block-map bytes the clone-per-candidate evaluation would have
+    /// copied for the same candidates.
+    pub clone_bytes_avoided: u64,
+    /// Tiles evicted by committed operation sets.
+    pub evictions: u64,
+    /// Committed sets that required on-chip compaction.
+    pub compactions: u64,
+    /// Wall-time (ns) spent generating candidate sets.
+    pub gen_nanos: u64,
+    /// Wall-time (ns) spent evaluating candidate sets.
+    pub eval_nanos: u64,
+    /// Wall-time (ns) spent committing selected sets.
+    pub commit_nanos: u64,
+}
+
+impl SearchStats {
+    /// Accumulates `other` into `self`, field by field.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.steps += other.steps;
+        self.sets_generated += other.sets_generated;
+        self.sets_pruned += other.sets_pruned;
+        self.sets_evaluated += other.sets_evaluated;
+        self.rollback_bytes += other.rollback_bytes;
+        self.clone_bytes_avoided += other.clone_bytes_avoided;
+        self.evictions += other.evictions;
+        self.compactions += other.compactions;
+        self.gen_nanos += other.gen_nanos;
+        self.eval_nanos += other.eval_nanos;
+        self.commit_nanos += other.commit_nanos;
+    }
+}
+
+impl std::fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "steps {} | sets gen {} pruned {} eval {} | rollback {} B \
+             (clone avoided {} B) | evict {} compact {} | \
+             gen {:.2} ms eval {:.2} ms commit {:.2} ms",
+            self.steps,
+            self.sets_generated,
+            self.sets_pruned,
+            self.sets_evaluated,
+            self.rollback_bytes,
+            self.clone_bytes_avoided,
+            self.evictions,
+            self.compactions,
+            self.gen_nanos as f64 / 1e6,
+            self.eval_nanos as f64 / 1e6,
+            self.commit_nanos as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_fieldwise_addition() {
+        let mut a = SearchStats {
+            steps: 1,
+            sets_generated: 2,
+            sets_pruned: 3,
+            sets_evaluated: 4,
+            rollback_bytes: 5,
+            clone_bytes_avoided: 6,
+            evictions: 7,
+            compactions: 8,
+            gen_nanos: 9,
+            eval_nanos: 10,
+            commit_nanos: 11,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.steps, 2);
+        assert_eq!(a.sets_generated, 4);
+        assert_eq!(a.sets_pruned, 6);
+        assert_eq!(a.sets_evaluated, 8);
+        assert_eq!(a.rollback_bytes, 10);
+        assert_eq!(a.clone_bytes_avoided, 12);
+        assert_eq!(a.evictions, 14);
+        assert_eq!(a.compactions, 16);
+        assert_eq!(a.gen_nanos, 18);
+        assert_eq!(a.eval_nanos, 20);
+        assert_eq!(a.commit_nanos, 22);
+    }
+
+    #[test]
+    fn display_mentions_every_counter_group() {
+        let s = SearchStats::default().to_string();
+        assert!(s.contains("steps"));
+        assert!(s.contains("rollback"));
+        assert!(s.contains("evict"));
+        assert!(s.contains("eval"));
+    }
+}

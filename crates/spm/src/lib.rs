@@ -17,6 +17,10 @@
 //! * the allocation procedure of §4.1 — in-place replacement of dead
 //!   equal-sized blocks first, then best-fit placement in free blocks,
 //!   then spilling;
+//! * transactional planning — [`SpmMemory::checkpoint`] /
+//!   [`SpmMemory::rollback`] record an undo journal so a scheduler can
+//!   trial-allocate a candidate operation set on its live scratchpad
+//!   and revert in `O(mutations)` instead of cloning the block map;
 //! * [`SpillPolicy`] implementations — [`FlexerSpill`] (the paper's
 //!   Algorithm 2: minimize fragmentation, then maximize remaining
 //!   reuse, then minimize block count), plus the two ablation policies
@@ -46,5 +50,7 @@ mod memory;
 mod policy;
 
 pub use block::{Block, BlockState, TileData};
-pub use memory::{AllocError, AllocMethod, AllocOutcome, Eviction, MemSnapshot, SpmMemory, TileMove};
+pub use memory::{
+    AllocError, AllocMethod, AllocOutcome, Checkpoint, Eviction, MemSnapshot, SpmMemory, TileMove,
+};
 pub use policy::{FirstFitSpill, FlexerSpill, SmallestFirstSpill, SpillPolicy};

@@ -126,12 +126,89 @@ pub struct MemSnapshot {
     pub utilization: f64,
 }
 
+/// One reversible mutation of the block map, recorded while a
+/// transaction ([`SpmMemory::checkpoint`]) is active.
+///
+/// Entries are undone strictly last-in-first-out, so every stored
+/// index is valid at the moment its entry is undone: later mutations
+/// (and their index shifts) have already been reverted.
+#[derive(Debug, Clone)]
+enum JournalEntry {
+    /// Block `index` previously held `old` (state-only change: evict,
+    /// in-place replace, exact-fit placement, pin/dirty/use updates).
+    State {
+        /// Block index at mutation time.
+        index: usize,
+        /// The overwritten state.
+        old: BlockState,
+    },
+    /// Free block `index` was split by a placement: it now holds the
+    /// allocation and a free remainder was inserted at `index + 1`.
+    SplitPlace {
+        /// Block index at mutation time.
+        index: usize,
+        /// The original (larger) free block.
+        old: Block,
+    },
+    /// Free block `index` absorbed its free right neighbour of `size`
+    /// bytes during coalescing.
+    Absorb {
+        /// Surviving block index.
+        index: usize,
+        /// Size of the removed neighbour.
+        size: u64,
+    },
+    /// Whole-map snapshot taken before a structural rewrite
+    /// (compaction). Rare: only when fragmentation defeats the spill
+    /// policy inside a transaction.
+    Snapshot {
+        /// The complete pre-rewrite block map.
+        blocks: Vec<Block>,
+    },
+}
+
+impl JournalEntry {
+    /// Approximate heap bytes this entry cost to record, used for the
+    /// rollback-vs-clone accounting in scheduler statistics.
+    fn cost_bytes(&self) -> u64 {
+        let base = std::mem::size_of::<JournalEntry>() as u64;
+        match self {
+            JournalEntry::Snapshot { blocks } => {
+                base + (blocks.len() * std::mem::size_of::<Block>()) as u64
+            }
+            _ => base,
+        }
+    }
+}
+
+/// A transaction token returned by [`SpmMemory::checkpoint`].
+///
+/// Pass it back to [`SpmMemory::rollback`] to undo every mutation made
+/// since, or to [`SpmMemory::commit`] to keep them. Tokens must be
+/// resolved in LIFO order when transactions nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a checkpoint must be resolved by rollback() or commit()"]
+pub struct Checkpoint {
+    mark: usize,
+}
+
 /// The shared on-chip global buffer as an address-ordered block map
 /// (paper §4.1).
 ///
 /// The block list always covers `[0, capacity)` exactly, contains no
 /// zero-sized blocks and no two adjacent free blocks, and holds each
 /// tile at most once. These invariants are property-tested.
+///
+/// # Transactions
+///
+/// [`SpmMemory::checkpoint`] opens an undo scope: every subsequent
+/// mutation is recorded in an internal journal and can be reverted
+/// with [`SpmMemory::rollback`], or made permanent with
+/// [`SpmMemory::commit`]. This lets a scheduler *plan* a candidate
+/// operation set directly on its live scratchpad and discard the plan
+/// in `O(mutations)` instead of deep-cloning the block map per
+/// candidate. Outside a transaction the journal is inactive and
+/// mutations carry no extra cost.
 ///
 /// # Examples
 ///
@@ -154,10 +231,36 @@ pub struct MemSnapshot {
 /// assert_eq!(outcome.method, flexer_spm::AllocMethod::InPlace);
 /// # Ok::<(), flexer_spm::AllocError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct SpmMemory {
     capacity: u64,
     blocks: Vec<Block>,
+    /// Undo journal; only populated while `tx_depth > 0`.
+    journal: Vec<JournalEntry>,
+    /// Number of open (un-resolved) checkpoints.
+    tx_depth: usize,
+}
+
+/// A clone is a fresh snapshot of the block map: it does not inherit
+/// the source's open transactions or journal.
+impl Clone for SpmMemory {
+    fn clone(&self) -> Self {
+        Self {
+            capacity: self.capacity,
+            blocks: self.blocks.clone(),
+            journal: Vec::new(),
+            tx_depth: 0,
+        }
+    }
+}
+
+/// Equality is over the observable memory state (capacity and block
+/// map); transaction bookkeeping is ignored, so a transactional
+/// scratchpad compares equal to a plain clone of the same state.
+impl PartialEq for SpmMemory {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity && self.blocks == other.blocks
+    }
 }
 
 impl SpmMemory {
@@ -172,7 +275,120 @@ impl SpmMemory {
         Self {
             capacity,
             blocks: vec![Block::new(0, capacity, BlockState::Free)],
+            journal: Vec::new(),
+            tx_depth: 0,
         }
+    }
+
+    /// Opens a transaction: every mutation until the matching
+    /// [`SpmMemory::rollback`] or [`SpmMemory::commit`] is journaled
+    /// and reversible. Transactions nest; tokens must be resolved in
+    /// LIFO order.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        self.tx_depth += 1;
+        Checkpoint {
+            mark: self.journal.len(),
+        }
+    }
+
+    /// Reverts every mutation recorded since `token` was issued and
+    /// closes that transaction. Returns the approximate journal bytes
+    /// undone (for rollback-vs-clone accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open or `token` is out of order.
+    pub fn rollback(&mut self, token: Checkpoint) -> u64 {
+        assert!(self.tx_depth > 0, "rollback without an open checkpoint");
+        assert!(
+            token.mark <= self.journal.len(),
+            "checkpoint resolved out of LIFO order"
+        );
+        let mut undone = 0u64;
+        while self.journal.len() > token.mark {
+            let entry = self.journal.pop().expect("journal length checked");
+            undone += entry.cost_bytes();
+            self.undo(entry);
+        }
+        self.tx_depth -= 1;
+        undone
+    }
+
+    /// Closes the transaction opened by `token`, keeping its
+    /// mutations. Once the outermost transaction commits, the journal
+    /// is discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open or `token` is out of order.
+    pub fn commit(&mut self, token: Checkpoint) {
+        assert!(self.tx_depth > 0, "commit without an open checkpoint");
+        assert!(
+            token.mark <= self.journal.len(),
+            "checkpoint resolved out of LIFO order"
+        );
+        self.tx_depth -= 1;
+        if self.tx_depth == 0 {
+            self.journal.clear();
+        }
+    }
+
+    /// Whether a transaction is currently open.
+    #[must_use]
+    pub fn in_transaction(&self) -> bool {
+        self.tx_depth > 0
+    }
+
+    /// Number of journal entries currently recorded.
+    #[must_use]
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Approximate heap footprint of the block map — the bytes a
+    /// deep clone of this scratchpad would copy.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.blocks.len() * std::mem::size_of::<Block>()) as u64
+    }
+
+    /// Records `entry` if a transaction is active.
+    #[inline]
+    fn record(&mut self, entry: JournalEntry) {
+        if self.tx_depth > 0 {
+            self.journal.push(entry);
+        }
+    }
+
+    /// Reverts a single journal entry. Only sound when applied in
+    /// strict LIFO order (see [`JournalEntry`]).
+    fn undo(&mut self, entry: JournalEntry) {
+        match entry {
+            JournalEntry::State { index, old } => {
+                *self.blocks[index].state_mut() = old;
+            }
+            JournalEntry::SplitPlace { index, old } => {
+                self.blocks.remove(index + 1);
+                self.blocks[index] = old;
+            }
+            JournalEntry::Absorb { index, size } => {
+                let shrunk = self.blocks[index].size() - size;
+                self.blocks[index].set_size(shrunk);
+                let start = self.blocks[index].start() + shrunk;
+                self.blocks
+                    .insert(index + 1, Block::new(start, size, BlockState::Free));
+            }
+            JournalEntry::Snapshot { blocks } => {
+                self.blocks = blocks;
+            }
+        }
+    }
+
+    /// Overwrites the state of block `i`, journaling the old state.
+    fn set_state(&mut self, i: usize, state: BlockState) {
+        let old = *self.blocks[i].state();
+        self.record(JournalEntry::State { index: i, old });
+        *self.blocks[i].state_mut() = state;
     }
 
     /// Total capacity in bytes.
@@ -256,6 +472,10 @@ impl SpmMemory {
 
     fn tile_data_mut(&mut self, tile: TileId) -> Option<&mut TileData> {
         let i = self.find_index(tile)?;
+        // Journal the whole pre-mutation state: the caller receives a
+        // mutable handle, so any field may change.
+        let old = *self.blocks[i].state();
+        self.record(JournalEntry::State { index: i, old });
         match self.blocks[i].state_mut() {
             BlockState::Free => None,
             BlockState::Allocated(data) => Some(data),
@@ -308,9 +528,17 @@ impl SpmMemory {
 
     /// Clears every pin.
     pub fn unpin_all(&mut self) {
-        for b in &mut self.blocks {
-            if let BlockState::Allocated(d) = b.state_mut() {
-                d.pinned = false;
+        for i in 0..self.blocks.len() {
+            if self.blocks[i]
+                .state()
+                .tile_data()
+                .is_some_and(|d| d.pinned)
+            {
+                let old = *self.blocks[i].state();
+                self.record(JournalEntry::State { index: i, old });
+                if let BlockState::Allocated(d) = self.blocks[i].state_mut() {
+                    d.pinned = false;
+                }
             }
         }
     }
@@ -333,7 +561,7 @@ impl SpmMemory {
             BlockState::Allocated(data) => {
                 debug_assert!(!data.pinned, "must not evict pinned tile {}", data.tile);
                 let address = self.blocks[i].start();
-                *self.blocks[i].state_mut() = BlockState::Free;
+                self.set_state(i, BlockState::Free);
                 Some(Eviction {
                     tile: data.tile,
                     address,
@@ -345,18 +573,23 @@ impl SpmMemory {
         }
     }
 
-    /// Merges adjacent free blocks.
+    /// Merges adjacent free blocks in place (no reallocation), one
+    /// journaled absorption per merged pair.
     fn coalesce(&mut self) {
-        let mut merged: Vec<Block> = Vec::with_capacity(self.blocks.len());
-        for block in self.blocks.drain(..) {
-            match merged.last_mut() {
-                Some(last) if last.is_free() && block.is_free() => {
-                    last.set_size(last.size() + block.size());
-                }
-                _ => merged.push(block),
+        let mut i = 0;
+        while i + 1 < self.blocks.len() {
+            if self.blocks[i].is_free() && self.blocks[i + 1].is_free() {
+                let absorbed = self.blocks.remove(i + 1);
+                let grown = self.blocks[i].size() + absorbed.size();
+                self.blocks[i].set_size(grown);
+                self.record(JournalEntry::Absorb {
+                    index: i,
+                    size: absorbed.size(),
+                });
+            } else {
+                i += 1;
             }
         }
-        self.blocks = merged;
     }
 
     /// Index of the best-fit free block for `size`: the smallest free
@@ -376,8 +609,12 @@ impl SpmMemory {
         debug_assert!(block.is_free() && block.size() >= size);
         let address = block.start();
         if block.size() == size {
-            *self.blocks[i].state_mut() = BlockState::Allocated(data);
+            self.set_state(i, BlockState::Allocated(data));
         } else {
+            self.record(JournalEntry::SplitPlace {
+                index: i,
+                old: block,
+            });
             let rest = Block::new(address + size, block.size() - size, BlockState::Free);
             self.blocks[i] = Block::new(address, size, BlockState::Allocated(data));
             self.blocks.insert(i + 1, rest);
@@ -442,7 +679,7 @@ impl SpmMemory {
         });
         if let Some(i) = in_place {
             let eviction = self.evict_index(i).expect("block is allocated");
-            *self.blocks[i].state_mut() = BlockState::Allocated(data);
+            self.set_state(i, BlockState::Allocated(data));
             return Ok(AllocOutcome {
                 method: AllocMethod::InPlace,
                 address: self.blocks[i].start(),
@@ -535,6 +772,12 @@ impl SpmMemory {
     /// where — the information a code generator needs to emit the
     /// corresponding on-chip copy commands.
     pub fn compact_with_moves(&mut self) -> Vec<TileMove> {
+        if self.tx_depth > 0 {
+            // Structural rewrite: journal the whole pre-compaction map.
+            self.record(JournalEntry::Snapshot {
+                blocks: self.blocks.clone(),
+            });
+        }
         let mut allocated: Vec<Block> =
             self.blocks.drain(..).filter(|b| !b.is_free()).collect();
         allocated.sort_by_key(|b| {
@@ -880,6 +1123,150 @@ mod tests {
         let outcome = spm.allocate(t(9), 192, 1, &FlexerSpill).unwrap();
         assert!(outcome.compaction_bytes > 0);
         spm.assert_invariants();
+    }
+
+    #[test]
+    fn rollback_reverts_allocation_spill_and_metadata() {
+        let mut spm = filled();
+        spm.set_dirty(t(1), true);
+        let oracle = spm.clone();
+
+        let token = spm.checkpoint();
+        // Spill path: full memory, new 128-byte tile evicts victims.
+        let outcome = spm.allocate(t(9), 128, 3, &FlexerSpill).unwrap();
+        assert_eq!(outcome.method, AllocMethod::AfterSpill);
+        spm.pin(t(9));
+        spm.set_dirty(t(9), true);
+        spm.decrement_uses(t(9));
+        spm.evict(t(0));
+        spm.unpin_all();
+        spm.assert_invariants();
+        assert_ne!(spm, oracle);
+
+        let undone = spm.rollback(token);
+        assert!(undone > 0);
+        spm.assert_invariants();
+        assert_eq!(spm, oracle);
+        assert!(!spm.in_transaction());
+        assert_eq!(spm.journal_len(), 0);
+    }
+
+    #[test]
+    fn rollback_reverts_in_place_replacement() {
+        let mut spm = filled();
+        spm.set_remain_uses(t(2), 0);
+        let oracle = spm.clone();
+        let token = spm.checkpoint();
+        let outcome = spm.allocate(t(9), 64, 3, &FlexerSpill).unwrap();
+        assert_eq!(outcome.method, AllocMethod::InPlace);
+        spm.rollback(token);
+        assert_eq!(spm, oracle);
+        spm.assert_invariants();
+    }
+
+    #[test]
+    fn rollback_reverts_split_placement_and_coalesce() {
+        let mut spm = SpmMemory::new(256);
+        spm.allocate(t(0), 64, 1, &FlexerSpill).unwrap();
+        spm.allocate(t(1), 64, 1, &FlexerSpill).unwrap();
+        spm.evict(t(0)); // free 64 at 0 + free 128 at 128
+        let oracle = spm.clone();
+        let token = spm.checkpoint();
+        // Split the 128-byte tail hole.
+        spm.allocate(t(2), 96, 1, &FlexerSpill).unwrap();
+        // Evicting t(1) coalesces three ways.
+        spm.evict(t(1));
+        spm.rollback(token);
+        assert_eq!(spm, oracle);
+        spm.assert_invariants();
+    }
+
+    #[test]
+    fn rollback_reverts_compaction() {
+        let mut spm = filled();
+        spm.pin(t(1)); // pinned island defeats the spill policy
+        spm.evict(t(0));
+        let oracle = spm.clone();
+        let token = spm.checkpoint();
+        let outcome = spm.allocate(t(9), 192, 1, &FlexerSpill).unwrap();
+        assert!(outcome.compaction_bytes > 0, "compaction path not taken");
+        spm.rollback(token);
+        assert_eq!(spm, oracle);
+        spm.assert_invariants();
+    }
+
+    #[test]
+    fn commit_keeps_mutations_and_clears_journal() {
+        let mut spm = filled();
+        let token = spm.checkpoint();
+        spm.evict(t(0));
+        spm.pin(t(1));
+        spm.commit(token);
+        assert!(!spm.contains(t(0)));
+        assert!(spm.tile_data(t(1)).unwrap().pinned);
+        assert!(!spm.in_transaction());
+        assert_eq!(spm.journal_len(), 0);
+        spm.assert_invariants();
+    }
+
+    #[test]
+    fn nested_transactions_roll_back_independently() {
+        let mut spm = filled();
+        let outer = spm.checkpoint();
+        spm.evict(t(0));
+        let after_outer_op = spm.clone();
+        let inner = spm.checkpoint();
+        spm.evict(t(1));
+        spm.rollback(inner);
+        assert_eq!(spm, after_outer_op);
+        // Inner commit/rollback must not have erased outer entries.
+        let pristine = filled();
+        spm.rollback(outer);
+        assert_eq!(spm, pristine);
+        spm.assert_invariants();
+    }
+
+    #[test]
+    fn clone_does_not_inherit_transaction_state() {
+        let mut spm = filled();
+        let token = spm.checkpoint();
+        spm.evict(t(0));
+        let copy = spm.clone();
+        assert!(!copy.in_transaction());
+        assert_eq!(copy.journal_len(), 0);
+        assert_eq!(copy, spm);
+        spm.rollback(token);
+        assert_ne!(copy, spm);
+    }
+
+    #[test]
+    fn mutations_outside_transactions_do_not_journal() {
+        let mut spm = filled();
+        spm.evict(t(0));
+        spm.pin(t(1));
+        spm.allocate(t(9), 64, 1, &FlexerSpill).unwrap();
+        assert_eq!(spm.journal_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rollback without an open checkpoint")]
+    fn rollback_without_checkpoint_panics() {
+        let mut spm = SpmMemory::new(64);
+        let token = {
+            let t = spm.checkpoint();
+            spm.commit(t);
+            t
+        };
+        let _ = spm.rollback(token);
+    }
+
+    #[test]
+    fn footprint_tracks_block_count() {
+        let spm = filled();
+        assert_eq!(
+            spm.footprint_bytes(),
+            (spm.blocks().len() * std::mem::size_of::<Block>()) as u64
+        );
     }
 
     #[test]

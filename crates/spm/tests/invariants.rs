@@ -109,6 +109,34 @@ fn run_sequence(policy: &dyn SpillPolicy, capacity: u64, ops: &[Op]) {
     }
 }
 
+/// Applies `ops` without postcondition checks (shared by the
+/// transactional differential tests). Mirrors the legality guards of
+/// `run_sequence`: pinned tiles are never evicted by the caller.
+fn apply_ops(policy: &dyn SpillPolicy, spm: &mut SpmMemory, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Alloc { tile: t, size, uses } => {
+                let _ = spm.allocate(tile(*t), *size, *uses, policy);
+            }
+            Op::Evict { tile: t } => {
+                if !spm.tile_data(tile(*t)).is_some_and(|d| d.pinned) {
+                    spm.evict(tile(*t));
+                }
+            }
+            Op::Pin { tile: t } => {
+                spm.pin(tile(*t));
+            }
+            Op::UnpinAll => spm.unpin_all(),
+            Op::Decrement { tile: t } => {
+                spm.decrement_uses(tile(*t));
+            }
+            Op::SetDirty { tile: t, dirty } => {
+                spm.set_dirty(tile(*t), *dirty);
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -153,6 +181,62 @@ proptest! {
                 spm.assert_invariants();
             }
         }
+    }
+
+    /// Transactional-planning differential: arbitrary mutations made
+    /// inside a checkpoint are fully reverted by rollback, leaving a
+    /// state equal to a pre-mutation deep clone — under every spill
+    /// policy. This is the oracle guaranteeing the scheduler's
+    /// rollback-based candidate evaluation matches the old
+    /// clone-per-candidate behaviour.
+    #[test]
+    fn rollback_matches_clone_oracle(
+        capacity in 64u64..1024,
+        setup in prop::collection::vec(op_strategy(), 0..25),
+        txn in prop::collection::vec(op_strategy(), 1..40),
+        policy_idx in 0usize..3,
+    ) {
+        let policies: [&dyn SpillPolicy; 3] =
+            [&FlexerSpill, &FirstFitSpill, &SmallestFirstSpill];
+        let policy = policies[policy_idx];
+        let mut spm = SpmMemory::new(capacity);
+        apply_ops(policy, &mut spm, &setup);
+        spm.assert_invariants();
+
+        let oracle = spm.clone();
+        let token = spm.checkpoint();
+        apply_ops(policy, &mut spm, &txn);
+        spm.assert_invariants();
+        let _ = spm.rollback(token);
+
+        spm.assert_invariants();
+        prop_assert_eq!(&spm, &oracle);
+        prop_assert_eq!(spm.journal_len(), 0);
+        prop_assert!(!spm.in_transaction());
+    }
+
+    /// Committing a transaction leaves exactly the state reached by
+    /// applying the same operations with no transaction at all.
+    #[test]
+    fn commit_matches_untracked_execution(
+        capacity in 64u64..1024,
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        policy_idx in 0usize..3,
+    ) {
+        let policies: [&dyn SpillPolicy; 3] =
+            [&FlexerSpill, &FirstFitSpill, &SmallestFirstSpill];
+        let policy = policies[policy_idx];
+
+        let mut tracked = SpmMemory::new(capacity);
+        let token = tracked.checkpoint();
+        apply_ops(policy, &mut tracked, &ops);
+        tracked.commit(token);
+
+        let mut plain = SpmMemory::new(capacity);
+        apply_ops(policy, &mut plain, &ops);
+
+        prop_assert_eq!(&tracked, &plain);
+        prop_assert_eq!(tracked.journal_len(), 0);
     }
 
     /// The Flexer policy's fragmentation after a forced spill never

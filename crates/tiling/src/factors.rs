@@ -153,7 +153,7 @@ fn dim_range(extent: u32, tiles: u32, i: u32) -> (u32, u32) {
 /// };
 /// assert_eq!(opts.max_ops, 512);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TilingOptions {
     /// Candidate tile counts per channel dimension (clamped to the
     /// extent, deduplicated after normalization).

@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Compiles the bench-definition API the workspace uses and *smoke
+//! runs* each benchmark: every `iter`/`iter_batched` body executes a
+//! small fixed number of times and the rough per-iteration time is
+//! printed. There is no statistical analysis — real measurements in
+//! this repository come from `crates/bench/src/bin/bench_json.rs`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How many times a smoke-run executes each routine.
+const SMOKE_ITERS: u32 = 3;
+
+/// Top-level bench registry and configuration (all knobs are no-ops).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// No-op: sample count is fixed in this stand-in.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// No-op: there is no warm-up phase.
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// No-op: measurement time is not configurable.
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// No-op: CLI arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// No-op summary hook.
+    pub fn final_summary(&self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher { elapsed_ns: 0, iters: 0 };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed_ns / u128::from(bencher.iters.max(1));
+    println!("bench {label}: ~{per_iter} ns/iter ({} smoke iters)", bencher.iters);
+}
+
+/// Timer handle passed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `routine` a fixed small number of times.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..SMOKE_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    /// Runs `routine` over fresh `setup` outputs, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..SMOKE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows its input.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        for _ in 0..SMOKE_ITERS {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Batch sizing hints; ignored by the smoke runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark over a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// No-op throughput annotation.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotations; ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Opaque value barrier, re-exported for compatibility.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a bench group function; both criterion forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2) + 2));
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::new("x", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u32, |b, &n| {
+            b.iter_batched(|| n, |v| v + 1, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

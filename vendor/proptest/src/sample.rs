@@ -1,0 +1,43 @@
+//! Sampling from explicit value lists (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform choice from a fixed, non-empty list.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].clone()
+    }
+}
+
+/// Chooses uniformly from `options`.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() from an empty list");
+    Select { options }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_only_listed_values() {
+        let strat = select(vec![3u8, 5, 7]);
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            assert!([3u8, 5, 7].contains(&strat.sample(&mut rng)));
+        }
+    }
+}

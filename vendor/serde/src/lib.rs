@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the macro
+//! namespace (no-op derives) and the trait namespace, which is all the
+//! workspace uses: `use serde::{Deserialize, Serialize};` followed by
+//! derive-position usage. No runtime serialization is implemented.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching the real `serde::Serialize` name.
+pub trait Serialize {}
+
+/// Marker trait matching the real `serde::Deserialize` name.
+pub trait Deserialize<'de> {}
+
+/// Marker trait matching the real `serde::de::DeserializeOwned` name.
+pub trait DeserializeOwned {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Namespace parity with the real crate's `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace parity with the real crate's `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for documentation
+//! value only — nothing in the tree serializes at runtime — so these
+//! derives expand to nothing. The `serde` helper attribute is accepted
+//! (and ignored) for source compatibility with the real crate.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
