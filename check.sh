@@ -5,4 +5,8 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+# Differential gate: the interpreter/verifier suites plus a network-level
+# sweep executing every winning schedule on the SPM abstract machine.
+cargo test -q -p flexer-sim -p flexer-sched
+./target/release/verify
 echo "check.sh: all green"

@@ -1,0 +1,7 @@
+//! Differentially verifies every winning schedule of the evaluation
+//! networks on the SPM abstract machine.
+use flexer_bench::{Budget, ExperimentContext};
+fn main() {
+    let ctx = ExperimentContext::from_env(1, Budget::Quick);
+    flexer_bench::experiments::verify(&ctx);
+}

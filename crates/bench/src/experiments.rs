@@ -380,3 +380,46 @@ pub fn fig12(ctx: &ExperimentContext) {
     }
     println!("\n(lower is better; >1 means the ablated variant is worse than Flexer's default)");
 }
+
+/// **Verification sweep** — differentially verifies the winning
+/// schedules of all four evaluation networks on two presets (the
+/// smallest and the mid-size machine): every winner is re-run, lowered
+/// to a command program, executed on the SPM abstract machine and
+/// cross-checked against its analytical schedule, for both the
+/// out-of-order scheduler and the static baseline.
+///
+/// # Panics
+///
+/// Panics when any winning schedule fails verification — that is the
+/// point: a scheduler bug aborts the run instead of skewing a figure.
+pub fn verify(ctx: &ExperimentContext) {
+    ctx.print_header(
+        "Verification",
+        "differential schedule verification, 4 networks x 2 archs x 2 schedulers",
+    );
+    println!(
+        "\n{:<12} {:<7} {:>7} {:>14} {:>14} {:>12}",
+        "network", "arch", "layers", "ooo_verified", "stat_verified", "verify_ms"
+    );
+    for net in ctx.networks() {
+        for preset in [ArchPreset::Arch1, ArchPreset::Arch5] {
+            let driver = ctx.driver(preset);
+            let cmp = driver
+                .verify_network(&net)
+                .unwrap_or_else(|e| panic!("{}/{preset}: {e}", net.name()));
+            assert!(cmp.flexer().verified() && cmp.baseline().verified());
+            let verify_nanos = cmp.flexer().total_stats().verify_nanos
+                + cmp.baseline().total_stats().verify_nanos;
+            println!(
+                "{:<12} {:<7} {:>7} {:>14} {:>14} {:>12.2}",
+                net.name(),
+                preset.to_string(),
+                net.layers().len(),
+                cmp.flexer().total_stats().schedules_verified,
+                cmp.baseline().total_stats().schedules_verified,
+                verify_nanos as f64 / 1e6
+            );
+        }
+    }
+    println!("\nall winning schedules passed differential verification");
+}

@@ -143,6 +143,34 @@ impl Flexer {
         let baseline = self.baseline_network(network)?;
         Ok(NetworkComparison::new(flexer, baseline))
     }
+
+    /// Schedules `network` with both schedulers under forced
+    /// differential verification: every winning schedule is re-run,
+    /// lowered to a command program, executed on the `flexer-sim` SPM
+    /// abstract machine and cross-checked against its analytical
+    /// schedule, regardless of [`SearchOptions::validate`].
+    ///
+    /// Returns the verified comparison; a scheduler bug surfaces as
+    /// [`SchedError::IllegalSchedule`] instead of a wrong number in a
+    /// results table.
+    ///
+    /// # Errors
+    ///
+    /// As [`Flexer::schedule_network`], plus
+    /// [`SchedError::IllegalSchedule`] on any verification failure.
+    pub fn verify_network(&self, network: &Network) -> Result<NetworkComparison, SchedError> {
+        let mut options = self.options.clone();
+        options.validate = true;
+        let flexer = NetworkResult::new(
+            network.name(),
+            search_network_cached(network.layers(), &self.arch, &options, &self.cache)?,
+        );
+        let baseline = NetworkResult::new(
+            network.name(),
+            search_network_static_cached(network.layers(), &self.arch, &options, &self.cache)?,
+        );
+        Ok(NetworkComparison::new(flexer, baseline))
+    }
 }
 
 impl fmt::Display for Flexer {
@@ -239,6 +267,24 @@ mod tests {
         let r = d.schedule_network(&slice).unwrap();
         assert!(r.total_latency() > 0);
         assert!(r.total_transfer_bytes() > 0);
+    }
+
+    #[test]
+    fn verify_network_verifies_both_schedulers() {
+        let d = driver();
+        let net = tiny_net();
+        let cmp = d.verify_network(&net).unwrap();
+        assert!(cmp.flexer().verified());
+        assert!(cmp.baseline().verified());
+        for r in cmp.flexer().layers().iter().chain(cmp.baseline().layers()) {
+            assert!(r.stats.schedules_verified > 0, "{} not verified", r.layer);
+        }
+        let table = cmp.render_table();
+        assert!(table.contains("legality"), "{table}");
+        // A plain comparison does not claim verification.
+        let plain = d.compare_network(&net).unwrap();
+        assert!(!plain.flexer().verified());
+        assert!(!plain.render_table().contains("legality"));
     }
 
     #[test]

@@ -78,6 +78,15 @@ impl NetworkResult {
         }
         total
     }
+
+    /// Whether every layer's winning schedule passed differential
+    /// verification (searched with `SearchOptions::validate` or via
+    /// `Flexer::verify_network`). `false` for an empty result or when
+    /// any layer was not verified.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        !self.layers.is_empty() && self.layers.iter().all(|l| l.stats.schedules_verified > 0)
+    }
 }
 
 impl fmt::Display for NetworkResult {
@@ -236,6 +245,9 @@ impl NetworkComparison {
             self.transfer_reduction()
         );
         let _ = writeln!(out, "search effort (flexer): {}", self.flexer.total_stats());
+        if self.flexer.verified() && self.baseline.verified() {
+            let _ = writeln!(out, "legality: every schedule passed differential verification");
+        }
         out
     }
 }

@@ -1,5 +1,7 @@
 //! Scheduler error types.
 
+use crate::verify::VerifyError;
+use flexer_sim::TimelineError;
 use flexer_spm::AllocError;
 use flexer_tiling::TilingError;
 use std::error::Error;
@@ -26,6 +28,13 @@ pub enum SchedError {
         /// Operations left unscheduled.
         remaining: usize,
     },
+    /// Cycle arithmetic overflowed while timing the schedule
+    /// (adversarial architecture configurations).
+    Timeline(TimelineError),
+    /// A winning schedule failed verification — the scheduler produced
+    /// an illegal schedule or a program diverging from it (an internal
+    /// bug, surfaced rather than silently reported as a result).
+    IllegalSchedule(VerifyError),
 }
 
 impl fmt::Display for SchedError {
@@ -39,6 +48,10 @@ impl fmt::Display for SchedError {
             SchedError::Stalled { remaining } => {
                 write!(f, "scheduler stalled with {remaining} operations remaining")
             }
+            SchedError::Timeline(e) => write!(f, "schedule timing overflowed: {e}"),
+            SchedError::IllegalSchedule(e) => {
+                write!(f, "winning schedule failed verification: {e}")
+            }
         }
     }
 }
@@ -48,6 +61,8 @@ impl Error for SchedError {
         match self {
             SchedError::Alloc(e) => Some(e),
             SchedError::Tiling(e) => Some(e),
+            SchedError::Timeline(e) => Some(e),
+            SchedError::IllegalSchedule(e) => Some(e),
             _ => None,
         }
     }
@@ -62,6 +77,18 @@ impl From<AllocError> for SchedError {
 impl From<TilingError> for SchedError {
     fn from(e: TilingError) -> Self {
         SchedError::Tiling(e)
+    }
+}
+
+impl From<TimelineError> for SchedError {
+    fn from(e: TimelineError) -> Self {
+        SchedError::Timeline(e)
+    }
+}
+
+impl From<VerifyError> for SchedError {
+    fn from(e: VerifyError) -> Self {
+        SchedError::IllegalSchedule(e)
     }
 }
 

@@ -103,7 +103,7 @@ impl<'a> ExecState<'a> {
         // off-chip data.
         if plan.compaction_bytes > 0 {
             self.builder
-                .record_compaction(plan.compaction_bytes, self.perf.dma_cycles(plan.compaction_bytes));
+                .record_compaction(plan.compaction_bytes, self.perf.dma_cycles(plan.compaction_bytes))?;
         }
 
         // Lower the plan's event trace into buffer commands, in the
@@ -148,7 +148,7 @@ impl<'a> ExecState<'a> {
                     self.perf.dma_cycles(ev.bytes),
                     earliest,
                     None,
-                );
+                )?;
             }
         }
 
@@ -166,6 +166,11 @@ impl<'a> ExecState<'a> {
                 TileKind::Weight => TrafficClass::Weight,
                 TileKind::Output => TrafficClass::Psum,
             };
+            // The tag names one representative consumer for
+            // diagnostics; a tile shared by several ops of the set
+            // has a single load. The validator checks every consumer
+            // of the tile (`validate_schedule` check 5b), not just
+            // the tagged one.
             let for_op = ops
                 .iter()
                 .copied()
@@ -177,7 +182,7 @@ impl<'a> ExecState<'a> {
                 *bytes,
                 self.perf.dma_cycles(*bytes),
                 for_op,
-            );
+            )?;
             self.tile_ready.insert(*tile, end);
         }
 
@@ -216,7 +221,7 @@ impl<'a> ExecState<'a> {
                 debug_assert!(self.scheduled[pred.index()]);
                 earliest = earliest.max(self.op_end[pred.index()]);
             }
-            let (_, end) = self.builder.record_compute(id, core, earliest, op.latency());
+            let (_, end) = self.builder.record_compute(id, core, earliest, op.latency())?;
             self.commands.push(Command::Exec {
                 op: id,
                 core,
@@ -258,7 +263,7 @@ impl<'a> ExecState<'a> {
                     self.perf.dma_cycles(bytes),
                     end,
                     None,
-                );
+                )?;
                 self.commands.push(Command::Store {
                     tile: op.output(),
                     address: self.spm.address_of(op.output()).expect("output resident"),

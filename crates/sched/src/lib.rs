@@ -50,6 +50,7 @@ mod program;
 mod search;
 mod static_sched;
 mod stats;
+mod verify;
 
 pub use combo::{dataflow_class, generate_sets, ComboOptions, DataflowClass};
 pub use error::SchedError;
@@ -65,3 +66,4 @@ pub use search::{
     sweep_tilings, LayerSearchResult, MemoKey, SchedulePoint, SearchOptions, SpillPolicyChoice,
 };
 pub use static_sched::StaticScheduler;
+pub use verify::{verify_schedule_program, VerifyError};

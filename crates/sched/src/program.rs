@@ -256,6 +256,49 @@ impl Program {
         self.spm_bytes
     }
 
+    /// Number of cores the program was lowered for.
+    #[must_use]
+    pub const fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Converts the command stream into the vocabulary of the
+    /// `flexer-sim` abstract machine, for
+    /// [`flexer_sim::interpret_program`].
+    #[must_use]
+    pub fn lowered(&self) -> Vec<flexer_sim::SpmCommand> {
+        use flexer_sim::SpmCommand;
+        self.commands
+            .iter()
+            .map(|c| match *c {
+                Command::Load { tile, address, bytes } => SpmCommand::Load { tile, address, bytes },
+                Command::Spill { tile, address, bytes } => {
+                    SpmCommand::Spill { tile, address, bytes }
+                }
+                Command::Discard { tile, address, bytes } => {
+                    SpmCommand::Discard { tile, address, bytes }
+                }
+                Command::Move { tile, bytes, from, to } => {
+                    SpmCommand::Move { tile, bytes, from, to }
+                }
+                Command::Reserve { tile, address, bytes } => {
+                    SpmCommand::Reserve { tile, address, bytes }
+                }
+                Command::Exec { op, core, input, weight, output, accumulate } => SpmCommand::Exec {
+                    op,
+                    core,
+                    input,
+                    weight,
+                    output,
+                    accumulate,
+                },
+                Command::Store { tile, address, bytes } => {
+                    SpmCommand::Store { tile, address, bytes }
+                }
+            })
+            .collect()
+    }
+
     /// Renders the program as assembler-style text, one command per
     /// line.
     #[must_use]

@@ -9,6 +9,7 @@ use crate::ooo::{EvalMode, OooScheduler};
 use crate::priority::PriorityPolicy;
 use crate::stats::SearchStats;
 use crate::static_sched::StaticScheduler;
+use crate::verify::{verify_schedule_program, VerifyError};
 use flexer_arch::{ArchConfig, SystolicModel};
 use flexer_model::ConvLayer;
 use flexer_sim::Schedule;
@@ -17,6 +18,7 @@ use flexer_tiling::{enumerate_tilings, Dataflow, Dfg, TilingFactors, TilingOptio
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Which spill-victim policy the scheduler uses (Table 2).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -82,6 +84,18 @@ pub struct SearchOptions {
     /// Whether to keep the `(latency, transfer)` point of every
     /// explored `(tiling, dataflow)` pair — the Figure-1 scatter data.
     pub collect_points: bool,
+    /// Differentially verify every winning schedule: re-run its
+    /// scheduler, lower the run to a command [`crate::Program`],
+    /// execute it on the `flexer-sim` SPM abstract machine, and
+    /// cross-check traffic, load counts, core placement and
+    /// compaction against the analytical schedule
+    /// ([`crate::verify_schedule_program`]). A failure surfaces as
+    /// [`SchedError::IllegalSchedule`] instead of a silently wrong
+    /// result. Off by default (one extra scheduler run per layer).
+    /// Excluded from the memo key — memoized winners are re-verified
+    /// on replay.
+    #[serde(default)]
+    pub validate: bool,
 }
 
 impl Default for SearchOptions {
@@ -96,6 +110,7 @@ impl Default for SearchOptions {
             eval_mode: EvalMode::default(),
             threads: 0,
             collect_points: false,
+            validate: false,
         }
     }
 }
@@ -254,6 +269,43 @@ fn run_one(
             .schedule()
             .map(|schedule| (schedule, SearchStats::default())),
     }
+}
+
+/// Differentially verifies a resolved winner: re-runs its scheduler
+/// with program lowering, confirms the replay reproduces the winning
+/// schedule, and runs the full verification chain
+/// ([`verify_schedule_program`]) over the pair.
+fn verify_winner(
+    kind: SchedulerKind,
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    model: &SystolicModel,
+    opts: &SearchOptions,
+    result: &mut LayerSearchResult,
+) -> Result<(), SchedError> {
+    let start = Instant::now();
+    let dfg = Dfg::build(layer, result.factors, result.dataflow, model, arch)?;
+    let (schedule, program) = match kind {
+        SchedulerKind::Ooo => OooScheduler::new(&dfg, arch, model)
+            .with_spill(opts.spill.policy())
+            .with_priority(opts.priority)
+            .with_combo(opts.combo)
+            .with_eval_mode(opts.eval_mode)
+            .schedule_with_program()?,
+        SchedulerKind::Static => {
+            StaticScheduler::new(&dfg, arch, model).schedule_with_program()?
+        }
+    };
+    if schedule != result.schedule {
+        return Err(SchedError::IllegalSchedule(VerifyError::ReplayDiverged));
+    }
+    // Only the out-of-order scheduler's compactions are timed; the
+    // static program's repacking moves are an addressing artifact.
+    let check_compaction = kind == SchedulerKind::Ooo;
+    verify_schedule_program(&dfg, &schedule, &program, check_compaction)?;
+    result.stats.schedules_verified += 1;
+    result.stats.verify_nanos += start.elapsed().as_nanos() as u64;
+    Ok(())
 }
 
 /// Replays a known `(tiling, dataflow)` winner as a full
@@ -444,6 +496,13 @@ fn search_many(
                     })),
                 }
             }
+        };
+        let resolved = if opts.validate {
+            resolved.and_then(|mut r| {
+                verify_winner(kind, layer, arch, &model, opts, &mut r).map(|()| r)
+            })
+        } else {
+            resolved
         };
         out.push(resolved);
     }
@@ -809,6 +868,42 @@ mod tests {
         let _ = search_layer_cached(&layer(), &arch(), &opts, &cache).unwrap();
         let _ = search_layer_static_cached(&layer(), &arch(), &opts, &cache).unwrap();
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn validated_searches_verify_every_winner() {
+        let mut opts = SearchOptions::quick();
+        opts.validate = true;
+        opts.threads = 1;
+        let r = search_layer(&layer(), &arch(), &opts).unwrap();
+        assert_eq!(r.stats.schedules_verified, 1);
+        assert!(r.stats.verify_nanos > 0);
+        let s = search_layer_static(&layer(), &arch(), &opts).unwrap();
+        assert_eq!(s.stats.schedules_verified, 1);
+    }
+
+    #[test]
+    fn validated_memo_replays_are_reverified() {
+        let mut opts = SearchOptions::quick();
+        opts.validate = true;
+        let cache = MemoCache::new();
+        let _ = search_layer_cached(&layer(), &arch(), &opts, &cache).unwrap();
+        let hit = search_layer_cached(&layer().with_name("other"), &arch(), &opts, &cache).unwrap();
+        assert_eq!(hit.evaluated, 1, "memo hit replays the winner");
+        assert_eq!(hit.stats.schedules_verified, 1, "replays are verified too");
+    }
+
+    #[test]
+    fn validate_is_not_part_of_the_memo_key() {
+        let a = SearchOptions::quick();
+        let mut b = SearchOptions::quick();
+        b.validate = true;
+        let l = layer();
+        let ar = arch();
+        assert_eq!(
+            a.memo_key(&l, &ar, SchedulerKind::Ooo),
+            b.memo_key(&l, &ar, SchedulerKind::Ooo)
+        );
     }
 
     #[test]

@@ -1,11 +1,25 @@
 //! The static loop-order baseline scheduler.
 
 use crate::error::SchedError;
+use crate::program::{Command, Program};
 use flexer_arch::{ArchConfig, PerfModel};
 use flexer_sim::{MemOpKind, Schedule, ScheduleBuilder, TrafficClass};
 use flexer_spm::AllocError;
 use flexer_tiling::{Dfg, OpId, TileId, TileKind};
 use std::collections::BTreeMap;
+
+/// Returns the lowest address where `bytes` fit between `occupied`
+/// blocks (sorted by address) within `capacity`.
+fn first_fit(occupied: &[(u64, u64)], bytes: u64, capacity: u64) -> Option<u64> {
+    let mut cursor = 0u64;
+    for &(address, len) in occupied {
+        if address - cursor >= bytes {
+            return Some(cursor);
+        }
+        cursor = address + len;
+    }
+    (capacity - cursor >= bytes).then_some(cursor)
+}
 
 /// State of one resident tile in the fixed-region baseline memory.
 #[derive(Debug, Clone, Copy)]
@@ -90,12 +104,33 @@ impl<'a> StaticScheduler<'a> {
     /// Returns [`SchedError::Alloc`] when a single operation's working
     /// set exceeds the on-chip buffer.
     pub fn schedule(&self) -> Result<Schedule, SchedError> {
+        self.schedule_with_program().map(|(s, _)| s)
+    }
+
+    /// Runs the scheduler and also lowers the run into an executable
+    /// buffer [`Program`] with concrete region addresses.
+    ///
+    /// Tiles are placed first-fit in the buffer; when the fixed-region
+    /// layout fragments (tile sizes differ between iterations), live
+    /// blocks are repacked with an atomic batch of
+    /// [`Command::Move`]s — an addressing artifact the analytical
+    /// schedule does not time, unlike the out-of-order scheduler's
+    /// accounted compactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::Alloc`] when a single operation's working
+    /// set exceeds the on-chip buffer.
+    pub fn schedule_with_program(&self) -> Result<(Schedule, Program), SchedError> {
         let dfg = self.dfg;
         let cores = self.arch.cores() as usize;
         let capacity = self.arch.spm_bytes();
         let num_ops = dfg.num_ops();
         let mut builder = ScheduleBuilder::new(self.arch.cores());
         let mut resident: BTreeMap<TileId, Resident> = BTreeMap::new();
+        // Concrete buffer addresses backing the fixed regions.
+        let mut addr: BTreeMap<TileId, (u64, u64)> = BTreeMap::new();
+        let mut commands: Vec<Command> = Vec::new();
         let mut op_end = vec![0u64; num_ops];
         let mut scheduled = vec![false; num_ops];
         let mut next = 0usize;
@@ -142,8 +177,9 @@ impl<'a> StaticScheduler<'a> {
                 .collect();
             for (tile, r) in evicted {
                 resident.remove(&tile);
+                let (address, bytes) = addr.remove(&tile).expect("resident tile has an address");
                 if r.dirty {
-                    let bytes = self.dfg.tile_bytes(tile);
+                    commands.push(Command::Spill { tile, address, bytes });
                     builder.record_mem_op_after(
                         MemOpKind::Spill,
                         TrafficClass::Psum,
@@ -152,7 +188,9 @@ impl<'a> StaticScheduler<'a> {
                         self.perf.dma_cycles(bytes),
                         r.busy_until,
                         None,
-                    );
+                    )?;
+                } else {
+                    commands.push(Command::Discard { tile, address, bytes });
                 }
             }
 
@@ -161,6 +199,33 @@ impl<'a> StaticScheduler<'a> {
                 if resident.contains_key(&tile) {
                     continue;
                 }
+                // Place the tile first-fit; when the region layout has
+                // fragmented, repack the live blocks (atomic move
+                // batch) and place at the end of the packed prefix.
+                // The repack always succeeds: the live blocks are a
+                // subset of `needed`, whose sum fits the buffer.
+                let mut occupied: Vec<(u64, u64)> = addr.values().copied().collect();
+                occupied.sort_unstable();
+                let address = first_fit(&occupied, bytes, capacity).unwrap_or_else(|| {
+                    let mut live: Vec<(TileId, u64, u64)> =
+                        addr.iter().map(|(&t, &(a, b))| (t, a, b)).collect();
+                    live.sort_unstable_by_key(|&(_, a, _)| a);
+                    let mut cursor = 0u64;
+                    for (t, a, b) in live {
+                        if a != cursor {
+                            commands.push(Command::Move {
+                                tile: t,
+                                bytes: b,
+                                from: a,
+                                to: cursor,
+                            });
+                            addr.insert(t, (cursor, b));
+                        }
+                        cursor += b;
+                    }
+                    cursor
+                });
+                addr.insert(tile, (address, bytes));
                 // A fresh accumulator holds no data yet; spilled
                 // partial sums must come back from DRAM.
                 let class = match tile.kind() {
@@ -176,6 +241,7 @@ impl<'a> StaticScheduler<'a> {
                 };
                 let ready_at = match class {
                     Some(class) => {
+                        commands.push(Command::Load { tile, address, bytes });
                         let for_op = set
                             .iter()
                             .copied()
@@ -187,10 +253,13 @@ impl<'a> StaticScheduler<'a> {
                             bytes,
                             self.perf.dma_cycles(bytes),
                             for_op,
-                        );
+                        )?;
                         end
                     }
-                    None => 0,
+                    None => {
+                        commands.push(Command::Reserve { tile, address, bytes });
+                        0
+                    }
                 };
                 resident.insert(
                     tile,
@@ -227,7 +296,15 @@ impl<'a> StaticScheduler<'a> {
                 if let Some(pred) = dfg.pred(id) {
                     earliest = earliest.max(op_end[pred.index()]);
                 }
-                let (_, end) = builder.record_compute(id, core, earliest, op.latency());
+                let (_, end) = builder.record_compute(id, core, earliest, op.latency())?;
+                commands.push(Command::Exec {
+                    op: id,
+                    core,
+                    input: addr[&op.input()].0,
+                    weight: addr[&op.weight()].0,
+                    output: addr[&op.output()].0,
+                    accumulate: op.needs_psum(),
+                });
                 op_end[id.index()] = end;
                 scheduled[id.index()] = true;
                 for t in op.operands() {
@@ -247,7 +324,12 @@ impl<'a> StaticScheduler<'a> {
                         self.perf.dma_cycles(bytes),
                         end,
                         None,
-                    );
+                    )?;
+                    commands.push(Command::Store {
+                        tile: op.output(),
+                        address: addr[&op.output()].0,
+                        bytes,
+                    });
                     out.dirty = false;
                 }
             }
@@ -255,7 +337,8 @@ impl<'a> StaticScheduler<'a> {
             let used: u64 = needed.values().sum();
             builder.record_spm_utilization(used as f64 / capacity as f64);
         }
-        Ok(builder.finish())
+        let program = Program::new(capacity, self.arch.cores(), commands);
+        Ok((builder.finish(), program))
     }
 }
 

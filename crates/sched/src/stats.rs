@@ -34,6 +34,11 @@ pub struct SearchStats {
     pub eval_nanos: u64,
     /// Wall-time (ns) spent committing selected sets.
     pub commit_nanos: u64,
+    /// Winning schedules that passed differential verification
+    /// (see [`crate::verify_schedule_program`]).
+    pub schedules_verified: u64,
+    /// Wall-time (ns) spent verifying winning schedules.
+    pub verify_nanos: u64,
 }
 
 impl SearchStats {
@@ -50,6 +55,8 @@ impl SearchStats {
         self.gen_nanos += other.gen_nanos;
         self.eval_nanos += other.eval_nanos;
         self.commit_nanos += other.commit_nanos;
+        self.schedules_verified += other.schedules_verified;
+        self.verify_nanos += other.verify_nanos;
     }
 }
 
@@ -58,8 +65,8 @@ impl std::fmt::Display for SearchStats {
         write!(
             f,
             "steps {} | sets gen {} pruned {} eval {} | rollback {} B \
-             (clone avoided {} B) | evict {} compact {} | \
-             gen {:.2} ms eval {:.2} ms commit {:.2} ms",
+             (clone avoided {} B) | evict {} compact {} | verified {} | \
+             gen {:.2} ms eval {:.2} ms commit {:.2} ms verify {:.2} ms",
             self.steps,
             self.sets_generated,
             self.sets_pruned,
@@ -68,9 +75,11 @@ impl std::fmt::Display for SearchStats {
             self.clone_bytes_avoided,
             self.evictions,
             self.compactions,
+            self.schedules_verified,
             self.gen_nanos as f64 / 1e6,
             self.eval_nanos as f64 / 1e6,
             self.commit_nanos as f64 / 1e6,
+            self.verify_nanos as f64 / 1e6,
         )
     }
 }
@@ -93,6 +102,8 @@ mod tests {
             gen_nanos: 9,
             eval_nanos: 10,
             commit_nanos: 11,
+            schedules_verified: 12,
+            verify_nanos: 13,
         };
         let b = a;
         a.merge(&b);
@@ -107,6 +118,8 @@ mod tests {
         assert_eq!(a.gen_nanos, 18);
         assert_eq!(a.eval_nanos, 20);
         assert_eq!(a.commit_nanos, 22);
+        assert_eq!(a.schedules_verified, 24);
+        assert_eq!(a.verify_nanos, 26);
     }
 
     #[test]

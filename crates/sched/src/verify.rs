@@ -1,0 +1,181 @@
+//! Differential verification of winning schedules.
+//!
+//! A scheduling run produces two artifacts: the analytical
+//! [`Schedule`] the search optimizes, and the lowered [`Program`] a
+//! sequencer would execute. [`verify_schedule_program`] chains every
+//! independent check the workspace has over both:
+//!
+//! 1. [`flexer_sim::validate_schedule`] — structural legality of the
+//!    timed schedule (op coverage, dependencies, resource
+//!    exclusivity, operand loads, latency accounting);
+//! 2. [`Program::check`] — region-tracker replay of the command
+//!    stream (bounds, overlaps, residency, operand addresses);
+//! 3. [`flexer_sim::interpret_program`] — the abstract SPM machine
+//!    (data validity, dirty bits, spill/discard legality, dependency
+//!    order, unsaved data);
+//! 4. [`flexer_sim::differential_check`] — the interpreter's observed
+//!    traffic, load counts, core placement and compaction volume
+//!    against what the schedule claims.
+//!
+//! The search driver runs this on every winning schedule when
+//! [`crate::SearchOptions::validate`] is set.
+
+use crate::program::{Program, ProgramError};
+use flexer_sim::{
+    differential_check, interpret_program, validate_schedule, DifferentialError, InterpError,
+    Schedule, ValidationError,
+};
+use flexer_tiling::Dfg;
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure of a winning schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The analytical schedule is structurally illegal.
+    Schedule(ValidationError),
+    /// The lowered program failed the region-tracker replay.
+    Program(ProgramError),
+    /// The lowered program failed on the abstract SPM machine.
+    Machine(InterpError),
+    /// The program and the schedule disagree about what was done.
+    Differential(DifferentialError),
+    /// Re-running the winning configuration reproduced a different
+    /// schedule — the scheduler is not deterministic.
+    ReplayDiverged,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Schedule(e) => write!(f, "schedule validation: {e}"),
+            VerifyError::Program(e) => write!(f, "program check: {e}"),
+            VerifyError::Machine(e) => write!(f, "abstract machine: {e}"),
+            VerifyError::Differential(e) => write!(f, "schedule/program divergence: {e}"),
+            VerifyError::ReplayDiverged => {
+                write!(f, "re-running the winning configuration gave a different schedule")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Schedule(e) => Some(e),
+            VerifyError::Program(e) => Some(e),
+            VerifyError::Machine(e) => Some(e),
+            VerifyError::Differential(e) => Some(e),
+            VerifyError::ReplayDiverged => None,
+        }
+    }
+}
+
+impl From<ValidationError> for VerifyError {
+    fn from(e: ValidationError) -> Self {
+        VerifyError::Schedule(e)
+    }
+}
+
+impl From<ProgramError> for VerifyError {
+    fn from(e: ProgramError) -> Self {
+        VerifyError::Program(e)
+    }
+}
+
+impl From<InterpError> for VerifyError {
+    fn from(e: InterpError) -> Self {
+        VerifyError::Machine(e)
+    }
+}
+
+impl From<DifferentialError> for VerifyError {
+    fn from(e: DifferentialError) -> Self {
+        VerifyError::Differential(e)
+    }
+}
+
+/// Runs the full verification chain over one (schedule, program)
+/// pair.
+///
+/// `check_compaction` additionally requires the program's move volume
+/// to equal the schedule's accounted compaction bytes; it is on for
+/// the out-of-order scheduler (whose compactions are timed) and off
+/// for the static baseline (whose repacking moves are an addressing
+/// artifact the analytical schedule does not time).
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_schedule_program(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    program: &Program,
+    check_compaction: bool,
+) -> Result<(), VerifyError> {
+    validate_schedule(dfg, schedule)?;
+    program.check(dfg)?;
+    let stats = interpret_program(dfg, program.spm_bytes(), program.cores(), &program.lowered())?;
+    differential_check(schedule, &stats, check_compaction)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ooo::OooScheduler;
+    use crate::static_sched::StaticScheduler;
+    use flexer_arch::{ArchConfig, ArchPreset, SystolicModel};
+    use flexer_model::ConvLayer;
+    use flexer_tiling::{Dataflow, TilingFactors};
+
+    fn fixture(df: Dataflow) -> (Dfg, ArchConfig) {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let layer = ConvLayer::new("v", 32, 16, 16, 32).unwrap();
+        let model = SystolicModel::new(&arch);
+        let factors = TilingFactors::normalized(&layer, 2, 2, 2, 2);
+        let dfg = Dfg::build(&layer, factors, df, &model, &arch).unwrap();
+        (dfg, arch)
+    }
+
+    #[test]
+    fn ooo_winners_verify_end_to_end() {
+        for df in Dataflow::all() {
+            let (dfg, arch) = fixture(df);
+            let model = SystolicModel::new(&arch);
+            let (schedule, program) = OooScheduler::new(&dfg, &arch, &model)
+                .schedule_with_program()
+                .unwrap();
+            verify_schedule_program(&dfg, &schedule, &program, true)
+                .unwrap_or_else(|e| panic!("{df}: {e}"));
+        }
+    }
+
+    #[test]
+    fn static_baselines_verify_end_to_end() {
+        for df in Dataflow::all() {
+            let (dfg, arch) = fixture(df);
+            let model = SystolicModel::new(&arch);
+            let (schedule, program) = StaticScheduler::new(&dfg, &arch, &model)
+                .schedule_with_program()
+                .unwrap();
+            verify_schedule_program(&dfg, &schedule, &program, false)
+                .unwrap_or_else(|e| panic!("{df}: {e}"));
+        }
+    }
+
+    #[test]
+    fn verify_errors_render_their_stage() {
+        let (dfg, arch) = fixture(Dataflow::Kcs);
+        let model = SystolicModel::new(&arch);
+        let (schedule, program) = OooScheduler::new(&dfg, &arch, &model)
+            .schedule_with_program()
+            .unwrap();
+        // Interpret against a one-byte buffer: the program must be
+        // rejected by the machine, and the error names its stage.
+        let err = interpret_program(&dfg, 1, program.cores(), &program.lowered()).unwrap_err();
+        let wrapped = VerifyError::from(err);
+        assert!(wrapped.to_string().contains("abstract machine"), "{wrapped}");
+        let _ = schedule;
+    }
+}

@@ -1,0 +1,222 @@
+//! Differential fuzzing of the schedulers against the SPM abstract
+//! machine, plus mutation tests proving the verifier actually rejects
+//! broken programs.
+//!
+//! Every `(layer, tiling, dataflow, scheduler)` sample must produce a
+//! (schedule, program) pair that survives the full verification chain:
+//! schedule validation, program region replay, abstract-machine
+//! interpretation, and the differential cross-check of traffic, load
+//! counts, core placement and compaction. The mutation tests then
+//! corrupt known-good command streams one command at a time and assert
+//! the machine rejects each corruption with the right typed error.
+
+use flexer_arch::{ArchConfig, ArchConfigBuilder, ArchPreset, SystolicModel};
+use flexer_model::ConvLayer;
+use flexer_sched::{verify_schedule_program, OooScheduler, Program, StaticScheduler};
+use flexer_sim::{interpret_program, InterpError, SpmCommand};
+use flexer_tiling::{Dataflow, Dfg, TilingFactors};
+use proptest::prelude::*;
+
+fn dataflow_strategy() -> impl Strategy<Value = Dataflow> {
+    prop_oneof![
+        Just(Dataflow::Kcs),
+        Just(Dataflow::Ksc),
+        Just(Dataflow::Csk),
+        Just(Dataflow::Cks),
+        Just(Dataflow::Skc),
+        Just(Dataflow::Sck),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any schedule either scheduler produces, on any architecture it
+    /// can schedule at all, executes faithfully on the abstract
+    /// machine and agrees with its own analytical accounting.
+    #[test]
+    fn winners_always_survive_differential_verification(
+        in_ch in prop_oneof![Just(8u32), Just(16), Just(32)],
+        out_ch in prop_oneof![Just(8u32), Just(16), Just(32)],
+        hw in prop_oneof![Just(8u32), Just(14), Just(16)],
+        k in 1u32..4, c in 1u32..4, h in 1u32..3, w in 1u32..3,
+        df in dataflow_strategy(),
+        cores in 1u32..=4,
+        spm_kib in prop_oneof![Just(24u64), Just(64), Just(256)],
+        ooo in any::<bool>(),
+    ) {
+        let arch = ArchConfigBuilder::new(cores, spm_kib * 1024, 16)
+            .build()
+            .unwrap();
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("fz", in_ch, hw, hw, out_ch).unwrap();
+        let factors = TilingFactors::normalized(&layer, k, c, h, w);
+        let Ok(dfg) = Dfg::build(&layer, factors, df, &model, &arch) else {
+            // Tiling rejected (e.g. too many ops): nothing to verify.
+            return Ok(());
+        };
+        let result = if ooo {
+            OooScheduler::new(&dfg, &arch, &model).schedule_with_program()
+        } else {
+            StaticScheduler::new(&dfg, &arch, &model).schedule_with_program()
+        };
+        let Ok((schedule, program)) = result else {
+            // Working set exceeds the buffer: a legal refusal.
+            return Ok(());
+        };
+        verify_schedule_program(&dfg, &schedule, &program, ooo)
+            .unwrap_or_else(|e| panic!("{df} cores={cores} spm={spm_kib}KiB ooo={ooo}: {e}"));
+    }
+}
+
+/// A known-good (dfg, program) pair to mutate.
+fn legal_pair() -> (Dfg, Program) {
+    let arch = ArchConfig::preset(ArchPreset::Arch1);
+    let model = SystolicModel::new(&arch);
+    let layer = ConvLayer::new("m", 32, 16, 16, 32).unwrap();
+    let factors = TilingFactors::normalized(&layer, 2, 2, 2, 2);
+    let dfg = Dfg::build(&layer, factors, Dataflow::Kcs, &model, &arch).unwrap();
+    let (_, program) = OooScheduler::new(&dfg, &arch, &model)
+        .schedule_with_program()
+        .unwrap();
+    (dfg, program)
+}
+
+fn interpret_mutated(
+    dfg: &Dfg,
+    program: &Program,
+    mutate: impl FnOnce(&mut Vec<SpmCommand>),
+) -> Result<flexer_sim::InterpStats, InterpError> {
+    let mut commands = program.lowered();
+    mutate(&mut commands);
+    interpret_program(dfg, program.spm_bytes(), program.cores(), &commands)
+}
+
+#[test]
+fn unmutated_program_is_accepted() {
+    let (dfg, program) = legal_pair();
+    interpret_mutated(&dfg, &program, |_| {}).unwrap();
+}
+
+#[test]
+fn mutation_dropped_load_is_rejected() {
+    let (dfg, program) = legal_pair();
+    let err = interpret_mutated(&dfg, &program, |cmds| {
+        let i = cmds
+            .iter()
+            .position(|c| matches!(c, SpmCommand::Load { .. }))
+            .expect("program loads something");
+        cmds.remove(i);
+    })
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            InterpError::NotResident { .. }
+                | InterpError::UninitRead { .. }
+                | InterpError::AddressMismatch { .. }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn mutation_overlapping_allocation_is_rejected() {
+    let (dfg, program) = legal_pair();
+    let err = interpret_mutated(&dfg, &program, |cmds| {
+        // Re-point the second placement at the first one's address.
+        let mut placements = cmds.iter_mut().filter_map(|c| match c {
+            SpmCommand::Load { address, .. } | SpmCommand::Reserve { address, .. } => {
+                Some(address)
+            }
+            _ => None,
+        });
+        let first = *placements.next().expect("a first placement");
+        let second = placements.next().expect("a second placement");
+        *second = first;
+    })
+    .unwrap_err();
+    assert!(matches!(err, InterpError::Overlap { .. }), "{err}");
+}
+
+#[test]
+fn mutation_missing_final_store_is_rejected() {
+    let (dfg, program) = legal_pair();
+    let err = interpret_mutated(&dfg, &program, |cmds| {
+        let i = cmds
+            .iter()
+            .rposition(|c| matches!(c, SpmCommand::Store { .. }))
+            .expect("program stores results");
+        cmds.remove(i);
+    })
+    .unwrap_err();
+    assert!(matches!(err, InterpError::UnsavedData { .. }), "{err}");
+}
+
+#[test]
+fn mutation_bad_core_is_rejected() {
+    let (dfg, program) = legal_pair();
+    let bad = program.cores();
+    let err = interpret_mutated(&dfg, &program, |cmds| {
+        for c in cmds.iter_mut() {
+            if let SpmCommand::Exec { core, .. } = c {
+                *core = bad;
+                break;
+            }
+        }
+    })
+    .unwrap_err();
+    assert!(matches!(err, InterpError::BadCore { .. }), "{err}");
+}
+
+#[test]
+fn mutation_duplicated_load_is_rejected() {
+    let (dfg, program) = legal_pair();
+    let err = interpret_mutated(&dfg, &program, |cmds| {
+        let i = cmds
+            .iter()
+            .position(|c| matches!(c, SpmCommand::Load { .. }))
+            .expect("program loads something");
+        let dup = cmds[i];
+        cmds.insert(i, dup);
+    })
+    .unwrap_err();
+    assert!(matches!(err, InterpError::AlreadyResident { .. }), "{err}");
+}
+
+#[test]
+fn mutation_reordered_dependency_is_rejected() {
+    let (dfg, program) = legal_pair();
+    // Swap the first two Execs of one accumulation chain: the second
+    // op of a chain must not run before its predecessor.
+    let commands = program.lowered();
+    let execs: Vec<usize> = commands
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| matches!(c, SpmCommand::Exec { .. }).then_some(i))
+        .collect();
+    let mut found = None;
+    'outer: for (ai, &a) in execs.iter().enumerate() {
+        let SpmCommand::Exec { op: op_a, .. } = commands[a] else { unreachable!() };
+        for &b in &execs[ai + 1..] {
+            let SpmCommand::Exec { op: op_b, .. } = commands[b] else { unreachable!() };
+            if dfg.pred(op_b) == Some(op_a) {
+                found = Some((a, b));
+                break 'outer;
+            }
+        }
+    }
+    let (a, b) = found.expect("some accumulation chain spans two execs");
+    let err = interpret_mutated(&dfg, &program, |cmds| cmds.swap(a, b)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            InterpError::PredecessorNotExecuted { .. }
+                | InterpError::AccumulateMismatch { .. }
+                | InterpError::NotResident { .. }
+                | InterpError::AddressMismatch { .. }
+                | InterpError::UninitRead { .. }
+        ),
+        "{err}"
+    );
+}

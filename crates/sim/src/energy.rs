@@ -35,7 +35,7 @@ use flexer_tiling::Dfg;
 /// let mut builder = ScheduleBuilder::new(1);
 /// let mut clock = 0;
 /// for op in dfg.ops() {
-///     let (_, end) = builder.record_compute(op.id(), 0, clock, op.latency());
+///     let (_, end) = builder.record_compute(op.id(), 0, clock, op.latency())?;
 ///     clock = end;
 /// }
 /// let sched = builder.finish();
@@ -90,7 +90,7 @@ mod tests {
         let mut b = ScheduleBuilder::new(1);
         let mut clock = 0;
         for op in dfg.ops() {
-            let (_, end) = b.record_compute(op.id(), 0, clock, op.latency());
+            let (_, end) = b.record_compute(op.id(), 0, clock, op.latency()).unwrap();
             clock = end;
         }
         b.finish()
@@ -113,9 +113,10 @@ mod tests {
         let (dfg, _) = fixture();
         let mut b = ScheduleBuilder::new(1);
         let t = dfg.ops()[0].input();
-        b.record_mem_op(MemOpKind::Load, TrafficClass::Input, t, 1000, 10, None);
+        b.record_mem_op(MemOpKind::Load, TrafficClass::Input, t, 1000, 10, None)
+            .unwrap();
         for op in dfg.ops() {
-            b.record_compute(op.id(), 0, 0, 1);
+            b.record_compute(op.id(), 0, 0, 1).unwrap();
         }
         let sched = b.finish();
         let e = schedule_energy(&dfg, &sched, &EnergyModel::new(2.0, 0.0, 0.0));
@@ -146,10 +147,11 @@ mod tests {
         let lean = compute_only_schedule(&dfg);
         let mut b = ScheduleBuilder::new(1);
         let t = dfg.ops()[0].input();
-        b.record_mem_op(MemOpKind::Load, TrafficClass::Input, t, 512, 10, None);
+        b.record_mem_op(MemOpKind::Load, TrafficClass::Input, t, 512, 10, None)
+            .unwrap();
         let mut clock = 0;
         for op in dfg.ops() {
-            let (_, end) = b.record_compute(op.id(), 0, clock, op.latency());
+            let (_, end) = b.record_compute(op.id(), 0, clock, op.latency()).unwrap();
             clock = end;
         }
         let heavy = b.finish();

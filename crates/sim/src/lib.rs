@@ -16,6 +16,10 @@
 //!   Figure 11);
 //! * [`validate_schedule`] — structural legality checks (every op
 //!   scheduled once, dependencies respected, core/DMA exclusivity);
+//! * [`interpret_program`] / [`differential_check`] — a program-level
+//!   abstract machine that executes a lowered command stream against a
+//!   byte-accurate SPM model and cross-checks the observed traffic
+//!   against the analytical schedule;
 //! * [`onchip_reference_traffic`] — the infinite-buffer lower bound
 //!   where every tile moves at most once (Figure 10's "on-chip" bar).
 //!
@@ -28,13 +32,14 @@
 //! let mut b = ScheduleBuilder::new(2);
 //! let tile = TileId::Input { c: 0, s: 0 };
 //! let (_, load_done) =
-//!     b.record_mem_op(MemOpKind::Load, TrafficClass::Input, tile, 64, 10, Some(OpId::new(0)));
-//! let (start, end) = b.record_compute(OpId::new(0), 0, load_done, 100);
+//!     b.record_mem_op(MemOpKind::Load, TrafficClass::Input, tile, 64, 10, Some(OpId::new(0)))?;
+//! let (start, end) = b.record_compute(OpId::new(0), 0, load_done, 100)?;
 //! assert_eq!(start, load_done);
 //! assert_eq!(end, load_done + 100);
 //! let schedule = b.finish();
 //! assert_eq!(schedule.latency(), end);
 //! assert_eq!(schedule.traffic().total_bytes(), 64);
+//! # Ok::<(), flexer_sim::TimelineError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -42,6 +47,7 @@
 
 mod energy;
 mod engine;
+mod interp;
 mod reference;
 mod render;
 mod schedule;
@@ -49,7 +55,10 @@ mod traffic;
 mod validate;
 
 pub use energy::schedule_energy;
-pub use engine::Timeline;
+pub use engine::{Timeline, TimelineError};
+pub use interp::{
+    differential_check, interpret_program, DifferentialError, InterpError, InterpStats, SpmCommand,
+};
 pub use reference::onchip_reference_traffic;
 pub use render::{render_gantt, to_tsv};
 pub use schedule::{MemOp, MemOpKind, Schedule, ScheduleBuilder, ScheduledOp, SpatialReuseStats};

@@ -24,12 +24,13 @@ use std::fmt::Write as _;
 ///
 /// let mut b = ScheduleBuilder::new(1);
 /// let tile = TileId::Input { c: 0, s: 0 };
-/// let (_, end) = b.record_mem_op(MemOpKind::Load, TrafficClass::Input, tile, 64, 50, None);
-/// b.record_compute(OpId::new(0), 0, end, 50);
+/// let (_, end) = b.record_mem_op(MemOpKind::Load, TrafficClass::Input, tile, 64, 50, None)?;
+/// b.record_compute(OpId::new(0), 0, end, 50)?;
 /// let chart = render_gantt(&b.finish(), 20);
 /// assert!(chart.contains("core0"));
 /// assert!(chart.contains('#'));
 /// assert!(chart.contains('<'));
+/// # Ok::<(), flexer_sim::TimelineError>(())
 /// ```
 #[must_use]
 pub fn render_gantt(schedule: &Schedule, width: usize) -> String {
@@ -90,10 +91,11 @@ pub fn render_gantt(schedule: &Schedule, width: usize) -> String {
 /// use flexer_tiling::OpId;
 ///
 /// let mut b = ScheduleBuilder::new(1);
-/// b.record_compute(OpId::new(0), 0, 0, 10);
+/// b.record_compute(OpId::new(0), 0, 0, 10)?;
 /// let tsv = to_tsv(&b.finish());
 /// assert!(tsv.starts_with("kind\tresource\tstart\tend\twhat\tbytes"));
 /// assert!(tsv.contains("compute\tcore0\t0\t10\ttCONV0\t0"));
+/// # Ok::<(), flexer_sim::TimelineError>(())
 /// ```
 #[must_use]
 pub fn to_tsv(schedule: &Schedule) -> String {
@@ -157,10 +159,13 @@ mod tests {
         let mut b = ScheduleBuilder::new(2);
         let t_in = TileId::Input { c: 0, s: 0 };
         let t_out = TileId::Output { k: 0, s: 0 };
-        let (_, le) = b.record_mem_op(MemOpKind::Load, TrafficClass::Input, t_in, 128, 40, None);
-        b.record_compute(OpId::new(0), 0, le, 100);
-        b.record_compute(OpId::new(1), 1, le, 60);
-        b.record_mem_op(MemOpKind::Store, TrafficClass::Output, t_out, 64, 30, None);
+        let (_, le) = b
+            .record_mem_op(MemOpKind::Load, TrafficClass::Input, t_in, 128, 40, None)
+            .unwrap();
+        b.record_compute(OpId::new(0), 0, le, 100).unwrap();
+        b.record_compute(OpId::new(1), 1, le, 60).unwrap();
+        b.record_mem_op(MemOpKind::Store, TrafficClass::Output, t_out, 64, 30, None)
+            .unwrap();
         b.finish()
     }
 

@@ -1,6 +1,6 @@
 //! Executable schedule records.
 
-use crate::engine::Timeline;
+use crate::engine::{Timeline, TimelineError};
 use crate::traffic::{TrafficClass, TrafficStats};
 use flexer_tiling::{OpId, TileId, TileKind};
 use serde::{Deserialize, Serialize};
@@ -226,6 +226,13 @@ impl Schedule {
     pub const fn compaction_bytes(&self) -> u64 {
         self.compaction_bytes
     }
+
+    /// Test-only: overrides the recorded latency so validator tests
+    /// can craft inconsistent schedules the builder cannot produce.
+    #[cfg(test)]
+    pub(crate) fn set_latency_for_test(&mut self, latency: u64) {
+        self.latency = latency;
+    }
 }
 
 impl fmt::Display for Schedule {
@@ -288,6 +295,10 @@ impl ScheduleBuilder {
 
     /// Records a memory operation taking `dma_cycles` on the shared
     /// channel; returns its `(start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TimelineError`] if the cycle arithmetic overflows.
     pub fn record_mem_op(
         &mut self,
         kind: MemOpKind,
@@ -296,13 +307,17 @@ impl ScheduleBuilder {
         bytes: u64,
         dma_cycles: u64,
         for_op: Option<OpId>,
-    ) -> (u64, u64) {
+    ) -> Result<(u64, u64), TimelineError> {
         self.record_mem_op_after(kind, class, tile, bytes, dma_cycles, 0, for_op)
     }
 
     /// Records a memory operation that may not start before `earliest`
     /// (e.g. a write-back of data still being produced); returns its
     /// `(start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TimelineError`] if the cycle arithmetic overflows.
     #[allow(clippy::too_many_arguments)]
     pub fn record_mem_op_after(
         &mut self,
@@ -313,8 +328,8 @@ impl ScheduleBuilder {
         dma_cycles: u64,
         earliest: u64,
         for_op: Option<OpId>,
-    ) -> (u64, u64) {
-        let (start, end) = self.timeline.issue_dma_after(earliest, dma_cycles);
+    ) -> Result<(u64, u64), TimelineError> {
+        let (start, end) = self.timeline.issue_dma_after(earliest, dma_cycles)?;
         match kind {
             MemOpKind::Load => self.traffic.record_load(class, tile, bytes),
             MemOpKind::Spill | MemOpKind::Store => self.traffic.record_store(class, bytes),
@@ -328,24 +343,34 @@ impl ScheduleBuilder {
             end,
             for_op,
         });
-        (start, end)
+        Ok((start, end))
     }
 
     /// Records a compute operation of `cycles` on `core`, starting no
     /// earlier than `earliest`; returns its `(start, end)`.
     ///
+    /// # Errors
+    ///
+    /// [`TimelineError`] if the cycle arithmetic overflows.
+    ///
     /// # Panics
     ///
     /// Panics if `core` is out of range.
-    pub fn record_compute(&mut self, op: OpId, core: u32, earliest: u64, cycles: u64) -> (u64, u64) {
-        let (start, end) = self.timeline.issue_compute(core, earliest, cycles);
+    pub fn record_compute(
+        &mut self,
+        op: OpId,
+        core: u32,
+        earliest: u64,
+        cycles: u64,
+    ) -> Result<(u64, u64), TimelineError> {
+        let (start, end) = self.timeline.issue_compute(core, earliest, cycles)?;
         self.compute.push(ScheduledOp {
             op,
             core,
             start,
             end,
         });
-        (start, end)
+        Ok((start, end))
     }
 
     /// Records one tile shared by several operations of the current
@@ -357,10 +382,16 @@ impl ScheduleBuilder {
     /// Records an on-chip compaction: the DMA engine is busy for
     /// `dma_cycles` moving `bytes` within the buffer. No off-chip
     /// traffic is accounted. Returns the `(start, end)` of the copy.
-    pub fn record_compaction(&mut self, bytes: u64, dma_cycles: u64) -> (u64, u64) {
+    ///
+    /// # Errors
+    ///
+    /// [`TimelineError`] if the cycle arithmetic overflows; the
+    /// compaction totals are left untouched on failure.
+    pub fn record_compaction(&mut self, bytes: u64, dma_cycles: u64) -> Result<(u64, u64), TimelineError> {
+        let span = self.timeline.issue_dma(dma_cycles)?;
         self.compaction_cycles += dma_cycles;
         self.compaction_bytes += bytes;
-        self.timeline.issue_dma(dma_cycles)
+        Ok(span)
     }
 
     /// Records an SPM utilization sample (one per scheduling step).
@@ -401,16 +432,18 @@ mod tests {
     #[test]
     fn builder_times_and_accounts() {
         let mut b = ScheduleBuilder::new(2);
-        let (_, load_end) = b.record_mem_op(
-            MemOpKind::Load,
-            TrafficClass::Input,
-            in_tile(),
-            100,
-            25,
-            Some(OpId::new(0)),
-        );
-        let (s0, e0) = b.record_compute(OpId::new(0), 0, load_end, 50);
-        let (s1, e1) = b.record_compute(OpId::new(1), 1, 0, 10);
+        let (_, load_end) = b
+            .record_mem_op(
+                MemOpKind::Load,
+                TrafficClass::Input,
+                in_tile(),
+                100,
+                25,
+                Some(OpId::new(0)),
+            )
+            .unwrap();
+        let (s0, e0) = b.record_compute(OpId::new(0), 0, load_end, 50).unwrap();
+        let (s1, e1) = b.record_compute(OpId::new(1), 1, 0, 10).unwrap();
         let sched = b.finish();
         assert_eq!((s0, e0), (25, 75));
         assert_eq!((s1, e1), (0, 10));
@@ -425,7 +458,7 @@ mod tests {
     #[test]
     fn latency_includes_trailing_dma() {
         let mut b = ScheduleBuilder::new(1);
-        b.record_compute(OpId::new(0), 0, 0, 10);
+        b.record_compute(OpId::new(0), 0, 0, 10).unwrap();
         b.record_mem_op(
             MemOpKind::Store,
             TrafficClass::Output,
@@ -433,15 +466,16 @@ mod tests {
             64,
             500,
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(b.finish().latency(), 500);
     }
 
     #[test]
     fn compute_utilization() {
         let mut b = ScheduleBuilder::new(2);
-        b.record_compute(OpId::new(0), 0, 0, 100);
-        b.record_compute(OpId::new(1), 1, 0, 50);
+        b.record_compute(OpId::new(0), 0, 0, 100).unwrap();
+        b.record_compute(OpId::new(1), 1, 0, 50).unwrap();
         let sched = b.finish();
         // busy 150 of 2*100 possible.
         assert!((sched.compute_utilization() - 0.75).abs() < 1e-9);
@@ -483,7 +517,7 @@ mod tests {
     #[test]
     fn display_summarizes() {
         let mut b = ScheduleBuilder::new(2);
-        b.record_compute(OpId::new(0), 0, 0, 10);
+        b.record_compute(OpId::new(0), 0, 0, 10).unwrap();
         let s = b.finish().to_string();
         assert!(s.contains("1 ops"));
         assert!(s.contains("2 cores"));

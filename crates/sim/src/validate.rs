@@ -1,7 +1,7 @@
 //! Structural legality checks for schedules.
 
 use crate::schedule::{MemOpKind, Schedule};
-use flexer_tiling::{Dfg, OpId};
+use flexer_tiling::{Dfg, OpId, TileId};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -41,7 +41,18 @@ pub enum ValidationError {
         /// The operation.
         op: OpId,
     },
-    /// The recorded latency does not equal the latest end time.
+    /// An operation consumed an operand tile that no load brought
+    /// on-chip before the operation started. Catches consumers of a
+    /// shared tile beyond the one the load's `for_op` tag names.
+    OperandNotLoaded {
+        /// The operation.
+        op: OpId,
+        /// The operand tile that was never loaded in time.
+        tile: TileId,
+    },
+    /// The recorded latency does not equal the latest end time (with
+    /// slack of at most the schedule's compaction cycles, which occupy
+    /// the DMA channel without appearing as memory operations).
     LatencyMismatch {
         /// Recorded latency.
         recorded: u64,
@@ -74,6 +85,9 @@ impl fmt::Display for ValidationError {
             ValidationError::LoadAfterUse { op } => {
                 write!(f, "a load for {op} completed after the operation started")
             }
+            ValidationError::OperandNotLoaded { op, tile } => {
+                write!(f, "no load of operand {tile} completed before {op} started")
+            }
             ValidationError::LatencyMismatch { recorded, actual } => {
                 write!(f, "recorded latency {recorded} != actual horizon {actual}")
             }
@@ -92,8 +106,12 @@ impl Error for ValidationError {}
 /// 2. partial-sum dependencies are respected;
 /// 3. operations on the same core do not overlap;
 /// 4. memory operations do not overlap on the shared DMA channel;
-/// 5. loads issued for an operation complete before it starts;
-/// 6. the recorded latency equals the latest end time;
+/// 5. loads issued for an operation complete before it starts, and
+///    every input/weight operand of every operation — not only the
+///    consumer a load's `for_op` tag happens to name — is covered by
+///    a load that completes before the operation starts;
+/// 6. the recorded latency equals the latest end time, allowing slack
+///    of at most the schedule's compaction cycles above it;
 /// 7. at least the layer's full output volume is stored back.
 ///
 /// # Errors
@@ -163,7 +181,7 @@ pub fn validate_schedule(dfg: &Dfg, schedule: &Schedule) -> Result<(), Validatio
         }
     }
 
-    // 5. Loads precede their consumers.
+    // 5a. Tagged loads precede the consumer they were issued for.
     for m in schedule.mem_ops() {
         if m.kind == MemOpKind::Load {
             if let Some(op) = m.for_op {
@@ -172,6 +190,24 @@ pub fn validate_schedule(dfg: &Dfg, schedule: &Schedule) -> Result<(), Validatio
                         return Err(ValidationError::LoadAfterUse { op });
                     }
                 }
+            }
+        }
+    }
+
+    // 5b. Every input/weight operand of every operation was brought
+    // on-chip in time. A shared tile is loaded once (loads are 1:1
+    // with mem_ops) but consumed by several operations; the `for_op`
+    // tag names only one representative, so checking tagged loads
+    // alone (5a) silently skips the other consumers.
+    for op in dfg.ops() {
+        let (start, _) = span[&op.id()];
+        for tile in [op.input(), op.weight()] {
+            let loaded = schedule
+                .mem_ops()
+                .iter()
+                .any(|m| m.kind == MemOpKind::Load && m.tile == tile && m.end <= start);
+            if !loaded {
+                return Err(ValidationError::OperandNotLoaded { op: op.id(), tile });
             }
         }
     }
@@ -186,15 +222,11 @@ pub fn validate_schedule(dfg: &Dfg, schedule: &Schedule) -> Result<(), Validatio
         .unwrap_or(0);
     // On-chip compaction occupies the DMA channel without appearing
     // as a memory operation, so the recorded latency may exceed the
-    // last operation's end — but never undercut it.
-    let undercut = schedule.latency() < actual;
-    let slack_without_compaction =
-        schedule.compaction_cycles() == 0 && schedule.latency() != actual;
-    if undercut || slack_without_compaction {
-        return Err(ValidationError::LatencyMismatch {
-            recorded: schedule.latency(),
-            actual,
-        });
+    // last operation's end — but never undercut it, and never by more
+    // than the total compaction cycles.
+    let recorded = schedule.latency();
+    if recorded < actual || recorded - actual > schedule.compaction_cycles() {
+        return Err(ValidationError::LatencyMismatch { recorded, actual });
     }
 
     // 7. Full output volume stored.
@@ -230,8 +262,9 @@ mod tests {
         (dfg, model, arch)
     }
 
-    /// Hand-schedules the 2-op chain legally.
-    fn legal_schedule(dfg: &Dfg, model: &SystolicModel) -> Schedule {
+    /// Hand-schedules the 2-op chain: all loads, then computes, with
+    /// the final store only when `store` is true.
+    fn hand_schedule(dfg: &Dfg, model: &SystolicModel, store: bool) -> Schedule {
         let mut b = ScheduleBuilder::new(2);
         let mut clock = 0;
         for op in dfg.ops() {
@@ -241,30 +274,39 @@ mod tests {
                     TileId::Input { .. } => TrafficClass::Input,
                     _ => TrafficClass::Weight,
                 };
-                let (_, end) = b.record_mem_op(
-                    MemOpKind::Load,
-                    class,
-                    tile,
-                    bytes,
-                    model.dma_cycles(bytes),
-                    Some(op.id()),
-                );
+                let (_, end) = b
+                    .record_mem_op(
+                        MemOpKind::Load,
+                        class,
+                        tile,
+                        bytes,
+                        model.dma_cycles(bytes),
+                        Some(op.id()),
+                    )
+                    .unwrap();
                 clock = clock.max(end);
             }
-            let (_, end) = b.record_compute(op.id(), 0, clock, op.latency());
+            let (_, end) = b.record_compute(op.id(), 0, clock, op.latency()).unwrap();
             clock = end;
         }
-        let out = TileId::Output { k: 0, s: 0 };
-        let bytes = dfg.tile_bytes(out);
-        b.record_mem_op(
-            MemOpKind::Store,
-            TrafficClass::Output,
-            out,
-            bytes,
-            model.dma_cycles(bytes),
-            None,
-        );
+        if store {
+            let out = TileId::Output { k: 0, s: 0 };
+            let bytes = dfg.tile_bytes(out);
+            b.record_mem_op(
+                MemOpKind::Store,
+                TrafficClass::Output,
+                out,
+                bytes,
+                model.dma_cycles(bytes),
+                None,
+            )
+            .unwrap();
+        }
         b.finish()
+    }
+
+    fn legal_schedule(dfg: &Dfg, model: &SystolicModel) -> Schedule {
+        hand_schedule(dfg, model, true)
     }
 
     #[test]
@@ -278,7 +320,7 @@ mod tests {
     fn missing_op_detected() {
         let (dfg, model, _) = tiny_dfg();
         let mut b = ScheduleBuilder::new(1);
-        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
+        b.record_compute(dfg.ops()[0].id(), 0, 0, 10).unwrap();
         let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
         assert!(matches!(err, ValidationError::OpCount { times: 0, .. }), "{err}");
         let _ = model;
@@ -290,8 +332,8 @@ mod tests {
         let mut b = ScheduleBuilder::new(2);
         // Schedule dependent op at time 0 on core 1 while the pred
         // runs 0..10 on core 0.
-        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
-        b.record_compute(dfg.ops()[1].id(), 1, 0, 10);
+        b.record_compute(dfg.ops()[0].id(), 0, 0, 10).unwrap();
+        b.record_compute(dfg.ops()[1].id(), 1, 0, 10).unwrap();
         let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
         assert!(matches!(err, ValidationError::DependencyViolated { .. }), "{err}");
     }
@@ -300,20 +342,19 @@ mod tests {
     fn duplicate_op_detected() {
         let (dfg, _, _) = tiny_dfg();
         let mut b = ScheduleBuilder::new(1);
-        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
-        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
-        b.record_compute(dfg.ops()[1].id(), 0, 0, 10);
+        b.record_compute(dfg.ops()[0].id(), 0, 0, 10).unwrap();
+        b.record_compute(dfg.ops()[0].id(), 0, 0, 10).unwrap();
+        b.record_compute(dfg.ops()[1].id(), 0, 0, 10).unwrap();
         let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
         assert!(matches!(err, ValidationError::OpCount { times: 2, .. }), "{err}");
     }
 
     #[test]
     fn missing_output_store_detected() {
-        let (dfg, _, _) = tiny_dfg();
-        let mut b = ScheduleBuilder::new(1);
-        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
-        b.record_compute(dfg.ops()[1].id(), 0, 10, 10);
-        let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
+        let (dfg, model, _) = tiny_dfg();
+        // Fully legal except the final store is dropped.
+        let sched = hand_schedule(&dfg, &model, false);
+        let err = validate_schedule(&dfg, &sched).unwrap_err();
         assert!(matches!(err, ValidationError::MissingOutput { .. }), "{err}");
     }
 
@@ -322,8 +363,8 @@ mod tests {
         let (dfg, model, _) = tiny_dfg();
         let mut b = ScheduleBuilder::new(1);
         // Compute first, then its load — illegal.
-        b.record_compute(dfg.ops()[0].id(), 0, 0, 10);
-        b.record_compute(dfg.ops()[1].id(), 0, 10, 10);
+        b.record_compute(dfg.ops()[0].id(), 0, 0, 10).unwrap();
+        b.record_compute(dfg.ops()[1].id(), 0, 10, 10).unwrap();
         let out = TileId::Output { k: 0, s: 0 };
         b.record_mem_op(
             MemOpKind::Store,
@@ -332,7 +373,8 @@ mod tests {
             dfg.tile_bytes(out),
             model.dma_cycles(dfg.tile_bytes(out)),
             None,
-        );
+        )
+        .unwrap();
         b.record_mem_op(
             MemOpKind::Load,
             TrafficClass::Input,
@@ -340,8 +382,114 @@ mod tests {
             8,
             10,
             Some(dfg.ops()[0].id()),
-        );
+        )
+        .unwrap();
         let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
         assert!(matches!(err, ValidationError::LoadAfterUse { .. }), "{err}");
+    }
+
+    /// Regression for the `for_op` under-attribution bug: a tile
+    /// shared by two operations is loaded once and tagged for only
+    /// one of them, so the tagged check (5a) is blind to the other
+    /// consumer starting before the load completes.
+    #[test]
+    fn shared_operand_untagged_consumer_detected() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let layer = ConvLayer::new("v", 8, 8, 8, 8).unwrap();
+        let model = SystolicModel::new(&arch);
+        // Split along K: two independent ops consuming the same input
+        // tile with distinct weights and outputs.
+        let factors = TilingFactors::normalized(&layer, 2, 1, 1, 1);
+        let dfg = Dfg::build(&layer, factors, Dataflow::Kcs, &model, &arch).unwrap();
+        let (op0, op1) = (&dfg.ops()[0], &dfg.ops()[1]);
+        assert_eq!(op0.input(), op1.input(), "ops must share the input tile");
+
+        let mut b = ScheduleBuilder::new(2);
+        // Both weights first, then the shared input tagged for op0.
+        let (_, w0_end) = b
+            .record_mem_op(MemOpKind::Load, TrafficClass::Weight, op0.weight(), 8, 10, Some(op0.id()))
+            .unwrap();
+        let (_, w1_end) = b
+            .record_mem_op(MemOpKind::Load, TrafficClass::Weight, op1.weight(), 8, 10, Some(op1.id()))
+            .unwrap();
+        let (_, in_end) = b
+            .record_mem_op(MemOpKind::Load, TrafficClass::Input, op0.input(), 8, 10, Some(op0.id()))
+            .unwrap();
+        // op1 starts before the shared input finishes loading; op0
+        // waits for it, so the tagged check alone stays green.
+        let (op1_start, _) = b.record_compute(op1.id(), 1, w1_end, 10).unwrap();
+        assert!(op1_start < in_end);
+        b.record_compute(op0.id(), 0, in_end, 10).unwrap();
+        let _ = w0_end;
+        for op in [op0, op1] {
+            let out = op.output();
+            let bytes = dfg.tile_bytes(out);
+            b.record_mem_op(
+                MemOpKind::Store,
+                TrafficClass::Output,
+                out,
+                bytes,
+                model.dma_cycles(bytes),
+                None,
+            )
+            .unwrap();
+        }
+        let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
+        assert!(
+            matches!(err, ValidationError::OperandNotLoaded { op, .. } if op == op1.id()),
+            "{err}"
+        );
+    }
+
+    /// Regression for the unbounded-slack bug: with any compaction at
+    /// all, the old check accepted an arbitrarily inflated latency.
+    #[test]
+    fn latency_slack_bounded_by_compaction() {
+        let (dfg, model, _) = tiny_dfg();
+        // Legal schedule plus compaction: slack within the compaction
+        // cycles passes ...
+        let mut b = ScheduleBuilder::new(2);
+        let sched = {
+            let mut clock = 0;
+            for op in dfg.ops() {
+                for tile in [op.input(), op.weight()] {
+                    let bytes = dfg.tile_bytes(tile);
+                    let class = match tile {
+                        TileId::Input { .. } => TrafficClass::Input,
+                        _ => TrafficClass::Weight,
+                    };
+                    let (_, end) = b
+                        .record_mem_op(MemOpKind::Load, class, tile, bytes, model.dma_cycles(bytes), Some(op.id()))
+                        .unwrap();
+                    clock = clock.max(end);
+                }
+                let (_, end) = b.record_compute(op.id(), 0, clock, op.latency()).unwrap();
+                clock = end;
+            }
+            let out = TileId::Output { k: 0, s: 0 };
+            let bytes = dfg.tile_bytes(out);
+            b.record_mem_op(
+                MemOpKind::Store,
+                TrafficClass::Output,
+                out,
+                bytes,
+                model.dma_cycles(bytes),
+                None,
+            )
+            .unwrap();
+            // Trailing compaction extends the horizon past the last
+            // mem op by exactly its own cycles — legal.
+            b.record_compaction(64, 7).unwrap();
+            b.finish()
+        };
+        assert_eq!(sched.compaction_cycles(), 7);
+        validate_schedule(&dfg, &sched).unwrap();
+
+        // ... but slack beyond the compaction cycles is rejected. The
+        // old check accepted ANY slack once compaction_cycles > 0.
+        let mut inflated = sched;
+        inflated.set_latency_for_test(inflated.latency() + 8);
+        let err = validate_schedule(&dfg, &inflated).unwrap_err();
+        assert!(matches!(err, ValidationError::LatencyMismatch { .. }), "{err}");
     }
 }
