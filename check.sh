@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Repo gate: release build, full test suite, lint-clean at -D warnings.
+# Repo gate: formatted, release build, full test suite, lint-clean at
+# -D warnings, differential verification, pruning benchmark.
 set -euo pipefail
 cd "$(dirname "$0")"
+cargo fmt --all --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
@@ -9,4 +11,7 @@ cargo clippy --workspace -- -D warnings
 # sweep executing every winning schedule on the SPM abstract machine.
 cargo test -q -p flexer-sim -p flexer-sched
 ./target/release/verify
+# Branch-and-bound gate: pruned and exhaustive searches must agree
+# (asserted inside bench_json) while the pruned one is faster.
+FLEXER_BENCH_ITERS="${FLEXER_BENCH_ITERS:-3}" ./target/release/bench_json
 echo "check.sh: all green"

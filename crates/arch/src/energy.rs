@@ -44,7 +44,10 @@ impl EnergyModel {
     #[must_use]
     pub fn new(dram_pj_per_byte: f64, spm_pj_per_byte: f64, mac_pj: f64) -> Self {
         for v in [dram_pj_per_byte, spm_pj_per_byte, mac_pj] {
-            assert!(v.is_finite() && v >= 0.0, "energy costs must be non-negative");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "energy costs must be non-negative"
+            );
         }
         Self {
             dram_pj_per_byte,

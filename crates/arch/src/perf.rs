@@ -67,6 +67,40 @@ pub trait PerfModel: Send + Sync {
     /// Latency, in cycles, of moving `bytes` between DRAM and the
     /// on-chip buffer (either direction).
     fn dma_cycles(&self, bytes: u64) -> u64;
+
+    /// Admissible lower bound on the makespan of a set of compute
+    /// operations packed onto `cores` identical cores.
+    ///
+    /// `total_cycles` is the summed latency of every operation,
+    /// `max_op_cycles` the longest single operation and
+    /// `chain_cycles` the longest dependency chain. Any legal schedule
+    /// needs at least `ceil(total / cores)` cycles of aggregate core
+    /// time, runs its longest operation without preemption and
+    /// serializes its longest chain, so the maximum of the three never
+    /// exceeds the true makespan.
+    fn packed_compute_cycles(
+        &self,
+        total_cycles: u64,
+        max_op_cycles: u64,
+        chain_cycles: u64,
+        cores: u32,
+    ) -> u64 {
+        let cores = u64::from(cores.max(1));
+        total_cycles
+            .div_ceil(cores)
+            .max(max_op_cycles)
+            .max(chain_cycles)
+    }
+
+    /// Admissible lower bound on the busy time of the single shared
+    /// DMA channel for one compulsory transfer per entry of
+    /// `transfer_bytes`: transfers never overlap on the channel, so
+    /// their individual latencies add up.
+    fn serial_dma_cycles(&self, transfer_bytes: &[u64]) -> u64 {
+        transfer_bytes
+            .iter()
+            .fold(0u64, |acc, &b| acc.saturating_add(self.dma_cycles(b)))
+    }
 }
 
 /// Performance model of a weight-stationary systolic PE array, matching
@@ -222,5 +256,28 @@ mod tests {
     #[test]
     fn macs_helper() {
         assert_eq!(dims(2, 3, 4, 5, 6, 7).macs(), 2 * 3 * 4 * 5 * 6 * 7);
+    }
+
+    #[test]
+    fn packed_compute_bound_takes_the_binding_term() {
+        let m = model();
+        // Aggregate-work bound: 100 cycles over 4 cores.
+        assert_eq!(m.packed_compute_cycles(100, 10, 10, 4), 25);
+        // Longest-op bound dominates.
+        assert_eq!(m.packed_compute_cycles(100, 60, 10, 4), 60);
+        // Chain bound dominates.
+        assert_eq!(m.packed_compute_cycles(100, 10, 90, 4), 90);
+        // Rounds up and tolerates a zero core count.
+        assert_eq!(m.packed_compute_cycles(101, 0, 0, 4), 26);
+        assert_eq!(m.packed_compute_cycles(7, 0, 0, 0), 7);
+    }
+
+    #[test]
+    fn serial_dma_bound_sums_per_transfer_latencies() {
+        let m = model();
+        // Each transfer pays the fixed DRAM latency; zero-byte entries
+        // cost nothing.
+        assert_eq!(m.serial_dma_cycles(&[32, 32, 0]), m.dma_cycles(32) * 2);
+        assert_eq!(m.serial_dma_cycles(&[]), 0);
     }
 }

@@ -2,20 +2,22 @@
 //! monotone and consistent so the schedulers' comparisons are
 //! meaningful.
 
-use flexer_arch::{ArchConfig, ArchConfigBuilder, ArchPreset, ConvTileDims, PerfModel, SystolicModel};
+use flexer_arch::{
+    ArchConfig, ArchConfigBuilder, ArchPreset, ConvTileDims, PerfModel, SystolicModel,
+};
 use proptest::prelude::*;
 
 fn dims_strategy() -> impl Strategy<Value = ConvTileDims> {
-    (1u32..256, 1u32..256, 1u32..32, 1u32..32, 1u32..8, 1u32..8).prop_map(
-        |(k, c, h, w, r, s)| ConvTileDims {
+    (1u32..256, 1u32..256, 1u32..32, 1u32..32, 1u32..8, 1u32..8).prop_map(|(k, c, h, w, r, s)| {
+        ConvTileDims {
             out_channels: k,
             in_channels: c,
             out_height: h,
             out_width: w,
             kernel_h: r,
             kernel_w: s,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

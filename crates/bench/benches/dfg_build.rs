@@ -18,9 +18,7 @@ fn bench_dfg_build(c: &mut Criterion) {
     ] {
         let factors = TilingFactors::normalized(&layer, k, ch, h, w);
         group.bench_with_input(BenchmarkId::from_parameter(tag), &factors, |b, &f| {
-            b.iter(|| {
-                Dfg::build(black_box(&layer), f, Dataflow::Csk, &model, &arch).unwrap()
-            })
+            b.iter(|| Dfg::build(black_box(&layer), f, Dataflow::Csk, &model, &arch).unwrap())
         });
     }
     group.finish();

@@ -1,12 +1,19 @@
-//! Machine-readable micro-benchmark: times the Algorithm-1 layer
-//! search under the default transactional SPM planning and under the
-//! clone-per-candidate baseline, in the same process, and writes the
-//! medians to `BENCH_PR1.json`.
+//! Machine-readable micro-benchmarks.
 //!
-//! Schema: a JSON array of `{bench, arch, median_ns, evaluated}`
-//! objects. Output path defaults to `BENCH_PR1.json` in the current
-//! directory; override with `FLEXER_BENCH_OUT`. `FLEXER_BENCH_ITERS`
-//! sets the sample count (default 7, median reported).
+//! Two suites, one JSON file each:
+//!
+//! * `BENCH_PR1.json` — the Algorithm-1 layer search under the default
+//!   transactional SPM planning versus the clone-per-candidate
+//!   baseline. Rows: `{bench, arch, median_ns, evaluated}`.
+//! * `BENCH_PR3.json` — the branch-and-bound network search versus the
+//!   exhaustive baseline, on both reference presets. Rows:
+//!   `{bench, arch, median_ns, evaluated, candidates_pruned,
+//!   early_exits}`.
+//!
+//! Output paths default to the names above in the current directory;
+//! override with `FLEXER_BENCH_OUT` / `FLEXER_BENCH_OUT_PR3`.
+//! `FLEXER_BENCH_ITERS` sets the sample count (default 7, median
+//! reported).
 
 use flexer::prelude::*;
 use std::time::Instant;
@@ -23,19 +30,113 @@ fn median_ns(samples: &mut [u128]) -> u128 {
     samples[samples.len() / 2]
 }
 
-fn time_search(layer: &ConvLayer, arch: &ArchConfig, opts: &SearchOptions, iters: usize) -> (u128, usize) {
+fn time_search(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    iters: usize,
+) -> (u128, usize) {
     // Warm-up run, then `iters` timed samples.
     let warm = flexer::sched::search_layer(layer, arch, opts).expect("benchmark layer schedules");
     let evaluated = warm.evaluated;
     let mut samples: Vec<u128> = (0..iters)
         .map(|_| {
             let t = Instant::now();
-            let r = flexer::sched::search_layer(layer, arch, opts).expect("benchmark layer schedules");
+            let r =
+                flexer::sched::search_layer(layer, arch, opts).expect("benchmark layer schedules");
             assert_eq!(r.evaluated, evaluated);
             t.elapsed().as_nanos()
         })
         .collect();
     (median_ns(&mut samples), evaluated)
+}
+
+/// One row of the PR 3 suite: a timed network search plus the pruning
+/// counters summed over its layers.
+struct PruneRow {
+    bench: &'static str,
+    arch: String,
+    median_ns: u128,
+    evaluated: usize,
+    candidates_pruned: u64,
+    early_exits: u64,
+}
+
+fn time_network_search(
+    net: &Network,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    iters: usize,
+) -> (u128, Vec<flexer::sched::LayerSearchResult>) {
+    // Warm-up run, then `iters` timed samples.
+    let warm =
+        flexer::sched::search_network(net.layers(), arch, opts).expect("benchmark net schedules");
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            let r = flexer::sched::search_network(net.layers(), arch, opts)
+                .expect("benchmark net schedules");
+            let ns = t.elapsed().as_nanos();
+            assert_eq!(r.len(), warm.len());
+            ns
+        })
+        .collect();
+    (median_ns(&mut samples), warm)
+}
+
+/// Benchmarks the branch-and-bound network search against the
+/// exhaustive baseline and writes `BENCH_PR3.json`. Returns the rows
+/// for the console summary.
+fn bench_search_prune(iters: usize) -> Vec<PruneRow> {
+    let net = scale_spatial(&networks::by_name("squeezenet").expect("known net"), 4);
+    let mut rows = Vec::new();
+    for preset in [ArchPreset::Arch1, ArchPreset::Arch5] {
+        let arch = ArchConfig::preset(preset);
+        let mut pruned_opts = SearchOptions::quick();
+        pruned_opts.threads = 1;
+        pruned_opts.prune = true;
+        let mut full_opts = pruned_opts.clone();
+        full_opts.prune = false;
+
+        let (pruned_ns, pruned) = time_network_search(&net, &arch, &pruned_opts, iters);
+        let (full_ns, full) = time_network_search(&net, &arch, &full_opts, iters);
+
+        // Exactness check: identical winners, candidate for candidate.
+        for (p, f) in pruned.iter().zip(full.iter()) {
+            assert_eq!(p.factors, f.factors, "{}: tiling differs", p.layer);
+            assert_eq!(p.dataflow, f.dataflow, "{}: dataflow differs", p.layer);
+            assert!(
+                (p.score - f.score).abs() < 1e-9,
+                "{}: score differs",
+                p.layer
+            );
+        }
+
+        let mut stats = SearchStats::default();
+        let mut evaluated = 0;
+        for r in &pruned {
+            stats.merge(&r.stats);
+            evaluated += r.evaluated;
+        }
+        let full_evaluated: usize = full.iter().map(|r| r.evaluated).sum();
+        rows.push(PruneRow {
+            bench: "search_prune",
+            arch: preset.to_string(),
+            median_ns: pruned_ns,
+            evaluated,
+            candidates_pruned: stats.candidates_pruned,
+            early_exits: stats.early_exits,
+        });
+        rows.push(PruneRow {
+            bench: "search_exhaustive",
+            arch: preset.to_string(),
+            median_ns: full_ns,
+            evaluated: full_evaluated,
+            candidates_pruned: 0,
+            early_exits: 0,
+        });
+    }
+    rows
 }
 
 fn main() {
@@ -97,4 +198,40 @@ fn main() {
     println!("layer_search (transactional): {tx_ns} ns median, {tx_eval} pairs");
     println!("layer_search (clone baseline): {clone_ns} ns median");
     println!("speedup over clone-per-candidate: {ratio:.2}x");
+
+    // --- PR 3: branch-and-bound network search vs exhaustive ---
+    let out3 =
+        std::env::var("FLEXER_BENCH_OUT_PR3").unwrap_or_else(|_| "BENCH_PR3.json".to_owned());
+    let prune_rows = bench_search_prune(iters);
+    let mut json = String::from("[\n");
+    for (i, r) in prune_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"arch\": \"{}\", \"median_ns\": {}, \"evaluated\": {}, \
+             \"candidates_pruned\": {}, \"early_exits\": {}}}{}\n",
+            r.bench,
+            r.arch,
+            r.median_ns,
+            r.evaluated,
+            r.candidates_pruned,
+            r.early_exits,
+            if i + 1 < prune_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out3, &json).expect("write benchmark output");
+    println!("wrote {out3}");
+    for pair in prune_rows.chunks(2) {
+        let [p, f] = pair else {
+            unreachable!("rows come in pruned/exhaustive pairs")
+        };
+        println!(
+            "search_prune {}: {} ns vs exhaustive {} ns ({:.2}x), {} skipped, {} cut mid-run",
+            p.arch,
+            p.median_ns,
+            f.median_ns,
+            f.median_ns as f64 / p.median_ns as f64,
+            p.candidates_pruned,
+            p.early_exits
+        );
+    }
 }

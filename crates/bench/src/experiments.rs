@@ -7,10 +7,19 @@ use flexer::sched::sweep_tilings;
 /// **Table 1** — the eight hardware configurations.
 pub fn table1() {
     println!("# Table 1 — hardware configurations used in the evaluation");
-    println!("{:<8} {:>8} {:>22} {:>18}", "arch", "cores", "on-chip memory (KiB)", "bandwidth (B/cyc)");
+    println!(
+        "{:<8} {:>8} {:>22} {:>18}",
+        "arch", "cores", "on-chip memory (KiB)", "bandwidth (B/cyc)"
+    );
     for preset in ArchPreset::all() {
         let (cores, kib, bpc) = preset.parameters();
-        println!("{:<8} {:>8} {:>22} {:>18}", preset.to_string(), cores, kib, bpc);
+        println!(
+            "{:<8} {:>8} {:>22} {:>18}",
+            preset.to_string(),
+            cores,
+            kib,
+            bpc
+        );
     }
 }
 
@@ -27,7 +36,10 @@ pub fn fig01(ctx: &ExperimentContext) {
     let vgg = ctx.network("vgg16");
     let resnet = ctx.network("resnet50");
     let cases = [
-        ("resnet50/conv3_1_1", resnet.layer_by_name("conv3_1_1").unwrap()),
+        (
+            "resnet50/conv3_1_1",
+            resnet.layer_by_name("conv3_1_1").unwrap(),
+        ),
         ("vgg16/conv4_2", vgg.layer_by_name("conv4_2").unwrap()),
     ];
     let arch = ArchConfig::preset(ArchPreset::Arch1);
@@ -134,9 +146,17 @@ pub fn fig09(ctx: &ExperimentContext) {
     println!("\n## (a) per-layer, default metric (latency x transfer)");
     println!("{:<10} {:>9} {:>10}", "layer", "speedup", "xfer_red");
     for lc in cmp.per_layer() {
-        println!("{:<10} {:>9.3} {:>10.3}", lc.layer, lc.speedup(), lc.transfer_reduction());
+        println!(
+            "{:<10} {:>9.3} {:>10.3}",
+            lc.layer,
+            lc.speedup(),
+            lc.transfer_reduction()
+        );
     }
-    let best_speedup = cmp.per_layer().map(|l| l.speedup()).fold(f64::MIN, f64::max);
+    let best_speedup = cmp
+        .per_layer()
+        .map(|l| l.speedup())
+        .fold(f64::MIN, f64::max);
     let best_red = cmp
         .per_layer()
         .map(|l| l.transfer_reduction())
@@ -170,21 +190,24 @@ pub fn fig09(ctx: &ExperimentContext) {
 
     // (c) End-to-end with the pure minimal-transfer metric.
     println!("\n## (c) end-to-end: default vs minimal-data-transfer policy");
-    let min_transfer = Flexer::new(ArchConfig::preset(ArchPreset::Arch5)).with_options(
-        SearchOptions {
+    let min_transfer =
+        Flexer::new(ArchConfig::preset(ArchPreset::Arch5)).with_options(SearchOptions {
             metric: Metric::Transfer,
             ..ctx.options.clone()
-        },
-    );
+        });
     let cmp_min = min_transfer.compare_network(&net).expect("vgg16 schedules");
     println!("{:<22} {:>9} {:>10}", "policy", "speedup", "xfer_red");
     println!(
         "{:<22} {:>9.3} {:>10.3}",
-        "default", cmp.speedup(), cmp.transfer_reduction()
+        "default",
+        cmp.speedup(),
+        cmp.transfer_reduction()
     );
     println!(
         "{:<22} {:>9.3} {:>10.3}",
-        "min-transfer", cmp_min.speedup(), cmp_min.transfer_reduction()
+        "min-transfer",
+        cmp_min.speedup(),
+        cmp_min.transfer_reduction()
     );
 }
 
@@ -203,7 +226,10 @@ pub fn fig10(ctx: &ExperimentContext) {
     let resnet = ctx.network("resnet50");
     let cases = [
         ("vgg16/conv4_2", vgg.layer_by_name("conv4_2").unwrap()),
-        ("resnet50/conv3_1_1", resnet.layer_by_name("conv3_1_1").unwrap()),
+        (
+            "resnet50/conv3_1_1",
+            resnet.layer_by_name("conv3_1_1").unwrap(),
+        ),
     ];
     let driver = ctx.driver(ArchPreset::Arch6);
     for (name, layer) in cases {
@@ -256,7 +282,10 @@ pub fn fig11(ctx: &ExperimentContext) {
     let cases = [
         ("vgg16/conv3_1", vgg.layer_by_name("conv3_1").unwrap()),
         ("vgg16/conv4_2", vgg.layer_by_name("conv4_2").unwrap()),
-        ("resnet50/conv3_1_1", resnet.layer_by_name("conv3_1_1").unwrap()),
+        (
+            "resnet50/conv3_1_1",
+            resnet.layer_by_name("conv3_1_1").unwrap(),
+        ),
     ];
     let report = |tag: &str, s: &flexer::sim::Schedule| {
         let sr = s.spatial_reuse();
@@ -325,11 +354,31 @@ pub fn fig12(ctx: &ExperimentContext) {
         ctx.budget_name
     );
     let variants: [(&str, PriorityPolicy, SpillPolicyChoice); 5] = [
-        ("default", PriorityPolicy::FlexerDefault, SpillPolicyChoice::Flexer),
-        ("priority1", PriorityPolicy::MinTransfer, SpillPolicyChoice::Flexer),
-        ("priority2", PriorityPolicy::MinSpill, SpillPolicyChoice::Flexer),
-        ("mempolicy1", PriorityPolicy::FlexerDefault, SpillPolicyChoice::FirstFit),
-        ("mempolicy2", PriorityPolicy::FlexerDefault, SpillPolicyChoice::SmallestFirst),
+        (
+            "default",
+            PriorityPolicy::FlexerDefault,
+            SpillPolicyChoice::Flexer,
+        ),
+        (
+            "priority1",
+            PriorityPolicy::MinTransfer,
+            SpillPolicyChoice::Flexer,
+        ),
+        (
+            "priority2",
+            PriorityPolicy::MinSpill,
+            SpillPolicyChoice::Flexer,
+        ),
+        (
+            "mempolicy1",
+            PriorityPolicy::FlexerDefault,
+            SpillPolicyChoice::FirstFit,
+        ),
+        (
+            "mempolicy2",
+            PriorityPolicy::FlexerDefault,
+            SpillPolicyChoice::SmallestFirst,
+        ),
     ];
     // Full-size layers with real buffer pressure, one batch per
     // network the paper plots.
@@ -366,7 +415,12 @@ pub fn fig12(ctx: &ExperimentContext) {
                 scores.push(r.schedule.latency() as f64 * r.schedule.transfer_bytes() as f64);
             }
             let base = scores[0];
-            print!("{:<12} {:<16} {:<7}", net_name, layer_name, preset.to_string());
+            print!(
+                "{:<12} {:<16} {:<7}",
+                net_name,
+                layer_name,
+                preset.to_string()
+            );
             for (i, s) in scores.iter().enumerate() {
                 print!(" {:>9.3}", s / base);
                 per_variant[i].push(s / base);
@@ -408,8 +462,8 @@ pub fn verify(ctx: &ExperimentContext) {
                 .verify_network(&net)
                 .unwrap_or_else(|e| panic!("{}/{preset}: {e}", net.name()));
             assert!(cmp.flexer().verified() && cmp.baseline().verified());
-            let verify_nanos = cmp.flexer().total_stats().verify_nanos
-                + cmp.baseline().total_stats().verify_nanos;
+            let verify_nanos =
+                cmp.flexer().total_stats().verify_nanos + cmp.baseline().total_stats().verify_nanos;
             println!(
                 "{:<12} {:<7} {:>7} {:>14} {:>14} {:>12.2}",
                 net.name(),
@@ -422,4 +476,69 @@ pub fn verify(ctx: &ExperimentContext) {
         }
     }
     println!("\nall winning schedules passed differential verification");
+}
+
+/// **Search pruning** — the exact branch-and-bound search (admissible
+/// per-candidate lower bounds, a shared per-layer incumbent and the
+/// mid-run cutoff) against the exhaustive baseline, on the smallest
+/// and the mid-size preset. Both runs are serial so the wall-clock
+/// ratio isolates the pruning itself.
+///
+/// # Panics
+///
+/// Panics if a search fails or a pruned winner differs from the
+/// exhaustive one — exactness is the contract (DESIGN.md §10).
+pub fn search_prune(ctx: &ExperimentContext) {
+    ctx.print_header(
+        "Search pruning",
+        "branch-and-bound vs exhaustive search, identical winners",
+    );
+    let net = ctx.network("squeezenet");
+    println!(
+        "\n{:<7} {:>10} {:>12} {:>8} {:>9} {:>9} {:>9}",
+        "arch", "pruned_ms", "exhaust_ms", "speedup", "bounded", "skipped", "cut"
+    );
+    for preset in [ArchPreset::Arch1, ArchPreset::Arch5] {
+        let arch = ArchConfig::preset(preset);
+        let mut pruned_opts = ctx.options.clone();
+        pruned_opts.threads = 1;
+        pruned_opts.prune = true;
+        let mut full_opts = pruned_opts.clone();
+        full_opts.prune = false;
+
+        let t = std::time::Instant::now();
+        let pruned = flexer::sched::search_network(net.layers(), &arch, &pruned_opts)
+            .expect("pruned search succeeds");
+        let pruned_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = std::time::Instant::now();
+        let full = flexer::sched::search_network(net.layers(), &arch, &full_opts)
+            .expect("exhaustive search succeeds");
+        let full_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        for (p, f) in pruned.iter().zip(full.iter()) {
+            assert_eq!(p.factors, f.factors, "{}: tiling differs", p.layer);
+            assert_eq!(p.dataflow, f.dataflow, "{}: dataflow differs", p.layer);
+            assert!(
+                (p.score - f.score).abs() < 1e-9,
+                "{}: score differs",
+                p.layer
+            );
+        }
+
+        let mut stats = SearchStats::default();
+        for r in &pruned {
+            stats.merge(&r.stats);
+        }
+        println!(
+            "{:<7} {:>10.1} {:>12.1} {:>8.2} {:>9} {:>9} {:>9}",
+            preset.to_string(),
+            pruned_ms,
+            full_ms,
+            full_ms / pruned_ms,
+            stats.candidates_bounded,
+            stats.candidates_pruned,
+            stats.early_exits
+        );
+    }
+    println!("\nall pruned winners matched the exhaustive search");
 }

@@ -183,7 +183,7 @@ impl fmt::Display for Flexer {
 mod tests {
     use super::*;
     use flexer_arch::ArchPreset;
-    use flexer_model::{Network, networks, scale_spatial};
+    use flexer_model::{networks, scale_spatial, Network};
 
     fn driver() -> Flexer {
         Flexer::new(ArchConfig::preset(ArchPreset::Arch1)).with_options(SearchOptions::quick())
@@ -259,11 +259,7 @@ mod tests {
         let d = driver();
         // Heavily scaled SqueezeNet slice: first four layers.
         let scaled = scale_spatial(&networks::squeezenet(), 8);
-        let slice = Network::new(
-            "squeeze-slice",
-            scaled.layers()[..4].to_vec(),
-        )
-        .unwrap();
+        let slice = Network::new("squeeze-slice", scaled.layers()[..4].to_vec()).unwrap();
         let r = d.schedule_network(&slice).unwrap();
         assert!(r.total_latency() > 0);
         assert!(r.total_transfer_bytes() > 0);

@@ -49,7 +49,10 @@ impl NetworkResult {
     /// Total transferred bytes over all layers.
     #[must_use]
     pub fn total_transfer_bytes(&self) -> u64 {
-        self.layers.iter().map(|l| l.schedule.transfer_bytes()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.schedule.transfer_bytes())
+            .sum()
     }
 
     /// Total transferred bytes of one traffic class over all layers.
@@ -244,9 +247,20 @@ impl NetworkComparison {
             self.baseline.total_transfer_bytes(),
             self.transfer_reduction()
         );
-        let _ = writeln!(out, "search effort (flexer): {}", self.flexer.total_stats());
+        let stats = self.flexer.total_stats();
+        let _ = writeln!(out, "search effort (flexer): {}", stats);
+        if stats.candidates_bounded > 0 {
+            let _ = writeln!(
+                out,
+                "pruning (flexer): {} candidates bounded, {} skipped by bound, {} cut mid-run",
+                stats.candidates_bounded, stats.candidates_pruned, stats.early_exits
+            );
+        }
         if self.flexer.verified() && self.baseline.verified() {
-            let _ = writeln!(out, "legality: every schedule passed differential verification");
+            let _ = writeln!(
+                out,
+                "legality: every schedule passed differential verification"
+            );
         }
         out
     }

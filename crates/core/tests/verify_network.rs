@@ -23,14 +23,17 @@ fn slices() -> Vec<Network> {
 #[test]
 fn every_network_verifies_on_both_presets() {
     for preset in [ArchPreset::Arch1, ArchPreset::Arch5] {
-        let driver =
-            Flexer::new(ArchConfig::preset(preset)).with_options(SearchOptions::quick());
+        let driver = Flexer::new(ArchConfig::preset(preset)).with_options(SearchOptions::quick());
         for net in slices() {
             let cmp = driver
                 .verify_network(&net)
                 .unwrap_or_else(|e| panic!("{preset:?}/{}: {e}", net.name()));
             assert!(cmp.flexer().verified(), "{preset:?}/{} ooo", net.name());
-            assert!(cmp.baseline().verified(), "{preset:?}/{} static", net.name());
+            assert!(
+                cmp.baseline().verified(),
+                "{preset:?}/{} static",
+                net.name()
+            );
             assert!(cmp.speedup() > 0.0);
         }
     }

@@ -45,7 +45,9 @@ impl Network {
     pub fn new(name: impl Into<String>, layers: Vec<ConvLayer>) -> Result<Self, LayerSpecError> {
         let name = name.into();
         if layers.is_empty() {
-            return Err(LayerSpecError::new("network must contain at least one layer"));
+            return Err(LayerSpecError::new(
+                "network must contain at least one layer",
+            ));
         }
         let mut seen = std::collections::BTreeSet::new();
         for layer in &layers {

@@ -55,10 +55,34 @@ pub fn resnet50() -> Network {
     let mut layers = vec![conv("conv1".to_owned(), 3, 224, 64, 7, 2, 3)];
 
     let stages = [
-        Stage { index: 2, blocks: 3, width: 64, in_channels: 64, in_hw: 56 },
-        Stage { index: 3, blocks: 4, width: 128, in_channels: 256, in_hw: 56 },
-        Stage { index: 4, blocks: 6, width: 256, in_channels: 512, in_hw: 28 },
-        Stage { index: 5, blocks: 3, width: 512, in_channels: 1024, in_hw: 14 },
+        Stage {
+            index: 2,
+            blocks: 3,
+            width: 64,
+            in_channels: 64,
+            in_hw: 56,
+        },
+        Stage {
+            index: 3,
+            blocks: 4,
+            width: 128,
+            in_channels: 256,
+            in_hw: 56,
+        },
+        Stage {
+            index: 4,
+            blocks: 6,
+            width: 256,
+            in_channels: 512,
+            in_hw: 28,
+        },
+        Stage {
+            index: 5,
+            blocks: 3,
+            width: 512,
+            in_channels: 1024,
+            in_hw: 14,
+        },
     ];
 
     for stage in &stages {
@@ -70,14 +94,42 @@ pub fn resnet50() -> Network {
         for block in 1..=stage.blocks {
             let first = block == 1;
             let stride = if first { first_stride } else { 1 };
-            let in_c = if first { stage.in_channels } else { out_channels };
+            let in_c = if first {
+                stage.in_channels
+            } else {
+                out_channels
+            };
             let in_hw = if first { stage.in_hw } else { out_hw };
             let base = format!("conv{}_{}", stage.index, block);
             layers.push(conv(format!("{base}_1"), in_c, in_hw, stage.width, 1, 1, 0));
-            layers.push(conv(format!("{base}_2"), stage.width, in_hw, stage.width, 3, stride, 1));
-            layers.push(conv(format!("{base}_3"), stage.width, out_hw, out_channels, 1, 1, 0));
+            layers.push(conv(
+                format!("{base}_2"),
+                stage.width,
+                in_hw,
+                stage.width,
+                3,
+                stride,
+                1,
+            ));
+            layers.push(conv(
+                format!("{base}_3"),
+                stage.width,
+                out_hw,
+                out_channels,
+                1,
+                1,
+                0,
+            ));
             if first {
-                layers.push(conv(format!("{base}_ds"), in_c, in_hw, out_channels, 1, stride, 0));
+                layers.push(conv(
+                    format!("{base}_ds"),
+                    in_c,
+                    in_hw,
+                    out_channels,
+                    1,
+                    stride,
+                    0,
+                ));
             }
         }
     }
@@ -158,7 +210,11 @@ mod tests {
             let strided = l.stride() == 2;
             let expected = matches!(
                 l.name(),
-                "conv3_1_2" | "conv4_1_2" | "conv5_1_2" | "conv3_1_ds" | "conv4_1_ds"
+                "conv3_1_2"
+                    | "conv4_1_2"
+                    | "conv5_1_2"
+                    | "conv3_1_ds"
+                    | "conv4_1_ds"
                     | "conv5_1_ds"
             );
             assert_eq!(strided, expected, "layer {}", l.name());

@@ -21,8 +21,18 @@ fn conv3x3(name: String, in_c: u32, hw: u32, out_c: u32) -> ConvLayer {
 /// followed by parallel 1x1 and 3x3 expands.
 fn fire(layers: &mut Vec<ConvLayer>, index: u32, in_c: u32, hw: u32, squeeze: u32, expand: u32) {
     layers.push(conv1x1(format!("fire{index}_squeeze"), in_c, hw, squeeze));
-    layers.push(conv1x1(format!("fire{index}_expand1x1"), squeeze, hw, expand));
-    layers.push(conv3x3(format!("fire{index}_expand3x3"), squeeze, hw, expand));
+    layers.push(conv1x1(
+        format!("fire{index}_expand1x1"),
+        squeeze,
+        hw,
+        expand,
+    ));
+    layers.push(conv3x3(
+        format!("fire{index}_expand3x3"),
+        squeeze,
+        hw,
+        expand,
+    ));
 }
 
 /// Builds the 26 convolution layers of SqueezeNet v1.0 for a 224x224x3
@@ -91,9 +101,18 @@ mod tests {
     fn fire_expand_channels_concatenate() {
         let net = squeezenet();
         // fire4 expands to 128+128=256 channels, which fire5 consumes.
-        assert_eq!(net.layer_by_name("fire4_expand1x1").unwrap().out_channels(), 128);
-        assert_eq!(net.layer_by_name("fire4_expand3x3").unwrap().out_channels(), 128);
-        assert_eq!(net.layer_by_name("fire5_squeeze").unwrap().in_channels(), 256);
+        assert_eq!(
+            net.layer_by_name("fire4_expand1x1").unwrap().out_channels(),
+            128
+        );
+        assert_eq!(
+            net.layer_by_name("fire4_expand3x3").unwrap().out_channels(),
+            128
+        );
+        assert_eq!(
+            net.layer_by_name("fire5_squeeze").unwrap().in_channels(),
+            256
+        );
     }
 
     #[test]

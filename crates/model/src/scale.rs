@@ -41,8 +41,12 @@ pub fn scale_spatial(network: &Network, divisor: u32) -> Network {
             // Keep the input large enough for one kernel application and
             // at least one full stride step so strided layers remain
             // meaningful after scaling.
-            let min_h = (l.kernel_h() + l.stride()).saturating_sub(2 * l.padding()).max(1);
-            let min_w = (l.kernel_w() + l.stride()).saturating_sub(2 * l.padding()).max(1);
+            let min_h = (l.kernel_h() + l.stride())
+                .saturating_sub(2 * l.padding())
+                .max(1);
+            let min_w = (l.kernel_w() + l.stride())
+                .saturating_sub(2 * l.padding())
+                .max(1);
             let h = l.in_height().div_ceil(divisor).max(min_h);
             let w = l.in_width().div_ceil(divisor).max(min_w);
             ConvLayerBuilder::new(l.name(), l.in_channels(), h, w, l.out_channels())

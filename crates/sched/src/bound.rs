@@ -1,0 +1,193 @@
+//! Admissible lower bounds and the branch-and-bound machinery of the
+//! tiling × dataflow search.
+//!
+//! For every (layer, tiling) pair the search computes — *before*
+//! running any scheduler — a [`ScheduleBound`] that no legal schedule
+//! can beat:
+//!
+//! * **latency** ≥ max(compute envelope packed on `n` cores, serial
+//!   DMA time of the compulsory traffic). Compute can at best be
+//!   perfectly load-balanced and the single shared DMA channel must
+//!   move every compulsory tile at least once.
+//! * **transfer** ≥ compulsory bytes: each distinct input and weight
+//!   tile is loaded at least once and each output tile stored once.
+//!
+//! Both terms are dataflow-independent, so one bound covers all six
+//! dataflows of a tiling. Because every monotone [`Metric`] is
+//! non-decreasing in (latency, transfer),
+//! `metric.score(bound.latency, bound.transfer_bytes)` never exceeds
+//! the true score of any schedule of that work item — the bound is
+//! *admissible*, and pruning on it is exact (see DESIGN.md §10).
+
+use crate::metric::{decode_score, encode_score, Metric};
+use flexer_arch::{ArchConfig, PerfModel};
+use flexer_model::ConvLayer;
+use flexer_tiling::{compute_envelope, CompulsoryTiles, TilingFactors};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Admissible lower bounds on the cost of any schedule of one
+/// (layer, tiling) pair, valid for every dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleBound {
+    /// Lower bound on the schedule makespan, in cycles.
+    pub latency: u64,
+    /// Lower bound on the transferred bytes.
+    pub transfer_bytes: u64,
+}
+
+impl ScheduleBound {
+    /// Scores the bound under `metric`; by admissibility this never
+    /// exceeds the score of any real schedule of the work item.
+    #[must_use]
+    pub fn score(&self, metric: Metric) -> f64 {
+        metric.score(self.latency, self.transfer_bytes)
+    }
+}
+
+/// Computes the admissible [`ScheduleBound`] of `layer` tiled by
+/// `factors` on `arch` under `perf`.
+#[must_use]
+pub fn lower_bound(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    perf: &dyn PerfModel,
+    factors: &TilingFactors,
+) -> ScheduleBound {
+    let env = compute_envelope(layer, factors, perf);
+    let compute = perf.packed_compute_cycles(
+        env.total_cycles,
+        env.max_op_cycles,
+        env.chain_cycles,
+        arch.cores(),
+    );
+    let tiles = CompulsoryTiles::compute(layer, factors, arch.element_size().bytes());
+    let sizes: Vec<u64> = tiles.transfer_sizes().collect();
+    let dma = perf.serial_dma_cycles(&sizes);
+    ScheduleBound {
+        latency: compute.max(dma),
+        transfer_bytes: tiles.total_bytes(),
+    }
+}
+
+/// The best score found so far for one layer, shared across worker
+/// threads.
+///
+/// Scores are stored monotone-encoded (see
+/// [`crate::metric::encode_score`]) so [`Incumbent::observe`] is a
+/// single `AtomicU64::fetch_min` — lock-free and only ever decreasing.
+#[derive(Debug)]
+pub struct Incumbent(AtomicU64);
+
+impl Incumbent {
+    /// A fresh incumbent at `+inf` (nothing found yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Self(AtomicU64::new(encode_score(f64::INFINITY)))
+    }
+
+    /// Records a completed candidate's score; keeps the minimum.
+    pub fn observe(&self, score: f64) {
+        self.0.fetch_min(encode_score(score), Ordering::Relaxed);
+    }
+
+    /// The best score observed so far (`+inf` if none).
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        decode_score(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Incumbent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A pruning cutoff handed to the OoO scheduler: the layer's shared
+/// incumbent plus the metric scoring partial schedules against it.
+///
+/// Latency and transferred bytes only grow as a schedule commits steps,
+/// so for a monotone metric the running score of a partial schedule
+/// never exceeds its final score — once it *strictly* exceeds the
+/// incumbent the candidate provably cannot win (nor tie), and the run
+/// aborts with [`crate::SchedError::Pruned`]. Strictness is what keeps
+/// pruning exact: a candidate tying the incumbent is still scheduled to
+/// completion, preserving the exhaustive search's first-in-work-order
+/// tie-break.
+#[derive(Debug, Clone, Copy)]
+pub struct Cutoff<'a> {
+    incumbent: &'a Incumbent,
+    metric: Metric,
+}
+
+impl<'a> Cutoff<'a> {
+    /// Pairs a shared incumbent with the search metric.
+    #[must_use]
+    pub fn new(incumbent: &'a Incumbent, metric: Metric) -> Self {
+        Self { incumbent, metric }
+    }
+
+    /// Whether a (partial) schedule at `latency` cycles and
+    /// `transfer_bytes` bytes is already strictly worse than the
+    /// incumbent.
+    #[must_use]
+    pub fn exceeded(&self, latency: u64, transfer_bytes: u64) -> bool {
+        self.metric.score(latency, transfer_bytes) > self.incumbent.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::{ArchPreset, SystolicModel};
+    use flexer_tiling::TileKind;
+
+    fn setup() -> (ConvLayer, ArchConfig, SystolicModel) {
+        let layer = ConvLayer::new("b", 32, 14, 14, 48).unwrap();
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let perf = SystolicModel::new(&arch);
+        (layer, arch, perf)
+    }
+
+    #[test]
+    fn bound_combines_compute_and_dma_terms() {
+        let (layer, arch, perf) = setup();
+        let factors = TilingFactors::normalized(&layer, 2, 2, 2, 2);
+        let b = lower_bound(&layer, &arch, &perf, &factors);
+        assert!(b.latency > 0);
+        let tiles = CompulsoryTiles::compute(&layer, &factors, arch.element_size().bytes());
+        assert_eq!(b.transfer_bytes, tiles.total_bytes());
+        assert!(b.transfer_bytes >= tiles.kind_bytes(TileKind::Output));
+    }
+
+    #[test]
+    fn incumbent_keeps_the_minimum() {
+        let inc = Incumbent::new();
+        assert_eq!(inc.get(), f64::INFINITY);
+        inc.observe(100.0);
+        assert_eq!(inc.get(), 100.0);
+        inc.observe(250.0);
+        assert_eq!(inc.get(), 100.0);
+        inc.observe(25.0);
+        assert_eq!(inc.get(), 25.0);
+    }
+
+    #[test]
+    fn cutoff_is_strict() {
+        let inc = Incumbent::new();
+        inc.observe(Metric::Latency.score(100, 0));
+        let cutoff = Cutoff::new(&inc, Metric::Latency);
+        // Equal score ties the incumbent: NOT exceeded (strictness
+        // preserves the first-in-work-order tie-break).
+        assert!(!cutoff.exceeded(100, 0));
+        assert!(!cutoff.exceeded(99, u64::MAX));
+        assert!(cutoff.exceeded(101, 0));
+    }
+
+    #[test]
+    fn fresh_incumbent_never_cuts() {
+        let inc = Incumbent::new();
+        let cutoff = Cutoff::new(&inc, Metric::LatencyTimesTransfer);
+        assert!(!cutoff.exceeded(u64::MAX, u64::MAX));
+    }
+}

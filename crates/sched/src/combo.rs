@@ -240,7 +240,14 @@ pub fn generate_sets(
     let mut out = Vec::new();
     let mut stats = SearchStats::default();
     generate_sets_into(
-        dfg, spm, ready, set_size, options, &mut scratch, &mut out, &mut stats,
+        dfg,
+        spm,
+        ready,
+        set_size,
+        options,
+        &mut scratch,
+        &mut out,
+        &mut stats,
     );
     out
 }
@@ -267,7 +274,10 @@ pub(crate) fn generate_sets_into(
         "set size {set_size} exceeds ready count {}",
         ready.len()
     );
-    debug_assert!(ready.windows(2).all(|w| w[0] < w[1]), "ready must be sorted");
+    debug_assert!(
+        ready.windows(2).all(|w| w[0] < w[1]),
+        "ready must be sorted"
+    );
 
     // Snapshot the resident tile set in one pass over the block list:
     // every residency query below becomes a binary search instead of
@@ -334,9 +344,7 @@ pub(crate) fn generate_sets_into(
         examined += 1;
         stats.sets_generated += 1;
         scratch.set.clear();
-        scratch
-            .set
-            .extend(scratch.idx.iter().map(|&i| ranked[i].1));
+        scratch.set.extend(scratch.idx.iter().map(|&i| ranked[i].1));
         scratch.set.sort_unstable();
         if options.prune {
             scratch.tiles.clear();
@@ -657,13 +665,31 @@ mod tests {
         // Pre-fill with stale sets: the call must overwrite/truncate.
         let mut out = vec![vec![OpId::new(99)]; 40];
         let mut stats = SearchStats::default();
-        generate_sets_into(&dfg, &spm, &ready, 2, &opts, &mut scratch, &mut out, &mut stats);
+        generate_sets_into(
+            &dfg,
+            &spm,
+            &ready,
+            2,
+            &opts,
+            &mut scratch,
+            &mut out,
+            &mut stats,
+        );
         assert_eq!(out, baseline);
         // C(8,2) combinations examined; everything not kept was pruned.
         assert_eq!(stats.sets_generated, 28);
         assert_eq!(stats.sets_pruned as usize, 28 - baseline.len());
         // Reusing the same scratch reproduces the result exactly.
-        generate_sets_into(&dfg, &spm, &ready, 2, &opts, &mut scratch, &mut out, &mut stats);
+        generate_sets_into(
+            &dfg,
+            &spm,
+            &ready,
+            2,
+            &opts,
+            &mut scratch,
+            &mut out,
+            &mut stats,
+        );
         assert_eq!(out, baseline);
     }
 

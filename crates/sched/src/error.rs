@@ -35,13 +35,29 @@ pub enum SchedError {
     /// an illegal schedule or a program diverging from it (an internal
     /// bug, surfaced rather than silently reported as a result).
     IllegalSchedule(VerifyError),
+    /// A search candidate was cut off because its running score already
+    /// exceeded the incumbent — not a real failure, just a candidate
+    /// the branch-and-bound layer proved could not win.
+    Pruned,
+    /// A layer shared its search with an identical earlier layer whose
+    /// search failed; wraps the replayed error with the originating
+    /// layer's name.
+    DuplicateOf {
+        /// Name of the leader layer whose search actually failed.
+        leader: String,
+        /// The leader's error.
+        error: Box<SchedError>,
+    },
 }
 
 impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchedError::NoViableTiling { layer } => {
-                write!(f, "no viable tiling for layer {layer:?} on this architecture")
+                write!(
+                    f,
+                    "no viable tiling for layer {layer:?} on this architecture"
+                )
             }
             SchedError::Alloc(e) => write!(f, "on-chip allocation failed: {e}"),
             SchedError::Tiling(e) => write!(f, "tiling rejected: {e}"),
@@ -51,6 +67,12 @@ impl fmt::Display for SchedError {
             SchedError::Timeline(e) => write!(f, "schedule timing overflowed: {e}"),
             SchedError::IllegalSchedule(e) => {
                 write!(f, "winning schedule failed verification: {e}")
+            }
+            SchedError::Pruned => {
+                write!(f, "candidate pruned: running score exceeded the incumbent")
+            }
+            SchedError::DuplicateOf { leader, error } => {
+                write!(f, "search failed for identical layer {leader:?}: {error}")
             }
         }
     }
@@ -63,6 +85,7 @@ impl Error for SchedError {
             SchedError::Tiling(e) => Some(e),
             SchedError::Timeline(e) => Some(e),
             SchedError::IllegalSchedule(e) => Some(e),
+            SchedError::DuplicateOf { error, .. } => Some(error.as_ref()),
             _ => None,
         }
     }
@@ -117,5 +140,23 @@ mod tests {
         }
         .into();
         assert!(matches!(e, SchedError::Tiling(_)));
+    }
+
+    #[test]
+    fn duplicate_wrapper_names_the_leader_and_keeps_the_source() {
+        let e = SchedError::DuplicateOf {
+            leader: "conv2a".into(),
+            error: Box::new(SchedError::NoViableTiling {
+                layer: "conv2a".into(),
+            }),
+        };
+        assert!(e.to_string().contains("conv2a"));
+        assert!(e.to_string().contains("no viable tiling"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn pruned_display_is_not_alarming() {
+        assert!(SchedError::Pruned.to_string().contains("pruned"));
     }
 }

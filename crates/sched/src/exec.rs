@@ -86,6 +86,17 @@ impl<'a> ExecState<'a> {
         self.remaining
     }
 
+    /// Running `(latency, transfer_bytes)` of the partial schedule.
+    /// Both components are monotone over committed sets, so the pair
+    /// lower-bounds the finished schedule's cost — the basis of the
+    /// branch-and-bound early exit.
+    pub(crate) fn running_cost(&self) -> (u64, u64) {
+        (
+            self.builder.timeline().horizon(),
+            self.builder.transfer_bytes(),
+        )
+    }
+
     /// Commits one operation set: plans and pins its memory, records
     /// spills, loads, compute and final stores, updates use counts and
     /// returns the ids newly woken up (paper Algorithm 1 lines 21-24).
@@ -102,8 +113,10 @@ impl<'a> ExecState<'a> {
         // On-chip compaction keeps the DMA engine busy but moves no
         // off-chip data.
         if plan.compaction_bytes > 0 {
-            self.builder
-                .record_compaction(plan.compaction_bytes, self.perf.dma_cycles(plan.compaction_bytes))?;
+            self.builder.record_compaction(
+                plan.compaction_bytes,
+                self.perf.dma_cycles(plan.compaction_bytes),
+            )?;
         }
 
         // Lower the plan's event trace into buffer commands, in the
@@ -126,9 +139,22 @@ impl<'a> ExecState<'a> {
                     address: ev.address,
                     bytes: ev.bytes,
                 },
-                PlanEvent::Place { tile, bytes, address, ref action } => match action {
-                    TileAction::AllocOutput => Command::Reserve { tile, address, bytes },
-                    _ => Command::Load { tile, address, bytes },
+                PlanEvent::Place {
+                    tile,
+                    bytes,
+                    address,
+                    ref action,
+                } => match action {
+                    TileAction::AllocOutput => Command::Reserve {
+                        tile,
+                        address,
+                        bytes,
+                    },
+                    _ => Command::Load {
+                        tile,
+                        address,
+                        bytes,
+                    },
                 },
             });
         }
@@ -221,7 +247,9 @@ impl<'a> ExecState<'a> {
                 debug_assert!(self.scheduled[pred.index()]);
                 earliest = earliest.max(self.op_end[pred.index()]);
             }
-            let (_, end) = self.builder.record_compute(id, core, earliest, op.latency())?;
+            let (_, end) = self
+                .builder
+                .record_compute(id, core, earliest, op.latency())?;
             self.commands.push(Command::Exec {
                 op: id,
                 core,

@@ -39,9 +39,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bound;
 mod combo;
-mod exec;
 mod error;
+mod exec;
 mod memo;
 mod metric;
 mod ooo;
@@ -52,13 +53,13 @@ mod static_sched;
 mod stats;
 mod verify;
 
+pub use bound::{lower_bound, Cutoff, Incumbent, ScheduleBound};
 pub use combo::{dataflow_class, generate_sets, ComboOptions, DataflowClass};
 pub use error::SchedError;
 pub use memo::MemoCache;
 pub use metric::Metric;
 pub use ooo::{EvalMode, OooScheduler};
 pub use priority::{PriorityPolicy, SetEvaluation};
-pub use stats::SearchStats;
 pub use program::{Command, Program, ProgramError};
 pub use search::{
     search_layer, search_layer_cached, search_layer_static, search_layer_static_cached,
@@ -66,4 +67,5 @@ pub use search::{
     sweep_tilings, LayerSearchResult, MemoKey, SchedulePoint, SearchOptions, SpillPolicyChoice,
 };
 pub use static_sched::StaticScheduler;
+pub use stats::SearchStats;
 pub use verify::{verify_schedule_program, VerifyError};

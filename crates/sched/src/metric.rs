@@ -64,6 +64,44 @@ impl Metric {
             Metric::TransferWeighted { weight } => l * t.powf(weight),
         }
     }
+
+    /// Whether the score is non-decreasing in both latency and
+    /// transferred bytes. Admissible-bound pruning is only sound for
+    /// monotone metrics: `score(lb_latency, lb_transfer)` must never
+    /// exceed the true score. Every built-in metric is monotone except
+    /// [`Metric::TransferWeighted`] with a negative weight.
+    #[must_use]
+    pub fn is_monotone(&self) -> bool {
+        match *self {
+            Metric::LatencyTimesTransfer | Metric::Latency | Metric::Transfer => true,
+            Metric::TransferWeighted { weight } => weight >= 0.0,
+        }
+    }
+}
+
+/// Encodes a non-negative score so that `u64` integer order matches
+/// `f64` numeric order, enabling `AtomicU64::fetch_min` on scores.
+///
+/// Standard sign-magnitude trick: flip all bits of negative floats and
+/// the sign bit of non-negative ones. Total order matches IEEE-754
+/// numeric order for all non-NaN values, including `+inf`.
+pub(crate) fn encode_score(score: f64) -> u64 {
+    let bits = score.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`encode_score`].
+pub(crate) fn decode_score(encoded: u64) -> f64 {
+    let bits = if encoded >> 63 == 1 {
+        encoded & !(1 << 63)
+    } else {
+        !encoded
+    };
+    f64::from_bits(bits)
 }
 
 impl fmt::Display for Metric {
@@ -93,7 +131,9 @@ mod tests {
         // Schedule A: fast but heavy traffic. B: slow but light.
         let (la, ta) = (100u64, 1000u64);
         let (lb, tb) = (200u64, 400u64);
-        assert!(Metric::LatencyTimesTransfer.score(lb, tb) < Metric::LatencyTimesTransfer.score(la, ta));
+        assert!(
+            Metric::LatencyTimesTransfer.score(lb, tb) < Metric::LatencyTimesTransfer.score(la, ta)
+        );
         assert!(Metric::Latency.score(la, ta) < Metric::Latency.score(lb, tb));
         assert!(Metric::Transfer.score(lb, tb) < Metric::Transfer.score(la, ta));
     }
@@ -106,9 +146,42 @@ mod tests {
         assert_eq!(m1.score(7, 11), Metric::LatencyTimesTransfer.score(7, 11));
         let m3 = Metric::TransferWeighted { weight: 3.0 };
         // A: (100, 1000), B: (500, 500): default prefers A...
-        assert!(Metric::LatencyTimesTransfer.score(100, 1000) < Metric::LatencyTimesTransfer.score(500, 500));
+        assert!(
+            Metric::LatencyTimesTransfer.score(100, 1000)
+                < Metric::LatencyTimesTransfer.score(500, 500)
+        );
         // ...the weighted metric prefers B.
         assert!(m3.score(500, 500) < m3.score(100, 1000));
+    }
+
+    #[test]
+    fn monotonicity_classification() {
+        assert!(Metric::LatencyTimesTransfer.is_monotone());
+        assert!(Metric::Latency.is_monotone());
+        assert!(Metric::Transfer.is_monotone());
+        assert!(Metric::TransferWeighted { weight: 2.0 }.is_monotone());
+        assert!(Metric::TransferWeighted { weight: 0.0 }.is_monotone());
+        assert!(!Metric::TransferWeighted { weight: -1.0 }.is_monotone());
+    }
+
+    #[test]
+    fn score_encoding_preserves_order() {
+        let scores = [0.0, 1.0, 1.5, 1e9, 1e300, f64::INFINITY];
+        for pair in scores.windows(2) {
+            assert!(
+                encode_score(pair[0]) < encode_score(pair[1]),
+                "{} vs {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        for s in scores {
+            assert_eq!(decode_score(encode_score(s)), s, "{s}");
+        }
+        // Negative scores (not produced by any metric, but the encoding
+        // is total over non-NaN floats) still order correctly.
+        assert!(encode_score(-1.0) < encode_score(0.0));
+        assert_eq!(decode_score(encode_score(-2.5)), -2.5);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The out-of-order list scheduler (`GetSchedule`, Algorithm 1).
 
+use crate::bound::Cutoff;
 use crate::combo::{generate_sets_baseline, generate_sets_into, ComboOptions, ComboScratch};
 use crate::error::SchedError;
 use crate::exec::ExecState;
@@ -73,6 +74,7 @@ pub struct OooScheduler<'a> {
     priority: PriorityPolicy,
     combo: ComboOptions,
     eval_mode: EvalMode,
+    cutoff: Option<Cutoff<'a>>,
 }
 
 impl std::fmt::Debug for OooScheduler<'_> {
@@ -100,6 +102,7 @@ impl<'a> OooScheduler<'a> {
             priority: PriorityPolicy::FlexerDefault,
             combo: ComboOptions::default(),
             eval_mode: EvalMode::default(),
+            cutoff: None,
         }
     }
 
@@ -128,6 +131,18 @@ impl<'a> OooScheduler<'a> {
     #[must_use]
     pub fn with_eval_mode(mut self, eval_mode: EvalMode) -> Self {
         self.eval_mode = eval_mode;
+        self
+    }
+
+    /// Installs a branch-and-bound cutoff: the run aborts with
+    /// [`SchedError::Pruned`] as soon as its running score strictly
+    /// exceeds the cutoff's incumbent. Latency and transferred bytes
+    /// only grow per committed step, so an aborted candidate provably
+    /// could not have produced a schedule scoring at or below the
+    /// incumbent.
+    #[must_use]
+    pub fn with_cutoff(mut self, cutoff: Cutoff<'a>) -> Self {
+        self.cutoff = Some(cutoff);
         self
     }
 
@@ -284,6 +299,15 @@ impl<'a> OooScheduler<'a> {
             let commit_start = Instant::now();
             let woken = state.commit_set(&set)?;
             stats.commit_nanos += commit_start.elapsed().as_nanos() as u64;
+            // Branch-and-bound early exit: the partial schedule's cost
+            // only grows from here, so once it strictly exceeds the
+            // incumbent this candidate cannot win (nor tie).
+            if let Some(cutoff) = &self.cutoff {
+                let (latency, transfer) = state.running_cost();
+                if cutoff.exceeded(latency, transfer) {
+                    return Err(SchedError::Pruned);
+                }
+            }
             for id in &set {
                 ready.remove(id);
             }
@@ -447,6 +471,26 @@ mod tests {
         assert!(stats.steps > 0);
         assert!(stats.sets_generated >= stats.sets_evaluated);
         assert!(stats.sets_evaluated > 0);
+    }
+
+    #[test]
+    fn cutoff_aborts_hopeless_runs_and_spares_viable_ones() {
+        use crate::bound::Incumbent;
+        use crate::metric::Metric;
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let model = SystolicModel::new(&arch);
+        let layer = ConvLayer::new("c", 64, 16, 16, 64).unwrap();
+        let dfg = dfg_for(&layer, &arch, 4, 2, 2);
+        let inc = Incumbent::new();
+        let guarded = OooScheduler::new(&dfg, &arch, &model)
+            .with_cutoff(Cutoff::new(&inc, Metric::LatencyTimesTransfer));
+        // An infinite incumbent never cuts: identical to no cutoff.
+        let a = guarded.schedule().unwrap();
+        let b = OooScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+        assert_eq!(a, b);
+        // An unbeatable incumbent aborts the run as Pruned.
+        inc.observe(0.0);
+        assert!(matches!(guarded.schedule(), Err(SchedError::Pruned)));
     }
 
     #[test]

@@ -172,8 +172,13 @@ pub(crate) fn plan_set_into(
         debug_assert_ne!(outcome.method, AllocMethod::AlreadyResident);
         // Compaction (if any) ran before the victims were evicted,
         // which in turn precede the placement.
-        plan.events
-            .extend(outcome.compaction_moves.iter().copied().map(PlanEvent::Move));
+        plan.events.extend(
+            outcome
+                .compaction_moves
+                .iter()
+                .copied()
+                .map(PlanEvent::Move),
+        );
         plan.events
             .extend(outcome.evictions.iter().copied().map(PlanEvent::Evict));
         plan.events.push(PlanEvent::Place {
@@ -286,9 +291,9 @@ impl SetEvaluation {
         let planned = plan_set_into(dfg, spm, uses, spill, ops, scratch);
         // Utilization must be read while the trial allocations are
         // still in place, before the rollback erases them.
-        let eval = planned.ok().map(|()| {
-            Self::from_plan(&scratch.plan, spm.utilization(), cores, dma_cycles, ops)
-        });
+        let eval = planned
+            .ok()
+            .map(|()| Self::from_plan(&scratch.plan, spm.utilization(), cores, dma_cycles, ops));
         stats.rollback_bytes += spm.rollback(token);
         eval
     }
@@ -422,8 +427,7 @@ mod tests {
         let factors = TilingFactors::normalized(&layer, 2, 2, 2, 1);
         let dfg = Dfg::build(&layer, factors, Dataflow::Csk, &model, &arch).unwrap();
         let spm = SpmMemory::new(4096);
-        let uses: BTreeMap<TileId, u32> =
-            dfg.tiles().map(|t| (t, dfg.initial_uses(t))).collect();
+        let uses: BTreeMap<TileId, u32> = dfg.tiles().map(|t| (t, dfg.initial_uses(t))).collect();
         (dfg, spm, uses, model)
     }
 
@@ -434,7 +438,15 @@ mod tests {
         model: &SystolicModel,
         ops: &[OpId],
     ) -> Option<SetEvaluation> {
-        SetEvaluation::evaluate(dfg, spm, uses, &FlexerSpill, 2, &|b| model.dma_cycles(b), ops)
+        SetEvaluation::evaluate(
+            dfg,
+            spm,
+            uses,
+            &FlexerSpill,
+            2,
+            &|b| model.dma_cycles(b),
+            ops,
+        )
     }
 
     #[test]
@@ -498,9 +510,8 @@ mod tests {
         assert_eq!(a.input(), b.input());
         let e = eval(&dfg, &spm, &uses, &model, &ready[..2]).unwrap();
         // loads: 1 shared input + 2 weights; outputs are fresh allocs.
-        let expected = dfg.tile_bytes(a.input())
-            + dfg.tile_bytes(a.weight())
-            + dfg.tile_bytes(b.weight());
+        let expected =
+            dfg.tile_bytes(a.input()) + dfg.tile_bytes(a.weight()) + dfg.tile_bytes(b.weight());
         assert_eq!(e.loaded_bytes, expected);
     }
 
@@ -524,8 +535,7 @@ mod tests {
             .copied()
             .find(|&id| {
                 let o = dfg.op(id);
-                o.input() != dfg.op(ready[0]).input()
-                    && o.weight() != dfg.op(ready[0]).weight()
+                o.input() != dfg.op(ready[0]).input() && o.weight() != dfg.op(ready[0]).weight()
             })
             .unwrap();
         let e = eval(&dfg, &spm, &uses, &model, &[other]).unwrap();
@@ -609,7 +619,10 @@ mod tests {
         // MinSpill: b evicts 10 < a's 90.
         assert_eq!(PriorityPolicy::MinSpill.compare(&b, &a), Ordering::Less);
         // Default: b's benefit wins.
-        assert_eq!(PriorityPolicy::FlexerDefault.compare(&b, &a), Ordering::Less);
+        assert_eq!(
+            PriorityPolicy::FlexerDefault.compare(&b, &a),
+            Ordering::Less
+        );
     }
 
     #[test]
@@ -619,8 +632,13 @@ mod tests {
         // a cold start.
         let ready: Vec<OpId> = dfg.initial_ready().collect();
         let first = dfg.op(ready[0]);
-        spm.allocate(first.input(), dfg.tile_bytes(first.input()), 3, &FlexerSpill)
-            .unwrap();
+        spm.allocate(
+            first.input(),
+            dfg.tile_bytes(first.input()),
+            3,
+            &FlexerSpill,
+        )
+        .unwrap();
         let mut scratch = EvalScratch::default();
         let mut stats = SearchStats::default();
         for width in 1..=2usize {
@@ -696,7 +714,13 @@ mod tests {
             ops: vec![OpId::new(1)],
             ..a.clone()
         };
-        assert_eq!(PriorityPolicy::FlexerDefault.compare(&a, &b), Ordering::Less);
-        assert_eq!(PriorityPolicy::FlexerDefault.compare(&b, &a), Ordering::Greater);
+        assert_eq!(
+            PriorityPolicy::FlexerDefault.compare(&a, &b),
+            Ordering::Less
+        );
+        assert_eq!(
+            PriorityPolicy::FlexerDefault.compare(&b, &a),
+            Ordering::Greater
+        );
     }
 }

@@ -175,13 +175,22 @@ impl fmt::Display for ProgramError {
                 write!(f, "command {index}: block exceeds the buffer")
             }
             ProgramError::Overlap { index, occupant } => {
-                write!(f, "command {index}: placement overlaps live tile {occupant}")
+                write!(
+                    f,
+                    "command {index}: placement overlaps live tile {occupant}"
+                )
             }
             ProgramError::NotResident { index, tile } => {
-                write!(f, "command {index}: {tile} not resident at the claimed address")
+                write!(
+                    f,
+                    "command {index}: {tile} not resident at the claimed address"
+                )
             }
             ProgramError::ExecMismatch { index, op } => {
-                write!(f, "command {index}: {op} operand addresses disagree with the DFG")
+                write!(
+                    f,
+                    "command {index}: {op} operand addresses disagree with the DFG"
+                )
             }
             ProgramError::ExecCount { op, times } => {
                 write!(f, "{op} executed {times} times (expected exactly once)")
@@ -271,20 +280,61 @@ impl Program {
         self.commands
             .iter()
             .map(|c| match *c {
-                Command::Load { tile, address, bytes } => SpmCommand::Load { tile, address, bytes },
-                Command::Spill { tile, address, bytes } => {
-                    SpmCommand::Spill { tile, address, bytes }
-                }
-                Command::Discard { tile, address, bytes } => {
-                    SpmCommand::Discard { tile, address, bytes }
-                }
-                Command::Move { tile, bytes, from, to } => {
-                    SpmCommand::Move { tile, bytes, from, to }
-                }
-                Command::Reserve { tile, address, bytes } => {
-                    SpmCommand::Reserve { tile, address, bytes }
-                }
-                Command::Exec { op, core, input, weight, output, accumulate } => SpmCommand::Exec {
+                Command::Load {
+                    tile,
+                    address,
+                    bytes,
+                } => SpmCommand::Load {
+                    tile,
+                    address,
+                    bytes,
+                },
+                Command::Spill {
+                    tile,
+                    address,
+                    bytes,
+                } => SpmCommand::Spill {
+                    tile,
+                    address,
+                    bytes,
+                },
+                Command::Discard {
+                    tile,
+                    address,
+                    bytes,
+                } => SpmCommand::Discard {
+                    tile,
+                    address,
+                    bytes,
+                },
+                Command::Move {
+                    tile,
+                    bytes,
+                    from,
+                    to,
+                } => SpmCommand::Move {
+                    tile,
+                    bytes,
+                    from,
+                    to,
+                },
+                Command::Reserve {
+                    tile,
+                    address,
+                    bytes,
+                } => SpmCommand::Reserve {
+                    tile,
+                    address,
+                    bytes,
+                },
+                Command::Exec {
+                    op,
+                    core,
+                    input,
+                    weight,
+                    output,
+                    accumulate,
+                } => SpmCommand::Exec {
                     op,
                     core,
                     input,
@@ -292,9 +342,15 @@ impl Program {
                     output,
                     accumulate,
                 },
-                Command::Store { tile, address, bytes } => {
-                    SpmCommand::Store { tile, address, bytes }
-                }
+                Command::Store {
+                    tile,
+                    address,
+                    bytes,
+                } => SpmCommand::Store {
+                    tile,
+                    address,
+                    bytes,
+                },
             })
             .collect()
     }
@@ -341,8 +397,16 @@ impl Program {
         while i < self.commands.len() {
             let index = i;
             match self.commands[i] {
-                Command::Load { tile, address, bytes }
-                | Command::Reserve { tile, address, bytes } => {
+                Command::Load {
+                    tile,
+                    address,
+                    bytes,
+                }
+                | Command::Reserve {
+                    tile,
+                    address,
+                    bytes,
+                } => {
                     if address + bytes > self.spm_bytes {
                         return Err(ProgramError::OutOfBounds { index });
                     }
@@ -351,8 +415,7 @@ impl Program {
                     }
                     live.insert(tile, (address, bytes));
                 }
-                Command::Spill { tile, address, .. }
-                | Command::Discard { tile, address, .. } => {
+                Command::Spill { tile, address, .. } | Command::Discard { tile, address, .. } => {
                     if live.get(&tile).is_none_or(|&(a, _)| a != address) {
                         return Err(ProgramError::NotResident { index, tile });
                     }
@@ -379,7 +442,10 @@ impl Program {
                         live.remove(&tile);
                     }
                     for j in start..end {
-                        let Command::Move { tile, bytes, to, .. } = self.commands[j] else {
+                        let Command::Move {
+                            tile, bytes, to, ..
+                        } = self.commands[j]
+                        else {
                             unreachable!("run contains only moves");
                         };
                         if to + bytes > self.spm_bytes {
@@ -393,7 +459,14 @@ impl Program {
                     i = end;
                     continue;
                 }
-                Command::Exec { op, input, weight, output, accumulate, .. } => {
+                Command::Exec {
+                    op,
+                    input,
+                    weight,
+                    output,
+                    accumulate,
+                    ..
+                } => {
                     if op.index() >= dfg.num_ops() {
                         return Err(ProgramError::ExecMismatch { index, op });
                     }
@@ -467,16 +540,62 @@ mod tests {
         let op1 = dfg.op(OpId::new(1));
         let b = |t: TileId| dfg.tile_bytes(t);
         let commands = vec![
-            Command::Load { tile: op0.input(), address: 0, bytes: b(op0.input()) },
-            Command::Load { tile: op0.weight(), address: 1000, bytes: b(op0.weight()) },
-            Command::Reserve { tile: op0.output(), address: 2000, bytes: b(op0.output()) },
-            Command::Exec { op: op0.id(), core: 0, input: 0, weight: 1000, output: 2000, accumulate: false },
-            Command::Discard { tile: op0.input(), address: 0, bytes: b(op0.input()) },
-            Command::Load { tile: op1.input(), address: 0, bytes: b(op1.input()) },
-            Command::Discard { tile: op0.weight(), address: 1000, bytes: b(op0.weight()) },
-            Command::Load { tile: op1.weight(), address: 1000, bytes: b(op1.weight()) },
-            Command::Exec { op: op1.id(), core: 0, input: 0, weight: 1000, output: 2000, accumulate: true },
-            Command::Store { tile: op1.output(), address: 2000, bytes: b(op1.output()) },
+            Command::Load {
+                tile: op0.input(),
+                address: 0,
+                bytes: b(op0.input()),
+            },
+            Command::Load {
+                tile: op0.weight(),
+                address: 1000,
+                bytes: b(op0.weight()),
+            },
+            Command::Reserve {
+                tile: op0.output(),
+                address: 2000,
+                bytes: b(op0.output()),
+            },
+            Command::Exec {
+                op: op0.id(),
+                core: 0,
+                input: 0,
+                weight: 1000,
+                output: 2000,
+                accumulate: false,
+            },
+            Command::Discard {
+                tile: op0.input(),
+                address: 0,
+                bytes: b(op0.input()),
+            },
+            Command::Load {
+                tile: op1.input(),
+                address: 0,
+                bytes: b(op1.input()),
+            },
+            Command::Discard {
+                tile: op0.weight(),
+                address: 1000,
+                bytes: b(op0.weight()),
+            },
+            Command::Load {
+                tile: op1.weight(),
+                address: 1000,
+                bytes: b(op1.weight()),
+            },
+            Command::Exec {
+                op: op1.id(),
+                core: 0,
+                input: 0,
+                weight: 1000,
+                output: 2000,
+                accumulate: true,
+            },
+            Command::Store {
+                tile: op1.output(),
+                address: 2000,
+                bytes: b(op1.output()),
+            },
         ];
         Program::new(spm, 2, commands)
     }
@@ -499,7 +618,10 @@ mod tests {
             *address = 0;
         }
         let err = p.check(&dfg).unwrap_err();
-        assert!(matches!(err, ProgramError::Overlap { index: 1, .. }), "{err}");
+        assert!(
+            matches!(err, ProgramError::Overlap { index: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -539,7 +661,10 @@ mod tests {
         let mut p = legal_program(&dfg, arch.spm_bytes());
         p.commands.truncate(5); // drop op1 entirely
         let err = p.check(&dfg).unwrap_err();
-        assert!(matches!(err, ProgramError::ExecCount { times: 0, .. }), "{err}");
+        assert!(
+            matches!(err, ProgramError::ExecCount { times: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -550,12 +675,41 @@ mod tests {
         // Two tiles slide down; the second's destination overlaps the
         // first's old home — legal because the batch is atomic.
         let commands = vec![
-            Command::Load { tile: op0.input(), address: 100, bytes: b(op0.input()) },
-            Command::Load { tile: op0.weight(), address: 100 + b(op0.input()), bytes: b(op0.weight()) },
-            Command::Move { tile: op0.input(), bytes: b(op0.input()), from: 100, to: 0 },
-            Command::Move { tile: op0.weight(), bytes: b(op0.weight()), from: 100 + b(op0.input()), to: b(op0.input()) },
-            Command::Reserve { tile: op0.output(), address: 4000, bytes: b(op0.output()) },
-            Command::Exec { op: op0.id(), core: 0, input: 0, weight: b(op0.input()), output: 4000, accumulate: false },
+            Command::Load {
+                tile: op0.input(),
+                address: 100,
+                bytes: b(op0.input()),
+            },
+            Command::Load {
+                tile: op0.weight(),
+                address: 100 + b(op0.input()),
+                bytes: b(op0.weight()),
+            },
+            Command::Move {
+                tile: op0.input(),
+                bytes: b(op0.input()),
+                from: 100,
+                to: 0,
+            },
+            Command::Move {
+                tile: op0.weight(),
+                bytes: b(op0.weight()),
+                from: 100 + b(op0.input()),
+                to: b(op0.input()),
+            },
+            Command::Reserve {
+                tile: op0.output(),
+                address: 4000,
+                bytes: b(op0.output()),
+            },
+            Command::Exec {
+                op: op0.id(),
+                core: 0,
+                input: 0,
+                weight: b(op0.input()),
+                output: 4000,
+                accumulate: false,
+            },
         ];
         let p = Program::new(arch.spm_bytes(), 2, commands);
         // op1 never executes -> ExecCount, but everything before is legal.

@@ -1,14 +1,15 @@
 //! The Algorithm-1 search driver: exhaustive search over tilings and
 //! dataflows.
 
+use crate::bound::{lower_bound, Cutoff, Incumbent};
 use crate::combo::ComboOptions;
 use crate::error::SchedError;
 use crate::memo::MemoCache;
 use crate::metric::Metric;
 use crate::ooo::{EvalMode, OooScheduler};
 use crate::priority::PriorityPolicy;
-use crate::stats::SearchStats;
 use crate::static_sched::StaticScheduler;
+use crate::stats::SearchStats;
 use crate::verify::{verify_schedule_program, VerifyError};
 use flexer_arch::{ArchConfig, SystolicModel};
 use flexer_model::ConvLayer;
@@ -96,6 +97,18 @@ pub struct SearchOptions {
     /// on replay.
     #[serde(default)]
     pub validate: bool,
+    /// Branch-and-bound pruning (on by default): skip candidates whose
+    /// admissible lower bound is strictly worse than the layer's best
+    /// score so far, and abort scheduler runs whose running score
+    /// strictly exceeds it. *Exact*: strict comparisons preserve the
+    /// exhaustive search's first-in-work-order tie-break, so winning
+    /// schedules are byte-identical (see DESIGN.md §10).
+    /// Force-disabled when [`SearchOptions::collect_points`] is set
+    /// (point collection needs every candidate) or the metric is not
+    /// monotone in (latency, transfer). Excluded from the memo key —
+    /// the winner does not depend on it.
+    #[serde(default)]
+    pub prune: bool,
 }
 
 impl Default for SearchOptions {
@@ -111,6 +124,7 @@ impl Default for SearchOptions {
             threads: 0,
             collect_points: false,
             validate: false,
+            prune: true,
         }
     }
 }
@@ -214,7 +228,8 @@ pub struct LayerSearchResult {
     pub dataflow: Dataflow,
     /// Its metric score.
     pub score: f64,
-    /// `(tiling, dataflow)` pairs evaluated (1 on a memo hit).
+    /// `(tiling, dataflow)` pairs the search resolved: scheduled to
+    /// completion, bound-pruned, or early-exited (1 on a memo hit).
     pub evaluated: usize,
     /// All explored points when
     /// [`SearchOptions::collect_points`] was set.
@@ -245,26 +260,49 @@ enum Role {
     },
 }
 
+/// How one `(layer, tiling, dataflow)` work item was resolved.
+enum RunOutcome {
+    /// Scheduled to completion (boxed: the other arms are small and
+    /// pruned searches produce many of them).
+    Done(Box<(Schedule, SearchStats)>),
+    /// Skipped outright: its admissible lower bound was strictly worse
+    /// than the layer's incumbent.
+    Bounded,
+    /// The scheduler aborted mid-run when the running score strictly
+    /// exceeded the incumbent.
+    EarlyExit,
+    /// A real scheduling failure.
+    Failed(SchedError),
+}
+
 /// Builds the DFG of one `(tiling, dataflow)` pair and runs the chosen
-/// scheduler over it.
+/// scheduler over it. A `cutoff` arms the out-of-order scheduler's
+/// branch-and-bound early exit (the static scheduler has no incremental
+/// cost to watch, so it ignores it).
 fn run_one(
     kind: SchedulerKind,
     layer: &ConvLayer,
     arch: &ArchConfig,
     model: &SystolicModel,
-    factors: TilingFactors,
-    dataflow: Dataflow,
+    (factors, dataflow): (TilingFactors, Dataflow),
     opts: &SearchOptions,
+    cutoff: Option<Cutoff<'_>>,
 ) -> Result<(Schedule, SearchStats), SchedError> {
     let dfg = Dfg::build(layer, factors, dataflow, model, arch)?;
     match kind {
-        SchedulerKind::Ooo => OooScheduler::new(&dfg, arch, model)
-            .with_spill(opts.spill.policy())
-            .with_priority(opts.priority)
-            .with_combo(opts.combo)
-            .with_eval_mode(opts.eval_mode)
-            .schedule_with_stats()
-            .map(|(schedule, _, stats)| (schedule, stats)),
+        SchedulerKind::Ooo => {
+            let mut sched = OooScheduler::new(&dfg, arch, model)
+                .with_spill(opts.spill.policy())
+                .with_priority(opts.priority)
+                .with_combo(opts.combo)
+                .with_eval_mode(opts.eval_mode);
+            if let Some(cutoff) = cutoff {
+                sched = sched.with_cutoff(cutoff);
+            }
+            sched
+                .schedule_with_stats()
+                .map(|(schedule, _, stats)| (schedule, stats))
+        }
         SchedulerKind::Static => StaticScheduler::new(&dfg, arch, model)
             .schedule()
             .map(|schedule| (schedule, SearchStats::default())),
@@ -292,9 +330,7 @@ fn verify_winner(
             .with_combo(opts.combo)
             .with_eval_mode(opts.eval_mode)
             .schedule_with_program()?,
-        SchedulerKind::Static => {
-            StaticScheduler::new(&dfg, arch, model).schedule_with_program()?
-        }
+        SchedulerKind::Static => StaticScheduler::new(&dfg, arch, model).schedule_with_program()?,
     };
     if schedule != result.schedule {
         return Err(SchedError::IllegalSchedule(VerifyError::ReplayDiverged));
@@ -319,8 +355,10 @@ fn replay_one(
     dataflow: Dataflow,
     opts: &SearchOptions,
 ) -> Result<LayerSearchResult, SchedError> {
-    let (schedule, stats) = run_one(kind, layer, arch, model, factors, dataflow, opts)?;
-    let score = opts.metric.score(schedule.latency(), schedule.transfer_bytes());
+    let (schedule, stats) = run_one(kind, layer, arch, model, (factors, dataflow), opts, None)?;
+    let score = opts
+        .metric
+        .score(schedule.latency(), schedule.transfer_bytes());
     Ok(LayerSearchResult {
         layer: layer.name().to_owned(),
         schedule,
@@ -385,6 +423,40 @@ fn search_many(
         });
     }
 
+    // Branch-and-bound pre-pass. Admissible lower bounds are
+    // dataflow-independent, so one bound per (layer, tiling) covers the
+    // whole consecutive run of its dataflow work items. Each leader's
+    // span is then *executed* best-bound-first so strong incumbents
+    // form early, while the reduction below still scans the span in
+    // original work order — pruning never changes the winner (see
+    // DESIGN.md §10).
+    let prune_enabled = opts.prune && !opts.collect_points && opts.metric.is_monotone();
+    let incumbents: Vec<Incumbent> = layers.iter().map(|_| Incumbent::new()).collect();
+    let mut bounds: Vec<f64> = Vec::new();
+    let mut bound_nanos: Vec<u64> = vec![0; layers.len()];
+    let mut exec_order: Vec<usize> = (0..work.len()).collect();
+    if prune_enabled {
+        bounds = vec![0.0; work.len()];
+        for (li, role) in roles.iter().enumerate() {
+            let Role::Leader { span: (start, end) } = *role else {
+                continue;
+            };
+            let bound_start = Instant::now();
+            let mut i = start;
+            while i < end {
+                let factors = work[i].1;
+                let score = lower_bound(&layers[li], arch, &model, &factors).score(opts.metric);
+                while i < end && work[i].1 == factors {
+                    bounds[i] = score;
+                    i += 1;
+                }
+            }
+            bound_nanos[li] = bound_start.elapsed().as_nanos() as u64;
+            exec_order[start..end]
+                .sort_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)));
+        }
+    }
+
     // Drain the queue, optionally across threads (§3's suggested
     // parallelization). Each worker keeps its results in a private
     // vector — no per-slot lock — and they are scattered back into
@@ -396,25 +468,50 @@ fn search_many(
     .min(work.len())
     .max(1);
 
-    type RunResult = Result<(Schedule, SearchStats), SchedError>;
-    let mut results: Vec<Option<RunResult>> = if threads == 1 {
-        work.iter()
-            .map(|&(li, f, d)| Some(run_one(kind, &layers[li], arch, &model, f, d, opts)))
-            .collect()
+    // Resolves work item `i`: bound-gate, schedule (with the layer's
+    // shared incumbent armed as a cutoff), record the incumbent.
+    let process = |i: usize| -> RunOutcome {
+        let (li, f, d) = work[i];
+        if prune_enabled && bounds[i] > incumbents[li].get() {
+            return RunOutcome::Bounded;
+        }
+        let cutoff = (prune_enabled && kind == SchedulerKind::Ooo)
+            .then(|| Cutoff::new(&incumbents[li], opts.metric));
+        match run_one(kind, &layers[li], arch, &model, (f, d), opts, cutoff) {
+            Ok((schedule, stats)) => {
+                if prune_enabled {
+                    incumbents[li].observe(
+                        opts.metric
+                            .score(schedule.latency(), schedule.transfer_bytes()),
+                    );
+                }
+                RunOutcome::Done(Box::new((schedule, stats)))
+            }
+            Err(SchedError::Pruned) => RunOutcome::EarlyExit,
+            Err(e) => RunOutcome::Failed(e),
+        }
+    };
+
+    let mut results: Vec<Option<RunOutcome>> = if threads == 1 {
+        let mut slots: Vec<Option<RunOutcome>> = work.iter().map(|_| None).collect();
+        for &i in &exec_order {
+            slots[i] = Some(process(i));
+        }
+        slots
     } else {
         let next = AtomicUsize::new(0);
-        let locals: Vec<Vec<(usize, RunResult)>> = std::thread::scope(|scope| {
+        let locals: Vec<Vec<(usize, RunOutcome)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= work.len() {
+                            let n = next.fetch_add(1, Ordering::Relaxed);
+                            if n >= exec_order.len() {
                                 break;
                             }
-                            let (li, f, d) = work[i];
-                            local.push((i, run_one(kind, &layers[li], arch, &model, f, d, opts)));
+                            let i = exec_order[n];
+                            local.push((i, process(i)));
                         }
                         local
                     })
@@ -425,7 +522,7 @@ fn search_many(
                 .map(|h| h.join().expect("search worker panicked"))
                 .collect()
         });
-        let mut slots: Vec<Option<RunResult>> = work.iter().map(|_| None).collect();
+        let mut slots: Vec<Option<RunOutcome>> = work.iter().map(|_| None).collect();
         for (i, r) in locals.into_iter().flatten() {
             slots[i] = Some(r);
         }
@@ -443,8 +540,15 @@ fn search_many(
                 replay_one(kind, layer, arch, &model, factors, dataflow, opts)
             }
             Role::Duplicate { leader } => match &out[leader] {
-                Ok(lead) => replay_one(kind, layer, arch, &model, lead.factors, lead.dataflow, opts),
-                Err(e) => Err(e.clone()),
+                Ok(lead) => {
+                    replay_one(kind, layer, arch, &model, lead.factors, lead.dataflow, opts)
+                }
+                // The replayed error names the layer whose search
+                // actually ran (the leader), not this duplicate.
+                Err(e) => Err(SchedError::DuplicateOf {
+                    leader: layers[leader].name().to_owned(),
+                    error: Box::new(e.clone()),
+                }),
             },
             Role::Leader { span: (start, end) } => {
                 let mut best: Option<(usize, Schedule, f64)> = None;
@@ -452,13 +556,24 @@ fn search_many(
                 let mut first_err: Option<SchedError> = None;
                 let mut evaluated = 0usize;
                 let mut stats = SearchStats::default();
+                if prune_enabled {
+                    stats.candidates_bounded += (end - start) as u64;
+                    stats.bound_nanos += bound_nanos[li];
+                }
+                // Original work order, NOT execution order: a pruned
+                // candidate can never beat (nor tie) the incumbent, so
+                // keeping the first strict minimum over the surviving
+                // candidates reproduces the exhaustive search's
+                // first-in-work-order tie-break exactly.
                 for i in start..end {
                     match results[i].take().expect("every work item processed") {
-                        Ok((schedule, run_stats)) => {
+                        RunOutcome::Done(done) => {
+                            let (schedule, run_stats) = *done;
                             evaluated += 1;
                             stats.merge(&run_stats);
-                            let score =
-                                opts.metric.score(schedule.latency(), schedule.transfer_bytes());
+                            let score = opts
+                                .metric
+                                .score(schedule.latency(), schedule.transfer_bytes());
                             if opts.collect_points {
                                 points.push(SchedulePoint {
                                     factors: work[i].1,
@@ -472,7 +587,15 @@ fn search_many(
                                 best = Some((i, schedule, score));
                             }
                         }
-                        Err(e) => first_err = first_err.or(Some(e)),
+                        RunOutcome::Bounded => {
+                            evaluated += 1;
+                            stats.candidates_pruned += 1;
+                        }
+                        RunOutcome::EarlyExit => {
+                            evaluated += 1;
+                            stats.early_exits += 1;
+                        }
+                        RunOutcome::Failed(e) => first_err = first_err.or(Some(e)),
                     }
                 }
                 match best {
@@ -763,8 +886,70 @@ mod tests {
         assert!(r.stats.steps > 0);
         assert!(r.stats.sets_evaluated > 0);
         assert!(r.stats.rollback_bytes > 0, "transactional mode is default");
+        assert_eq!(r.stats.candidates_bounded as usize, r.evaluated);
+        // The static scheduler has no set search, but the
+        // branch-and-bound layer still bounds its candidates.
         let s = search_layer_static(&layer(), &arch(), &opts).unwrap();
-        assert_eq!(s.stats, SearchStats::default());
+        assert_eq!(s.stats.steps, 0);
+        assert_eq!(s.stats.sets_evaluated, 0);
+        assert!(s.stats.candidates_bounded > 0);
+        assert_eq!(s.stats.early_exits, 0, "no cutoff in the static path");
+    }
+
+    #[test]
+    fn pruned_search_matches_exhaustive() {
+        for threads in [1, 4] {
+            let mut pruned = SearchOptions::quick();
+            pruned.threads = threads;
+            assert!(pruned.prune, "pruning is the default");
+            let mut exhaustive = pruned.clone();
+            exhaustive.prune = false;
+            for (l, ar) in [
+                (layer(), arch()),
+                (
+                    ConvLayer::new("v", 64, 28, 28, 48).unwrap(),
+                    ArchConfig::preset(ArchPreset::Arch5),
+                ),
+            ] {
+                let p = search_layer(&l, &ar, &pruned).unwrap();
+                let e = search_layer(&l, &ar, &exhaustive).unwrap();
+                assert_eq!(p.factors, e.factors);
+                assert_eq!(p.dataflow, e.dataflow);
+                assert_eq!(p.score, e.score);
+                assert_eq!(p.schedule, e.schedule);
+                assert!(p.stats.candidates_bounded > 0);
+                assert_eq!(e.stats.candidates_bounded, 0);
+                let ps = search_layer_static(&l, &ar, &pruned).unwrap();
+                let es = search_layer_static(&l, &ar, &exhaustive).unwrap();
+                assert_eq!(ps.factors, es.factors);
+                assert_eq!(ps.score, es.score);
+                assert_eq!(ps.schedule, es.schedule);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_pruned_search_actually_prunes() {
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        let r = search_layer(&layer(), &arch(), &opts).unwrap();
+        assert!(
+            r.stats.candidates_pruned + r.stats.early_exits > 0,
+            "quick search of a 32-channel layer should cut something: {:?}",
+            r.stats
+        );
+        assert!(r.stats.bound_nanos > 0);
+    }
+
+    #[test]
+    fn non_monotone_metric_disables_pruning() {
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        opts.metric = Metric::TransferWeighted { weight: -1.0 };
+        let r = search_layer(&layer(), &arch(), &opts).unwrap();
+        assert_eq!(r.stats.candidates_bounded, 0);
+        assert_eq!(r.stats.candidates_pruned, 0);
+        assert_eq!(r.stats.early_exits, 0);
     }
 
     #[test]
@@ -898,6 +1083,21 @@ mod tests {
         let a = SearchOptions::quick();
         let mut b = SearchOptions::quick();
         b.validate = true;
+        let l = layer();
+        let ar = arch();
+        assert_eq!(
+            a.memo_key(&l, &ar, SchedulerKind::Ooo),
+            b.memo_key(&l, &ar, SchedulerKind::Ooo)
+        );
+    }
+
+    #[test]
+    fn prune_is_not_part_of_the_memo_key() {
+        // Pruning never changes the winner, so memo entries recorded
+        // with it on replay correctly with it off and vice versa.
+        let a = SearchOptions::quick();
+        let mut b = SearchOptions::quick();
+        b.prune = false;
         let l = layer();
         let ar = arch();
         assert_eq!(

@@ -179,7 +179,11 @@ impl<'a> StaticScheduler<'a> {
                 resident.remove(&tile);
                 let (address, bytes) = addr.remove(&tile).expect("resident tile has an address");
                 if r.dirty {
-                    commands.push(Command::Spill { tile, address, bytes });
+                    commands.push(Command::Spill {
+                        tile,
+                        address,
+                        bytes,
+                    });
                     builder.record_mem_op_after(
                         MemOpKind::Spill,
                         TrafficClass::Psum,
@@ -190,7 +194,11 @@ impl<'a> StaticScheduler<'a> {
                         None,
                     )?;
                 } else {
-                    commands.push(Command::Discard { tile, address, bytes });
+                    commands.push(Command::Discard {
+                        tile,
+                        address,
+                        bytes,
+                    });
                 }
             }
 
@@ -241,7 +249,11 @@ impl<'a> StaticScheduler<'a> {
                 };
                 let ready_at = match class {
                     Some(class) => {
-                        commands.push(Command::Load { tile, address, bytes });
+                        commands.push(Command::Load {
+                            tile,
+                            address,
+                            bytes,
+                        });
                         let for_op = set
                             .iter()
                             .copied()
@@ -257,7 +269,11 @@ impl<'a> StaticScheduler<'a> {
                         end
                     }
                     None => {
-                        commands.push(Command::Reserve { tile, address, bytes });
+                        commands.push(Command::Reserve {
+                            tile,
+                            address,
+                            bytes,
+                        });
                         0
                     }
                 };
@@ -475,8 +491,12 @@ mod tests {
         let model = SystolicModel::new(&arch);
         let layer = ConvLayer::new("d", 32, 16, 16, 32).unwrap();
         let dfg = build(&layer, &arch, 2, 2, 2, 2, Dataflow::Skc);
-        let a = StaticScheduler::new(&dfg, &arch, &model).schedule().unwrap();
-        let b = StaticScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+        let a = StaticScheduler::new(&dfg, &arch, &model)
+            .schedule()
+            .unwrap();
+        let b = StaticScheduler::new(&dfg, &arch, &model)
+            .schedule()
+            .unwrap();
         assert_eq!(a, b);
     }
 }

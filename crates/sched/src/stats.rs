@@ -39,6 +39,17 @@ pub struct SearchStats {
     pub schedules_verified: u64,
     /// Wall-time (ns) spent verifying winning schedules.
     pub verify_nanos: u64,
+    /// Search candidates for which an admissible lower bound was
+    /// computed (branch-and-bound layer).
+    pub candidates_bounded: u64,
+    /// Candidates skipped outright because their lower bound was
+    /// strictly worse than the layer's incumbent score.
+    pub candidates_pruned: u64,
+    /// Scheduler runs aborted mid-flight when their running score
+    /// strictly exceeded the incumbent.
+    pub early_exits: u64,
+    /// Wall-time (ns) spent computing lower bounds.
+    pub bound_nanos: u64,
 }
 
 impl SearchStats {
@@ -57,6 +68,10 @@ impl SearchStats {
         self.commit_nanos += other.commit_nanos;
         self.schedules_verified += other.schedules_verified;
         self.verify_nanos += other.verify_nanos;
+        self.candidates_bounded += other.candidates_bounded;
+        self.candidates_pruned += other.candidates_pruned;
+        self.early_exits += other.early_exits;
+        self.bound_nanos += other.bound_nanos;
     }
 }
 
@@ -66,7 +81,9 @@ impl std::fmt::Display for SearchStats {
             f,
             "steps {} | sets gen {} pruned {} eval {} | rollback {} B \
              (clone avoided {} B) | evict {} compact {} | verified {} | \
-             gen {:.2} ms eval {:.2} ms commit {:.2} ms verify {:.2} ms",
+             bound {} pruned {} early-exit {} | \
+             gen {:.2} ms eval {:.2} ms commit {:.2} ms verify {:.2} ms \
+             bound {:.2} ms",
             self.steps,
             self.sets_generated,
             self.sets_pruned,
@@ -76,10 +93,14 @@ impl std::fmt::Display for SearchStats {
             self.evictions,
             self.compactions,
             self.schedules_verified,
+            self.candidates_bounded,
+            self.candidates_pruned,
+            self.early_exits,
             self.gen_nanos as f64 / 1e6,
             self.eval_nanos as f64 / 1e6,
             self.commit_nanos as f64 / 1e6,
             self.verify_nanos as f64 / 1e6,
+            self.bound_nanos as f64 / 1e6,
         )
     }
 }
@@ -104,6 +125,10 @@ mod tests {
             commit_nanos: 11,
             schedules_verified: 12,
             verify_nanos: 13,
+            candidates_bounded: 14,
+            candidates_pruned: 15,
+            early_exits: 16,
+            bound_nanos: 17,
         };
         let b = a;
         a.merge(&b);
@@ -120,6 +145,10 @@ mod tests {
         assert_eq!(a.commit_nanos, 22);
         assert_eq!(a.schedules_verified, 24);
         assert_eq!(a.verify_nanos, 26);
+        assert_eq!(a.candidates_bounded, 28);
+        assert_eq!(a.candidates_pruned, 30);
+        assert_eq!(a.early_exits, 32);
+        assert_eq!(a.bound_nanos, 34);
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl fmt::Display for VerifyError {
             VerifyError::Machine(e) => write!(f, "abstract machine: {e}"),
             VerifyError::Differential(e) => write!(f, "schedule/program divergence: {e}"),
             VerifyError::ReplayDiverged => {
-                write!(f, "re-running the winning configuration gave a different schedule")
+                write!(
+                    f,
+                    "re-running the winning configuration gave a different schedule"
+                )
             }
         }
     }
@@ -115,7 +118,12 @@ pub fn verify_schedule_program(
 ) -> Result<(), VerifyError> {
     validate_schedule(dfg, schedule)?;
     program.check(dfg)?;
-    let stats = interpret_program(dfg, program.spm_bytes(), program.cores(), &program.lowered())?;
+    let stats = interpret_program(
+        dfg,
+        program.spm_bytes(),
+        program.cores(),
+        &program.lowered(),
+    )?;
     differential_check(schedule, &stats, check_compaction)?;
     Ok(())
 }
@@ -175,7 +183,10 @@ mod tests {
         // rejected by the machine, and the error names its stage.
         let err = interpret_program(&dfg, 1, program.cores(), &program.lowered()).unwrap_err();
         let wrapped = VerifyError::from(err);
-        assert!(wrapped.to_string().contains("abstract machine"), "{wrapped}");
+        assert!(
+            wrapped.to_string().contains("abstract machine"),
+            "{wrapped}"
+        );
         let _ = schedule;
     }
 }

@@ -126,9 +126,7 @@ fn mutation_overlapping_allocation_is_rejected() {
     let err = interpret_mutated(&dfg, &program, |cmds| {
         // Re-point the second placement at the first one's address.
         let mut placements = cmds.iter_mut().filter_map(|c| match c {
-            SpmCommand::Load { address, .. } | SpmCommand::Reserve { address, .. } => {
-                Some(address)
-            }
+            SpmCommand::Load { address, .. } | SpmCommand::Reserve { address, .. } => Some(address),
             _ => None,
         });
         let first = *placements.next().expect("a first placement");
@@ -197,9 +195,13 @@ fn mutation_reordered_dependency_is_rejected() {
         .collect();
     let mut found = None;
     'outer: for (ai, &a) in execs.iter().enumerate() {
-        let SpmCommand::Exec { op: op_a, .. } = commands[a] else { unreachable!() };
+        let SpmCommand::Exec { op: op_a, .. } = commands[a] else {
+            unreachable!()
+        };
         for &b in &execs[ai + 1..] {
-            let SpmCommand::Exec { op: op_b, .. } = commands[b] else { unreachable!() };
+            let SpmCommand::Exec { op: op_b, .. } = commands[b] else {
+                unreachable!()
+            };
             if dfg.pred(op_b) == Some(op_a) {
                 found = Some((a, b));
                 break 'outer;

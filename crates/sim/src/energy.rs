@@ -132,9 +132,7 @@ mod tests {
         let expect: u64 = dfg
             .ops()
             .iter()
-            .map(|o| {
-                o.reads().map(|t| dfg.tile_bytes(t)).sum::<u64>() + dfg.tile_bytes(o.output())
-            })
+            .map(|o| o.reads().map(|t| dfg.tile_bytes(t)).sum::<u64>() + dfg.tile_bytes(o.output()))
             .sum();
         assert_eq!(e.spm_pj, expect as f64);
     }

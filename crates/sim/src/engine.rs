@@ -32,7 +32,10 @@ impl fmt::Display for TimelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TimelineError::CycleOverflow { start, cycles } => {
-                write!(f, "cycle count overflow: start {start} + {cycles} cycles exceeds u64")
+                write!(
+                    f,
+                    "cycle count overflow: start {start} + {cycles} cycles exceeds u64"
+                )
             }
             TimelineError::BusyOverflow { core } => {
                 write!(f, "busy-cycle counter of core {core} overflowed u64")
@@ -318,7 +321,10 @@ mod tests {
 
     #[test]
     fn errors_render() {
-        let e = TimelineError::CycleOverflow { start: 9, cycles: 1 };
+        let e = TimelineError::CycleOverflow {
+            start: 9,
+            cycles: 1,
+        };
         assert!(e.to_string().contains('9'));
         let e = TimelineError::BusyOverflow { core: 3 };
         assert!(e.to_string().contains('3'));

@@ -243,8 +243,15 @@ impl fmt::Display for InterpError {
             InterpError::OutOfBounds { index, tile } => {
                 write!(f, "command {index}: {tile} placed past the buffer end")
             }
-            InterpError::Overlap { index, tile, occupant } => {
-                write!(f, "command {index}: {tile} overlaps live block of {occupant}")
+            InterpError::Overlap {
+                index,
+                tile,
+                occupant,
+            } => {
+                write!(
+                    f,
+                    "command {index}: {tile} overlaps live block of {occupant}"
+                )
             }
             InterpError::AlreadyResident { index, tile } => {
                 write!(f, "command {index}: {tile} placed while already resident")
@@ -252,28 +259,50 @@ impl fmt::Display for InterpError {
             InterpError::NotResident { index, tile } => {
                 write!(f, "command {index}: {tile} is not resident")
             }
-            InterpError::AddressMismatch { index, tile, resident, claimed } => write!(
+            InterpError::AddressMismatch {
+                index,
+                tile,
+                resident,
+                claimed,
+            } => write!(
                 f,
                 "command {index}: {tile} lives at {resident:#x}, command claims {claimed:#x}"
             ),
-            InterpError::TileBytesMismatch { index, tile, expected, got } => write!(
+            InterpError::TileBytesMismatch {
+                index,
+                tile,
+                expected,
+                got,
+            } => write!(
                 f,
                 "command {index}: {tile} is {expected} B in the DFG, command says {got} B"
             ),
             InterpError::UninitRead { index, tile } => {
-                write!(f, "command {index}: {tile} read before any data was written")
+                write!(
+                    f,
+                    "command {index}: {tile} read before any data was written"
+                )
             }
             InterpError::DirtyDiscard { index, tile } => {
-                write!(f, "command {index}: dirty {tile} discarded — partial sum lost")
+                write!(
+                    f,
+                    "command {index}: dirty {tile} discarded — partial sum lost"
+                )
             }
             InterpError::CleanSpill { index, tile } => {
-                write!(f, "command {index}: clean {tile} spilled — bogus write-back")
+                write!(
+                    f,
+                    "command {index}: clean {tile} spilled — bogus write-back"
+                )
             }
             InterpError::BadCore { index, op, core } => {
                 write!(f, "command {index}: {op} on nonexistent core {core}")
             }
             InterpError::AccumulateMismatch { index, op } => {
-                write!(f, "command {index}: {op} accumulate flag disagrees with the DFG")
+                write!(
+                    f,
+                    "command {index}: {op} accumulate flag disagrees with the DFG"
+                )
             }
             InterpError::PredecessorNotExecuted { index, op, pred } => {
                 write!(f, "command {index}: {op} ran before its predecessor {pred}")
@@ -427,7 +456,12 @@ impl<'a> Machine<'a> {
     fn check_bytes(&self, index: usize, tile: TileId, got: u64) -> Result<(), InterpError> {
         let expected = self.dfg.tile_bytes(tile);
         if got != expected {
-            return Err(InterpError::TileBytesMismatch { index, tile, expected, got });
+            return Err(InterpError::TileBytesMismatch {
+                index,
+                tile,
+                expected,
+                got,
+            });
         }
         Ok(())
     }
@@ -452,11 +486,20 @@ impl<'a> Machine<'a> {
             return Err(InterpError::OutOfBounds { index, tile });
         }
         if let Some(occupant) = self.overlap(address, bytes) {
-            return Err(InterpError::Overlap { index, tile, occupant });
+            return Err(InterpError::Overlap {
+                index,
+                tile,
+                occupant,
+            });
         }
         self.blocks.insert(
             tile,
-            Block { address, bytes, valid, dirty: false },
+            Block {
+                address,
+                bytes,
+                valid,
+                dirty: false,
+            },
         );
         self.used += bytes;
         self.stats.peak_bytes = self.stats.peak_bytes.max(self.used);
@@ -513,17 +556,29 @@ pub fn interpret_program(
     while i < commands.len() {
         let index = i;
         match commands[i] {
-            SpmCommand::Load { tile, address, bytes } => {
+            SpmCommand::Load {
+                tile,
+                address,
+                bytes,
+            } => {
                 m.check_bytes(index, tile, bytes)?;
                 m.place(index, tile, address, bytes, true)?;
                 m.record_dma(load_class(tile.kind()), bytes);
                 *m.stats.loads_per_tile.entry(tile).or_default() += 1;
             }
-            SpmCommand::Reserve { tile, address, bytes } => {
+            SpmCommand::Reserve {
+                tile,
+                address,
+                bytes,
+            } => {
                 m.check_bytes(index, tile, bytes)?;
                 m.place(index, tile, address, bytes, false)?;
             }
-            SpmCommand::Spill { tile, address, bytes } => {
+            SpmCommand::Spill {
+                tile,
+                address,
+                bytes,
+            } => {
                 m.check_bytes(index, tile, bytes)?;
                 let block = m.resident(index, tile, address)?;
                 if !block.valid {
@@ -535,7 +590,11 @@ pub fn interpret_program(
                 m.evict(tile);
                 m.record_dma(TrafficClass::Psum, bytes);
             }
-            SpmCommand::Discard { tile, address, bytes } => {
+            SpmCommand::Discard {
+                tile,
+                address,
+                bytes,
+            } => {
                 m.check_bytes(index, tile, bytes)?;
                 let block = m.resident(index, tile, address)?;
                 if block.dirty {
@@ -555,7 +614,13 @@ pub fn interpret_program(
                 }
                 let mut lifted = Vec::with_capacity(end - start);
                 for (j, command) in commands.iter().enumerate().take(end).skip(start) {
-                    let SpmCommand::Move { tile, bytes, from, to } = *command else {
+                    let SpmCommand::Move {
+                        tile,
+                        bytes,
+                        from,
+                        to,
+                    } = *command
+                    else {
                         unreachable!("run contains only moves");
                     };
                     m.check_bytes(j, tile, bytes)?;
@@ -572,7 +637,14 @@ pub fn interpret_program(
                 i = end;
                 continue;
             }
-            SpmCommand::Exec { op, core, input, weight, output, accumulate } => {
+            SpmCommand::Exec {
+                op,
+                core,
+                input,
+                weight,
+                output,
+                accumulate,
+            } => {
                 if op.index() >= dfg.num_ops() {
                     return Err(InterpError::UnknownOp { index, op });
                 }
@@ -599,7 +671,10 @@ pub fn interpret_program(
                     // Accumulating onto a partial sum that is not
                     // there (never computed, or spilled and not
                     // reloaded).
-                    return Err(InterpError::UninitRead { index, tile: node.output() });
+                    return Err(InterpError::UninitRead {
+                        index,
+                        tile: node.output(),
+                    });
                 }
                 let block = m.blocks.get_mut(&node.output()).expect("checked resident");
                 block.valid = true;
@@ -607,7 +682,11 @@ pub fn interpret_program(
                 m.executed[op.index()] += 1;
                 m.stats.exec_core.insert(op, core);
             }
-            SpmCommand::Store { tile, address, bytes } => {
+            SpmCommand::Store {
+                tile,
+                address,
+                bytes,
+            } => {
                 m.check_bytes(index, tile, bytes)?;
                 let block = m.resident(index, tile, address)?;
                 if !block.valid {
@@ -694,22 +773,41 @@ pub enum DifferentialError {
 impl fmt::Display for DifferentialError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DifferentialError::ClassBytes { class, schedule, program } => write!(
+            DifferentialError::ClassBytes {
+                class,
+                schedule,
+                program,
+            } => write!(
                 f,
                 "{class} bytes diverge: schedule accounts {schedule}, program moves {program}"
             ),
-            DifferentialError::ClassTransfers { class, schedule, program } => write!(
+            DifferentialError::ClassTransfers {
+                class,
+                schedule,
+                program,
+            } => write!(
                 f,
                 "{class} transfers diverge: schedule {schedule}, program {program}"
             ),
-            DifferentialError::LoadCount { tile, schedule, program } => write!(
+            DifferentialError::LoadCount {
+                tile,
+                schedule,
+                program,
+            } => write!(
                 f,
                 "load count of {tile} diverges: schedule {schedule}, program {program}"
             ),
             DifferentialError::ExecMissing { op } => {
-                write!(f, "{op} is timed in the schedule but never executes in the program")
+                write!(
+                    f,
+                    "{op} is timed in the schedule but never executes in the program"
+                )
             }
-            DifferentialError::CoreMismatch { op, schedule, program } => write!(
+            DifferentialError::CoreMismatch {
+                op,
+                schedule,
+                program,
+            } => write!(
                 f,
                 "{op} runs on core {schedule} in the schedule, core {program} in the program"
             ),
@@ -741,16 +839,27 @@ pub fn differential_check(
     check_compaction: bool,
 ) -> Result<(), DifferentialError> {
     for class in TrafficClass::all() {
-        let (s, p) = (schedule.traffic().class_bytes(class), stats.class_bytes(class));
+        let (s, p) = (
+            schedule.traffic().class_bytes(class),
+            stats.class_bytes(class),
+        );
         if s != p {
-            return Err(DifferentialError::ClassBytes { class, schedule: s, program: p });
+            return Err(DifferentialError::ClassBytes {
+                class,
+                schedule: s,
+                program: p,
+            });
         }
         let (s, p) = (
             schedule.traffic().class_transfers(class),
             stats.class_transfers(class),
         );
         if s != p {
-            return Err(DifferentialError::ClassTransfers { class, schedule: s, program: p });
+            return Err(DifferentialError::ClassTransfers {
+                class,
+                schedule: s,
+                program: p,
+            });
         }
     }
 
@@ -758,12 +867,20 @@ pub fn differential_check(
     for (tile, &s) in schedule_loads {
         let p = stats.loads_per_tile().get(tile).copied().unwrap_or(0);
         if s != p {
-            return Err(DifferentialError::LoadCount { tile: *tile, schedule: s, program: p });
+            return Err(DifferentialError::LoadCount {
+                tile: *tile,
+                schedule: s,
+                program: p,
+            });
         }
     }
     for (tile, &p) in stats.loads_per_tile() {
         if !schedule_loads.contains_key(tile) {
-            return Err(DifferentialError::LoadCount { tile: *tile, schedule: 0, program: p });
+            return Err(DifferentialError::LoadCount {
+                tile: *tile,
+                schedule: 0,
+                program: p,
+            });
         }
     }
 
@@ -812,9 +929,21 @@ mod tests {
         let op1 = dfg.op(OpId::new(1));
         let b = |t: TileId| dfg.tile_bytes(t);
         vec![
-            SpmCommand::Load { tile: op0.input(), address: 0, bytes: b(op0.input()) },
-            SpmCommand::Load { tile: op0.weight(), address: 1000, bytes: b(op0.weight()) },
-            SpmCommand::Reserve { tile: op0.output(), address: 2000, bytes: b(op0.output()) },
+            SpmCommand::Load {
+                tile: op0.input(),
+                address: 0,
+                bytes: b(op0.input()),
+            },
+            SpmCommand::Load {
+                tile: op0.weight(),
+                address: 1000,
+                bytes: b(op0.weight()),
+            },
+            SpmCommand::Reserve {
+                tile: op0.output(),
+                address: 2000,
+                bytes: b(op0.output()),
+            },
             SpmCommand::Exec {
                 op: op0.id(),
                 core: 0,
@@ -823,10 +952,26 @@ mod tests {
                 output: 2000,
                 accumulate: false,
             },
-            SpmCommand::Discard { tile: op0.input(), address: 0, bytes: b(op0.input()) },
-            SpmCommand::Load { tile: op1.input(), address: 0, bytes: b(op1.input()) },
-            SpmCommand::Discard { tile: op0.weight(), address: 1000, bytes: b(op0.weight()) },
-            SpmCommand::Load { tile: op1.weight(), address: 1000, bytes: b(op1.weight()) },
+            SpmCommand::Discard {
+                tile: op0.input(),
+                address: 0,
+                bytes: b(op0.input()),
+            },
+            SpmCommand::Load {
+                tile: op1.input(),
+                address: 0,
+                bytes: b(op1.input()),
+            },
+            SpmCommand::Discard {
+                tile: op0.weight(),
+                address: 1000,
+                bytes: b(op0.weight()),
+            },
+            SpmCommand::Load {
+                tile: op1.weight(),
+                address: 1000,
+                bytes: b(op1.weight()),
+            },
             SpmCommand::Exec {
                 op: op1.id(),
                 core: 1,
@@ -835,7 +980,11 @@ mod tests {
                 output: 2000,
                 accumulate: true,
             },
-            SpmCommand::Store { tile: op1.output(), address: 2000, bytes: b(op1.output()) },
+            SpmCommand::Store {
+                tile: op1.output(),
+                address: 2000,
+                bytes: b(op1.output()),
+            },
         ]
     }
 
@@ -868,7 +1017,10 @@ mod tests {
             *address = 4; // lands inside the input block
         }
         let err = interpret_program(&dfg, arch.spm_bytes(), 2, &cmds).unwrap_err();
-        assert!(matches!(err, InterpError::Overlap { index: 1, .. }), "{err}");
+        assert!(
+            matches!(err, InterpError::Overlap { index: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -889,10 +1041,17 @@ mod tests {
         // Discard the dirty accumulator right after op0.
         cmds.insert(
             4,
-            SpmCommand::Discard { tile: out, address: 2000, bytes: dfg.tile_bytes(out) },
+            SpmCommand::Discard {
+                tile: out,
+                address: 2000,
+                bytes: dfg.tile_bytes(out),
+            },
         );
         let err = interpret_program(&dfg, arch.spm_bytes(), 2, &cmds).unwrap_err();
-        assert!(matches!(err, InterpError::DirtyDiscard { index: 4, .. }), "{err}");
+        assert!(
+            matches!(err, InterpError::DirtyDiscard { index: 4, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -904,7 +1063,11 @@ mod tests {
         let out = dfg.op(OpId::new(0)).output();
         cmds.insert(
             4,
-            SpmCommand::Spill { tile: out, address: 2000, bytes: dfg.tile_bytes(out) },
+            SpmCommand::Spill {
+                tile: out,
+                address: 2000,
+                bytes: dfg.tile_bytes(out),
+            },
         );
         let err = interpret_program(&dfg, arch.spm_bytes(), 2, &cmds).unwrap_err();
         assert!(matches!(err, InterpError::NotResident { .. }), "{err}");
@@ -935,9 +1098,21 @@ mod tests {
         let op1 = dfg.op(OpId::new(1));
         let b = |t: TileId| dfg.tile_bytes(t);
         let cmds = vec![
-            SpmCommand::Load { tile: op1.input(), address: 0, bytes: b(op1.input()) },
-            SpmCommand::Load { tile: op1.weight(), address: 1000, bytes: b(op1.weight()) },
-            SpmCommand::Reserve { tile: op1.output(), address: 2000, bytes: b(op1.output()) },
+            SpmCommand::Load {
+                tile: op1.input(),
+                address: 0,
+                bytes: b(op1.input()),
+            },
+            SpmCommand::Load {
+                tile: op1.weight(),
+                address: 1000,
+                bytes: b(op1.weight()),
+            },
+            SpmCommand::Reserve {
+                tile: op1.output(),
+                address: 2000,
+                bytes: b(op1.output()),
+            },
             SpmCommand::Exec {
                 op: op1.id(),
                 core: 0,
@@ -948,7 +1123,10 @@ mod tests {
             },
         ];
         let err = interpret_program(&dfg, arch.spm_bytes(), 2, &cmds).unwrap_err();
-        assert!(matches!(err, InterpError::PredecessorNotExecuted { .. }), "{err}");
+        assert!(
+            matches!(err, InterpError::PredecessorNotExecuted { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -959,7 +1137,10 @@ mod tests {
             *core = 99;
         }
         let err = interpret_program(&dfg, arch.spm_bytes(), 2, &cmds).unwrap_err();
-        assert!(matches!(err, InterpError::BadCore { core: 99, .. }), "{err}");
+        assert!(
+            matches!(err, InterpError::BadCore { core: 99, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -968,7 +1149,11 @@ mod tests {
         let op0 = dfg.op(OpId::new(0));
         let b = |t: TileId| dfg.tile_bytes(t);
         let cmds = vec![
-            SpmCommand::Load { tile: op0.input(), address: 100, bytes: b(op0.input()) },
+            SpmCommand::Load {
+                tile: op0.input(),
+                address: 100,
+                bytes: b(op0.input()),
+            },
             SpmCommand::Load {
                 tile: op0.weight(),
                 address: 100 + b(op0.input()),
@@ -976,7 +1161,12 @@ mod tests {
             },
             // Slide both down; the second destination overlaps the
             // first's old home.
-            SpmCommand::Move { tile: op0.input(), bytes: b(op0.input()), from: 100, to: 0 },
+            SpmCommand::Move {
+                tile: op0.input(),
+                bytes: b(op0.input()),
+                from: 100,
+                to: 0,
+            },
             SpmCommand::Move {
                 tile: op0.weight(),
                 bytes: b(op0.weight()),
@@ -987,7 +1177,10 @@ mod tests {
         // Ends with unexecuted ops -> ExecCount, proving the moves
         // themselves were legal.
         let err = interpret_program(&dfg, arch.spm_bytes(), 2, &cmds).unwrap_err();
-        assert!(matches!(err, InterpError::ExecCount { times: 0, .. }), "{err}");
+        assert!(
+            matches!(err, InterpError::ExecCount { times: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1009,7 +1202,10 @@ mod tests {
             *bytes += 1;
         }
         let err = interpret_program(&dfg, arch.spm_bytes(), 2, &cmds).unwrap_err();
-        assert!(matches!(err, InterpError::TileBytesMismatch { index: 0, .. }), "{err}");
+        assert!(
+            matches!(err, InterpError::TileBytesMismatch { index: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1017,7 +1213,10 @@ mod tests {
         let (dfg, _) = tiny_dfg();
         let err = interpret_program(&dfg, 64, 2, &legal_commands(&dfg)).unwrap_err();
         assert!(
-            matches!(err, InterpError::OutOfBounds { .. } | InterpError::Overlap { .. }),
+            matches!(
+                err,
+                InterpError::OutOfBounds { .. } | InterpError::Overlap { .. }
+            ),
             "{err}"
         );
     }

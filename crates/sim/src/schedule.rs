@@ -293,6 +293,15 @@ impl ScheduleBuilder {
         &self.timeline
     }
 
+    /// Total bytes transferred so far. Monotone in the commands
+    /// recorded, so a partial schedule's value never exceeds the
+    /// finished schedule's — the search layer's early-exit cutoff
+    /// relies on this.
+    #[must_use]
+    pub fn transfer_bytes(&self) -> u64 {
+        self.traffic.total_bytes()
+    }
+
     /// Records a memory operation taking `dma_cycles` on the shared
     /// channel; returns its `(start, end)`.
     ///
@@ -387,7 +396,11 @@ impl ScheduleBuilder {
     ///
     /// [`TimelineError`] if the cycle arithmetic overflows; the
     /// compaction totals are left untouched on failure.
-    pub fn record_compaction(&mut self, bytes: u64, dma_cycles: u64) -> Result<(u64, u64), TimelineError> {
+    pub fn record_compaction(
+        &mut self,
+        bytes: u64,
+        dma_cycles: u64,
+    ) -> Result<(u64, u64), TimelineError> {
         let span = self.timeline.issue_dma(dma_cycles)?;
         self.compaction_cycles += dma_cycles;
         self.compaction_bytes += bytes;

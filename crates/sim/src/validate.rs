@@ -81,7 +81,9 @@ impl fmt::Display for ValidationError {
             ValidationError::CoreOverlap { core, a, b } => {
                 write!(f, "{a} and {b} overlap on core {core}")
             }
-            ValidationError::DmaOverlap => write!(f, "memory operations overlap on the DMA channel"),
+            ValidationError::DmaOverlap => {
+                write!(f, "memory operations overlap on the DMA channel")
+            }
             ValidationError::LoadAfterUse { op } => {
                 write!(f, "a load for {op} completed after the operation started")
             }
@@ -143,10 +145,7 @@ pub fn validate_schedule(dfg: &Dfg, schedule: &Schedule) -> Result<(), Validatio
             let (start, _) = span[&op.id()];
             let (_, pred_end) = span[&pred];
             if start < pred_end {
-                return Err(ValidationError::DependencyViolated {
-                    op: op.id(),
-                    pred,
-                });
+                return Err(ValidationError::DependencyViolated { op: op.id(), pred });
             }
         }
     }
@@ -173,7 +172,11 @@ pub fn validate_schedule(dfg: &Dfg, schedule: &Schedule) -> Result<(), Validatio
     }
 
     // 4. DMA exclusivity.
-    let mut dma: Vec<(u64, u64)> = schedule.mem_ops().iter().map(|m| (m.start, m.end)).collect();
+    let mut dma: Vec<(u64, u64)> = schedule
+        .mem_ops()
+        .iter()
+        .map(|m| (m.start, m.end))
+        .collect();
     dma.sort_unstable();
     for pair in dma.windows(2) {
         if pair[1].0 < pair[0].1 {
@@ -322,7 +325,10 @@ mod tests {
         let mut b = ScheduleBuilder::new(1);
         b.record_compute(dfg.ops()[0].id(), 0, 0, 10).unwrap();
         let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
-        assert!(matches!(err, ValidationError::OpCount { times: 0, .. }), "{err}");
+        assert!(
+            matches!(err, ValidationError::OpCount { times: 0, .. }),
+            "{err}"
+        );
         let _ = model;
     }
 
@@ -335,7 +341,10 @@ mod tests {
         b.record_compute(dfg.ops()[0].id(), 0, 0, 10).unwrap();
         b.record_compute(dfg.ops()[1].id(), 1, 0, 10).unwrap();
         let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
-        assert!(matches!(err, ValidationError::DependencyViolated { .. }), "{err}");
+        assert!(
+            matches!(err, ValidationError::DependencyViolated { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -346,7 +355,10 @@ mod tests {
         b.record_compute(dfg.ops()[0].id(), 0, 0, 10).unwrap();
         b.record_compute(dfg.ops()[1].id(), 0, 0, 10).unwrap();
         let err = validate_schedule(&dfg, &b.finish()).unwrap_err();
-        assert!(matches!(err, ValidationError::OpCount { times: 2, .. }), "{err}");
+        assert!(
+            matches!(err, ValidationError::OpCount { times: 2, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -355,7 +367,10 @@ mod tests {
         // Fully legal except the final store is dropped.
         let sched = hand_schedule(&dfg, &model, false);
         let err = validate_schedule(&dfg, &sched).unwrap_err();
-        assert!(matches!(err, ValidationError::MissingOutput { .. }), "{err}");
+        assert!(
+            matches!(err, ValidationError::MissingOutput { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -407,13 +422,34 @@ mod tests {
         let mut b = ScheduleBuilder::new(2);
         // Both weights first, then the shared input tagged for op0.
         let (_, w0_end) = b
-            .record_mem_op(MemOpKind::Load, TrafficClass::Weight, op0.weight(), 8, 10, Some(op0.id()))
+            .record_mem_op(
+                MemOpKind::Load,
+                TrafficClass::Weight,
+                op0.weight(),
+                8,
+                10,
+                Some(op0.id()),
+            )
             .unwrap();
         let (_, w1_end) = b
-            .record_mem_op(MemOpKind::Load, TrafficClass::Weight, op1.weight(), 8, 10, Some(op1.id()))
+            .record_mem_op(
+                MemOpKind::Load,
+                TrafficClass::Weight,
+                op1.weight(),
+                8,
+                10,
+                Some(op1.id()),
+            )
             .unwrap();
         let (_, in_end) = b
-            .record_mem_op(MemOpKind::Load, TrafficClass::Input, op0.input(), 8, 10, Some(op0.id()))
+            .record_mem_op(
+                MemOpKind::Load,
+                TrafficClass::Input,
+                op0.input(),
+                8,
+                10,
+                Some(op0.id()),
+            )
             .unwrap();
         // op1 starts before the shared input finishes loading; op0
         // waits for it, so the tagged check alone stays green.
@@ -459,7 +495,14 @@ mod tests {
                         _ => TrafficClass::Weight,
                     };
                     let (_, end) = b
-                        .record_mem_op(MemOpKind::Load, class, tile, bytes, model.dma_cycles(bytes), Some(op.id()))
+                        .record_mem_op(
+                            MemOpKind::Load,
+                            class,
+                            tile,
+                            bytes,
+                            model.dma_cycles(bytes),
+                            Some(op.id()),
+                        )
                         .unwrap();
                     clock = clock.max(end);
                 }
@@ -490,6 +533,9 @@ mod tests {
         let mut inflated = sched;
         inflated.set_latency_for_test(inflated.latency() + 8);
         let err = validate_schedule(&dfg, &inflated).unwrap_err();
-        assert!(matches!(err, ValidationError::LatencyMismatch { .. }), "{err}");
+        assert!(
+            matches!(err, ValidationError::LatencyMismatch { .. }),
+            "{err}"
+        );
     }
 }

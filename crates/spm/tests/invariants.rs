@@ -5,8 +5,7 @@
 //! and the allocation postconditions.
 
 use flexer_spm::{
-    AllocError, AllocMethod, FirstFitSpill, FlexerSpill, SmallestFirstSpill, SpillPolicy,
-    SpmMemory,
+    AllocError, AllocMethod, FirstFitSpill, FlexerSpill, SmallestFirstSpill, SpillPolicy, SpmMemory,
 };
 use flexer_tiling::TileId;
 use proptest::prelude::*;
@@ -24,8 +23,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u32..24, 1u64..200, 0u32..5)
-            .prop_map(|(tile, size, uses)| Op::Alloc { tile, size, uses }),
+        (0u32..24, 1u64..200, 0u32..5).prop_map(|(tile, size, uses)| Op::Alloc {
+            tile,
+            size,
+            uses
+        }),
         (0u32..24).prop_map(|tile| Op::Evict { tile }),
         (0u32..24).prop_map(|tile| Op::Pin { tile }),
         Just(Op::UnpinAll),
@@ -43,7 +45,11 @@ fn run_sequence(policy: &dyn SpillPolicy, capacity: u64, ops: &[Op]) {
     let mut pinned_bytes = 0u64;
     for op in ops {
         match op {
-            Op::Alloc { tile: t, size, uses } => {
+            Op::Alloc {
+                tile: t,
+                size,
+                uses,
+            } => {
                 let was_resident = spm.contains(tile(*t));
                 match spm.allocate(tile(*t), *size, *uses, policy) {
                     Ok(outcome) => {
@@ -115,7 +121,11 @@ fn run_sequence(policy: &dyn SpillPolicy, capacity: u64, ops: &[Op]) {
 fn apply_ops(policy: &dyn SpillPolicy, spm: &mut SpmMemory, ops: &[Op]) {
     for op in ops {
         match op {
-            Op::Alloc { tile: t, size, uses } => {
+            Op::Alloc {
+                tile: t,
+                size,
+                uses,
+            } => {
                 let _ = spm.allocate(tile(*t), *size, *uses, policy);
             }
             Op::Evict { tile: t } => {

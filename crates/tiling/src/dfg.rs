@@ -1,7 +1,8 @@
 //! Data-flow graphs of tiled convolutions.
 
+use crate::compulsory::CompulsoryTiles;
 use crate::dataflow::{Dataflow, LoopDim};
-use crate::factors::{input_extent, TilingFactors};
+use crate::factors::TilingFactors;
 use crate::op::{OpId, TiledOp};
 use crate::tile::{TileId, TileKind};
 use flexer_arch::{ArchConfig, ConvTileDims, PerfModel};
@@ -29,7 +30,10 @@ impl fmt::Display for TilingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TilingError::TooManyOps { requested, max } => {
-                write!(f, "tiling produces {requested} operations, maximum is {max}")
+                write!(
+                    f,
+                    "tiling produces {requested} operations, maximum is {max}"
+                )
             }
         }
     }
@@ -107,53 +111,16 @@ impl Dfg {
         let (kt, ct, st) = (factors.k(), factors.c(), factors.spatial());
         let elem = arch.element_size().bytes();
 
-        // Per-tile byte sizes (index math mirrors `tile_bytes`).
-        let mut in_bytes = vec![0u64; (ct * st) as usize];
-        let mut wt_bytes = vec![0u64; (kt * ct) as usize];
-        let mut ot_bytes = vec![0u64; (kt * st) as usize];
+        // Per-tile byte sizes (index math mirrors `tile_bytes`), shared
+        // with the search layer's compulsory-traffic bound accounting.
+        let (in_bytes, wt_bytes, ot_bytes) =
+            CompulsoryTiles::compute(layer, &factors, elem).into_parts();
         let spatial_dims: Vec<(u32, u32)> = (0..st)
             .map(|s| {
                 let (sh, sw) = (s / factors.w(), s % factors.w());
                 (sh, sw)
             })
             .collect();
-        for c in 0..ct {
-            let cc = u64::from(factors.c_extent(layer, c));
-            for (s, &(sh, sw)) in spatial_dims.iter().enumerate() {
-                let (h0, he) = factors.h_range(layer, sh);
-                let (w0, we) = factors.w_range(layer, sw);
-                let ih = u64::from(input_extent(
-                    h0,
-                    he,
-                    layer.stride(),
-                    layer.kernel_h(),
-                    layer.padding(),
-                    layer.in_height(),
-                ));
-                let iw = u64::from(input_extent(
-                    w0,
-                    we,
-                    layer.stride(),
-                    layer.kernel_w(),
-                    layer.padding(),
-                    layer.in_width(),
-                ));
-                in_bytes[(c * st) as usize + s] = cc * ih * iw * elem;
-            }
-        }
-        let taps = u64::from(layer.kernel_h()) * u64::from(layer.kernel_w());
-        for k in 0..kt {
-            let kc = u64::from(factors.k_extent(layer, k));
-            for c in 0..ct {
-                let cc = u64::from(factors.c_extent(layer, c));
-                wt_bytes[(k * ct + c) as usize] = kc * cc * taps * elem;
-            }
-            for (s, &(sh, sw)) in spatial_dims.iter().enumerate() {
-                let he = u64::from(factors.h_range(layer, sh).1);
-                let we = u64::from(factors.w_range(layer, sw).1);
-                ot_bytes[(k * st) as usize + s] = kc * he * we * elem;
-            }
-        }
 
         // Enumerate ops in the dataflow's loop order.
         let order = dataflow.order();
@@ -189,15 +156,7 @@ impl Dfg {
                         kernel_h: layer.kernel_h(),
                         kernel_w: layer.kernel_w(),
                     };
-                    let op = TiledOp::new(
-                        id,
-                        k,
-                        c,
-                        s,
-                        c > 0,
-                        c == ct - 1,
-                        perf.conv_cycles(&dims),
-                    );
+                    let op = TiledOp::new(id, k, c, s, c > 0, c == ct - 1, perf.conv_cycles(&dims));
                     id_of[((k * ct + c) * st + s) as usize] = id;
                     ops.push(op);
                 }
@@ -352,12 +311,9 @@ impl Dfg {
         let st = self.factors.spatial();
         let ct = self.factors.c();
         let kt = self.factors.k();
-        let inputs =
-            (0..ct).flat_map(move |c| (0..st).map(move |s| TileId::Input { c, s }));
-        let weights =
-            (0..kt).flat_map(move |k| (0..ct).map(move |c| TileId::Weight { k, c }));
-        let outputs =
-            (0..kt).flat_map(move |k| (0..st).map(move |s| TileId::Output { k, s }));
+        let inputs = (0..ct).flat_map(move |c| (0..st).map(move |s| TileId::Input { c, s }));
+        let weights = (0..kt).flat_map(move |k| (0..ct).map(move |c| TileId::Weight { k, c }));
+        let outputs = (0..kt).flat_map(move |k| (0..st).map(move |s| TileId::Output { k, s }));
         inputs.chain(weights).chain(outputs)
     }
 }
@@ -380,14 +336,7 @@ mod tests {
     use super::*;
     use flexer_arch::{ArchPreset, SystolicModel};
 
-    fn build(
-        layer: &ConvLayer,
-        k: u32,
-        c: u32,
-        h: u32,
-        w: u32,
-        dataflow: Dataflow,
-    ) -> Dfg {
+    fn build(layer: &ConvLayer, k: u32, c: u32, h: u32, w: u32, dataflow: Dataflow) -> Dfg {
         let arch = ArchConfig::preset(ArchPreset::Arch1);
         let factors = TilingFactors::normalized(layer, k, c, h, w);
         Dfg::build(layer, factors, dataflow, &SystolicModel::new(&arch), &arch).unwrap()
@@ -409,8 +358,7 @@ mod tests {
         let l = layer();
         // KCS: k outer, c middle, s inner.
         let dfg = build(&l, 2, 2, 2, 1, Dataflow::Kcs);
-        let seq: Vec<(u32, u32, u32)> =
-            dfg.ops().iter().map(|o| (o.k(), o.c(), o.s())).collect();
+        let seq: Vec<(u32, u32, u32)> = dfg.ops().iter().map(|o| (o.k(), o.c(), o.s())).collect();
         assert_eq!(
             seq,
             [
@@ -426,8 +374,7 @@ mod tests {
         );
         // CSK: c outer, s middle, k inner.
         let dfg = build(&l, 2, 2, 2, 1, Dataflow::Csk);
-        let seq: Vec<(u32, u32, u32)> =
-            dfg.ops().iter().map(|o| (o.k(), o.c(), o.s())).collect();
+        let seq: Vec<(u32, u32, u32)> = dfg.ops().iter().map(|o| (o.k(), o.c(), o.s())).collect();
         assert_eq!(
             seq,
             [
@@ -547,8 +494,14 @@ mod tests {
         let l = ConvLayer::new("big", 512, 128, 128, 512).unwrap();
         let arch = ArchConfig::preset(ArchPreset::Arch1);
         let factors = TilingFactors::normalized(&l, 512, 512, 128, 128);
-        let err = Dfg::build(&l, factors, Dataflow::Kcs, &SystolicModel::new(&arch), &arch)
-            .unwrap_err();
+        let err = Dfg::build(
+            &l,
+            factors,
+            Dataflow::Kcs,
+            &SystolicModel::new(&arch),
+            &arch,
+        )
+        .unwrap_err();
         assert!(matches!(err, TilingError::TooManyOps { .. }));
     }
 

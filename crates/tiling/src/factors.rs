@@ -277,9 +277,7 @@ pub fn enumerate_tilings(
 pub fn estimate_metric(layer: &ConvLayer, f: &TilingFactors, arch: &ArchConfig) -> f64 {
     let ws = working_set_bytes(layer, f, arch).max(1);
     let fit = (arch.spm_bytes() / ws).max(1);
-    let parallelism = u64::from(arch.cores())
-        .min(fit)
-        .min(f.num_ops().max(1));
+    let parallelism = u64::from(arch.cores()).min(fit).min(f.num_ops().max(1));
     let latency = layer.macs() as f64 / parallelism as f64;
 
     let elem = arch.element_size().bytes();
@@ -522,9 +520,7 @@ mod tests {
         assert!(kept.iter().any(|f| f.num_ops() == coarsest));
         // The full list is sorted by ascending estimate.
         for pair in all.windows(2) {
-            assert!(
-                estimate_metric(&l, &pair[0], &arch) <= estimate_metric(&l, &pair[1], &arch)
-            );
+            assert!(estimate_metric(&l, &pair[0], &arch) <= estimate_metric(&l, &pair[1], &arch));
         }
     }
 
@@ -552,9 +548,7 @@ mod tests {
         let tilings = enumerate_tilings(&l, &arch, &opts);
         assert!(tilings.len() <= 5);
         for pair in tilings.windows(2) {
-            assert!(
-                estimate_metric(&l, &pair[0], &arch) <= estimate_metric(&l, &pair[1], &arch)
-            );
+            assert!(estimate_metric(&l, &pair[0], &arch) <= estimate_metric(&l, &pair[1], &arch));
         }
     }
 

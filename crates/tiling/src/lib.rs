@@ -38,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compulsory;
 mod dataflow;
 mod dfg;
 mod factors;
 mod op;
 mod tile;
 
+pub use compulsory::{compute_envelope, CompulsoryTiles, ComputeEnvelope};
 pub use dataflow::Dataflow;
 pub use dfg::{Dfg, TilingError};
 pub use factors::{enumerate_tilings, estimate_metric, TilingFactors, TilingOptions};

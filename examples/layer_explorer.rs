@@ -29,7 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "# {:<18} {:<22} {:>12} {:>14} {:>12} {:>14} {:>8} {:>8}",
-        "tiling", "dataflow", "ooo_cyc", "ooo_bytes", "static_cyc", "static_bytes", "speedup", "x_less_B"
+        "tiling",
+        "dataflow",
+        "ooo_cyc",
+        "ooo_bytes",
+        "static_cyc",
+        "static_bytes",
+        "speedup",
+        "x_less_B"
     );
     for (o, s) in ooo.iter().zip(&baseline) {
         assert_eq!(o.factors, s.factors);
@@ -57,8 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("sweep is non-empty")
     };
     let (bo, bs) = (best(&ooo), best(&baseline));
-    println!("\nbest OoO    : {} / {} -> {} cycles, {} B", bo.factors, bo.dataflow, bo.latency, bo.transfer_bytes);
-    println!("best static : {} / {} -> {} cycles, {} B", bs.factors, bs.dataflow, bs.latency, bs.transfer_bytes);
+    println!(
+        "\nbest OoO    : {} / {} -> {} cycles, {} B",
+        bo.factors, bo.dataflow, bo.latency, bo.transfer_bytes
+    );
+    println!(
+        "best static : {} / {} -> {} cycles, {} B",
+        bs.factors, bs.dataflow, bs.latency, bs.transfer_bytes
+    );
     println!(
         "metric ({metric}): OoO {:.3e} vs static {:.3e}",
         bo.score, bs.score

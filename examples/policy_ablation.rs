@@ -26,11 +26,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("arch : {arch}\n");
 
     let variants: [(&str, PriorityPolicy, SpillPolicyChoice); 5] = [
-        ("flexer default", PriorityPolicy::FlexerDefault, SpillPolicyChoice::Flexer),
-        ("priority1 (min transfer)", PriorityPolicy::MinTransfer, SpillPolicyChoice::Flexer),
-        ("priority2 (min spilling)", PriorityPolicy::MinSpill, SpillPolicyChoice::Flexer),
-        ("mempolicy1 (first fit)", PriorityPolicy::FlexerDefault, SpillPolicyChoice::FirstFit),
-        ("mempolicy2 (small first)", PriorityPolicy::FlexerDefault, SpillPolicyChoice::SmallestFirst),
+        (
+            "flexer default",
+            PriorityPolicy::FlexerDefault,
+            SpillPolicyChoice::Flexer,
+        ),
+        (
+            "priority1 (min transfer)",
+            PriorityPolicy::MinTransfer,
+            SpillPolicyChoice::Flexer,
+        ),
+        (
+            "priority2 (min spilling)",
+            PriorityPolicy::MinSpill,
+            SpillPolicyChoice::Flexer,
+        ),
+        (
+            "mempolicy1 (first fit)",
+            PriorityPolicy::FlexerDefault,
+            SpillPolicyChoice::FirstFit,
+        ),
+        (
+            "mempolicy2 (small first)",
+            PriorityPolicy::FlexerDefault,
+            SpillPolicyChoice::SmallestFirst,
+        ),
     ];
 
     let mut default_score = None;

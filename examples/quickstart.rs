@@ -57,8 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // sequencer would execute (first few commands shown).
     let model = SystolicModel::new(driver.arch());
     let dfg = Dfg::build(&layer, ooo.factors, ooo.dataflow, &model, driver.arch())?;
-    let (_, program) = flexer::sched::OooScheduler::new(&dfg, driver.arch(), &model)
-        .schedule_with_program()?;
+    let (_, program) =
+        flexer::sched::OooScheduler::new(&dfg, driver.arch(), &model).schedule_with_program()?;
     program.check(&dfg)?;
     println!("\nlowered program ({} commands, validated):", program.len());
     for line in program.render().lines().take(9) {

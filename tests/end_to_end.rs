@@ -19,7 +19,10 @@ fn scaled_vgg16_schedules_end_to_end() {
     // more than noise; typically it wins.
     let fm = cmp.flexer().total_latency() as f64 * cmp.flexer().total_transfer_bytes() as f64;
     let bm = cmp.baseline().total_latency() as f64 * cmp.baseline().total_transfer_bytes() as f64;
-    assert!(fm <= bm * 1.15, "flexer metric {fm:.3e} vs baseline {bm:.3e}");
+    assert!(
+        fm <= bm * 1.15,
+        "flexer metric {fm:.3e} vs baseline {bm:.3e}"
+    );
 }
 
 #[test]

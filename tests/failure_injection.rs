@@ -42,7 +42,9 @@ fn scheduler_surfaces_alloc_failure_when_pins_block_everything() {
     let dfg = Dfg::build(&layer, factors, Dataflow::Kcs, &model, &roomy).unwrap();
     // Same DFG, much smaller buffer.
     let tiny = ArchConfigBuilder::new(2, 4096, 32).build().unwrap();
-    let err = OooScheduler::new(&dfg, &tiny, &model).schedule().unwrap_err();
+    let err = OooScheduler::new(&dfg, &tiny, &model)
+        .schedule()
+        .unwrap_err();
     assert!(matches!(err, SchedError::Alloc(_)), "{err}");
 }
 

@@ -21,7 +21,9 @@ fn static_schedules_have_uniform_reload_counts() {
     let factors = TilingFactors::normalized(&layer, 4, 4, 2, 2);
     for df in Dataflow::all() {
         let dfg = Dfg::build(&layer, factors, df, &model, &arch).unwrap();
-        let st = StaticScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+        let st = StaticScheduler::new(&dfg, &arch, &model)
+            .schedule()
+            .unwrap();
         for kind in [TileKind::Input, TileKind::Weight] {
             assert!(
                 !st.traffic().has_reload_variation(kind),
@@ -64,13 +66,19 @@ fn onchip_reference_bounds_real_schedules() {
         let reference = onchip_reference_traffic(&dfg);
         for sched in [
             OooScheduler::new(&dfg, &arch, &model).schedule().unwrap(),
-            StaticScheduler::new(&dfg, &arch, &model).schedule().unwrap(),
+            StaticScheduler::new(&dfg, &arch, &model)
+                .schedule()
+                .unwrap(),
         ] {
             let t: &TrafficStats = sched.traffic();
             assert!(t.total_bytes() >= reference.total_bytes());
             // Inputs and weights must each be brought in at least once;
             // outputs stored at least once.
-            for class in [TrafficClass::Input, TrafficClass::Weight, TrafficClass::Output] {
+            for class in [
+                TrafficClass::Input,
+                TrafficClass::Weight,
+                TrafficClass::Output,
+            ] {
                 assert!(
                     t.class_bytes(class) >= reference.class_bytes(class),
                     "{df}: {class} below the mandatory minimum"
@@ -90,12 +98,16 @@ fn spatial_reuse_kind_diversity() {
     let factors = TilingFactors::normalized(&layer, 4, 4, 2, 2);
     // Input-stationary static order: only IN tiles shared.
     let dfg = Dfg::build(&layer, factors, Dataflow::Csk, &model, &arch).unwrap();
-    let st = StaticScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+    let st = StaticScheduler::new(&dfg, &arch, &model)
+        .schedule()
+        .unwrap();
     assert!(st.spatial_reuse().events(TileKind::Input) > 0);
     assert_eq!(st.spatial_reuse().events(TileKind::Output), 0);
     // Weight-stationary static order: only WT tiles shared.
     let dfg = Dfg::build(&layer, factors, Dataflow::Kcs, &model, &arch).unwrap();
-    let st = StaticScheduler::new(&dfg, &arch, &model).schedule().unwrap();
+    let st = StaticScheduler::new(&dfg, &arch, &model)
+        .schedule()
+        .unwrap();
     assert!(st.spatial_reuse().events(TileKind::Weight) > 0);
     assert_eq!(st.spatial_reuse().events(TileKind::Input), 0);
     // The OoO schedule mixes patterns: at least two kinds shared.
@@ -135,7 +147,10 @@ fn flexer_beats_baseline_on_bandwidth_bound_layer() {
 #[test]
 fn transfer_weighted_metric_shifts_the_tradeoff() {
     let vgg = networks::vgg16();
-    let layer = scale_spatial(&vgg, 2).layer_by_name("conv4_2").unwrap().clone();
+    let layer = scale_spatial(&vgg, 2)
+        .layer_by_name("conv4_2")
+        .unwrap()
+        .clone();
     let arch = arch5();
     let default = search_layer(&layer, &arch, &SearchOptions::quick()).unwrap();
     let weighted = search_layer(
@@ -159,10 +174,14 @@ fn psum_traffic_follows_stationarity() {
     let layer = ConvLayer::new("p", 128, 16, 16, 64).unwrap();
     let factors = TilingFactors::normalized(&layer, 4, 4, 2, 2);
     let ksc = Dfg::build(&layer, factors, Dataflow::Ksc, &model, &arch).unwrap();
-    let st = StaticScheduler::new(&ksc, &arch, &model).schedule().unwrap();
+    let st = StaticScheduler::new(&ksc, &arch, &model)
+        .schedule()
+        .unwrap();
     assert_eq!(st.traffic().class_bytes(TrafficClass::Psum), 0);
     let csk = Dfg::build(&layer, factors, Dataflow::Csk, &model, &arch).unwrap();
-    let st = StaticScheduler::new(&csk, &arch, &model).schedule().unwrap();
+    let st = StaticScheduler::new(&csk, &arch, &model)
+        .schedule()
+        .unwrap();
     assert!(st.traffic().class_bytes(TrafficClass::Psum) > 0);
 }
 

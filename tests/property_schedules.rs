@@ -11,11 +11,11 @@ use proptest::prelude::*;
 /// kernels and strides).
 fn layer_strategy() -> impl Strategy<Value = ConvLayer> {
     (
-        1u32..96,       // in channels
-        5u32..28,       // spatial extent
-        1u32..96,       // out channels
+        1u32..96, // in channels
+        5u32..28, // spatial extent
+        1u32..96, // out channels
         prop_oneof![Just((1u32, 0u32)), Just((3, 1)), Just((5, 2))],
-        1u32..=2,       // stride
+        1u32..=2, // stride
     )
         .prop_map(|(c, hw, k, (kern, pad), stride)| {
             ConvLayerBuilder::new("rand", c, hw, hw, k)

@@ -2,8 +2,8 @@
 //! produces — across layers, tilings, dataflows and architectures —
 //! must pass the structural validator.
 
-use flexer::prelude::*;
 use flexer::arch::SystolicModel;
+use flexer::prelude::*;
 use flexer::sched::{OooScheduler, StaticScheduler};
 
 fn check_both(layer: &ConvLayer, arch: &ArchConfig, factors: TilingFactors, df: Dataflow) {
@@ -32,7 +32,9 @@ fn assorted_layer_geometries_are_legal() {
     let arch = ArchConfig::preset(ArchPreset::Arch5);
     let layers = [
         // Pointwise.
-        ConvLayerBuilder::new("pw", 256, 14, 14, 512).build().unwrap(),
+        ConvLayerBuilder::new("pw", 256, 14, 14, 512)
+            .build()
+            .unwrap(),
         // Strided 3x3.
         ConvLayerBuilder::new("s2", 64, 56, 56, 128)
             .kernel(3, 3)

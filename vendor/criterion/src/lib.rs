@@ -63,10 +63,16 @@ impl Criterion {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
-    let mut bencher = Bencher { elapsed_ns: 0, iters: 0 };
+    let mut bencher = Bencher {
+        elapsed_ns: 0,
+        iters: 0,
+    };
     f(&mut bencher);
     let per_iter = bencher.elapsed_ns / u128::from(bencher.iters.max(1));
-    println!("bench {label}: ~{per_iter} ns/iter ({} smoke iters)", bencher.iters);
+    println!(
+        "bench {label}: ~{per_iter} ns/iter ({} smoke iters)",
+        bencher.iters
+    );
 }
 
 /// Timer handle passed to bench closures.
@@ -240,9 +246,7 @@ mod tests {
     fn sample_bench(c: &mut Criterion) {
         c.bench_function("add", |b| b.iter(|| black_box(2) + 2));
         let mut group = c.benchmark_group("grp");
-        group.bench_with_input(BenchmarkId::new("x", 4), &4u32, |b, &n| {
-            b.iter(|| n * 2)
-        });
+        group.bench_with_input(BenchmarkId::new("x", 4), &4u32, |b, &n| b.iter(|| n * 2));
         group.bench_with_input(BenchmarkId::from_parameter(8), &8u32, |b, &n| {
             b.iter_batched(|| n, |v| v + 1, BatchSize::SmallInput)
         });

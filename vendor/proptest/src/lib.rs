@@ -120,12 +120,7 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {
         match (&$left, &$right) {
             (__l, __r) => {
-                $crate::prop_assert!(
-                    *__l != *__r,
-                    "assertion failed: {:?} != {:?}",
-                    __l,
-                    __r
-                );
+                $crate::prop_assert!(*__l != *__r, "assertion failed: {:?} != {:?}", __l, __r);
             }
         }
     };

@@ -184,7 +184,9 @@ impl<T> Strategy for Union<T> {
 
 impl<T> std::fmt::Debug for Union<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Union").field("arms", &self.arms.len()).finish()
+        f.debug_struct("Union")
+            .field("arms", &self.arms.len())
+            .finish()
     }
 }
 
