@@ -10,8 +10,15 @@ cargo clippy --workspace -- -D warnings
 # Differential gate: the interpreter/verifier suites plus a network-level
 # sweep executing every winning schedule on the SPM abstract machine.
 cargo test -q -p flexer-sim -p flexer-sched
+# Recorded proptest failures replayed explicitly: the vendored proptest
+# stand-in does not read .proptest-regressions files, so the shrunken
+# seeds live in dedicated regression_seed_* tests that must never rot.
+cargo test -q --test property_schedules regression_seed
+# Trace gate: golden span tree, Chrome schema, thread-count invariance.
+cargo test -q --test trace_pipeline
 ./target/release/verify
 # Branch-and-bound gate: pruned and exhaustive searches must agree
-# (asserted inside bench_json) while the pruned one is faster.
-FLEXER_BENCH_ITERS="${FLEXER_BENCH_ITERS:-3}" ./target/release/bench_json
+# (asserted inside bench_json) while the pruned one is faster. Also
+# emits a sample search trace (validated on write) as a CI artifact.
+FLEXER_BENCH_ITERS="${FLEXER_BENCH_ITERS:-3}" ./target/release/bench_json --trace-out trace.json
 echo "check.sh: all green"

@@ -10,12 +10,25 @@
 //!   `{bench, arch, median_ns, evaluated, candidates_pruned,
 //!   early_exits}`.
 //!
+//! * `BENCH_PR4.json` — the tracing layer's cost: the same layer
+//!   search untraced, traced at `Search` detail and traced at `Memory`
+//!   detail, plus the measured per-event cost of *disabled*
+//!   instrumentation and the derived disabled-path overhead
+//!   percentage. Rows: `{bench, arch, median_ns, evaluated}` plus one
+//!   `{bench: "trace_disabled_overhead", ...}` summary row.
+//!
 //! Output paths default to the names above in the current directory;
-//! override with `FLEXER_BENCH_OUT` / `FLEXER_BENCH_OUT_PR3`.
-//! `FLEXER_BENCH_ITERS` sets the sample count (default 7, median
-//! reported).
+//! override with `FLEXER_BENCH_OUT` / `FLEXER_BENCH_OUT_PR3` /
+//! `FLEXER_BENCH_OUT_PR4`. `FLEXER_BENCH_ITERS` sets the sample count
+//! (default 7, median reported).
+//!
+//! Pass `--trace-out <path>` to also run a traced network search
+//! (SqueezeNet head, arch1, single-threaded for a byte-stable trace)
+//! and write its Chrome trace-event JSON to `<path>` — load it in
+//! `chrome://tracing` or Perfetto.
 
 use flexer::prelude::*;
+use flexer::trace::Lane;
 use std::time::Instant;
 
 struct Row {
@@ -139,7 +152,76 @@ fn bench_search_prune(iters: usize) -> Vec<PruneRow> {
     rows
 }
 
+/// Times a traced layer search; returns the median, the evaluated
+/// count, and the first run's trace (for event counting).
+fn time_traced_search(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    iters: usize,
+) -> (u128, usize, Trace) {
+    let (warm, trace) = flexer::sched::search_layer_traced(layer, arch, opts);
+    let evaluated = warm.expect("benchmark layer schedules").evaluated;
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            let (r, _) = flexer::sched::search_layer_traced(layer, arch, opts);
+            assert_eq!(r.expect("benchmark layer schedules").evaluated, evaluated);
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    (median_ns(&mut samples), evaluated, trace)
+}
+
+/// Measures the per-call cost of a disabled span enter/exit pair —
+/// the price every instrumentation site pays on the untraced path.
+fn disabled_span_pair_ns() -> f64 {
+    let mut lane = Lane::off();
+    const CALLS: u32 = 4_000_000;
+    let t = Instant::now();
+    for i in 0..CALLS {
+        let guard = lane.enter("bench");
+        lane.attr("i", u64::from(i));
+        lane.exit(guard);
+        std::hint::black_box(&lane);
+    }
+    t.elapsed().as_nanos() as f64 / f64::from(CALLS)
+}
+
+/// Runs a traced single-threaded network search and writes its Chrome
+/// trace-event JSON to `path`.
+fn write_trace_artifact(path: &str) {
+    let scaled = scale_spatial(&networks::by_name("squeezenet").expect("known net"), 4);
+    let head = Network::new("squeezenet-head", scaled.layers()[..4].to_vec())
+        .expect("valid network slice");
+    let mut opts = SearchOptions::quick();
+    opts.threads = 1; // byte-stable trace
+    opts.trace.detail = TraceDetail::Steps;
+    let (result, trace) = flexer::sched::search_network_traced(
+        head.layers(),
+        &ArchConfig::preset(ArchPreset::Arch1),
+        &opts,
+    );
+    result.expect("trace artifact network schedules");
+    trace.check().expect("recorded trace is well-formed");
+    std::fs::write(path, flexer::trace::chrome::to_chrome_json(&trace)).expect("write trace");
+    println!("wrote {path} ({})", trace.summary());
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut trace_out: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; supported: --trace-out <path>");
+                std::process::exit(2);
+            }
+        }
+    }
     let iters: usize = std::env::var("FLEXER_BENCH_ITERS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -233,5 +315,48 @@ fn main() {
             p.candidates_pruned,
             p.early_exits
         );
+    }
+
+    // --- PR 4: tracing overhead ---
+    let out4 =
+        std::env::var("FLEXER_BENCH_OUT_PR4").unwrap_or_else(|_| "BENCH_PR4.json".to_owned());
+    let mut search_detail = tx_opts.clone();
+    search_detail.trace.detail = TraceDetail::Search;
+    let (traced_ns, traced_eval, _) = time_traced_search(&layer, &arch, &search_detail, iters);
+    let mut memory_detail = tx_opts.clone();
+    memory_detail.trace.detail = TraceDetail::Memory;
+    let (memory_ns, _, memory_trace) = time_traced_search(&layer, &arch, &memory_detail, iters);
+    let pair_ns = disabled_span_pair_ns();
+    // The untraced path pays one disabled branch per would-be event;
+    // bound that price by the full enter+attr+exit pair cost times the
+    // deepest detail level's event count.
+    let events = memory_trace.summary().events;
+    let disabled_pct = events as f64 * pair_ns / tx_ns as f64 * 100.0;
+    let json = format!(
+        "[\n  {{\"bench\": \"layer_search_untraced\", \"arch\": \"{preset}\", \
+         \"median_ns\": {tx_ns}, \"evaluated\": {tx_eval}}},\n  \
+         {{\"bench\": \"layer_search_traced_search\", \"arch\": \"{preset}\", \
+         \"median_ns\": {traced_ns}, \"evaluated\": {traced_eval}}},\n  \
+         {{\"bench\": \"layer_search_traced_memory\", \"arch\": \"{preset}\", \
+         \"median_ns\": {memory_ns}, \"evaluated\": {traced_eval}}},\n  \
+         {{\"bench\": \"trace_disabled_overhead\", \"arch\": \"{preset}\", \
+         \"span_pair_ns\": {pair_ns:.3}, \"events_at_memory_detail\": {events}, \
+         \"overhead_pct\": {disabled_pct:.4}}}\n]\n"
+    );
+    std::fs::write(&out4, &json).expect("write benchmark output");
+    println!("wrote {out4}");
+    println!(
+        "tracing: untraced {tx_ns} ns, Search detail {traced_ns} ns ({:.2}x), \
+         Memory detail {memory_ns} ns ({:.2}x)",
+        traced_ns as f64 / tx_ns as f64,
+        memory_ns as f64 / tx_ns as f64,
+    );
+    println!(
+        "disabled instrumentation: {pair_ns:.2} ns per span pair, \
+         {events} events at Memory detail -> {disabled_pct:.4}% of the untraced search"
+    );
+
+    if let Some(path) = trace_out {
+        write_trace_artifact(&path);
     }
 }

@@ -5,9 +5,54 @@ use flexer_arch::ArchConfig;
 use flexer_model::{ConvLayer, Network};
 use flexer_sched::{
     search_layer_cached, search_layer_static_cached, search_network_cached,
-    search_network_static_cached, LayerSearchResult, MemoCache, SchedError, SearchOptions,
+    search_network_static_cached, search_network_traced_cached, LayerSearchResult, MemoCache,
+    SchedError, SearchOptions,
 };
+use flexer_trace::Trace;
 use std::fmt;
+
+/// A network search together with the trace it recorded — the return
+/// value of [`Flexer::trace_network`].
+///
+/// The trace is present even when the search failed: a failing search
+/// is exactly when the recorded spans (which candidate was cut, which
+/// layer errored and why) are most useful.
+#[derive(Debug)]
+pub struct TracedNetwork {
+    /// The search outcome, as [`Flexer::schedule_network`] would have
+    /// returned it.
+    pub result: Result<NetworkResult, SchedError>,
+    /// The recorded trace. Deterministic (byte-identical across runs)
+    /// under the default logical clock when
+    /// [`SearchOptions::threads`] is 1, or at any thread count with
+    /// [`SearchOptions::prune`] disabled.
+    pub trace: Trace,
+}
+
+impl TracedNetwork {
+    /// The trace in Chrome trace-event JSON, loadable into
+    /// `chrome://tracing` or Perfetto.
+    #[must_use]
+    pub fn chrome_json(&self) -> String {
+        flexer_trace::chrome::to_chrome_json(&self.trace)
+    }
+
+    /// The trace as an indented plain-text span tree.
+    #[must_use]
+    pub fn span_tree(&self) -> String {
+        flexer_trace::text::render_tree(&self.trace)
+    }
+
+    /// The network report with a trailing `trace:` summary line.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let head = match &self.result {
+            Ok(r) => r.to_string(),
+            Err(e) => format!("search failed: {e}"),
+        };
+        format!("{head}\n  trace: {}", self.trace.summary())
+    }
+}
 
 /// The end-to-end schedule generator: Algorithm-1 searches per layer,
 /// with a built-in memoization cache so repeated layer shapes (e.g.
@@ -107,6 +152,37 @@ impl Flexer {
         let layers =
             search_network_cached(network.layers(), &self.arch, &self.options, &self.cache)?;
         Ok(NetworkResult::new(network.name(), layers))
+    }
+
+    /// [`Flexer::schedule_network`] with trace recording: runs the
+    /// same out-of-order search while recording spans and counters
+    /// under [`SearchOptions::trace`] (clock and detail), and returns
+    /// the outcome together with the drained [`Trace`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexer::prelude::*;
+    ///
+    /// let arch = ArchConfig::preset(ArchPreset::Arch1);
+    /// let mut opts = SearchOptions::quick();
+    /// opts.threads = 1; // byte-stable trace
+    /// let driver = Flexer::new(arch).with_options(opts);
+    ///
+    /// let net = Network::new("n", vec![ConvLayer::new("c", 16, 14, 14, 16)?])?;
+    /// let traced = driver.trace_network(&net);
+    /// assert!(traced.result.is_ok());
+    /// assert!(!traced.trace.is_empty());
+    /// assert!(traced.report().contains("trace:"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn trace_network(&self, network: &Network) -> TracedNetwork {
+        let (layers, trace) =
+            search_network_traced_cached(network.layers(), &self.arch, &self.options, &self.cache);
+        TracedNetwork {
+            result: layers.map(|l| NetworkResult::new(network.name(), l)),
+            trace,
+        }
     }
 
     /// Schedules every layer of `network` with the static baseline,
@@ -281,6 +357,27 @@ mod tests {
         let plain = d.compare_network(&net).unwrap();
         assert!(!plain.flexer().verified());
         assert!(!plain.render_table().contains("legality"));
+    }
+
+    #[test]
+    fn traced_network_records_and_reports() {
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        let d = Flexer::new(ArchConfig::preset(ArchPreset::Arch1)).with_options(opts);
+        let net = tiny_net();
+        let traced = d.trace_network(&net);
+        let result = traced.result.as_ref().unwrap();
+        assert_eq!(result.layers().len(), 3);
+        traced.trace.check().unwrap();
+        assert!(!traced.trace.is_empty());
+        let report = traced.report();
+        assert!(report.contains("trace:"), "{report}");
+        assert!(report.contains("spans"), "{report}");
+        // Both exports render without panicking and agree on content.
+        assert!(traced.chrome_json().contains("\"traceEvents\""));
+        assert!(traced.span_tree().contains("search"));
+        // The traced search fills the same memo cache.
+        assert!(d.cached_shapes() >= 2);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! | [`flexer_spm`] | Shared-buffer model, Algorithm-2 spill heuristics |
 //! | [`flexer_sim`] | Timelines, schedule records, traffic stats, validation |
 //! | [`flexer_sched`] | OoO scheduler, static baseline, Algorithm-1 search |
+//! | [`flexer_trace`] | Deterministic tracing: spans, counters, Chrome export |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,7 +58,7 @@
 mod driver;
 mod report;
 
-pub use driver::Flexer;
+pub use driver::{Flexer, TracedNetwork};
 pub use report::{LayerComparison, NetworkComparison, NetworkResult};
 
 pub use flexer_arch as arch;
@@ -66,10 +67,11 @@ pub use flexer_sched as sched;
 pub use flexer_sim as sim;
 pub use flexer_spm as spm;
 pub use flexer_tiling as tiling;
+pub use flexer_trace as trace;
 
 /// The most commonly used items, re-exported for `use flexer::prelude::*`.
 pub mod prelude {
-    pub use crate::driver::Flexer;
+    pub use crate::driver::{Flexer, TracedNetwork};
     pub use crate::report::{LayerComparison, NetworkComparison, NetworkResult};
     pub use flexer_arch::{
         ArchConfig, ArchConfigBuilder, ArchPreset, EnergyBreakdown, EnergyModel, PerfModel,
@@ -78,9 +80,11 @@ pub mod prelude {
     pub use flexer_model::{networks, scale_spatial, ConvLayer, ConvLayerBuilder, Network};
     pub use flexer_sched::{
         EvalMode, Metric, PriorityPolicy, SearchOptions, SearchStats, SpillPolicyChoice,
+        TraceOptions,
     };
     pub use flexer_sim::{
-        onchip_reference_traffic, schedule_energy, validate_schedule, TrafficClass,
+        onchip_reference_traffic, schedule_energy, schedule_trace, validate_schedule, TrafficClass,
     };
     pub use flexer_tiling::{Dataflow, Dfg, TileKind, TilingFactors, TilingOptions};
+    pub use flexer_trace::{ClockMode, Trace, TraceDetail};
 }

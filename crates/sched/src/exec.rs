@@ -13,6 +13,7 @@ use flexer_arch::{ArchConfig, PerfModel};
 use flexer_sim::{MemOpKind, Schedule, ScheduleBuilder, TrafficClass};
 use flexer_spm::{SpillPolicy, SpmMemory};
 use flexer_tiling::{Dfg, OpId, TileId, TileKind};
+use flexer_trace::{Lane, TraceDetail};
 use std::collections::BTreeMap;
 
 /// Mutable state of one scheduling run.
@@ -100,210 +101,258 @@ impl<'a> ExecState<'a> {
     /// Commits one operation set: plans and pins its memory, records
     /// spills, loads, compute and final stores, updates use counts and
     /// returns the ids newly woken up (paper Algorithm 1 lines 21-24).
-    pub(crate) fn commit_set(&mut self, ops: &[OpId]) -> Result<Vec<OpId>, SchedError> {
+    ///
+    /// At [`TraceDetail::Memory`] the commit is recorded into `lane` as
+    /// a `commit` span carrying the plan's eviction / compaction / load
+    /// shape, followed by an SPM-occupancy gauge sample.
+    pub(crate) fn commit_set(
+        &mut self,
+        ops: &[OpId],
+        lane: &mut Lane,
+    ) -> Result<Vec<OpId>, SchedError> {
         debug_assert!(!ops.is_empty() && ops.len() <= self.cores as usize);
         debug_assert!(ops.windows(2).all(|w| w[0] < w[1]));
-        let plan = plan_set(self.dfg, &mut self.spm, &self.uses, self.spill, ops)
-            .map_err(SchedError::from)?;
+        let commit_span = lane
+            .records(TraceDetail::Memory)
+            .then(|| lane.enter("commit"));
+        let plan = match plan_set(self.dfg, &mut self.spm, &self.uses, self.spill, ops) {
+            Ok(plan) => plan,
+            Err(e) => {
+                if let Some(guard) = commit_span {
+                    lane.attr("outcome", "plan-failed");
+                    lane.exit(guard);
+                }
+                return Err(SchedError::from(e));
+            }
+        };
+        if commit_span.is_some() {
+            lane.attr("ops", ops.len());
+            lane.attr("evictions", plan.evictions.len());
+            lane.attr(
+                "dirty_evictions",
+                plan.evictions.iter().filter(|ev| ev.dirty).count(),
+            );
+            lane.attr("compaction_bytes", plan.compaction_bytes);
+            lane.attr(
+                "loads",
+                plan.tiles
+                    .iter()
+                    .filter(|(_, _, a)| *a == TileAction::Load)
+                    .count(),
+            );
+        }
         self.stats.evictions += plan.evictions.len() as u64;
         if plan.compaction_bytes > 0 {
             self.stats.compactions += 1;
         }
 
-        // On-chip compaction keeps the DMA engine busy but moves no
-        // off-chip data.
-        if plan.compaction_bytes > 0 {
-            self.builder.record_compaction(
-                plan.compaction_bytes,
-                self.perf.dma_cycles(plan.compaction_bytes),
-            )?;
-        }
-
-        // Lower the plan's event trace into buffer commands, in the
-        // exact order the allocator performed them.
-        for event in &plan.events {
-            self.commands.push(match *event {
-                PlanEvent::Move(m) => Command::Move {
-                    tile: m.tile,
-                    bytes: m.bytes,
-                    from: m.from,
-                    to: m.to,
-                },
-                PlanEvent::Evict(ev) if ev.dirty => Command::Spill {
-                    tile: ev.tile,
-                    address: ev.address,
-                    bytes: ev.bytes,
-                },
-                PlanEvent::Evict(ev) => Command::Discard {
-                    tile: ev.tile,
-                    address: ev.address,
-                    bytes: ev.bytes,
-                },
-                PlanEvent::Place {
-                    tile,
-                    bytes,
-                    address,
-                    ref action,
-                } => match action {
-                    TileAction::AllocOutput => Command::Reserve {
-                        tile,
-                        address,
-                        bytes,
-                    },
-                    _ => Command::Load {
-                        tile,
-                        address,
-                        bytes,
-                    },
-                },
-            });
-        }
-
-        // Spill write-backs for dirty evictions. Clean evictions cost
-        // nothing (their data is still in DRAM).
-        for ev in &plan.evictions {
-            self.tile_ready.remove(&ev.tile);
-            if ev.dirty {
-                debug_assert_eq!(ev.tile.kind(), TileKind::Output);
-                let earliest = self.tile_busy.get(&ev.tile).copied().unwrap_or(0);
-                self.builder.record_mem_op_after(
-                    MemOpKind::Spill,
-                    TrafficClass::Psum,
-                    ev.tile,
-                    ev.bytes,
-                    self.perf.dma_cycles(ev.bytes),
-                    earliest,
-                    None,
+        // The remaining work has several fallible timeline recordings;
+        // running it in a closure lets the one exit path below close
+        // the commit span whatever happens.
+        let result = (|| -> Result<Vec<OpId>, SchedError> {
+            // On-chip compaction keeps the DMA engine busy but moves no
+            // off-chip data.
+            if plan.compaction_bytes > 0 {
+                self.builder.record_compaction(
+                    plan.compaction_bytes,
+                    self.perf.dma_cycles(plan.compaction_bytes),
                 )?;
             }
-        }
 
-        // Loads for missing inputs, weights and spilled partial sums.
-        for (tile, bytes, action) in &plan.tiles {
-            if *action != TileAction::Load {
-                if *action == TileAction::AllocOutput {
-                    // Fresh accumulator: available immediately.
-                    self.tile_ready.insert(*tile, 0);
-                }
-                continue;
-            }
-            let class = match tile.kind() {
-                TileKind::Input => TrafficClass::Input,
-                TileKind::Weight => TrafficClass::Weight,
-                TileKind::Output => TrafficClass::Psum,
-            };
-            // The tag names one representative consumer for
-            // diagnostics; a tile shared by several ops of the set
-            // has a single load. The validator checks every consumer
-            // of the tile (`validate_schedule` check 5b), not just
-            // the tagged one.
-            let for_op = ops
-                .iter()
-                .copied()
-                .find(|&id| self.dfg.op(id).operands().any(|t| t == *tile));
-            let (_, end) = self.builder.record_mem_op(
-                MemOpKind::Load,
-                class,
-                *tile,
-                *bytes,
-                self.perf.dma_cycles(*bytes),
-                for_op,
-            )?;
-            self.tile_ready.insert(*tile, end);
-        }
-
-        // Spatial reuse: tiles consumed by several ops of this set
-        // (paper Figure 11).
-        {
-            let mut degree: BTreeMap<TileId, u32> = BTreeMap::new();
-            for &id in ops {
-                for tile in self.dfg.op(id).operands() {
-                    *degree.entry(tile).or_default() += 1;
-                }
-            }
-            for (tile, sharers) in degree {
-                if sharers >= 2 {
-                    self.builder.record_shared_tile(
-                        tile.kind(),
-                        self.dfg.tile_bytes(tile),
-                        sharers,
-                    );
-                }
-            }
-        }
-
-        // Issue the compute operations on distinct cores, earliest-free
-        // cores first.
-        let mut free_cores: Vec<u32> = (0..self.cores).collect();
-        free_cores.sort_by_key(|&c| (self.builder.timeline().core_free(c), c));
-        let mut woken = Vec::new();
-        for (&id, &core) in ops.iter().zip(free_cores.iter()) {
-            let op = self.dfg.op(id);
-            let mut earliest = 0u64;
-            for tile in op.operands() {
-                earliest = earliest.max(self.tile_ready.get(&tile).copied().unwrap_or(0));
-            }
-            if let Some(pred) = self.dfg.pred(id) {
-                debug_assert!(self.scheduled[pred.index()]);
-                earliest = earliest.max(self.op_end[pred.index()]);
-            }
-            let (_, end) = self
-                .builder
-                .record_compute(id, core, earliest, op.latency())?;
-            self.commands.push(Command::Exec {
-                op: id,
-                core,
-                input: self.spm.address_of(op.input()).expect("input resident"),
-                weight: self.spm.address_of(op.weight()).expect("weight resident"),
-                output: self.spm.address_of(op.output()).expect("output resident"),
-                accumulate: op.needs_psum(),
-            });
-            self.op_end[id.index()] = end;
-            for tile in op.operands() {
-                let busy = self.tile_busy.entry(tile).or_default();
-                *busy = (*busy).max(end);
-            }
-            // The op (re)writes its accumulator.
-            self.tile_ready.insert(op.output(), end);
-            self.spm.set_dirty(op.output(), true);
-
-            // Bookkeeping: use counts and wakeup.
-            for tile in op.operands() {
-                if let Some(u) = self.uses.get_mut(&tile) {
-                    *u = u.saturating_sub(1);
-                }
-                self.spm.decrement_uses(tile);
-            }
-            self.scheduled[id.index()] = true;
-            self.remaining -= 1;
-            if let Some(succ) = self.dfg.succ(id) {
-                woken.push(succ);
-            }
-
-            // Mandatory eager store of finished outputs.
-            if op.is_final() {
-                let bytes = self.dfg.tile_bytes(op.output());
-                self.builder.record_mem_op_after(
-                    MemOpKind::Store,
-                    TrafficClass::Output,
-                    op.output(),
-                    bytes,
-                    self.perf.dma_cycles(bytes),
-                    end,
-                    None,
-                )?;
-                self.commands.push(Command::Store {
-                    tile: op.output(),
-                    address: self.spm.address_of(op.output()).expect("output resident"),
-                    bytes,
+            // Lower the plan's event trace into buffer commands, in the
+            // exact order the allocator performed them.
+            for event in &plan.events {
+                self.commands.push(match *event {
+                    PlanEvent::Move(m) => Command::Move {
+                        tile: m.tile,
+                        bytes: m.bytes,
+                        from: m.from,
+                        to: m.to,
+                    },
+                    PlanEvent::Evict(ev) if ev.dirty => Command::Spill {
+                        tile: ev.tile,
+                        address: ev.address,
+                        bytes: ev.bytes,
+                    },
+                    PlanEvent::Evict(ev) => Command::Discard {
+                        tile: ev.tile,
+                        address: ev.address,
+                        bytes: ev.bytes,
+                    },
+                    PlanEvent::Place {
+                        tile,
+                        bytes,
+                        address,
+                        ref action,
+                    } => match action {
+                        TileAction::AllocOutput => Command::Reserve {
+                            tile,
+                            address,
+                            bytes,
+                        },
+                        _ => Command::Load {
+                            tile,
+                            address,
+                            bytes,
+                        },
+                    },
                 });
-                self.spm.set_dirty(op.output(), false);
             }
-        }
 
-        self.spm.unpin_all();
-        self.builder.record_spm_utilization(self.spm.utilization());
-        Ok(woken)
+            // Spill write-backs for dirty evictions. Clean evictions cost
+            // nothing (their data is still in DRAM).
+            for ev in &plan.evictions {
+                self.tile_ready.remove(&ev.tile);
+                if ev.dirty {
+                    debug_assert_eq!(ev.tile.kind(), TileKind::Output);
+                    let earliest = self.tile_busy.get(&ev.tile).copied().unwrap_or(0);
+                    self.builder.record_mem_op_after(
+                        MemOpKind::Spill,
+                        TrafficClass::Psum,
+                        ev.tile,
+                        ev.bytes,
+                        self.perf.dma_cycles(ev.bytes),
+                        earliest,
+                        None,
+                    )?;
+                }
+            }
+
+            // Loads for missing inputs, weights and spilled partial sums.
+            for (tile, bytes, action) in &plan.tiles {
+                if *action != TileAction::Load {
+                    if *action == TileAction::AllocOutput {
+                        // Fresh accumulator: available immediately.
+                        self.tile_ready.insert(*tile, 0);
+                    }
+                    continue;
+                }
+                let class = match tile.kind() {
+                    TileKind::Input => TrafficClass::Input,
+                    TileKind::Weight => TrafficClass::Weight,
+                    TileKind::Output => TrafficClass::Psum,
+                };
+                // The tag names one representative consumer for
+                // diagnostics; a tile shared by several ops of the set
+                // has a single load. The validator checks every consumer
+                // of the tile (`validate_schedule` check 5b), not just
+                // the tagged one.
+                let for_op = ops
+                    .iter()
+                    .copied()
+                    .find(|&id| self.dfg.op(id).operands().any(|t| t == *tile));
+                let (_, end) = self.builder.record_mem_op(
+                    MemOpKind::Load,
+                    class,
+                    *tile,
+                    *bytes,
+                    self.perf.dma_cycles(*bytes),
+                    for_op,
+                )?;
+                self.tile_ready.insert(*tile, end);
+            }
+
+            // Spatial reuse: tiles consumed by several ops of this set
+            // (paper Figure 11).
+            {
+                let mut degree: BTreeMap<TileId, u32> = BTreeMap::new();
+                for &id in ops {
+                    for tile in self.dfg.op(id).operands() {
+                        *degree.entry(tile).or_default() += 1;
+                    }
+                }
+                for (tile, sharers) in degree {
+                    if sharers >= 2 {
+                        self.builder.record_shared_tile(
+                            tile.kind(),
+                            self.dfg.tile_bytes(tile),
+                            sharers,
+                        );
+                    }
+                }
+            }
+
+            // Issue the compute operations on distinct cores, earliest-free
+            // cores first.
+            let mut free_cores: Vec<u32> = (0..self.cores).collect();
+            free_cores.sort_by_key(|&c| (self.builder.timeline().core_free(c), c));
+            let mut woken = Vec::new();
+            for (&id, &core) in ops.iter().zip(free_cores.iter()) {
+                let op = self.dfg.op(id);
+                let mut earliest = 0u64;
+                for tile in op.operands() {
+                    earliest = earliest.max(self.tile_ready.get(&tile).copied().unwrap_or(0));
+                }
+                if let Some(pred) = self.dfg.pred(id) {
+                    debug_assert!(self.scheduled[pred.index()]);
+                    earliest = earliest.max(self.op_end[pred.index()]);
+                }
+                let (_, end) = self
+                    .builder
+                    .record_compute(id, core, earliest, op.latency())?;
+                self.commands.push(Command::Exec {
+                    op: id,
+                    core,
+                    input: self.spm.address_of(op.input()).expect("input resident"),
+                    weight: self.spm.address_of(op.weight()).expect("weight resident"),
+                    output: self.spm.address_of(op.output()).expect("output resident"),
+                    accumulate: op.needs_psum(),
+                });
+                self.op_end[id.index()] = end;
+                for tile in op.operands() {
+                    let busy = self.tile_busy.entry(tile).or_default();
+                    *busy = (*busy).max(end);
+                }
+                // The op (re)writes its accumulator.
+                self.tile_ready.insert(op.output(), end);
+                self.spm.set_dirty(op.output(), true);
+
+                // Bookkeeping: use counts and wakeup.
+                for tile in op.operands() {
+                    if let Some(u) = self.uses.get_mut(&tile) {
+                        *u = u.saturating_sub(1);
+                    }
+                    self.spm.decrement_uses(tile);
+                }
+                self.scheduled[id.index()] = true;
+                self.remaining -= 1;
+                if let Some(succ) = self.dfg.succ(id) {
+                    woken.push(succ);
+                }
+
+                // Mandatory eager store of finished outputs.
+                if op.is_final() {
+                    let bytes = self.dfg.tile_bytes(op.output());
+                    self.builder.record_mem_op_after(
+                        MemOpKind::Store,
+                        TrafficClass::Output,
+                        op.output(),
+                        bytes,
+                        self.perf.dma_cycles(bytes),
+                        end,
+                        None,
+                    )?;
+                    self.commands.push(Command::Store {
+                        tile: op.output(),
+                        address: self.spm.address_of(op.output()).expect("output resident"),
+                        bytes,
+                    });
+                    self.spm.set_dirty(op.output(), false);
+                }
+            }
+
+            self.spm.unpin_all();
+            self.builder.record_spm_utilization(self.spm.utilization());
+            Ok(woken)
+        })();
+        if let Some(guard) = commit_span {
+            if result.is_err() {
+                lane.attr("outcome", "timeline-failed");
+            }
+            lane.exit(guard);
+            lane.counter("spm_used_bytes", self.spm.used_bytes());
+        }
+        result
     }
 
     /// Finalizes the schedule and its lowered command program.

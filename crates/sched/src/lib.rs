@@ -63,9 +63,11 @@ pub use priority::{PriorityPolicy, SetEvaluation};
 pub use program::{Command, Program, ProgramError};
 pub use search::{
     search_layer, search_layer_cached, search_layer_static, search_layer_static_cached,
-    search_network, search_network_cached, search_network_static, search_network_static_cached,
-    sweep_tilings, LayerSearchResult, MemoKey, SchedulePoint, SearchOptions, SpillPolicyChoice,
+    search_layer_traced, search_network, search_network_cached, search_network_layerwise,
+    search_network_static, search_network_static_cached, search_network_static_traced,
+    search_network_traced, search_network_traced_cached, sweep_tilings, LayerSearchResult, MemoKey,
+    SchedulePoint, SearchOptions, SpillPolicyChoice, TraceOptions,
 };
 pub use static_sched::StaticScheduler;
-pub use stats::SearchStats;
+pub use stats::{SearchStats, StatKind};
 pub use verify::{verify_schedule_program, VerifyError};

@@ -11,6 +11,7 @@ use flexer_arch::{ArchConfig, PerfModel};
 use flexer_sim::Schedule;
 use flexer_spm::{FlexerSpill, SpillPolicy};
 use flexer_tiling::{Dfg, OpId};
+use flexer_trace::{Lane, TraceDetail};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
@@ -176,6 +177,24 @@ impl<'a> OooScheduler<'a> {
     ///
     /// As [`OooScheduler::schedule`].
     pub fn schedule_with_stats(&self) -> Result<(Schedule, Program, SearchStats), SchedError> {
+        self.schedule_traced(&mut Lane::off())
+    }
+
+    /// As [`OooScheduler::schedule_with_stats`], recording the run into
+    /// a trace lane: one `step` span per issue-loop iteration (at
+    /// [`flexer_trace::TraceDetail::Steps`] and deeper) with the ready
+    /// count, the issued width and the selected set size, plus per-step
+    /// memory events from [`ExecState::commit_set`] at
+    /// [`flexer_trace::TraceDetail::Memory`]. On a disabled lane this
+    /// is exactly [`OooScheduler::schedule_with_stats`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OooScheduler::schedule`].
+    pub fn schedule_traced(
+        &self,
+        lane: &mut Lane,
+    ) -> Result<(Schedule, Program, SearchStats), SchedError> {
         let mut stats = SearchStats::default();
         let mut state = ExecState::new(self.dfg, self.arch, self.perf, self.spill);
         let mut ready: BTreeSet<OpId> = self.dfg.initial_ready().collect();
@@ -199,6 +218,12 @@ impl<'a> OooScheduler<'a> {
             }
             ready_vec.clear();
             ready_vec.extend(ready.iter().copied());
+            let step_span = lane.records(TraceDetail::Steps).then(|| {
+                let guard = lane.enter("step");
+                lane.attr("ready", ready_vec.len());
+                lane.attr("remaining", state.remaining());
+                guard
+            });
 
             // Try the widest sets first; shrink when memory pressure
             // makes every candidate of that width infeasible.
@@ -283,6 +308,10 @@ impl<'a> OooScheduler<'a> {
                 width -= 1;
             }
             let Some(set) = selected else {
+                if let Some(guard) = step_span {
+                    lane.attr("outcome", "infeasible");
+                    lane.exit(guard);
+                }
                 // Surface the underlying allocation failure of the
                 // cheapest single-op set.
                 let (spm, uses) = state.spm_and_uses();
@@ -295,9 +324,22 @@ impl<'a> OooScheduler<'a> {
                     },
                 });
             };
+            if step_span.is_some() {
+                lane.attr("width", width);
+                lane.attr("issued", set.len());
+            }
 
             let commit_start = Instant::now();
-            let woken = state.commit_set(&set)?;
+            let woken = match state.commit_set(&set, lane) {
+                Ok(woken) => woken,
+                Err(e) => {
+                    if let Some(guard) = step_span {
+                        lane.attr("outcome", "commit-failed");
+                        lane.exit(guard);
+                    }
+                    return Err(e);
+                }
+            };
             stats.commit_nanos += commit_start.elapsed().as_nanos() as u64;
             // Branch-and-bound early exit: the partial schedule's cost
             // only grows from here, so once it strictly exceeds the
@@ -305,6 +347,10 @@ impl<'a> OooScheduler<'a> {
             if let Some(cutoff) = &self.cutoff {
                 let (latency, transfer) = state.running_cost();
                 if cutoff.exceeded(latency, transfer) {
+                    if let Some(guard) = step_span {
+                        lane.attr("outcome", "cutoff");
+                        lane.exit(guard);
+                    }
                     return Err(SchedError::Pruned);
                 }
             }
@@ -312,6 +358,9 @@ impl<'a> OooScheduler<'a> {
                 ready.remove(id);
             }
             ready.extend(woken);
+            if let Some(guard) = step_span {
+                lane.exit(guard);
+            }
         }
         stats.merge(state.stats());
         let (schedule, program) = state.finish();

@@ -307,12 +307,15 @@ impl SetEvaluation {
         dma_cycles: &dyn Fn(u64) -> u64,
         ops: &[OpId],
     ) -> Self {
+        // Saturating sums: a ranking value, not a timed quantity, so
+        // adversarial DRAM latencies must not overflow here before the
+        // timeline's checked arithmetic can report them.
         let mut loaded_bytes = 0;
-        let mut mem_latency = 0;
+        let mut mem_latency = 0u64;
         for (_, bytes, action) in &plan.tiles {
             if *action == TileAction::Load {
                 loaded_bytes += bytes;
-                mem_latency += dma_cycles(*bytes);
+                mem_latency = mem_latency.saturating_add(dma_cycles(*bytes));
             }
         }
         let mut spill_writeback_bytes = 0;
@@ -322,12 +325,12 @@ impl SetEvaluation {
             evicted_bytes += ev.bytes;
             if ev.dirty {
                 spill_writeback_bytes += ev.bytes;
-                mem_latency += dma_cycles(ev.bytes);
+                mem_latency = mem_latency.saturating_add(dma_cycles(ev.bytes));
             }
             spilled_value += ev.bytes * u64::from(ev.remain_uses.min(cores));
         }
         if plan.compaction_bytes > 0 {
-            mem_latency += dma_cycles(plan.compaction_bytes);
+            mem_latency = mem_latency.saturating_add(dma_cycles(plan.compaction_bytes));
         }
         Self {
             ops: ops.to_vec(),

@@ -16,6 +16,7 @@ use flexer_model::ConvLayer;
 use flexer_sim::Schedule;
 use flexer_spm::{FirstFitSpill, FlexerSpill, SmallestFirstSpill, SpillPolicy};
 use flexer_tiling::{enumerate_tilings, Dataflow, Dfg, TilingFactors, TilingOptions};
+use flexer_trace::{ClockMode, Lane, Trace, TraceConfig, TraceDetail, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,6 +43,37 @@ impl SpillPolicyChoice {
             SpillPolicyChoice::FirstFit => &FirstFitSpill,
             SpillPolicyChoice::SmallestFirst => &SmallestFirstSpill,
         }
+    }
+}
+
+/// How the `*_traced` search entry points record their run.
+///
+/// These options only configure *how* a trace is recorded (timestamp
+/// source and instrumentation depth). Recording itself is switched on
+/// by calling a traced entry point ([`crate::search_layer_traced`],
+/// [`crate::search_network_traced`], …); the untraced APIs never
+/// record, so carrying `TraceOptions` inside [`SearchOptions`] adds no
+/// overhead to them. Excluded from the memo key — tracing never
+/// changes a winner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOptions {
+    /// Timestamp source. The default logical clock makes traces
+    /// byte-stable across runs; [`ClockMode::Wall`] records real
+    /// profiles at the price of run-to-run stability.
+    pub clock: ClockMode,
+    /// Instrumentation depth, from search-level spans only up to
+    /// per-step memory events.
+    pub detail: TraceDetail,
+}
+
+impl TraceOptions {
+    /// The tracer these options describe.
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        Tracer::new(TraceConfig {
+            clock: self.clock,
+            detail: self.detail,
+        })
     }
 }
 
@@ -109,6 +141,11 @@ pub struct SearchOptions {
     /// the winner does not depend on it.
     #[serde(default)]
     pub prune: bool,
+    /// Trace-recording configuration consumed by the `*_traced` entry
+    /// points (see [`TraceOptions`]). Inert everywhere else; excluded
+    /// from the memo key.
+    #[serde(default)]
+    pub trace: TraceOptions,
 }
 
 impl Default for SearchOptions {
@@ -125,6 +162,7 @@ impl Default for SearchOptions {
             collect_points: false,
             validate: false,
             prune: true,
+            trace: TraceOptions::default(),
         }
     }
 }
@@ -279,6 +317,7 @@ enum RunOutcome {
 /// scheduler over it. A `cutoff` arms the out-of-order scheduler's
 /// branch-and-bound early exit (the static scheduler has no incremental
 /// cost to watch, so it ignores it).
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     kind: SchedulerKind,
     layer: &ConvLayer,
@@ -287,6 +326,7 @@ fn run_one(
     (factors, dataflow): (TilingFactors, Dataflow),
     opts: &SearchOptions,
     cutoff: Option<Cutoff<'_>>,
+    lane: &mut Lane,
 ) -> Result<(Schedule, SearchStats), SchedError> {
     let dfg = Dfg::build(layer, factors, dataflow, model, arch)?;
     match kind {
@@ -300,7 +340,7 @@ fn run_one(
                 sched = sched.with_cutoff(cutoff);
             }
             sched
-                .schedule_with_stats()
+                .schedule_traced(lane)
                 .map(|(schedule, _, stats)| (schedule, stats))
         }
         SchedulerKind::Static => StaticScheduler::new(&dfg, arch, model)
@@ -346,6 +386,7 @@ fn verify_winner(
 
 /// Replays a known `(tiling, dataflow)` winner as a full
 /// [`LayerSearchResult`] with `evaluated == 1`.
+#[allow(clippy::too_many_arguments)]
 fn replay_one(
     kind: SchedulerKind,
     layer: &ConvLayer,
@@ -354,8 +395,18 @@ fn replay_one(
     factors: TilingFactors,
     dataflow: Dataflow,
     opts: &SearchOptions,
+    lane: &mut Lane,
 ) -> Result<LayerSearchResult, SchedError> {
-    let (schedule, stats) = run_one(kind, layer, arch, model, (factors, dataflow), opts, None)?;
+    let (schedule, stats) = run_one(
+        kind,
+        layer,
+        arch,
+        model,
+        (factors, dataflow),
+        opts,
+        None,
+        lane,
+    )?;
     let score = opts
         .metric
         .score(schedule.latency(), schedule.transfer_bytes());
@@ -390,7 +441,44 @@ fn search_many(
     opts: &SearchOptions,
     cache: Option<&MemoCache>,
 ) -> Result<Vec<LayerSearchResult>, SchedError> {
+    let (results, _) = search_many_traced(kind, layers, arch, opts, cache, Tracer::disabled());
+    results.into_iter().collect()
+}
+
+/// [`search_many`] with per-layer results and a recorded [`Trace`].
+///
+/// Lane 0 is the orchestrator: the search root span, per-leader bound
+/// pre-passes, per-layer reduction / replay / verification spans and
+/// the per-layer [`SearchStats`] counters. Work item *i* of the global
+/// queue records into lane `1 + i`, so span identity is a function of
+/// the deterministic work order, never of thread interleaving. With
+/// the default logical clock the drained trace is byte-identical
+/// across runs for `threads == 1` (any options) or any thread count
+/// with pruning disabled — under parallel pruning the incumbent race
+/// decides *when* a candidate is cut, which the per-candidate outcome
+/// attributes faithfully record.
+fn search_many_traced(
+    kind: SchedulerKind,
+    layers: &[ConvLayer],
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    cache: Option<&MemoCache>,
+    tracer: Tracer,
+) -> (Vec<Result<LayerSearchResult, SchedError>>, Trace) {
     let model = SystolicModel::new(arch);
+    let mut lane0 = tracer.lane(0, "search");
+    let root_span = lane0.is_enabled().then(|| {
+        let guard = lane0.enter("search");
+        lane0.attr(
+            "scheduler",
+            match kind {
+                SchedulerKind::Ooo => "ooo",
+                SchedulerKind::Static => "static",
+            },
+        );
+        lane0.attr("layers", layers.len());
+        guard
+    });
 
     // Classify layers: memo replays (§3's "memory function"), in-batch
     // duplicates, and leaders that contribute work to the global queue.
@@ -431,6 +519,9 @@ fn search_many(
     // original work order — pruning never changes the winner (see
     // DESIGN.md §10).
     let prune_enabled = opts.prune && !opts.collect_points && opts.metric.is_monotone();
+    if root_span.is_some() {
+        lane0.attr("prune", prune_enabled);
+    }
     let incumbents: Vec<Incumbent> = layers.iter().map(|_| Incumbent::new()).collect();
     let mut bounds: Vec<f64> = Vec::new();
     let mut bound_nanos: Vec<u64> = vec![0; layers.len()];
@@ -441,6 +532,12 @@ fn search_many(
             let Role::Leader { span: (start, end) } = *role else {
                 continue;
             };
+            let bound_span = lane0.is_enabled().then(|| {
+                let guard = lane0.enter("bound");
+                lane0.attr("layer", layers[li].name());
+                lane0.attr("candidates", end - start);
+                guard
+            });
             let bound_start = Instant::now();
             let mut i = start;
             while i < end {
@@ -454,6 +551,9 @@ fn search_many(
             bound_nanos[li] = bound_start.elapsed().as_nanos() as u64;
             exec_order[start..end]
                 .sort_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)));
+            if let Some(guard) = bound_span {
+                lane0.exit(guard);
+            }
         }
     }
 
@@ -469,38 +569,90 @@ fn search_many(
     .max(1);
 
     // Resolves work item `i`: bound-gate, schedule (with the layer's
-    // shared incumbent armed as a cutoff), record the incumbent.
-    let process = |i: usize| -> RunOutcome {
+    // shared incumbent armed as a cutoff), record the incumbent. The
+    // item records into its own lane — identity `1 + i` pins the span
+    // order to the work queue, not the thread schedule.
+    let process = |i: usize| -> (RunOutcome, Lane) {
         let (li, f, d) = work[i];
-        if prune_enabled && bounds[i] > incumbents[li].get() {
-            return RunOutcome::Bounded;
-        }
-        let cutoff = (prune_enabled && kind == SchedulerKind::Ooo)
-            .then(|| Cutoff::new(&incumbents[li], opts.metric));
-        match run_one(kind, &layers[li], arch, &model, (f, d), opts, cutoff) {
-            Ok((schedule, stats)) => {
-                if prune_enabled {
-                    incumbents[li].observe(
-                        opts.metric
-                            .score(schedule.latency(), schedule.transfer_bytes()),
-                    );
-                }
-                RunOutcome::Done(Box::new((schedule, stats)))
+        let mut lane = if tracer.is_enabled() {
+            tracer.lane(
+                1 + u32::try_from(i).expect("work queue fits in u32"),
+                format!("{}/{i}", layers[li].name()),
+            )
+        } else {
+            Lane::off()
+        };
+        let span = lane.is_enabled().then(|| {
+            let guard = lane.enter("candidate");
+            lane.attr("layer", layers[li].name());
+            lane.attr("tiling", f.to_string());
+            lane.attr("dataflow", format!("{d:?}"));
+            guard
+        });
+        let outcome = if prune_enabled && bounds[i] > incumbents[li].get() {
+            if span.is_some() {
+                lane.attr("outcome", "bounded");
+                lane.attr("bound", bounds[i]);
             }
-            Err(SchedError::Pruned) => RunOutcome::EarlyExit,
-            Err(e) => RunOutcome::Failed(e),
+            RunOutcome::Bounded
+        } else {
+            let cutoff = (prune_enabled && kind == SchedulerKind::Ooo)
+                .then(|| Cutoff::new(&incumbents[li], opts.metric));
+            match run_one(
+                kind,
+                &layers[li],
+                arch,
+                &model,
+                (f, d),
+                opts,
+                cutoff,
+                &mut lane,
+            ) {
+                Ok((schedule, stats)) => {
+                    let score = opts
+                        .metric
+                        .score(schedule.latency(), schedule.transfer_bytes());
+                    if prune_enabled {
+                        incumbents[li].observe(score);
+                    }
+                    if span.is_some() {
+                        lane.attr("outcome", "scheduled");
+                        lane.attr("latency", schedule.latency());
+                        lane.attr("transfer_bytes", schedule.transfer_bytes());
+                        lane.attr("score", score);
+                    }
+                    RunOutcome::Done(Box::new((schedule, stats)))
+                }
+                Err(SchedError::Pruned) => {
+                    if span.is_some() {
+                        lane.attr("outcome", "early-exit");
+                    }
+                    RunOutcome::EarlyExit
+                }
+                Err(e) => {
+                    if span.is_some() {
+                        lane.attr("outcome", "failed");
+                        lane.attr("error", e.to_string());
+                    }
+                    RunOutcome::Failed(e)
+                }
+            }
+        };
+        if let Some(guard) = span {
+            lane.exit(guard);
         }
+        (outcome, lane)
     };
 
-    let mut results: Vec<Option<RunOutcome>> = if threads == 1 {
-        let mut slots: Vec<Option<RunOutcome>> = work.iter().map(|_| None).collect();
+    let mut results: Vec<Option<(RunOutcome, Lane)>> = if threads == 1 {
+        let mut slots: Vec<Option<(RunOutcome, Lane)>> = work.iter().map(|_| None).collect();
         for &i in &exec_order {
             slots[i] = Some(process(i));
         }
         slots
     } else {
         let next = AtomicUsize::new(0);
-        let locals: Vec<Vec<(usize, RunOutcome)>> = std::thread::scope(|scope| {
+        let locals: Vec<Vec<(usize, (RunOutcome, Lane))>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
@@ -522,7 +674,7 @@ fn search_many(
                 .map(|h| h.join().expect("search worker panicked"))
                 .collect()
         });
-        let mut slots: Vec<Option<RunOutcome>> = work.iter().map(|_| None).collect();
+        let mut slots: Vec<Option<(RunOutcome, Lane)>> = work.iter().map(|_| None).collect();
         for (i, r) in locals.into_iter().flatten() {
             slots[i] = Some(r);
         }
@@ -531,18 +683,40 @@ fn search_many(
 
     // Deterministic per-layer reduction in work order. Leaders always
     // precede their duplicates, so a single in-order pass resolves
-    // every role.
+    // every role. Candidate lanes drain into the trace here, in work
+    // order.
+    let mut lanes: Vec<Lane> = Vec::new();
     let mut out: Vec<Result<LayerSearchResult, SchedError>> = Vec::with_capacity(layers.len());
     for (li, role) in roles.iter().enumerate() {
         let layer = &layers[li];
+        let layer_span = lane0.is_enabled().then(|| {
+            let guard = lane0.enter("layer");
+            lane0.attr("name", layer.name());
+            lane0.attr(
+                "role",
+                match role {
+                    Role::Leader { .. } => "leader",
+                    Role::Duplicate { .. } => "duplicate",
+                    Role::Replay { .. } => "replay",
+                },
+            );
+            guard
+        });
         let resolved = match *role {
-            Role::Replay { factors, dataflow } => {
-                replay_one(kind, layer, arch, &model, factors, dataflow, opts)
-            }
+            Role::Replay { factors, dataflow } => replay_one(
+                kind, layer, arch, &model, factors, dataflow, opts, &mut lane0,
+            ),
             Role::Duplicate { leader } => match &out[leader] {
-                Ok(lead) => {
-                    replay_one(kind, layer, arch, &model, lead.factors, lead.dataflow, opts)
-                }
+                Ok(lead) => replay_one(
+                    kind,
+                    layer,
+                    arch,
+                    &model,
+                    lead.factors,
+                    lead.dataflow,
+                    opts,
+                    &mut lane0,
+                ),
                 // The replayed error names the layer whose search
                 // actually ran (the leader), not this duplicate.
                 Err(e) => Err(SchedError::DuplicateOf {
@@ -566,7 +740,9 @@ fn search_many(
                 // candidates reproduces the exhaustive search's
                 // first-in-work-order tie-break exactly.
                 for i in start..end {
-                    match results[i].take().expect("every work item processed") {
+                    let (outcome, lane) = results[i].take().expect("every work item processed");
+                    lanes.push(lane);
+                    match outcome {
                         RunOutcome::Done(done) => {
                             let (schedule, run_stats) = *done;
                             evaluated += 1;
@@ -622,15 +798,44 @@ fn search_many(
         };
         let resolved = if opts.validate {
             resolved.and_then(|mut r| {
-                verify_winner(kind, layer, arch, &model, opts, &mut r).map(|()| r)
+                let verify_span = lane0.is_enabled().then(|| lane0.enter("verify"));
+                let verified = verify_winner(kind, layer, arch, &model, opts, &mut r);
+                if let Some(guard) = verify_span {
+                    lane0.attr("ok", verified.is_ok());
+                    lane0.exit(guard);
+                }
+                verified.map(|()| r)
             })
         } else {
             resolved
         };
+        if let Some(guard) = layer_span {
+            match &resolved {
+                Ok(r) => {
+                    lane0.attr("outcome", "ok");
+                    lane0.attr("evaluated", r.evaluated);
+                    lane0.attr("score", r.score);
+                    lane0.attr("latency", r.schedule.latency());
+                    lane0.attr("transfer_bytes", r.schedule.transfer_bytes());
+                    r.stats.record_counters(&mut lane0);
+                }
+                Err(e) => {
+                    lane0.attr("outcome", "failed");
+                    lane0.attr("error", e.to_string());
+                }
+            }
+            lane0.exit(guard);
+        }
         out.push(resolved);
     }
 
-    out.into_iter().collect()
+    if let Some(guard) = root_span {
+        lane0.exit(guard);
+    }
+    let mut all_lanes = Vec::with_capacity(lanes.len() + 1);
+    all_lanes.push(lane0);
+    all_lanes.extend(lanes);
+    (out, Trace::from_lanes(tracer.config(), all_lanes))
 }
 
 fn search(
@@ -762,6 +967,111 @@ pub fn search_network_static_cached(
     cache: &MemoCache,
 ) -> Result<Vec<LayerSearchResult>, SchedError> {
     search_many(SchedulerKind::Static, layers, arch, opts, Some(cache))
+}
+
+/// [`search_layer`] with trace recording under
+/// [`SearchOptions::trace`]. Always returns the recorded [`Trace`],
+/// even when the search fails — failed searches are exactly when a
+/// trace is most useful.
+///
+/// With the default logical clock the trace is byte-identical across
+/// runs when `opts.threads == 1` (any options), or at any thread count
+/// with `opts.prune == false`; under parallel pruning the incumbent
+/// race decides when candidates are cut, which the trace records
+/// faithfully.
+pub fn search_layer_traced(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+) -> (Result<LayerSearchResult, SchedError>, Trace) {
+    let (mut results, trace) = search_many_traced(
+        SchedulerKind::Ooo,
+        std::slice::from_ref(layer),
+        arch,
+        opts,
+        None,
+        opts.trace.tracer(),
+    );
+    (results.pop().expect("one layer in, one result out"), trace)
+}
+
+/// [`search_network`] with trace recording under
+/// [`SearchOptions::trace`] — determinism contract as
+/// [`search_layer_traced`].
+pub fn search_network_traced(
+    layers: &[ConvLayer],
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+) -> (Result<Vec<LayerSearchResult>, SchedError>, Trace) {
+    let (results, trace) = search_many_traced(
+        SchedulerKind::Ooo,
+        layers,
+        arch,
+        opts,
+        None,
+        opts.trace.tracer(),
+    );
+    (results.into_iter().collect(), trace)
+}
+
+/// [`search_network_traced`] with a shared [`MemoCache`].
+pub fn search_network_traced_cached(
+    layers: &[ConvLayer],
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    cache: &MemoCache,
+) -> (Result<Vec<LayerSearchResult>, SchedError>, Trace) {
+    let (results, trace) = search_many_traced(
+        SchedulerKind::Ooo,
+        layers,
+        arch,
+        opts,
+        Some(cache),
+        opts.trace.tracer(),
+    );
+    (results.into_iter().collect(), trace)
+}
+
+/// The static-baseline counterpart of [`search_network_traced`].
+pub fn search_network_static_traced(
+    layers: &[ConvLayer],
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+) -> (Result<Vec<LayerSearchResult>, SchedError>, Trace) {
+    let (results, trace) = search_many_traced(
+        SchedulerKind::Static,
+        layers,
+        arch,
+        opts,
+        None,
+        opts.trace.tracer(),
+    );
+    (results.into_iter().collect(), trace)
+}
+
+/// [`search_network`] without the first-error collapse: one
+/// `Result` per layer, index-aligned with `layers`.
+///
+/// Where [`search_network`] returns only the first failing layer's
+/// error, this keeps every layer's individual outcome — in particular
+/// a duplicate of a failed leader surfaces as
+/// [`SchedError::DuplicateOf`] wrapping the leader's error, which the
+/// collapsed form can never show (the leader's own error always
+/// precedes it in layer order).
+pub fn search_network_layerwise(
+    layers: &[ConvLayer],
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+) -> Vec<Result<LayerSearchResult, SchedError>> {
+    search_many_traced(
+        SchedulerKind::Ooo,
+        layers,
+        arch,
+        opts,
+        None,
+        Tracer::disabled(),
+    )
+    .0
 }
 
 /// Explores every `(tiling, dataflow)` pair with both schedulers and
@@ -1104,6 +1414,119 @@ mod tests {
             a.memo_key(&l, &ar, SchedulerKind::Ooo),
             b.memo_key(&l, &ar, SchedulerKind::Ooo)
         );
+    }
+
+    #[test]
+    fn trace_is_not_part_of_the_memo_key() {
+        let a = SearchOptions::quick();
+        let mut b = SearchOptions::quick();
+        b.trace = TraceOptions {
+            clock: ClockMode::Wall,
+            detail: TraceDetail::Memory,
+        };
+        let l = layer();
+        let ar = arch();
+        assert_eq!(
+            a.memo_key(&l, &ar, SchedulerKind::Ooo),
+            b.memo_key(&l, &ar, SchedulerKind::Ooo)
+        );
+    }
+
+    /// Number of `Enter` events named `name` across all lanes.
+    fn count_spans(trace: &Trace, name: &str) -> usize {
+        trace
+            .lanes()
+            .iter()
+            .flat_map(|l| &l.events)
+            .filter(|e| matches!(e.kind, flexer_trace::EventKind::Enter { name: n } if n == name))
+            .count()
+    }
+
+    #[test]
+    fn traced_search_records_a_well_formed_trace() {
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        let (r, trace) = search_layer_traced(&layer(), &arch(), &opts);
+        let r = r.unwrap();
+        trace.check().unwrap();
+        assert_eq!(count_spans(&trace, "search"), 1);
+        assert_eq!(count_spans(&trace, "layer"), 1);
+        assert_eq!(
+            count_spans(&trace, "candidate"),
+            r.evaluated,
+            "one candidate span per evaluated (tiling, dataflow) pair"
+        );
+        assert!(count_spans(&trace, "bound") > 0, "pruning is the default");
+        let summary = trace.summary();
+        assert!(summary.counters > 0, "layer stats become counters");
+    }
+
+    #[test]
+    fn traced_serial_search_is_deterministic() {
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        let (_, a) = search_layer_traced(&layer(), &arch(), &opts);
+        let (_, b) = search_layer_traced(&layer(), &arch(), &opts);
+        assert_eq!(
+            flexer_trace::text::render_tree(&a),
+            flexer_trace::text::render_tree(&b)
+        );
+        assert_eq!(
+            flexer_trace::chrome::to_chrome_json(&a),
+            flexer_trace::chrome::to_chrome_json(&b)
+        );
+    }
+
+    #[test]
+    fn traced_search_returns_trace_on_failure() {
+        let huge = flexer_model::ConvLayerBuilder::new("huge", 4096, 1024, 1024, 4096)
+            .build()
+            .unwrap();
+        let mut opts = SearchOptions::quick();
+        opts.tiling.max_ops = 32;
+        let (r, trace) = search_layer_traced(&huge, &arch(), &opts);
+        assert!(r.is_err());
+        trace.check().unwrap();
+        assert!(!trace.is_empty(), "failures still produce a trace");
+        let tree = flexer_trace::text::render_tree(&trace);
+        assert!(tree.contains("outcome=failed"), "{tree}");
+    }
+
+    #[test]
+    fn untraced_searches_share_the_traced_code_path() {
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        let plain = search_layer(&layer(), &arch(), &opts).unwrap();
+        opts.trace.detail = TraceDetail::Memory;
+        let (traced, trace) = search_layer_traced(&layer(), &arch(), &opts);
+        let traced = traced.unwrap();
+        assert_eq!(
+            plain.schedule, traced.schedule,
+            "tracing never changes winners"
+        );
+        assert_eq!(plain.score, traced.score);
+        assert!(
+            count_spans(&trace, "step") > 0,
+            "Memory detail includes steps"
+        );
+        assert!(count_spans(&trace, "commit") > 0);
+    }
+
+    #[test]
+    fn layerwise_search_keeps_per_layer_errors() {
+        let good = layer();
+        let bad = flexer_model::ConvLayerBuilder::new("huge", 4096, 1024, 1024, 4096)
+            .build()
+            .unwrap();
+        let mut opts = SearchOptions::quick();
+        opts.tiling.max_ops = 32;
+        let results = search_network_layerwise(&[good, bad], &arch(), &opts);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1].as_ref().unwrap_err(),
+            SchedError::NoViableTiling { .. }
+        ));
     }
 
     #[test]

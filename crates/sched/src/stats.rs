@@ -1,5 +1,6 @@
 //! Performance counters of a scheduling or search run.
 
+use flexer_trace::Lane;
 use serde::{Deserialize, Serialize};
 
 /// Counters describing how much work one scheduling (or layer-search)
@@ -9,6 +10,11 @@ use serde::{Deserialize, Serialize};
 /// Counters are additive: per-scheduler stats merge into per-layer
 /// stats, which merge into per-network totals (see
 /// [`SearchStats::merge`]).
+///
+/// [`SearchStats::fields`] is the single enumeration of the counters;
+/// `merge`, the trace export and the drift tests are all built on it,
+/// so a new field that is not wired everywhere fails to compile rather
+/// than silently dropping out of one of them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchStats {
     /// Scheduling steps (iterations of Algorithm 1's issue loop).
@@ -52,26 +58,134 @@ pub struct SearchStats {
     pub bound_nanos: u64,
 }
 
+/// What a [`SearchStats`] counter measures — used to format it and to
+/// decide whether it is deterministic across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatKind {
+    /// A count of events or items: deterministic for a fixed search.
+    Count,
+    /// A byte quantity: deterministic for a fixed search.
+    Bytes,
+    /// A wall-clock duration: varies run to run, excluded from
+    /// deterministic trace exports.
+    Nanos,
+}
+
 impl SearchStats {
-    /// Accumulates `other` into `self`, field by field.
+    /// Every counter as `(name, value, kind)`, in declaration order.
+    ///
+    /// The exhaustive destructuring makes this the compiler-checked
+    /// registry of the struct's fields: adding a field without listing
+    /// it here is a compile error, and [`SearchStats::merge`] plus the
+    /// drift tests derive their field sets from this list.
+    #[must_use]
+    pub fn fields(&self) -> [(&'static str, u64, StatKind); 17] {
+        let Self {
+            steps,
+            sets_generated,
+            sets_pruned,
+            sets_evaluated,
+            rollback_bytes,
+            clone_bytes_avoided,
+            evictions,
+            compactions,
+            gen_nanos,
+            eval_nanos,
+            commit_nanos,
+            schedules_verified,
+            verify_nanos,
+            candidates_bounded,
+            candidates_pruned,
+            early_exits,
+            bound_nanos,
+        } = *self;
+        [
+            ("steps", steps, StatKind::Count),
+            ("sets_generated", sets_generated, StatKind::Count),
+            ("sets_pruned", sets_pruned, StatKind::Count),
+            ("sets_evaluated", sets_evaluated, StatKind::Count),
+            ("rollback_bytes", rollback_bytes, StatKind::Bytes),
+            ("clone_bytes_avoided", clone_bytes_avoided, StatKind::Bytes),
+            ("evictions", evictions, StatKind::Count),
+            ("compactions", compactions, StatKind::Count),
+            ("gen_nanos", gen_nanos, StatKind::Nanos),
+            ("eval_nanos", eval_nanos, StatKind::Nanos),
+            ("commit_nanos", commit_nanos, StatKind::Nanos),
+            ("schedules_verified", schedules_verified, StatKind::Count),
+            ("verify_nanos", verify_nanos, StatKind::Nanos),
+            ("candidates_bounded", candidates_bounded, StatKind::Count),
+            ("candidates_pruned", candidates_pruned, StatKind::Count),
+            ("early_exits", early_exits, StatKind::Count),
+            ("bound_nanos", bound_nanos, StatKind::Nanos),
+        ]
+    }
+
+    /// The deterministic subset of [`SearchStats::fields`]: everything
+    /// except wall-clock durations. This is what stats round-trip
+    /// tests compare and what deterministic traces export.
+    #[must_use]
+    pub fn deterministic_fields(&self) -> Vec<(&'static str, u64)> {
+        self.fields()
+            .into_iter()
+            .filter(|(_, _, kind)| *kind != StatKind::Nanos)
+            .map(|(name, value, _)| (name, value))
+            .collect()
+    }
+
+    /// Accumulates `other` into `self`, field by field. The exhaustive
+    /// destructuring keeps it in lock-step with the struct definition.
     pub fn merge(&mut self, other: &SearchStats) {
-        self.steps += other.steps;
-        self.sets_generated += other.sets_generated;
-        self.sets_pruned += other.sets_pruned;
-        self.sets_evaluated += other.sets_evaluated;
-        self.rollback_bytes += other.rollback_bytes;
-        self.clone_bytes_avoided += other.clone_bytes_avoided;
-        self.evictions += other.evictions;
-        self.compactions += other.compactions;
-        self.gen_nanos += other.gen_nanos;
-        self.eval_nanos += other.eval_nanos;
-        self.commit_nanos += other.commit_nanos;
-        self.schedules_verified += other.schedules_verified;
-        self.verify_nanos += other.verify_nanos;
-        self.candidates_bounded += other.candidates_bounded;
-        self.candidates_pruned += other.candidates_pruned;
-        self.early_exits += other.early_exits;
-        self.bound_nanos += other.bound_nanos;
+        let SearchStats {
+            steps,
+            sets_generated,
+            sets_pruned,
+            sets_evaluated,
+            rollback_bytes,
+            clone_bytes_avoided,
+            evictions,
+            compactions,
+            gen_nanos,
+            eval_nanos,
+            commit_nanos,
+            schedules_verified,
+            verify_nanos,
+            candidates_bounded,
+            candidates_pruned,
+            early_exits,
+            bound_nanos,
+        } = *other;
+        self.steps += steps;
+        self.sets_generated += sets_generated;
+        self.sets_pruned += sets_pruned;
+        self.sets_evaluated += sets_evaluated;
+        self.rollback_bytes += rollback_bytes;
+        self.clone_bytes_avoided += clone_bytes_avoided;
+        self.evictions += evictions;
+        self.compactions += compactions;
+        self.gen_nanos += gen_nanos;
+        self.eval_nanos += eval_nanos;
+        self.commit_nanos += commit_nanos;
+        self.schedules_verified += schedules_verified;
+        self.verify_nanos += verify_nanos;
+        self.candidates_bounded += candidates_bounded;
+        self.candidates_pruned += candidates_pruned;
+        self.early_exits += early_exits;
+        self.bound_nanos += bound_nanos;
+    }
+
+    /// Emits every counter into a trace lane as a gauge sample. Under
+    /// a deterministic (logical-clock) lane, wall-time counters are
+    /// skipped — they would break byte-stable traces.
+    pub fn record_counters(&self, lane: &mut Lane) {
+        if !lane.is_enabled() {
+            return;
+        }
+        for (name, value, kind) in self.fields() {
+            if kind == StatKind::Nanos && lane.deterministic() {
+                continue;
+            }
+            lane.counter(name, value);
+        }
     }
 }
 
@@ -109,9 +223,10 @@ impl std::fmt::Display for SearchStats {
 mod tests {
     use super::*;
 
-    #[test]
-    fn merge_is_fieldwise_addition() {
-        let mut a = SearchStats {
+    /// A stats value with every field distinct and nonzero, built from
+    /// the field registry so it stays exhaustive by construction.
+    fn sequential() -> SearchStats {
+        let mut s = SearchStats {
             steps: 1,
             sets_generated: 2,
             sets_pruned: 3,
@@ -130,25 +245,62 @@ mod tests {
             early_exits: 16,
             bound_nanos: 17,
         };
+        // Guard the literal above against field additions.
+        assert_eq!(s.fields().len(), 17);
+        for (i, (name, value, _)) in s.fields().into_iter().enumerate() {
+            assert_eq!(value, i as u64 + 1, "field {name} not sequential");
+        }
+        s.merge(&SearchStats::default());
+        s
+    }
+
+    #[test]
+    fn merge_is_fieldwise_addition() {
+        let mut a = sequential();
         let b = a;
         a.merge(&b);
-        assert_eq!(a.steps, 2);
-        assert_eq!(a.sets_generated, 4);
-        assert_eq!(a.sets_pruned, 6);
-        assert_eq!(a.sets_evaluated, 8);
-        assert_eq!(a.rollback_bytes, 10);
-        assert_eq!(a.clone_bytes_avoided, 12);
-        assert_eq!(a.evictions, 14);
-        assert_eq!(a.compactions, 16);
-        assert_eq!(a.gen_nanos, 18);
-        assert_eq!(a.eval_nanos, 20);
-        assert_eq!(a.commit_nanos, 22);
-        assert_eq!(a.schedules_verified, 24);
-        assert_eq!(a.verify_nanos, 26);
-        assert_eq!(a.candidates_bounded, 28);
-        assert_eq!(a.candidates_pruned, 30);
-        assert_eq!(a.early_exits, 32);
-        assert_eq!(a.bound_nanos, 34);
+        for ((name, merged, _), (_, single, _)) in a.fields().into_iter().zip(b.fields()) {
+            assert_eq!(merged, single * 2, "field {name} not additive");
+        }
+    }
+
+    #[test]
+    fn field_names_are_unique() {
+        let fields = SearchStats::default().fields();
+        for (i, (a, _, _)) in fields.iter().enumerate() {
+            for (b, _, _) in &fields[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_fields_exclude_wall_time() {
+        let s = sequential();
+        let det = s.deterministic_fields();
+        assert_eq!(det.len(), 12);
+        assert!(det.iter().all(|(name, _)| !name.ends_with("_nanos")));
+        assert!(det.iter().any(|&(name, v)| name == "steps" && v == 1));
+    }
+
+    #[test]
+    fn counters_respect_lane_determinism() {
+        use flexer_trace::{ClockMode, TraceConfig, Tracer};
+        let s = sequential();
+        let tracer = Tracer::new(TraceConfig::default());
+        let mut lane = tracer.lane(0, "stats");
+        s.record_counters(&mut lane);
+        assert_eq!(lane.len(), s.deterministic_fields().len());
+        let tracer = Tracer::new(TraceConfig {
+            clock: ClockMode::Wall,
+            ..TraceConfig::default()
+        });
+        let mut lane = tracer.lane(0, "stats");
+        s.record_counters(&mut lane);
+        assert_eq!(lane.len(), s.fields().len());
+        let mut off = flexer_trace::Lane::off();
+        s.record_counters(&mut off);
+        assert!(off.is_empty());
     }
 
     #[test]

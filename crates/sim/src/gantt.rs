@@ -1,0 +1,143 @@
+//! Schedule → execution-timeline trace.
+//!
+//! Converts a finished [`Schedule`] into a [`Trace`] with one lane per
+//! NPU core plus one lane for the shared DMA channel, each span's
+//! boundaries being the operation's start/end *cycles*. Loaded into a
+//! Chrome-trace viewer this is the per-core Gantt chart of the
+//! execution — the machine-readable sibling of
+//! [`crate::render_gantt`].
+//!
+//! Timestamps are cycle numbers, so the trace uses
+//! [`ClockMode::Wall`] (explicit, possibly-repeating timestamps), yet
+//! it is still byte-stable across runs: cycles come from the
+//! deterministic schedule, never from a host clock. Spans within a
+//! lane are emitted in `(start, end)` order; an overlapping start
+//! (impossible for well-formed schedules, which serialize each core
+//! and the DMA channel) would be clamped forward rather than breaking
+//! lane monotonicity.
+
+use crate::schedule::{MemOpKind, Schedule};
+use flexer_trace::{ClockMode, Trace, TraceConfig, Tracer};
+
+/// Renders `schedule` as a per-core execution-timeline trace named
+/// `name`. Lane `i < cores` carries core `i`'s compute spans; the last
+/// lane carries the DMA channel's transfers.
+#[must_use]
+pub fn schedule_trace(schedule: &Schedule, name: &str) -> Trace {
+    let config = TraceConfig {
+        clock: ClockMode::Wall,
+        ..TraceConfig::default()
+    };
+    let tracer = Tracer::new(config);
+    let mut lanes = Vec::new();
+    for core in 0..schedule.cores() {
+        let mut lane = tracer.lane(core, format!("{name}/core{core}"));
+        let mut ops: Vec<_> = schedule
+            .compute()
+            .iter()
+            .filter(|o| o.core == core)
+            .collect();
+        ops.sort_by_key(|o| (o.start, o.end));
+        for op in ops {
+            let guard = lane.enter_at(op.start, "compute");
+            lane.attr("op", op.op.to_string());
+            lane.attr("cycles", op.end - op.start);
+            lane.exit_at(op.end, guard);
+        }
+        lanes.push(lane);
+    }
+    let mut dma = tracer.lane(schedule.cores(), format!("{name}/dma"));
+    let mut mem: Vec<_> = schedule.mem_ops().iter().collect();
+    mem.sort_by_key(|m| (m.start, m.end));
+    for m in mem {
+        let span_name = match m.kind {
+            MemOpKind::Load => "load",
+            MemOpKind::Spill => "spill",
+            MemOpKind::Store => "store",
+        };
+        let guard = dma.enter_at(m.start, span_name);
+        dma.attr("tile", m.tile.to_string());
+        dma.attr("class", m.class.to_string());
+        dma.attr("bytes", m.bytes);
+        if let Some(op) = m.for_op {
+            dma.attr("for_op", op.to_string());
+        }
+        dma.exit_at(m.end, guard);
+    }
+    lanes.push(dma);
+    Trace::from_lanes(config, lanes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleBuilder;
+    use crate::traffic::TrafficClass;
+    use flexer_tiling::{OpId, TileId};
+
+    fn sample() -> Schedule {
+        let mut b = ScheduleBuilder::new(2);
+        let t0 = TileId::Input { c: 0, s: 0 };
+        let t1 = TileId::Input { c: 0, s: 1 };
+        let (_, d0) = b
+            .record_mem_op(
+                MemOpKind::Load,
+                TrafficClass::Input,
+                t0,
+                64,
+                10,
+                Some(OpId::new(0)),
+            )
+            .unwrap();
+        let (_, d1) = b
+            .record_mem_op(
+                MemOpKind::Load,
+                TrafficClass::Input,
+                t1,
+                64,
+                10,
+                Some(OpId::new(1)),
+            )
+            .unwrap();
+        b.record_compute(OpId::new(0), 0, d0, 100).unwrap();
+        b.record_compute(OpId::new(1), 1, d1, 80).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn trace_has_one_lane_per_core_plus_dma() {
+        let trace = schedule_trace(&sample(), "s");
+        trace.check().unwrap();
+        assert_eq!(trace.lanes().len(), 3);
+        assert_eq!(trace.lanes()[0].name, "s/core0");
+        assert_eq!(trace.lanes()[2].name, "s/dma");
+        let summary = trace.summary();
+        assert_eq!(summary.spans, 4, "2 computes + 2 loads");
+    }
+
+    #[test]
+    fn span_boundaries_are_schedule_cycles() {
+        let schedule = sample();
+        let trace = schedule_trace(&schedule, "s");
+        let core0 = &trace.lanes()[0];
+        assert_eq!(core0.events[0].ts, schedule.compute()[0].start);
+        assert_eq!(core0.events[1].ts, schedule.compute()[0].end);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = schedule_trace(&sample(), "s");
+        let b = schedule_trace(&sample(), "s");
+        assert_eq!(
+            flexer_trace::text::render_tree(&a),
+            flexer_trace::text::render_tree(&b)
+        );
+    }
+
+    #[test]
+    fn empty_schedule_gives_empty_trace() {
+        let schedule = ScheduleBuilder::new(2).finish();
+        let trace = schedule_trace(&schedule, "s");
+        assert!(trace.is_empty());
+    }
+}

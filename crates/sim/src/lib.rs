@@ -21,7 +21,10 @@
 //!   byte-accurate SPM model and cross-checks the observed traffic
 //!   against the analytical schedule;
 //! * [`onchip_reference_traffic`] — the infinite-buffer lower bound
-//!   where every tile moves at most once (Figure 10's "on-chip" bar).
+//!   where every tile moves at most once (Figure 10's "on-chip" bar);
+//! * [`schedule_trace`] — the per-core execution timeline of a
+//!   schedule as a `flexer-trace` trace (a machine-readable Gantt
+//!   chart, loadable into a Chrome-trace viewer).
 //!
 //! # Examples
 //!
@@ -47,6 +50,7 @@
 
 mod energy;
 mod engine;
+mod gantt;
 mod interp;
 mod reference;
 mod render;
@@ -56,6 +60,7 @@ mod validate;
 
 pub use energy::schedule_energy;
 pub use engine::{Timeline, TimelineError};
+pub use gantt::schedule_trace;
 pub use interp::{
     differential_check, interpret_program, DifferentialError, InterpError, InterpStats, SpmCommand,
 };

@@ -1321,7 +1321,7 @@ mod tests {
         let spm = filled();
         assert_eq!(
             spm.footprint_bytes(),
-            (spm.blocks().len() * std::mem::size_of::<Block>()) as u64
+            std::mem::size_of_val(spm.blocks()) as u64
         );
     }
 

@@ -1,0 +1,214 @@
+//! Chrome trace-event (Perfetto / `chrome://tracing`) exporter.
+//!
+//! Emits the JSON object format: a `traceEvents` array of `"M"`
+//! thread-name metadata, `"X"` complete events (one per span, with
+//! `dur` computed from the matching exit) and `"C"` counter events.
+//! Output is a pure function of the trace — key order, number
+//! formatting and escaping are all fixed — so byte-identical traces
+//! export to byte-identical JSON.
+
+use crate::event::{AttrValue, EventKind};
+use crate::lane::ClockMode;
+use crate::trace::{LaneData, Trace};
+
+/// Process id used for every event (the pipeline is one process).
+const PID: u32 = 1;
+
+/// Serialises a trace to Chrome trace-event JSON.
+///
+/// Timestamps: Chrome's `ts`/`dur` are microseconds. Under the wall
+/// clock, recorded nanoseconds are emitted as fractional microseconds
+/// (`ns / 1000` with three decimals). Under the logical clock (and for
+/// explicit-timestamp lanes such as schedule Gantt lanes, whose ticks
+/// are cycles) ticks are emitted 1:1 as integer microseconds, which
+/// keeps the export byte-stable and still renders proportionally.
+#[must_use]
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for lane in trace.lanes() {
+        emit_lane(&mut out, &mut first, lane, trace.clock());
+    }
+    out.push_str("]}");
+    out
+}
+
+fn emit_lane(out: &mut String, first: &mut bool, lane: &LaneData, clock: ClockMode) {
+    sep(out, first);
+    out.push_str(&format!(
+        "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{PID},\"tid\":{},\
+         \"args\":{{\"name\":{}}}}}",
+        lane.id,
+        json_string(&lane.name)
+    ));
+    // Matches each Enter with its Exit by replaying the LIFO span
+    // discipline; stack slots hold the enter event index.
+    let mut stack: Vec<usize> = Vec::new();
+    for (index, event) in lane.events.iter().enumerate() {
+        match event.kind {
+            EventKind::Enter { .. } => stack.push(index),
+            EventKind::Exit => {
+                let enter_idx = stack
+                    .pop()
+                    .expect("export requires a checked trace: exit without enter");
+                let enter = &lane.events[enter_idx];
+                let EventKind::Enter { name } = enter.kind else {
+                    unreachable!("stack holds only Enter indices");
+                };
+                sep(out, first);
+                out.push_str(&format!(
+                    "{{\"ph\":\"X\",\"name\":{},\"pid\":{PID},\"tid\":{},\
+                     \"ts\":{},\"dur\":{}",
+                    json_string(name),
+                    lane.id,
+                    ts_value(enter.ts, clock),
+                    ts_value(event.ts - enter.ts, clock)
+                ));
+                if !enter.attrs.is_empty() {
+                    out.push_str(",\"args\":{");
+                    for (i, attr) in enter.attrs.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&json_string(attr.key));
+                        out.push(':');
+                        out.push_str(&json_attr_value(&attr.value));
+                    }
+                    out.push('}');
+                }
+                out.push('}');
+            }
+            EventKind::Counter { name, value } => {
+                sep(out, first);
+                out.push_str(&format!(
+                    "{{\"ph\":\"C\",\"name\":{},\"pid\":{PID},\"tid\":{},\
+                     \"ts\":{},\"args\":{{{}:{value}}}}}",
+                    json_string(name),
+                    lane.id,
+                    ts_value(event.ts, clock),
+                    json_string(name)
+                ));
+            }
+        }
+    }
+    assert!(
+        stack.is_empty(),
+        "export requires a checked trace: {} span(s) left open on lane {}",
+        stack.len(),
+        lane.id
+    );
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn ts_value(ts: u64, clock: ClockMode) -> String {
+    match clock {
+        ClockMode::Logical => ts.to_string(),
+        ClockMode::Wall => {
+            // Nanoseconds → microseconds with fixed three decimals.
+            format!("{}.{:03}", ts / 1000, ts % 1000)
+        }
+    }
+}
+
+fn json_attr_value(value: &AttrValue) -> String {
+    match value {
+        AttrValue::U64(v) => v.to_string(),
+        AttrValue::I64(v) => v.to_string(),
+        AttrValue::F64(v) => {
+            if v.is_finite() {
+                format!("{v:?}")
+            } else {
+                // JSON has no NaN/Infinity; stringify them.
+                json_string(&format!("{v:?}"))
+            }
+        }
+        AttrValue::Str(v) => json_string(v),
+        AttrValue::Bool(v) => v.to_string(),
+    }
+}
+
+/// Escapes a string per RFC 8259 (quotes, backslash, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::{TraceConfig, Tracer};
+
+    #[test]
+    fn exports_metadata_complete_and_counter_events() {
+        let t = Tracer::new(TraceConfig::default());
+        let mut lane = t.lane(0, "search");
+        let g = lane.enter("candidate");
+        lane.attr("dataflow", "csk");
+        lane.attr("ops", 12u64);
+        lane.counter("spm_used", 512);
+        lane.exit(g);
+        let trace = Trace::from_lanes(t.config(), vec![lane]);
+        trace.check().unwrap();
+        let json = to_chrome_json(&trace);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"args\":{\"name\":\"search\"}"));
+        assert!(json.contains(
+            "\"ph\":\"X\",\"name\":\"candidate\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":2"
+        ));
+        assert!(json.contains("\"args\":{\"dataflow\":\"csk\",\"ops\":12}"));
+        assert!(json.contains("\"ph\":\"C\",\"name\":\"spm_used\""));
+        assert!(json.contains("\"args\":{\"spm_used\":512}"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let build = || {
+            let t = Tracer::new(TraceConfig::default());
+            let mut lane = t.lane(2, "worker");
+            let outer = lane.enter("outer");
+            let inner = lane.enter("inner");
+            lane.exit(inner);
+            lane.exit(outer);
+            to_chrome_json(&Trace::from_lanes(t.config(), vec![lane]))
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn wall_timestamps_render_as_fractional_micros() {
+        assert_eq!(ts_value(1_234_567, ClockMode::Wall), "1234.567");
+        assert_eq!(ts_value(5, ClockMode::Wall), "0.005");
+        assert_eq!(ts_value(5, ClockMode::Logical), "5");
+    }
+}

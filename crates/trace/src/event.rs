@@ -1,0 +1,227 @@
+//! The raw trace event model: spans, counters and attributes.
+
+use std::fmt;
+
+/// One structured attribute value.
+///
+/// The variants cover everything the pipeline records; all of them
+/// format deterministically (no pointer-, hash- or locale-dependent
+/// output), which is what lets whole traces be golden-tested.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned counter-like values (bytes, counts, cycles).
+    U64(u64),
+    /// Signed values.
+    I64(i64),
+    /// Scores and ratios. Formatted with `{:?}`, which round-trips and
+    /// is stable for equal bit patterns.
+    F64(f64),
+    /// Names and free-form reasons.
+    Str(String),
+    /// Flags.
+    Bool(bool),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::I64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v:?}"),
+            AttrValue::Str(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// A `key=value` attribute attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attr {
+    /// Attribute key (static: attribute vocabularies are fixed at the
+    /// instrumentation site).
+    pub key: &'static str,
+    /// Attribute value.
+    pub value: AttrValue,
+}
+
+/// What one trace event records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opens. Attributes attach to the most recently opened
+    /// span that is still unclosed on the same lane.
+    Enter {
+        /// Span name (static: span vocabularies are fixed at the
+        /// instrumentation site).
+        name: &'static str,
+    },
+    /// The innermost open span of the lane closes.
+    Exit,
+    /// A point-in-time counter sample (a gauge in Chrome terms).
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Sampled value.
+        value: u64,
+    },
+}
+
+/// One timestamped trace event on a lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Lane-local timestamp: logical ticks ([`crate::ClockMode::Logical`])
+    /// or nanoseconds since the tracer epoch
+    /// ([`crate::ClockMode::Wall`]). Non-decreasing per lane; strictly
+    /// increasing under the logical clock.
+    pub ts: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Structured attributes (spans only; counters carry their value).
+    pub attrs: Vec<Attr>,
+}
+
+/// Why a drained trace failed its well-formedness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// An `Exit` event had no matching open span.
+    ExitWithoutEnter {
+        /// Lane on which the orphan exit appeared.
+        lane: u32,
+        /// Index of the offending event within the lane.
+        index: usize,
+    },
+    /// A lane drained with spans still open.
+    UnbalancedEnter {
+        /// Lane with open spans.
+        lane: u32,
+        /// Number of spans left open.
+        open: usize,
+    },
+    /// Timestamps went backwards within one lane.
+    NonMonotoneTimestamp {
+        /// Lane with the regression.
+        lane: u32,
+        /// Index of the event whose timestamp regressed.
+        index: usize,
+    },
+    /// Under the logical clock, two events of a lane shared a
+    /// timestamp (ticks must be strictly increasing).
+    DuplicateTick {
+        /// Lane with the duplicate.
+        lane: u32,
+        /// Index of the second event carrying the tick.
+        index: usize,
+    },
+    /// Two lanes share an id, so span identities would be ambiguous.
+    DuplicateLane {
+        /// The id claimed twice.
+        lane: u32,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::ExitWithoutEnter { lane, index } => {
+                write!(
+                    f,
+                    "lane {lane}: exit without matching enter at event {index}"
+                )
+            }
+            TraceError::UnbalancedEnter { lane, open } => {
+                write!(f, "lane {lane}: drained with {open} span(s) still open")
+            }
+            TraceError::NonMonotoneTimestamp { lane, index } => {
+                write!(f, "lane {lane}: timestamp regressed at event {index}")
+            }
+            TraceError::DuplicateTick { lane, index } => {
+                write!(f, "lane {lane}: duplicate logical tick at event {index}")
+            }
+            TraceError::DuplicateLane { lane } => {
+                write!(f, "lane id {lane} used by two lanes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_values_format_deterministically() {
+        assert_eq!(AttrValue::U64(7).to_string(), "7");
+        assert_eq!(AttrValue::I64(-3).to_string(), "-3");
+        assert_eq!(AttrValue::F64(1.5).to_string(), "1.5");
+        assert_eq!(AttrValue::Str("csk".into()).to_string(), "csk");
+        assert_eq!(AttrValue::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn conversions_cover_common_types() {
+        assert_eq!(AttrValue::from(3u64), AttrValue::U64(3));
+        assert_eq!(AttrValue::from(3usize), AttrValue::U64(3));
+        assert_eq!(AttrValue::from(3u32), AttrValue::U64(3));
+        assert_eq!(AttrValue::from(-3i64), AttrValue::I64(-3));
+        assert_eq!(AttrValue::from(0.5f64), AttrValue::F64(0.5));
+        assert_eq!(AttrValue::from("x"), AttrValue::Str("x".into()));
+        assert_eq!(AttrValue::from(false), AttrValue::Bool(false));
+    }
+
+    #[test]
+    fn errors_display_their_lane() {
+        let e = TraceError::ExitWithoutEnter { lane: 4, index: 2 };
+        assert!(e.to_string().contains("lane 4"));
+        let e = TraceError::UnbalancedEnter { lane: 1, open: 3 };
+        assert!(e.to_string().contains("3 span(s)"));
+    }
+}

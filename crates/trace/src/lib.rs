@@ -1,0 +1,48 @@
+//! Deterministic tracing and profiling for the Flexer search pipeline.
+//!
+//! The model is small and strict:
+//!
+//! - A [`Tracer`] is a `Copy` handle holding configuration. It records
+//!   nothing itself; it hands out [`Lane`] buffers, one per unit of
+//!   work. Recording into a lane is plain, lock-free, single-owner
+//!   data access — lanes are what make tracing safe inside the search
+//!   thread pool.
+//! - A [`Lane`] holds timestamped events: `Enter`/`Exit` span pairs in
+//!   strict LIFO order, structured key/value [`Attr`]s on the innermost
+//!   open span, and point-in-time [`EventKind::Counter`] samples.
+//! - The computation's owner drains lanes into a [`Trace`] with
+//!   [`Trace::from_lanes`], which orders lanes by id. Lane ids are
+//!   assigned from a deterministic work order (for the search: the
+//!   work-queue index), so the merged trace — and the span ids
+//!   [`Trace::span_ids`] derives from it — never depend on thread
+//!   interleaving.
+//!
+//! Determinism contract: under [`ClockMode::Logical`] (the default),
+//! timestamps are lane-local tick counters and every exporter is a
+//! pure function of the trace, so two runs that perform the same work
+//! in the same work order produce **byte-identical** output. The
+//! golden tests in the workspace root pin exactly that.
+//!
+//! Exporters: [`chrome::to_chrome_json`] writes Chrome trace-event
+//! JSON loadable in Perfetto / `chrome://tracing`;
+//! [`text::render_tree`] writes an indented span-tree summary.
+//!
+//! The crate is intentionally dependency-free, and the disabled path
+//! ([`Tracer::disabled`] / [`Lane::off`]) costs one branch per call
+//! site — cheap enough to thread unconditionally through the
+//! scheduler's hot loops (the bench crate's `trace_overhead` bench
+//! holds this to <1% on the full search benchmark).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+mod event;
+pub mod json;
+mod lane;
+pub mod text;
+mod trace;
+
+pub use event::{Attr, AttrValue, Event, EventKind, TraceError};
+pub use lane::{ClockMode, Lane, SpanGuard, TraceConfig, TraceDetail, Tracer};
+pub use trace::{LaneData, Trace, TraceSummary};

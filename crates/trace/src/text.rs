@@ -1,0 +1,142 @@
+//! Plain-text span-tree exporter: the human-readable (and
+//! golden-testable) view of a trace.
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Renders a trace as an indented span tree, one section per lane:
+///
+/// ```text
+/// lane 0 "search"
+///   #0 search/network [0 +11] layers=2
+///     #1 layer [1 +4] name=conv1 outcome=scheduled
+/// ```
+///
+/// Each span line carries its stable id (see [`Trace::span_ids`]), its
+/// open timestamp, `+duration`, and its attributes in recording order.
+/// Counters render as `name=value @ts` lines at their nesting depth.
+/// The output is a pure function of the trace, so under the logical
+/// clock it is byte-stable across runs.
+#[must_use]
+pub fn render_tree(trace: &Trace) -> String {
+    let mut out = String::new();
+    let mut next_span_id = 0u64;
+    for lane in trace.lanes() {
+        let _ = writeln!(out, "lane {} {:?}", lane.id, lane.name);
+        // Durations are only known at exit, but parents must print
+        // before children: pass 1 resolves each enter's exit ts, pass 2
+        // walks top-down.
+        let mut stack: Vec<usize> = Vec::new();
+        let mut exit_ts = vec![0u64; lane.events.len()];
+        for (index, event) in lane.events.iter().enumerate() {
+            match event.kind {
+                EventKind::Enter { .. } => stack.push(index),
+                EventKind::Exit => {
+                    let enter = stack
+                        .pop()
+                        .expect("render requires a checked trace: exit without enter");
+                    exit_ts[enter] = event.ts;
+                }
+                EventKind::Counter { .. } => {}
+            }
+        }
+        assert!(
+            stack.is_empty(),
+            "render requires a checked trace: {} span(s) left open on lane {}",
+            stack.len(),
+            lane.id
+        );
+        let mut depth = 0usize;
+        for (index, event) in lane.events.iter().enumerate() {
+            match event.kind {
+                EventKind::Enter { name } => {
+                    depth += 1;
+                    let _ = write!(
+                        out,
+                        "{}#{} {} [{} +{}]",
+                        "  ".repeat(depth),
+                        next_span_id,
+                        name,
+                        event.ts,
+                        exit_ts[index] - event.ts
+                    );
+                    next_span_id += 1;
+                    for attr in &event.attrs {
+                        let _ = write!(out, " {}={}", attr.key, attr.value);
+                    }
+                    out.push('\n');
+                }
+                EventKind::Exit => depth -= 1,
+                EventKind::Counter { name, value } => {
+                    let _ = writeln!(
+                        out,
+                        "{}{}={} @{}",
+                        "  ".repeat(depth + 1),
+                        name,
+                        value,
+                        event.ts
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::{TraceConfig, Tracer};
+
+    #[test]
+    fn renders_nested_spans_with_ids_and_attrs() {
+        let t = Tracer::new(TraceConfig::default());
+        let mut lane = t.lane(0, "search");
+        let outer = lane.enter("layer");
+        lane.attr("name", "conv1");
+        let inner = lane.enter("candidate");
+        lane.attr("dataflow", "csk");
+        lane.counter("sets", 3);
+        lane.exit(inner);
+        lane.exit(outer);
+        let trace = Trace::from_lanes(t.config(), vec![lane]);
+        trace.check().unwrap();
+        let text = render_tree(&trace);
+        let expected = "lane 0 \"search\"\n\
+                        \x20 #0 layer [0 +4] name=conv1\n\
+                        \x20   #1 candidate [1 +2] dataflow=csk\n\
+                        \x20     sets=3 @2\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn span_ids_continue_across_lanes() {
+        let t = Tracer::new(TraceConfig::default());
+        let mut a = t.lane(0, "a");
+        let g = a.enter("x");
+        a.exit(g);
+        let mut b = t.lane(1, "b");
+        let g = b.enter("y");
+        b.exit(g);
+        let text = render_tree(&Trace::from_lanes(t.config(), vec![a, b]));
+        assert!(text.contains("#0 x"));
+        assert!(text.contains("#1 y"));
+    }
+
+    #[test]
+    fn rendering_matches_span_ids_helper() {
+        let t = Tracer::new(TraceConfig::default());
+        let mut lane = t.lane(0, "l");
+        let g0 = lane.enter("p");
+        let g1 = lane.enter("q");
+        lane.exit(g1);
+        lane.exit(g0);
+        let trace = Trace::from_lanes(t.config(), vec![lane]);
+        let ids = trace.span_ids();
+        let text = render_tree(&trace);
+        for (_, _, id) in ids {
+            assert!(text.contains(&format!("#{id} ")));
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The drained, merged trace and its well-formedness checks.
+
+use crate::event::{Event, EventKind, TraceError};
+use crate::lane::{ClockMode, Lane, TraceConfig};
+use std::fmt;
+
+/// One lane of a drained trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneData {
+    /// Lane id (sort key; derived from work order by the recorder).
+    pub id: u32,
+    /// Human-readable lane name.
+    pub name: String,
+    /// Events in recording order.
+    pub events: Vec<Event>,
+}
+
+/// A drained trace: lanes merged in deterministic id order.
+///
+/// Span identity is positional — [`Trace::span_ids`] numbers spans by
+/// walking lanes in id order and events in recording order — so two
+/// runs of the same deterministic computation assign identical ids,
+/// regardless of how many threads recorded the lanes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    lanes: Vec<LaneData>,
+    clock: ClockMode,
+}
+
+/// Aggregate shape of a trace, for one-line reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Number of non-empty lanes.
+    pub lanes: usize,
+    /// Total spans (matched enter/exit pairs).
+    pub spans: u64,
+    /// Total counter samples.
+    pub counters: u64,
+    /// Total events of any kind.
+    pub events: u64,
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} spans, {} counters on {} lanes",
+            self.spans, self.counters, self.lanes
+        )
+    }
+}
+
+impl Trace {
+    /// An empty trace (what disabled tracers drain to).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Merges drained lanes into a trace. Empty lanes are dropped;
+    /// the rest sort by lane id, making the result independent of the
+    /// order lanes are handed in (e.g. thread completion order).
+    #[must_use]
+    pub fn from_lanes(config: TraceConfig, lanes: Vec<Lane>) -> Self {
+        let mut data: Vec<LaneData> = lanes
+            .into_iter()
+            .filter(|l| !l.is_empty())
+            .map(|l| LaneData {
+                id: l.id,
+                name: l.name,
+                events: l.events,
+            })
+            .collect();
+        data.sort_by_key(|l| l.id);
+        Self {
+            lanes: data,
+            clock: config.clock,
+        }
+    }
+
+    /// Builds a trace from raw lane data, bypassing the [`Lane`]
+    /// recording API. The result carries no invariants — callers are
+    /// expected to run [`Trace::check`]. This is the entry point for
+    /// external producers (and for tests exercising `check` against
+    /// malformed input).
+    #[must_use]
+    pub fn from_raw_lanes(clock: ClockMode, mut lanes: Vec<LaneData>) -> Self {
+        lanes.retain(|l| !l.events.is_empty());
+        lanes.sort_by_key(|l| l.id);
+        Self { lanes, clock }
+    }
+
+    /// The clock mode the trace was recorded under.
+    #[must_use]
+    pub fn clock(&self) -> ClockMode {
+        self.clock
+    }
+
+    /// Lanes in id order.
+    #[must_use]
+    pub fn lanes(&self) -> &[LaneData] {
+        &self.lanes
+    }
+
+    /// Whether the trace holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Appends another trace's lanes, offsetting their ids to follow
+    /// this trace's largest id (used to attach schedule Gantt lanes to
+    /// a search trace before export).
+    pub fn absorb(&mut self, other: Trace) {
+        let base = self.lanes.iter().map(|l| l.id + 1).max().unwrap_or(0);
+        for mut lane in other.lanes {
+            lane.id += base;
+            self.lanes.push(lane);
+        }
+    }
+
+    /// Stable per-span ids: walking lanes in id order and events in
+    /// recording order, the *n*-th `Enter` event gets id *n*. Returns
+    /// `(lane_index, event_index, span_id)` triples.
+    #[must_use]
+    pub fn span_ids(&self) -> Vec<(usize, usize, u64)> {
+        let mut ids = Vec::new();
+        let mut next = 0u64;
+        for (li, lane) in self.lanes.iter().enumerate() {
+            for (ei, event) in lane.events.iter().enumerate() {
+                if matches!(event.kind, EventKind::Enter { .. }) {
+                    ids.push((li, ei, next));
+                    next += 1;
+                }
+            }
+        }
+        ids
+    }
+
+    /// Checks trace well-formedness: unique lane ids, balanced
+    /// enter/exit per lane, non-decreasing timestamps per lane
+    /// (strictly increasing under the logical clock). Nesting is
+    /// structural — every span's extent is its enter/exit pair, so a
+    /// balanced, monotone lane always nests properly; what can go
+    /// wrong (orphan exits, spans left open, time regressions) is
+    /// exactly what this reports.
+    ///
+    /// # Errors
+    ///
+    /// The first [`TraceError`] encountered, scanning lanes in id
+    /// order.
+    pub fn check(&self) -> Result<(), TraceError> {
+        for pair in self.lanes.windows(2) {
+            if pair[0].id == pair[1].id {
+                return Err(TraceError::DuplicateLane { lane: pair[0].id });
+            }
+        }
+        for lane in &self.lanes {
+            let mut open = 0usize;
+            let mut last_ts: Option<u64> = None;
+            for (index, event) in lane.events.iter().enumerate() {
+                if let Some(prev) = last_ts {
+                    if event.ts < prev {
+                        return Err(TraceError::NonMonotoneTimestamp {
+                            lane: lane.id,
+                            index,
+                        });
+                    }
+                    if self.clock == ClockMode::Logical && event.ts == prev {
+                        return Err(TraceError::DuplicateTick {
+                            lane: lane.id,
+                            index,
+                        });
+                    }
+                }
+                last_ts = Some(event.ts);
+                match event.kind {
+                    EventKind::Enter { .. } => open += 1,
+                    EventKind::Exit => {
+                        if open == 0 {
+                            return Err(TraceError::ExitWithoutEnter {
+                                lane: lane.id,
+                                index,
+                            });
+                        }
+                        open -= 1;
+                    }
+                    EventKind::Counter { .. } => {}
+                }
+            }
+            if open > 0 {
+                return Err(TraceError::UnbalancedEnter {
+                    lane: lane.id,
+                    open,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate counts for one-line reports.
+    #[must_use]
+    pub fn summary(&self) -> TraceSummary {
+        let mut s = TraceSummary {
+            lanes: self.lanes.len(),
+            ..TraceSummary::default()
+        };
+        for lane in &self.lanes {
+            for event in &lane.events {
+                s.events += 1;
+                match event.kind {
+                    EventKind::Enter { .. } => s.spans += 1,
+                    EventKind::Counter { .. } => s.counters += 1,
+                    EventKind::Exit => {}
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lane::Tracer;
+
+    fn tracer() -> Tracer {
+        Tracer::new(TraceConfig::default())
+    }
+
+    #[test]
+    fn lanes_sort_by_id_not_arrival_order() {
+        let t = tracer();
+        let mut a = t.lane(5, "late");
+        let g = a.enter("x");
+        a.exit(g);
+        let mut b = t.lane(1, "early");
+        let g = b.enter("y");
+        b.exit(g);
+        let trace = Trace::from_lanes(t.config(), vec![a, b]);
+        assert_eq!(trace.lanes()[0].id, 1);
+        assert_eq!(trace.lanes()[1].id, 5);
+        trace.check().unwrap();
+    }
+
+    #[test]
+    fn empty_lanes_are_dropped() {
+        let t = tracer();
+        let empty = t.lane(0, "empty");
+        let trace = Trace::from_lanes(t.config(), vec![empty]);
+        assert!(trace.is_empty());
+        assert_eq!(trace.summary(), TraceSummary::default());
+    }
+
+    #[test]
+    fn span_ids_walk_lanes_in_order() {
+        let t = tracer();
+        let mut a = t.lane(0, "a");
+        let outer = a.enter("o");
+        let inner = a.enter("i");
+        a.exit(inner);
+        a.exit(outer);
+        let mut b = t.lane(1, "b");
+        let g = b.enter("z");
+        b.exit(g);
+        let trace = Trace::from_lanes(t.config(), vec![b, a]);
+        let ids = trace.span_ids();
+        assert_eq!(ids, vec![(0, 0, 0), (0, 1, 1), (1, 0, 2)]);
+    }
+
+    #[test]
+    fn check_rejects_duplicate_lane_ids() {
+        let t = tracer();
+        let mut a = t.lane(3, "a");
+        let g = a.enter("x");
+        a.exit(g);
+        let mut b = t.lane(3, "b");
+        let g = b.enter("y");
+        b.exit(g);
+        let trace = Trace::from_lanes(t.config(), vec![a, b]);
+        assert_eq!(trace.check(), Err(TraceError::DuplicateLane { lane: 3 }));
+    }
+
+    #[test]
+    fn check_rejects_hand_built_malformed_lanes() {
+        use crate::event::{Event, EventKind};
+        let lane = LaneData {
+            id: 0,
+            name: "bad".into(),
+            events: vec![Event {
+                ts: 0,
+                kind: EventKind::Exit,
+                attrs: Vec::new(),
+            }],
+        };
+        let trace = Trace {
+            lanes: vec![lane],
+            clock: ClockMode::Logical,
+        };
+        assert_eq!(
+            trace.check(),
+            Err(TraceError::ExitWithoutEnter { lane: 0, index: 0 })
+        );
+    }
+
+    #[test]
+    fn absorb_offsets_lane_ids() {
+        let t = tracer();
+        let mut a = t.lane(0, "search");
+        let g = a.enter("s");
+        a.exit(g);
+        let mut trace = Trace::from_lanes(t.config(), vec![a]);
+        let mut b = t.lane(0, "core0");
+        let g = b.enter("op");
+        b.exit(g);
+        let gantt = Trace::from_lanes(t.config(), vec![b]);
+        trace.absorb(gantt);
+        assert_eq!(trace.lanes().len(), 2);
+        assert_eq!(trace.lanes()[1].id, 1);
+        trace.check().unwrap();
+    }
+
+    #[test]
+    fn summary_counts_spans_and_counters() {
+        let t = tracer();
+        let mut a = t.lane(0, "a");
+        let g = a.enter("s");
+        a.counter("c", 1);
+        a.counter("c", 2);
+        a.exit(g);
+        let s = Trace::from_lanes(t.config(), vec![a]).summary();
+        assert_eq!(s.lanes, 1);
+        assert_eq!(s.spans, 1);
+        assert_eq!(s.counters, 2);
+        assert_eq!(s.events, 4);
+        assert!(s.to_string().contains("1 spans"));
+    }
+}

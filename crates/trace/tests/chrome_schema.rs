@@ -1,0 +1,193 @@
+//! Chrome trace-event schema conformance: parse the exporter's JSON
+//! back with the crate's own parser and validate every event against
+//! the trace-event format (`ph`, `ts`, `dur`, `pid`/`tid`, `args`),
+//! plus nesting validity of the `"X"` complete events per thread.
+
+use flexer_trace::json::{self, Json};
+use flexer_trace::{chrome, ClockMode, Trace, TraceConfig, TraceDetail, Tracer};
+
+/// A representative trace: two lanes, nested spans with attributes of
+/// every value type, counters, and overlapping sibling spans.
+fn sample_trace(clock: ClockMode) -> Trace {
+    let tracer = Tracer::new(TraceConfig {
+        clock,
+        detail: TraceDetail::Memory,
+    });
+    let mut search = tracer.lane(0, "search");
+    let root = search.enter("network");
+    search.attr("layers", 2u64);
+    search.attr("prune", true);
+    let layer = search.enter("layer");
+    search.attr("name", "conv1");
+    search.attr("score", 0.25f64);
+    search.attr("delta", -4i64);
+    search.counter("spm_used", 1024);
+    search.exit(layer);
+    let layer = search.enter("layer");
+    search.attr("name", "conv\"2\"");
+    search.counter("spm_used", 512);
+    search.exit(layer);
+    search.exit(root);
+
+    let mut worker = tracer.lane(1, "candidate 1");
+    let cand = worker.enter("candidate");
+    worker.attr("dataflow", "csk");
+    let step = worker.enter("step");
+    worker.exit(step);
+    let step = worker.enter("step");
+    worker.exit(step);
+    worker.exit(cand);
+
+    let trace = Trace::from_lanes(tracer.config(), vec![search, worker]);
+    trace.check().expect("sample trace is well-formed");
+    trace
+}
+
+fn events(doc: &Json) -> &[Json] {
+    doc.get("traceEvents")
+        .expect("top-level traceEvents")
+        .as_array()
+        .expect("traceEvents is an array")
+}
+
+fn field_num(event: &Json, key: &str) -> f64 {
+    event
+        .get(key)
+        .unwrap_or_else(|| panic!("event missing {key:?}: {event:?}"))
+        .as_num()
+        .unwrap_or_else(|| panic!("{key:?} is not a number: {event:?}"))
+}
+
+fn field_str<'j>(event: &'j Json, key: &str) -> &'j str {
+    event
+        .get(key)
+        .unwrap_or_else(|| panic!("event missing {key:?}: {event:?}"))
+        .as_str()
+        .unwrap_or_else(|| panic!("{key:?} is not a string: {event:?}"))
+}
+
+#[test]
+fn export_parses_and_every_event_matches_the_schema() {
+    let doc = json::parse(&chrome::to_chrome_json(&sample_trace(ClockMode::Logical)))
+        .expect("export is valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = events(&doc);
+    assert!(!events.is_empty());
+    let mut saw = (false, false, false); // (M, X, C)
+    for event in events {
+        let ph = field_str(event, "ph");
+        assert_eq!(field_num(event, "pid"), 1.0);
+        let tid = field_num(event, "tid");
+        assert!(tid.fract() == 0.0 && tid >= 0.0, "tid is an id: {event:?}");
+        match ph {
+            "M" => {
+                saw.0 = true;
+                assert_eq!(field_str(event, "name"), "thread_name");
+                let args = event.get("args").expect("M events carry args");
+                assert!(args.get("name").and_then(Json::as_str).is_some());
+            }
+            "X" => {
+                saw.1 = true;
+                assert!(!field_str(event, "name").is_empty());
+                assert!(field_num(event, "ts") >= 0.0);
+                assert!(field_num(event, "dur") >= 0.0);
+                if let Some(args) = event.get("args") {
+                    let members = args.as_object().expect("args is an object");
+                    assert!(!members.is_empty());
+                }
+            }
+            "C" => {
+                saw.2 = true;
+                let name = field_str(event, "name");
+                let args = event.get("args").expect("C events carry args");
+                let value = args
+                    .get(name)
+                    .expect("counter args keyed by counter name")
+                    .as_num()
+                    .expect("counter value is a number");
+                assert!(value >= 0.0);
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(saw, (true, true, true), "all three phases exported");
+}
+
+#[test]
+fn complete_events_nest_validly_per_thread() {
+    for clock in [ClockMode::Logical, ClockMode::Wall] {
+        let doc = json::parse(&chrome::to_chrome_json(&sample_trace(clock))).unwrap();
+        // Group X events by tid, in emission order. The exporter walks
+        // each lane's exits in order, so sibling/child intervals must
+        // fit inside any still-open ancestor: for every pair on one
+        // tid, intervals either nest or are disjoint — never overlap
+        // partially.
+        let mut by_tid: Vec<(u64, Vec<(f64, f64)>)> = Vec::new();
+        for event in events(&doc) {
+            if event.get("ph").and_then(Json::as_str) != Some("X") {
+                continue;
+            }
+            let tid = field_num(event, "tid") as u64;
+            let start = field_num(event, "ts");
+            let end = start + field_num(event, "dur");
+            match by_tid.iter_mut().find(|(t, _)| *t == tid) {
+                Some((_, spans)) => spans.push((start, end)),
+                None => by_tid.push((tid, vec![(start, end)])),
+            }
+        }
+        assert!(by_tid.len() >= 2, "both lanes exported X events");
+        for (tid, spans) in &by_tid {
+            for (i, a) in spans.iter().enumerate() {
+                for b in spans.iter().skip(i + 1) {
+                    let nested = (a.0 <= b.0 && b.1 <= a.1) || (b.0 <= a.0 && a.1 <= b.1);
+                    let disjoint = a.1 <= b.0 || b.1 <= a.0;
+                    assert!(
+                        nested || disjoint,
+                        "tid {tid}: spans {a:?} and {b:?} partially overlap ({clock:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn attribute_values_survive_the_round_trip() {
+    let doc = json::parse(&chrome::to_chrome_json(&sample_trace(ClockMode::Logical))).unwrap();
+    let layer_events: Vec<&Json> = events(&doc)
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("layer"))
+        .collect();
+    assert_eq!(layer_events.len(), 2);
+    let args = layer_events[0].get("args").unwrap();
+    assert_eq!(args.get("name").and_then(Json::as_str), Some("conv1"));
+    assert_eq!(args.get("score").and_then(Json::as_num), Some(0.25));
+    assert_eq!(args.get("delta").and_then(Json::as_num), Some(-4.0));
+    // Quotes in attribute strings must be escaped, not truncate JSON.
+    let args = layer_events[1].get("args").unwrap();
+    assert_eq!(args.get("name").and_then(Json::as_str), Some("conv\"2\""));
+    let network = events(&doc)
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("network"))
+        .unwrap();
+    let args = network.get("args").unwrap();
+    assert_eq!(args.get("layers").and_then(Json::as_num), Some(2.0));
+    assert_eq!(args.get("prune"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn logical_export_is_byte_identical_across_runs() {
+    let a = chrome::to_chrome_json(&sample_trace(ClockMode::Logical));
+    let b = chrome::to_chrome_json(&sample_trace(ClockMode::Logical));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn wall_export_still_parses() {
+    let doc = json::parse(&chrome::to_chrome_json(&sample_trace(ClockMode::Wall)))
+        .expect("wall-clock export is valid JSON");
+    assert!(!events(&doc).is_empty());
+}

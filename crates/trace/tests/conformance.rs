@@ -1,0 +1,300 @@
+//! Trace-conformance property suite: every trace the recording API can
+//! produce is well-formed (balanced, properly nested, monotone), and
+//! `Trace::check` rejects each way a hand-built trace can violate
+//! those invariants.
+
+use flexer_trace::{
+    ClockMode, Event, EventKind, Lane, LaneData, Trace, TraceConfig, TraceError, Tracer,
+};
+use proptest::prelude::*;
+
+/// One step of a random recording program. Exits and attrs only apply
+/// when legal (a span is open), so every program drives the `Lane` API
+/// within its contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    Enter,
+    Exit,
+    Counter,
+    Attr,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop::sample::select(vec![Op::Enter, Op::Exit, Op::Counter, Op::Attr])
+}
+
+/// Replays a program against a lane, keeping the guard stack the
+/// caller-side LIFO discipline requires, and closing every span left
+/// open at the end (as instrumented code does on scope exit).
+fn record(mut lane: Lane, ops: &[Op]) -> Lane {
+    const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+    let mut guards = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Enter => guards.push(lane.enter(NAMES[i % NAMES.len()])),
+            Op::Exit => {
+                if let Some(g) = guards.pop() {
+                    lane.exit(g);
+                }
+            }
+            Op::Counter => lane.counter("gauge", i as u64),
+            Op::Attr => lane.attr("step", i),
+        }
+    }
+    while let Some(g) = guards.pop() {
+        lane.exit(g);
+    }
+    lane
+}
+
+fn build(config: TraceConfig, programs: &[Vec<Op>]) -> Trace {
+    let tracer = Tracer::new(config);
+    let lanes = programs
+        .iter()
+        .enumerate()
+        .map(|(i, ops)| record(tracer.lane(i as u32, format!("lane{i}")), ops))
+        .collect();
+    Trace::from_lanes(tracer.config(), lanes)
+}
+
+/// Matched `(enter_index, exit_index)` pairs of one lane, recovered by
+/// replaying the LIFO discipline.
+fn span_pairs(lane: &LaneData) -> Vec<(usize, usize)> {
+    let mut stack = Vec::new();
+    let mut pairs = Vec::new();
+    for (i, event) in lane.events.iter().enumerate() {
+        match event.kind {
+            EventKind::Enter { .. } => stack.push(i),
+            EventKind::Exit => pairs.push((stack.pop().expect("balanced"), i)),
+            EventKind::Counter { .. } => {}
+        }
+    }
+    assert!(stack.is_empty(), "balanced");
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the recording API is asked to do, the drained trace
+    /// passes `check`: enters and exits balance on every lane.
+    #[test]
+    fn recorded_traces_are_well_formed(
+        programs in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 0..40),
+            1..4,
+        ),
+        wall in any::<bool>(),
+    ) {
+        let config = TraceConfig {
+            clock: if wall { ClockMode::Wall } else { ClockMode::Logical },
+            ..TraceConfig::default()
+        };
+        let trace = build(config, &programs);
+        prop_assert_eq!(trace.check(), Ok(()));
+        for lane in trace.lanes() {
+            let enters = lane.events.iter()
+                .filter(|e| matches!(e.kind, EventKind::Enter { .. }))
+                .count();
+            let exits = lane.events.iter()
+                .filter(|e| matches!(e.kind, EventKind::Exit))
+                .count();
+            prop_assert_eq!(enters, exits);
+        }
+    }
+
+    /// Parent spans strictly enclose their children under the logical
+    /// clock: parent opens before the child opens and closes after the
+    /// child closes.
+    #[test]
+    fn parents_strictly_enclose_children(
+        ops in prop::collection::vec(op_strategy(), 0..60),
+    ) {
+        let trace = build(TraceConfig::default(), &[ops]);
+        for lane in trace.lanes() {
+            let pairs = span_pairs(lane);
+            for &(pe, px) in &pairs {
+                for &(ce, cx) in &pairs {
+                    if pe < ce && cx < px {
+                        prop_assert!(lane.events[pe].ts < lane.events[ce].ts);
+                        prop_assert!(lane.events[cx].ts < lane.events[px].ts);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Timestamps never go backwards within a lane, in either clock
+    /// mode; under the logical clock they are strictly increasing.
+    #[test]
+    fn timestamps_are_monotone_per_lane(
+        ops in prop::collection::vec(op_strategy(), 1..50),
+        wall in any::<bool>(),
+    ) {
+        let config = TraceConfig {
+            clock: if wall { ClockMode::Wall } else { ClockMode::Logical },
+            ..TraceConfig::default()
+        };
+        let trace = build(config, &[ops]);
+        for lane in trace.lanes() {
+            for w in lane.events.windows(2) {
+                if wall {
+                    prop_assert!(w[0].ts <= w[1].ts);
+                } else {
+                    prop_assert!(w[0].ts < w[1].ts);
+                }
+            }
+        }
+    }
+
+    /// Recording the same program twice yields identical traces, and
+    /// the merged result is independent of lane hand-in order (it is a
+    /// function of lane ids alone).
+    #[test]
+    fn recording_is_deterministic(
+        programs in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 0..30),
+            1..4,
+        ),
+    ) {
+        let a = build(TraceConfig::default(), &programs);
+        let b = build(TraceConfig::default(), &programs);
+        prop_assert_eq!(&a, &b);
+
+        let tracer = Tracer::new(TraceConfig::default());
+        let mut lanes: Vec<Lane> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| record(tracer.lane(i as u32, format!("lane{i}")), ops))
+            .collect();
+        lanes.reverse();
+        prop_assert_eq!(&a, &Trace::from_lanes(tracer.config(), lanes));
+    }
+
+    /// Span ids are contiguous from zero and anchored to Enter events.
+    #[test]
+    fn span_ids_are_contiguous(
+        programs in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 0..30),
+            1..4,
+        ),
+    ) {
+        let trace = build(TraceConfig::default(), &programs);
+        for (n, (li, ei, id)) in trace.span_ids().into_iter().enumerate() {
+            prop_assert_eq!(id, n as u64);
+            prop_assert!(matches!(
+                trace.lanes()[li].events[ei].kind,
+                EventKind::Enter { .. }
+            ));
+        }
+    }
+
+    /// Corrupting a valid trace trips `check`: dropping an exit leaves
+    /// a span open, injecting a leading exit orphans it, and rewinding
+    /// a timestamp breaks monotonicity.
+    #[test]
+    fn check_catches_corruption(
+        ops in prop::collection::vec(op_strategy(), 4..40),
+        which in 0u8..3,
+    ) {
+        let trace = build(TraceConfig::default(), &[ops]);
+        let Some(lane) = trace.lanes().first() else {
+            // Program recorded nothing; nothing to corrupt.
+            return Ok(());
+        };
+        let mut events = lane.events.clone();
+        let corrupted = match which {
+            0 => {
+                let Some(pos) = events
+                    .iter()
+                    .position(|e| matches!(e.kind, EventKind::Exit))
+                else {
+                    return Ok(());
+                };
+                events.remove(pos);
+                TraceError::UnbalancedEnter { lane: 0, open: 1 }
+            }
+            1 => {
+                events.insert(0, Event {
+                    ts: 0,
+                    kind: EventKind::Exit,
+                    attrs: Vec::new(),
+                });
+                TraceError::ExitWithoutEnter { lane: 0, index: 0 }
+            }
+            _ => {
+                if events.len() < 2 {
+                    return Ok(());
+                }
+                let last = events.len() - 1;
+                events[last].ts = 0;
+                TraceError::NonMonotoneTimestamp { lane: 0, index: last }
+            }
+        };
+        let bad = Trace::from_raw_lanes(
+            ClockMode::Logical,
+            vec![LaneData { id: 0, name: "bad".into(), events }],
+        );
+        let result = bad.check();
+        prop_assert!(result.is_err(), "corruption {which} not caught");
+        if which == 1 {
+            // The injected orphan exit is always the first error seen.
+            prop_assert_eq!(result, Err(corrupted));
+        }
+    }
+}
+
+/// Duplicate logical ticks are rejected even though timestamps do not
+/// regress — ticks must be strictly increasing.
+#[test]
+fn check_rejects_duplicate_logical_ticks() {
+    let events = vec![
+        Event {
+            ts: 0,
+            kind: EventKind::Enter { name: "a" },
+            attrs: Vec::new(),
+        },
+        Event {
+            ts: 0,
+            kind: EventKind::Exit,
+            attrs: Vec::new(),
+        },
+    ];
+    let lane = LaneData {
+        id: 7,
+        name: "dup".into(),
+        events,
+    };
+    let trace = Trace::from_raw_lanes(ClockMode::Logical, vec![lane.clone()]);
+    assert_eq!(
+        trace.check(),
+        Err(TraceError::DuplicateTick { lane: 7, index: 1 })
+    );
+    // The same lane is fine under the wall clock, where equal
+    // timestamps are legal.
+    let trace = Trace::from_raw_lanes(ClockMode::Wall, vec![lane]);
+    assert_eq!(trace.check(), Ok(()));
+}
+
+/// Two lanes claiming one id make span identity ambiguous.
+#[test]
+fn check_rejects_duplicate_lane_ids() {
+    let mk = |name: &str| LaneData {
+        id: 3,
+        name: name.into(),
+        events: vec![
+            Event {
+                ts: 0,
+                kind: EventKind::Enter { name: "x" },
+                attrs: Vec::new(),
+            },
+            Event {
+                ts: 1,
+                kind: EventKind::Exit,
+                attrs: Vec::new(),
+            },
+        ],
+    };
+    let trace = Trace::from_raw_lanes(ClockMode::Logical, vec![mk("a"), mk("b")]);
+    assert_eq!(trace.check(), Err(TraceError::DuplicateLane { lane: 3 }));
+}

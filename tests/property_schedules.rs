@@ -121,3 +121,35 @@ proptest! {
         }
     }
 }
+
+/// The vendored offline proptest stand-in does not read
+/// `.proptest-regressions` files, so the shrunken failure case recorded
+/// in `tests/property_schedules.proptest-regressions` is replayed
+/// explicitly: a 1-channel 5x5 layer with a 1x1 kernel at stride 2 —
+/// the degenerate tiny-spatial geometry that once broke scheduling —
+/// through the same legality chain as the property above, on every
+/// architecture preset.
+#[test]
+fn regression_seed_tiny_strided_layer_schedules_legally() {
+    let layer = ConvLayerBuilder::new("rand", 1, 5, 5, 1)
+        .kernel(1, 1)
+        .stride(2)
+        .padding(0)
+        .build()
+        .unwrap();
+    for preset in ArchPreset::all() {
+        let arch = ArchConfig::preset(preset);
+        let model = SystolicModel::new(&arch);
+        let factors = TilingFactors::normalized(&layer, 1, 1, 2, 2);
+        let dfg = Dfg::build(&layer, factors, Dataflow::Kcs, &model, &arch).unwrap();
+        let (ooo, program) = OooScheduler::new(&dfg, &arch, &model)
+            .schedule_with_program()
+            .unwrap();
+        validate_schedule(&dfg, &ooo).unwrap();
+        program.check(&dfg).unwrap();
+        let st = StaticScheduler::new(&dfg, &arch, &model)
+            .schedule()
+            .unwrap();
+        validate_schedule(&dfg, &st).unwrap();
+    }
+}
