@@ -4,7 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 cargo fmt --all --check
-cargo build --release
+cargo build --release --workspace
 cargo test -q
 cargo clippy --workspace -- -D warnings
 # Differential gate: the interpreter/verifier suites plus a network-level
@@ -21,4 +21,36 @@ cargo test -q --test trace_pipeline
 # (asserted inside bench_json) while the pruned one is faster. Also
 # emits a sample search trace (validated on write) as a CI artifact.
 FLEXER_BENCH_ITERS="${FLEXER_BENCH_ITERS:-3}" ./target/release/bench_json --trace-out trace.json
+# Store and serving suites: fingerprint pinning, corruption handling,
+# warm-start byte identity, server abuse (saturation, malformed input,
+# deadlines, graceful drain).
+cargo test -q -p flexer-store -p flexer-serve
+# Store gate, run twice against one directory: every invocation proves
+# warm hits == layers and byte-identical winners internally; the
+# second invocation must additionally warm-start from the first
+# *process*'s entries — its very first pass sees zero misses.
+rm -rf .flexer-store-ci
+./target/release/bench_json --store .flexer-store-ci
+warm_out="$(./target/release/bench_json --store .flexer-store-ci)"
+echo "$warm_out"
+if ! grep -q "^store first pass: .* / 0 misses" <<<"$warm_out"; then
+    echo "check.sh: second bench_json --store run was not warm" >&2
+    exit 1
+fi
+# Serving gate: boot the daemon on a loopback port (sharing the warm
+# store), round-trip the client, then drain gracefully. flexer-cli
+# exits non-zero unless the server answered {"ok":true}.
+rm -f .flexer-serve-ci.port
+./target/release/flexer-serve --addr 127.0.0.1:0 \
+    --port-file .flexer-serve-ci.port --store .flexer-store-ci &
+serve_pid=$!
+for _ in $(seq 100); do [ -s .flexer-serve-ci.port ] && break; sleep 0.1; done
+port="$(cat .flexer-serve-ci.port)"
+./target/release/flexer-cli --addr "127.0.0.1:$port" health
+./target/release/flexer-cli --addr "127.0.0.1:$port" schedule squeezenet >/dev/null
+./target/release/flexer-cli --addr "127.0.0.1:$port" stats
+./target/release/flexer-cli --addr "127.0.0.1:$port" shutdown
+wait "$serve_pid"
+rm -f .flexer-serve-ci.port
+rm -rf .flexer-store-ci
 echo "check.sh: all green"

@@ -26,6 +26,16 @@
 //! (SqueezeNet head, arch1, single-threaded for a byte-stable trace)
 //! and write its Chrome trace-event JSON to `<path>` — load it in
 //! `chrome://tracing` or Perfetto.
+//!
+//! Pass `--store <dir>` to run the *store* suite instead (the other
+//! suites are skipped): the same network is scheduled twice through
+//! [`Flexer::with_store`] by two independent driver instances sharing
+//! `<dir>`, proving the warm pass answers every layer from the
+//! persistent cache, skips the search, and returns byte-identical
+//! results. Writes `BENCH_PR5.json` (override with
+//! `FLEXER_BENCH_OUT_PR5`). Point two consecutive invocations at the
+//! same directory and even the "first" pass of the second run is warm
+//! — that cross-process warm start is what CI asserts.
 
 use flexer::prelude::*;
 use flexer::trace::Lane;
@@ -208,19 +218,125 @@ fn write_trace_artifact(path: &str) {
     println!("wrote {path} ({})", trace.summary());
 }
 
+/// One pass of the store suite: a fresh driver (empty memo cache, as a
+/// new process would start) scheduling `net` against the shared store.
+struct StorePass {
+    ns: u128,
+    hits: u64,
+    misses: u64,
+    results: Vec<flexer::sched::LayerSearchResult>,
+}
+
+fn store_pass(dir: &str, net: &Network) -> StorePass {
+    let driver = Flexer::new(ArchConfig::preset(ArchPreset::Arch1))
+        .with_options(SearchOptions::quick())
+        .with_store(dir)
+        .expect("open schedule store");
+    let t = Instant::now();
+    let result = driver
+        .schedule_network(net)
+        .expect("benchmark net schedules");
+    let ns = t.elapsed().as_nanos();
+    let stats = result.total_stats();
+    StorePass {
+        ns,
+        hits: stats.store_hits,
+        misses: stats.store_misses,
+        results: result.layers().to_vec(),
+    }
+}
+
+/// The wire encoding with the search-effort fields masked: cold and
+/// warm passes must agree on every *winner* byte (schedule, tiling,
+/// dataflow, score). Effort legitimately differs on networks with
+/// repeated layer shapes — a cold run replays duplicates from the
+/// in-memory memo (tiny stats), a warm run serves every duplicate the
+/// persisted leader's full-search stats. Strict whole-result byte
+/// identity on distinct shapes is pinned by `tests/store_warmstart.rs`.
+fn masked_bytes(r: &flexer::sched::LayerSearchResult) -> Vec<u8> {
+    let mut r = r.clone();
+    r.stats = SearchStats::default();
+    r.evaluated = 0;
+    flexer::sched::wire::encode_layer_result(&r)
+}
+
+/// The PR 5 suite: warm-start through the persistent schedule store.
+fn bench_store(dir: &str) {
+    let out5 =
+        std::env::var("FLEXER_BENCH_OUT_PR5").unwrap_or_else(|_| "BENCH_PR5.json".to_owned());
+    let net = scale_spatial(&networks::by_name("squeezenet").expect("known net"), 4);
+    let layers = net.layers().len() as u64;
+
+    let first = store_pass(dir, &net);
+    let second = store_pass(dir, &net);
+
+    assert_eq!(
+        second.hits, layers,
+        "warm pass must answer every layer from the store"
+    );
+    assert_eq!(second.misses, 0, "warm pass must not search");
+    for (a, b) in first.results.iter().zip(second.results.iter()) {
+        assert_eq!(
+            masked_bytes(a),
+            masked_bytes(b),
+            "{}: warm result must be byte-identical to the first pass",
+            a.layer
+        );
+    }
+    if first.misses > 0 {
+        assert!(
+            second.ns < first.ns,
+            "warm pass ({} ns) must beat the cold search ({} ns)",
+            second.ns,
+            first.ns
+        );
+    }
+
+    let json = format!(
+        "[\n  {{\"bench\": \"network_store_first\", \"arch\": \"arch1\", \"median_ns\": {}, \
+         \"layers\": {layers}, \"store_hits\": {}, \"store_misses\": {}}},\n  \
+         {{\"bench\": \"network_store_warm\", \"arch\": \"arch1\", \"median_ns\": {}, \
+         \"layers\": {layers}, \"store_hits\": {}, \"store_misses\": {}}}\n]\n",
+        first.ns, first.hits, first.misses, second.ns, second.hits, second.misses
+    );
+    std::fs::write(&out5, &json).expect("write benchmark output");
+    println!("wrote {out5}");
+    println!(
+        "store first pass: {} ns, {} hits / {} misses over {layers} layers",
+        first.ns, first.hits, first.misses
+    );
+    println!(
+        "store warm pass: {} ns ({:.2}x vs first), {} hits / {} misses",
+        second.ns,
+        first.ns as f64 / second.ns as f64,
+        second.hits,
+        second.misses
+    );
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut trace_out: Option<String> = None;
+    let mut store_dir: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace-out" => {
                 trace_out = Some(args.next().expect("--trace-out needs a path"));
             }
+            "--store" => {
+                store_dir = Some(args.next().expect("--store needs a directory"));
+            }
             other => {
-                eprintln!("unknown argument {other:?}; supported: --trace-out <path>");
+                eprintln!(
+                    "unknown argument {other:?}; supported: --trace-out <path>, --store <dir>"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(dir) = store_dir {
+        bench_store(&dir);
+        return;
     }
     let iters: usize = std::env::var("FLEXER_BENCH_ITERS")
         .ok()

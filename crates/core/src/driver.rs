@@ -5,11 +5,14 @@ use flexer_arch::ArchConfig;
 use flexer_model::{ConvLayer, Network};
 use flexer_sched::{
     search_layer_cached, search_layer_static_cached, search_network_cached,
-    search_network_static_cached, search_network_traced_cached, LayerSearchResult, MemoCache,
-    SchedError, SearchOptions,
+    search_network_static_cached, search_network_traced_cached, verify_layer_result,
+    LayerSearchResult, MemoCache, SchedError, SchedulerKind, SearchOptions,
 };
+use flexer_store::{fingerprint, Lookup, ScheduleStore};
 use flexer_trace::Trace;
 use std::fmt;
+use std::io;
+use std::path::Path;
 
 /// A network search together with the trace it recorded — the return
 /// value of [`Flexer::trace_network`].
@@ -77,6 +80,7 @@ pub struct Flexer {
     arch: ArchConfig,
     options: SearchOptions,
     cache: MemoCache,
+    store: Option<ScheduleStore>,
 }
 
 impl Flexer {
@@ -87,11 +91,14 @@ impl Flexer {
             arch,
             options: SearchOptions::default(),
             cache: MemoCache::new(),
+            store: None,
         }
     }
 
     /// Replaces the search options. Clears the memo cache, since
-    /// cached winners are option-specific.
+    /// cached winners are option-specific. A configured persistent
+    /// store stays attached: its entries are content-addressed by the
+    /// options, so entries for the old options simply stop matching.
     #[must_use]
     pub fn with_options(mut self, options: SearchOptions) -> Self {
         self.options = options;
@@ -99,10 +106,111 @@ impl Flexer {
         self
     }
 
+    /// Attaches a persistent [`ScheduleStore`] rooted at `path`
+    /// (created if absent), so layer searches warm-start across
+    /// processes: every search first consults the store by content
+    /// address, and every freshly searched winner is persisted.
+    ///
+    /// A store hit returns the persisted winner byte-for-byte (modulo
+    /// the store hit/miss counters in its stats) without re-searching;
+    /// under [`SearchOptions::validate`] the hit is still re-verified
+    /// against the SPM abstract machine before being trusted. Corrupt
+    /// entries are deleted and transparently re-searched.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the store directory cannot be
+    /// created or opened.
+    pub fn with_store(mut self, path: impl AsRef<Path>) -> io::Result<Self> {
+        self.store = Some(ScheduleStore::open(path)?);
+        Ok(self)
+    }
+
+    /// [`Flexer::with_store`] with an explicit eviction capacity in
+    /// bytes (`0` disables eviction).
+    ///
+    /// # Errors
+    ///
+    /// As [`Flexer::with_store`].
+    pub fn with_store_capacity(
+        mut self,
+        path: impl AsRef<Path>,
+        capacity_bytes: u64,
+    ) -> io::Result<Self> {
+        self.store = Some(ScheduleStore::with_capacity(path, capacity_bytes)?);
+        Ok(self)
+    }
+
+    /// The attached persistent store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&ScheduleStore> {
+        self.store.as_ref()
+    }
+
     /// The target architecture.
     #[must_use]
     pub fn arch(&self) -> &ArchConfig {
         &self.arch
+    }
+
+    /// Dispatches a whole-network search to the chosen scheduler.
+    fn search_many(
+        &self,
+        layers: &[ConvLayer],
+        options: &SearchOptions,
+        kind: SchedulerKind,
+    ) -> Result<Vec<LayerSearchResult>, SchedError> {
+        match kind {
+            SchedulerKind::Ooo => search_network_cached(layers, &self.arch, options, &self.cache),
+            SchedulerKind::Static => {
+                search_network_static_cached(layers, &self.arch, options, &self.cache)
+            }
+        }
+    }
+
+    /// Searches `layers`, warm-starting from the persistent store when
+    /// one is attached: hits skip the search entirely (re-verified
+    /// first when `options.validate` demands it), misses search as
+    /// usual and persist their winner. Results keep network order.
+    fn search_stored(
+        &self,
+        layers: &[ConvLayer],
+        options: &SearchOptions,
+        kind: SchedulerKind,
+    ) -> Result<Vec<LayerSearchResult>, SchedError> {
+        let Some(store) = &self.store else {
+            return self.search_many(layers, options, kind);
+        };
+        let mut slots: Vec<Option<LayerSearchResult>> = (0..layers.len()).map(|_| None).collect();
+        let mut misses = Vec::new();
+        for (i, layer) in layers.iter().enumerate() {
+            let fp = fingerprint(layer, &self.arch, options, kind);
+            match store.get(fp) {
+                Lookup::Hit(mut hit) => {
+                    // The address ignores layer names; restore the
+                    // requested one.
+                    hit.layer = layer.name().to_string();
+                    hit.stats.store_hits = 1;
+                    if options.validate {
+                        verify_layer_result(layer, &self.arch, options, kind, &mut hit)?;
+                    }
+                    slots[i] = Some(*hit);
+                }
+                Lookup::Miss | Lookup::Corrupt(_) => misses.push((i, fp, layer.clone())),
+            }
+        }
+        if !misses.is_empty() {
+            let missed: Vec<ConvLayer> = misses.iter().map(|(_, _, l)| l.clone()).collect();
+            let searched = self.search_many(&missed, options, kind)?;
+            for ((i, fp, _), mut result) in misses.into_iter().zip(searched) {
+                result.stats.store_misses = 1;
+                // Persisting is best-effort: a full disk must not fail
+                // the search that just succeeded.
+                let _ = store.put(fp, &result);
+                slots[i] = Some(result);
+            }
+        }
+        Ok(slots.into_iter().map(|s| s.expect("slot filled")).collect())
     }
 
     /// The active search options.
@@ -125,6 +233,14 @@ impl Flexer {
     /// Returns [`SchedError`] when no tiling of the layer fits the
     /// architecture or scheduling fails.
     pub fn schedule_layer(&self, layer: &ConvLayer) -> Result<LayerSearchResult, SchedError> {
+        if self.store.is_some() {
+            let mut v = self.search_stored(
+                std::slice::from_ref(layer),
+                &self.options,
+                SchedulerKind::Ooo,
+            )?;
+            return Ok(v.pop().expect("one layer in, one result out"));
+        }
         search_layer_cached(layer, &self.arch, &self.options, &self.cache)
     }
 
@@ -135,6 +251,14 @@ impl Flexer {
     ///
     /// As [`Flexer::schedule_layer`].
     pub fn baseline_layer(&self, layer: &ConvLayer) -> Result<LayerSearchResult, SchedError> {
+        if self.store.is_some() {
+            let mut v = self.search_stored(
+                std::slice::from_ref(layer),
+                &self.options,
+                SchedulerKind::Static,
+            )?;
+            return Ok(v.pop().expect("one layer in, one result out"));
+        }
         search_layer_static_cached(layer, &self.arch, &self.options, &self.cache)
     }
 
@@ -149,8 +273,7 @@ impl Flexer {
     ///
     /// Returns the first per-layer error encountered.
     pub fn schedule_network(&self, network: &Network) -> Result<NetworkResult, SchedError> {
-        let layers =
-            search_network_cached(network.layers(), &self.arch, &self.options, &self.cache)?;
+        let layers = self.search_stored(network.layers(), &self.options, SchedulerKind::Ooo)?;
         Ok(NetworkResult::new(network.name(), layers))
     }
 
@@ -192,8 +315,7 @@ impl Flexer {
     ///
     /// Returns the first per-layer error encountered.
     pub fn baseline_network(&self, network: &Network) -> Result<NetworkResult, SchedError> {
-        let layers =
-            search_network_static_cached(network.layers(), &self.arch, &self.options, &self.cache)?;
+        let layers = self.search_stored(network.layers(), &self.options, SchedulerKind::Static)?;
         Ok(NetworkResult::new(network.name(), layers))
     }
 
@@ -239,11 +361,11 @@ impl Flexer {
         options.validate = true;
         let flexer = NetworkResult::new(
             network.name(),
-            search_network_cached(network.layers(), &self.arch, &options, &self.cache)?,
+            self.search_stored(network.layers(), &options, SchedulerKind::Ooo)?,
         );
         let baseline = NetworkResult::new(
             network.name(),
-            search_network_static_cached(network.layers(), &self.arch, &options, &self.cache)?,
+            self.search_stored(network.layers(), &options, SchedulerKind::Static)?,
         );
         Ok(NetworkComparison::new(flexer, baseline))
     }

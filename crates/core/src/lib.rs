@@ -51,6 +51,7 @@
 //! | [`flexer_sim`] | Timelines, schedule records, traffic stats, validation |
 //! | [`flexer_sched`] | OoO scheduler, static baseline, Algorithm-1 search |
 //! | [`flexer_trace`] | Deterministic tracing: spans, counters, Chrome export |
+//! | [`flexer_store`] | Persistent content-addressed schedule cache |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,6 +67,7 @@ pub use flexer_model as model;
 pub use flexer_sched as sched;
 pub use flexer_sim as sim;
 pub use flexer_spm as spm;
+pub use flexer_store as store;
 pub use flexer_tiling as tiling;
 pub use flexer_trace as trace;
 
@@ -85,6 +87,7 @@ pub mod prelude {
     pub use flexer_sim::{
         onchip_reference_traffic, schedule_energy, schedule_trace, validate_schedule, TrafficClass,
     };
+    pub use flexer_store::{Lookup, ScheduleStore, StoreCounters};
     pub use flexer_tiling::{Dataflow, Dfg, TileKind, TilingFactors, TilingOptions};
     pub use flexer_trace::{ClockMode, Trace, TraceDetail};
 }

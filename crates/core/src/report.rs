@@ -14,7 +14,10 @@ pub struct NetworkResult {
 }
 
 impl NetworkResult {
-    pub(crate) fn new(network: impl Into<String>, layers: Vec<LayerSearchResult>) -> Self {
+    /// Assembles a result from per-layer searches in network order —
+    /// how the driver and the serving layer build every report.
+    #[must_use]
+    pub fn new(network: impl Into<String>, layers: Vec<LayerSearchResult>) -> Self {
         Self {
             network: network.into(),
             layers,
@@ -145,7 +148,10 @@ pub struct NetworkComparison {
 }
 
 impl NetworkComparison {
-    pub(crate) fn new(flexer: NetworkResult, baseline: NetworkResult) -> Self {
+    /// Pairs an out-of-order result with its static baseline. Both
+    /// sides must cover the same network, layer for layer.
+    #[must_use]
+    pub fn new(flexer: NetworkResult, baseline: NetworkResult) -> Self {
         debug_assert_eq!(flexer.network(), baseline.network());
         debug_assert_eq!(flexer.layers().len(), baseline.layers().len());
         Self { flexer, baseline }

@@ -52,6 +52,7 @@ mod search;
 mod static_sched;
 mod stats;
 mod verify;
+pub mod wire;
 
 pub use bound::{lower_bound, Cutoff, Incumbent, ScheduleBound};
 pub use combo::{dataflow_class, generate_sets, ComboOptions, DataflowClass};
@@ -65,8 +66,9 @@ pub use search::{
     search_layer, search_layer_cached, search_layer_static, search_layer_static_cached,
     search_layer_traced, search_network, search_network_cached, search_network_layerwise,
     search_network_static, search_network_static_cached, search_network_static_traced,
-    search_network_traced, search_network_traced_cached, sweep_tilings, LayerSearchResult, MemoKey,
-    SchedulePoint, SearchOptions, SpillPolicyChoice, TraceOptions,
+    search_network_traced, search_network_traced_cached, sweep_tilings, verify_layer_result,
+    LayerSearchResult, MemoKey, SchedulePoint, SchedulerKind, SearchOptions, SpillPolicyChoice,
+    TraceOptions,
 };
 pub use static_sched::StaticScheduler;
 pub use stats::{SearchStats, StatKind};

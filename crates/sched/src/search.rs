@@ -277,9 +277,15 @@ pub struct LayerSearchResult {
     pub stats: SearchStats,
 }
 
+/// Which scheduler a search (or a persisted result) ran: the paper's
+/// out-of-order scheduler or the static loop-order baseline. Part of
+/// the memo key and of the `flexer-store` fingerprint — the two
+/// schedulers' winners must never alias.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) enum SchedulerKind {
+pub enum SchedulerKind {
+    /// Flexer's out-of-order scheduler (Algorithm 1 `GetSchedule`).
     Ooo,
+    /// The in-order loop-order baseline (§5).
     Static,
 }
 
@@ -382,6 +388,30 @@ fn verify_winner(
     result.stats.schedules_verified += 1;
     result.stats.verify_nanos += start.elapsed().as_nanos() as u64;
     Ok(())
+}
+
+/// Differentially verifies an already-resolved [`LayerSearchResult`]
+/// — the public face of the search's internal winner verification,
+/// for results that did not come out of a live search (e.g. a
+/// `flexer-store` warm start): re-runs the result's scheduler with
+/// program lowering, confirms the replay reproduces the recorded
+/// schedule, and runs the full verification chain over the pair.
+/// On success `result.stats.schedules_verified` is incremented.
+///
+/// # Errors
+///
+/// [`SchedError::IllegalSchedule`] when the replay diverges from the
+/// recorded schedule or the program fails verification; any
+/// [`SchedError`] the replayed scheduler itself reports.
+pub fn verify_layer_result(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    kind: SchedulerKind,
+    result: &mut LayerSearchResult,
+) -> Result<(), SchedError> {
+    let model = SystolicModel::new(arch);
+    verify_winner(kind, layer, arch, &model, opts, result)
 }
 
 /// Replays a known `(tiling, dataflow)` winner as a full

@@ -56,6 +56,16 @@ pub struct SearchStats {
     pub early_exits: u64,
     /// Wall-time (ns) spent computing lower bounds.
     pub bound_nanos: u64,
+    /// Layers answered from the persistent schedule store without a
+    /// search (`flexer-store` warm start).
+    pub store_hits: u64,
+    /// Layers that consulted the persistent store and found no entry.
+    pub store_misses: u64,
+    /// Store entries evicted by the size-bounded LRU pass.
+    pub store_evictions: u64,
+    /// Store entries rejected as torn/corrupt (checksum or decode
+    /// failure) and treated as misses.
+    pub store_corrupt: u64,
 }
 
 /// What a [`SearchStats`] counter measures — used to format it and to
@@ -79,7 +89,7 @@ impl SearchStats {
     /// it here is a compile error, and [`SearchStats::merge`] plus the
     /// drift tests derive their field sets from this list.
     #[must_use]
-    pub fn fields(&self) -> [(&'static str, u64, StatKind); 17] {
+    pub fn fields(&self) -> [(&'static str, u64, StatKind); 21] {
         let Self {
             steps,
             sets_generated,
@@ -98,6 +108,10 @@ impl SearchStats {
             candidates_pruned,
             early_exits,
             bound_nanos,
+            store_hits,
+            store_misses,
+            store_evictions,
+            store_corrupt,
         } = *self;
         [
             ("steps", steps, StatKind::Count),
@@ -117,6 +131,10 @@ impl SearchStats {
             ("candidates_pruned", candidates_pruned, StatKind::Count),
             ("early_exits", early_exits, StatKind::Count),
             ("bound_nanos", bound_nanos, StatKind::Nanos),
+            ("store_hits", store_hits, StatKind::Count),
+            ("store_misses", store_misses, StatKind::Count),
+            ("store_evictions", store_evictions, StatKind::Count),
+            ("store_corrupt", store_corrupt, StatKind::Count),
         ]
     }
 
@@ -153,6 +171,10 @@ impl SearchStats {
             candidates_pruned,
             early_exits,
             bound_nanos,
+            store_hits,
+            store_misses,
+            store_evictions,
+            store_corrupt,
         } = *other;
         self.steps += steps;
         self.sets_generated += sets_generated;
@@ -171,6 +193,10 @@ impl SearchStats {
         self.candidates_pruned += candidates_pruned;
         self.early_exits += early_exits;
         self.bound_nanos += bound_nanos;
+        self.store_hits += store_hits;
+        self.store_misses += store_misses;
+        self.store_evictions += store_evictions;
+        self.store_corrupt += store_corrupt;
     }
 
     /// Emits every counter into a trace lane as a gauge sample. Under
@@ -196,6 +222,7 @@ impl std::fmt::Display for SearchStats {
             "steps {} | sets gen {} pruned {} eval {} | rollback {} B \
              (clone avoided {} B) | evict {} compact {} | verified {} | \
              bound {} pruned {} early-exit {} | \
+             store hit {} miss {} evict {} corrupt {} | \
              gen {:.2} ms eval {:.2} ms commit {:.2} ms verify {:.2} ms \
              bound {:.2} ms",
             self.steps,
@@ -210,6 +237,10 @@ impl std::fmt::Display for SearchStats {
             self.candidates_bounded,
             self.candidates_pruned,
             self.early_exits,
+            self.store_hits,
+            self.store_misses,
+            self.store_evictions,
+            self.store_corrupt,
             self.gen_nanos as f64 / 1e6,
             self.eval_nanos as f64 / 1e6,
             self.commit_nanos as f64 / 1e6,
@@ -244,9 +275,13 @@ mod tests {
             candidates_pruned: 15,
             early_exits: 16,
             bound_nanos: 17,
+            store_hits: 18,
+            store_misses: 19,
+            store_evictions: 20,
+            store_corrupt: 21,
         };
         // Guard the literal above against field additions.
-        assert_eq!(s.fields().len(), 17);
+        assert_eq!(s.fields().len(), 21);
         for (i, (name, value, _)) in s.fields().into_iter().enumerate() {
             assert_eq!(value, i as u64 + 1, "field {name} not sequential");
         }
@@ -278,7 +313,7 @@ mod tests {
     fn deterministic_fields_exclude_wall_time() {
         let s = sequential();
         let det = s.deterministic_fields();
-        assert_eq!(det.len(), 12);
+        assert_eq!(det.len(), 16);
         assert!(det.iter().all(|(name, _)| !name.ends_with("_nanos")));
         assert!(det.iter().any(|&(name, v)| name == "steps" && v == 1));
     }

@@ -1,0 +1,131 @@
+//! `flexer-cli`: the command-line client for `flexer-serve`.
+//!
+//! Builds one protocol request from the arguments, prints the server's
+//! response line verbatim, and exits 0 only when the response says
+//! `"ok": true` — which makes it directly usable as a CI assertion.
+
+use flexer_serve::client::Client;
+use flexer_serve::protocol::Obj;
+use flexer_trace::json::{parse, Json};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+flexer-cli — client for the flexer-serve scheduling service
+
+USAGE: flexer-cli --addr HOST:PORT <COMMAND> [OPTIONS]
+
+COMMANDS:
+  health                        liveness probe
+  stats                         server and store counters
+  schedule <network>            out-of-order schedule
+  compare <network>             OoO vs. static-baseline comparison
+  verify <network>              comparison under differential verification
+  shutdown                      graceful drain: finish in-flight work,
+                                flush the store, stop the server
+  raw <json>                    send one raw request line
+
+<network> is a preset (vgg16, resnet50, squeezenet, yolov2) — use
+`raw` with inline \"layers\" for custom shapes.
+
+OPTIONS (schedule/compare/verify):
+  --arch arch1..arch8           architecture preset (default arch1)
+  --options quick|default       search options preset (default quick)
+  --deadline-ms N               per-request deadline
+  --trace                       return the recorded span tree (schedule)
+  --id STR                      correlation id echoed in the response
+
+EXIT STATUS: 0 response ok, 1 connection/protocol failure, 2 usage or
+typed server error.";
+
+fn build_request(cmd: &str, mut rest: std::env::Args) -> Result<String, String> {
+    let op = match cmd {
+        "health" | "stats" | "shutdown" => cmd,
+        "schedule" | "compare" | "verify" => cmd,
+        "raw" => {
+            return rest
+                .next()
+                .ok_or_else(|| "raw needs one JSON argument".into());
+        }
+        other => return Err(format!("unknown command {other:?} (see --help)")),
+    };
+    let mut o = Obj::new();
+    o.str("op", op);
+    if matches!(op, "schedule" | "compare" | "verify") {
+        let network = rest
+            .next()
+            .ok_or_else(|| format!("{op} needs a network name"))?;
+        o.str("network", &network);
+    }
+    while let Some(flag) = rest.next() {
+        let mut value = |what: &str| {
+            rest.next()
+                .ok_or_else(|| format!("{what} needs a value (see --help)"))
+        };
+        match flag.as_str() {
+            "--arch" => {
+                o.str("arch", &value("--arch")?);
+            }
+            "--options" => {
+                o.str("options", &value("--options")?);
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                o.u64("deadline_ms", ms);
+            }
+            "--trace" => {
+                o.bool("trace", true);
+            }
+            "--id" => {
+                o.str("id", &value("--id")?);
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+    }
+    Ok(o.finish())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _ = args.next();
+    let mut addr = None;
+    let cmd = loop {
+        match args.next().as_deref() {
+            Some("--addr") => addr = args.next(),
+            Some("-h" | "--help") => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            Some(cmd) => break cmd.to_string(),
+            None => {
+                eprintln!("flexer-cli: missing command (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let Some(addr) = addr else {
+        eprintln!("flexer-cli: --addr HOST:PORT is required");
+        return ExitCode::from(2);
+    };
+    let line = match build_request(&cmd, args) {
+        Ok(line) => line,
+        Err(msg) => {
+            eprintln!("flexer-cli: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let response = match Client::connect(addr.as_str()).and_then(|mut c| c.roundtrip(&line)) {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("flexer-cli: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{response}");
+    match parse(&response) {
+        Ok(j) if j.get("ok").and_then(Json::as_bool) == Some(true) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(2),
+        Err(_) => ExitCode::FAILURE,
+    }
+}

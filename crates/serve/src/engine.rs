@@ -1,0 +1,430 @@
+//! Request execution: drivers, deadlines, and response bodies.
+//!
+//! The engine owns a lazily populated cache of [`Flexer`] drivers, one
+//! per `(arch, options, verify)` combination a request can name. All
+//! drivers share one persistent store directory when the server is
+//! started with one — entries are content-addressed, so the drivers
+//! never collide — and one driver's memo cache warms every later
+//! request with the same configuration.
+
+use crate::protocol::{ok_response, ErrorKind, Obj, Op, OptionsName, Request};
+use flexer::prelude::*;
+use flexer_arch::ArchPreset;
+use flexer_sched::SchedError;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A typed request failure: the wire code plus a human-readable
+/// message.
+pub type Failure = (ErrorKind, String);
+
+/// A per-request deadline, checked between units of work (layers).
+///
+/// The search for one layer is not interruptible — a deadline that
+/// expires mid-layer is reported once that layer completes — so the
+/// enforcement granularity is one layer.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `ms` milliseconds from now; `None` falls back to
+    /// `default_ms`, where `0` means unbounded.
+    #[must_use]
+    pub fn from_ms(ms: Option<u64>, default_ms: u64) -> Self {
+        // An explicit 0 means "already expired"; only an absent
+        // deadline with default 0 is unbounded.
+        let at = match ms {
+            Some(ms) => Some(Instant::now() + Duration::from_millis(ms)),
+            None if default_ms == 0 => None,
+            None => Some(Instant::now() + Duration::from_millis(default_ms)),
+        };
+        Self { at }
+    }
+
+    /// An unbounded deadline.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self { at: None }
+    }
+
+    /// Fails with [`ErrorKind::Deadline`] once the deadline has
+    /// passed.
+    ///
+    /// # Errors
+    ///
+    /// The typed `deadline` failure.
+    pub fn check(&self) -> Result<(), Failure> {
+        match self.at {
+            Some(at) if Instant::now() >= at => Err((
+                ErrorKind::Deadline,
+                "deadline exceeded before the request completed".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// One driver per distinct request configuration. `verify` selects a
+/// twin with [`SearchOptions::validate`] forced on, so verified and
+/// unverified requests never share memoized winners of different
+/// provenance.
+type DriverKey = (ArchPreset, OptionsName, bool);
+
+/// Executes scheduling requests.
+#[derive(Debug)]
+pub struct Engine {
+    drivers: Mutex<HashMap<DriverKey, Arc<Flexer>>>,
+    store_dir: Option<PathBuf>,
+    store_capacity: Option<u64>,
+}
+
+impl Engine {
+    /// An engine without persistence: every driver is memory-only.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            drivers: Mutex::new(HashMap::new()),
+            store_dir: None,
+            store_capacity: None,
+        }
+    }
+
+    /// An engine whose drivers all warm-start from (and persist to)
+    /// the schedule store rooted at `dir`. `capacity_bytes` bounds the
+    /// store's size when given (`0` disables eviction).
+    #[must_use]
+    pub fn with_store(dir: PathBuf, capacity_bytes: Option<u64>) -> Self {
+        Self {
+            drivers: Mutex::new(HashMap::new()),
+            store_dir: Some(dir),
+            store_capacity: capacity_bytes,
+        }
+    }
+
+    fn options_for(name: OptionsName, verify: bool) -> SearchOptions {
+        let mut opts = match name {
+            OptionsName::Quick => SearchOptions::quick(),
+            OptionsName::Default => SearchOptions::default(),
+        };
+        if verify {
+            opts.validate = true;
+        }
+        opts
+    }
+
+    /// The (cached) driver for one request configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Internal`] when the store directory cannot be
+    /// opened.
+    fn driver(&self, key: DriverKey) -> Result<Arc<Flexer>, Failure> {
+        let mut drivers = self.drivers.lock().expect("driver cache poisoned");
+        if let Some(d) = drivers.get(&key) {
+            return Ok(Arc::clone(d));
+        }
+        let (arch, options, verify) = key;
+        let mut driver =
+            Flexer::new(ArchConfig::preset(arch)).with_options(Self::options_for(options, verify));
+        if let Some(dir) = &self.store_dir {
+            driver = match self.store_capacity {
+                Some(cap) => driver.with_store_capacity(dir, cap),
+                None => driver.with_store(dir),
+            }
+            .map_err(|e| {
+                (
+                    ErrorKind::Internal,
+                    format!("cannot open schedule store at {}: {e}", dir.display()),
+                )
+            })?;
+        }
+        let driver = Arc::new(driver);
+        drivers.insert(key, Arc::clone(&driver));
+        Ok(driver)
+    }
+
+    /// Number of distinct driver configurations instantiated so far.
+    #[must_use]
+    pub fn driver_count(&self) -> usize {
+        self.drivers.lock().expect("driver cache poisoned").len()
+    }
+
+    /// Store counters and entry count summed over every driver's store
+    /// handle, or `None` when the engine is memory-only.
+    #[must_use]
+    pub fn store_summary(&self) -> Option<StoreCounters> {
+        self.store_dir.as_ref()?;
+        let drivers = self.drivers.lock().expect("driver cache poisoned");
+        let mut total = StoreCounters::default();
+        for driver in drivers.values() {
+            if let Some(store) = driver.store() {
+                let c = store.counters();
+                total.hits += c.hits;
+                total.misses += c.misses;
+                total.evictions += c.evictions;
+                total.corrupt += c.corrupt;
+            }
+        }
+        Some(total)
+    }
+
+    /// Number of entries currently in the shared store directory.
+    #[must_use]
+    pub fn store_entries(&self) -> Option<usize> {
+        let drivers = self.drivers.lock().expect("driver cache poisoned");
+        drivers
+            .values()
+            .find_map(|d| d.store().and_then(|s| s.len().ok()))
+            .or(self.store_dir.as_ref().map(|_| 0))
+    }
+
+    /// Flushes every driver's store directory (directory-level
+    /// `fsync`), making all persisted schedules durable. Called on
+    /// graceful shutdown.
+    pub fn flush_stores(&self) {
+        let drivers = self.drivers.lock().expect("driver cache poisoned");
+        for driver in drivers.values() {
+            if let Some(store) = driver.store() {
+                let _ = store.flush();
+            }
+        }
+    }
+
+    /// Executes one scheduling request ([`Op::Schedule`],
+    /// [`Op::Compare`] or [`Op::Verify`]) and returns the serialized
+    /// success line.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Failure`]: `deadline`, `sched` or `internal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for a non-scheduling op or a request without a
+    /// network — [`crate::protocol::parse_request`] never produces
+    /// either.
+    pub fn run(&self, req: &Request, deadline: &Deadline) -> Result<String, Failure> {
+        let net = req
+            .network
+            .as_ref()
+            .expect("scheduling request without a network");
+        match req.op {
+            Op::Schedule => self.run_schedule(req, net, deadline),
+            Op::Compare => self.run_compare(req, net, deadline, false),
+            Op::Verify => self.run_compare(req, net, deadline, true),
+            _ => unreachable!("engine only runs scheduling ops"),
+        }
+    }
+
+    fn sched_failure(e: &SchedError) -> Failure {
+        (ErrorKind::Sched, e.to_string())
+    }
+
+    /// Schedules every layer through `driver`, checking the deadline
+    /// between layers.
+    fn layers_with_deadline(
+        driver: &Flexer,
+        net: &Network,
+        deadline: &Deadline,
+        baseline: bool,
+    ) -> Result<NetworkResult, Failure> {
+        let mut rows = Vec::with_capacity(net.layers().len());
+        for layer in net.layers() {
+            deadline.check()?;
+            let result = if baseline {
+                driver.baseline_layer(layer)
+            } else {
+                driver.schedule_layer(layer)
+            };
+            rows.push(result.map_err(|e| Self::sched_failure(&e))?);
+        }
+        Ok(NetworkResult::new(net.name(), rows))
+    }
+
+    fn push_totals(o: &mut Obj, req: &Request, result: &NetworkResult) {
+        o.str("network", result.network())
+            .str("arch", &req.arch.to_string())
+            .str("options", req.options.code())
+            .u64("latency", result.total_latency())
+            .u64("transfer_bytes", result.total_transfer_bytes())
+            .u64("evaluated", result.total_evaluated() as u64);
+        let stats = result.total_stats();
+        o.u64("store_hits", stats.store_hits)
+            .u64("store_misses", stats.store_misses);
+    }
+
+    fn layer_rows(result: &NetworkResult) -> String {
+        let mut rows = String::from("[");
+        for (i, l) in result.layers().iter().enumerate() {
+            if i > 0 {
+                rows.push(',');
+            }
+            let mut row = Obj::new();
+            row.str("name", &l.layer)
+                .u64("latency", l.schedule.latency())
+                .u64("transfer_bytes", l.schedule.transfer_bytes())
+                .u64("evaluated", l.evaluated as u64);
+            if l.stats.store_hits > 0 {
+                row.str("store", "hit");
+            } else if l.stats.store_misses > 0 {
+                row.str("store", "miss");
+            }
+            rows.push_str(&row.finish());
+        }
+        rows.push(']');
+        rows
+    }
+
+    fn run_schedule(
+        &self,
+        req: &Request,
+        net: &Network,
+        deadline: &Deadline,
+    ) -> Result<String, Failure> {
+        let driver = self.driver((req.arch, req.options, false))?;
+        deadline.check()?;
+        let mut o = ok_response(Op::Schedule, req.id.as_deref());
+        let result = if req.trace {
+            // Traced requests run the whole-network traced search: it
+            // bypasses the persistent store on purpose (the point is
+            // to watch the real search) and is not layer-interruptible.
+            let traced = driver.trace_network(net);
+            let tree = traced.span_tree();
+            let result = traced.result.map_err(|e| Self::sched_failure(&e))?;
+            deadline.check()?;
+            o.str("span_tree", &tree);
+            result
+        } else {
+            Self::layers_with_deadline(&driver, net, deadline, false)?
+        };
+        Self::push_totals(&mut o, req, &result);
+        o.raw("layers", &Self::layer_rows(&result));
+        Ok(o.finish())
+    }
+
+    fn run_compare(
+        &self,
+        req: &Request,
+        net: &Network,
+        deadline: &Deadline,
+        verify: bool,
+    ) -> Result<String, Failure> {
+        let driver = self.driver((req.arch, req.options, verify))?;
+        deadline.check()?;
+        let flexer = Self::layers_with_deadline(&driver, net, deadline, false)?;
+        let baseline = Self::layers_with_deadline(&driver, net, deadline, true)?;
+        let cmp = NetworkComparison::new(flexer, baseline);
+        let op = if verify { Op::Verify } else { Op::Compare };
+        let mut o = ok_response(op, req.id.as_deref());
+        Self::push_totals(&mut o, req, cmp.flexer());
+        o.u64("baseline_latency", cmp.baseline().total_latency())
+            .u64(
+                "baseline_transfer_bytes",
+                cmp.baseline().total_transfer_bytes(),
+            )
+            .f64("speedup", cmp.speedup())
+            .f64("transfer_reduction", cmp.transfer_reduction());
+        if verify {
+            o.bool(
+                "verified",
+                cmp.flexer().verified() && cmp.baseline().verified(),
+            );
+        }
+        o.raw("layers", &Self::layer_rows(cmp.flexer()));
+        Ok(o.finish())
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    fn schedule_req(extra: &str) -> Request {
+        parse_request(&format!(
+            r#"{{"op":"schedule","layers":[{{"in_channels":16,"height":14,"width":14,"out_channels":16}}]{extra}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn schedule_request_round_trips() {
+        let engine = Engine::new();
+        let line = engine
+            .run(&schedule_req(""), &Deadline::unbounded())
+            .unwrap();
+        let j = flexer_trace::json::parse(&line).unwrap();
+        assert_eq!(
+            j.get("ok").and_then(flexer_trace::json::Json::as_bool),
+            Some(true)
+        );
+        assert!(
+            j.get("latency")
+                .and_then(flexer_trace::json::Json::as_num)
+                .unwrap()
+                > 0.0
+        );
+        assert_eq!(
+            j.get("layers")
+                .and_then(flexer_trace::json::Json::as_array)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(engine.driver_count(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_failure() {
+        let engine = Engine::new();
+        let deadline = Deadline::from_ms(Some(0), 0);
+        let err = engine.run(&schedule_req(""), &deadline).unwrap_err();
+        assert_eq!(err.0, ErrorKind::Deadline);
+    }
+
+    #[test]
+    fn traced_schedule_returns_a_span_tree() {
+        let engine = Engine::new();
+        let line = engine
+            .run(&schedule_req(r#","trace":true"#), &Deadline::unbounded())
+            .unwrap();
+        let j = flexer_trace::json::parse(&line).unwrap();
+        let tree = j
+            .get("span_tree")
+            .and_then(flexer_trace::json::Json::as_str)
+            .unwrap();
+        assert!(tree.contains("search"), "{tree}");
+    }
+
+    #[test]
+    fn verify_reports_verification() {
+        let engine = Engine::new();
+        let mut req = schedule_req("");
+        req.op = Op::Verify;
+        let line = engine.run(&req, &Deadline::unbounded()).unwrap();
+        let j = flexer_trace::json::parse(&line).unwrap();
+        assert_eq!(
+            j.get("verified")
+                .and_then(flexer_trace::json::Json::as_bool),
+            Some(true)
+        );
+        assert!(j
+            .get("speedup")
+            .and_then(flexer_trace::json::Json::as_num)
+            .is_some());
+        // Verified and unverified drivers are distinct cache entries.
+        req.op = Op::Compare;
+        let _ = engine.run(&req, &Deadline::unbounded()).unwrap();
+        assert_eq!(engine.driver_count(), 2);
+    }
+}

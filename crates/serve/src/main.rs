@@ -1,0 +1,135 @@
+//! The `flexer-serve` daemon: binds, prints the bound address, serves
+//! until a graceful shutdown is requested.
+
+use flexer_serve::{request_shutdown, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+flexer-serve — concurrent scheduling service (newline-delimited JSON over TCP)
+
+USAGE: flexer-serve [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT       bind address (default 127.0.0.1:0 = any free port)
+  --port-file PATH       write the bound port to PATH once listening
+  --store DIR            persistent schedule store directory (warm starts)
+  --store-capacity N     store eviction capacity in bytes (0 = unbounded)
+  --workers N            worker threads (default 4)
+  --queue N              accept-queue depth before shedding (default 16)
+  --deadline-ms N        default per-request deadline (default 0 = none)
+  --stdin-shutdown       drain gracefully when stdin reaches EOF (the
+                         no-signals stand-in for SIGTERM: run the daemon
+                         with a pipe on stdin and close it to stop)
+  -h, --help             this text
+
+Stop it with: flexer-cli --addr HOST:PORT shutdown";
+
+struct Args {
+    config: ServerConfig,
+    port_file: Option<PathBuf>,
+    stdin_shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = ServerConfig::default();
+    let mut port_file = None;
+    let mut stdin_shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} needs a value (see --help)"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--port-file" => port_file = Some(PathBuf::from(value("--port-file")?)),
+            "--store" => config.store_dir = Some(PathBuf::from(value("--store")?)),
+            "--store-capacity" => {
+                config.store_capacity = Some(
+                    value("--store-capacity")?
+                        .parse()
+                        .map_err(|e| format!("--store-capacity: {e}"))?,
+                );
+            }
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue" => {
+                config.queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+            }
+            "--stdin-shutdown" => stdin_shutdown = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+    }
+    Ok(Args {
+        config,
+        port_file,
+        stdin_shutdown,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("flexer-serve: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::bind(args.config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("flexer-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("flexer-serve listening on {addr}");
+    let _ = std::io::stdout().flush();
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!(
+                "flexer-serve: cannot write port file {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.stdin_shutdown {
+        std::thread::Builder::new()
+            .name("flexer-serve-stdin".into())
+            .spawn(move || {
+                // Block until the parent closes our stdin, then drain.
+                let mut sink = [0u8; 4096];
+                let mut stdin = std::io::stdin();
+                while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                let _ = request_shutdown(addr);
+            })
+            .expect("spawn stdin watcher");
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("flexer-serve drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("flexer-serve: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! The wire protocol: newline-delimited JSON, one request per line,
+//! exactly one response line per request.
+//!
+//! Every request is a JSON object with an `"op"` member; every
+//! response is a JSON object whose `"ok"` member says whether the
+//! request succeeded. Failures carry a *typed* `"error"` code (see
+//! [`ErrorKind::code`]) so clients can branch without parsing prose,
+//! plus a human-readable `"message"`.
+//!
+//! | op | request members | success members |
+//! |---|---|---|
+//! | `health` | — | — |
+//! | `stats` | — | `requests`, `errors`, `overloaded`, `drivers`, `store{...}` |
+//! | `schedule` | network, `trace?` | totals, per-layer rows, `span_tree?` |
+//! | `compare` | network | `speedup`, `transfer_reduction`, totals |
+//! | `verify` | network | as `compare`, plus `verified` |
+//! | `shutdown` | — | — (the server drains and exits) |
+//!
+//! A network is either `"network": "<preset>"` (any name
+//! [`flexer_model::networks::by_name`] knows) or an inline
+//! `"layers": [{"name"?, "in_channels", "height", "width",
+//! "out_channels"}, ...]`. Optional members on every scheduling op:
+//! `"arch"` (`"arch1"`..`"arch8"`, default `arch1`), `"options"`
+//! (`"quick"` | `"default"`, default `quick`), `"deadline_ms"`, and
+//! `"id"` (echoed back verbatim).
+
+use flexer_model::{networks, ConvLayer, Network};
+use flexer_trace::json::{parse, Json};
+use std::fmt;
+use std::str::FromStr;
+
+use flexer_arch::ArchPreset;
+
+/// Hard cap on one request line; longer lines are a typed parse error
+/// (and the connection is closed, since the remainder of the oversized
+/// line cannot be resynchronized).
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Liveness probe; does no work.
+    Health,
+    /// Server-wide counters.
+    Stats,
+    /// Out-of-order schedule for a network.
+    Schedule,
+    /// OoO vs. static-baseline comparison.
+    Compare,
+    /// Comparison under forced differential verification.
+    Verify,
+    /// Graceful shutdown: drain in-flight requests, flush the store.
+    Shutdown,
+}
+
+impl Op {
+    /// The wire name.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Op::Health => "health",
+            Op::Stats => "stats",
+            Op::Schedule => "schedule",
+            Op::Compare => "compare",
+            Op::Verify => "verify",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// The search-option preset a request selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptionsName {
+    /// [`flexer_sched::SearchOptions::quick`].
+    Quick,
+    /// [`flexer_sched::SearchOptions::default`].
+    Default,
+}
+
+impl OptionsName {
+    /// The wire name.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            OptionsName::Quick => "quick",
+            OptionsName::Default => "default",
+        }
+    }
+}
+
+/// Typed failure codes — the machine-readable half of every error
+/// response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not valid JSON (or was oversized).
+    Parse,
+    /// Valid JSON, but not a valid request.
+    BadRequest,
+    /// The server's pending-connection queue is full.
+    Overloaded,
+    /// The request's deadline passed before a result was ready.
+    Deadline,
+    /// The search itself failed (no viable tiling, illegal schedule…).
+    Sched,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// An unexpected server-side failure (e.g. store I/O).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire code carried in the `"error"` member.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Sched => "sched",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A parsed, validated request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// What to do.
+    pub op: Op,
+    /// Client correlation id, echoed back verbatim when present.
+    pub id: Option<String>,
+    /// Target architecture preset.
+    pub arch: ArchPreset,
+    /// Search-option preset.
+    pub options: OptionsName,
+    /// The network to schedule (required by scheduling ops only).
+    pub network: Option<Network>,
+    /// Per-request deadline in milliseconds. `Some(0)` is already
+    /// expired; `None` falls back to the server default.
+    pub deadline_ms: Option<u64>,
+    /// Capture a deterministic trace of the search. Traced requests
+    /// bypass the persistent store: the point is to watch the real
+    /// search run.
+    pub trace: bool,
+}
+
+fn as_u64(j: &Json, what: &str) -> Result<u64, String> {
+    let n = j
+        .as_num()
+        .ok_or_else(|| format!("{what} must be a number"))?;
+    if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+        Ok(n as u64)
+    } else {
+        Err(format!("{what} must be a non-negative integer"))
+    }
+}
+
+fn as_u32(j: &Json, what: &str) -> Result<u32, String> {
+    u32::try_from(as_u64(j, what)?).map_err(|_| format!("{what} out of range"))
+}
+
+fn parse_layers(items: &[Json]) -> Result<Vec<ConvLayer>, String> {
+    if items.is_empty() {
+        return Err("layers must be non-empty".into());
+    }
+    let mut layers = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let field = |key: &str| -> Result<u32, String> {
+            let j = item
+                .get(key)
+                .ok_or_else(|| format!("layers[{i}] missing {key:?}"))?;
+            as_u32(j, &format!("layers[{i}].{key}"))
+        };
+        let name = match item.get("name") {
+            Some(j) => j
+                .as_str()
+                .ok_or_else(|| format!("layers[{i}].name must be a string"))?
+                .to_string(),
+            None => format!("l{i}"),
+        };
+        let layer = ConvLayer::new(
+            &name,
+            field("in_channels")?,
+            field("height")?,
+            field("width")?,
+            field("out_channels")?,
+        )
+        .map_err(|e| format!("layers[{i}]: {e}"))?;
+        layers.push(layer);
+    }
+    Ok(layers)
+}
+
+fn parse_network(obj: &Json) -> Result<Option<Network>, String> {
+    let name = match obj.get("network") {
+        Some(j) => Some(
+            j.as_str()
+                .ok_or_else(|| "network must be a string".to_string())?,
+        ),
+        None => None,
+    };
+    if let Some(j) = obj.get("layers") {
+        let items = j
+            .as_array()
+            .ok_or_else(|| "layers must be an array".to_string())?;
+        let layers = parse_layers(items)?;
+        return Network::new(name.unwrap_or("net"), layers)
+            .map(Some)
+            .map_err(|e| e.to_string());
+    }
+    match name {
+        Some(name) => networks::by_name(name)
+            .map(Some)
+            .ok_or_else(|| format!("unknown network preset {name:?} (and no inline layers)")),
+        None => Ok(None),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ErrorKind::Parse`] for malformed JSON or an oversized line,
+/// [`ErrorKind::BadRequest`] for well-formed JSON that is not a valid
+/// request — both with a human-readable message.
+pub fn parse_request(line: &str) -> Result<Request, (ErrorKind, String)> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err((
+            ErrorKind::Parse,
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    let obj = parse(line.trim()).map_err(|e| {
+        (
+            ErrorKind::Parse,
+            format!("{} at byte {}", e.message, e.offset),
+        )
+    })?;
+    let bad = |msg: String| (ErrorKind::BadRequest, msg);
+    if obj.as_object().is_none() {
+        return Err(bad("request must be a JSON object".into()));
+    }
+    let op = match obj.get("op").and_then(Json::as_str) {
+        Some("health") => Op::Health,
+        Some("stats") => Op::Stats,
+        Some("schedule") => Op::Schedule,
+        Some("compare") => Op::Compare,
+        Some("verify") => Op::Verify,
+        Some("shutdown") => Op::Shutdown,
+        Some(other) => return Err(bad(format!("unknown op {other:?}"))),
+        None => return Err(bad("missing op".into())),
+    };
+    let id = match obj.get("id") {
+        Some(j) => Some(
+            j.as_str()
+                .ok_or_else(|| bad("id must be a string".into()))?
+                .to_string(),
+        ),
+        None => None,
+    };
+    let arch = match obj.get("arch") {
+        Some(j) => {
+            let s = j
+                .as_str()
+                .ok_or_else(|| bad("arch must be a string".into()))?;
+            ArchPreset::from_str(s).map_err(|e| bad(e.to_string()))?
+        }
+        None => ArchPreset::Arch1,
+    };
+    let options = match obj.get("options").map(|j| (j, j.as_str())) {
+        Some((_, Some("quick"))) => OptionsName::Quick,
+        Some((_, Some("default"))) => OptionsName::Default,
+        Some((_, Some(other))) => {
+            return Err(bad(format!(
+                "unknown options {other:?} (expected \"quick\" or \"default\")"
+            )))
+        }
+        Some((_, None)) => return Err(bad("options must be a string".into())),
+        None => OptionsName::Quick,
+    };
+    let deadline_ms = match obj.get("deadline_ms") {
+        Some(j) => Some(as_u64(j, "deadline_ms").map_err(bad)?),
+        None => None,
+    };
+    let trace = match obj.get("trace") {
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(bad("trace must be a boolean".into())),
+        None => false,
+    };
+    let network = parse_network(&obj).map_err(bad)?;
+    if matches!(op, Op::Schedule | Op::Compare | Op::Verify) && network.is_none() {
+        return Err(bad(format!(
+            "op {:?} needs a \"network\" preset name or inline \"layers\"",
+            op.code()
+        )));
+    }
+    Ok(Request {
+        op,
+        id,
+        arch,
+        options,
+        network,
+        deadline_ms,
+        trace,
+    })
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An incremental JSON-object writer: append members, then
+/// [`Obj::finish`] into the serialized line. All protocol responses
+/// are built with this, keeping escaping in one place.
+#[derive(Debug)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Appends a string member.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Appends an unsigned integer member.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Appends a float member (`null` when not finite, which JSON
+    /// cannot represent).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Appends a boolean member.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a pre-serialized JSON value verbatim.
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the serialized text (no trailing
+    /// newline).
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builds a success-response object pre-populated with `ok`, the op
+/// code and the echoed id.
+#[must_use]
+pub fn ok_response(op: Op, id: Option<&str>) -> Obj {
+    let mut o = Obj::new();
+    o.bool("ok", true).str("op", op.code());
+    if let Some(id) = id {
+        o.str("id", id);
+    }
+    o
+}
+
+/// One serialized error-response line (without trailing newline).
+#[must_use]
+pub fn error_line(kind: ErrorKind, id: Option<&str>, message: &str) -> String {
+    let mut o = Obj::new();
+    o.bool("ok", false).str("error", kind.code());
+    if let Some(id) = id {
+        o.str("id", id);
+    }
+    o.str("message", message);
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_ops_parse() {
+        for (line, op) in [
+            (r#"{"op":"health"}"#, Op::Health),
+            (r#"{"op":"stats"}"#, Op::Stats),
+            (r#"{"op":"shutdown"}"#, Op::Shutdown),
+        ] {
+            let req = parse_request(line).unwrap();
+            assert_eq!(req.op, op);
+            assert_eq!(req.arch, ArchPreset::Arch1);
+            assert_eq!(req.options, OptionsName::Quick);
+            assert!(req.network.is_none());
+        }
+    }
+
+    #[test]
+    fn schedule_with_inline_layers_parses() {
+        let line = r#"{"op":"schedule","id":"r1","arch":"arch5","options":"default",
+            "network":"tiny","deadline_ms":250,"trace":true,
+            "layers":[{"name":"c1","in_channels":16,"height":14,"width":14,"out_channels":32}]}"#;
+        let req = parse_request(line).unwrap();
+        assert_eq!(req.op, Op::Schedule);
+        assert_eq!(req.id.as_deref(), Some("r1"));
+        assert_eq!(req.arch, ArchPreset::Arch5);
+        assert_eq!(req.options, OptionsName::Default);
+        assert_eq!(req.deadline_ms, Some(250));
+        assert!(req.trace);
+        let net = req.network.unwrap();
+        assert_eq!(net.name(), "tiny");
+        assert_eq!(net.layers().len(), 1);
+        assert_eq!(net.layers()[0].name(), "c1");
+    }
+
+    #[test]
+    fn preset_networks_resolve_by_name() {
+        let req = parse_request(r#"{"op":"schedule","network":"squeezenet"}"#).unwrap();
+        assert!(req.network.unwrap().layers().len() > 1);
+        let err = parse_request(r#"{"op":"schedule","network":"nope"}"#).unwrap_err();
+        assert_eq!(err.0, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn malformed_and_invalid_requests_get_typed_errors() {
+        assert_eq!(parse_request("not json").unwrap_err().0, ErrorKind::Parse);
+        assert_eq!(parse_request("[1,2]").unwrap_err().0, ErrorKind::BadRequest);
+        assert_eq!(
+            parse_request(r#"{"op":"explode"}"#).unwrap_err().0,
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"schedule"}"#).unwrap_err().0,
+            ErrorKind::BadRequest,
+            "scheduling without a network is rejected"
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"schedule","layers":[]}"#)
+                .unwrap_err()
+                .0,
+            ErrorKind::BadRequest
+        );
+        let long = format!(
+            "{{\"op\":\"health\",\"id\":\"{}\"}}",
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        assert_eq!(parse_request(&long).unwrap_err().0, ErrorKind::Parse);
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        let mut o = ok_response(Op::Health, Some("a\"b"));
+        o.u64("n", 7).f64("x", 1.5).f64("nan", f64::NAN);
+        let line = o.finish();
+        let parsed = flexer_trace::json::parse(&line).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(parsed.get("id").and_then(Json::as_str), Some("a\"b"));
+        assert_eq!(parsed.get("nan"), Some(&Json::Null));
+
+        let err = error_line(ErrorKind::Overloaded, None, "queue full\n");
+        let parsed = flexer_trace::json::parse(&err).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            parsed.get("error").and_then(Json::as_str),
+            Some("overloaded")
+        );
+    }
+}

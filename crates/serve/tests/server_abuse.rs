@@ -1,0 +1,206 @@
+//! The server under abuse: saturation, malformed input, expired
+//! deadlines and graceful shutdown — every failure mode must produce
+//! a *typed* response, never a hang, a panic or a silent close.
+
+use flexer_serve::client::Client;
+use flexer_serve::{Server, ServerConfig};
+use flexer_trace::json::{parse, Json};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+static DIR_ID: AtomicU32 = AtomicU32::new(0);
+
+/// A scratch store directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        Self(std::env::temp_dir().join(format!(
+            "fxs-serve-{tag}-{}-{}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Boots a server on a free loopback port and returns its address and
+/// the thread running it (joined to assert a clean exit).
+fn boot(config: ServerConfig) -> (SocketAddr, JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shutdown_and_join(addr: SocketAddr, handle: JoinHandle<()>) {
+    let reply = flexer_serve::client::roundtrip(addr, r#"{"op":"shutdown"}"#).expect("shutdown");
+    assert!(reply.contains(r#""ok":true"#), "{reply}");
+    handle.join().expect("server thread");
+}
+
+fn assert_ok(line: &str) -> Json {
+    let j = parse(line).unwrap_or_else(|e| panic!("bad JSON {line:?}: {e:?}"));
+    assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+    j
+}
+
+fn assert_error(line: &str, code: &str) -> Json {
+    let j = parse(line).unwrap_or_else(|e| panic!("bad JSON {line:?}: {e:?}"));
+    assert_eq!(j.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+    assert_eq!(j.get("error").and_then(Json::as_str), Some(code), "{line}");
+    j
+}
+
+const TINY_SCHEDULE: &str =
+    r#"{"op":"schedule","layers":[{"in_channels":16,"height":14,"width":14,"out_channels":16}]}"#;
+
+#[test]
+fn health_schedule_stats_round_trip() {
+    let store = Scratch::new("smoke");
+    let (addr, handle) = boot(ServerConfig {
+        store_dir: Some(store.0.clone()),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr).unwrap();
+    assert_ok(&c.roundtrip(r#"{"op":"health","id":"h1"}"#).unwrap());
+
+    let j = assert_ok(&c.roundtrip(TINY_SCHEDULE).unwrap());
+    assert!(j.get("latency").and_then(Json::as_num).unwrap() > 0.0);
+    assert_eq!(j.get("layers").and_then(Json::as_array).unwrap().len(), 1);
+
+    // Same request again: served from the persistent store.
+    let j = assert_ok(&c.roundtrip(TINY_SCHEDULE).unwrap());
+    assert_eq!(j.get("store_hits").and_then(Json::as_num), Some(1.0));
+
+    let j = assert_ok(&c.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    assert!(j.get("requests").and_then(Json::as_num).unwrap() >= 4.0);
+    let s = j.get("store").expect("store block");
+    assert_eq!(s.get("hits").and_then(Json::as_num), Some(1.0));
+    assert_eq!(s.get("entries").and_then(Json::as_num), Some(1.0));
+
+    shutdown_and_join(addr, handle);
+}
+
+#[test]
+fn saturated_pool_sheds_with_typed_overloaded() {
+    let (addr, handle) = boot(ServerConfig {
+        workers: 2,
+        queue: 1,
+        ..ServerConfig::default()
+    });
+    // Two held connections pin both workers (a health round-trip
+    // proves a worker owns each before we move on).
+    let mut held: Vec<Client> = (0..2)
+        .map(|_| {
+            let mut c = Client::connect(addr).unwrap();
+            assert_ok(&c.roundtrip(r#"{"op":"health"}"#).unwrap());
+            c
+        })
+        .collect();
+    // Third connection parks in the accept queue (depth 1)...
+    let queued = Client::connect(addr).unwrap();
+    // ...so the fourth is shed immediately with a typed error, not a
+    // stall. `recv` would hang forever if the server queued it anyway.
+    let mut shed = Client::connect(addr).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    assert_error(&shed.recv().unwrap(), "overloaded");
+
+    // Releasing a worker un-parks the queued connection: it gets a
+    // real worker and full service.
+    drop(held.pop());
+    let mut queued = queued;
+    assert_ok(&queued.roundtrip(r#"{"op":"health"}"#).unwrap());
+
+    let j = assert_ok(&queued.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    assert!(j.get("overloaded").and_then(Json::as_num).unwrap() >= 1.0);
+
+    drop(held);
+    drop(queued);
+    shutdown_and_join(addr, handle);
+}
+
+#[test]
+fn malformed_json_keeps_the_connection_usable() {
+    let (addr, handle) = boot(ServerConfig::default());
+    let mut c = Client::connect(addr).unwrap();
+    assert_error(&c.roundtrip("this is not json").unwrap(), "parse");
+    assert_error(
+        &c.roundtrip(r#"{"op":"no_such_op"}"#).unwrap(),
+        "bad_request",
+    );
+    assert_error(&c.roundtrip(r#"{"op":"schedule"}"#).unwrap(), "bad_request");
+    // After three rejected requests the same connection still works.
+    assert_ok(&c.roundtrip(r#"{"op":"health"}"#).unwrap());
+    shutdown_and_join(addr, handle);
+}
+
+#[test]
+fn expired_deadline_is_reported_not_hung() {
+    let (addr, handle) = boot(ServerConfig::default());
+    let mut c = Client::connect(addr).unwrap();
+    let line = r#"{"op":"schedule","network":"squeezenet","deadline_ms":0,"id":"d1"}"#;
+    let j = assert_error(&c.roundtrip(line).unwrap(), "deadline");
+    assert_eq!(j.get("id").and_then(Json::as_str), Some("d1"));
+    // The connection survives a deadline failure.
+    assert_ok(&c.roundtrip(r#"{"op":"health"}"#).unwrap());
+    shutdown_and_join(addr, handle);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work_and_flushes_the_store() {
+    let store = Scratch::new("drain");
+    let (addr, handle) = boot(ServerConfig {
+        store_dir: Some(store.0.clone()),
+        ..ServerConfig::default()
+    });
+    // An in-flight schedule on one connection...
+    let mut busy = Client::connect(addr).unwrap();
+    busy.send(r#"{"op":"schedule","network":"squeezenet","id":"inflight"}"#)
+        .unwrap();
+    // Give the worker a moment to pick the request up, so the drain
+    // genuinely races in-flight work rather than an idle connection.
+    std::thread::sleep(Duration::from_millis(200));
+    // ...while another connection asks for shutdown.
+    let reply = flexer_serve::client::roundtrip(addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert_ok(&reply);
+    // The in-flight request is drained: its full response arrives.
+    busy.set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let j = assert_ok(&busy.recv().unwrap());
+    assert_eq!(j.get("id").and_then(Json::as_str), Some("inflight"));
+    // The server exits cleanly...
+    handle.join().expect("server thread");
+    // ...the store was written and flushed (squeezenet's layers)...
+    let entries = std::fs::read_dir(&store.0)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "fxs"))
+        .count();
+    assert!(entries > 0, "store should hold the drained schedules");
+    // ...and the port no longer accepts work.
+    assert!(flexer_serve::client::roundtrip(addr, r#"{"op":"health"}"#).is_err());
+}
+
+#[test]
+fn oversized_line_is_a_typed_parse_error() {
+    let (addr, handle) = boot(ServerConfig::default());
+    let mut c = Client::connect(addr).unwrap();
+    let huge = format!(
+        "{{\"op\":\"health\",\"id\":\"{}\"}}",
+        "x".repeat(flexer_serve::MAX_LINE_BYTES + 16)
+    );
+    c.send(&huge).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    assert_error(&c.recv().unwrap(), "parse");
+    shutdown_and_join(addr, handle);
+}

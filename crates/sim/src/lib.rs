@@ -57,6 +57,7 @@ mod render;
 mod schedule;
 mod traffic;
 mod validate;
+pub mod wire;
 
 pub use energy::schedule_energy;
 pub use engine::{Timeline, TimelineError};

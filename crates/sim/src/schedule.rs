@@ -115,6 +115,28 @@ impl SpatialReuseStats {
     pub fn kinds_shared(&self) -> usize {
         self.events.iter().filter(|&&e| e > 0).count()
     }
+
+    pub(crate) fn encode_wire(&self, w: &mut crate::wire::WireWriter) {
+        for &e in &self.events {
+            w.u64(e);
+        }
+        for &b in &self.bytes {
+            w.u64(b);
+        }
+    }
+
+    pub(crate) fn decode_wire(
+        r: &mut crate::wire::WireReader<'_>,
+    ) -> Result<Self, crate::wire::WireError> {
+        let mut out = SpatialReuseStats::default();
+        for e in &mut out.events {
+            *e = r.u64()?;
+        }
+        for b in &mut out.bytes {
+            *b = r.u64()?;
+        }
+        Ok(out)
+    }
 }
 
 /// The executable schedule of one tiled layer: timed compute and
@@ -232,6 +254,66 @@ impl Schedule {
     #[cfg(test)]
     pub(crate) fn set_latency_for_test(&mut self, latency: u64) {
         self.latency = latency;
+    }
+
+    pub(crate) fn encode_wire(&self, w: &mut crate::wire::WireWriter) {
+        w.u32(self.cores);
+        w.usize(self.compute.len());
+        for op in &self.compute {
+            crate::wire::encode_scheduled_op(w, op);
+        }
+        w.usize(self.mem_ops.len());
+        for op in &self.mem_ops {
+            crate::wire::encode_mem_op(w, op);
+        }
+        w.u64(self.latency);
+        w.usize(self.core_busy.len());
+        for &busy in &self.core_busy {
+            w.u64(busy);
+        }
+        self.traffic.encode_wire(w);
+        self.spatial.encode_wire(w);
+        w.f64(self.utilization_sum);
+        w.u64(self.utilization_samples);
+        w.u64(self.compaction_cycles);
+        w.u64(self.compaction_bytes);
+    }
+
+    pub(crate) fn decode_wire(
+        r: &mut crate::wire::WireReader<'_>,
+    ) -> Result<Self, crate::wire::WireError> {
+        let cores = r.u32()?;
+        let n = r.usize()?;
+        let mut compute = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            compute.push(crate::wire::decode_scheduled_op(r)?);
+        }
+        let n = r.usize()?;
+        let mut mem_ops = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            mem_ops.push(crate::wire::decode_mem_op(r)?);
+        }
+        let latency = r.u64()?;
+        let n = r.usize()?;
+        let mut core_busy = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            core_busy.push(r.u64()?);
+        }
+        let traffic = TrafficStats::decode_wire(r)?;
+        let spatial = SpatialReuseStats::decode_wire(r)?;
+        Ok(Schedule {
+            cores,
+            compute,
+            mem_ops,
+            latency,
+            core_busy,
+            traffic,
+            spatial,
+            utilization_sum: r.f64()?,
+            utilization_samples: r.u64()?,
+            compaction_cycles: r.u64()?,
+            compaction_bytes: r.u64()?,
+        })
     }
 }
 
@@ -525,6 +607,40 @@ mod tests {
         assert_eq!(sched.transfer_bytes(), 0);
         assert_eq!(sched.compute_utilization(), 0.0);
         assert_eq!(sched.mean_spm_utilization(), 0.0);
+    }
+
+    #[test]
+    fn wire_round_trip_is_byte_exact() {
+        let mut b = ScheduleBuilder::new(2);
+        let (_, load_end) = b
+            .record_mem_op(
+                MemOpKind::Load,
+                TrafficClass::Input,
+                in_tile(),
+                100,
+                25,
+                Some(OpId::new(0)),
+            )
+            .unwrap();
+        b.record_compute(OpId::new(0), 0, load_end, 50).unwrap();
+        b.record_shared_tile(TileKind::Weight, 32, 2);
+        b.record_spm_utilization(0.625);
+        b.record_compaction(16, 4).unwrap();
+        let sched = b.finish();
+
+        let mut w = crate::wire::WireWriter::new();
+        sched.encode_wire(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::wire::WireReader::new(&bytes);
+        let back = Schedule::decode_wire(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, sched);
+
+        // Re-encoding the decoded value reproduces the same bytes:
+        // the codec is canonical.
+        let mut w2 = crate::wire::WireWriter::new();
+        back.encode_wire(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
     }
 
     #[test]

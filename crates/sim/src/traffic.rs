@@ -175,6 +175,41 @@ impl TrafficStats {
             self.transfers[i] += other.transfers[i];
         }
     }
+
+    pub(crate) fn encode_wire(&self, w: &mut crate::wire::WireWriter) {
+        for &b in &self.bytes {
+            w.u64(b);
+        }
+        for &t in &self.transfers {
+            w.u64(t);
+        }
+        w.usize(self.loads_per_tile.len());
+        // BTreeMap iteration is key-ordered, so the encoding is
+        // canonical for a given value.
+        for (&tile, &count) in &self.loads_per_tile {
+            crate::wire::encode_tile_id(w, tile);
+            w.u32(count);
+        }
+    }
+
+    pub(crate) fn decode_wire(
+        r: &mut crate::wire::WireReader<'_>,
+    ) -> Result<Self, crate::wire::WireError> {
+        let mut out = TrafficStats::default();
+        for b in &mut out.bytes {
+            *b = r.u64()?;
+        }
+        for t in &mut out.transfers {
+            *t = r.u64()?;
+        }
+        let n = r.usize()?;
+        for _ in 0..n {
+            let tile = crate::wire::decode_tile_id(r)?;
+            let count = r.u32()?;
+            out.loads_per_tile.insert(tile, count);
+        }
+        Ok(out)
+    }
 }
 
 impl fmt::Display for TrafficStats {

@@ -1,0 +1,123 @@
+//! Content addresses: a stable 128-bit fingerprint of one search's
+//! identity.
+
+use flexer_arch::ArchConfig;
+use flexer_model::ConvLayer;
+use flexer_sched::wire::canonical_key_bytes;
+use flexer_sched::{SchedulerKind, SearchOptions};
+use std::fmt;
+
+/// Magic bytes identifying a store entry (and salting the
+/// fingerprint).
+pub(crate) const MAGIC: [u8; 4] = *b"FXS1";
+
+/// The on-disk format version. Bump it whenever the entry layout, the
+/// result wire codec, or the canonical key encoding changes: the
+/// version participates in the fingerprint, so old entries become
+/// unreachable instead of being misdecoded. The store crate's golden
+/// fingerprint test pins the current value's output — drift forces a
+/// deliberate bump here.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A 128-bit content address of one (layer shape, arch, options,
+/// scheduler kind, format version) tuple.
+///
+/// Rendered as 32 lowercase hex digits — the store entry's file stem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(u128);
+
+impl Fingerprint {
+    /// The 32-hex-digit rendering used as the entry file stem.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// The raw 128-bit value.
+    #[must_use]
+    pub const fn value(&self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+fn fnv1a_128(chunks: &[&[u8]]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= u128::from(b);
+            h = h.wrapping_mul(FNV128_PRIME);
+        }
+    }
+    h
+}
+
+/// Fingerprints pre-computed canonical key bytes (see
+/// [`flexer_sched::wire::canonical_key_bytes`]). The store magic and
+/// [`FORMAT_VERSION`] are mixed in first, so a format bump re-keys
+/// every entry.
+#[must_use]
+pub fn fingerprint_of_key_bytes(key: &[u8]) -> Fingerprint {
+    Fingerprint(fnv1a_128(&[&MAGIC, &FORMAT_VERSION.to_le_bytes(), key]))
+}
+
+/// The content address of one search: layer *shape* (the name is
+/// irrelevant), architecture, winner-relevant options and scheduler
+/// kind, salted with the store format version.
+#[must_use]
+pub fn fingerprint(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    kind: SchedulerKind,
+) -> Fingerprint {
+    fingerprint_of_key_bytes(&canonical_key_bytes(layer, arch, opts, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::ArchPreset;
+
+    #[test]
+    fn hex_is_32_lowercase_digits() {
+        let fp = fingerprint_of_key_bytes(b"abc");
+        let hex = fp.hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert_eq!(fp.to_string(), hex);
+    }
+
+    #[test]
+    fn distinct_searches_get_distinct_addresses() {
+        let layer = ConvLayer::new("a", 32, 14, 14, 32).unwrap();
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let opts = SearchOptions::quick();
+        let base = fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo);
+        assert_ne!(
+            base,
+            fingerprint(&layer, &arch, &opts, SchedulerKind::Static)
+        );
+        let other_arch = ArchConfig::preset(ArchPreset::Arch5);
+        assert_ne!(
+            base,
+            fingerprint(&layer, &other_arch, &opts, SchedulerKind::Ooo)
+        );
+        let renamed = layer.clone().with_name("b");
+        assert_eq!(
+            base,
+            fingerprint(&renamed, &arch, &opts, SchedulerKind::Ooo),
+            "names are not part of the address"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Persistent, content-addressed schedule cache.
+//!
+//! Flexer's value is a one-time, expensive search per (layer, arch,
+//! options); the in-memory [`MemoCache`](flexer_sched::MemoCache)
+//! amortizes it within a process but dies with the driver. This crate
+//! is the cross-process memo: a directory of schedule entries keyed by
+//! a stable [`Fingerprint`] of the layer shape, the architecture, the
+//! winner-relevant search options, the scheduler kind and the store
+//! format version.
+//!
+//! Design points (DESIGN.md §12):
+//!
+//! * **Content-addressed** — the entry file name *is* the fingerprint,
+//!   32 lowercase hex digits of an FNV-1a 128-bit hash over the
+//!   canonical key bytes ([`flexer_sched::wire::canonical_key_bytes`])
+//!   prefixed with the store magic and format version. Changing any
+//!   winner-relevant knob, or the format version, changes the address;
+//!   stale entries are simply never found.
+//! * **Crash-safe** — entries are written to a temp file in the store
+//!   directory, fsynced, then renamed into place. A torn write can
+//!   leave a temp file (ignored and reaped) but never a half-visible
+//!   entry.
+//! * **Self-validating** — every entry carries a header with magic,
+//!   format version, payload length and an FNV-1a 64 checksum of the
+//!   payload. Anything that fails validation or decoding is a *typed*
+//!   corrupt-entry miss ([`Lookup::Corrupt`]): the entry is deleted,
+//!   the `store_corrupt` counter bumps, and the caller re-schedules
+//!   and repairs. Corruption never panics and never serves a wrong
+//!   schedule.
+//! * **Size-bounded** — when the store grows past its byte capacity, a
+//!   least-recently-used eviction pass deletes old entries (recency is
+//!   in-memory per process, with file modification time as the
+//!   cross-process fallback).
+//! * **Accounted** — hit/miss/evict/corrupt counters merge into
+//!   [`SearchStats`](flexer_sched::SearchStats) via
+//!   [`ScheduleStore::stats`], so warm starts are visible in every
+//!   stats sink the repo already has.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexer_arch::{ArchConfig, ArchPreset};
+//! use flexer_model::ConvLayer;
+//! use flexer_sched::{search_layer, SchedulerKind, SearchOptions};
+//! use flexer_store::{fingerprint, Lookup, ScheduleStore};
+//!
+//! let dir = std::env::temp_dir().join(format!("fxs-doc-{}", std::process::id()));
+//! let store = ScheduleStore::open(&dir)?;
+//! let layer = ConvLayer::new("conv", 32, 14, 14, 32)?;
+//! let arch = ArchConfig::preset(ArchPreset::Arch1);
+//! let opts = SearchOptions::quick();
+//! let fp = fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo);
+//!
+//! assert!(matches!(store.get(fp), Lookup::Miss));
+//! let result = search_layer(&layer, &arch, &opts)?;
+//! store.put(fp, &result)?;
+//! let Lookup::Hit(warm) = store.get(fp) else { panic!("expected hit") };
+//! assert_eq!(warm.schedule, result.schedule);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fingerprint;
+mod store;
+
+pub use fingerprint::{fingerprint, fingerprint_of_key_bytes, Fingerprint, FORMAT_VERSION};
+pub use store::{CorruptKind, Lookup, ScheduleStore, StoreCounters, DEFAULT_CAPACITY_BYTES};

@@ -1,0 +1,580 @@
+//! The on-disk store: atomic entry files, validation, LRU eviction.
+
+use crate::fingerprint::{Fingerprint, FORMAT_VERSION, MAGIC};
+use flexer_sched::wire::{decode_layer_result, encode_layer_result};
+use flexer_sched::{LayerSearchResult, SearchStats};
+use flexer_sim::wire::WireError;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::UNIX_EPOCH;
+
+/// Entry file extension.
+const EXT: &str = "fxs";
+/// Header bytes: magic (4) + version (4) + payload length (8) +
+/// checksum (8).
+const HEADER_LEN: usize = 24;
+
+/// Default byte capacity of a store: 256 MiB — thousands of layer
+/// entries (a quick-options entry is a few KiB).
+pub const DEFAULT_CAPACITY_BYTES: u64 = 256 * 1024 * 1024;
+
+/// Why a store entry was rejected as corrupt. Every variant is a
+/// *miss with a reason*: the entry is deleted and the caller
+/// re-schedules, repairing the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// The file is shorter than the fixed header.
+    TruncatedHeader,
+    /// The magic bytes are not `FXS1`.
+    BadMagic,
+    /// The header's format version is not [`FORMAT_VERSION`]. Should
+    /// be unreachable — the version participates in the address — so
+    /// it indicates a damaged or foreign file.
+    VersionMismatch {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The payload is not as long as the header claims (torn write).
+    LengthMismatch {
+        /// Length claimed by the header.
+        header: u64,
+        /// Length actually present.
+        actual: u64,
+    },
+    /// The payload checksum does not match the header (bit rot or a
+    /// torn write that preserved the length).
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        header: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+    /// The payload passed the checksum but failed to decode — a store
+    /// written by an incompatible build that forgot to bump
+    /// [`FORMAT_VERSION`].
+    Decode(WireError),
+}
+
+impl fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptKind::TruncatedHeader => write!(f, "entry shorter than its header"),
+            CorruptKind::BadMagic => write!(f, "bad magic bytes"),
+            CorruptKind::VersionMismatch { found } => {
+                write!(f, "format version {found} (expected {FORMAT_VERSION})")
+            }
+            CorruptKind::LengthMismatch { header, actual } => {
+                write!(f, "payload length {actual} (header claims {header})")
+            }
+            CorruptKind::ChecksumMismatch { header, actual } => {
+                write!(f, "checksum {actual:#x} (header claims {header:#x})")
+            }
+            CorruptKind::Decode(e) => write!(f, "payload decode failed: {e}"),
+        }
+    }
+}
+
+/// Outcome of a [`ScheduleStore::get`].
+#[derive(Debug)]
+pub enum Lookup {
+    /// The entry was found, validated and decoded.
+    Hit(Box<LayerSearchResult>),
+    /// No entry under this fingerprint.
+    Miss,
+    /// An entry existed but was torn/corrupt; it has been deleted and
+    /// the lookup counts as a miss.
+    Corrupt(CorruptKind),
+}
+
+/// Snapshot of a store's lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Entries deleted by the LRU capacity pass.
+    pub evictions: u64,
+    /// Entries rejected as torn/corrupt (also counted as misses by
+    /// callers; kept separate here).
+    pub corrupt: u64,
+}
+
+/// In-memory recency: fingerprint hex → monotone sequence number.
+/// Files unknown to the map (written by an earlier process) fall back
+/// to their modification time, ordered before every in-process touch.
+#[derive(Debug, Default)]
+struct Recency {
+    next: u64,
+    seq: HashMap<String, u64>,
+}
+
+/// A content-addressed, size-bounded, crash-safe schedule cache rooted
+/// at one directory. See the crate docs for the design.
+///
+/// All methods take `&self`; the store is safe to share across the
+/// worker threads of a scheduling service.
+#[derive(Debug)]
+pub struct ScheduleStore {
+    dir: PathBuf,
+    capacity_bytes: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+    recency: Mutex<Recency>,
+}
+
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ScheduleStore {
+    /// Opens (creating if needed) a store at `dir` with the default
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        Self::with_capacity(dir, DEFAULT_CAPACITY_BYTES)
+    }
+
+    /// Opens (creating if needed) a store at `dir` bounded to
+    /// `capacity_bytes` of entry data. `0` means unbounded.
+    ///
+    /// Leftover temp files from a crashed writer are reaped on open.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory.
+    pub fn with_capacity(dir: impl AsRef<Path>, capacity_bytes: u64) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        // Reap temp files a crashed writer may have left behind.
+        for entry in fs::read_dir(&dir)?.flatten() {
+            let name = entry.file_name();
+            if name.to_string_lossy().starts_with(".tmp-") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(Self {
+            dir,
+            capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            recency: Mutex::new(Recency::default()),
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Lifetime counters of this handle.
+    #[must_use]
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The counters as a [`SearchStats`] delta (only the four store
+    /// fields are nonzero), ready to merge into any stats sink.
+    #[must_use]
+    pub fn stats(&self) -> SearchStats {
+        let c = self.counters();
+        SearchStats {
+            store_hits: c.hits,
+            store_misses: c.misses,
+            store_evictions: c.evictions,
+            store_corrupt: c.corrupt,
+            ..SearchStats::default()
+        }
+    }
+
+    /// Number of entries currently on disk.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error listing the directory.
+    pub fn len(&self) -> io::Result<usize> {
+        Ok(self.entries()?.len())
+    }
+
+    /// Whether the store holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error listing the directory.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.entries()?.is_empty())
+    }
+
+    /// Whether an entry exists under `fp` (without validating it).
+    #[must_use]
+    pub fn contains(&self, fp: Fingerprint) -> bool {
+        self.entry_path(fp).exists()
+    }
+
+    /// Looks up `fp`, validating and decoding the entry.
+    ///
+    /// Counts a hit, a miss, or a corrupt entry (corrupt entries are
+    /// deleted so the next `put` repairs the store). Never panics on
+    /// damaged input and never returns a result whose bytes did not
+    /// checksum.
+    pub fn get(&self, fp: Fingerprint) -> Lookup {
+        let path = self.entry_path(fp);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                // NotFound and transient read errors are both plain
+                // misses: nothing usable exists under this address.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Lookup::Miss;
+            }
+        };
+        match parse_entry(&bytes) {
+            Ok(result) => {
+                self.touch(fp);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Hit(Box::new(result))
+            }
+            Err(kind) => {
+                let _ = fs::remove_file(&path);
+                self.recency
+                    .lock()
+                    .expect("recency lock")
+                    .seq
+                    .remove(&fp.hex());
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                Lookup::Corrupt(kind)
+            }
+        }
+    }
+
+    /// Inserts `result` under `fp` if no entry exists yet; returns
+    /// whether a new entry was written.
+    ///
+    /// The stored copy zeroes the four store counters in
+    /// `result.stats` — they describe *this* process's store traffic,
+    /// not the search — so a warm-started result is byte-identical to
+    /// the cold one. The write is atomic (temp file + fsync + rename)
+    /// and is followed by an LRU eviction pass when the store exceeds
+    /// its capacity.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing the entry.
+    pub fn put(&self, fp: Fingerprint, result: &LayerSearchResult) -> io::Result<bool> {
+        let path = self.entry_path(fp);
+        if path.exists() {
+            self.touch(fp);
+            return Ok(false);
+        }
+        let mut stored = result.clone();
+        stored.stats.store_hits = 0;
+        stored.stats.store_misses = 0;
+        stored.stats.store_evictions = 0;
+        stored.stats.store_corrupt = 0;
+        let payload = encode_layer_result(&stored);
+
+        let mut file_bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        file_bytes.extend_from_slice(&MAGIC);
+        file_bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        file_bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file_bytes.extend_from_slice(&fnv1a_64(&payload).to_le_bytes());
+        file_bytes.extend_from_slice(&payload);
+
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{}-{}", fp.hex(), std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&file_bytes)?;
+            f.sync_all()?;
+        }
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        self.touch(fp);
+        self.evict_to_capacity()?;
+        Ok(true)
+    }
+
+    /// Durably flushes the store: fsyncs the directory so completed
+    /// renames survive power loss. Entry contents are already synced
+    /// by [`ScheduleStore::put`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error syncing the directory.
+    pub fn flush(&self) -> io::Result<()> {
+        fs::File::open(&self.dir)?.sync_all()
+    }
+
+    fn entry_path(&self, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{}.{EXT}", fp.hex()))
+    }
+
+    fn touch(&self, fp: Fingerprint) {
+        let mut r = self.recency.lock().expect("recency lock");
+        r.next += 1;
+        let seq = r.next;
+        r.seq.insert(fp.hex(), seq);
+    }
+
+    /// `(stem, path, size, mtime nanos)` of every entry file.
+    fn entries(&self) -> io::Result<Vec<(String, PathBuf, u64, u128)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)?.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(EXT) {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()).map(str::to_owned) else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta
+                .modified()
+                .ok()
+                .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                .map_or(0, |d| d.as_nanos());
+            out.push((stem, path, meta.len(), mtime));
+        }
+        Ok(out)
+    }
+
+    /// Deletes least-recently-used entries until the store fits its
+    /// capacity. Entries this process never touched order before all
+    /// touched ones, oldest modification time first.
+    fn evict_to_capacity(&self) -> io::Result<()> {
+        if self.capacity_bytes == 0 {
+            return Ok(());
+        }
+        let mut entries = self.entries()?;
+        let mut total: u64 = entries.iter().map(|(_, _, size, _)| size).sum();
+        if total <= self.capacity_bytes {
+            return Ok(());
+        }
+        let recency = self.recency.lock().expect("recency lock");
+        // Sort key: known entries by in-process recency, unknown ones
+        // before them by mtime.
+        entries.sort_by_key(|(stem, _, _, mtime)| match recency.seq.get(stem) {
+            Some(&seq) => (1u8, u128::from(seq)),
+            None => (0u8, *mtime),
+        });
+        drop(recency);
+        for (stem, path, size, _) in entries {
+            if total <= self.capacity_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(size);
+                self.recency.lock().expect("recency lock").seq.remove(&stem);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates and decodes one entry file.
+fn parse_entry(bytes: &[u8]) -> Result<LayerSearchResult, CorruptKind> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CorruptKind::TruncatedHeader);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(CorruptKind::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(CorruptKind::VersionMismatch { found: version });
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != payload_len {
+        return Err(CorruptKind::LengthMismatch {
+            header: payload_len,
+            actual: payload.len() as u64,
+        });
+    }
+    let actual = fnv1a_64(payload);
+    if actual != checksum {
+        return Err(CorruptKind::ChecksumMismatch {
+            header: checksum,
+            actual,
+        });
+    }
+    decode_layer_result(payload).map_err(CorruptKind::Decode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint_of_key_bytes;
+    use flexer_arch::{ArchConfig, ArchPreset};
+    use flexer_model::ConvLayer;
+    use flexer_sched::{search_layer, SearchOptions};
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_ID: AtomicU32 = AtomicU32::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "fxs-test-{tag}-{}-{}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample_result() -> LayerSearchResult {
+        let layer = ConvLayer::new("t", 32, 14, 14, 32).unwrap();
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        search_layer(&layer, &arch, &opts).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let dir = scratch_dir("roundtrip");
+        let store = ScheduleStore::open(&dir).unwrap();
+        let fp = fingerprint_of_key_bytes(b"k1");
+        assert!(matches!(store.get(fp), Lookup::Miss));
+        let result = sample_result();
+        assert!(store.put(fp, &result).unwrap());
+        assert!(store.contains(fp));
+        assert_eq!(store.len().unwrap(), 1);
+        let Lookup::Hit(warm) = store.get(fp) else {
+            panic!("expected hit");
+        };
+        assert_eq!(warm.schedule, result.schedule);
+        assert_eq!(warm.score.to_bits(), result.score.to_bits());
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses, c.corrupt), (1, 1, 0));
+        assert_eq!(store.stats().store_hits, 1);
+        store.flush().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_put_is_a_noop() {
+        let dir = scratch_dir("noop");
+        let store = ScheduleStore::open(&dir).unwrap();
+        let fp = fingerprint_of_key_bytes(b"k1");
+        let result = sample_result();
+        assert!(store.put(fp, &result).unwrap());
+        assert!(!store.put(fp, &result).unwrap(), "existing entry kept");
+        assert_eq!(store.len().unwrap(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stored_entries_survive_reopen() {
+        let dir = scratch_dir("reopen");
+        let fp = fingerprint_of_key_bytes(b"k1");
+        let result = sample_result();
+        {
+            let store = ScheduleStore::open(&dir).unwrap();
+            store.put(fp, &result).unwrap();
+            store.flush().unwrap();
+        }
+        let store = ScheduleStore::open(&dir).unwrap();
+        let Lookup::Hit(warm) = store.get(fp) else {
+            panic!("expected hit after reopen");
+        };
+        assert_eq!(warm.schedule, result.schedule);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stored_store_counters_are_zeroed() {
+        let dir = scratch_dir("zeroed");
+        let store = ScheduleStore::open(&dir).unwrap();
+        let fp = fingerprint_of_key_bytes(b"k1");
+        let mut result = sample_result();
+        result.stats.store_hits = 42;
+        result.stats.store_misses = 7;
+        store.put(fp, &result).unwrap();
+        let Lookup::Hit(warm) = store.get(fp) else {
+            panic!("expected hit");
+        };
+        assert_eq!(warm.stats.store_hits, 0);
+        assert_eq!(warm.stats.store_misses, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_bounds_size_and_keeps_recent() {
+        let dir = scratch_dir("lru");
+        let result = sample_result();
+        let entry_bytes = (HEADER_LEN + encode_layer_result(&result).len()) as u64;
+        // Room for two entries, not three.
+        let store = ScheduleStore::with_capacity(&dir, entry_bytes * 2).unwrap();
+        let fps: Vec<Fingerprint> = (0..3u8).map(|i| fingerprint_of_key_bytes(&[i])).collect();
+        store.put(fps[0], &result).unwrap();
+        store.put(fps[1], &result).unwrap();
+        // Touch fps[0] so fps[1] is the LRU victim.
+        assert!(matches!(store.get(fps[0]), Lookup::Hit(_)));
+        store.put(fps[2], &result).unwrap();
+        assert_eq!(store.counters().evictions, 1);
+        assert!(store.contains(fps[0]), "recently used entry kept");
+        assert!(!store.contains(fps[1]), "LRU entry evicted");
+        assert!(store.contains(fps[2]), "new entry kept");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unbounded_store_never_evicts() {
+        let dir = scratch_dir("unbounded");
+        let store = ScheduleStore::with_capacity(&dir, 0).unwrap();
+        let result = sample_result();
+        for i in 0..4u8 {
+            store.put(fingerprint_of_key_bytes(&[i]), &result).unwrap();
+        }
+        assert_eq!(store.len().unwrap(), 4);
+        assert_eq!(store.counters().evictions, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_temp_files_are_reaped_on_open() {
+        let dir = scratch_dir("reap");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(".tmp-deadbeef-1"), b"torn").unwrap();
+        let store = ScheduleStore::open(&dir).unwrap();
+        assert!(!dir.join(".tmp-deadbeef-1").exists());
+        assert_eq!(store.len().unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_entry_files_are_ignored() {
+        let dir = scratch_dir("ignore");
+        let store = ScheduleStore::open(&dir).unwrap();
+        fs::write(dir.join("README.txt"), b"not an entry").unwrap();
+        assert_eq!(store.len().unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,182 @@
+//! Corruption drills: damage entries on disk and assert the store
+//! reports a typed corrupt-entry miss — then repairs itself on the
+//! next put — rather than panicking or serving a wrong schedule.
+
+use flexer_arch::{ArchConfig, ArchPreset};
+use flexer_model::ConvLayer;
+use flexer_sched::{search_layer, LayerSearchResult, SchedulerKind, SearchOptions};
+use flexer_store::{fingerprint, CorruptKind, Fingerprint, Lookup, ScheduleStore};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static DIR_ID: AtomicU32 = AtomicU32::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fxs-corrupt-{tag}-{}-{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+struct Fixture {
+    dir: PathBuf,
+    store: ScheduleStore,
+    fp: Fingerprint,
+    result: LayerSearchResult,
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// A store holding one real searched entry.
+fn fixture(tag: &str) -> Fixture {
+    let dir = scratch_dir(tag);
+    let store = ScheduleStore::open(&dir).unwrap();
+    let layer = ConvLayer::new("t", 32, 14, 14, 32).unwrap();
+    let arch = ArchConfig::preset(ArchPreset::Arch1);
+    let mut opts = SearchOptions::quick();
+    opts.threads = 1;
+    let fp = fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo);
+    let result = search_layer(&layer, &arch, &opts).unwrap();
+    store.put(fp, &result).unwrap();
+    Fixture {
+        dir,
+        store,
+        fp,
+        result,
+    }
+}
+
+/// The single entry file of the fixture's store.
+fn entry_file(f: &Fixture) -> PathBuf {
+    let mut files: Vec<PathBuf> = fs::read_dir(&f.dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("fxs"))
+        .collect();
+    assert_eq!(files.len(), 1);
+    files.pop().unwrap()
+}
+
+/// Asserts the corrupt entry was deleted and a fresh put repairs the
+/// store so the next lookup hits with the original schedule.
+fn assert_repairs(f: &Fixture) {
+    assert!(
+        !f.store.contains(f.fp),
+        "corrupt entry must be deleted, not left to fail again"
+    );
+    assert!(f.store.put(f.fp, &f.result).unwrap(), "repair put writes");
+    let Lookup::Hit(warm) = f.store.get(f.fp) else {
+        panic!("repaired entry must hit");
+    };
+    assert_eq!(warm.schedule, f.result.schedule);
+}
+
+#[test]
+fn truncated_payload_is_a_typed_miss_and_repairs() {
+    let f = fixture("truncate");
+    let path = entry_file(&f);
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+    match f.store.get(f.fp) {
+        Lookup::Corrupt(CorruptKind::LengthMismatch { header, actual }) => {
+            assert_eq!(actual + 7, header);
+        }
+        other => panic!("expected LengthMismatch, got {other:?}"),
+    }
+    assert_eq!(f.store.counters().corrupt, 1);
+    assert_repairs(&f);
+}
+
+#[test]
+fn truncation_inside_the_header_is_a_typed_miss() {
+    let f = fixture("truncate-header");
+    let path = entry_file(&f);
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..10]).unwrap();
+    assert!(matches!(
+        f.store.get(f.fp),
+        Lookup::Corrupt(CorruptKind::TruncatedHeader)
+    ));
+    assert_repairs(&f);
+}
+
+#[test]
+fn bit_flipped_payload_is_a_typed_miss_and_repairs() {
+    let f = fixture("bitflip");
+    let path = entry_file(&f);
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = 24 + (bytes.len() - 24) / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        f.store.get(f.fp),
+        Lookup::Corrupt(CorruptKind::ChecksumMismatch { .. })
+    ));
+    assert_eq!(f.store.counters().corrupt, 1);
+    assert_repairs(&f);
+}
+
+#[test]
+fn bit_flipped_magic_is_a_typed_miss() {
+    let f = fixture("magic");
+    let path = entry_file(&f);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[0] ^= 0xff;
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        f.store.get(f.fp),
+        Lookup::Corrupt(CorruptKind::BadMagic)
+    ));
+    assert_repairs(&f);
+}
+
+#[test]
+fn foreign_format_version_is_a_typed_miss() {
+    let f = fixture("version");
+    let path = entry_file(&f);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[4] = 99;
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        f.store.get(f.fp),
+        Lookup::Corrupt(CorruptKind::VersionMismatch { found: 99 })
+    ));
+    assert_repairs(&f);
+}
+
+#[test]
+fn garbage_file_under_a_valid_address_never_panics() {
+    let f = fixture("garbage");
+    let path = entry_file(&f);
+    // Arbitrary junk of various sizes, including empty.
+    for junk in [&b""[..], &b"x"[..], &[0u8; 24][..], &[0xAAu8; 4096][..]] {
+        fs::write(&path, junk).unwrap();
+        assert!(matches!(f.store.get(f.fp), Lookup::Corrupt(_)));
+        // Re-seed the entry for the next round.
+        f.store.put(f.fp, &f.result).unwrap();
+    }
+}
+
+#[test]
+fn corrupt_lookup_counts_separately_from_plain_misses() {
+    let f = fixture("counts");
+    let path = entry_file(&f);
+    let mut bytes = fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    fs::write(&path, &bytes).unwrap();
+    assert!(matches!(f.store.get(f.fp), Lookup::Corrupt(_)));
+    // The entry is gone now: a second lookup is a *plain* miss.
+    assert!(matches!(f.store.get(f.fp), Lookup::Miss));
+    let c = f.store.counters();
+    assert_eq!(c.corrupt, 1);
+    assert_eq!(c.misses, 1);
+    assert_eq!(c.hits, 0);
+}

@@ -1,0 +1,85 @@
+//! Golden pin of the store fingerprint for a fixed (arch, layer,
+//! options) triple.
+//!
+//! The fingerprint is the content address of a persisted schedule: it
+//! hashes the canonical key bytes (layer shape, architecture, every
+//! winner-relevant search knob, scheduler kind) together with the
+//! store format version. If this test fails, the key encoding or the
+//! memo-relevant option set drifted — which would silently serve stale
+//! schedules to old stores. The fix is never to update the constant
+//! alone: bump `flexer_store::FORMAT_VERSION` (re-keying every entry),
+//! then re-pin.
+
+use flexer_arch::{ArchConfig, ArchPreset};
+use flexer_model::ConvLayer;
+use flexer_sched::{SchedulerKind, SearchOptions};
+use flexer_store::{fingerprint, FORMAT_VERSION};
+
+/// The pinned address of (Arch1, conv 32x14x14 -> 32, quick options,
+/// OoO scheduler) under store format version 1.
+const GOLDEN_OOO: &str = "abb9366dcfeef298773e5fc031318bab";
+/// Same triple under the static baseline scheduler.
+const GOLDEN_STATIC: &str = "08394b64fdbc6f2c3a12e6027b0d88a2";
+
+fn triple() -> (ConvLayer, ArchConfig, SearchOptions) {
+    (
+        ConvLayer::new("golden", 32, 14, 14, 32).unwrap(),
+        ArchConfig::preset(ArchPreset::Arch1),
+        SearchOptions::quick(),
+    )
+}
+
+#[test]
+fn fingerprint_bytes_are_pinned() {
+    assert_eq!(FORMAT_VERSION, 1, "format bumped: re-pin the goldens");
+    let (layer, arch, opts) = triple();
+    assert_eq!(
+        fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo).hex(),
+        GOLDEN_OOO,
+        "key encoding drifted — bump flexer_store::FORMAT_VERSION, then re-pin"
+    );
+    assert_eq!(
+        fingerprint(&layer, &arch, &opts, SchedulerKind::Static).hex(),
+        GOLDEN_STATIC,
+        "key encoding drifted — bump flexer_store::FORMAT_VERSION, then re-pin"
+    );
+}
+
+#[test]
+fn fingerprint_is_stable_across_calls() {
+    let (layer, arch, opts) = triple();
+    let a = fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo);
+    let b = fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn winner_neutral_options_do_not_move_the_address() {
+    let (layer, arch, mut opts) = triple();
+    let base = fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo);
+    opts.validate = true;
+    opts.prune = false;
+    opts.threads = 3;
+    assert_eq!(fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo), base);
+}
+
+#[test]
+fn winner_relevant_options_move_the_address() {
+    let (layer, arch, opts) = triple();
+    let base = fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo);
+    let mut metric = opts.clone();
+    metric.metric = flexer_sched::Metric::Latency;
+    assert_ne!(
+        fingerprint(&layer, &arch, &metric, SchedulerKind::Ooo),
+        base
+    );
+    let mut tiling = opts.clone();
+    tiling.tiling.max_ops += 1;
+    assert_ne!(
+        fingerprint(&layer, &arch, &tiling, SchedulerKind::Ooo),
+        base
+    );
+    let mut flows = opts;
+    flows.dataflows.pop();
+    assert_ne!(fingerprint(&layer, &arch, &flows, SchedulerKind::Ooo), base);
+}

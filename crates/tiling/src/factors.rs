@@ -55,6 +55,20 @@ impl TilingFactors {
         Self { k, c, h, w }
     }
 
+    /// Reconstructs factors from already-normalized raw counts, e.g.
+    /// when decoding a persisted schedule record. The counts are taken
+    /// verbatim (zeroes are clamped to 1); pair only with values that
+    /// came out of [`TilingFactors::normalized`].
+    #[must_use]
+    pub fn from_raw(k: u32, c: u32, h: u32, w: u32) -> Self {
+        Self {
+            k: k.max(1),
+            c: c.max(1),
+            h: h.max(1),
+            w: w.max(1),
+        }
+    }
+
     /// Number of output-channel tiles.
     #[must_use]
     pub const fn k(&self) -> u32 {

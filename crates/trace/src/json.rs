@@ -42,6 +42,15 @@ impl Json {
         }
     }
 
+    /// The value when this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value when this is a number.
     #[must_use]
     pub fn as_num(&self) -> Option<f64> {

@@ -1,0 +1,213 @@
+//! End-to-end warm start through the persistent schedule store: the
+//! same network scheduled twice via [`Flexer::with_store`] — by two
+//! *separate* driver instances, as two processes would — must yield
+//! byte-identical per-layer results (modulo the store hit/miss
+//! counters themselves), with the second run hitting the store for
+//! every layer.
+
+use flexer::prelude::*;
+use flexer_sched::wire::encode_layer_result;
+use flexer_sched::LayerSearchResult;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static DIR_ID: AtomicU32 = AtomicU32::new(0);
+
+/// A scratch store directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        Self(std::env::temp_dir().join(format!(
+            "fxs-warm-{tag}-{}-{}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::Relaxed)
+        )))
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Three distinct layer shapes, so every layer has its own store
+/// entry (duplicate shapes share one entry by design: the first
+/// searched winner is persisted and replayed for all of them).
+fn distinct_net() -> Network {
+    Network::new(
+        "warm",
+        vec![
+            ConvLayer::new("c1", 16, 14, 14, 32).unwrap(),
+            ConvLayer::new("c2", 32, 14, 14, 48).unwrap(),
+            ConvLayer::new("c3", 48, 7, 7, 64).unwrap(),
+        ],
+    )
+    .unwrap()
+}
+
+fn driver(dir: &Scratch) -> Flexer {
+    Flexer::new(ArchConfig::preset(ArchPreset::Arch1))
+        .with_options(SearchOptions::quick())
+        .with_store(&dir.0)
+        .unwrap()
+}
+
+/// The canonical wire encoding with the store counters masked out —
+/// everything else (schedule, factors, dataflow, score, points, every
+/// other stat) must match bit-for-bit between cold and warm runs.
+fn masked_bytes(r: &LayerSearchResult) -> Vec<u8> {
+    let mut r = r.clone();
+    r.stats.store_hits = 0;
+    r.stats.store_misses = 0;
+    encode_layer_result(&r)
+}
+
+#[test]
+fn warm_run_is_byte_identical_and_hits_every_layer() {
+    let dir = Scratch::new("bytes");
+    let net = distinct_net();
+
+    let cold = driver(&dir).schedule_network(&net).unwrap();
+    for l in cold.layers() {
+        assert_eq!(l.stats.store_misses, 1, "{}: cold run must miss", l.layer);
+        assert_eq!(l.stats.store_hits, 0);
+    }
+
+    // A fresh driver instance: its in-memory memo cache is empty, so
+    // any reuse can only come from the persistent store.
+    let warm_driver = driver(&dir);
+    let warm = warm_driver.schedule_network(&net).unwrap();
+    for l in warm.layers() {
+        assert_eq!(l.stats.store_hits, 1, "{}: warm run must hit", l.layer);
+        assert_eq!(l.stats.store_misses, 0);
+    }
+    let c = warm_driver.store().unwrap().counters();
+    assert_eq!(c.hits, 3);
+    assert_eq!(c.misses, 0);
+
+    assert_eq!(cold.layers().len(), warm.layers().len());
+    for (c, w) in cold.layers().iter().zip(warm.layers()) {
+        assert_eq!(c.layer, w.layer, "store hits keep the requested name");
+        assert_eq!(
+            masked_bytes(c),
+            masked_bytes(w),
+            "{}: warm result must be byte-identical to cold",
+            c.layer
+        );
+    }
+}
+
+#[test]
+fn verify_network_warm_starts_and_reverifies_hits() {
+    let dir = Scratch::new("verify");
+    let net = distinct_net();
+
+    // Seed only the OoO entries.
+    driver(&dir).schedule_network(&net).unwrap();
+
+    // `validate` is winner-neutral, so verify_network's OoO side hits
+    // the seeded entries — and must re-verify them before trusting.
+    let d = driver(&dir);
+    let cmp = d.verify_network(&net).unwrap();
+    for l in cmp.flexer().layers() {
+        assert_eq!(
+            l.stats.store_hits, 1,
+            "{}: OoO side must warm-start",
+            l.layer
+        );
+        assert!(
+            l.stats.schedules_verified > 0,
+            "{}: hit not re-verified",
+            l.layer
+        );
+    }
+    // The static side was never searched before: misses, now persisted.
+    for l in cmp.baseline().layers() {
+        assert_eq!(l.stats.store_misses, 1, "{}: static side is cold", l.layer);
+    }
+
+    // A second verify hits both sides.
+    let again = driver(&dir).verify_network(&net).unwrap();
+    for l in again
+        .flexer()
+        .layers()
+        .iter()
+        .chain(again.baseline().layers())
+    {
+        assert_eq!(l.stats.store_hits, 1, "{}: second verify must hit", l.layer);
+        assert!(l.stats.schedules_verified > 0);
+    }
+}
+
+#[test]
+fn duplicate_shapes_share_one_entry() {
+    let dir = Scratch::new("dup");
+    let net = Network::new(
+        "dup",
+        vec![
+            ConvLayer::new("a", 32, 14, 14, 32).unwrap(),
+            ConvLayer::new("b", 32, 14, 14, 32).unwrap(),
+        ],
+    )
+    .unwrap();
+
+    let d = driver(&dir);
+    let cold = d.schedule_network(&net).unwrap();
+    assert_eq!(d.store().unwrap().len().unwrap(), 1, "one shape, one entry");
+    for l in cold.layers() {
+        assert_eq!(l.stats.store_misses, 1);
+    }
+
+    let warm = driver(&dir).schedule_network(&net).unwrap();
+    for l in warm.layers() {
+        assert_eq!(l.stats.store_hits, 1);
+    }
+    assert_eq!(warm.layers()[0].layer, "a");
+    assert_eq!(warm.layers()[1].layer, "b");
+    assert_eq!(
+        warm.layers()[0].schedule,
+        warm.layers()[1].schedule,
+        "both duplicates replay the shared persisted winner"
+    );
+}
+
+#[test]
+fn corrupt_entry_is_researched_and_repaired_transparently() {
+    let dir = Scratch::new("repair");
+    let net = distinct_net();
+    driver(&dir).schedule_network(&net).unwrap();
+
+    // Damage every entry on disk.
+    for entry in std::fs::read_dir(&dir.0).unwrap().flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("fxs") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+    }
+
+    let d = driver(&dir);
+    let r = d.schedule_network(&net).unwrap();
+    for l in r.layers() {
+        assert_eq!(
+            l.stats.store_misses, 1,
+            "{}: corrupt entry re-searches",
+            l.layer
+        );
+    }
+    assert_eq!(d.store().unwrap().counters().corrupt, 3);
+
+    // The re-search repaired the store: next run hits cleanly.
+    let warm = driver(&dir).schedule_network(&net).unwrap();
+    for l in warm.layers() {
+        assert_eq!(
+            l.stats.store_hits, 1,
+            "{}: repaired entry must hit",
+            l.layer
+        );
+    }
+}
