@@ -21,6 +21,21 @@ cargo test -q --test trace_pipeline
 # (asserted inside bench_json) while the pruned one is faster. Also
 # emits a sample search trace (validated on write) as a CI artifact.
 FLEXER_BENCH_ITERS="${FLEXER_BENCH_ITERS:-3}" ./target/release/bench_json --trace-out trace.json
+# Solver-seeding gate: on both reference presets the seeded search must
+# schedule strictly fewer candidates to completion than the unseeded
+# one while returning byte-identical winners layer for layer — both
+# hard-asserted inside bench_json --seed, which exits non-zero (and
+# prints no "seed gate" lines) on violation.
+seed_out="$(FLEXER_BENCH_ITERS="${FLEXER_BENCH_ITERS:-3}" ./target/release/bench_json --seed)"
+echo "$seed_out"
+if [ "$(grep -c '^seed gate arch' <<<"$seed_out")" -lt 2 ]; then
+    echo "check.sh: bench_json --seed did not report both presets" >&2
+    exit 1
+fi
+# Anytime gate: an expiring deadline yields a partial result with a
+# proven gap instead of a typed deadline error.
+cargo test -q -p flexer-serve anytime
+cargo test -q --test seeded_search
 # Store and serving suites: fingerprint pinning, corruption handling,
 # warm-start byte identity, server abuse (saturation, malformed input,
 # deadlines, graceful drain).

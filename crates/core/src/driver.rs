@@ -4,7 +4,7 @@ use crate::report::{NetworkComparison, NetworkResult};
 use flexer_arch::ArchConfig;
 use flexer_model::{ConvLayer, Network};
 use flexer_sched::{
-    search_layer_cached, search_layer_static_cached, search_network_cached,
+    search_layer_cached, search_layer_deadline, search_layer_static_cached, search_network_cached,
     search_network_static_cached, search_network_traced_cached, verify_layer_result,
     LayerSearchResult, MemoCache, SchedError, SchedulerKind, SearchOptions,
 };
@@ -13,6 +13,7 @@ use flexer_trace::Trace;
 use std::fmt;
 use std::io;
 use std::path::Path;
+use std::time::Instant;
 
 /// A network search together with the trace it recorded — the return
 /// value of [`Flexer::trace_network`].
@@ -205,8 +206,13 @@ impl Flexer {
             for ((i, fp, _), mut result) in misses.into_iter().zip(searched) {
                 result.stats.store_misses = 1;
                 // Persisting is best-effort: a full disk must not fail
-                // the search that just succeeded.
-                let _ = store.put(fp, &result);
+                // the search that just succeeded. Only exact winners
+                // are durable — an anytime result is deadline-specific
+                // and must never masquerade as the proven optimum on a
+                // later, unhurried run.
+                if result.is_exact() {
+                    let _ = store.put(fp, &result);
+                }
                 slots[i] = Some(result);
             }
         }
@@ -242,6 +248,30 @@ impl Flexer {
             return Ok(v.pop().expect("one layer in, one result out"));
         }
         search_layer_cached(layer, &self.arch, &self.options, &self.cache)
+    }
+
+    /// [`Flexer::schedule_layer`] under an *anytime* deadline: the
+    /// out-of-order search runs until `deadline` (forever when `None`)
+    /// and then returns the best schedule found so far instead of
+    /// failing, tagged [`flexer_sched::SearchOutcome::Anytime`] with a
+    /// proven optimality gap. The first candidate always runs even
+    /// under an already-expired deadline, so the result is always a
+    /// real, verifiable schedule.
+    ///
+    /// Deadline-cut results are deliberately *not* read from or
+    /// written to the persistent store or the memo cache — both keep
+    /// only proven optima, and an anytime result depends on wall-clock
+    /// luck, not just the search key.
+    ///
+    /// # Errors
+    ///
+    /// As [`Flexer::schedule_layer`].
+    pub fn schedule_layer_anytime(
+        &self,
+        layer: &ConvLayer,
+        deadline: Option<Instant>,
+    ) -> Result<LayerSearchResult, SchedError> {
+        search_layer_deadline(layer, &self.arch, &self.options, deadline)
     }
 
     /// Finds the best static loop-order schedule for one layer — the
@@ -436,6 +466,20 @@ mod tests {
         assert!(line.contains("rollback"), "{line}");
         let table = d.compare_network(&net).unwrap().render_table();
         assert!(table.contains("search effort"), "{table}");
+        assert!(
+            !table.contains("seeding (flexer)"),
+            "seed line without seeding: {table}"
+        );
+    }
+
+    #[test]
+    fn seeded_search_reports_its_seed_line() {
+        let mut opts = SearchOptions::quick();
+        opts.seed.enabled = true;
+        let d = Flexer::new(ArchConfig::preset(ArchPreset::Arch1)).with_options(opts);
+        let table = d.compare_network(&tiny_net()).unwrap().render_table();
+        assert!(table.contains("seeding (flexer)"), "{table}");
+        assert!(table.contains("ppm"), "{table}");
     }
 
     #[test]
@@ -515,5 +559,53 @@ mod tests {
     #[test]
     fn display_shows_arch() {
         assert!(driver().to_string().contains("2 cores"));
+    }
+
+    #[test]
+    fn anytime_layer_beats_an_expired_deadline() {
+        let d = driver();
+        let layer = ConvLayer::new("c", 32, 14, 14, 32).unwrap();
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let r = d.schedule_layer_anytime(&layer, Some(past)).unwrap();
+        assert!(!r.is_exact());
+        let gap = r.gap().unwrap();
+        assert!(gap >= 1.0 && gap.is_finite(), "gap {gap}");
+        assert!(r.schedule.latency() > 0);
+        // A generous deadline degenerates to the exact search.
+        let exact = d.schedule_layer(&layer).unwrap();
+        assert!(exact.is_exact());
+        let generous = d
+            .schedule_layer_anytime(
+                &layer,
+                Some(Instant::now() + std::time::Duration::from_secs(3600)),
+            )
+            .unwrap();
+        assert!(generous.is_exact());
+        assert_eq!(generous.schedule, exact.schedule);
+    }
+
+    #[test]
+    fn anytime_results_stay_out_of_the_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "flexer-anytime-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = driver().with_store(&dir).unwrap();
+        let layer = ConvLayer::new("c", 32, 14, 14, 32).unwrap();
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let partial = d.schedule_layer_anytime(&layer, Some(past)).unwrap();
+        assert!(!partial.is_exact());
+        assert_eq!(
+            d.store().unwrap().len().unwrap(),
+            0,
+            "anytime result persisted"
+        );
+        // The exact search persists as usual.
+        let exact = d.schedule_layer(&layer).unwrap();
+        assert!(exact.is_exact());
+        assert_eq!(d.store().unwrap().len().unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -66,6 +66,7 @@ pub use flexer_arch as arch;
 pub use flexer_model as model;
 pub use flexer_sched as sched;
 pub use flexer_sim as sim;
+pub use flexer_solve as solve;
 pub use flexer_spm as spm;
 pub use flexer_store as store;
 pub use flexer_tiling as tiling;
@@ -81,8 +82,8 @@ pub mod prelude {
     };
     pub use flexer_model::{networks, scale_spatial, ConvLayer, ConvLayerBuilder, Network};
     pub use flexer_sched::{
-        EvalMode, Metric, PriorityPolicy, SearchOptions, SearchStats, SpillPolicyChoice,
-        TraceOptions,
+        EvalMode, Metric, PriorityPolicy, SearchOptions, SearchOutcome, SearchStats, SeedOptions,
+        SpillPolicyChoice, TraceOptions,
     };
     pub use flexer_sim::{
         onchip_reference_traffic, schedule_energy, schedule_trace, validate_schedule, TrafficClass,

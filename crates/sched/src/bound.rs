@@ -1,73 +1,24 @@
-//! Admissible lower bounds and the branch-and-bound machinery of the
-//! tiling × dataflow search.
+//! The branch-and-bound machinery of the tiling × dataflow search.
 //!
-//! For every (layer, tiling) pair the search computes — *before*
-//! running any scheduler — a [`ScheduleBound`] that no legal schedule
-//! can beat:
+//! The admissible [`ScheduleBound`] and its constructor
+//! [`lower_bound`] live in `flexer-solve` — the analytical solver and
+//! the exact search share one definition of "no schedule can beat
+//! this" — and are re-exported here. This module keeps the pieces that
+//! only make sense inside a running search:
 //!
-//! * **latency** ≥ max(compute envelope packed on `n` cores, serial
-//!   DMA time of the compulsory traffic). Compute can at best be
-//!   perfectly load-balanced and the single shared DMA channel must
-//!   move every compulsory tile at least once.
-//! * **transfer** ≥ compulsory bytes: each distinct input and weight
-//!   tile is loaded at least once and each output tile stored once.
+//! * [`Incumbent`] — the best score found so far for one layer,
+//!   shared lock-free across worker threads;
+//! * [`Cutoff`] — the strict comparison against the incumbent that
+//!   aborts provably-losing candidates mid-schedule.
 //!
-//! Both terms are dataflow-independent, so one bound covers all six
-//! dataflows of a tiling. Because every monotone [`Metric`] is
-//! non-decreasing in (latency, transfer),
-//! `metric.score(bound.latency, bound.transfer_bytes)` never exceeds
-//! the true score of any schedule of that work item — the bound is
-//! *admissible*, and pruning on it is exact (see DESIGN.md §10).
+//! Because the bound is admissible and the cutoff strict, pruning is
+//! exact: winners are byte-identical to the exhaustive search's (see
+//! DESIGN.md §10).
 
 use crate::metric::{decode_score, encode_score, Metric};
-use flexer_arch::{ArchConfig, PerfModel};
-use flexer_model::ConvLayer;
-use flexer_tiling::{compute_envelope, CompulsoryTiles, TilingFactors};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Admissible lower bounds on the cost of any schedule of one
-/// (layer, tiling) pair, valid for every dataflow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ScheduleBound {
-    /// Lower bound on the schedule makespan, in cycles.
-    pub latency: u64,
-    /// Lower bound on the transferred bytes.
-    pub transfer_bytes: u64,
-}
-
-impl ScheduleBound {
-    /// Scores the bound under `metric`; by admissibility this never
-    /// exceeds the score of any real schedule of the work item.
-    #[must_use]
-    pub fn score(&self, metric: Metric) -> f64 {
-        metric.score(self.latency, self.transfer_bytes)
-    }
-}
-
-/// Computes the admissible [`ScheduleBound`] of `layer` tiled by
-/// `factors` on `arch` under `perf`.
-#[must_use]
-pub fn lower_bound(
-    layer: &ConvLayer,
-    arch: &ArchConfig,
-    perf: &dyn PerfModel,
-    factors: &TilingFactors,
-) -> ScheduleBound {
-    let env = compute_envelope(layer, factors, perf);
-    let compute = perf.packed_compute_cycles(
-        env.total_cycles,
-        env.max_op_cycles,
-        env.chain_cycles,
-        arch.cores(),
-    );
-    let tiles = CompulsoryTiles::compute(layer, factors, arch.element_size().bytes());
-    let sizes: Vec<u64> = tiles.transfer_sizes().collect();
-    let dma = perf.serial_dma_cycles(&sizes);
-    ScheduleBound {
-        latency: compute.max(dma),
-        transfer_bytes: tiles.total_bytes(),
-    }
-}
+pub use flexer_solve::{lower_bound, ScheduleBound};
 
 /// The best score found so far for one layer, shared across worker
 /// threads.
@@ -113,7 +64,10 @@ impl Default for Incumbent {
 /// aborts with [`crate::SchedError::Pruned`]. Strictness is what keeps
 /// pruning exact: a candidate tying the incumbent is still scheduled to
 /// completion, preserving the exhaustive search's first-in-work-order
-/// tie-break.
+/// tie-break. The same strictness makes *seeding* the incumbent with
+/// an analytically found schedule winner-neutral: a seeded cutoff can
+/// only skip candidates that provably lose to a schedule the search
+/// itself would also have found and preferred.
 #[derive(Debug, Clone, Copy)]
 pub struct Cutoff<'a> {
     incumbent: &'a Incumbent,
@@ -139,26 +93,6 @@ impl<'a> Cutoff<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexer_arch::{ArchPreset, SystolicModel};
-    use flexer_tiling::TileKind;
-
-    fn setup() -> (ConvLayer, ArchConfig, SystolicModel) {
-        let layer = ConvLayer::new("b", 32, 14, 14, 48).unwrap();
-        let arch = ArchConfig::preset(ArchPreset::Arch1);
-        let perf = SystolicModel::new(&arch);
-        (layer, arch, perf)
-    }
-
-    #[test]
-    fn bound_combines_compute_and_dma_terms() {
-        let (layer, arch, perf) = setup();
-        let factors = TilingFactors::normalized(&layer, 2, 2, 2, 2);
-        let b = lower_bound(&layer, &arch, &perf, &factors);
-        assert!(b.latency > 0);
-        let tiles = CompulsoryTiles::compute(&layer, &factors, arch.element_size().bytes());
-        assert_eq!(b.transfer_bytes, tiles.total_bytes());
-        assert!(b.transfer_bytes >= tiles.kind_bytes(TileKind::Output));
-    }
 
     #[test]
     fn incumbent_keeps_the_minimum() {

@@ -8,8 +8,9 @@
 //!   *shape* (not its name), the architecture, the scheduler kind and
 //!   every winner-relevant search knob. `flexer-store` hashes these
 //!   bytes into its content address, so two searches share a store
-//!   entry iff they would share a memo entry. `validate`, `prune` and
-//!   `trace` are deliberately absent — they never change a winner.
+//!   entry iff they would share a memo entry. `validate`, `prune`,
+//!   `trace` and `seed` are deliberately absent — they never change a
+//!   winner.
 //! * [`encode_layer_result`] / [`decode_layer_result`] — a complete
 //!   [`LayerSearchResult`] round trip, bit-exact including `f64`
 //!   scores, so a warm-started result is indistinguishable from the
@@ -19,7 +20,9 @@
 //!   store's format version; the store crate's golden fingerprint test
 //! exists to force that.
 
-use crate::search::{LayerSearchResult, SchedulePoint, SchedulerKind, SearchOptions};
+use crate::search::{
+    LayerSearchResult, SchedulePoint, SchedulerKind, SearchOptions, SearchOutcome,
+};
 use crate::stats::SearchStats;
 use flexer_arch::ArchConfig;
 use flexer_model::{ConvLayer, ElementSize};
@@ -103,6 +106,9 @@ pub fn encode_stats(w: &mut WireWriter, s: &SearchStats) {
         store_misses,
         store_evictions,
         store_corrupt,
+        seed_nanos,
+        seed_gap_ppm,
+        seeded_cutoffs,
     } = *s;
     for v in [
         steps,
@@ -126,6 +132,9 @@ pub fn encode_stats(w: &mut WireWriter, s: &SearchStats) {
         store_misses,
         store_evictions,
         store_corrupt,
+        seed_nanos,
+        seed_gap_ppm,
+        seeded_cutoffs,
     ] {
         w.u64(v);
     }
@@ -159,6 +168,9 @@ pub fn decode_stats(r: &mut WireReader<'_>) -> Result<SearchStats, WireError> {
         store_misses: r.u64()?,
         store_evictions: r.u64()?,
         store_corrupt: r.u64()?,
+        seed_nanos: r.u64()?,
+        seed_gap_ppm: r.u64()?,
+        seeded_cutoffs: r.u64()?,
     })
 }
 
@@ -196,6 +208,13 @@ pub fn encode_layer_result(result: &LayerSearchResult) -> Vec<u8> {
         encode_point(&mut w, p);
     }
     encode_stats(&mut w, &result.stats);
+    match result.outcome {
+        SearchOutcome::Exact => w.u8(0),
+        SearchOutcome::Anytime { gap } => {
+            w.u8(1);
+            w.f64(gap);
+        }
+    }
     w.into_bytes()
 }
 
@@ -219,6 +238,16 @@ pub fn decode_layer_result(bytes: &[u8]) -> Result<LayerSearchResult, WireError>
         points.push(decode_point(&mut r)?);
     }
     let stats = decode_stats(&mut r)?;
+    let outcome = match r.u8()? {
+        0 => SearchOutcome::Exact,
+        1 => SearchOutcome::Anytime { gap: r.f64()? },
+        other => {
+            return Err(WireError::Invalid {
+                what: "SearchOutcome tag",
+                value: u64::from(other),
+            })
+        }
+    };
     r.finish()?;
     Ok(LayerSearchResult {
         layer,
@@ -229,6 +258,7 @@ pub fn decode_layer_result(bytes: &[u8]) -> Result<LayerSearchResult, WireError>
         evaluated,
         points,
         stats,
+        outcome,
     })
 }
 
@@ -423,12 +453,15 @@ mod tests {
             "the key tracks the shape, not the name"
         );
 
-        // validate / prune / trace / threads are winner-neutral.
+        // validate / prune / trace / threads / seed are
+        // winner-neutral.
         let mut neutral = base.clone();
         neutral.validate = true;
         neutral.prune = false;
         neutral.threads = 7;
         neutral.collect_points = false;
+        neutral.seed.enabled = true;
+        neutral.seed.top_k = 9;
         assert_eq!(
             canonical_key_bytes(&l, &ar, &neutral, SchedulerKind::Ooo),
             base_bytes

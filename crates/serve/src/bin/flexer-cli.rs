@@ -31,11 +31,15 @@ OPTIONS (schedule/compare/verify):
   --arch arch1..arch8           architecture preset (default arch1)
   --options quick|default       search options preset (default quick)
   --deadline-ms N               per-request deadline
+  --mode exact|anytime          deadline semantics (schedule): exact fails
+                                on expiry, anytime returns the best-so-far
+                                with a proven optimality gap
   --trace                       return the recorded span tree (schedule)
   --id STR                      correlation id echoed in the response
 
-EXIT STATUS: 0 response ok, 1 connection/protocol failure, 2 usage or
-typed server error.";
+EXIT STATUS: 0 response ok and complete, 1 connection/protocol failure,
+2 usage or typed server error, 3 response ok but partial (an anytime
+deadline cut the search; per-layer \"gap\" says how far off at worst).";
 
 fn build_request(cmd: &str, mut rest: std::env::Args) -> Result<String, String> {
     let op = match cmd {
@@ -73,6 +77,9 @@ fn build_request(cmd: &str, mut rest: std::env::Args) -> Result<String, String> 
                     .parse()
                     .map_err(|e| format!("--deadline-ms: {e}"))?;
                 o.u64("deadline_ms", ms);
+            }
+            "--mode" => {
+                o.str("mode", &value("--mode")?);
             }
             "--trace" => {
                 o.bool("trace", true);
@@ -124,7 +131,17 @@ fn main() -> ExitCode {
     };
     println!("{response}");
     match parse(&response) {
-        Ok(j) if j.get("ok").and_then(Json::as_bool) == Some(true) => ExitCode::SUCCESS,
+        Ok(j) if j.get("ok").and_then(Json::as_bool) == Some(true) => {
+            if j.get("partial").and_then(Json::as_bool) == Some(true) {
+                eprintln!(
+                    "flexer-cli: partial result — the anytime deadline cut the \
+                     search; see per-layer \"gap\" for the proven bound"
+                );
+                ExitCode::from(3)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
         Ok(_) => ExitCode::from(2),
         Err(_) => ExitCode::FAILURE,
     }

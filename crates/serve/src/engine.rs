@@ -7,7 +7,7 @@
 //! never collide — and one driver's memo cache warms every later
 //! request with the same configuration.
 
-use crate::protocol::{ok_response, ErrorKind, Obj, Op, OptionsName, Request};
+use crate::protocol::{ok_response, ErrorKind, Mode, Obj, Op, OptionsName, Request};
 use flexer::prelude::*;
 use flexer_arch::ArchPreset;
 use flexer_sched::SchedError;
@@ -49,6 +49,13 @@ impl Deadline {
     #[must_use]
     pub fn unbounded() -> Self {
         Self { at: None }
+    }
+
+    /// The raw expiry instant, `None` when unbounded — what the
+    /// anytime search threads through to its per-candidate cut checks.
+    #[must_use]
+    pub fn at(&self) -> Option<Instant> {
+        self.at
     }
 
     /// Fails with [`ErrorKind::Deadline`] once the deadline has
@@ -268,6 +275,9 @@ impl Engine {
                 .u64("latency", l.schedule.latency())
                 .u64("transfer_bytes", l.schedule.transfer_bytes())
                 .u64("evaluated", l.evaluated as u64);
+            if let Some(gap) = l.gap() {
+                row.bool("partial", true).f64("gap", gap);
+            }
             if l.stats.store_hits > 0 {
                 row.str("store", "hit");
             } else if l.stats.store_misses > 0 {
@@ -286,6 +296,9 @@ impl Engine {
         deadline: &Deadline,
     ) -> Result<String, Failure> {
         let driver = self.driver((req.arch, req.options, false))?;
+        if req.mode == Mode::Anytime {
+            return Self::run_schedule_anytime(req, net, deadline, &driver);
+        }
         deadline.check()?;
         let mut o = ok_response(Op::Schedule, req.id.as_deref());
         let result = if req.trace {
@@ -301,6 +314,37 @@ impl Engine {
         } else {
             Self::layers_with_deadline(&driver, net, deadline, false)?
         };
+        Self::push_totals(&mut o, req, &result);
+        o.raw("layers", &Self::layer_rows(&result));
+        Ok(o.finish())
+    }
+
+    /// The anytime variant of [`Engine::run_schedule`]: never fails on
+    /// an expired deadline. Every layer searches under the request's
+    /// deadline and keeps its best-so-far schedule when cut; cut
+    /// layers carry `"partial": true` and their proven optimality
+    /// `"gap"`, and the response carries a top-level `"partial"` flag
+    /// when any layer was cut.
+    ///
+    /// Anytime results bypass the persistent store and the memo cache
+    /// in both directions — only proven optima are durable.
+    fn run_schedule_anytime(
+        req: &Request,
+        net: &Network,
+        deadline: &Deadline,
+        driver: &Flexer,
+    ) -> Result<String, Failure> {
+        let mut rows = Vec::with_capacity(net.layers().len());
+        for layer in net.layers() {
+            let result = driver
+                .schedule_layer_anytime(layer, deadline.at())
+                .map_err(|e| Self::sched_failure(&e))?;
+            rows.push(result);
+        }
+        let result = NetworkResult::new(net.name(), rows);
+        let partial = result.layers().iter().any(|l| !l.is_exact());
+        let mut o = ok_response(Op::Schedule, req.id.as_deref());
+        o.str("mode", req.mode.code()).bool("partial", partial);
         Self::push_totals(&mut o, req, &result);
         o.raw("layers", &Self::layer_rows(&result));
         Ok(o.finish())
@@ -390,6 +434,71 @@ mod tests {
         let deadline = Deadline::from_ms(Some(0), 0);
         let err = engine.run(&schedule_req(""), &deadline).unwrap_err();
         assert_eq!(err.0, ErrorKind::Deadline);
+    }
+
+    #[test]
+    fn anytime_schedule_survives_an_expired_deadline() {
+        let engine = Engine::new();
+        let deadline = Deadline::from_ms(Some(0), 0);
+        let line = engine
+            .run(&schedule_req(r#","mode":"anytime""#), &deadline)
+            .unwrap();
+        let j = flexer_trace::json::parse(&line).unwrap();
+        let get = |k: &str| j.get(k).cloned();
+        assert_eq!(
+            get("ok")
+                .as_ref()
+                .and_then(flexer_trace::json::Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            get("partial")
+                .as_ref()
+                .and_then(flexer_trace::json::Json::as_bool),
+            Some(true)
+        );
+        assert!(
+            get("latency")
+                .as_ref()
+                .and_then(flexer_trace::json::Json::as_num)
+                .unwrap()
+                > 0.0,
+            "a cut layer still carries a real schedule"
+        );
+        let layers = get("layers").unwrap();
+        let rows = layers.as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        let gap = rows[0]
+            .get("gap")
+            .and_then(flexer_trace::json::Json::as_num)
+            .expect("cut layer reports its gap");
+        assert!(gap >= 1.0, "gap {gap}");
+        assert_eq!(
+            rows[0]
+                .get("partial")
+                .and_then(flexer_trace::json::Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn anytime_schedule_with_slack_stays_exact() {
+        let engine = Engine::new();
+        let deadline = Deadline::from_ms(Some(3_600_000), 0);
+        let line = engine
+            .run(&schedule_req(r#","mode":"anytime""#), &deadline)
+            .unwrap();
+        let j = flexer_trace::json::parse(&line).unwrap();
+        assert_eq!(
+            j.get("partial").and_then(flexer_trace::json::Json::as_bool),
+            Some(false)
+        );
+        let layers = j.get("layers").cloned().unwrap();
+        let rows = layers.as_array().unwrap();
+        assert!(
+            rows[0].get("gap").is_none(),
+            "exact layers carry no gap member"
+        );
     }
 
     #[test]

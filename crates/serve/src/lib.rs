@@ -33,5 +33,5 @@ pub mod server;
 
 pub use client::Client;
 pub use engine::{Deadline, Engine};
-pub use protocol::{parse_request, ErrorKind, Op, OptionsName, Request, MAX_LINE_BYTES};
+pub use protocol::{parse_request, ErrorKind, Mode, Op, OptionsName, Request, MAX_LINE_BYTES};
 pub use server::{request_shutdown, Server, ServerConfig};

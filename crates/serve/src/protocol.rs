@@ -23,6 +23,14 @@
 //! `"arch"` (`"arch1"`..`"arch8"`, default `arch1`), `"options"`
 //! (`"quick"` | `"default"`, default `quick`), `"deadline_ms"`, and
 //! `"id"` (echoed back verbatim).
+//!
+//! `schedule` additionally accepts `"mode"` (`"exact"` | `"anytime"`,
+//! default `exact`). In exact mode an expired deadline is the typed
+//! `deadline` error; in anytime mode the search is cut at the deadline
+//! and the best schedules found so far are returned with `"partial":
+//! true` and a per-layer proven optimality `"gap"` instead of failing.
+//! Anytime mode is exclusive to `schedule` (the static baseline the
+//! other ops run has no anytime search) and incompatible with `trace`.
 
 use flexer_model::{networks, ConvLayer, Network};
 use flexer_trace::json::{parse, Json};
@@ -88,6 +96,30 @@ impl OptionsName {
     }
 }
 
+/// How a `schedule` request treats its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// An expired deadline is the typed `deadline` error; results are
+    /// always proven optima.
+    #[default]
+    Exact,
+    /// The search is cut at the deadline and the best schedules found
+    /// so far are returned with `"partial": true` and a per-layer
+    /// proven optimality gap.
+    Anytime,
+}
+
+impl Mode {
+    /// The wire name.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Mode::Exact => "exact",
+            Mode::Anytime => "anytime",
+        }
+    }
+}
+
 /// Typed failure codes — the machine-readable half of every error
 /// response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +178,9 @@ pub struct Request {
     /// Per-request deadline in milliseconds. `Some(0)` is already
     /// expired; `None` falls back to the server default.
     pub deadline_ms: Option<u64>,
+    /// Deadline semantics for `schedule`: fail (`exact`, default) or
+    /// return the best-so-far with a proven gap (`anytime`).
+    pub mode: Mode,
     /// Capture a deterministic trace of the search. Traced requests
     /// bypass the persistent store: the point is to watch the real
     /// search run.
@@ -295,6 +330,26 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorKind, String)> {
         Some(_) => return Err(bad("trace must be a boolean".into())),
         None => false,
     };
+    let mode = match obj.get("mode").map(|j| (j, j.as_str())) {
+        Some((_, Some("exact"))) => Mode::Exact,
+        Some((_, Some("anytime"))) => Mode::Anytime,
+        Some((_, Some(other))) => {
+            return Err(bad(format!(
+                "unknown mode {other:?} (expected \"exact\" or \"anytime\")"
+            )))
+        }
+        Some((_, None)) => return Err(bad("mode must be a string".into())),
+        None => Mode::Exact,
+    };
+    if mode == Mode::Anytime && op != Op::Schedule {
+        return Err(bad(format!(
+            "anytime mode is only valid for op \"schedule\", not {:?}",
+            op.code()
+        )));
+    }
+    if mode == Mode::Anytime && trace {
+        return Err(bad("anytime mode and trace are mutually exclusive".into()));
+    }
     let network = parse_network(&obj).map_err(bad)?;
     if matches!(op, Op::Schedule | Op::Compare | Op::Verify) && network.is_none() {
         return Err(bad(format!(
@@ -309,6 +364,7 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorKind, String)> {
         options,
         network,
         deadline_ms,
+        mode,
         trace,
     })
 }
@@ -507,6 +563,31 @@ mod tests {
             "x".repeat(MAX_LINE_BYTES)
         );
         assert_eq!(parse_request(&long).unwrap_err().0, ErrorKind::Parse);
+    }
+
+    #[test]
+    fn anytime_mode_parses_on_schedule_only() {
+        let req = parse_request(r#"{"op":"schedule","network":"squeezenet"}"#).unwrap();
+        assert_eq!(req.mode, Mode::Exact, "mode defaults to exact");
+        let req =
+            parse_request(r#"{"op":"schedule","network":"squeezenet","mode":"anytime"}"#).unwrap();
+        assert_eq!(req.mode, Mode::Anytime);
+        let req =
+            parse_request(r#"{"op":"schedule","network":"squeezenet","mode":"exact"}"#).unwrap();
+        assert_eq!(req.mode, Mode::Exact);
+        for line in [
+            r#"{"op":"schedule","network":"squeezenet","mode":"sometime"}"#,
+            r#"{"op":"schedule","network":"squeezenet","mode":7}"#,
+            r#"{"op":"compare","network":"squeezenet","mode":"anytime"}"#,
+            r#"{"op":"verify","network":"squeezenet","mode":"anytime"}"#,
+            r#"{"op":"schedule","network":"squeezenet","mode":"anytime","trace":true}"#,
+        ] {
+            assert_eq!(
+                parse_request(line).unwrap_err().0,
+                ErrorKind::BadRequest,
+                "{line}"
+            );
+        }
     }
 
     #[test]

@@ -157,6 +157,42 @@ fn expired_deadline_is_reported_not_hung() {
 }
 
 #[test]
+fn anytime_mode_turns_an_expired_deadline_into_a_partial_result() {
+    let store = Scratch::new("anytime");
+    let (addr, handle) = boot(ServerConfig {
+        store_dir: Some(store.0.clone()),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr).unwrap();
+    let line =
+        r#"{"op":"schedule","network":"squeezenet","deadline_ms":0,"mode":"anytime","id":"a1"}"#;
+    let j = assert_ok(&c.roundtrip(line).unwrap());
+    assert_eq!(j.get("id").and_then(Json::as_str), Some("a1"));
+    assert_eq!(j.get("partial").and_then(Json::as_bool), Some(true));
+    assert!(j.get("latency").and_then(Json::as_num).unwrap() > 0.0);
+    let layers = j.get("layers").and_then(Json::as_array).unwrap();
+    assert!(!layers.is_empty());
+    // Every layer still carries a real schedule; cut layers report a
+    // proven optimality gap of at least 1.
+    for row in layers {
+        assert!(row.get("latency").and_then(Json::as_num).unwrap() > 0.0);
+        if row.get("partial").and_then(Json::as_bool) == Some(true) {
+            assert!(row.get("gap").and_then(Json::as_num).unwrap() >= 1.0);
+        }
+    }
+    // Anytime results must not poison the persistent store: it holds
+    // no entries after the cut request.
+    let j = assert_ok(&c.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    let entries = j.get("store").and_then(|s| s.get("entries")).cloned();
+    assert_eq!(entries.as_ref().and_then(Json::as_num), Some(0.0));
+    // An exact re-request searches from scratch and persists as usual.
+    let exact = r#"{"op":"schedule","network":"squeezenet","id":"a2"}"#;
+    let j = assert_ok(&c.roundtrip(exact).unwrap());
+    assert!(j.get("store_misses").and_then(Json::as_num).unwrap() > 0.0);
+    shutdown_and_join(addr, handle);
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_work_and_flushes_the_store() {
     let store = Scratch::new("drain");
     let (addr, handle) = boot(ServerConfig {

@@ -1,0 +1,100 @@
+//! Admissible lower bounds on the cost of scheduling one
+//! (layer, tiling) pair.
+//!
+//! For every (layer, tiling) pair the solver computes — *before*
+//! running any scheduler — a [`ScheduleBound`] that no legal schedule
+//! can beat:
+//!
+//! * **latency** ≥ max(compute envelope packed on `n` cores, serial
+//!   DMA time of the compulsory traffic). Compute can at best be
+//!   perfectly load-balanced and the single shared DMA channel must
+//!   move every compulsory tile at least once.
+//! * **transfer** ≥ compulsory bytes: each distinct input and weight
+//!   tile is loaded at least once and each output tile stored once.
+//!
+//! Both terms are dataflow-independent, so one bound covers all six
+//! dataflows of a tiling. Because every monotone [`Metric`] is
+//! non-decreasing in (latency, transfer),
+//! `metric.score(bound.latency, bound.transfer_bytes)` never exceeds
+//! the true score of any schedule of that work item — the bound is
+//! *admissible*, and pruning on it is exact (see DESIGN.md §10).
+
+use crate::metric::Metric;
+use flexer_arch::{ArchConfig, PerfModel};
+use flexer_model::ConvLayer;
+use flexer_tiling::{compute_envelope, CompulsoryTiles, TilingFactors};
+
+/// Admissible lower bounds on the cost of any schedule of one
+/// (layer, tiling) pair, valid for every dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleBound {
+    /// Lower bound on the schedule makespan, in cycles.
+    pub latency: u64,
+    /// Lower bound on the transferred bytes.
+    pub transfer_bytes: u64,
+}
+
+impl ScheduleBound {
+    /// Scores the bound under `metric`; by admissibility this never
+    /// exceeds the score of any real schedule of the work item.
+    #[must_use]
+    pub fn score(&self, metric: Metric) -> f64 {
+        metric.score(self.latency, self.transfer_bytes)
+    }
+}
+
+/// Computes the admissible [`ScheduleBound`] of `layer` tiled by
+/// `factors` on `arch` under `perf`.
+#[must_use]
+pub fn lower_bound(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    perf: &dyn PerfModel,
+    factors: &TilingFactors,
+) -> ScheduleBound {
+    let env = compute_envelope(layer, factors, perf);
+    let compute = perf.packed_compute_cycles(
+        env.total_cycles,
+        env.max_op_cycles,
+        env.chain_cycles,
+        arch.cores(),
+    );
+    let tiles = CompulsoryTiles::compute(layer, factors, arch.element_size().bytes());
+    let sizes: Vec<u64> = tiles.transfer_sizes().collect();
+    let dma = perf.serial_dma_cycles(&sizes);
+    ScheduleBound {
+        latency: compute.max(dma),
+        transfer_bytes: tiles.total_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::{ArchPreset, SystolicModel};
+    use flexer_tiling::TileKind;
+
+    #[test]
+    fn bound_combines_compute_and_dma_terms() {
+        let layer = ConvLayer::new("b", 32, 14, 14, 48).unwrap();
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let perf = SystolicModel::new(&arch);
+        let factors = TilingFactors::normalized(&layer, 2, 2, 2, 2);
+        let b = lower_bound(&layer, &arch, &perf, &factors);
+        assert!(b.latency > 0);
+        let tiles = CompulsoryTiles::compute(&layer, &factors, arch.element_size().bytes());
+        assert_eq!(b.transfer_bytes, tiles.total_bytes());
+        assert!(b.transfer_bytes >= tiles.kind_bytes(TileKind::Output));
+    }
+
+    #[test]
+    fn bound_score_uses_the_metric() {
+        let b = ScheduleBound {
+            latency: 10,
+            transfer_bytes: 20,
+        };
+        assert_eq!(b.score(Metric::LatencyTimesTransfer), 200.0);
+        assert_eq!(b.score(Metric::Latency), 10.0);
+        assert_eq!(b.score(Metric::Transfer), 20.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Analytical scheduling solver: millisecond-scale candidate ranking
+//! with provable quality gaps, no SPM simulation required.
+//!
+//! The exact search in `flexer-sched` evaluates every (tiling,
+//! dataflow) candidate by actually running a scheduler — building the
+//! DFG, simulating the shared buffer, committing operation sets. That
+//! is the ground truth, but it is also why a cold search spends
+//! hundreds of full evaluations before its branch-and-bound cutoff
+//! becomes useful. This crate provides the cheap half of the
+//! CoSA/KAPLA recipe (see PAPERS.md): score every candidate with
+//!
+//! * the existing admissible [`ScheduleBound`] (a floor no schedule
+//!   can beat), and
+//! * a closed-form contention/occupancy [`Estimate`] (a realistic
+//!   prediction of what a schedule will actually cost),
+//!
+//! then rank candidates by the estimate ([`rank_candidates`]) so a
+//! caller can fully evaluate only the top-k. The best evaluated
+//! schedule comes with a provable optimality gap: its true score
+//! divided by the minimum lower-bound score over *all* candidates
+//! ([`gap_ppm`]).
+//!
+//! Everything here is arithmetic over the layer's tile geometry —
+//! no DFG, no scheduler, no simulation — so scoring thousands of
+//! candidates costs microseconds, not seconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bound;
+mod metric;
+mod model;
+
+pub use bound::{lower_bound, ScheduleBound};
+pub use metric::Metric;
+pub use model::{estimate, gap_ppm, rank_candidates, Candidate, Estimate};

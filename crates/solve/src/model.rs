@@ -1,0 +1,337 @@
+//! The closed-form contention/occupancy model and candidate ranking.
+//!
+//! Where [`crate::lower_bound`] answers "what can no schedule beat?",
+//! [`estimate`] answers "what will a schedule of this candidate
+//! plausibly cost?" — still in closed form, still without building a
+//! DFG or simulating the shared buffer. The two differences:
+//!
+//! 1. **Reuse-aware traffic.** The bound charges each distinct tile
+//!    once (compulsory traffic). The estimate walks the candidate's
+//!    loop order: a tile class stays resident across the innermost
+//!    loops that do not index it, but every enclosing non-indexing
+//!    loop sweeps the whole class through the buffer again. Partial
+//!    sums additionally bounce both ways (store + reload per
+//!    revisit), giving outputs a `2r − 1` pass count for reload
+//!    factor `r`. This is the classic stationarity analysis — which
+//!    is exactly why the estimate, unlike the bound, depends on the
+//!    dataflow.
+//! 2. **Contention latency.** The bound takes
+//!    `max(compute, dma)` — perfect overlap. Real schedules on `n`
+//!    cores contend for the single DMA channel and for buffer
+//!    occupancy, so a slice of the shorter resource's busy time leaks
+//!    onto the critical path: the estimate charges
+//!    `max(C, D) + min(C, D) / (n + 1)`.
+//!
+//! Both refinements only ever *add* cost, so for every candidate
+//! `estimate ≥ bound` holds componentwise — the estimate ranks, the
+//! bound proves.
+
+use crate::bound::{lower_bound, ScheduleBound};
+use crate::metric::Metric;
+use flexer_arch::{ArchConfig, PerfModel};
+use flexer_model::ConvLayer;
+use flexer_tiling::{CompulsoryTiles, Dataflow, TileKind, TilingFactors};
+
+/// Predicted cost of scheduling one (tiling, dataflow) candidate under
+/// the closed-form contention/occupancy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Estimate {
+    /// Predicted schedule makespan, in cycles. Never below the
+    /// admissible bound's latency.
+    pub latency: u64,
+    /// Predicted DRAM traffic, in bytes. Never below the compulsory
+    /// bytes.
+    pub transfer_bytes: u64,
+}
+
+/// A loop dimension of the tiled iteration space, re-derived from the
+/// public [`Dataflow`] variants (the tiling crate keeps its own loop
+/// enum private).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dim {
+    K,
+    C,
+    S,
+}
+
+/// Loop dimensions of `df`, outermost-first.
+const fn loop_order(df: Dataflow) -> [Dim; 3] {
+    match df {
+        Dataflow::Kcs => [Dim::K, Dim::C, Dim::S],
+        Dataflow::Ksc => [Dim::K, Dim::S, Dim::C],
+        Dataflow::Cks => [Dim::C, Dim::K, Dim::S],
+        Dataflow::Csk => [Dim::C, Dim::S, Dim::K],
+        Dataflow::Skc => [Dim::S, Dim::K, Dim::C],
+        Dataflow::Sck => [Dim::S, Dim::C, Dim::K],
+    }
+}
+
+/// Whether tiles of `kind` are indexed by loop dimension `d`.
+const fn indexes(kind: TileKind, d: Dim) -> bool {
+    match kind {
+        TileKind::Input => matches!(d, Dim::C | Dim::S),
+        TileKind::Weight => matches!(d, Dim::K | Dim::C),
+        TileKind::Output => matches!(d, Dim::K | Dim::S),
+    }
+}
+
+fn trip_count(factors: &TilingFactors, d: Dim) -> u64 {
+    u64::from(match d {
+        Dim::K => factors.k(),
+        Dim::C => factors.c(),
+        Dim::S => factors.spatial(),
+    })
+}
+
+/// How many times the loop order sweeps every distinct tile of `kind`
+/// through the buffer.
+///
+/// The innermost contiguous run of loops that do not index the class
+/// reuses a resident tile for free; every non-indexing loop outside
+/// that run revisits the full class once per iteration. `1` means
+/// compulsory traffic only (the class is stationary under this order).
+fn reload_factor(factors: &TilingFactors, order: [Dim; 3], kind: TileKind) -> u64 {
+    let mut cut = order.len();
+    while cut > 0 && !indexes(kind, order[cut - 1]) {
+        cut -= 1;
+    }
+    order[..cut]
+        .iter()
+        .filter(|&&d| !indexes(kind, d))
+        .map(|&d| trip_count(factors, d))
+        .product()
+}
+
+/// Scores one (tiling, dataflow) candidate with the closed-form
+/// contention/occupancy model. Pure arithmetic over the tile
+/// geometry — no DFG, no SPM simulation.
+#[must_use]
+pub fn estimate(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    perf: &dyn PerfModel,
+    factors: &TilingFactors,
+    dataflow: Dataflow,
+) -> Estimate {
+    let env = flexer_tiling::compute_envelope(layer, factors, perf);
+    let compute = perf.packed_compute_cycles(
+        env.total_cycles,
+        env.max_op_cycles,
+        env.chain_cycles,
+        arch.cores(),
+    );
+    let tiles = CompulsoryTiles::compute(layer, factors, arch.element_size().bytes());
+    let order = loop_order(dataflow);
+    let mut traffic = 0u64;
+    let mut dma = 0u64;
+    for kind in [TileKind::Input, TileKind::Weight, TileKind::Output] {
+        let reload = reload_factor(factors, order, kind);
+        // Partial sums revisited r times are stored and reloaded on
+        // each revisit but only stored on the final one: 2r − 1 passes.
+        let passes = if kind == TileKind::Output {
+            reload.saturating_mul(2).saturating_sub(1)
+        } else {
+            reload
+        };
+        traffic = traffic.saturating_add(tiles.kind_bytes(kind).saturating_mul(passes));
+        let sizes: Vec<u64> = tiles.kind_transfer_sizes(kind).collect();
+        dma = dma.saturating_add(perf.serial_dma_cycles(&sizes).saturating_mul(passes));
+    }
+    // Overlap with contention: the longer resource is the critical
+    // path; one (n+1)-th of the shorter one leaks onto it through DMA
+    // channel and buffer-occupancy conflicts.
+    let (short, long) = (compute.min(dma), compute.max(dma));
+    let latency = long.saturating_add(short / (u64::from(arch.cores()) + 1));
+    Estimate {
+        latency,
+        transfer_bytes: traffic,
+    }
+}
+
+/// One scored (tiling, dataflow) candidate: the admissible floor and
+/// the model's prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The tiling of the candidate.
+    pub factors: TilingFactors,
+    /// The loop order of the candidate.
+    pub dataflow: Dataflow,
+    /// Admissible lower bound (dataflow-independent).
+    pub bound: ScheduleBound,
+    /// Closed-form cost prediction (dataflow-dependent).
+    pub est: Estimate,
+}
+
+impl Candidate {
+    /// The provable floor of this candidate under `metric`.
+    #[must_use]
+    pub fn bound_score(&self, metric: Metric) -> f64 {
+        self.bound.score(metric)
+    }
+
+    /// The predicted score of this candidate under `metric` — the
+    /// ranking key.
+    #[must_use]
+    pub fn estimated_score(&self, metric: Metric) -> f64 {
+        metric.score(self.est.latency, self.est.transfer_bytes)
+    }
+}
+
+/// Scores every `tilings` × `dataflows` candidate and returns them
+/// sorted ascending by estimated score (best predicted first), with
+/// ties broken by enumeration order (tiling-major, then dataflow) so
+/// the ranking is deterministic.
+#[must_use]
+pub fn rank_candidates(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    perf: &dyn PerfModel,
+    tilings: &[TilingFactors],
+    dataflows: &[Dataflow],
+    metric: Metric,
+) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(tilings.len() * dataflows.len());
+    for factors in tilings {
+        let bound = lower_bound(layer, arch, perf, factors);
+        for &dataflow in dataflows {
+            let est = estimate(layer, arch, perf, factors, dataflow);
+            out.push(Candidate {
+                factors: *factors,
+                dataflow,
+                bound,
+                est,
+            });
+        }
+    }
+    // Stable sort: equal estimated scores keep enumeration order.
+    out.sort_by(|a, b| {
+        a.estimated_score(metric)
+            .total_cmp(&b.estimated_score(metric))
+    });
+    out
+}
+
+/// The optimality gap of a score against a proven floor, in parts per
+/// million: `round((score / bound − 1) · 1e6)`.
+///
+/// `0` when the score meets the bound (a certificate of optimality)
+/// or when either input is non-positive or non-finite — a gap is only
+/// meaningful over a real floor.
+#[must_use]
+pub fn gap_ppm(score: f64, bound: f64) -> u64 {
+    if !score.is_finite() || !bound.is_finite() || bound <= 0.0 || score <= bound {
+        return 0;
+    }
+    let ppm = (score / bound - 1.0) * 1e6;
+    if ppm >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ppm.round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_arch::{ArchPreset, SystolicModel};
+
+    fn setup() -> (ConvLayer, ArchConfig, SystolicModel) {
+        let layer = ConvLayer::new("m", 32, 14, 14, 48).unwrap();
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let perf = SystolicModel::new(&arch);
+        (layer, arch, perf)
+    }
+
+    #[test]
+    fn reload_factors_match_the_stationarity_analysis() {
+        let (layer, _, _) = setup();
+        let factors = TilingFactors::normalized(&layer, 3, 2, 2, 2);
+        let (kt, ct, st) = (
+            u64::from(factors.k()),
+            u64::from(factors.c()),
+            u64::from(factors.spatial()),
+        );
+        // KCS: inputs swept once per k, weights stationary, outputs
+        // revisited once per c.
+        let order = loop_order(Dataflow::Kcs);
+        assert_eq!(reload_factor(&factors, order, TileKind::Input), kt);
+        assert_eq!(reload_factor(&factors, order, TileKind::Weight), 1);
+        assert_eq!(reload_factor(&factors, order, TileKind::Output), ct);
+        // CSK: inputs stationary (innermost k does not index them).
+        let order = loop_order(Dataflow::Csk);
+        assert_eq!(reload_factor(&factors, order, TileKind::Input), 1);
+        assert_eq!(reload_factor(&factors, order, TileKind::Weight), st);
+        assert_eq!(reload_factor(&factors, order, TileKind::Output), ct);
+        // SKC: outputs accumulate in place (innermost c).
+        let order = loop_order(Dataflow::Skc);
+        assert_eq!(reload_factor(&factors, order, TileKind::Output), 1);
+    }
+
+    #[test]
+    fn estimate_never_beats_the_bound() {
+        let (layer, arch, perf) = setup();
+        for (k, c, h, w) in [(1, 1, 1, 1), (2, 2, 2, 2), (3, 2, 2, 1), (4, 1, 7, 2)] {
+            let factors = TilingFactors::normalized(&layer, k, c, h, w);
+            let bound = lower_bound(&layer, &arch, &perf, &factors);
+            for df in Dataflow::all() {
+                let est = estimate(&layer, &arch, &perf, &factors, df);
+                assert!(est.latency >= bound.latency, "{factors} {df}");
+                assert!(est.transfer_bytes >= bound.transfer_bytes, "{factors} {df}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_depend_on_the_dataflow() {
+        let (layer, arch, perf) = setup();
+        let factors = TilingFactors::normalized(&layer, 3, 2, 2, 2);
+        let traffic: Vec<u64> = Dataflow::all()
+            .iter()
+            .map(|&df| estimate(&layer, &arch, &perf, &factors, df).transfer_bytes)
+            .collect();
+        assert!(
+            traffic.windows(2).any(|w| w[0] != w[1]),
+            "all six dataflows estimated identical traffic: {traffic:?}"
+        );
+    }
+
+    #[test]
+    fn untiled_layer_has_no_reloads() {
+        let (layer, arch, perf) = setup();
+        let factors = TilingFactors::normalized(&layer, 1, 1, 1, 1);
+        let bound = lower_bound(&layer, &arch, &perf, &factors);
+        for df in Dataflow::all() {
+            let est = estimate(&layer, &arch, &perf, &factors, df);
+            assert_eq!(est.transfer_bytes, bound.transfer_bytes, "{df}");
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let (layer, arch, perf) = setup();
+        let tilings = [
+            TilingFactors::normalized(&layer, 1, 1, 1, 1),
+            TilingFactors::normalized(&layer, 2, 2, 2, 2),
+            TilingFactors::normalized(&layer, 3, 2, 2, 1),
+        ];
+        let metric = Metric::LatencyTimesTransfer;
+        let ranked = rank_candidates(&layer, &arch, &perf, &tilings, &Dataflow::all(), metric);
+        assert_eq!(ranked.len(), tilings.len() * 6);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].estimated_score(metric) <= pair[1].estimated_score(metric));
+        }
+        for c in &ranked {
+            assert!(c.estimated_score(metric) >= c.bound_score(metric));
+        }
+    }
+
+    #[test]
+    fn gap_ppm_definition() {
+        assert_eq!(gap_ppm(100.0, 100.0), 0);
+        assert_eq!(gap_ppm(101.0, 100.0), 10_000);
+        assert_eq!(gap_ppm(2.0, 1.0), 1_000_000);
+        assert_eq!(gap_ppm(50.0, 100.0), 0);
+        assert_eq!(gap_ppm(f64::INFINITY, 100.0), 0);
+        assert_eq!(gap_ppm(100.0, 0.0), 0);
+    }
+}

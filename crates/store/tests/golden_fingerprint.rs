@@ -16,10 +16,10 @@ use flexer_sched::{SchedulerKind, SearchOptions};
 use flexer_store::{fingerprint, FORMAT_VERSION};
 
 /// The pinned address of (Arch1, conv 32x14x14 -> 32, quick options,
-/// OoO scheduler) under store format version 1.
-const GOLDEN_OOO: &str = "abb9366dcfeef298773e5fc031318bab";
+/// OoO scheduler) under store format version 2.
+const GOLDEN_OOO: &str = "ef3febfb47eebc6c9e071fa941d476f2";
 /// Same triple under the static baseline scheduler.
-const GOLDEN_STATIC: &str = "08394b64fdbc6f2c3a12e6027b0d88a2";
+const GOLDEN_STATIC: &str = "90321f8d67d6db5dd0814fac12efe83b";
 
 fn triple() -> (ConvLayer, ArchConfig, SearchOptions) {
     (
@@ -31,7 +31,7 @@ fn triple() -> (ConvLayer, ArchConfig, SearchOptions) {
 
 #[test]
 fn fingerprint_bytes_are_pinned() {
-    assert_eq!(FORMAT_VERSION, 1, "format bumped: re-pin the goldens");
+    assert_eq!(FORMAT_VERSION, 2, "format bumped: re-pin the goldens");
     let (layer, arch, opts) = triple();
     assert_eq!(
         fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo).hex(),
@@ -60,6 +60,8 @@ fn winner_neutral_options_do_not_move_the_address() {
     opts.validate = true;
     opts.prune = false;
     opts.threads = 3;
+    opts.seed.enabled = true;
+    opts.seed.top_k = 11;
     assert_eq!(fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo), base);
 }
 

@@ -1,6 +1,9 @@
 //! Layer explorer: sweep every (tiling, dataflow) pair of one layer
 //! with both schedulers and print the latency/traffic scatter — the
-//! data behind the paper's Figure 1.
+//! data behind the paper's Figure 1 — plus each candidate's
+//! admissible lower bound under the search metric and the proven gap
+//! between the real OoO schedule and that bound (the quantity the
+//! anytime search reports when a deadline cuts it short).
 //!
 //! Run with:
 //!
@@ -8,8 +11,10 @@
 //! cargo run --release --example layer_explorer [layer-name] [arch]
 //! ```
 
+use flexer::arch::SystolicModel;
 use flexer::prelude::*;
 use flexer::sched::sweep_tilings;
+use flexer::solve::lower_bound;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
@@ -27,8 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = SearchOptions::quick();
     let (ooo, baseline) = sweep_tilings(&layer, &arch, &opts)?;
 
+    // The solver's admissible per-tiling lower bound — the same
+    // quantity the seeded search ranks candidates by and the anytime
+    // search proves its optimality gap against.
+    let perf = SystolicModel::new(&arch);
     println!(
-        "# {:<18} {:<22} {:>12} {:>14} {:>12} {:>14} {:>8} {:>8}",
+        "# {:<18} {:<22} {:>12} {:>14} {:>12} {:>14} {:>8} {:>8} {:>12} {:>6}",
         "tiling",
         "dataflow",
         "ooo_cyc",
@@ -36,13 +45,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "static_cyc",
         "static_bytes",
         "speedup",
-        "x_less_B"
+        "x_less_B",
+        "bound_cyc",
+        "gap"
     );
     for (o, s) in ooo.iter().zip(&baseline) {
         assert_eq!(o.factors, s.factors);
         assert_eq!(o.dataflow, s.dataflow);
+        let bound = lower_bound(&layer, &arch, &perf, &o.factors);
+        let bound_score = bound.score(opts.metric);
+        let gap = if bound_score > 0.0 {
+            o.score / bound_score
+        } else {
+            f64::INFINITY
+        };
         println!(
-            "{:<20} {:<22} {:>12} {:>14} {:>12} {:>14} {:>8.2} {:>8.2}",
+            "{:<20} {:<22} {:>12} {:>14} {:>12} {:>14} {:>8.2} {:>8.2} {:>12} {:>6.2}",
             o.factors.to_string(),
             o.dataflow.to_string(),
             o.latency,
@@ -51,6 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.transfer_bytes,
             s.latency as f64 / o.latency as f64,
             s.transfer_bytes as f64 / o.transfer_bytes as f64,
+            bound.latency,
+            gap,
         );
     }
 
