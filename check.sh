@@ -68,4 +68,16 @@ port="$(cat .flexer-serve-ci.port)"
 wait "$serve_pid"
 rm -f .flexer-serve-ci.port
 rm -rf .flexer-store-ci
+# Chaos gate: the deterministic harness drives real flexer-serve
+# daemons through soak, slow-loris, store-corruption, deadline-skew,
+# and kill/restart scenarios on three fixed seeds. Zero invariant
+# violations allowed; p50/p99 latency SLOs are asserted from the
+# deterministic trace layer's logical ticks (no wall-clock flake). A
+# failure dumps a replayable artifact under .chaos-artifacts/ naming
+# the seed to re-run with.
+rm -rf .chaos-artifacts
+./target/release/flexer-chaos \
+    --seed 101 --seed 202 --seed 303 --duration-short \
+    --serve-bin ./target/release/flexer-serve \
+    --artifact-dir .chaos-artifacts
 echo "check.sh: all green"

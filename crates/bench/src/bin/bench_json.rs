@@ -370,6 +370,12 @@ fn write_trace_artifact(path: &str) {
     );
     result.expect("trace artifact network schedules");
     trace.check().expect("recorded trace is well-formed");
+    // The same logical-tick percentiles the chaos harness gates on,
+    // computed here from the producer side so check.sh can pin the
+    // SLO numbers without a server in the loop.
+    let slo = flexer::trace::stats::LatencySummary::of_trace(&trace, "layer");
+    assert!(slo.count > 0, "trace artifact recorded no layer spans");
+    println!("trace slo: layer spans {slo} ticks");
     std::fs::write(path, flexer::trace::chrome::to_chrome_json(&trace)).expect("write trace");
     println!("wrote {path} ({})", trace.summary());
 }

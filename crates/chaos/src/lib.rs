@@ -1,0 +1,35 @@
+//! Deterministic chaos/load harness for `flexer-serve`.
+//!
+//! The harness drives a *real* scheduling server over TCP — in-process
+//! by default, a spawned `flexer-serve` binary when one is supplied —
+//! through five scenarios: a many-connection soak, slow-loris and
+//! byte-dribble abuse, live store-corruption injection, deadline skew,
+//! and kill/drain/restart cycles with warm-store reattach.
+//!
+//! Two properties make it a CI gate rather than a flake generator:
+//!
+//! - **Determinism.** All load shapes, fault choices, and op mixes are
+//!   pure functions of one [`rng::SplitMix64`] seed. A failure report
+//!   names the seed; re-running with it replays the same schedule of
+//!   abuse. No assertion reads the wall clock.
+//! - **Trace-based SLOs.** Latency percentiles are computed from the
+//!   deterministic trace layer's logical-tick span durations
+//!   ([`flexer_trace::stats`]) carried in traced responses — a
+//!   statement about search effort, byte-stable across runs, immune to
+//!   machine load.
+//!
+//! Every invariant violation dumps a replayable artifact (seed,
+//! violation list, captured span trees) under the configured artifact
+//! directory. See [`harness::run_chaos`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod rng;
+pub mod scenarios;
+
+pub use harness::{
+    run_chaos, ChaosConfig, ChaosReport, Profile, Scenario, SloThresholds, Violation,
+};
+pub use rng::SplitMix64;

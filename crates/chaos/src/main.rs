@@ -1,0 +1,112 @@
+//! `flexer-chaos` — deterministic chaos/load harness for
+//! `flexer-serve`.
+//!
+//! ```text
+//! flexer-chaos [--seed N]... [--duration-short|--duration-long]
+//!              [--artifact-dir DIR] [--scratch-dir DIR]
+//!              [--serve-bin PATH] [--scenario NAME]...
+//! ```
+//!
+//! Runs every scenario (or the named subset) once per `--seed` and
+//! exits non-zero when any run caught an invariant violation. Failure
+//! runs dump a replayable artifact (`chaos-seed-N.log`) naming the
+//! seed to re-run with.
+
+use flexer_chaos::{run_chaos, ChaosConfig, Profile, Scenario};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut template = ChaosConfig::new(0);
+    let mut scenarios: Vec<Scenario> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(seed)) => seeds.push(seed),
+                _ => return usage("--seed needs an unsigned integer"),
+            },
+            "--duration-short" => template.profile = Profile::Short,
+            "--duration-long" => template.profile = Profile::Long,
+            "--artifact-dir" => match args.next() {
+                Some(dir) => template.artifact_dir = PathBuf::from(dir),
+                None => return usage("--artifact-dir needs a path"),
+            },
+            "--scratch-dir" => match args.next() {
+                Some(dir) => template.scratch_dir = PathBuf::from(dir),
+                None => return usage("--scratch-dir needs a path"),
+            },
+            "--serve-bin" => match args.next() {
+                Some(bin) => template.serve_bin = Some(PathBuf::from(bin)),
+                None => return usage("--serve-bin needs a path"),
+            },
+            "--scenario" => match args.next().as_deref().and_then(Scenario::from_name) {
+                Some(scenario) => scenarios.push(scenario),
+                None => {
+                    let names: Vec<&str> = Scenario::all().iter().map(|s| s.name()).collect();
+                    return usage(&format!("--scenario needs one of {}", names.join(", ")));
+                }
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if seeds.is_empty() {
+        seeds.push(1);
+    }
+    if !scenarios.is_empty() {
+        template.scenarios = scenarios;
+    }
+    if let Some(bin) = &template.serve_bin {
+        if !bin.exists() {
+            eprintln!("error: --serve-bin {} does not exist", bin.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failed = false;
+    for seed in seeds {
+        let cfg = ChaosConfig {
+            seed,
+            ..template.clone()
+        };
+        let report = run_chaos(&cfg);
+        println!(
+            "seed {:>6}: {} ops, {} violation(s), layer spans {}",
+            report.seed,
+            report.ops,
+            report.violations.len(),
+            report.layer_latency,
+        );
+        for v in &report.violations {
+            println!("  [{}] {}", v.scenario, v.detail);
+        }
+        if let Some(artifact) = &report.artifact {
+            println!("  artifact: {}", artifact.display());
+            println!("  replay:   flexer-chaos --seed {}", report.seed);
+        }
+        failed |= !report.clean();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!(
+        "usage: flexer-chaos [--seed N]... [--duration-short|--duration-long] \
+         [--artifact-dir DIR] [--scratch-dir DIR] [--serve-bin PATH] [--scenario NAME]..."
+    );
+    if problem.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,113 @@
+//! The harness's one randomness source: SplitMix64.
+//!
+//! Everything the harness "randomly" does — op mixes, fault choices,
+//! dribble pacing, kill-vs-drain coin flips — flows from one seed
+//! through this generator, so one `--seed` value replays one exact
+//! schedule of abuse. SplitMix64 is chosen for its trivially portable
+//! arithmetic (no platform-dependent behavior to drift) and cheap
+//! [`SplitMix64::fork`], which gives each client thread its own
+//! deterministic stream regardless of thread interleaving.
+
+/// A seeded SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
+
+    /// `true` with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// A child generator whose stream is a pure function of this
+    /// generator's state — one per worker thread keeps per-thread
+    /// determinism independent of scheduling order.
+    pub fn fork(&mut self) -> Self {
+        Self::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_first_value() {
+        // SplitMix64(0) reference value — pins the arithmetic so the
+        // "same seed replays the same run" promise survives refactors.
+        assert_eq!(SplitMix64::new(0).next_u64(), 0xe220_a839_7b1d_cdaf);
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_distinct() {
+        let mut root = SplitMix64::new(7);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        let mut root2 = SplitMix64::new(7);
+        let mut a2 = root2.fork();
+        let mut b2 = root2.fork();
+        assert_eq!(a.next_u64(), a2.next_u64());
+        assert_eq!(b.next_u64(), b2.next_u64());
+        assert_ne!(SplitMix64::new(7).fork().next_u64(), {
+            let mut r = SplitMix64::new(7);
+            r.fork();
+            r.fork().next_u64()
+        });
+    }
+
+    #[test]
+    fn below_and_pick_stay_in_range() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+        assert_eq!(r.below(0), 0);
+        let items = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(items.contains(r.pick(&items)));
+        }
+    }
+}

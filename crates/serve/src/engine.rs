@@ -33,16 +33,47 @@ pub struct Deadline {
 impl Deadline {
     /// A deadline `ms` milliseconds from now; `None` falls back to
     /// `default_ms`, where `0` means unbounded.
+    ///
+    /// The full semantics (pinned by tests here and in
+    /// `crate::protocol`):
+    ///
+    /// - `Some(0)` is *already expired* — exact-mode requests fail with
+    ///   the typed `deadline` error, anytime-mode requests return every
+    ///   layer's seeded best-so-far.
+    /// - `None` with `default_ms == 0` is unbounded.
+    /// - Absurdly large values (≥ [`Self::UNBOUNDED_THRESHOLD_MS`],
+    ///   up to and including `u64::MAX`) saturate to unbounded instead
+    ///   of risking a clock overflow — an `Instant + Duration` panic
+    ///   in a worker thread would kill that worker and silently shrink
+    ///   the pool.
     #[must_use]
     pub fn from_ms(ms: Option<u64>, default_ms: u64) -> Self {
         // An explicit 0 means "already expired"; only an absent
         // deadline with default 0 is unbounded.
         let at = match ms {
-            Some(ms) => Some(Instant::now() + Duration::from_millis(ms)),
+            Some(ms) => Self::saturating_expiry(ms),
             None if default_ms == 0 => None,
-            None => Some(Instant::now() + Duration::from_millis(default_ms)),
+            None => Self::saturating_expiry(default_ms),
         };
         Self { at }
+    }
+
+    /// Deadlines at least this far out are treated as unbounded
+    /// (~100 years). The threshold makes the saturation
+    /// platform-independent: whether `Instant + Duration` overflows
+    /// for a given huge value differs by OS clock representation, and
+    /// a deadline a century out is unbounded for every practical
+    /// purpose anyway.
+    const UNBOUNDED_THRESHOLD_MS: u64 = 100 * 365 * 24 * 60 * 60 * 1000;
+
+    /// `now + ms`, or `None` (unbounded) for values past
+    /// [`Self::UNBOUNDED_THRESHOLD_MS`] or beyond what the monotonic
+    /// clock can represent.
+    fn saturating_expiry(ms: u64) -> Option<Instant> {
+        if ms >= Self::UNBOUNDED_THRESHOLD_MS {
+            return None;
+        }
+        Instant::now().checked_add(Duration::from_millis(ms))
     }
 
     /// An unbounded deadline.
@@ -343,6 +374,14 @@ impl Engine {
         }
         let result = NetworkResult::new(net.name(), rows);
         let partial = result.layers().iter().any(|l| !l.is_exact());
+        // `partial` is an existential over the layer rows, so it can
+        // only be true when at least one row exists — a `partial:true`
+        // response always names which layers were cut. (The protocol
+        // additionally rejects empty layer lists at parse time.)
+        debug_assert!(
+            !partial || !result.layers().is_empty(),
+            "partial:true requires a non-empty layer set"
+        );
         let mut o = ok_response(Op::Schedule, req.id.as_deref());
         o.str("mode", req.mode.code()).bool("partial", partial);
         Self::push_totals(&mut o, req, &result);
@@ -434,6 +473,38 @@ mod tests {
         let deadline = Deadline::from_ms(Some(0), 0);
         let err = engine.run(&schedule_req(""), &deadline).unwrap_err();
         assert_eq!(err.0, ErrorKind::Deadline);
+    }
+
+    #[test]
+    fn huge_deadline_saturates_to_unbounded_instead_of_panicking() {
+        // Pre-fix, `Instant + Duration::from_millis(u64::MAX)`
+        // panicked, killing the worker thread mid-request.
+        let engine = Engine::new();
+        for ms in [u64::MAX, u64::MAX / 2, 1 << 62] {
+            let deadline = Deadline::from_ms(Some(ms), 0);
+            assert!(deadline.check().is_ok(), "deadline_ms={ms}");
+            let line = engine.run(&schedule_req(""), &deadline).unwrap();
+            let j = flexer_trace::json::parse(&line).unwrap();
+            assert_eq!(
+                j.get("ok").and_then(flexer_trace::json::Json::as_bool),
+                Some(true),
+                "deadline_ms={ms}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_deadline_is_already_expired_and_absent_uses_default() {
+        // deadline_ms:0 — expired immediately, not "use the default".
+        assert!(Deadline::from_ms(Some(0), 60_000).check().is_err());
+        // Absent with a zero default — unbounded.
+        let unbounded = Deadline::from_ms(None, 0);
+        assert!(unbounded.at().is_none());
+        assert!(unbounded.check().is_ok());
+        // Absent with a nonzero default — bounded by the default.
+        assert!(Deadline::from_ms(None, 60_000).at().is_some());
+        // A huge *default* saturates to unbounded too.
+        assert!(Deadline::from_ms(None, u64::MAX).at().is_none());
     }
 
     #[test]

@@ -31,6 +31,25 @@
 //! true` and a per-layer proven optimality `"gap"` instead of failing.
 //! Anytime mode is exclusive to `schedule` (the static baseline the
 //! other ops run has no anytime search) and incompatible with `trace`.
+//!
+//! # Deadline semantics
+//!
+//! `"deadline_ms"` is any non-negative integer; the edge cases are
+//! pinned, not accidental:
+//!
+//! - `"deadline_ms": 0` means **already expired** — it does *not* mean
+//!   "use the server default" or "unbounded". Exact mode answers the
+//!   typed `deadline` error; anytime mode answers `"partial": true`
+//!   with every layer's seeded best-so-far schedule and gap.
+//! - Omitting `"deadline_ms"` uses the server's default deadline
+//!   (`--deadline-ms`), where a default of `0` means unbounded.
+//! - Absurdly large values — a century or more out, up to and
+//!   including `u64::MAX` — saturate to **unbounded**: the request
+//!   simply never times out. They are accepted, not an error, and
+//!   never a worker-killing clock overflow.
+//! - A `"partial": true` anytime response always carries a non-empty
+//!   `"layers"` array: partiality is a property of specific cut
+//!   layers, and a request with no layers is rejected at parse time.
 
 use flexer_model::{networks, ConvLayer, Network};
 use flexer_trace::json::{parse, Json};
@@ -510,6 +529,49 @@ mod tests {
             assert_eq!(req.arch, ArchPreset::Arch1);
             assert_eq!(req.options, OptionsName::Quick);
             assert!(req.network.is_none());
+        }
+    }
+
+    #[test]
+    fn deadline_edge_values_parse_as_documented() {
+        let req = |deadline: &str| {
+            parse_request(&format!(
+                r#"{{"op":"schedule","layers":[{{"in_channels":16,"height":14,"width":14,"out_channels":16}}],"deadline_ms":{deadline}}}"#
+            ))
+        };
+        // 0 is a legal, already-expired deadline — not an error and
+        // not "server default".
+        assert_eq!(req("0").unwrap().deadline_ms, Some(0));
+        // Absurdly large values up to u64::MAX parse; saturating them
+        // to unbounded is the engine's job, not a parse rejection.
+        assert_eq!(
+            req("18446744073709551615").unwrap().deadline_ms,
+            Some(u64::MAX)
+        );
+        assert_eq!(
+            req("4611686018427387904").unwrap().deadline_ms,
+            Some(1 << 62)
+        );
+        // Absent means "server default".
+        let line = r#"{"op":"schedule","layers":[{"in_channels":16,"height":14,"width":14,"out_channels":16}]}"#;
+        assert_eq!(parse_request(line).unwrap().deadline_ms, None);
+        // Negative and fractional values stay typed bad_request.
+        for bad in ["-1", "0.5", "\"soon\""] {
+            let (kind, _) = req(bad).unwrap_err();
+            assert_eq!(kind, ErrorKind::BadRequest, "deadline_ms={bad}");
+        }
+    }
+
+    #[test]
+    fn empty_layer_lists_are_rejected_for_every_mode() {
+        // `partial:true` with an empty layer set is impossible partly
+        // because the request can never get that far.
+        for mode in ["exact", "anytime"] {
+            let line =
+                format!(r#"{{"op":"schedule","layers":[],"mode":"{mode}","deadline_ms":0}}"#);
+            let (kind, msg) = parse_request(&line).unwrap_err();
+            assert_eq!(kind, ErrorKind::BadRequest, "mode={mode}");
+            assert!(msg.contains("non-empty"), "{msg}");
         }
     }
 

@@ -282,17 +282,46 @@ fn read_bounded_line(reader: &mut BufReader<TcpStream>, shared: &Shared) -> Line
         if line.len() > MAX_LINE_BYTES {
             return LineRead::TooLong;
         }
+        // Re-check the drain flag on the data path too. Pre-fix it was
+        // only checked on read *timeouts*, so a byte-dribbling client
+        // whose data kept arriving (never a newline) pinned a worker
+        // until the line cap — hours at one byte per poll — and
+        // graceful shutdown stalled behind it.
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return LineRead::Draining;
+        }
     }
 }
 
-/// Discards pending input until EOF or a short time budget runs out.
-fn drain_briefly(reader: &mut BufReader<TcpStream>) {
-    let deadline = std::time::Instant::now() + Duration::from_millis(500);
-    while std::time::Instant::now() < deadline {
+/// The most bytes [`drain_briefly`] will swallow before giving up on a
+/// tidy close. Anything larger is a flood, and floods get a reset.
+const DRAIN_MAX_BYTES: usize = 64 * 1024;
+
+/// The longest [`drain_briefly`] will wait on a peer that has stopped
+/// sending.
+const DRAIN_MAX_TIME: Duration = Duration::from_millis(500);
+
+/// Discards pending input until EOF, bounded by **both**
+/// [`DRAIN_MAX_BYTES`] and [`DRAIN_MAX_TIME`]. The byte bound is the
+/// load-bearing one: draining exists only to move our already-written
+/// error reply ahead of the connection reset, and a peer still
+/// flooding past 64 KiB is not reading replies — while pre-fix an
+/// unbounded-bytes drain let a fast writer pump hundreds of megabytes
+/// through a worker during its whole 500 ms window. A raised drain
+/// flag also ends the drain: shutdown never waits on a misbehaving
+/// peer's leftovers.
+fn drain_briefly(reader: &mut BufReader<TcpStream>, shared: &Shared) {
+    let deadline = std::time::Instant::now() + DRAIN_MAX_TIME;
+    let mut drained = 0usize;
+    while std::time::Instant::now() < deadline
+        && drained < DRAIN_MAX_BYTES
+        && !shared.shutting_down.load(Ordering::SeqCst)
+    {
         match reader.fill_buf() {
             Ok([]) => return,
             Ok(buf) => {
                 let n = buf.len();
+                drained += n;
                 reader.consume(n);
             }
             Err(e)
@@ -352,7 +381,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 // Cannot resynchronize mid-line; swallow what the peer
                 // already sent so closing with unread input does not
                 // reset the connection under our reply.
-                drain_briefly(&mut reader);
+                drain_briefly(&mut reader, shared);
                 return;
             }
         };
@@ -360,7 +389,26 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             continue;
         }
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        let (response, shutdown) = process_line(shared, &line);
+        // A panic in request execution must not unwind through the
+        // worker loop: a dead worker silently shrinks the pool until
+        // the server hangs. Catch it and answer with a typed
+        // `internal` error instead; the engine's shared state is lock-
+        // per-call, so a panicked request cannot leave it mid-update
+        // (a poisoned lock would surface as a panic on the next
+        // request, which this same guard converts to `internal`).
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process_line(shared, &line)));
+        let (response, shutdown) = outcome.unwrap_or_else(|_| {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            (
+                error_line(
+                    ErrorKind::Internal,
+                    None,
+                    "request execution panicked; see server logs",
+                ),
+                false,
+            )
+        });
         if write_line(&mut writer, response).is_err() {
             return;
         }

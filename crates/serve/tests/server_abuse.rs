@@ -228,6 +228,142 @@ fn graceful_shutdown_drains_in_flight_work_and_flushes_the_store() {
 }
 
 #[test]
+fn dribbling_client_cannot_stall_graceful_shutdown() {
+    // A client that keeps bytes trickling in (never a newline) used to
+    // pin its worker through shutdown: the drain flag was only checked
+    // on read *timeouts*, and a dribbler never let the read time out.
+    // Post-fix the flag is checked on the data path too, so the server
+    // must finish draining while the dribble is still flowing.
+    let (addr, handle) = boot(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let mut dribbler = std::net::TcpStream::connect(addr).unwrap();
+    let dribble = std::thread::spawn(move || {
+        use std::io::Write;
+        // ~30 s of dribble at 20 ms/byte — far longer than the test
+        // allows the shutdown to take; ends early once the server
+        // closes the connection under us.
+        for _ in 0..1500 {
+            if dribbler.write_all(b"{").is_err() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+    // Let a worker pick the dribbler up and enter its read loop.
+    std::thread::sleep(Duration::from_millis(200));
+    let reply = flexer_serve::client::roundtrip(addr, r#"{"op":"shutdown"}"#).unwrap();
+    assert_ok(&reply);
+    // Liveness, not latency: the server must come down while the
+    // client is still dribbling. `JoinHandle` has no timed join, so
+    // relay through a channel.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let joiner = std::thread::spawn(move || {
+        handle.join().expect("server thread");
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("a dribbling client stalled graceful shutdown");
+    joiner.join().unwrap();
+    dribble.join().unwrap();
+}
+
+#[test]
+fn post_error_drain_is_bounded_by_bytes_not_just_time() {
+    // After an oversized line the server drains leftover input so its
+    // error reply beats the connection reset. Pre-fix that drain was
+    // bounded only by time, so for its whole 500 ms window a flooding
+    // client could pump data through the worker at loopback speed
+    // (hundreds of megabytes). Post-fix the drain also stops after
+    // 64 KiB, so the flood hits a closed socket almost immediately.
+    let (addr, handle) = boot(ServerConfig::default());
+    let mut c = std::net::TcpStream::connect(addr).unwrap();
+    {
+        use std::io::Write;
+        let oversized = vec![b'x'; flexer_serve::MAX_LINE_BYTES + 16];
+        c.write_all(&oversized).unwrap();
+    }
+    // Flood without ever reading, counting what the server accepts.
+    c.set_write_timeout(Some(Duration::from_secs(2))).unwrap();
+    let chunk = vec![b'y'; 64 * 1024];
+    let mut sent = 0usize;
+    for _ in 0..4096 {
+        use std::io::Write;
+        match c.write(&chunk) {
+            Ok(n) => sent += n,
+            Err(_) => break, // server stopped reading / closed
+        }
+    }
+    // Generous allowance for socket and BufReader buffering on top of
+    // the 64 KiB drain bound; the pre-fix behavior exceeds this by two
+    // orders of magnitude.
+    assert!(
+        sent < 32 * 1024 * 1024,
+        "drain swallowed {sent} bytes; it must be byte-bounded"
+    );
+    // The typed error reply still arrived ahead of the close.
+    let mut reader = std::io::BufReader::new(&c);
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    assert_error(line.trim_end(), "parse");
+    drop(c);
+    shutdown_and_join(addr, handle);
+}
+
+#[test]
+fn huge_deadlines_are_unbounded_not_worker_killing() {
+    // `deadline_ms` values near u64::MAX used to risk an
+    // `Instant + Duration` overflow panic inside the worker; each such
+    // request would kill a worker and shrink the pool until the server
+    // hung. They must be served as plain unbounded requests.
+    let (addr, handle) = boot(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr).unwrap();
+    for deadline in ["18446744073709551615", "4611686018427387904"] {
+        let line = format!(
+            r#"{{"op":"schedule","layers":[{{"in_channels":16,"height":14,"width":14,"out_channels":16}}],"deadline_ms":{deadline}}}"#
+        );
+        let j = assert_ok(&c.roundtrip(&line).unwrap());
+        assert!(j.get("latency").and_then(Json::as_num).unwrap() > 0.0);
+    }
+    // With a single worker, survival of further requests proves no
+    // worker died along the way.
+    assert_ok(&c.roundtrip(r#"{"op":"health"}"#).unwrap());
+    // Free the single worker before asking it to serve the shutdown.
+    drop(c);
+    shutdown_and_join(addr, handle);
+}
+
+#[test]
+fn panicking_request_gets_a_typed_internal_error_and_spares_the_worker() {
+    // The worker wraps request execution in a panic guard; any panic
+    // must surface as a typed `internal` error on the wire with the
+    // worker (and its connection loop) still alive. There is no known
+    // panicking request — this pins the guard via the response
+    // contract: whatever happens, a line comes back and the connection
+    // keeps working. (The chaos harness leans on the same guarantee.)
+    let (addr, handle) = boot(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr).unwrap();
+    // A pathological-but-valid request mix on the single worker.
+    assert_error(
+        &c.roundtrip(r#"{"op":"schedule","layers":[]}"#).unwrap(),
+        "bad_request",
+    );
+    let j = assert_ok(&c.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    assert_eq!(j.get("workers").and_then(Json::as_num), Some(1.0));
+    assert_ok(&c.roundtrip(r#"{"op":"health"}"#).unwrap());
+    // Free the single worker before asking it to serve the shutdown.
+    drop(c);
+    shutdown_and_join(addr, handle);
+}
+
+#[test]
 fn oversized_line_is_a_typed_parse_error() {
     let (addr, handle) = boot(ServerConfig::default());
     let mut c = Client::connect(addr).unwrap();

@@ -237,9 +237,21 @@ impl ScheduleStore {
     /// Looks up `fp`, validating and decoding the entry.
     ///
     /// Counts a hit, a miss, or a corrupt entry (corrupt entries are
-    /// deleted so the next `put` repairs the store). Never panics on
+    /// removed so the next `put` repairs the store). Never panics on
     /// damaged input and never returns a result whose bytes did not
     /// checksum.
+    ///
+    /// The corrupt path is safe under concurrent readers and writers
+    /// sharing the directory: the damaged file is *renamed aside* (an
+    /// atomic move to a `.tmp-` quarantine name) and re-validated
+    /// there before being discarded. A plain `remove_file` would race
+    /// a concurrent repair — reader A caches corrupt bytes, reader B
+    /// deletes, re-searches and atomically renames a healthy entry
+    /// into place, then A's delete destroys B's repair. With the
+    /// quarantine protocol, whatever the rename captured is inspected:
+    /// if it turned out healthy (A stole a fresh repair), it is moved
+    /// straight back and served as a hit; only bytes that are *still*
+    /// corrupt are dropped.
     pub fn get(&self, fp: Fingerprint) -> Lookup {
         let path = self.entry_path(fp);
         let bytes = match fs::read(&path) {
@@ -257,15 +269,62 @@ impl ScheduleStore {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Lookup::Hit(Box::new(result))
             }
-            Err(kind) => {
-                let _ = fs::remove_file(&path);
-                self.recency
-                    .lock()
-                    .expect("recency lock")
-                    .seq
-                    .remove(&fp.hex());
-                self.corrupt.fetch_add(1, Ordering::Relaxed);
-                Lookup::Corrupt(kind)
+            Err(kind) => match self.quarantine_corrupt(fp, &path) {
+                Some(repaired) => {
+                    // Between our read and the quarantine rename a
+                    // concurrent repair replaced the entry; we captured
+                    // (and restored) the healthy replacement.
+                    self.touch(fp);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Lookup::Hit(repaired)
+                }
+                None => {
+                    self.recency
+                        .lock()
+                        .expect("recency lock")
+                        .seq
+                        .remove(&fp.hex());
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    Lookup::Corrupt(kind)
+                }
+            },
+        }
+    }
+
+    /// Atomically moves the entry at `path` to a unique quarantine
+    /// name and re-validates the captured bytes. Returns the decoded
+    /// result — restored into place — when the captured file was
+    /// healthy (we raced a concurrent repair), `None` when it was
+    /// genuinely corrupt (quarantine deleted) or already gone.
+    fn quarantine_corrupt(&self, fp: Fingerprint, path: &Path) -> Option<Box<LayerSearchResult>> {
+        static QUARANTINE_SEQ: AtomicU64 = AtomicU64::new(0);
+        // The ".tmp-" prefix keeps leftovers (a crash between rename
+        // and the verdict below) reapable by the next open().
+        let quarantine = self.dir.join(format!(
+            ".tmp-q-{}-{}-{}",
+            fp.hex(),
+            std::process::id(),
+            QUARANTINE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::rename(path, &quarantine).is_err() {
+            // Already removed or quarantined by a concurrent reader.
+            return None;
+        }
+        let captured = fs::read(&quarantine).ok();
+        match captured.and_then(|b| parse_entry(&b).ok()) {
+            Some(result) => {
+                // We captured a healthy entry: put it back. If a yet
+                // newer repair landed meanwhile, rename replaces it
+                // with an equally valid copy; on failure the decoded
+                // result is still served and a later put re-repairs.
+                if fs::rename(&quarantine, path).is_err() {
+                    let _ = fs::remove_file(&quarantine);
+                }
+                Some(Box::new(result))
+            }
+            None => {
+                let _ = fs::remove_file(&quarantine);
+                None
             }
         }
     }

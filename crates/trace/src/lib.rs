@@ -26,6 +26,9 @@
 //! Exporters: [`chrome::to_chrome_json`] writes Chrome trace-event
 //! JSON loadable in Perfetto / `chrome://tracing`;
 //! [`text::render_tree`] writes an indented span-tree summary.
+//! [`stats`] computes deterministic latency percentiles (p50/p99 in
+//! logical ticks) from either a [`Trace`] or a rendered span tree —
+//! the basis of wall-clock-free latency SLO gates.
 //!
 //! The crate is intentionally dependency-free, and the disabled path
 //! ([`Tracer::disabled`] / [`Lane::off`]) costs one branch per call
@@ -40,9 +43,11 @@ pub mod chrome;
 mod event;
 pub mod json;
 mod lane;
+pub mod stats;
 pub mod text;
 mod trace;
 
 pub use event::{Attr, AttrValue, Event, EventKind, TraceError};
 pub use lane::{ClockMode, Lane, SpanGuard, TraceConfig, TraceDetail, Tracer};
+pub use stats::LatencySummary;
 pub use trace::{LaneData, Trace, TraceSummary};
