@@ -32,6 +32,19 @@ if [ "$(grep -c '^seed gate arch' <<<"$seed_out")" -lt 2 ]; then
     echo "check.sh: bench_json --seed did not report both presets" >&2
     exit 1
 fi
+# Residency gate: the network-level inter-layer residency planner must
+# strictly cut total DMA bytes with latency no worse on both reference
+# presets, keep the residency-disabled run byte-identical to the plain
+# per-layer search, and pass differential verification on every
+# residency-on schedule — all hard-asserted inside bench_json
+# --residency, which exits non-zero (and prints no "residency gate"
+# lines) on violation.
+residency_out="$(FLEXER_BENCH_ITERS="${FLEXER_BENCH_ITERS:-3}" ./target/release/bench_json --residency)"
+echo "$residency_out"
+if [ "$(grep -c '^residency gate arch' <<<"$residency_out")" -lt 2 ]; then
+    echo "check.sh: bench_json --residency did not report both presets" >&2
+    exit 1
+fi
 # Anytime gate: an expiring deadline yields a partial result with a
 # proven gap instead of a typed deadline error.
 cargo test -q -p flexer-serve anytime

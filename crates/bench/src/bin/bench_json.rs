@@ -48,6 +48,16 @@
 //! candidates_bounded, candidates_pruned, early_exits, full_evals,
 //! seeded_cutoffs, gap_ppm}`. Writes `BENCH_PR6.json` (override with
 //! `FLEXER_BENCH_OUT_PR6`).
+//!
+//! Pass `--residency` to run the *inter-layer residency* suite
+//! instead: the network-level residency planner versus the plain
+//! per-layer DRAM round-trip on both reference presets, every
+//! residency-on schedule differentially verified. Hard-asserts that
+//! DMA bytes strictly drop with latency no worse and that the
+//! residency-disabled reference stays byte-identical to the plain
+//! search. Rows: `{bench, arch, median_ns, dma_bytes, latency_cycles,
+//! resident_edges, spilled_edges, dma_bytes_saved}`. Writes
+//! `BENCH_PR8.json` (override with `FLEXER_BENCH_OUT_PR8`).
 
 use flexer::prelude::*;
 use flexer::trace::Lane;
@@ -318,6 +328,143 @@ fn bench_seed(iters: usize) {
     }
 }
 
+/// The PR 8 suite: the network-level inter-layer residency planner
+/// versus the plain per-layer DRAM round-trip, on both reference
+/// presets, with every residency-on schedule differentially verified.
+/// Hard-asserts, per architecture: total DMA (DRAM) bytes strictly
+/// drop, end-to-end latency is no worse, the residency-disabled
+/// reference run is byte-identical to the plain network search, and
+/// the plan's cross-layer protocol replays cleanly against the
+/// residency ledger. Writes `BENCH_PR8.json` (override with
+/// `FLEXER_BENCH_OUT_PR8`).
+fn bench_residency(iters: usize) {
+    let out8 =
+        std::env::var("FLEXER_BENCH_OUT_PR8").unwrap_or_else(|_| "BENCH_PR8.json".to_owned());
+    let net = scale_spatial(&networks::by_name("squeezenet").expect("known net"), 4);
+    let mut rows = Vec::new();
+    for preset in [ArchPreset::Arch1, ArchPreset::Arch5] {
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        // Every residency-on winner must survive the SPM abstract
+        // machine and the resident-counter differential check.
+        opts.validate = true;
+        let driver = Flexer::new(ArchConfig::preset(preset)).with_options(opts);
+
+        let warm = driver
+            .schedule_network_resident(&net)
+            .expect("benchmark net schedules");
+        let mut samples: Vec<u128> = (0..iters)
+            .map(|_| {
+                let t = Instant::now();
+                let r = driver
+                    .schedule_network_resident(&net)
+                    .expect("benchmark net schedules");
+                let ns = t.elapsed().as_nanos();
+                assert_eq!(
+                    r.result.total_transfer_bytes(),
+                    warm.result.total_transfer_bytes()
+                );
+                ns
+            })
+            .collect();
+        let resident_ns = median_ns(&mut samples);
+
+        // Gate 1: the residency-disabled reference is byte-identical to
+        // the plain per-layer network search. Timed under the same
+        // warm-cache regime as the resident loop above.
+        let plain = driver.schedule_network(&net).expect("plain net schedules");
+        let mut samples: Vec<u128> = (0..iters)
+            .map(|_| {
+                let t = Instant::now();
+                let r = driver.schedule_network(&net).expect("plain net schedules");
+                let ns = t.elapsed().as_nanos();
+                assert_eq!(r.total_transfer_bytes(), plain.total_transfer_bytes());
+                ns
+            })
+            .collect();
+        let plain_ns = median_ns(&mut samples);
+        for (a, b) in plain.layers().iter().zip(warm.baseline.layers()) {
+            assert_eq!(
+                a.schedule, b.schedule,
+                "{preset}: residency-off run diverged at {}",
+                a.layer
+            );
+        }
+        // Gate 2: DMA bytes strictly drop; latency is no worse.
+        let (dram_off, dram_on) = (
+            plain.total_transfer_bytes(),
+            warm.result.total_transfer_bytes(),
+        );
+        assert!(
+            dram_on < dram_off,
+            "{preset}: residency must strictly cut DMA bytes ({dram_on} vs {dram_off})"
+        );
+        assert!(
+            warm.result.total_latency() <= plain.total_latency(),
+            "{preset}: residency must not cost latency ({} vs {})",
+            warm.result.total_latency(),
+            plain.total_latency()
+        );
+        assert!(warm.result.verified(), "{preset}: resident run unverified");
+        // Gate 3: the cross-layer protocol replays within the SPM.
+        let peak = flexer::replay_ledger(driver.arch().spm_bytes(), &warm.plan.ledger_ops())
+            .expect("residency plan violates the ledger");
+        assert_eq!(peak, warm.plan.peak_reserved());
+
+        for (bench, ns, dma, latency) in [
+            (
+                "network_resident",
+                resident_ns,
+                dram_on,
+                warm.result.total_latency(),
+            ),
+            ("network_dram", plain_ns, dram_off, plain.total_latency()),
+        ] {
+            rows.push((
+                bench,
+                preset.to_string(),
+                ns,
+                dma,
+                latency,
+                warm.plan.resident_edges(),
+                warm.plan.spilled_edges(),
+                warm.dma_bytes_saved(),
+            ));
+        }
+        println!(
+            "residency gate {preset}: {} resident edges, {} spilled, DMA {} -> {} B \
+             (saved {}), latency {} -> {} cycles",
+            warm.plan.resident_edges(),
+            warm.plan.spilled_edges(),
+            dram_off,
+            dram_on,
+            warm.dma_bytes_saved(),
+            plain.total_latency(),
+            warm.result.total_latency(),
+        );
+    }
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"arch\": \"{}\", \"median_ns\": {}, \"dma_bytes\": {}, \
+             \"latency_cycles\": {}, \"resident_edges\": {}, \"spilled_edges\": {}, \
+             \"dma_bytes_saved\": {}}}{}\n",
+            r.0,
+            r.1,
+            r.2,
+            r.3,
+            r.4,
+            r.5,
+            r.6,
+            r.7,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out8, &json).expect("write benchmark output");
+    println!("wrote {out8}");
+}
+
 /// Times a traced layer search; returns the median, the evaluated
 /// count, and the first run's trace (for event counting).
 fn time_traced_search(
@@ -481,6 +628,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut store_dir: Option<String> = None;
     let mut seed_only = false;
+    let mut residency_only = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace-out" => {
@@ -492,10 +640,13 @@ fn main() {
             "--seed" => {
                 seed_only = true;
             }
+            "--residency" => {
+                residency_only = true;
+            }
             other => {
                 eprintln!(
                     "unknown argument {other:?}; supported: --trace-out <path>, \
-                     --store <dir>, --seed"
+                     --store <dir>, --seed, --residency"
                 );
                 std::process::exit(2);
             }
@@ -511,6 +662,10 @@ fn main() {
         .unwrap_or(7);
     if seed_only {
         bench_seed(iters);
+        return;
+    }
+    if residency_only {
+        bench_residency(iters);
         return;
     }
     let out_path =

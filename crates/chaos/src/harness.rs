@@ -138,7 +138,17 @@ pub struct ChaosConfig {
     pub scenarios: Vec<Scenario>,
     /// Latency SLO thresholds asserted over the soak's traced spans.
     pub slo: SloThresholds,
+    /// Concurrent soak client connections. The default (6) is
+    /// CI-sized; `--connections` raises it, and the opt-in
+    /// `--connection-storm` profile drives thousands of concurrent
+    /// clients against one daemon.
+    pub connections: usize,
 }
+
+/// The connection count `--connection-storm` selects: a
+/// thousands-of-connections soak, opt-in only (never part of the
+/// default CI gate).
+pub const STORM_CONNECTIONS: usize = 2048;
 
 impl ChaosConfig {
     /// The default configuration for one seed.
@@ -152,6 +162,7 @@ impl ChaosConfig {
             serve_bin: None,
             scenarios: Scenario::all(),
             slo: SloThresholds::default(),
+            connections: 6,
         }
     }
 }
@@ -300,12 +311,17 @@ fn write_artifact(cfg: &ChaosConfig, violations: &[Violation], span_trees: &[Str
         .join(format!("chaos-seed-{}.log", cfg.seed));
     let mut out = String::new();
     out.push_str(&format!(
-        "flexer-chaos failure artifact\nseed: {}\nreplay: flexer-chaos --seed {}{}\n\n",
+        "flexer-chaos failure artifact\nseed: {}\nreplay: flexer-chaos --seed {}{}{}\n\n",
         cfg.seed,
         cfg.seed,
         match cfg.profile {
             Profile::Short => " --duration-short",
             Profile::Long => " --duration-long",
+        },
+        if cfg.connections == 6 {
+            String::new()
+        } else {
+            format!(" --connections {}", cfg.connections)
         },
     ));
     out.push_str(&format!("violations ({}):\n", violations.len()));

@@ -31,5 +31,6 @@ pub mod scenarios;
 
 pub use harness::{
     run_chaos, ChaosConfig, ChaosReport, Profile, Scenario, SloThresholds, Violation,
+    STORM_CONNECTIONS,
 };
 pub use rng::SplitMix64;

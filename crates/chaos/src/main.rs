@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! flexer-chaos [--seed N]... [--duration-short|--duration-long]
+//!              [--connections N | --connection-storm]
 //!              [--artifact-dir DIR] [--scratch-dir DIR]
 //!              [--serve-bin PATH] [--scenario NAME]...
 //! ```
@@ -11,8 +12,13 @@
 //! exits non-zero when any run caught an invariant violation. Failure
 //! runs dump a replayable artifact (`chaos-seed-N.log`) naming the
 //! seed to re-run with.
+//!
+//! `--connections N` sets the soak scenario's concurrent client count
+//! (default 6, CI-sized). `--connection-storm` is the opt-in
+//! thousands-of-connections profile — shorthand for `--connections
+//! 2048` — and is deliberately not part of the default CI gate.
 
-use flexer_chaos::{run_chaos, ChaosConfig, Profile, Scenario};
+use flexer_chaos::{run_chaos, ChaosConfig, Profile, Scenario, STORM_CONNECTIONS};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -30,6 +36,11 @@ fn main() -> ExitCode {
             },
             "--duration-short" => template.profile = Profile::Short,
             "--duration-long" => template.profile = Profile::Long,
+            "--connections" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => template.connections = n,
+                _ => return usage("--connections needs a positive integer"),
+            },
+            "--connection-storm" => template.connections = STORM_CONNECTIONS,
             "--artifact-dir" => match args.next() {
                 Some(dir) => template.artifact_dir = PathBuf::from(dir),
                 None => return usage("--artifact-dir needs a path"),
@@ -102,7 +113,8 @@ fn usage(problem: &str) -> ExitCode {
     }
     eprintln!(
         "usage: flexer-chaos [--seed N]... [--duration-short|--duration-long] \
-         [--artifact-dir DIR] [--scratch-dir DIR] [--serve-bin PATH] [--scenario NAME]..."
+         [--connections N | --connection-storm] [--artifact-dir DIR] [--scratch-dir DIR] \
+         [--serve-bin PATH] [--scenario NAME]..."
     );
     if problem.is_empty() {
         ExitCode::SUCCESS

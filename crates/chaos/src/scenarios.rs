@@ -28,6 +28,12 @@ use std::time::Duration;
 /// under a minute, while still exercising the full search pipeline.
 const SHAPES: [(u32, u32, u32, u32); 3] = [(16, 14, 14, 16), (32, 14, 14, 32), (16, 7, 7, 32)];
 
+/// Soak connection counts above this run in *storm* mode: each
+/// connection sheds its op budget to 2 and connection-level transport
+/// failures count as shed load rather than violations (the kernel
+/// accept queue is smaller than the client herd by design there).
+const STORM_TOLERANCE_THRESHOLD: usize = 64;
+
 /// A fourth shape used only as concurrent "hammer" traffic in the
 /// corruption scenario, so corrupting a [`SHAPES`] entry always hits a
 /// memo-cold fingerprint in the fresh server.
@@ -149,8 +155,15 @@ pub(crate) fn soak(cfg: &ChaosConfig, scratch: &Path, mut rng: SplitMix64) -> Sc
         return out;
     };
     let addr = server.addr();
-    let threads = 6;
-    let ops_per_thread = cfg.profile.scale(10);
+    let threads = cfg.connections.max(1);
+    // Storm-sized runs (--connections past the CI scale, up to the
+    // thousands-of-connections profile) shed per-connection ops so
+    // total load grows with the client count, not quadratically, and
+    // tolerate connection-level failures: with more concurrent clients
+    // than the kernel accept queue holds, refused connections are shed
+    // load, not protocol violations.
+    let storm = threads > STORM_TOLERANCE_THRESHOLD;
+    let ops_per_thread = if storm { 2 } else { cfg.profile.scale(10) };
     let trees = Arc::new(Mutex::new(Vec::new()));
 
     let mut thread_outs: Vec<ScenarioOutcome> = Vec::new();
@@ -179,8 +192,13 @@ pub(crate) fn soak(cfg: &ChaosConfig, scratch: &Path, mut rng: SplitMix64) -> Sc
             }
         }
     });
-    for thread_out in thread_outs {
+    for mut thread_out in thread_outs {
         out.ops += thread_out.ops;
+        if storm {
+            thread_out
+                .violations
+                .retain(|v| !v.detail.starts_with("transport failure"));
+        }
         out.violations.extend(thread_out.violations);
     }
     out.span_trees = std::mem::take(&mut *trees.lock().expect("trees mutex"));
@@ -248,11 +266,15 @@ fn soak_op(
         let shape = *rng.pick(&SHAPES);
         let line = schedule_line(id, shape, r#","trace":true"#);
         if let Some(json) = checked_rt(addr, &line, Some(id), &["overloaded"], "soak", out) {
-            match json.get("span_tree").and_then(Json::as_str) {
-                Some(tree) if tree.contains("layer") => {
-                    trees.lock().expect("trees mutex").push(tree.to_string());
+            // A tolerated "overloaded" answer carries no trace; only an
+            // ok:true response owes us a span tree.
+            if json.get("ok").and_then(Json::as_bool) == Some(true) {
+                match json.get("span_tree").and_then(Json::as_str) {
+                    Some(tree) if tree.contains("layer") => {
+                        trees.lock().expect("trees mutex").push(tree.to_string());
+                    }
+                    _ => out.violate("soak", format!("traced response without a span tree: {id}")),
                 }
-                _ => out.violate("soak", format!("traced response without a span tree: {id}")),
             }
         }
     }

@@ -15,6 +15,7 @@ fn smoke_config(seed: u64, tag: &str) -> ChaosConfig {
         serve_bin: None,
         scenarios: Scenario::all(),
         slo: Default::default(),
+        connections: 6,
     }
 }
 
@@ -46,6 +47,39 @@ fn full_matrix_is_clean_and_deterministic() {
         first.layer_latency, second.layer_latency,
         "traced span population is not seed-determined"
     );
+}
+
+#[test]
+fn raised_connection_count_soaks_clean() {
+    // The --connections knob: a soak with many more concurrent clients
+    // than the default 6 (past the storm threshold, so per-connection
+    // ops shed) must still come back violation-free, and its replay
+    // line must name the non-default count.
+    let mut cfg = smoke_config(7, "conns");
+    cfg.scenarios = vec![Scenario::Soak];
+    cfg.connections = 80;
+    let report = run_chaos(&cfg);
+    assert!(report.clean(), "violations: {:#?}", report.violations);
+    assert!(
+        report.ops >= 80 * 2,
+        "each connection must run its shed op budget: {}",
+        report.ops
+    );
+    // A forced violation under the same config records the knob in the
+    // replay artifact.
+    cfg.slo = flexer_chaos::SloThresholds {
+        layer_p50: 0,
+        layer_p99: 0,
+    };
+    let report = run_chaos(&cfg);
+    let artifact: PathBuf = report.artifact.expect("violating run dumps an artifact");
+    let text = std::fs::read_to_string(&artifact).expect("artifact readable");
+    assert!(
+        text.contains("--connections 80"),
+        "artifact lacks the connection count: {text}"
+    );
+    let _ = std::fs::remove_file(&artifact);
+    let _ = std::fs::remove_dir_all(cfg.scratch_dir);
 }
 
 #[test]

@@ -1,14 +1,17 @@
 //! The high-level Flexer driver.
 
 use crate::report::{NetworkComparison, NetworkResult};
-use flexer_arch::ArchConfig;
+use crate::residency::{replay_ledger, EdgeDecision, ResidencyPlan, ResidentNetworkResult};
+use flexer_arch::{ArchConfig, ArchConfigBuilder};
 use flexer_model::{ConvLayer, Network};
 use flexer_sched::{
-    search_layer_cached, search_layer_deadline, search_layer_static_cached, search_network_cached,
-    search_network_static_cached, search_network_traced_cached, verify_layer_result,
-    LayerSearchResult, MemoCache, SchedError, SchedulerKind, SearchOptions,
+    search_layer_cached, search_layer_deadline, search_layer_static_cached,
+    search_layer_static_deadline, search_network_cached, search_network_static_cached,
+    search_network_traced_cached, verify_layer_result, LayerSearchResult, MemoCache, SchedError,
+    SchedulerKind, SearchOptions,
 };
 use flexer_store::{fingerprint, Lookup, ScheduleStore};
+use flexer_tiling::Residency;
 use flexer_trace::Trace;
 use std::fmt;
 use std::io;
@@ -154,17 +157,21 @@ impl Flexer {
         &self.arch
     }
 
-    /// Dispatches a whole-network search to the chosen scheduler.
-    fn search_many(
+    /// Dispatches a whole-network search to the chosen scheduler on an
+    /// explicit target architecture (the residency planner schedules
+    /// layers on reduced-SPM variants of [`Flexer::arch`]; the memo
+    /// cache keys on the architecture, so sharing it stays sound).
+    fn search_many_on(
         &self,
+        arch: &ArchConfig,
         layers: &[ConvLayer],
         options: &SearchOptions,
         kind: SchedulerKind,
     ) -> Result<Vec<LayerSearchResult>, SchedError> {
         match kind {
-            SchedulerKind::Ooo => search_network_cached(layers, &self.arch, options, &self.cache),
+            SchedulerKind::Ooo => search_network_cached(layers, arch, options, &self.cache),
             SchedulerKind::Static => {
-                search_network_static_cached(layers, &self.arch, options, &self.cache)
+                search_network_static_cached(layers, arch, options, &self.cache)
             }
         }
     }
@@ -179,13 +186,26 @@ impl Flexer {
         options: &SearchOptions,
         kind: SchedulerKind,
     ) -> Result<Vec<LayerSearchResult>, SchedError> {
+        self.search_stored_on(&self.arch, layers, options, kind)
+    }
+
+    /// [`Flexer::search_stored`] on an explicit architecture. The store
+    /// fingerprint covers the architecture, so entries searched on a
+    /// reduced-SPM variant never collide with full-SPM entries.
+    fn search_stored_on(
+        &self,
+        arch: &ArchConfig,
+        layers: &[ConvLayer],
+        options: &SearchOptions,
+        kind: SchedulerKind,
+    ) -> Result<Vec<LayerSearchResult>, SchedError> {
         let Some(store) = &self.store else {
-            return self.search_many(layers, options, kind);
+            return self.search_many_on(arch, layers, options, kind);
         };
         let mut slots: Vec<Option<LayerSearchResult>> = (0..layers.len()).map(|_| None).collect();
         let mut misses = Vec::new();
         for (i, layer) in layers.iter().enumerate() {
-            let fp = fingerprint(layer, &self.arch, options, kind);
+            let fp = fingerprint(layer, arch, options, kind);
             match store.get(fp) {
                 Lookup::Hit(mut hit) => {
                     // The address ignores layer names; restore the
@@ -193,7 +213,7 @@ impl Flexer {
                     hit.layer = layer.name().to_string();
                     hit.stats.store_hits = 1;
                     if options.validate {
-                        verify_layer_result(layer, &self.arch, options, kind, &mut hit)?;
+                        verify_layer_result(layer, arch, options, kind, &mut hit)?;
                     }
                     slots[i] = Some(*hit);
                 }
@@ -202,7 +222,7 @@ impl Flexer {
         }
         if !misses.is_empty() {
             let missed: Vec<ConvLayer> = misses.iter().map(|(_, _, l)| l.clone()).collect();
-            let searched = self.search_many(&missed, options, kind)?;
+            let searched = self.search_many_on(arch, &missed, options, kind)?;
             for ((i, fp, _), mut result) in misses.into_iter().zip(searched) {
                 result.stats.store_misses = 1;
                 // Persisting is best-effort: a full disk must not fail
@@ -274,6 +294,28 @@ impl Flexer {
         search_layer_deadline(layer, &self.arch, &self.options, deadline)
     }
 
+    /// [`Flexer::baseline_layer`] under an *anytime* deadline: the
+    /// static loop-order search runs until `deadline` (forever when
+    /// `None`) and then returns the best baseline schedule found so
+    /// far, tagged [`flexer_sched::SearchOutcome::Anytime`] with a
+    /// proven optimality gap — the static counterpart of
+    /// [`Flexer::schedule_layer_anytime`], so deadline experiments can
+    /// compare like with like.
+    ///
+    /// Deadline-cut results bypass the store and the memo cache for
+    /// the same reason the out-of-order path's do.
+    ///
+    /// # Errors
+    ///
+    /// As [`Flexer::baseline_layer`].
+    pub fn baseline_layer_anytime(
+        &self,
+        layer: &ConvLayer,
+        deadline: Option<Instant>,
+    ) -> Result<LayerSearchResult, SchedError> {
+        search_layer_static_deadline(layer, &self.arch, &self.options, deadline)
+    }
+
     /// Finds the best static loop-order schedule for one layer — the
     /// paper's baseline.
     ///
@@ -305,6 +347,197 @@ impl Flexer {
     pub fn schedule_network(&self, network: &Network) -> Result<NetworkResult, SchedError> {
         let layers = self.search_stored(network.layers(), &self.options, SchedulerKind::Ooo)?;
         Ok(NetworkResult::new(network.name(), layers))
+    }
+
+    /// The architecture with `reserved` bytes of SPM set aside for
+    /// residency regions, or `None` when too little SPM would remain
+    /// for a working set.
+    fn reduced_arch(&self, reserved: u64) -> Option<ArchConfig> {
+        let spm = self.arch.spm_bytes().checked_sub(reserved)?;
+        ArchConfigBuilder::new(self.arch.cores(), spm, self.arch.dma_bytes_per_cycle())
+            .pe_array(self.arch.pe_rows(), self.arch.pe_cols())
+            .dram_latency(self.arch.dram_latency_cycles())
+            .element_size(self.arch.element_size())
+            .build()
+            .ok()
+    }
+
+    /// Searches one layer under explicit residency flags with
+    /// `reserved` bytes of SPM carved out for residency regions.
+    /// `None` when the reduced architecture is infeasible or no tiling
+    /// fits it — the planner treats both as "this edge cannot be made
+    /// resident", not as errors.
+    fn search_one_resident(
+        &self,
+        layer: &ConvLayer,
+        residency: Residency,
+        reserved: u64,
+    ) -> Option<LayerSearchResult> {
+        let arch = self.reduced_arch(reserved)?;
+        let mut options = self.options.clone();
+        options.residency = residency;
+        self.search_stored_on(
+            &arch,
+            std::slice::from_ref(layer),
+            &options,
+            SchedulerKind::Ooo,
+        )
+        .ok()
+        .and_then(|mut v| v.pop())
+    }
+
+    /// Schedules `network` under a network-level inter-layer residency
+    /// plan: a pass over the layer chain decides per producer→consumer
+    /// edge whether the producer's output tensor stays resident in SPM
+    /// (its store becomes an on-chip scatter, the consumer's input
+    /// loads become on-chip gathers, and a residency region is reserved
+    /// against the SPM budget) or round-trips through DRAM as in
+    /// [`Flexer::schedule_network`].
+    ///
+    /// The plan is greedy left to right with accept/revert: an edge
+    /// becomes resident only when re-searching both endpoint layers on
+    /// their reduced-SPM architectures *strictly* lowers their combined
+    /// DRAM traffic without raising their combined latency. A residency
+    /// region is capped at half the SPM; when a layer's incoming and
+    /// outgoing regions together exceed that cap, the cheaper-to-reload
+    /// (smaller) tensor is spilled back to the DRAM path. With
+    /// residency disabled edge-by-edge (no eligible edges, e.g. a
+    /// single-layer network), the result is byte-identical to
+    /// [`Flexer::schedule_network`].
+    ///
+    /// The finished plan is replayed against the cross-layer
+    /// [`flexer_sim::ResidencyLedger`] — reserve at the producer,
+    /// consume at the consumer, budget never exceeded, nothing leaked.
+    ///
+    /// # Errors
+    ///
+    /// As [`Flexer::schedule_network`] (the residency-off reference run
+    /// must succeed; per-edge residency searches that fail merely
+    /// reject their edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constructed plan violates the residency ledger —
+    /// an internal planner bug, not an input condition: the accept
+    /// rules guarantee every region fits and is consumed exactly once.
+    pub fn schedule_network_resident(
+        &self,
+        network: &Network,
+    ) -> Result<ResidentNetworkResult, SchedError> {
+        let layers = network.layers();
+        let n = layers.len();
+        let elem = self.arch.element_size();
+        let cap = self.arch.spm_bytes() / 2;
+
+        // The all-DRAM reference: what schedule_network returns. Every
+        // accepted edge must strictly beat it byte-wise and never lose
+        // to it cycle-wise, so the final totals dominate by
+        // construction.
+        let mut options = self.options.clone();
+        options.residency = Residency::default();
+        let baseline = self.search_stored(layers, &options, SchedulerKind::Ooo)?;
+
+        let mut current = baseline.clone();
+        let mut residencies = vec![Residency::default(); n];
+        let mut edges: Vec<EdgeDecision> = Vec::new();
+        // Bytes reserved at layer i for its incoming / outgoing region.
+        let mut in_region = vec![0u64; n];
+        let mut out_region = vec![0u64; n];
+
+        for i in 0..n.saturating_sub(1) {
+            let (producer, consumer) = (&layers[i], &layers[i + 1]);
+            let mut edge = EdgeDecision {
+                producer: producer.name().to_string(),
+                consumer: consumer.name().to_string(),
+                bytes: producer.output_bytes(elem),
+                resident: false,
+                spilled: false,
+            };
+            // Eligibility: the tensor must actually chain (the consumer
+            // reads exactly what the producer wrote) and its region
+            // must leave the layer at least half the SPM to work in.
+            if producer.output_shape() != consumer.input_shape()
+                || edge.bytes == 0
+                || edge.bytes > cap
+            {
+                edges.push(edge);
+                continue;
+            }
+            // Pressure at the shared layer i: its incoming region and
+            // this outgoing region are live at the same time. Spill the
+            // cheapest-to-reload (smaller) tensor.
+            if in_region[i] > 0 && in_region[i].saturating_add(edge.bytes) > cap {
+                if edge.bytes <= in_region[i] {
+                    edge.spilled = true;
+                    edges.push(edge);
+                    continue;
+                }
+                // The incoming tensor is cheaper to reload: spill it
+                // and roll layers i-1 and i back to the DRAM path for
+                // that edge before trying this one.
+                let prev = edges.last_mut().expect("edge i-1 exists");
+                prev.resident = false;
+                prev.spilled = true;
+                residencies[i - 1].output_resident = false;
+                residencies[i].input_resident = false;
+                out_region[i - 1] = 0;
+                in_region[i] = 0;
+                current[i - 1] = if residencies[i - 1].any() {
+                    // Replays the memoized winner the earlier accept of
+                    // edge i-2 produced under exactly these flags.
+                    self.search_one_resident(&layers[i - 1], residencies[i - 1], in_region[i - 1])
+                        .expect("revert re-search replays a memoized winner")
+                } else {
+                    baseline[i - 1].clone()
+                };
+                current[i] = baseline[i].clone();
+            }
+            // Tentative accept: re-search both endpoints with the edge
+            // resident on their reduced-SPM architectures.
+            let p_res = Residency {
+                input_resident: residencies[i].input_resident,
+                output_resident: true,
+            };
+            let c_res = Residency {
+                input_resident: true,
+                output_resident: false,
+            };
+            let tentative = self
+                .search_one_resident(producer, p_res, in_region[i] + edge.bytes)
+                .zip(self.search_one_resident(consumer, c_res, edge.bytes));
+            if let Some((new_p, new_c)) = tentative {
+                let cur_bytes =
+                    current[i].schedule.transfer_bytes() + current[i + 1].schedule.transfer_bytes();
+                let new_bytes = new_p.schedule.transfer_bytes() + new_c.schedule.transfer_bytes();
+                let cur_lat = current[i].schedule.latency() + current[i + 1].schedule.latency();
+                let new_lat = new_p.schedule.latency() + new_c.schedule.latency();
+                if new_bytes < cur_bytes && new_lat <= cur_lat {
+                    edge.resident = true;
+                    residencies[i].output_resident = true;
+                    residencies[i + 1].input_resident = true;
+                    out_region[i] = edge.bytes;
+                    in_region[i + 1] = edge.bytes;
+                    current[i] = new_p;
+                    current[i + 1] = new_c;
+                }
+            }
+            edges.push(edge);
+        }
+
+        let peak = (0..n)
+            .map(|i| in_region[i] + out_region[i])
+            .max()
+            .unwrap_or(0);
+        let plan = ResidencyPlan::new(edges, residencies, peak);
+        let ledger_peak = replay_ledger(self.arch.spm_bytes(), &plan.ledger_ops())
+            .expect("residency plan violates the SPM ledger");
+        debug_assert_eq!(ledger_peak, plan.peak_reserved());
+
+        Ok(ResidentNetworkResult {
+            result: NetworkResult::new(network.name(), current),
+            baseline: NetworkResult::new(network.name(), baseline),
+            plan,
+        })
     }
 
     /// [`Flexer::schedule_network`] with trace recording: runs the
@@ -582,6 +815,133 @@ mod tests {
             .unwrap();
         assert!(generous.is_exact());
         assert_eq!(generous.schedule, exact.schedule);
+    }
+
+    #[test]
+    fn anytime_static_baseline_beats_an_expired_deadline() {
+        let d = driver();
+        let layer = ConvLayer::new("c", 32, 14, 14, 32).unwrap();
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let r = d.baseline_layer_anytime(&layer, Some(past)).unwrap();
+        assert!(!r.is_exact());
+        let gap = r.gap().unwrap();
+        assert!(gap >= 1.0 && gap.is_finite(), "gap {gap}");
+        assert!(r.schedule.latency() > 0);
+        // A generous deadline degenerates to the exact static search.
+        let generous = d
+            .baseline_layer_anytime(
+                &layer,
+                Some(Instant::now() + std::time::Duration::from_secs(3600)),
+            )
+            .unwrap();
+        assert!(generous.is_exact());
+        let exact = d.baseline_layer(&layer).unwrap();
+        assert_eq!(generous.schedule, exact.schedule);
+    }
+
+    #[test]
+    fn resident_network_cuts_dram_traffic_on_the_chain() {
+        let d = driver();
+        let net = tiny_net();
+        let r = d.schedule_network_resident(&net).unwrap();
+        assert!(
+            r.plan.resident_edges() >= 1,
+            "no edge of the chain went resident: {:?}",
+            r.plan
+        );
+        assert!(
+            r.result.total_transfer_bytes() < r.baseline.total_transfer_bytes(),
+            "resident {} B !< baseline {} B",
+            r.result.total_transfer_bytes(),
+            r.baseline.total_transfer_bytes()
+        );
+        assert!(r.result.total_latency() <= r.baseline.total_latency());
+        assert_eq!(
+            r.dma_bytes_saved(),
+            r.baseline.total_transfer_bytes() - r.result.total_transfer_bytes()
+        );
+        assert!(r.latency_delta() <= 0);
+        assert!(r.summary().contains("resident edges"), "{}", r.summary());
+        // The per-layer winners actually exercised the resident paths
+        // the plan promised, edge by edge.
+        for (i, edge) in r.plan.edges().iter().enumerate() {
+            if edge.resident {
+                assert!(
+                    r.result.layers()[i].schedule.resident_out_bytes() > 0,
+                    "{} promised a resident output",
+                    edge.producer
+                );
+                assert!(
+                    r.result.layers()[i + 1].schedule.resident_in_bytes() > 0,
+                    "{} promised a resident input",
+                    edge.consumer
+                );
+            }
+        }
+        // The plan replays cleanly against the ledger at SPM budget.
+        let peak =
+            crate::residency::replay_ledger(d.arch().spm_bytes(), &r.plan.ledger_ops()).unwrap();
+        assert_eq!(peak, r.plan.peak_reserved());
+        assert!(peak <= d.arch().spm_bytes());
+    }
+
+    #[test]
+    fn resident_network_verifies_under_validate() {
+        let mut opts = SearchOptions::quick();
+        opts.validate = true;
+        let d = Flexer::new(ArchConfig::preset(ArchPreset::Arch1)).with_options(opts);
+        let r = d.schedule_network_resident(&tiny_net()).unwrap();
+        assert!(r.plan.resident_edges() >= 1);
+        assert!(
+            r.result.verified(),
+            "every residency-on schedule must pass differential verification"
+        );
+        assert!(r.baseline.verified());
+    }
+
+    #[test]
+    fn single_layer_network_has_an_empty_plan() {
+        let d = driver();
+        let net = Network::new("one", vec![ConvLayer::new("c", 16, 14, 14, 16).unwrap()]).unwrap();
+        let r = d.schedule_network_resident(&net).unwrap();
+        assert!(r.plan.edges().is_empty());
+        assert_eq!(r.plan.resident_edges(), 0);
+        assert_eq!(r.plan.peak_reserved(), 0);
+        assert_eq!(r.dma_bytes_saved(), 0);
+        let plain = d.schedule_network(&net).unwrap();
+        assert_eq!(
+            r.result.layers()[0].schedule,
+            plain.layers()[0].schedule,
+            "with no resident edges the result is the plain network run"
+        );
+    }
+
+    #[test]
+    fn resident_network_reuses_the_store_across_runs() {
+        let dir = std::env::temp_dir().join(format!(
+            "flexer-resident-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = driver().with_store(&dir).unwrap();
+        let net = tiny_net();
+        let first = d.schedule_network_resident(&net).unwrap();
+        assert!(d.store().unwrap().len().unwrap() > 0);
+        // A fresh driver (cold memo cache) over the same store replays
+        // the same plan and the same totals from disk.
+        let d2 = Flexer::new(ArchConfig::preset(ArchPreset::Arch1))
+            .with_options(SearchOptions::quick())
+            .with_store(&dir)
+            .unwrap();
+        let second = d2.schedule_network_resident(&net).unwrap();
+        assert_eq!(first.plan.resident_edges(), second.plan.resident_edges());
+        assert_eq!(
+            first.result.total_transfer_bytes(),
+            second.result.total_transfer_bytes()
+        );
+        assert_eq!(first.result.total_latency(), second.result.total_latency());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

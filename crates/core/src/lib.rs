@@ -58,9 +58,11 @@
 
 mod driver;
 mod report;
+mod residency;
 
 pub use driver::{Flexer, TracedNetwork};
 pub use report::{LayerComparison, NetworkComparison, NetworkResult};
+pub use residency::{replay_ledger, EdgeDecision, LedgerOp, ResidencyPlan, ResidentNetworkResult};
 
 pub use flexer_arch as arch;
 pub use flexer_model as model;
@@ -76,6 +78,9 @@ pub use flexer_trace as trace;
 pub mod prelude {
     pub use crate::driver::{Flexer, TracedNetwork};
     pub use crate::report::{LayerComparison, NetworkComparison, NetworkResult};
+    pub use crate::residency::{
+        replay_ledger, EdgeDecision, LedgerOp, ResidencyPlan, ResidentNetworkResult,
+    };
     pub use flexer_arch::{
         ArchConfig, ArchConfigBuilder, ArchPreset, EnergyBreakdown, EnergyModel, PerfModel,
         SystolicModel,

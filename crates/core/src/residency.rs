@@ -1,0 +1,378 @@
+//! The network-level inter-layer SPM residency planner.
+//!
+//! The per-layer searches treat every layer as an island: each layer's
+//! input tensor is loaded from DRAM and its output tensor is stored
+//! back, even when the very next layer immediately reloads those same
+//! bytes. The planner walks the network's layer chain and decides, per
+//! producer→consumer edge, whether the producer's output tensor stays
+//! *resident* in the shared SPM — reserving a residency region against
+//! the SPM budget and turning the consumer's compulsory input loads
+//! into on-chip gathers — or round-trips through DRAM as before.
+//!
+//! The plan is conservative by construction:
+//!
+//! * a residency region never exceeds half the SPM, so a layer keeps at
+//!   least half the buffer for its own working set even when both its
+//!   incoming and outgoing regions are live;
+//! * under pressure (incoming and outgoing regions together over the
+//!   cap at a shared layer) the *cheapest-to-reload* tensor — the one
+//!   with fewer bytes — is spilled back to the DRAM path;
+//! * an edge is accepted only if re-scheduling both endpoint layers on
+//!   their reduced-SPM architectures *strictly* lowers their combined
+//!   DRAM traffic without raising their combined latency; otherwise the
+//!   edge is reverted and the layers keep their all-DRAM schedules.
+//!
+//! The finished plan replays against [`flexer_sim::ResidencyLedger`],
+//! the cross-layer protocol checker: every resident tensor is reserved
+//! exactly once, consumed exactly once by its consumer, and the budget
+//! is never exceeded.
+
+use flexer_sim::{LedgerError, ResidencyLedger};
+use flexer_tiling::Residency;
+
+use crate::report::NetworkResult;
+
+/// The planner's decision for one producer→consumer edge of the layer
+/// chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeDecision {
+    /// Producing layer's name.
+    pub producer: String,
+    /// Consuming layer's name.
+    pub consumer: String,
+    /// Size of the tensor carried over the edge (the producer's output
+    /// tensor), in bytes.
+    pub bytes: u64,
+    /// The tensor stays resident in SPM across the layer boundary.
+    pub resident: bool,
+    /// The tensor was a residency candidate but was spilled back to
+    /// the DRAM path under SPM pressure (cheapest-to-reload policy).
+    pub spilled: bool,
+}
+
+impl EdgeDecision {
+    /// Whether the edge was even eligible for residency (shape-chained
+    /// and within the per-region cap). Reverted edges — tried but not
+    /// profitable — count as eligible.
+    #[must_use]
+    pub fn eligible(&self) -> bool {
+        self.resident || self.spilled
+    }
+}
+
+/// One event of the cross-layer residency protocol, replayable against
+/// [`ResidencyLedger`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerOp {
+    /// A producer reserves its output tensor's residency region before
+    /// it starts scattering into it.
+    Reserve {
+        /// Tensor name (the producing layer's name).
+        tensor: String,
+        /// Region size in bytes.
+        bytes: u64,
+        /// Number of consumers that will read the tensor.
+        consumers: u32,
+    },
+    /// A consumer retires and releases one reference; the region is
+    /// freed when the last consumer retires.
+    Consume {
+        /// Tensor name.
+        tensor: String,
+    },
+    /// The region is evicted under pressure before all consumers read
+    /// it; any later consume is a use-after-free.
+    Spill {
+        /// Tensor name.
+        tensor: String,
+    },
+}
+
+/// Replays a sequence of residency events against a fresh
+/// [`ResidencyLedger`] with the given byte `budget` and checks that no
+/// region leaks at the end.
+///
+/// Returns the peak number of reserved bytes observed.
+///
+/// # Errors
+///
+/// Returns the first [`LedgerError`] the protocol check raises:
+/// use-after-free of a spilled region, double-free past the last
+/// consumer, budget overflow, or a leaked (never-freed) region.
+pub fn replay_ledger(budget: u64, ops: &[LedgerOp]) -> Result<u64, LedgerError> {
+    let mut ledger = ResidencyLedger::new(budget);
+    for op in ops {
+        match op {
+            LedgerOp::Reserve {
+                tensor,
+                bytes,
+                consumers,
+            } => ledger.reserve(tensor, *bytes, *consumers)?,
+            LedgerOp::Consume { tensor } => ledger.consume(tensor)?,
+            LedgerOp::Spill { tensor } => ledger.spill(tensor)?,
+        }
+    }
+    ledger.finish()?;
+    Ok(ledger.peak())
+}
+
+/// The network-level residency plan: one decision per chain edge plus
+/// the per-layer [`Residency`] flags the per-layer searches ran under.
+#[derive(Debug, Clone, Default)]
+pub struct ResidencyPlan {
+    edges: Vec<EdgeDecision>,
+    residencies: Vec<Residency>,
+    peak_reserved: u64,
+}
+
+impl ResidencyPlan {
+    pub(crate) fn new(
+        edges: Vec<EdgeDecision>,
+        residencies: Vec<Residency>,
+        peak_reserved: u64,
+    ) -> Self {
+        Self {
+            edges,
+            residencies,
+            peak_reserved,
+        }
+    }
+
+    /// Per-edge decisions in network order (`layers.len() - 1` of
+    /// them).
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeDecision] {
+        &self.edges
+    }
+
+    /// Per-layer residency flags in network order.
+    #[must_use]
+    pub fn residencies(&self) -> &[Residency] {
+        &self.residencies
+    }
+
+    /// Number of edges whose tensor stays resident in SPM.
+    #[must_use]
+    pub fn resident_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.resident).count()
+    }
+
+    /// Number of residency candidates spilled back to DRAM under
+    /// pressure.
+    #[must_use]
+    pub fn spilled_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.spilled).count()
+    }
+
+    /// Total bytes carried across layer boundaries without touching
+    /// DRAM.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.edges
+            .iter()
+            .filter(|e| e.resident)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Peak bytes reserved for residency regions at any layer (at most
+    /// two regions — incoming and outgoing — are live at once).
+    #[must_use]
+    pub fn peak_reserved(&self) -> u64 {
+        self.peak_reserved
+    }
+
+    /// The plan's residency protocol as a replayable event sequence:
+    /// for each layer in network order, its outgoing region is reserved
+    /// before the layer runs and its incoming region is consumed after
+    /// the layer retires — so at most `incoming + outgoing` bytes are
+    /// live during any one layer.
+    #[must_use]
+    pub fn ledger_ops(&self) -> Vec<LedgerOp> {
+        let mut ops = Vec::new();
+        for i in 0..self.residencies.len() {
+            if let Some(edge) = self.edges.get(i) {
+                if edge.resident {
+                    ops.push(LedgerOp::Reserve {
+                        tensor: edge.producer.clone(),
+                        bytes: edge.bytes,
+                        consumers: 1,
+                    });
+                }
+            }
+            if i > 0 {
+                if let Some(edge) = self.edges.get(i - 1) {
+                    if edge.resident {
+                        ops.push(LedgerOp::Consume {
+                            tensor: edge.producer.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        ops
+    }
+}
+
+/// A network scheduled under an inter-layer residency plan, together
+/// with the all-DRAM reference run the planner had to strictly beat.
+#[derive(Debug, Clone)]
+pub struct ResidentNetworkResult {
+    /// The resident run: per-layer winners searched under the plan's
+    /// residency flags on their reduced-SPM architectures.
+    pub result: NetworkResult,
+    /// The residency-off reference run (byte-identical to what
+    /// [`crate::Flexer::schedule_network`] returns).
+    pub baseline: NetworkResult,
+    /// The plan itself.
+    pub plan: ResidencyPlan,
+}
+
+impl ResidentNetworkResult {
+    /// DRAM bytes the plan saved versus the all-DRAM reference.
+    #[must_use]
+    pub fn dma_bytes_saved(&self) -> u64 {
+        self.baseline
+            .total_transfer_bytes()
+            .saturating_sub(self.result.total_transfer_bytes())
+    }
+
+    /// Latency delta in cycles (`resident - baseline`; never positive
+    /// by the planner's accept rule).
+    #[must_use]
+    pub fn latency_delta(&self) -> i64 {
+        self.result.total_latency() as i64 - self.baseline.total_latency() as i64
+    }
+
+    /// One-line summary: resident edges, spills, bytes saved.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "residency: {} resident edges, {} spilled, {} B kept on-chip, {} B DRAM saved, latency {:+} cycles",
+            self.plan.resident_edges(),
+            self.plan.spilled_edges(),
+            self.plan.resident_bytes(),
+            self.dma_bytes_saved(),
+            self.latency_delta(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(producer: &str, consumer: &str, bytes: u64, resident: bool) -> EdgeDecision {
+        EdgeDecision {
+            producer: producer.into(),
+            consumer: consumer.into(),
+            bytes,
+            resident,
+            spilled: false,
+        }
+    }
+
+    fn chain_plan() -> ResidencyPlan {
+        // c1 -> c2 resident, c2 -> c3 resident.
+        let a = Residency {
+            output_resident: true,
+            ..Residency::default()
+        };
+        let b = Residency {
+            input_resident: true,
+            output_resident: true,
+        };
+        let c = Residency {
+            input_resident: true,
+            ..Residency::default()
+        };
+        ResidencyPlan::new(
+            vec![edge("c1", "c2", 100, true), edge("c2", "c3", 200, true)],
+            vec![a, b, c],
+            300,
+        )
+    }
+
+    #[test]
+    fn ledger_ops_interleave_reserves_and_consumes() {
+        let ops = chain_plan().ledger_ops();
+        assert_eq!(
+            ops,
+            vec![
+                LedgerOp::Reserve {
+                    tensor: "c1".into(),
+                    bytes: 100,
+                    consumers: 1
+                },
+                LedgerOp::Reserve {
+                    tensor: "c2".into(),
+                    bytes: 200,
+                    consumers: 1
+                },
+                LedgerOp::Consume {
+                    tensor: "c1".into()
+                },
+                LedgerOp::Consume {
+                    tensor: "c2".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_replay_is_clean_and_reports_peak() {
+        let plan = chain_plan();
+        let peak = replay_ledger(1024, &plan.ledger_ops()).unwrap();
+        assert_eq!(peak, 300, "both regions live during c2");
+        assert_eq!(plan.resident_edges(), 2);
+        assert_eq!(plan.spilled_edges(), 0);
+        assert_eq!(plan.resident_bytes(), 300);
+    }
+
+    #[test]
+    fn replay_rejects_budget_overflow() {
+        let err = replay_ledger(299, &chain_plan().ledger_ops()).unwrap_err();
+        assert!(matches!(err, LedgerError::BudgetOverflow { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn replay_rejects_use_after_free_of_a_spilled_region() {
+        let ops = vec![
+            LedgerOp::Reserve {
+                tensor: "t".into(),
+                bytes: 8,
+                consumers: 1,
+            },
+            LedgerOp::Spill { tensor: "t".into() },
+            LedgerOp::Consume { tensor: "t".into() },
+        ];
+        let err = replay_ledger(64, &ops).unwrap_err();
+        assert!(matches!(err, LedgerError::UseAfterFree { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn replay_rejects_double_free_past_the_last_consumer() {
+        let ops = vec![
+            LedgerOp::Reserve {
+                tensor: "t".into(),
+                bytes: 8,
+                consumers: 1,
+            },
+            LedgerOp::Consume { tensor: "t".into() },
+            LedgerOp::Consume { tensor: "t".into() },
+        ];
+        let err = replay_ledger(64, &ops).unwrap_err();
+        assert!(matches!(err, LedgerError::DoubleFree { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn replay_rejects_leaked_regions() {
+        let ops = vec![LedgerOp::Reserve {
+            tensor: "t".into(),
+            bytes: 8,
+            consumers: 1,
+        }];
+        let err = replay_ledger(64, &ops).unwrap_err();
+        assert!(matches!(err, LedgerError::Leaked { .. }), "{err:?}");
+    }
+}

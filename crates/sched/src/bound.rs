@@ -18,7 +18,7 @@
 use crate::metric::{decode_score, encode_score, Metric};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-pub use flexer_solve::{lower_bound, ScheduleBound};
+pub use flexer_solve::{lower_bound, lower_bound_resident, ScheduleBound};
 
 /// The best score found so far for one layer, shared across worker
 /// threads.

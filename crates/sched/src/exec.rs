@@ -190,6 +190,15 @@ impl<'a> ExecState<'a> {
                             address,
                             bytes,
                         },
+                        _ if self.dfg.residency().input_resident
+                            && tile.kind() == TileKind::Input =>
+                        {
+                            Command::GatherIn {
+                                tile,
+                                address,
+                                bytes,
+                            }
+                        }
                         _ => Command::Load {
                             tile,
                             address,
@@ -241,14 +250,32 @@ impl<'a> ExecState<'a> {
                     .iter()
                     .copied()
                     .find(|&id| self.dfg.op(id).operands().any(|t| t == *tile));
-                let (_, end) = self.builder.record_mem_op(
-                    MemOpKind::Load,
-                    class,
-                    *tile,
-                    *bytes,
-                    self.perf.dma_cycles(*bytes),
-                    for_op,
-                )?;
+                // A resident input tensor is gathered on-chip: the DMA
+                // engine is busy for the same span but no DRAM bytes
+                // move. Psum reloads of spilled accumulators still
+                // round-trip through DRAM.
+                let resident_gather =
+                    self.dfg.residency().input_resident && tile.kind() == TileKind::Input;
+                let (_, end) = if resident_gather {
+                    self.builder.record_resident_mem_op_after(
+                        MemOpKind::Load,
+                        class,
+                        *tile,
+                        *bytes,
+                        self.perf.dma_cycles(*bytes),
+                        0,
+                        for_op,
+                    )?
+                } else {
+                    self.builder.record_mem_op(
+                        MemOpKind::Load,
+                        class,
+                        *tile,
+                        *bytes,
+                        self.perf.dma_cycles(*bytes),
+                        for_op,
+                    )?
+                };
                 self.tile_ready.insert(*tile, end);
             }
 
@@ -320,23 +347,43 @@ impl<'a> ExecState<'a> {
                     woken.push(succ);
                 }
 
-                // Mandatory eager store of finished outputs.
+                // Mandatory eager store of finished outputs. A resident
+                // output tensor is scattered into the reserved SPM
+                // region instead — same DMA occupancy, zero DRAM bytes.
                 if op.is_final() {
                     let bytes = self.dfg.tile_bytes(op.output());
-                    self.builder.record_mem_op_after(
-                        MemOpKind::Store,
-                        TrafficClass::Output,
-                        op.output(),
-                        bytes,
-                        self.perf.dma_cycles(bytes),
-                        end,
-                        None,
-                    )?;
-                    self.commands.push(Command::Store {
-                        tile: op.output(),
-                        address: self.spm.address_of(op.output()).expect("output resident"),
-                        bytes,
-                    });
+                    let address = self.spm.address_of(op.output()).expect("output resident");
+                    if self.dfg.residency().output_resident {
+                        self.builder.record_resident_mem_op_after(
+                            MemOpKind::Store,
+                            TrafficClass::Output,
+                            op.output(),
+                            bytes,
+                            self.perf.dma_cycles(bytes),
+                            end,
+                            None,
+                        )?;
+                        self.commands.push(Command::ScatterOut {
+                            tile: op.output(),
+                            address,
+                            bytes,
+                        });
+                    } else {
+                        self.builder.record_mem_op_after(
+                            MemOpKind::Store,
+                            TrafficClass::Output,
+                            op.output(),
+                            bytes,
+                            self.perf.dma_cycles(bytes),
+                            end,
+                            None,
+                        )?;
+                        self.commands.push(Command::Store {
+                            tile: op.output(),
+                            address,
+                            bytes,
+                        });
+                    }
                     self.spm.set_dirty(op.output(), false);
                 }
             }

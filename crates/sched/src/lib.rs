@@ -64,12 +64,12 @@ pub use priority::{PriorityPolicy, SetEvaluation};
 pub use program::{Command, Program, ProgramError};
 pub use search::{
     search_layer, search_layer_cached, search_layer_deadline, search_layer_static,
-    search_layer_static_cached, search_layer_traced, search_network, search_network_cached,
-    search_network_deadline, search_network_layerwise, search_network_static,
-    search_network_static_cached, search_network_static_traced, search_network_traced,
-    search_network_traced_cached, solve_layer, sweep_tilings, verify_layer_result,
-    LayerSearchResult, MemoKey, SchedulePoint, SchedulerKind, SearchOptions, SearchOutcome,
-    SeedOptions, SpillPolicyChoice, TraceOptions,
+    search_layer_static_cached, search_layer_static_deadline, search_layer_traced, search_network,
+    search_network_cached, search_network_deadline, search_network_layerwise,
+    search_network_static, search_network_static_cached, search_network_static_deadline,
+    search_network_static_traced, search_network_traced, search_network_traced_cached, solve_layer,
+    sweep_tilings, verify_layer_result, LayerSearchResult, MemoKey, SchedulePoint, SchedulerKind,
+    SearchOptions, SearchOutcome, SeedOptions, SpillPolicyChoice, TraceOptions,
 };
 pub use static_sched::StaticScheduler;
 pub use stats::{SearchStats, StatKind};

@@ -96,6 +96,26 @@ pub enum Command {
         /// Transfer size.
         bytes: u64,
     },
+    /// Gather an input tile from the cross-layer residency region (an
+    /// on-chip copy replacing a DRAM load).
+    GatherIn {
+        /// The tile gathered.
+        tile: TileId,
+        /// Destination block address.
+        address: u64,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Scatter a finished output tile into the cross-layer residency
+    /// region (an on-chip copy replacing the DRAM store).
+    ScatterOut {
+        /// The tile scattered.
+        tile: TileId,
+        /// Source block address.
+        address: u64,
+        /// Transfer size.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for Command {
@@ -123,6 +143,12 @@ impl fmt::Display for Command {
             ),
             Command::Store { tile, address, bytes } => {
                 write!(f, "STORE   {tile:<12} <- [{address:#08x}; {bytes}]")
+            }
+            Command::GatherIn { tile, address, bytes } => {
+                write!(f, "GATHER  {tile:<12} -> [{address:#08x}; {bytes}]")
+            }
+            Command::ScatterOut { tile, address, bytes } => {
+                write!(f, "SCATTER {tile:<12} <- [{address:#08x}; {bytes}]")
             }
         }
     }
@@ -351,6 +377,24 @@ impl Program {
                     address,
                     bytes,
                 },
+                Command::GatherIn {
+                    tile,
+                    address,
+                    bytes,
+                } => SpmCommand::GatherIn {
+                    tile,
+                    address,
+                    bytes,
+                },
+                Command::ScatterOut {
+                    tile,
+                    address,
+                    bytes,
+                } => SpmCommand::ScatterOut {
+                    tile,
+                    address,
+                    bytes,
+                },
             })
             .collect()
     }
@@ -398,6 +442,11 @@ impl Program {
             let index = i;
             match self.commands[i] {
                 Command::Load {
+                    tile,
+                    address,
+                    bytes,
+                }
+                | Command::GatherIn {
                     tile,
                     address,
                     bytes,
@@ -485,7 +534,8 @@ impl Program {
                         return Err(ProgramError::ExecMismatch { index, op });
                     }
                 }
-                Command::Store { tile, address, .. } => {
+                Command::Store { tile, address, .. }
+                | Command::ScatterOut { tile, address, .. } => {
                     if live.get(&tile).is_none_or(|&(a, _)| a != address) {
                         return Err(ProgramError::NotResident { index, tile });
                     }

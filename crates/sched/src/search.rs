@@ -1,7 +1,7 @@
 //! The Algorithm-1 search driver: exhaustive search over tilings and
 //! dataflows.
 
-use crate::bound::{lower_bound, Cutoff, Incumbent};
+use crate::bound::{lower_bound_resident, Cutoff, Incumbent};
 use crate::combo::ComboOptions;
 use crate::error::SchedError;
 use crate::memo::MemoCache;
@@ -15,7 +15,7 @@ use flexer_arch::{ArchConfig, SystolicModel};
 use flexer_model::ConvLayer;
 use flexer_sim::Schedule;
 use flexer_spm::{FirstFitSpill, FlexerSpill, SmallestFirstSpill, SpillPolicy};
-use flexer_tiling::{enumerate_tilings, Dataflow, Dfg, TilingFactors, TilingOptions};
+use flexer_tiling::{enumerate_tilings, Dataflow, Dfg, Residency, TilingFactors, TilingOptions};
 use flexer_trace::{ClockMode, Lane, Trace, TraceConfig, TraceDetail, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -216,6 +216,17 @@ pub struct SearchOptions {
     /// [`SearchOptions::prune`].
     #[serde(default)]
     pub seed: SeedOptions,
+    /// Cross-layer SPM residency of this layer's tensors, assigned by
+    /// the network-level planner (`flexer-core`). A resident input is
+    /// gathered from the producer's reserved SPM region instead of
+    /// loaded from DRAM; a resident output is scattered into its own
+    /// reserved region instead of stored. Resident transfers occupy
+    /// the DMA engine for the same span but move zero DRAM bytes, so
+    /// they change the transfer side of every score, bound and
+    /// estimate — *included* in the memo key and the store
+    /// fingerprint. Off (all-DRAM) by default.
+    #[serde(default)]
+    pub residency: Residency,
 }
 
 impl Default for SearchOptions {
@@ -234,6 +245,7 @@ impl Default for SearchOptions {
             prune: true,
             trace: TraceOptions::default(),
             seed: SeedOptions::default(),
+            residency: Residency::default(),
         }
     }
 }
@@ -287,6 +299,7 @@ impl SearchOptions {
             eval_mode: self.eval_mode,
             tiling: self.tiling.clone(),
             dataflows: self.dataflows.clone(),
+            residency: self.residency,
         }
     }
 }
@@ -307,6 +320,7 @@ pub struct MemoKey {
     eval_mode: EvalMode,
     tiling: TilingOptions,
     dataflows: Vec<Dataflow>,
+    residency: Residency,
 }
 
 /// The `(latency, transfer)` outcome of one `(tiling, dataflow)` pair.
@@ -431,7 +445,7 @@ fn run_one(
     cutoff: Option<Cutoff<'_>>,
     lane: &mut Lane,
 ) -> Result<(Schedule, SearchStats), SchedError> {
-    let dfg = Dfg::build(layer, factors, dataflow, model, arch)?;
+    let dfg = Dfg::build_resident(layer, factors, dataflow, model, arch, opts.residency)?;
     match kind {
         SchedulerKind::Ooo => {
             let mut sched = OooScheduler::new(&dfg, arch, model)
@@ -465,7 +479,14 @@ fn verify_winner(
     result: &mut LayerSearchResult,
 ) -> Result<(), SchedError> {
     let start = Instant::now();
-    let dfg = Dfg::build(layer, result.factors, result.dataflow, model, arch)?;
+    let dfg = Dfg::build_resident(
+        layer,
+        result.factors,
+        result.dataflow,
+        model,
+        arch,
+        opts.residency,
+    )?;
     let (schedule, program) = match kind {
         SchedulerKind::Ooo => OooScheduler::new(&dfg, arch, model)
             .with_spill(opts.spill.policy())
@@ -685,7 +706,9 @@ fn search_many_traced(
             let mut i = start;
             while i < end {
                 let factors = work[i].1;
-                let score = lower_bound(&layers[li], arch, &model, &factors).score(opts.metric);
+                let score =
+                    lower_bound_resident(&layers[li], arch, &model, &factors, opts.residency)
+                        .score(opts.metric);
                 while i < end && work[i].1 == factors {
                     bounds[i] = score;
                     i += 1;
@@ -863,12 +886,13 @@ fn search_many_traced(
                 None => {
                     let mut est: Vec<(f64, usize)> = (start..end)
                         .map(|i| {
-                            let e = flexer_solve::estimate(
+                            let e = flexer_solve::estimate_resident(
                                 &layers[li],
                                 arch,
                                 &model,
                                 &work[i].1,
                                 work[i].2,
+                                opts.residency,
                             );
                             (opts.metric.score(e.latency, e.transfer_bytes), i)
                         })
@@ -1351,6 +1375,44 @@ pub fn search_network_deadline(
     search_many(SchedulerKind::Ooo, layers, arch, opts, None, deadline)
 }
 
+/// [`search_layer_static`] with an *anytime* deadline — the baseline
+/// counterpart of [`search_layer_deadline`]. Identical semantics: up
+/// to `deadline` the search is exhaustive; once it expires, unstarted
+/// candidates are left unresolved and the best loop-order schedule
+/// found so far is returned with [`SearchOutcome::Anytime`] carrying
+/// a proven optimality gap. The first candidate always runs, so even
+/// an already-expired deadline yields a real schedule.
+///
+/// # Errors
+///
+/// As [`search_layer_static`].
+pub fn search_layer_static_deadline(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    deadline: Option<Instant>,
+) -> Result<LayerSearchResult, SchedError> {
+    search(SchedulerKind::Static, layer, arch, opts, None, deadline)
+}
+
+/// [`search_network_static`] with an *anytime* deadline — per-layer
+/// semantics as [`search_layer_static_deadline`]. The first candidate
+/// of *every* layer runs even when the deadline has already expired,
+/// so an anytime baseline search always returns one schedule per
+/// layer.
+///
+/// # Errors
+///
+/// As [`search_network_static`].
+pub fn search_network_static_deadline(
+    layers: &[ConvLayer],
+    arch: &ArchConfig,
+    opts: &SearchOptions,
+    deadline: Option<Instant>,
+) -> Result<Vec<LayerSearchResult>, SchedError> {
+    search_many(SchedulerKind::Static, layers, arch, opts, None, deadline)
+}
+
 /// The solver-only scheduling backend: rank every `(tiling, dataflow)`
 /// candidate with the `flexer-solve` closed-form model, fully evaluate
 /// only the top [`SeedOptions::top_k`], and return the best as a real,
@@ -1375,8 +1437,15 @@ pub fn solve_layer(
     let start = Instant::now();
     let model = SystolicModel::new(arch);
     let tilings = enumerate_tilings(layer, arch, &opts.tiling);
-    let ranked =
-        flexer_solve::rank_candidates(layer, arch, &model, &tilings, &opts.dataflows, opts.metric);
+    let ranked = flexer_solve::rank_candidates_resident(
+        layer,
+        arch,
+        &model,
+        &tilings,
+        &opts.dataflows,
+        opts.metric,
+        opts.residency,
+    );
     if ranked.is_empty() {
         return Err(SchedError::NoViableTiling {
             layer: layer.name().to_owned(),
@@ -2113,7 +2182,7 @@ mod tests {
         let model = SystolicModel::new(&arch());
         let min_bound = enumerate_tilings(&layer(), &arch(), &opts.tiling)
             .iter()
-            .map(|f| lower_bound(&layer(), &arch(), &model, f).score(opts.metric))
+            .map(|f| flexer_solve::lower_bound(&layer(), &arch(), &model, f).score(opts.metric))
             .fold(f64::INFINITY, f64::min);
         assert!(min_bound < best, "test needs a gap to sit inside");
         opts.seed.enabled = true;
@@ -2176,6 +2245,127 @@ mod tests {
         assert_eq!(r.gap(), None);
         assert_eq!(r.schedule, plain.schedule);
         assert_eq!(r.score, plain.score);
+    }
+
+    #[test]
+    fn static_expired_deadline_returns_an_anytime_result() {
+        for threads in [1, 4] {
+            let mut opts = SearchOptions::quick();
+            opts.threads = threads;
+            let r = search_layer_static_deadline(&layer(), &arch(), &opts, Some(Instant::now()))
+                .unwrap();
+            assert!(!r.is_exact(), "an expired deadline cannot be exhaustive");
+            let gap = r.gap().unwrap();
+            assert!(gap >= 1.0, "gap is a ratio over a lower bound: {gap}");
+            assert!(gap.is_finite(), "bounds were available to prove a gap");
+            assert!(r.schedule.latency() > 0);
+            // The partial winner is still a real, verifiable schedule.
+            let mut r = r;
+            verify_layer_result(&layer(), &arch(), &opts, SchedulerKind::Static, &mut r).unwrap();
+        }
+    }
+
+    #[test]
+    fn static_generous_deadline_stays_exact() {
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let r = search_layer_static_deadline(&layer(), &arch(), &opts, Some(far)).unwrap();
+        let plain = search_layer_static(&layer(), &arch(), &opts).unwrap();
+        assert!(r.is_exact());
+        assert_eq!(r.gap(), None);
+        assert_eq!(r.schedule, plain.schedule);
+        assert_eq!(r.score, plain.score);
+    }
+
+    #[test]
+    fn static_expired_deadline_still_schedules_every_layer() {
+        let layers = [layer(), ConvLayer::new("u", 16, 28, 28, 32).unwrap()];
+        let opts = SearchOptions::quick();
+        let batch =
+            search_network_static_deadline(&layers, &arch(), &opts, Some(Instant::now())).unwrap();
+        assert_eq!(batch.len(), layers.len());
+        for r in &batch {
+            assert!(r.schedule.latency() > 0);
+            assert!(!r.is_exact());
+        }
+    }
+
+    #[test]
+    fn resident_search_validates_and_cuts_dram_traffic() {
+        use flexer_sim::TrafficClass;
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        opts.validate = true;
+        let plain = search_layer(&layer(), &arch(), &opts).unwrap();
+        opts.residency = Residency {
+            input_resident: true,
+            output_resident: true,
+        };
+        let resident = search_layer(&layer(), &arch(), &opts).unwrap();
+        // Resident classes never touch DRAM; their bytes live in the
+        // resident counters instead.
+        let traffic = resident.schedule.traffic();
+        assert_eq!(traffic.class_bytes(TrafficClass::Input), 0);
+        assert_eq!(traffic.class_bytes(TrafficClass::Output), 0);
+        assert!(resident.schedule.resident_in_bytes() > 0);
+        assert!(resident.schedule.resident_out_bytes() > 0);
+        assert!(
+            resident.schedule.transfer_bytes() < plain.schedule.transfer_bytes(),
+            "residency must strictly cut DRAM traffic"
+        );
+    }
+
+    #[test]
+    fn resident_static_search_validates_and_cuts_dram_traffic() {
+        use flexer_sim::TrafficClass;
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        opts.validate = true;
+        let plain = search_layer_static(&layer(), &arch(), &opts).unwrap();
+        opts.residency = Residency {
+            input_resident: true,
+            output_resident: true,
+        };
+        let resident = search_layer_static(&layer(), &arch(), &opts).unwrap();
+        let traffic = resident.schedule.traffic();
+        assert_eq!(traffic.class_bytes(TrafficClass::Input), 0);
+        assert_eq!(traffic.class_bytes(TrafficClass::Output), 0);
+        assert!(
+            resident.schedule.transfer_bytes() < plain.schedule.transfer_bytes(),
+            "residency must strictly cut DRAM traffic"
+        );
+    }
+
+    #[test]
+    fn residency_is_part_of_the_memo_key() {
+        let a = SearchOptions::quick();
+        let mut b = SearchOptions::quick();
+        b.residency.input_resident = true;
+        let l = layer();
+        let ar = arch();
+        assert_ne!(
+            a.memo_key(&l, &ar, SchedulerKind::Ooo),
+            b.memo_key(&l, &ar, SchedulerKind::Ooo)
+        );
+    }
+
+    #[test]
+    fn seeded_resident_search_matches_unseeded() {
+        // Seeding stays winner-neutral under residency: the seed pass
+        // estimates with the same residency-aware byte math the exact
+        // search scores with.
+        let mut opts = SearchOptions::quick();
+        opts.threads = 1;
+        opts.residency = Residency {
+            input_resident: true,
+            output_resident: false,
+        };
+        let plain = search_layer(&layer(), &arch(), &opts).unwrap();
+        opts.seed.enabled = true;
+        let seeded = search_layer(&layer(), &arch(), &opts).unwrap();
+        assert_eq!(seeded.schedule, plain.schedule);
+        assert_eq!(seeded.score, plain.score);
     }
 
     #[test]

@@ -249,23 +249,48 @@ impl<'a> StaticScheduler<'a> {
                 };
                 let ready_at = match class {
                     Some(class) => {
-                        commands.push(Command::Load {
-                            tile,
-                            address,
-                            bytes,
+                        // A resident input tensor is gathered from the
+                        // cross-layer SPM region: same DMA occupancy,
+                        // no DRAM bytes. Psum reloads stay DRAM-bound.
+                        let resident_gather =
+                            dfg.residency().input_resident && tile.kind() == TileKind::Input;
+                        commands.push(if resident_gather {
+                            Command::GatherIn {
+                                tile,
+                                address,
+                                bytes,
+                            }
+                        } else {
+                            Command::Load {
+                                tile,
+                                address,
+                                bytes,
+                            }
                         });
                         let for_op = set
                             .iter()
                             .copied()
                             .find(|&id| dfg.op(id).operands().any(|t| t == tile));
-                        let (_, end) = builder.record_mem_op(
-                            MemOpKind::Load,
-                            class,
-                            tile,
-                            bytes,
-                            self.perf.dma_cycles(bytes),
-                            for_op,
-                        )?;
+                        let (_, end) = if resident_gather {
+                            builder.record_resident_mem_op_after(
+                                MemOpKind::Load,
+                                class,
+                                tile,
+                                bytes,
+                                self.perf.dma_cycles(bytes),
+                                0,
+                                for_op,
+                            )?
+                        } else {
+                            builder.record_mem_op(
+                                MemOpKind::Load,
+                                class,
+                                tile,
+                                bytes,
+                                self.perf.dma_cycles(bytes),
+                                for_op,
+                            )?
+                        };
                         end
                     }
                     None => {
@@ -332,20 +357,37 @@ impl<'a> StaticScheduler<'a> {
                 out.dirty = true;
                 if op.is_final() {
                     let bytes = dfg.tile_bytes(op.output());
-                    builder.record_mem_op_after(
-                        MemOpKind::Store,
-                        TrafficClass::Output,
-                        op.output(),
-                        bytes,
-                        self.perf.dma_cycles(bytes),
-                        end,
-                        None,
-                    )?;
-                    commands.push(Command::Store {
-                        tile: op.output(),
-                        address: addr[&op.output()].0,
-                        bytes,
-                    });
+                    if dfg.residency().output_resident {
+                        builder.record_resident_mem_op_after(
+                            MemOpKind::Store,
+                            TrafficClass::Output,
+                            op.output(),
+                            bytes,
+                            self.perf.dma_cycles(bytes),
+                            end,
+                            None,
+                        )?;
+                        commands.push(Command::ScatterOut {
+                            tile: op.output(),
+                            address: addr[&op.output()].0,
+                            bytes,
+                        });
+                    } else {
+                        builder.record_mem_op_after(
+                            MemOpKind::Store,
+                            TrafficClass::Output,
+                            op.output(),
+                            bytes,
+                            self.perf.dma_cycles(bytes),
+                            end,
+                            None,
+                        )?;
+                        commands.push(Command::Store {
+                            tile: op.output(),
+                            address: addr[&op.output()].0,
+                            bytes,
+                        });
+                    }
                     out.dirty = false;
                 }
             }

@@ -337,6 +337,10 @@ pub fn canonical_key_bytes(
     for &d in &opts.dataflows {
         encode_dataflow(&mut w, d);
     }
+    // Residency changes the byte math of every score, so two searches
+    // under different residency assignments must never alias.
+    w.bool(opts.residency.input_resident);
+    w.bool(opts.residency.output_resident);
     w.into_bytes()
 }
 
@@ -451,6 +455,22 @@ mod tests {
             canonical_key_bytes(&renamed, &ar, &base, SchedulerKind::Ooo),
             base_bytes,
             "the key tracks the shape, not the name"
+        );
+
+        // Residency changes the winner's byte math: distinct keys.
+        let mut resident = base.clone();
+        resident.residency.input_resident = true;
+        assert_ne!(
+            canonical_key_bytes(&l, &ar, &resident, SchedulerKind::Ooo),
+            base_bytes
+        );
+        resident.residency = flexer_tiling::Residency {
+            input_resident: false,
+            output_resident: true,
+        };
+        assert_ne!(
+            canonical_key_bytes(&l, &ar, &resident, SchedulerKind::Ooo),
+            base_bytes
         );
 
         // validate / prune / trace / threads / seed are

@@ -13,6 +13,7 @@ use flexer_arch::ArchPreset;
 use flexer_sched::SchedError;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -112,12 +113,42 @@ impl Deadline {
 /// provenance.
 type DriverKey = (ArchPreset, OptionsName, bool);
 
+/// Aggregate counters over every residency-planned network the engine
+/// has scheduled (requests with `"residency": true`). A snapshot of
+/// the engine's internal atomics, reported by the `stats` op.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ResidencySummary {
+    /// Networks scheduled through the residency planner.
+    pub networks: u64,
+    /// Producer→consumer edges kept resident in SPM, summed over
+    /// those networks.
+    pub resident_edges: u64,
+    /// Edges the planner considered but spilled back to DRAM under
+    /// SPM pressure.
+    pub spilled_edges: u64,
+    /// DRAM bytes avoided versus the residency-off plans of the same
+    /// requests.
+    pub dma_bytes_saved: u64,
+}
+
+/// The engine-internal atomic twins of [`ResidencySummary`]. Relaxed
+/// ordering throughout: the counters are monotonic totals with no
+/// cross-field invariant a reader could observe torn.
+#[derive(Debug, Default)]
+struct ResidencyCounters {
+    networks: AtomicU64,
+    resident_edges: AtomicU64,
+    spilled_edges: AtomicU64,
+    dma_bytes_saved: AtomicU64,
+}
+
 /// Executes scheduling requests.
 #[derive(Debug)]
 pub struct Engine {
     drivers: Mutex<HashMap<DriverKey, Arc<Flexer>>>,
     store_dir: Option<PathBuf>,
     store_capacity: Option<u64>,
+    residency: ResidencyCounters,
 }
 
 impl Engine {
@@ -128,6 +159,7 @@ impl Engine {
             drivers: Mutex::new(HashMap::new()),
             store_dir: None,
             store_capacity: None,
+            residency: ResidencyCounters::default(),
         }
     }
 
@@ -140,6 +172,7 @@ impl Engine {
             drivers: Mutex::new(HashMap::new()),
             store_dir: Some(dir),
             store_capacity: capacity_bytes,
+            residency: ResidencyCounters::default(),
         }
     }
 
@@ -218,6 +251,19 @@ impl Engine {
             .values()
             .find_map(|d| d.store().and_then(|s| s.len().ok()))
             .or(self.store_dir.as_ref().map(|_| 0))
+    }
+
+    /// Snapshot of the aggregate residency counters — what the
+    /// `stats` op reports in its `"residency"` sub-object. All-zero
+    /// until a `schedule` request opts in with `"residency": true`.
+    #[must_use]
+    pub fn residency_summary(&self) -> ResidencySummary {
+        ResidencySummary {
+            networks: self.residency.networks.load(Ordering::Relaxed),
+            resident_edges: self.residency.resident_edges.load(Ordering::Relaxed),
+            spilled_edges: self.residency.spilled_edges.load(Ordering::Relaxed),
+            dma_bytes_saved: self.residency.dma_bytes_saved.load(Ordering::Relaxed),
+        }
     }
 
     /// Flushes every driver's store directory (directory-level
@@ -330,6 +376,9 @@ impl Engine {
         if req.mode == Mode::Anytime {
             return Self::run_schedule_anytime(req, net, deadline, &driver);
         }
+        if req.residency {
+            return self.run_schedule_resident(req, net, deadline, &driver);
+        }
         deadline.check()?;
         let mut o = ok_response(Op::Schedule, req.id.as_deref());
         let result = if req.trace {
@@ -347,6 +396,52 @@ impl Engine {
         };
         Self::push_totals(&mut o, req, &result);
         o.raw("layers", &Self::layer_rows(&result));
+        Ok(o.finish())
+    }
+
+    /// The residency variant of [`Engine::run_schedule`]: runs the
+    /// whole-network inter-layer SPM residency planner instead of the
+    /// per-layer loop. The planner is not layer-interruptible, so the
+    /// deadline is checked before and after the pass. The response's
+    /// totals count DRAM traffic only (resident edges moved their
+    /// bytes out of DRAM — that is the point) and carry a
+    /// `"residency"` sub-object with the per-network counters; the
+    /// same counters feed the engine-wide `stats` aggregates.
+    fn run_schedule_resident(
+        &self,
+        req: &Request,
+        net: &Network,
+        deadline: &Deadline,
+        driver: &Flexer,
+    ) -> Result<String, Failure> {
+        deadline.check()?;
+        let resident = driver
+            .schedule_network_resident(net)
+            .map_err(|e| Self::sched_failure(&e))?;
+        deadline.check()?;
+        let plan = &resident.plan;
+        self.residency.networks.fetch_add(1, Ordering::Relaxed);
+        self.residency
+            .resident_edges
+            .fetch_add(plan.resident_edges() as u64, Ordering::Relaxed);
+        self.residency
+            .spilled_edges
+            .fetch_add(plan.spilled_edges() as u64, Ordering::Relaxed);
+        self.residency
+            .dma_bytes_saved
+            .fetch_add(resident.dma_bytes_saved(), Ordering::Relaxed);
+        let mut o = ok_response(Op::Schedule, req.id.as_deref());
+        Self::push_totals(&mut o, req, &resident.result);
+        let mut r = Obj::new();
+        r.u64("resident_edges", plan.resident_edges() as u64)
+            .u64("spilled_edges", plan.spilled_edges() as u64)
+            .u64("dma_bytes_saved", resident.dma_bytes_saved())
+            .u64(
+                "baseline_transfer_bytes",
+                resident.baseline.total_transfer_bytes(),
+            );
+        o.raw("residency", &r.finish());
+        o.raw("layers", &Self::layer_rows(&resident.result));
         Ok(o.finish())
     }
 
@@ -584,6 +679,58 @@ mod tests {
             .and_then(flexer_trace::json::Json::as_str)
             .unwrap();
         assert!(tree.contains("search"), "{tree}");
+    }
+
+    #[test]
+    fn residency_schedule_reports_counters_and_feeds_the_summary() {
+        let engine = Engine::new();
+        assert_eq!(engine.residency_summary(), ResidencySummary::default());
+        // A chain whose matching inter-layer shapes give the planner
+        // edges to keep resident (same chain the core driver tests
+        // prove goes resident).
+        let chain = r#","layers":[
+            {"name":"c1","in_channels":16,"height":14,"width":14,"out_channels":32},
+            {"name":"c2","in_channels":32,"height":14,"width":14,"out_channels":32},
+            {"name":"c3","in_channels":32,"height":14,"width":14,"out_channels":32}]"#;
+        let req =
+            parse_request(&format!(r#"{{"op":"schedule","residency":true{chain}}}"#)).unwrap();
+        let line = engine.run(&req, &Deadline::unbounded()).unwrap();
+        let j = flexer_trace::json::parse(&line).unwrap();
+        assert_eq!(
+            j.get("ok").and_then(flexer_trace::json::Json::as_bool),
+            Some(true)
+        );
+        let res = j.get("residency").expect("residency sub-object");
+        let num = |k: &str| {
+            res.get(k)
+                .and_then(flexer_trace::json::Json::as_num)
+                .unwrap_or_else(|| panic!("residency.{k} missing")) as u64
+        };
+        assert!(num("resident_edges") >= 1, "no resident edges: {line}");
+        assert!(num("dma_bytes_saved") > 0, "no bytes saved: {line}");
+        let transfer = j
+            .get("transfer_bytes")
+            .and_then(flexer_trace::json::Json::as_num)
+            .unwrap() as u64;
+        assert_eq!(
+            transfer + num("dma_bytes_saved"),
+            num("baseline_transfer_bytes"),
+            "saved bytes must reconcile with the baseline: {line}"
+        );
+        // The same counters land in the engine-wide aggregate.
+        let summary = engine.residency_summary();
+        assert_eq!(summary.networks, 1);
+        assert_eq!(summary.resident_edges, num("resident_edges"));
+        assert_eq!(summary.spilled_edges, num("spilled_edges"));
+        assert_eq!(summary.dma_bytes_saved, num("dma_bytes_saved"));
+        // A plain schedule leaves the residency aggregates untouched
+        // and carries no residency member.
+        let plain = engine
+            .run(&schedule_req(""), &Deadline::unbounded())
+            .unwrap();
+        let pj = flexer_trace::json::parse(&plain).unwrap();
+        assert!(pj.get("residency").is_none());
+        assert_eq!(engine.residency_summary().networks, 1);
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod protocol;
 pub mod server;
 
 pub use client::Client;
-pub use engine::{Deadline, Engine};
+pub use engine::{Deadline, Engine, ResidencySummary};
 pub use protocol::{parse_request, ErrorKind, Mode, Op, OptionsName, Request, MAX_LINE_BYTES};
 pub use server::{request_shutdown, Server, ServerConfig};

@@ -10,8 +10,8 @@
 //! | op | request members | success members |
 //! |---|---|---|
 //! | `health` | — | — |
-//! | `stats` | — | `requests`, `errors`, `overloaded`, `drivers`, `store{...}` |
-//! | `schedule` | network, `trace?` | totals, per-layer rows, `span_tree?` |
+//! | `stats` | — | `requests`, `errors`, `overloaded`, `drivers`, `store{...}`, `residency{...}` |
+//! | `schedule` | network, `trace?`, `residency?` | totals, per-layer rows, `span_tree?`, `residency{...}?` |
 //! | `compare` | network | `speedup`, `transfer_reduction`, totals |
 //! | `verify` | network | as `compare`, plus `verified` |
 //! | `shutdown` | — | — (the server drains and exits) |
@@ -31,6 +31,25 @@
 //! true` and a per-layer proven optimality `"gap"` instead of failing.
 //! Anytime mode is exclusive to `schedule` (the static baseline the
 //! other ops run has no anytime search) and incompatible with `trace`.
+//!
+//! `schedule` also accepts `"residency": true`, which runs the
+//! network-level inter-layer SPM residency planner
+//! (`Flexer::schedule_network_resident`): producer outputs that the
+//! planner keeps resident in SPM skip their DRAM round-trip, so the
+//! response's `transfer_bytes` counts DRAM traffic only and the
+//! response carries a `"residency"` sub-object with `resident_edges`,
+//! `spilled_edges` and `dma_bytes_saved` (bytes relative to the
+//! residency-off plan of the same request). Residency is exclusive to
+//! `schedule` and incompatible with `mode:"anytime"` and `trace` —
+//! the planner is a whole-network pass over proven-optimal per-layer
+//! winners.
+//!
+//! The `stats` response aggregates the same three counters across
+//! every residency-planned network the server has scheduled, plus the
+//! number of such networks, in its own `"residency"` sub-object:
+//! `{"networks", "resident_edges", "spilled_edges",
+//! "dma_bytes_saved"}`. The object is always present; all-zero means
+//! no request has opted in yet.
 //!
 //! # Deadline semantics
 //!
@@ -204,6 +223,10 @@ pub struct Request {
     /// bypass the persistent store: the point is to watch the real
     /// search run.
     pub trace: bool,
+    /// Run the inter-layer SPM residency planner for `schedule`:
+    /// producer→consumer edges the planner accepts keep the tensor
+    /// resident in SPM instead of round-tripping through DRAM.
+    pub residency: bool,
 }
 
 fn as_u64(j: &Json, what: &str) -> Result<u64, String> {
@@ -369,6 +392,25 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorKind, String)> {
     if mode == Mode::Anytime && trace {
         return Err(bad("anytime mode and trace are mutually exclusive".into()));
     }
+    let residency = match obj.get("residency") {
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(bad("residency must be a boolean".into())),
+        None => false,
+    };
+    if residency && op != Op::Schedule {
+        return Err(bad(format!(
+            "residency is only valid for op \"schedule\", not {:?}",
+            op.code()
+        )));
+    }
+    if residency && mode == Mode::Anytime {
+        return Err(bad(
+            "residency and anytime mode are mutually exclusive".into()
+        ));
+    }
+    if residency && trace {
+        return Err(bad("residency and trace are mutually exclusive".into()));
+    }
     let network = parse_network(&obj).map_err(bad)?;
     if matches!(op, Op::Schedule | Op::Compare | Op::Verify) && network.is_none() {
         return Err(bad(format!(
@@ -385,6 +427,7 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorKind, String)> {
         deadline_ms,
         mode,
         trace,
+        residency,
     })
 }
 
@@ -643,6 +686,31 @@ mod tests {
             r#"{"op":"compare","network":"squeezenet","mode":"anytime"}"#,
             r#"{"op":"verify","network":"squeezenet","mode":"anytime"}"#,
             r#"{"op":"schedule","network":"squeezenet","mode":"anytime","trace":true}"#,
+        ] {
+            assert_eq!(
+                parse_request(line).unwrap_err().0,
+                ErrorKind::BadRequest,
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn residency_parses_on_schedule_only() {
+        let req = parse_request(r#"{"op":"schedule","network":"squeezenet"}"#).unwrap();
+        assert!(!req.residency, "residency defaults to off");
+        let req =
+            parse_request(r#"{"op":"schedule","network":"squeezenet","residency":true}"#).unwrap();
+        assert!(req.residency);
+        let req =
+            parse_request(r#"{"op":"schedule","network":"squeezenet","residency":false}"#).unwrap();
+        assert!(!req.residency);
+        for line in [
+            r#"{"op":"schedule","network":"squeezenet","residency":"yes"}"#,
+            r#"{"op":"compare","network":"squeezenet","residency":true}"#,
+            r#"{"op":"verify","network":"squeezenet","residency":true}"#,
+            r#"{"op":"schedule","network":"squeezenet","residency":true,"mode":"anytime"}"#,
+            r#"{"op":"schedule","network":"squeezenet","residency":true,"trace":true}"#,
         ] {
             assert_eq!(
                 parse_request(line).unwrap_err().0,

@@ -463,6 +463,13 @@ fn stats_response(shared: &Shared, id: Option<&str>) -> String {
             .u64("entries", shared.engine.store_entries().unwrap_or(0) as u64);
         o.raw("store", &s.finish());
     }
+    let residency = shared.engine.residency_summary();
+    let mut r = Obj::new();
+    r.u64("networks", residency.networks)
+        .u64("resident_edges", residency.resident_edges)
+        .u64("spilled_edges", residency.spilled_edges)
+        .u64("dma_bytes_saved", residency.dma_bytes_saved);
+    o.raw("residency", &r.finish());
     o.finish()
 }
 

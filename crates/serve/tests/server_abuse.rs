@@ -86,6 +86,29 @@ fn health_schedule_stats_round_trip() {
     let s = j.get("store").expect("store block");
     assert_eq!(s.get("hits").and_then(Json::as_num), Some(1.0));
     assert_eq!(s.get("entries").and_then(Json::as_num), Some(1.0));
+    let r = j.get("residency").expect("stats residency block");
+    assert_eq!(r.get("networks").and_then(Json::as_num), Some(0.0));
+
+    // A residency-opted schedule: the response names its counters and
+    // the server-wide stats aggregate them.
+    let resident = concat!(
+        r#"{"op":"schedule","residency":true,"layers":["#,
+        r#"{"name":"c1","in_channels":16,"height":14,"width":14,"out_channels":32},"#,
+        r#"{"name":"c2","in_channels":32,"height":14,"width":14,"out_channels":32},"#,
+        r#"{"name":"c3","in_channels":32,"height":14,"width":14,"out_channels":32}]}"#
+    );
+    let j = assert_ok(&c.roundtrip(resident).unwrap());
+    let r = j.get("residency").expect("response residency block");
+    assert!(
+        r.get("resident_edges").and_then(Json::as_num).unwrap() >= 1.0,
+        "no edge went resident"
+    );
+    let saved = r.get("dma_bytes_saved").and_then(Json::as_num).unwrap();
+    assert!(saved > 0.0, "residency saved no DRAM bytes");
+    let j = assert_ok(&c.roundtrip(r#"{"op":"stats"}"#).unwrap());
+    let r = j.get("residency").expect("stats residency block");
+    assert_eq!(r.get("networks").and_then(Json::as_num), Some(1.0));
+    assert_eq!(r.get("dma_bytes_saved").and_then(Json::as_num), Some(saved));
 
     shutdown_and_join(addr, handle);
 }

@@ -111,6 +111,30 @@ pub enum SpmCommand {
         /// Transfer size.
         bytes: u64,
     },
+    /// Gather an input tile from the cross-layer residency region into
+    /// the buffer block at `address` — an on-chip copy: the DMA engine
+    /// is busy but no DRAM bytes move. Legal only when the DFG was
+    /// built with `input_resident`.
+    GatherIn {
+        /// The tile gathered.
+        tile: TileId,
+        /// Destination block address.
+        address: u64,
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Scatter a finished output tile into the cross-layer residency
+    /// region for the consumer layer — an on-chip copy replacing the
+    /// DRAM store. Legal only when the DFG was built with
+    /// `output_resident`.
+    ScatterOut {
+        /// The tile scattered.
+        tile: TileId,
+        /// Source block address.
+        address: u64,
+        /// Transfer size.
+        bytes: u64,
+    },
 }
 
 /// A violation found by [`interpret_program`].
@@ -235,6 +259,32 @@ pub enum InterpError {
         /// The tile.
         tile: TileId,
     },
+    /// A residency command ran against a DFG whose residency plan does
+    /// not enable that side (gather without `input_resident`, scatter
+    /// without `output_resident`).
+    ResidencyDisabled {
+        /// The offending command index.
+        index: usize,
+        /// The tile.
+        tile: TileId,
+    },
+    /// An input tile the plan keeps resident was loaded from DRAM —
+    /// the compulsory-traffic saving the planner promised was not
+    /// honored.
+    ResidentDramLoad {
+        /// The offending command index.
+        index: usize,
+        /// The tile.
+        tile: TileId,
+    },
+    /// An output tile the plan keeps resident was stored to DRAM
+    /// instead of scattered on-chip.
+    ResidentDramStore {
+        /// The offending command index.
+        index: usize,
+        /// The tile.
+        tile: TileId,
+    },
 }
 
 impl fmt::Display for InterpError {
@@ -316,6 +366,24 @@ impl fmt::Display for InterpError {
             InterpError::UnsavedData { tile } => {
                 write!(f, "dirty {tile} still resident at program end — data lost")
             }
+            InterpError::ResidencyDisabled { index, tile } => {
+                write!(
+                    f,
+                    "command {index}: residency transfer of {tile} but the plan does not keep that side resident"
+                )
+            }
+            InterpError::ResidentDramLoad { index, tile } => {
+                write!(
+                    f,
+                    "command {index}: resident input {tile} reloaded from DRAM"
+                )
+            }
+            InterpError::ResidentDramStore { index, tile } => {
+                write!(
+                    f,
+                    "command {index}: resident output {tile} stored to DRAM instead of scattered"
+                )
+            }
         }
     }
 }
@@ -355,6 +423,10 @@ pub struct InterpStats {
     moves: u64,
     moved_bytes: u64,
     peak_bytes: u64,
+    gather_bytes: u64,
+    gather_transfers: u64,
+    scatter_bytes: u64,
+    scatter_transfers: u64,
 }
 
 impl InterpStats {
@@ -410,6 +482,30 @@ impl InterpStats {
     #[must_use]
     pub const fn peak_bytes(&self) -> u64 {
         self.peak_bytes
+    }
+
+    /// Bytes gathered from the cross-layer residency region (on-chip).
+    #[must_use]
+    pub const fn gather_bytes(&self) -> u64 {
+        self.gather_bytes
+    }
+
+    /// Number of residency gathers.
+    #[must_use]
+    pub const fn gather_transfers(&self) -> u64 {
+        self.gather_transfers
+    }
+
+    /// Bytes scattered into the cross-layer residency region (on-chip).
+    #[must_use]
+    pub const fn scatter_bytes(&self) -> u64 {
+        self.scatter_bytes
+    }
+
+    /// Number of residency scatters.
+    #[must_use]
+    pub const fn scatter_transfers(&self) -> u64 {
+        self.scatter_transfers
     }
 }
 
@@ -561,10 +657,26 @@ pub fn interpret_program(
                 address,
                 bytes,
             } => {
+                if dfg.residency().input_resident && tile.kind() == TileKind::Input {
+                    return Err(InterpError::ResidentDramLoad { index, tile });
+                }
                 m.check_bytes(index, tile, bytes)?;
                 m.place(index, tile, address, bytes, true)?;
                 m.record_dma(load_class(tile.kind()), bytes);
                 *m.stats.loads_per_tile.entry(tile).or_default() += 1;
+            }
+            SpmCommand::GatherIn {
+                tile,
+                address,
+                bytes,
+            } => {
+                if !dfg.residency().input_resident || tile.kind() != TileKind::Input {
+                    return Err(InterpError::ResidencyDisabled { index, tile });
+                }
+                m.check_bytes(index, tile, bytes)?;
+                m.place(index, tile, address, bytes, true)?;
+                m.stats.gather_bytes += bytes;
+                m.stats.gather_transfers += 1;
             }
             SpmCommand::Reserve {
                 tile,
@@ -687,6 +799,9 @@ pub fn interpret_program(
                 address,
                 bytes,
             } => {
+                if dfg.residency().output_resident {
+                    return Err(InterpError::ResidentDramStore { index, tile });
+                }
                 m.check_bytes(index, tile, bytes)?;
                 let block = m.resident(index, tile, address)?;
                 if !block.valid {
@@ -694,6 +809,23 @@ pub fn interpret_program(
                 }
                 m.blocks.get_mut(&tile).expect("checked resident").dirty = false;
                 m.record_dma(TrafficClass::Output, bytes);
+            }
+            SpmCommand::ScatterOut {
+                tile,
+                address,
+                bytes,
+            } => {
+                if !dfg.residency().output_resident {
+                    return Err(InterpError::ResidencyDisabled { index, tile });
+                }
+                m.check_bytes(index, tile, bytes)?;
+                let block = m.resident(index, tile, address)?;
+                if !block.valid {
+                    return Err(InterpError::UninitRead { index, tile });
+                }
+                m.blocks.get_mut(&tile).expect("checked resident").dirty = false;
+                m.stats.scatter_bytes += bytes;
+                m.stats.scatter_transfers += 1;
             }
         }
         i += 1;
@@ -768,6 +900,16 @@ pub enum DifferentialError {
         /// Bytes the program's moves relocate.
         program: u64,
     },
+    /// A cross-layer residency counter disagrees between the schedule
+    /// and the interpreted program.
+    ResidentCounter {
+        /// Which counter diverged.
+        what: &'static str,
+        /// The schedule's value.
+        schedule: u64,
+        /// The program's value.
+        program: u64,
+    },
 }
 
 impl fmt::Display for DifferentialError {
@@ -815,6 +957,11 @@ impl fmt::Display for DifferentialError {
                 f,
                 "compaction diverges: schedule accounts {schedule} B, program moves {program} B"
             ),
+            DifferentialError::ResidentCounter {
+                what,
+                schedule,
+                program,
+            } => write!(f, "{what} diverge: schedule {schedule}, program {program}"),
         }
     }
 }
@@ -904,6 +1051,37 @@ pub fn differential_check(
             program: stats.moved_bytes(),
         });
     }
+
+    for (what, s, p) in [
+        (
+            "resident gather bytes",
+            schedule.resident_in_bytes(),
+            stats.gather_bytes(),
+        ),
+        (
+            "resident gather transfers",
+            schedule.resident_in_transfers(),
+            stats.gather_transfers(),
+        ),
+        (
+            "resident scatter bytes",
+            schedule.resident_out_bytes(),
+            stats.scatter_bytes(),
+        ),
+        (
+            "resident scatter transfers",
+            schedule.resident_out_transfers(),
+            stats.scatter_transfers(),
+        ),
+    ] {
+        if s != p {
+            return Err(DifferentialError::ResidentCounter {
+                what,
+                schedule: s,
+                program: p,
+            });
+        }
+    }
     Ok(())
 }
 
@@ -915,11 +1093,16 @@ mod tests {
     use flexer_tiling::{Dataflow, TilingFactors};
 
     fn tiny_dfg() -> (Dfg, ArchConfig) {
+        tiny_dfg_resident(flexer_tiling::Residency::default())
+    }
+
+    fn tiny_dfg_resident(residency: flexer_tiling::Residency) -> (Dfg, ArchConfig) {
         let arch = ArchConfig::preset(ArchPreset::Arch1);
         let layer = ConvLayer::new("p", 8, 8, 8, 8).unwrap();
         let factors = TilingFactors::normalized(&layer, 1, 2, 1, 1);
         let model = SystolicModel::new(&arch);
-        let dfg = Dfg::build(&layer, factors, Dataflow::Kcs, &model, &arch).unwrap();
+        let dfg =
+            Dfg::build_resident(&layer, factors, Dataflow::Kcs, &model, &arch, residency).unwrap();
         (dfg, arch)
     }
 
@@ -1217,6 +1400,92 @@ mod tests {
                 err,
                 InterpError::OutOfBounds { .. } | InterpError::Overlap { .. }
             ),
+            "{err}"
+        );
+    }
+
+    /// The legal program with input loads turned into gathers and the
+    /// final store turned into a scatter.
+    fn resident_commands(dfg: &Dfg) -> Vec<SpmCommand> {
+        legal_commands(dfg)
+            .into_iter()
+            .map(|cmd| match cmd {
+                SpmCommand::Load {
+                    tile,
+                    address,
+                    bytes,
+                } if tile.kind() == TileKind::Input => SpmCommand::GatherIn {
+                    tile,
+                    address,
+                    bytes,
+                },
+                SpmCommand::Store {
+                    tile,
+                    address,
+                    bytes,
+                } => SpmCommand::ScatterOut {
+                    tile,
+                    address,
+                    bytes,
+                },
+                other => other,
+            })
+            .collect()
+    }
+
+    fn full_residency() -> flexer_tiling::Residency {
+        flexer_tiling::Residency {
+            input_resident: true,
+            output_resident: true,
+        }
+    }
+
+    #[test]
+    fn resident_program_interprets_with_on_chip_counters() {
+        let (dfg, arch) = tiny_dfg_resident(full_residency());
+        let cmds = resident_commands(&dfg);
+        let stats = interpret_program(&dfg, arch.spm_bytes(), 2, &cmds).unwrap();
+        assert_eq!(stats.execs(), 2);
+        // Inputs gathered on-chip: no DRAM input traffic, no load
+        // counts for them.
+        assert_eq!(stats.class_bytes(TrafficClass::Input), 0);
+        assert_eq!(stats.gather_transfers(), 2);
+        assert!(stats.gather_bytes() > 0);
+        // The final output scattered on-chip: no DRAM output traffic.
+        assert_eq!(stats.class_bytes(TrafficClass::Output), 0);
+        assert_eq!(stats.scatter_transfers(), 1);
+        assert!(stats.scatter_bytes() > 0);
+    }
+
+    #[test]
+    fn gather_without_residency_rejected() {
+        let (dfg, arch) = tiny_dfg();
+        let cmds = resident_commands(&dfg);
+        let err = interpret_program(&dfg, arch.spm_bytes(), 2, &cmds).unwrap_err();
+        assert!(
+            matches!(err, InterpError::ResidencyDisabled { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn resident_input_dram_load_rejected() {
+        let (dfg, arch) = tiny_dfg_resident(full_residency());
+        // The plain program loads inputs from DRAM — illegal when the
+        // plan keeps them resident.
+        let err = interpret_program(&dfg, arch.spm_bytes(), 2, &legal_commands(&dfg)).unwrap_err();
+        assert!(matches!(err, InterpError::ResidentDramLoad { .. }), "{err}");
+    }
+
+    #[test]
+    fn resident_output_dram_store_rejected() {
+        let (dfg, arch) = tiny_dfg_resident(flexer_tiling::Residency {
+            input_resident: false,
+            output_resident: true,
+        });
+        let err = interpret_program(&dfg, arch.spm_bytes(), 2, &legal_commands(&dfg)).unwrap_err();
+        assert!(
+            matches!(err, InterpError::ResidentDramStore { .. }),
             "{err}"
         );
     }

@@ -52,6 +52,7 @@ mod energy;
 mod engine;
 mod gantt;
 mod interp;
+mod ledger;
 mod reference;
 mod render;
 mod schedule;
@@ -65,6 +66,7 @@ pub use gantt::schedule_trace;
 pub use interp::{
     differential_check, interpret_program, DifferentialError, InterpError, InterpStats, SpmCommand,
 };
+pub use ledger::{LedgerError, ResidencyLedger};
 pub use reference::onchip_reference_traffic;
 pub use render::{render_gantt, to_tsv};
 pub use schedule::{MemOp, MemOpKind, Schedule, ScheduleBuilder, ScheduledOp, SpatialReuseStats};

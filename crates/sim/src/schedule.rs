@@ -46,6 +46,12 @@ pub struct MemOp {
     /// The compute operation this transfer was issued for, when it is
     /// a load feeding a specific operation.
     pub for_op: Option<OpId>,
+    /// `true` for an on-chip residency transfer (a gather of a
+    /// resident input tile or a scatter into the resident output
+    /// region): the DMA engine is busy for the span but no DRAM bytes
+    /// move, so the bytes are counted in the schedule's resident
+    /// counters instead of [`TrafficStats`].
+    pub resident: bool,
 }
 
 /// One timed compute operation of a schedule.
@@ -158,6 +164,10 @@ pub struct Schedule {
     utilization_samples: u64,
     compaction_cycles: u64,
     compaction_bytes: u64,
+    resident_in_bytes: u64,
+    resident_in_transfers: u64,
+    resident_out_bytes: u64,
+    resident_out_transfers: u64,
 }
 
 impl Schedule {
@@ -249,6 +259,32 @@ impl Schedule {
         self.compaction_bytes
     }
 
+    /// Bytes gathered from the resident input region (on-chip; these
+    /// would have been DRAM input loads without residency).
+    #[must_use]
+    pub const fn resident_in_bytes(&self) -> u64 {
+        self.resident_in_bytes
+    }
+
+    /// Number of resident input gathers.
+    #[must_use]
+    pub const fn resident_in_transfers(&self) -> u64 {
+        self.resident_in_transfers
+    }
+
+    /// Bytes scattered into the resident output region (on-chip; these
+    /// would have been DRAM output stores without residency).
+    #[must_use]
+    pub const fn resident_out_bytes(&self) -> u64 {
+        self.resident_out_bytes
+    }
+
+    /// Number of resident output scatters.
+    #[must_use]
+    pub const fn resident_out_transfers(&self) -> u64 {
+        self.resident_out_transfers
+    }
+
     /// Test-only: overrides the recorded latency so validator tests
     /// can craft inconsistent schedules the builder cannot produce.
     #[cfg(test)]
@@ -277,6 +313,10 @@ impl Schedule {
         w.u64(self.utilization_samples);
         w.u64(self.compaction_cycles);
         w.u64(self.compaction_bytes);
+        w.u64(self.resident_in_bytes);
+        w.u64(self.resident_in_transfers);
+        w.u64(self.resident_out_bytes);
+        w.u64(self.resident_out_transfers);
     }
 
     pub(crate) fn decode_wire(
@@ -313,6 +353,10 @@ impl Schedule {
             utilization_samples: r.u64()?,
             compaction_cycles: r.u64()?,
             compaction_bytes: r.u64()?,
+            resident_in_bytes: r.u64()?,
+            resident_in_transfers: r.u64()?,
+            resident_out_bytes: r.u64()?,
+            resident_out_transfers: r.u64()?,
         })
     }
 }
@@ -346,6 +390,10 @@ pub struct ScheduleBuilder {
     utilization_samples: u64,
     compaction_cycles: u64,
     compaction_bytes: u64,
+    resident_in_bytes: u64,
+    resident_in_transfers: u64,
+    resident_out_bytes: u64,
+    resident_out_transfers: u64,
 }
 
 impl ScheduleBuilder {
@@ -366,6 +414,10 @@ impl ScheduleBuilder {
             utilization_samples: 0,
             compaction_cycles: 0,
             compaction_bytes: 0,
+            resident_in_bytes: 0,
+            resident_in_transfers: 0,
+            resident_out_bytes: 0,
+            resident_out_transfers: 0,
         }
     }
 
@@ -433,6 +485,52 @@ impl ScheduleBuilder {
             start,
             end,
             for_op,
+            resident: false,
+        });
+        Ok((start, end))
+    }
+
+    /// Records an on-chip residency transfer — a gather of a resident
+    /// input tile ([`MemOpKind::Load`]) or a scatter into the resident
+    /// output region ([`MemOpKind::Store`]) — starting no earlier than
+    /// `earliest`. The DMA channel is busy for `dma_cycles` but no
+    /// off-chip traffic is accounted: the bytes land in the schedule's
+    /// resident counters. Returns the `(start, end)` of the transfer.
+    ///
+    /// # Errors
+    ///
+    /// [`TimelineError`] if the cycle arithmetic overflows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_resident_mem_op_after(
+        &mut self,
+        kind: MemOpKind,
+        class: TrafficClass,
+        tile: TileId,
+        bytes: u64,
+        dma_cycles: u64,
+        earliest: u64,
+        for_op: Option<OpId>,
+    ) -> Result<(u64, u64), TimelineError> {
+        let (start, end) = self.timeline.issue_dma_after(earliest, dma_cycles)?;
+        match kind {
+            MemOpKind::Load => {
+                self.resident_in_bytes += bytes;
+                self.resident_in_transfers += 1;
+            }
+            MemOpKind::Spill | MemOpKind::Store => {
+                self.resident_out_bytes += bytes;
+                self.resident_out_transfers += 1;
+            }
+        }
+        self.mem_ops.push(MemOp {
+            kind,
+            class,
+            tile,
+            bytes,
+            start,
+            end,
+            for_op,
+            resident: true,
         });
         Ok((start, end))
     }
@@ -512,6 +610,10 @@ impl ScheduleBuilder {
             utilization_samples: self.utilization_samples,
             compaction_cycles: self.compaction_cycles,
             compaction_bytes: self.compaction_bytes,
+            resident_in_bytes: self.resident_in_bytes,
+            resident_in_transfers: self.resident_in_transfers,
+            resident_out_bytes: self.resident_out_bytes,
+            resident_out_transfers: self.resident_out_transfers,
         }
     }
 }
@@ -601,6 +703,41 @@ mod tests {
     }
 
     #[test]
+    fn resident_transfers_occupy_dma_without_traffic() {
+        let mut b = ScheduleBuilder::new(1);
+        b.record_resident_mem_op_after(
+            MemOpKind::Load,
+            TrafficClass::Input,
+            in_tile(),
+            100,
+            25,
+            0,
+            Some(OpId::new(0)),
+        )
+        .unwrap();
+        b.record_resident_mem_op_after(
+            MemOpKind::Store,
+            TrafficClass::Output,
+            TileId::Output { k: 0, s: 0 },
+            64,
+            8,
+            0,
+            None,
+        )
+        .unwrap();
+        let sched = b.finish();
+        // The DMA channel was busy — latency covers both spans — but
+        // no off-chip traffic was accounted.
+        assert_eq!(sched.latency(), 33);
+        assert_eq!(sched.transfer_bytes(), 0);
+        assert_eq!(sched.resident_in_bytes(), 100);
+        assert_eq!(sched.resident_in_transfers(), 1);
+        assert_eq!(sched.resident_out_bytes(), 64);
+        assert_eq!(sched.resident_out_transfers(), 1);
+        assert!(sched.mem_ops().iter().all(|m| m.resident));
+    }
+
+    #[test]
     fn empty_schedule_is_well_formed() {
         let sched = ScheduleBuilder::new(1).finish();
         assert_eq!(sched.latency(), 0);
@@ -626,6 +763,16 @@ mod tests {
         b.record_shared_tile(TileKind::Weight, 32, 2);
         b.record_spm_utilization(0.625);
         b.record_compaction(16, 4).unwrap();
+        b.record_resident_mem_op_after(
+            MemOpKind::Store,
+            TrafficClass::Output,
+            TileId::Output { k: 0, s: 0 },
+            64,
+            8,
+            0,
+            None,
+        )
+        .unwrap();
         let sched = b.finish();
 
         let mut w = crate::wire::WireWriter::new();

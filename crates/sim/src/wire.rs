@@ -376,6 +376,7 @@ pub fn encode_mem_op(w: &mut WireWriter, op: &MemOp) {
             encode_op_id(w, id);
         }
     }
+    w.bool(op.resident);
 }
 
 /// Decodes a [`MemOp`].
@@ -400,6 +401,7 @@ pub fn decode_mem_op(r: &mut WireReader<'_>) -> Result<MemOp, WireError> {
             })
         }
     };
+    let resident = r.bool()?;
     Ok(MemOp {
         kind,
         class,
@@ -408,6 +410,7 @@ pub fn decode_mem_op(r: &mut WireReader<'_>) -> Result<MemOp, WireError> {
         start,
         end,
         for_op,
+        resident,
     })
 }
 
@@ -549,6 +552,7 @@ mod tests {
             start: 10,
             end: 138,
             for_op: Some(OpId::new(6)),
+            resident: false,
         };
         let mut w = WireWriter::new();
         encode_mem_op(&mut w, &op);

@@ -22,7 +22,7 @@
 use crate::metric::Metric;
 use flexer_arch::{ArchConfig, PerfModel};
 use flexer_model::ConvLayer;
-use flexer_tiling::{compute_envelope, CompulsoryTiles, TilingFactors};
+use flexer_tiling::{compute_envelope, CompulsoryTiles, Residency, TilingFactors};
 
 /// Admissible lower bounds on the cost of any schedule of one
 /// (layer, tiling) pair, valid for every dataflow.
@@ -52,6 +52,24 @@ pub fn lower_bound(
     perf: &dyn PerfModel,
     factors: &TilingFactors,
 ) -> ScheduleBound {
+    lower_bound_resident(layer, arch, perf, factors, Residency::default())
+}
+
+/// [`lower_bound`] under a cross-layer residency assignment.
+///
+/// Resident tensors never touch DRAM, so their compulsory bytes leave
+/// the transfer floor. The latency floor is *unchanged*: a resident
+/// gather or scatter occupies the single DMA engine for the same span
+/// as its DRAM equivalent, so every compulsory tile still serializes
+/// through the channel at least once.
+#[must_use]
+pub fn lower_bound_resident(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    perf: &dyn PerfModel,
+    factors: &TilingFactors,
+    residency: Residency,
+) -> ScheduleBound {
     let env = compute_envelope(layer, factors, perf);
     let compute = perf.packed_compute_cycles(
         env.total_cycles,
@@ -64,7 +82,7 @@ pub fn lower_bound(
     let dma = perf.serial_dma_cycles(&sizes);
     ScheduleBound {
         latency: compute.max(dma),
-        transfer_bytes: tiles.total_bytes(),
+        transfer_bytes: tiles.dram_bytes(residency),
     }
 }
 

@@ -31,6 +31,9 @@ mod bound;
 mod metric;
 mod model;
 
-pub use bound::{lower_bound, ScheduleBound};
+pub use bound::{lower_bound, lower_bound_resident, ScheduleBound};
 pub use metric::Metric;
-pub use model::{estimate, gap_ppm, rank_candidates, Candidate, Estimate};
+pub use model::{
+    estimate, estimate_resident, gap_ppm, rank_candidates, rank_candidates_resident, Candidate,
+    Estimate,
+};

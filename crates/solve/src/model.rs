@@ -26,11 +26,11 @@
 //! `estimate ≥ bound` holds componentwise — the estimate ranks, the
 //! bound proves.
 
-use crate::bound::{lower_bound, ScheduleBound};
+use crate::bound::{lower_bound_resident, ScheduleBound};
 use crate::metric::Metric;
 use flexer_arch::{ArchConfig, PerfModel};
 use flexer_model::ConvLayer;
-use flexer_tiling::{CompulsoryTiles, Dataflow, TileKind, TilingFactors};
+use flexer_tiling::{CompulsoryTiles, Dataflow, Residency, TileKind, TilingFactors};
 
 /// Predicted cost of scheduling one (tiling, dataflow) candidate under
 /// the closed-form contention/occupancy model.
@@ -113,6 +113,27 @@ pub fn estimate(
     factors: &TilingFactors,
     dataflow: Dataflow,
 ) -> Estimate {
+    estimate_resident(layer, arch, perf, factors, dataflow, Residency::default())
+}
+
+/// [`estimate`] under a cross-layer residency assignment.
+///
+/// Resident tensors change the predicted *DRAM* traffic only: a
+/// resident input class sweeps the buffer through on-chip gathers
+/// (zero DRAM bytes, full DMA occupancy), and a resident output drops
+/// the final store from its `2r − 1` passes (psum spill/reload
+/// round-trips stay DRAM-bound), leaving `2r − 2` DRAM passes. The
+/// DMA-occupancy latency term keeps every pass — resident transfers
+/// hold the channel just as long.
+#[must_use]
+pub fn estimate_resident(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    perf: &dyn PerfModel,
+    factors: &TilingFactors,
+    dataflow: Dataflow,
+    residency: Residency,
+) -> Estimate {
     let env = flexer_tiling::compute_envelope(layer, factors, perf);
     let compute = perf.packed_compute_cycles(
         env.total_cycles,
@@ -133,7 +154,12 @@ pub fn estimate(
         } else {
             reload
         };
-        traffic = traffic.saturating_add(tiles.kind_bytes(kind).saturating_mul(passes));
+        let dram_passes = match kind {
+            TileKind::Input if residency.input_resident => 0,
+            TileKind::Output if residency.output_resident => passes.saturating_sub(1),
+            _ => passes,
+        };
+        traffic = traffic.saturating_add(tiles.kind_bytes(kind).saturating_mul(dram_passes));
         let sizes: Vec<u64> = tiles.kind_transfer_sizes(kind).collect();
         dma = dma.saturating_add(perf.serial_dma_cycles(&sizes).saturating_mul(passes));
     }
@@ -190,11 +216,36 @@ pub fn rank_candidates(
     dataflows: &[Dataflow],
     metric: Metric,
 ) -> Vec<Candidate> {
+    rank_candidates_resident(
+        layer,
+        arch,
+        perf,
+        tilings,
+        dataflows,
+        metric,
+        Residency::default(),
+    )
+}
+
+/// [`rank_candidates`] under a cross-layer residency assignment: both
+/// the admissible floor and the prediction use the residency-aware
+/// byte math, so the ranking stays consistent with the search it seeds.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn rank_candidates_resident(
+    layer: &ConvLayer,
+    arch: &ArchConfig,
+    perf: &dyn PerfModel,
+    tilings: &[TilingFactors],
+    dataflows: &[Dataflow],
+    metric: Metric,
+    residency: Residency,
+) -> Vec<Candidate> {
     let mut out = Vec::with_capacity(tilings.len() * dataflows.len());
     for factors in tilings {
-        let bound = lower_bound(layer, arch, perf, factors);
+        let bound = lower_bound_resident(layer, arch, perf, factors, residency);
         for &dataflow in dataflows {
-            let est = estimate(layer, arch, perf, factors, dataflow);
+            let est = estimate_resident(layer, arch, perf, factors, dataflow, residency);
             out.push(Candidate {
                 factors: *factors,
                 dataflow,
@@ -233,6 +284,7 @@ pub fn gap_ppm(score: f64, bound: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bound::lower_bound;
     use flexer_arch::{ArchPreset, SystolicModel};
 
     fn setup() -> (ConvLayer, ArchConfig, SystolicModel) {

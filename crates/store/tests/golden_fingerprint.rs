@@ -16,10 +16,10 @@ use flexer_sched::{SchedulerKind, SearchOptions};
 use flexer_store::{fingerprint, FORMAT_VERSION};
 
 /// The pinned address of (Arch1, conv 32x14x14 -> 32, quick options,
-/// OoO scheduler) under store format version 2.
-const GOLDEN_OOO: &str = "ef3febfb47eebc6c9e071fa941d476f2";
+/// OoO scheduler) under store format version 3 (residency in the key).
+const GOLDEN_OOO: &str = "7b11f4a11404493975164f69316081d5";
 /// Same triple under the static baseline scheduler.
-const GOLDEN_STATIC: &str = "90321f8d67d6db5dd0814fac12efe83b";
+const GOLDEN_STATIC: &str = "9bda92d3a1fe3529511fd0576c86533c";
 
 fn triple() -> (ConvLayer, ArchConfig, SearchOptions) {
     (
@@ -31,7 +31,7 @@ fn triple() -> (ConvLayer, ArchConfig, SearchOptions) {
 
 #[test]
 fn fingerprint_bytes_are_pinned() {
-    assert_eq!(FORMAT_VERSION, 2, "format bumped: re-pin the goldens");
+    assert_eq!(FORMAT_VERSION, 3, "format bumped: re-pin the goldens");
     let (layer, arch, opts) = triple();
     assert_eq!(
         fingerprint(&layer, &arch, &opts, SchedulerKind::Ooo).hex(),
@@ -81,7 +81,14 @@ fn winner_relevant_options_move_the_address() {
         fingerprint(&layer, &arch, &tiling, SchedulerKind::Ooo),
         base
     );
-    let mut flows = opts;
+    let mut flows = opts.clone();
     flows.dataflows.pop();
     assert_ne!(fingerprint(&layer, &arch, &flows, SchedulerKind::Ooo), base);
+    let mut resident = opts;
+    resident.residency.input_resident = true;
+    assert_ne!(
+        fingerprint(&layer, &arch, &resident, SchedulerKind::Ooo),
+        base,
+        "residency is winner-relevant and must re-key the entry"
+    );
 }

@@ -10,6 +10,7 @@
 //! and transfer without building a DFG or running a scheduler.
 
 use crate::factors::{input_extent, TilingFactors};
+use crate::residency::Residency;
 use crate::tile::TileKind;
 use flexer_arch::{ConvTileDims, PerfModel};
 use flexer_model::ConvLayer;
@@ -103,6 +104,24 @@ impl CompulsoryTiles {
             .chain(&self.wt_bytes)
             .chain(&self.ot_bytes)
             .fold(0u64, |acc, &b| acc.saturating_add(b))
+    }
+
+    /// Compulsory *DRAM* traffic under a residency plan: a resident
+    /// input tensor arrives on-chip (its tile loads are gathers, zero
+    /// DRAM bytes) and a resident output tensor stays on-chip (its
+    /// final stores are scatters, zero DRAM bytes); weights always
+    /// round-trip through DRAM. With residency off this equals
+    /// [`CompulsoryTiles::total_bytes`].
+    #[must_use]
+    pub fn dram_bytes(&self, residency: Residency) -> u64 {
+        let mut total = self.kind_bytes(TileKind::Weight);
+        if !residency.input_resident {
+            total = total.saturating_add(self.kind_bytes(TileKind::Input));
+        }
+        if !residency.output_resident {
+            total = total.saturating_add(self.kind_bytes(TileKind::Output));
+        }
+        total
     }
 
     /// Byte sizes of every compulsory transfer (one per distinct tile),

@@ -4,6 +4,7 @@ use crate::compulsory::CompulsoryTiles;
 use crate::dataflow::{Dataflow, LoopDim};
 use crate::factors::TilingFactors;
 use crate::op::{OpId, TiledOp};
+use crate::residency::Residency;
 use crate::tile::{TileId, TileKind};
 use flexer_arch::{ArchConfig, ConvTileDims, PerfModel};
 use flexer_model::ConvLayer;
@@ -82,12 +83,13 @@ pub struct Dfg {
     in_bytes: Vec<u64>,
     wt_bytes: Vec<u64>,
     ot_bytes: Vec<u64>,
+    residency: Residency,
 }
 
 impl Dfg {
     /// Builds the DFG of `layer` tiled by `factors`, with operation ids
     /// in the static loop order of `dataflow` and latencies from
-    /// `perf`.
+    /// `perf`. Residency is off: every tensor round-trips through DRAM.
     ///
     /// # Errors
     ///
@@ -99,6 +101,25 @@ impl Dfg {
         dataflow: Dataflow,
         perf: &dyn PerfModel,
         arch: &ArchConfig,
+    ) -> Result<Self, TilingError> {
+        Self::build_resident(layer, factors, dataflow, perf, arch, Residency::default())
+    }
+
+    /// Builds the DFG under a cross-layer residency plan: the
+    /// schedulers lower resident input loads to on-chip gathers and
+    /// resident final output stores to on-chip scatters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::TooManyOps`] if the tiling exceeds the
+    /// absolute operation cap (2^20).
+    pub fn build_resident(
+        layer: &ConvLayer,
+        factors: TilingFactors,
+        dataflow: Dataflow,
+        perf: &dyn PerfModel,
+        arch: &ArchConfig,
+        residency: Residency,
     ) -> Result<Self, TilingError> {
         let num_ops = factors.num_ops();
         if num_ops > ABSOLUTE_MAX_OPS {
@@ -184,7 +205,14 @@ impl Dfg {
             in_bytes,
             wt_bytes,
             ot_bytes,
+            residency,
         })
+    }
+
+    /// The residency plan the DFG was built under.
+    #[must_use]
+    pub fn residency(&self) -> Residency {
+        self.residency
     }
 
     /// The layer this DFG tiles.

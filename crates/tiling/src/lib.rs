@@ -43,6 +43,7 @@ mod dataflow;
 mod dfg;
 mod factors;
 mod op;
+mod residency;
 mod tile;
 
 pub use compulsory::{compute_envelope, CompulsoryTiles, ComputeEnvelope};
@@ -50,4 +51,5 @@ pub use dataflow::Dataflow;
 pub use dfg::{Dfg, TilingError};
 pub use factors::{enumerate_tilings, estimate_metric, TilingFactors, TilingOptions};
 pub use op::{OpId, TiledOp};
+pub use residency::Residency;
 pub use tile::{TileId, TileKind};
