@@ -45,6 +45,19 @@ if [ "$(grep -c '^residency gate arch' <<<"$residency_out")" -lt 2 ]; then
     echo "check.sh: bench_json --residency did not report both presets" >&2
     exit 1
 fi
+# Workload-diversity gate: every network in the diverse zoo
+# (transformer encoder, MobileNet-style depthwise net, branching fire
+# net) must schedule, differentially verify, and warm-start from the
+# store on a second pass, on Arch1, Arch5 and the heterogeneous
+# configuration; the branching net must cleanly decline residency —
+# all hard-asserted inside bench_json --zoo, which exits non-zero (and
+# prints no "zoo gate" lines) on violation.
+zoo_out="$(./target/release/bench_json --zoo)"
+echo "$zoo_out"
+if [ "$(grep -c '^zoo gate ' <<<"$zoo_out")" -lt 9 ]; then
+    echo "check.sh: bench_json --zoo did not report all nine net/arch pairs" >&2
+    exit 1
+fi
 # Anytime gate: an expiring deadline yields a partial result with a
 # proven gap instead of a typed deadline error.
 cargo test -q -p flexer-serve anytime

@@ -129,12 +129,52 @@ impl std::str::FromStr for ArchPreset {
     }
 }
 
+/// One class of identical cores within a heterogeneous accelerator:
+/// `count` cores with a `pe_rows x pe_cols` array, contributing
+/// `spm_share_bytes` to the shared global buffer (per Stream-style
+/// big.LITTLE NPU designs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreClass {
+    /// Number of cores of this class.
+    pub count: u32,
+    /// PE array rows of each core in the class.
+    pub pe_rows: u32,
+    /// PE array columns of each core in the class.
+    pub pe_cols: u32,
+    /// Each core's contribution to the shared SPM, in bytes (the
+    /// class contributes `count * spm_share_bytes` in total).
+    pub spm_share_bytes: u64,
+}
+
+impl CoreClass {
+    /// Convenience constructor.
+    #[must_use]
+    pub const fn new(count: u32, pe_rows: u32, pe_cols: u32, spm_share_bytes: u64) -> Self {
+        Self {
+            count,
+            pe_rows,
+            pe_cols,
+            spm_share_bytes,
+        }
+    }
+}
+
 /// Hardware parameters of a multi-NPU accelerator instance.
 ///
 /// Mirrors the paper's parameterizable architecture (§2.1): the number
 /// of NPU cores, the shared on-chip global-buffer size and the DRAM
 /// bandwidth are configurable; each core is a `pe_rows x pe_cols`
 /// compute array (32x32 in the evaluation, §5).
+///
+/// A configuration may optionally be *heterogeneous*: built from
+/// [`CoreClass`]es with differing PE arrays and SPM shares (see
+/// [`ArchConfigBuilder::heterogeneous`]). The scheduler still treats
+/// cores as interchangeable units, so the effective parameters are
+/// conservative: the core count and SPM are the sums over classes,
+/// while the modelled PE array is the *weakest* class's (per-axis
+/// minimum) — any schedule valid under the weakest-core latency model
+/// is valid on the real mix. The class list is retained for display
+/// and cache-key identity.
 ///
 /// # Examples
 ///
@@ -155,6 +195,8 @@ pub struct ArchConfig {
     pe_cols: u32,
     dram_latency_cycles: u64,
     element_size: ElementSize,
+    #[serde(default)]
+    core_classes: Vec<CoreClass>,
 }
 
 impl ArchConfig {
@@ -210,10 +252,56 @@ impl ArchConfig {
     pub const fn element_size(&self) -> ElementSize {
         self.element_size
     }
+
+    /// The heterogeneous core classes this configuration was built
+    /// from; empty for homogeneous configurations.
+    #[must_use]
+    pub fn core_classes(&self) -> &[CoreClass] {
+        &self.core_classes
+    }
+
+    /// Whether the configuration was built from heterogeneous core
+    /// classes.
+    #[must_use]
+    pub fn is_heterogeneous(&self) -> bool {
+        !self.core_classes.is_empty()
+    }
+
+    /// The `hetero1` reference configuration: a big.LITTLE mix of one
+    /// 32x32-PE core with a 160 KiB SPM share and two 16x16-PE cores
+    /// with 48 KiB shares — 3 cores, 256 KiB total, 32 B/cycle, like
+    /// [`ArchPreset::Arch1`] with an extra pair of little cores.
+    #[must_use]
+    pub fn hetero1() -> Self {
+        ArchConfigBuilder::heterogeneous(
+            vec![
+                CoreClass::new(1, 32, 32, 160 * 1024),
+                CoreClass::new(2, 16, 16, 48 * 1024),
+            ],
+            32,
+        )
+        .build()
+        .expect("static hetero1 spec is valid")
+    }
 }
 
 impl fmt::Display for ArchConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_heterogeneous() {
+            write!(f, "hetero [")?;
+            for (i, c) in self.core_classes.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " + ")?;
+                }
+                write!(f, "{}x {}x{} PEs", c.count, c.pe_rows, c.pe_cols)?;
+            }
+            return write!(
+                f,
+                "], {} KiB SPM, {} B/cyc DRAM",
+                self.spm_bytes / 1024,
+                self.dma_bytes_per_cycle
+            );
+        }
         write!(
             f,
             "{} cores x {}x{} PEs, {} KiB SPM, {} B/cyc DRAM",
@@ -260,8 +348,29 @@ impl ArchConfigBuilder {
                 pe_cols: 32,
                 dram_latency_cycles: 100,
                 element_size: ElementSize::Int8,
+                core_classes: Vec::new(),
             },
         }
+    }
+
+    /// Starts a heterogeneous configuration from a list of core
+    /// classes. The effective parameters are derived conservatively:
+    /// `cores` and `spm_bytes` sum over the classes, the PE array is
+    /// the per-axis minimum (weakest core), so the latency model never
+    /// underestimates any core. DRAM latency and element size default
+    /// as in [`ArchConfigBuilder::new`] and remain settable.
+    #[must_use]
+    pub fn heterogeneous(classes: Vec<CoreClass>, dma_bytes_per_cycle: u64) -> Self {
+        let cores = classes.iter().map(|c| c.count).sum();
+        let spm_bytes = classes
+            .iter()
+            .map(|c| u64::from(c.count) * c.spm_share_bytes)
+            .sum();
+        let pe_rows = classes.iter().map(|c| c.pe_rows).min().unwrap_or(0);
+        let pe_cols = classes.iter().map(|c| c.pe_cols).min().unwrap_or(0);
+        let mut b = Self::new(cores, spm_bytes, dma_bytes_per_cycle).pe_array(pe_rows, pe_cols);
+        b.config.core_classes = classes;
+        b
     }
 
     /// Sets the per-core PE array extents.
@@ -305,6 +414,18 @@ impl ArchConfigBuilder {
         }
         if c.pe_rows == 0 || c.pe_cols == 0 {
             return Err(ArchConfigError::new("PE array extents must be positive"));
+        }
+        for class in &c.core_classes {
+            if class.count == 0 || class.pe_rows == 0 || class.pe_cols == 0 {
+                return Err(ArchConfigError::new(
+                    "core-class counts and PE extents must be positive",
+                ));
+            }
+            if class.spm_share_bytes == 0 {
+                return Err(ArchConfigError::new(
+                    "core-class SPM shares must be positive",
+                ));
+            }
         }
         Ok(self.config)
     }
@@ -377,5 +498,81 @@ mod tests {
         assert!(s.contains("4 cores"));
         assert!(s.contains("256 KiB"));
         assert!(s.contains("64 B/cyc"));
+    }
+
+    #[test]
+    fn hetero1_effective_parameters_are_conservative() {
+        let arch = ArchConfig::hetero1();
+        assert!(arch.is_heterogeneous());
+        assert_eq!(arch.core_classes().len(), 2);
+        // Sums: 1 big + 2 little cores, 160 + 2*48 KiB SPM.
+        assert_eq!(arch.cores(), 3);
+        assert_eq!(arch.spm_bytes(), 256 * 1024);
+        // Weakest-core PE array: the 16x16 littles.
+        assert_eq!(arch.pe_rows(), 16);
+        assert_eq!(arch.pe_cols(), 16);
+        assert_eq!(arch.dma_bytes_per_cycle(), 32);
+    }
+
+    #[test]
+    fn hetero_effective_pe_minimum_is_per_axis() {
+        // A 8x64 class mixed with a 64x8 class models as 8x8.
+        let arch = ArchConfigBuilder::heterogeneous(
+            vec![
+                CoreClass::new(1, 8, 64, 1024),
+                CoreClass::new(1, 64, 8, 1024),
+            ],
+            32,
+        )
+        .build()
+        .unwrap();
+        assert_eq!((arch.pe_rows(), arch.pe_cols()), (8, 8));
+        assert_eq!(arch.cores(), 2);
+        assert_eq!(arch.spm_bytes(), 2048);
+    }
+
+    #[test]
+    fn hetero_differs_from_equivalent_homogeneous_config() {
+        let hetero =
+            ArchConfigBuilder::heterogeneous(vec![CoreClass::new(2, 32, 32, 128 * 1024)], 32)
+                .build()
+                .unwrap();
+        let homo = ArchConfigBuilder::new(2, 256 * 1024, 32).build().unwrap();
+        assert_eq!(hetero.cores(), homo.cores());
+        assert_eq!(hetero.spm_bytes(), homo.spm_bytes());
+        // Same effective parameters, distinct identity (cache keys
+        // never alias across the two).
+        assert_ne!(hetero, homo);
+    }
+
+    #[test]
+    fn hetero_rejects_degenerate_classes() {
+        assert!(
+            ArchConfigBuilder::heterogeneous(vec![CoreClass::new(0, 32, 32, 1024)], 32)
+                .build()
+                .is_err()
+        );
+        assert!(
+            ArchConfigBuilder::heterogeneous(vec![CoreClass::new(1, 0, 32, 1024)], 32)
+                .build()
+                .is_err()
+        );
+        assert!(
+            ArchConfigBuilder::heterogeneous(vec![CoreClass::new(1, 32, 32, 0)], 32)
+                .build()
+                .is_err()
+        );
+        assert!(ArchConfigBuilder::heterogeneous(vec![], 32)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn hetero_display_lists_classes() {
+        let s = ArchConfig::hetero1().to_string();
+        assert!(s.contains("hetero"), "{s}");
+        assert!(s.contains("1x 32x32 PEs"), "{s}");
+        assert!(s.contains("2x 16x16 PEs"), "{s}");
+        assert!(s.contains("256 KiB"), "{s}");
     }
 }

@@ -43,6 +43,6 @@ mod config;
 mod energy;
 mod perf;
 
-pub use config::{ArchConfig, ArchConfigBuilder, ArchConfigError, ArchPreset};
+pub use config::{ArchConfig, ArchConfigBuilder, ArchConfigError, ArchPreset, CoreClass};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use perf::{ConvTileDims, PerfModel, SystolicModel};

@@ -68,6 +68,17 @@ pub trait PerfModel: Send + Sync {
     /// on-chip buffer (either direction).
     fn dma_cycles(&self, bytes: u64) -> u64;
 
+    /// Latency, in cycles, of one tiled *grouped* convolution on a
+    /// single NPU core: `groups` independent group slices, each with
+    /// the per-group extents in `dims` (`dims.out_channels` /
+    /// `dims.in_channels` are `K/G` and `C/G` portions of the tile).
+    ///
+    /// The default runs the group slices back to back; models that
+    /// amortize per-operation overheads may override it.
+    fn grouped_conv_cycles(&self, groups: u32, dims: &ConvTileDims) -> u64 {
+        u64::from(groups.max(1)).saturating_mul(self.conv_cycles(dims))
+    }
+
     /// Admissible lower bound on the makespan of a set of compute
     /// operations packed onto `cores` identical cores.
     ///
@@ -179,6 +190,21 @@ impl PerfModel for SystolicModel {
         }
         self.dram_latency_cycles + bytes.div_ceil(self.dma_bytes_per_cycle)
     }
+
+    /// Group slices stream through the array back to back, paying the
+    /// pipeline fill once per operation rather than once per group:
+    ///
+    /// ```text
+    /// cycles = G * ceil(Cpg/rows) * ceil(Kpg/cols) * tOTh * tOTw * R * S + fill
+    /// ```
+    ///
+    /// Each group maps only `C/G x K/G` channel pairs onto the array,
+    /// so depthwise tiles (1x1 channel pairs per group) pay one pass
+    /// per output element and tap per group.
+    fn grouped_conv_cycles(&self, groups: u32, dims: &ConvTileDims) -> u64 {
+        let per_group = self.conv_cycles(dims) - self.fill_cycles();
+        u64::from(groups.max(1)).saturating_mul(per_group) + self.fill_cycles()
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +282,33 @@ mod tests {
     #[test]
     fn macs_helper() {
         assert_eq!(dims(2, 3, 4, 5, 6, 7).macs(), 2 * 3 * 4 * 5 * 6 * 7);
+    }
+
+    #[test]
+    fn grouped_cycles_pay_fill_once() {
+        let m = model();
+        // A depthwise slice: 1x1 channel pair per group, 4x4 spatial,
+        // 3x3 taps. 16 groups stream back to back.
+        let slice = dims(1, 1, 4, 4, 3, 3);
+        let per_group = m.conv_cycles(&slice) - m.fill_cycles();
+        assert_eq!(
+            m.grouped_conv_cycles(16, &slice),
+            16 * per_group + m.fill_cycles()
+        );
+        // One group degenerates to the dense cost.
+        assert_eq!(m.grouped_conv_cycles(1, &slice), m.conv_cycles(&slice));
+        assert_eq!(m.grouped_conv_cycles(0, &slice), m.conv_cycles(&slice));
+    }
+
+    #[test]
+    fn grouped_cycles_beat_serializing_dense_calls() {
+        let m = model();
+        let slice = dims(4, 4, 2, 2, 3, 3);
+        // The override amortizes the fill across groups, so it's
+        // cheaper than the default trait implementation's G full ops
+        // but never cheaper than the raw MAC passes.
+        assert!(m.grouped_conv_cycles(8, &slice) < 8 * m.conv_cycles(&slice));
+        assert!(m.grouped_conv_cycles(8, &slice) > 8 * (m.conv_cycles(&slice) - m.fill_cycles()));
     }
 
     #[test]

@@ -58,6 +58,17 @@
 //! search. Rows: `{bench, arch, median_ns, dma_bytes, latency_cycles,
 //! resident_edges, spilled_edges, dma_bytes_saved}`. Writes
 //! `BENCH_PR8.json` (override with `FLEXER_BENCH_OUT_PR8`).
+//!
+//! Pass `--zoo` to run the *workload diversity* suite instead: every
+//! network in the diverse zoo (transformer encoder, MobileNet-style
+//! depthwise net, branching fire net) scheduled with differential
+//! verification on Arch1, Arch5 and the heterogeneous configuration,
+//! then warm-started from the store by a fresh driver. Hard-asserts
+//! every layer of the second pass is a store hit with byte-identical
+//! winners, and that the branching net cleanly declines residency.
+//! Rows: `{bench, net, arch, cold_ns, warm_ns, layers,
+//! latency_cycles, dma_bytes}`. Writes `BENCH_PR9.json` (override
+//! with `FLEXER_BENCH_OUT_PR9`).
 
 use flexer::prelude::*;
 use flexer::trace::Lane;
@@ -465,6 +476,146 @@ fn bench_residency(iters: usize) {
     println!("wrote {out8}");
 }
 
+/// The PR 9 suite: workload diversity. Every network in the diverse
+/// zoo — a transformer encoder (matmul layers), a MobileNet-style net
+/// (depthwise + pointwise), and a branching fire net — is scheduled
+/// with differential verification on, on Arch1, Arch5 and the
+/// heterogeneous configuration; then a fresh driver re-schedules the
+/// same network over the shared store, hard-asserting that the new
+/// operator kinds warm-start: every layer answered from the store,
+/// zero searches, masked-byte-identical winners. The branching net is
+/// additionally run through the residency planner, which must cleanly
+/// decline (no resident edges, byte-identical results). Writes
+/// `BENCH_PR9.json` (override with `FLEXER_BENCH_OUT_PR9`).
+fn bench_zoo() {
+    let out9 =
+        std::env::var("FLEXER_BENCH_OUT_PR9").unwrap_or_else(|_| "BENCH_PR9.json".to_owned());
+    let archs: Vec<(&str, ArchConfig)> = vec![
+        ("arch1", ArchConfig::preset(ArchPreset::Arch1)),
+        ("arch5", ArchConfig::preset(ArchPreset::Arch5)),
+        ("hetero1", ArchConfig::hetero1()),
+    ];
+    let mut rows = Vec::new();
+    for net in networks::diverse() {
+        for (arch_name, arch) in &archs {
+            let dir = std::env::temp_dir().join(format!(
+                "flexer-zoo-{}-{}-{}",
+                net.name(),
+                arch_name,
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let driver = |dir: &std::path::Path| {
+                let mut opts = SearchOptions::quick();
+                opts.validate = true; // differential verification on every winner
+                Flexer::new(arch.clone())
+                    .with_options(opts)
+                    .with_store(dir)
+                    .expect("open zoo store")
+            };
+
+            let t = Instant::now();
+            let cold = driver(&dir)
+                .schedule_network(&net)
+                .expect("zoo net schedules");
+            let cold_ns = t.elapsed().as_nanos();
+            assert!(
+                cold.verified(),
+                "{} on {arch_name}: cold run unverified",
+                net.name()
+            );
+
+            // A fresh driver (empty memo, as a new process) must answer
+            // every layer — including repeated shapes — from the store.
+            let t = Instant::now();
+            let warm = driver(&dir)
+                .schedule_network(&net)
+                .expect("zoo net schedules");
+            let warm_ns = t.elapsed().as_nanos();
+            let layers = net.layers().len() as u64;
+            let stats = warm.total_stats();
+            assert_eq!(
+                stats.store_hits,
+                layers,
+                "{} on {arch_name}: warm pass must answer every layer from the store",
+                net.name()
+            );
+            assert_eq!(
+                stats.store_misses,
+                0,
+                "{} on {arch_name}: warm pass must not search",
+                net.name()
+            );
+            for (a, b) in cold.layers().iter().zip(warm.layers()) {
+                assert_eq!(
+                    masked_bytes(a),
+                    masked_bytes(b),
+                    "{}: warm result must be byte-identical to the cold pass",
+                    a.layer
+                );
+            }
+
+            // The branching topology must cleanly decline residency.
+            if !net.is_chain() {
+                let r = driver(&dir)
+                    .schedule_network_resident(&net)
+                    .expect("resident run schedules");
+                assert_eq!(
+                    r.plan.resident_edges(),
+                    0,
+                    "{}: a branching net must decline residency",
+                    net.name()
+                );
+                assert_eq!(r.plan.peak_reserved(), 0);
+                for (a, b) in r.result.layers().iter().zip(warm.layers()) {
+                    assert_eq!(
+                        a.schedule, b.schedule,
+                        "{}: declined residency must stay byte-identical",
+                        a.layer
+                    );
+                }
+            }
+
+            println!(
+                "zoo gate {} on {arch_name}: {layers} layers, cold {cold_ns} ns, warm {warm_ns} ns \
+                 ({} store hits), latency {} cycles, DMA {} B",
+                net.name(),
+                stats.store_hits,
+                cold.total_latency(),
+                cold.total_transfer_bytes(),
+            );
+            rows.push((
+                net.name().to_string(),
+                (*arch_name).to_string(),
+                cold_ns,
+                warm_ns,
+                layers,
+                cold.total_latency(),
+                cold.total_transfer_bytes(),
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"bench\": \"zoo\", \"net\": \"{}\", \"arch\": \"{}\", \"cold_ns\": {}, \
+             \"warm_ns\": {}, \"layers\": {}, \"latency_cycles\": {}, \"dma_bytes\": {}}}{}\n",
+            r.0,
+            r.1,
+            r.2,
+            r.3,
+            r.4,
+            r.5,
+            r.6,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out9, &json).expect("write benchmark output");
+    println!("wrote {out9}");
+}
+
 /// Times a traced layer search; returns the median, the evaluated
 /// count, and the first run's trace (for event counting).
 fn time_traced_search(
@@ -629,6 +780,7 @@ fn main() {
     let mut store_dir: Option<String> = None;
     let mut seed_only = false;
     let mut residency_only = false;
+    let mut zoo_only = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace-out" => {
@@ -643,10 +795,13 @@ fn main() {
             "--residency" => {
                 residency_only = true;
             }
+            "--zoo" => {
+                zoo_only = true;
+            }
             other => {
                 eprintln!(
                     "unknown argument {other:?}; supported: --trace-out <path>, \
-                     --store <dir>, --seed, --residency"
+                     --store <dir>, --seed, --residency, --zoo"
                 );
                 std::process::exit(2);
             }
@@ -666,6 +821,10 @@ fn main() {
     }
     if residency_only {
         bench_residency(iters);
+        return;
+    }
+    if zoo_only {
+        bench_zoo();
         return;
     }
     let out_path =

@@ -112,12 +112,19 @@ impl ExperimentContext {
         Self::new(scale, budget)
     }
 
-    /// The four evaluation networks at this context's scale.
+    /// The four paper evaluation networks at this context's scale.
+    ///
+    /// The zoo ([`networks::all`]) has since grown diversity networks
+    /// (transformer, MobileNet-style, fire); the evaluation context
+    /// deliberately stays pinned to the paper's four dense CNNs.
     #[must_use]
     pub fn networks(&self) -> Vec<Network> {
-        networks::all()
+        ["vgg16", "resnet50", "squeezenet", "yolov2"]
             .iter()
-            .map(|n| scale_spatial(n, self.scale))
+            .map(|name| {
+                let net = networks::by_name(name).expect("paper evaluation network exists");
+                scale_spatial(&net, self.scale)
+            })
             .collect()
     }
 

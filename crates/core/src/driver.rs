@@ -437,6 +437,36 @@ impl Flexer {
         options.residency = Residency::default();
         let baseline = self.search_stored(layers, &options, SchedulerKind::Ooo)?;
 
+        // Residency planning walks producer -> consumer pairs in index
+        // order, which is only meaningful on a chain: in a branching
+        // topology adjacent indices need not be connected at all, and a
+        // producer's output may have several consumers, so a private
+        // SPM hand-off region is unsound. Cleanly decline: baseline
+        // results, an all-DRAM plan, zero reservations — byte-identical
+        // to [`Flexer::schedule_network`].
+        if !network.is_chain() {
+            let decline_edges: Vec<EdgeDecision> = network
+                .edges()
+                .into_iter()
+                .map(|e| EdgeDecision {
+                    producer: layers[e.from as usize].name().to_string(),
+                    consumer: layers[e.to as usize].name().to_string(),
+                    bytes: layers[e.from as usize].output_bytes(elem),
+                    resident: false,
+                    spilled: false,
+                })
+                .collect();
+            let plan = ResidencyPlan::new(decline_edges, vec![Residency::default(); n], 0);
+            let ledger_peak = replay_ledger(self.arch.spm_bytes(), &plan.ledger_ops())
+                .expect("all-DRAM plan trivially satisfies the ledger");
+            debug_assert_eq!(ledger_peak, 0);
+            return Ok(ResidentNetworkResult {
+                result: NetworkResult::new(network.name(), baseline.clone()),
+                baseline: NetworkResult::new(network.name(), baseline),
+                plan,
+            });
+        }
+
         let mut current = baseline.clone();
         let mut residencies = vec![Residency::default(); n];
         let mut edges: Vec<EdgeDecision> = Vec::new();
@@ -914,6 +944,48 @@ mod tests {
             plain.layers()[0].schedule,
             "with no resident edges the result is the plain network run"
         );
+    }
+
+    #[test]
+    fn branching_network_declines_residency_byte_identically() {
+        // Regression: the residency planner walks adjacent indices as
+        // producer -> consumer pairs, which is meaningless on a
+        // branching topology (adjacent layers need not be connected,
+        // and one output may feed several consumers). A non-chain
+        // network must cleanly decline: no resident edges, no ledger
+        // reservations, results byte-identical to the plain run.
+        let mk = |name: &str, in_c: u32| ConvLayer::new(name, in_c, 8, 8, 8).unwrap();
+        let net = Network::with_topology(
+            "branchy",
+            vec![mk("stem", 8), mk("a", 8), mk("b", 8), mk("join", 16)],
+            vec![
+                flexer_model::NetEdge::new(0, 1),
+                flexer_model::NetEdge::new(0, 2),
+                flexer_model::NetEdge::new(1, 3),
+                flexer_model::NetEdge::new(2, 3),
+            ],
+        )
+        .unwrap();
+        assert!(!net.is_chain());
+        let d = driver();
+        let r = d.schedule_network_resident(&net).unwrap();
+        assert_eq!(r.plan.resident_edges(), 0);
+        assert_eq!(r.plan.peak_reserved(), 0);
+        assert_eq!(r.dma_bytes_saved(), 0);
+        // One declined decision per actual topology edge.
+        assert_eq!(r.plan.edges().len(), 4);
+        for edge in r.plan.edges() {
+            assert!(!edge.resident && !edge.spilled, "{edge:?}");
+        }
+        // No ledger activity leaks from the declined plan.
+        let peak =
+            crate::residency::replay_ledger(d.arch().spm_bytes(), &r.plan.ledger_ops()).unwrap();
+        assert_eq!(peak, 0);
+        // Byte-identical to the residency-off run, layer by layer.
+        let plain = d.schedule_network(&net).unwrap();
+        for (res, base) in r.result.layers().iter().zip(plain.layers()) {
+            assert_eq!(res.schedule, base.schedule, "{}", res.layer);
+        }
     }
 
     #[test]

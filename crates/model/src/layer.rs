@@ -40,6 +40,77 @@ impl fmt::Display for LayerSpecError {
 
 impl Error for LayerSpecError {}
 
+/// The operator kind a [`ConvLayer`] describes.
+///
+/// Every kind lowers to the same tiled datapath — tiles of inputs,
+/// weights and outputs moved between DRAM and the shared SPM, consumed
+/// by tiled MAC operations — but the kinds differ in how much of the
+/// weight tensor each output channel touches:
+///
+/// * [`Dense`](LayerKind::Dense): ordinary convolution; every output
+///   channel reads every input channel (`K x C x R x S` weights).
+/// * [`Matmul`](LayerKind::Matmul): an `M x K x N` matrix multiply
+///   expressed as a 1x1 pointwise convolution over an `M x 1` spatial
+///   extent. Arithmetically identical to a dense pointwise conv — the
+///   kind is a semantic tag (transformer FC/QKV projections) and
+///   deliberately shares cached schedules with the equivalent conv.
+/// * [`Grouped`](LayerKind::Grouped): grouped/depthwise convolution;
+///   input and output channels are split into `groups` disjoint
+///   groups and channels only interact within their group
+///   (`K x C/G x R x S` weights). Depthwise is the `G == C == K`
+///   special case.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_model::{ConvLayer, LayerKind};
+///
+/// let dw = ConvLayer::depthwise("dw", 32, 14, 14, 1, 1).unwrap();
+/// assert_eq!(dw.kind(), LayerKind::Grouped { groups: 32 });
+/// assert_eq!(dw.groups(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Ordinary dense convolution (the default; pre-kind layer specs
+    /// deserialize as dense).
+    #[default]
+    Dense,
+    /// Matrix multiply lowered as a pointwise convolution.
+    Matmul,
+    /// Grouped convolution with `groups` disjoint channel groups.
+    Grouped {
+        /// Number of channel groups (`G`); depthwise when `G == C == K`.
+        groups: u32,
+    },
+}
+
+impl LayerKind {
+    /// Number of channel groups: 1 for dense/matmul, `G` for grouped.
+    #[must_use]
+    pub const fn groups(self) -> u32 {
+        match self {
+            Self::Dense | Self::Matmul => 1,
+            Self::Grouped { groups } => groups,
+        }
+    }
+
+    /// Whether the kind restricts channel interaction to groups.
+    #[must_use]
+    pub const fn is_grouped(self) -> bool {
+        matches!(self, Self::Grouped { .. })
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Dense => write!(f, "dense"),
+            Self::Matmul => write!(f, "matmul"),
+            Self::Grouped { groups } => write!(f, "grouped/{groups}"),
+        }
+    }
+}
+
 /// Hyper-parameters of a 2-D convolution layer.
 ///
 /// This is the unit of work Flexer schedules: the layer is later split
@@ -70,6 +141,8 @@ pub struct ConvLayer {
     kernel_w: u32,
     stride: u32,
     padding: u32,
+    #[serde(default)]
+    kind: LayerKind,
 }
 
 impl ConvLayer {
@@ -90,6 +163,43 @@ impl ConvLayer {
         ConvLayerBuilder::new(name, in_channels, in_height, in_width, out_channels)
             .kernel(3, 3)
             .padding(1)
+            .build()
+    }
+
+    /// Creates an `M x K x N` matrix multiply lowered onto the tiled
+    /// conv datapath: `K` input channels, an `M x 1` spatial extent,
+    /// `N` output channels and a 1x1 kernel. The activations play the
+    /// `M x K` operand, the weights the `K x N` operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerSpecError`] if any of `m`, `k`, `n` is zero.
+    pub fn matmul(name: impl Into<String>, m: u32, k: u32, n: u32) -> Result<Self, LayerSpecError> {
+        let mut layer = ConvLayerBuilder::new(name, k, m, 1, n).build()?;
+        layer.kind = LayerKind::Matmul;
+        Ok(layer)
+    }
+
+    /// Creates a depthwise convolution: one group per channel
+    /// (`G == C == K == channels`), so each output channel reads only
+    /// its own input channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerSpecError`] if the specification is degenerate.
+    pub fn depthwise(
+        name: impl Into<String>,
+        channels: u32,
+        in_height: u32,
+        in_width: u32,
+        stride: u32,
+        padding: u32,
+    ) -> Result<Self, LayerSpecError> {
+        ConvLayerBuilder::new(name, channels, in_height, in_width, channels)
+            .kernel(3, 3)
+            .stride(stride)
+            .padding(padding)
+            .groups(channels)
             .build()
     }
 
@@ -147,6 +257,30 @@ impl ConvLayer {
         self.padding
     }
 
+    /// Operator kind (dense conv, matmul, grouped conv).
+    #[must_use]
+    pub const fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Number of channel groups (`G`): 1 for dense/matmul layers.
+    #[must_use]
+    pub const fn groups(&self) -> u32 {
+        self.kind.groups()
+    }
+
+    /// Input channels per group (`C / G`).
+    #[must_use]
+    pub const fn in_channels_per_group(&self) -> u32 {
+        self.in_channels / self.kind.groups()
+    }
+
+    /// Output channels per group (`K / G`).
+    #[must_use]
+    pub const fn out_channels_per_group(&self) -> u32 {
+        self.out_channels / self.kind.groups()
+    }
+
     /// Output spatial height: `(H + 2*pad - R) / stride + 1`.
     #[must_use]
     pub const fn out_height(&self) -> u32 {
@@ -171,11 +305,13 @@ impl ConvLayer {
         TensorShape::new(self.out_channels, self.out_height(), self.out_width())
     }
 
-    /// Total multiply-accumulate operations of the layer.
+    /// Total multiply-accumulate operations of the layer. Each output
+    /// channel reads `C / G` input channels, so grouped layers do a
+    /// factor `G` less work than an equivalently shaped dense conv.
     #[must_use]
     pub fn macs(&self) -> u64 {
         u64::from(self.out_channels)
-            * u64::from(self.in_channels)
+            * u64::from(self.in_channels_per_group())
             * u64::from(self.out_height())
             * u64::from(self.out_width())
             * u64::from(self.kernel_h)
@@ -188,11 +324,12 @@ impl ConvLayer {
         self.input_shape().bytes(elem)
     }
 
-    /// Byte size of the full weight tensor (`K x C x R x S`).
+    /// Byte size of the full weight tensor (`K x C/G x R x S`; `G` is 1
+    /// for dense and matmul layers).
     #[must_use]
     pub fn weight_bytes(&self, elem: ElementSize) -> u64 {
         u64::from(self.out_channels)
-            * u64::from(self.in_channels)
+            * u64::from(self.in_channels_per_group())
             * u64::from(self.kernel_h)
             * u64::from(self.kernel_w)
             * elem.bytes()
@@ -228,7 +365,7 @@ impl fmt::Display for ConvLayer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {} -> {} ({}x{} k, s{}, p{})",
+            "{}: {} -> {} ({}x{} k, s{}, p{}",
             self.name,
             self.input_shape(),
             self.output_shape(),
@@ -236,7 +373,11 @@ impl fmt::Display for ConvLayer {
             self.kernel_w,
             self.stride,
             self.padding
-        )
+        )?;
+        match self.kind {
+            LayerKind::Dense => write!(f, ")"),
+            LayerKind::Matmul | LayerKind::Grouped { .. } => write!(f, ", {})", self.kind),
+        }
     }
 }
 
@@ -284,6 +425,7 @@ impl ConvLayerBuilder {
                 kernel_w: 1,
                 stride: 1,
                 padding: 0,
+                kind: LayerKind::Dense,
             },
         }
     }
@@ -307,6 +449,19 @@ impl ConvLayerBuilder {
     #[must_use]
     pub fn padding(mut self, padding: u32) -> Self {
         self.layer.padding = padding;
+        self
+    }
+
+    /// Splits the channels into `groups` disjoint groups (grouped
+    /// convolution). `groups == 1` is normalized back to a dense layer
+    /// so a trivially grouped spec is byte-identical to the dense one.
+    #[must_use]
+    pub fn groups(mut self, groups: u32) -> Self {
+        self.layer.kind = if groups == 1 {
+            LayerKind::Dense
+        } else {
+            LayerKind::Grouped { groups }
+        };
         self
     }
 
@@ -353,6 +508,17 @@ impl ConvLayerBuilder {
                 "padding {} must be smaller than the kernel ({}x{})",
                 l.padding, l.kernel_h, l.kernel_w
             )));
+        }
+        if let LayerKind::Grouped { groups } = l.kind {
+            if groups == 0 {
+                return Err(LayerSpecError::new("group count must be positive"));
+            }
+            if !l.in_channels.is_multiple_of(groups) || !l.out_channels.is_multiple_of(groups) {
+                return Err(LayerSpecError::new(format!(
+                    "groups {} must divide both channel counts (C={}, K={})",
+                    groups, l.in_channels, l.out_channels
+                )));
+            }
         }
         Ok(self.layer)
     }
@@ -474,5 +640,99 @@ mod tests {
         let s = l.to_string();
         assert!(s.contains("conv1_1"));
         assert!(s.contains("3x224x224"));
+    }
+
+    #[test]
+    fn matmul_lowers_to_pointwise_geometry() {
+        // 196 x 192 x 576: a QKV projection over 196 tokens.
+        let l = ConvLayer::matmul("qkv", 196, 192, 576).unwrap();
+        assert_eq!(l.kind(), LayerKind::Matmul);
+        assert_eq!(l.in_channels(), 192);
+        assert_eq!(l.in_height(), 196);
+        assert_eq!(l.in_width(), 1);
+        assert_eq!(l.out_channels(), 576);
+        assert_eq!(l.kernel_h(), 1);
+        assert_eq!(l.macs(), 196 * 192 * 576);
+        assert_eq!(l.weight_bytes(ElementSize::Int8), 192 * 576);
+        assert!(l.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn matmul_math_matches_the_equivalent_pointwise_conv() {
+        let mm = ConvLayer::matmul("x", 64, 32, 48).unwrap();
+        let pw = ConvLayerBuilder::new("x", 32, 64, 1, 48).build().unwrap();
+        assert_eq!(mm.macs(), pw.macs());
+        assert_eq!(
+            mm.weight_bytes(ElementSize::Int8),
+            pw.weight_bytes(ElementSize::Int8)
+        );
+        assert_eq!(mm.output_shape(), pw.output_shape());
+    }
+
+    #[test]
+    fn depthwise_shapes_and_work() {
+        let l = ConvLayer::depthwise("dw", 32, 14, 14, 1, 1).unwrap();
+        assert_eq!(l.kind(), LayerKind::Grouped { groups: 32 });
+        assert_eq!(l.groups(), 32);
+        assert_eq!(l.in_channels_per_group(), 1);
+        assert_eq!(l.out_channels_per_group(), 1);
+        assert_eq!(l.out_height(), 14);
+        // One 3x3 filter per channel.
+        assert_eq!(l.macs(), 32 * 14 * 14 * 9);
+        assert_eq!(l.weight_bytes(ElementSize::Int8), 32 * 9);
+        assert!(l.to_string().contains("grouped/32"));
+    }
+
+    #[test]
+    fn grouped_conv_divides_work_by_group_count() {
+        let dense = ConvLayerBuilder::new("g", 32, 8, 8, 16).build().unwrap();
+        let grouped = ConvLayerBuilder::new("g", 32, 8, 8, 16)
+            .groups(4)
+            .build()
+            .unwrap();
+        assert_eq!(grouped.macs() * 4, dense.macs());
+        assert_eq!(
+            grouped.weight_bytes(ElementSize::Int8) * 4,
+            dense.weight_bytes(ElementSize::Int8)
+        );
+    }
+
+    #[test]
+    fn single_group_normalizes_to_dense() {
+        let l = ConvLayerBuilder::new("g1", 8, 8, 8, 8)
+            .groups(1)
+            .build()
+            .unwrap();
+        assert_eq!(l.kind(), LayerKind::Dense);
+        assert_eq!(l, ConvLayerBuilder::new("g1", 8, 8, 8, 8).build().unwrap());
+    }
+
+    #[test]
+    fn rejects_indivisible_groups() {
+        let err = ConvLayerBuilder::new("g", 9, 8, 8, 8)
+            .groups(4)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("groups"));
+        let err = ConvLayerBuilder::new("g", 8, 8, 8, 9)
+            .groups(4)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("groups"));
+        let err = ConvLayerBuilder::new("g", 8, 8, 8, 8)
+            .groups(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("group"));
+    }
+
+    #[test]
+    fn default_kind_is_dense() {
+        // Builder-made layers without an explicit kind stay dense, so
+        // every pre-kind layer spec in the tree is unchanged.
+        let l = ConvLayer::new("old", 8, 8, 8, 8).unwrap();
+        assert_eq!(l.kind(), LayerKind::Dense);
+        assert_eq!(l.groups(), 1);
+        assert_eq!(l.in_channels_per_group(), l.in_channels());
     }
 }

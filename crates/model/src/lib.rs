@@ -33,7 +33,7 @@ mod tensor;
 
 pub mod networks;
 
-pub use layer::{ConvLayer, ConvLayerBuilder, LayerSpecError};
-pub use network::Network;
+pub use layer::{ConvLayer, ConvLayerBuilder, LayerKind, LayerSpecError};
+pub use network::{NetEdge, Network};
 pub use scale::scale_spatial;
 pub use tensor::{ElementSize, TensorShape};

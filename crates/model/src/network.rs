@@ -33,6 +33,28 @@ use std::fmt;
 pub struct Network {
     name: String,
     layers: Vec<ConvLayer>,
+    /// Explicit producer→consumer edges for non-chain topologies.
+    /// Empty means the implicit chain `layers[i] -> layers[i+1]`.
+    #[serde(default)]
+    edges: Vec<NetEdge>,
+}
+
+/// One producer→consumer edge of a branching network topology,
+/// indexing into [`Network::layers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NetEdge {
+    /// Index of the producing layer.
+    pub from: u32,
+    /// Index of the consuming layer.
+    pub to: u32,
+}
+
+impl NetEdge {
+    /// Convenience constructor.
+    #[must_use]
+    pub const fn new(from: u32, to: u32) -> Self {
+        Self { from, to }
+    }
 }
 
 impl Network {
@@ -58,7 +80,157 @@ impl Network {
                 )));
             }
         }
-        Ok(Self { name, layers })
+        Ok(Self {
+            name,
+            layers,
+            edges: Vec::new(),
+        })
+    }
+
+    /// Creates a network with an explicit (possibly branching)
+    /// producer→consumer topology over the layers.
+    ///
+    /// Layers still execute in list order (a topological order of the
+    /// graph); the edges record which producers feed which consumers,
+    /// e.g. a fire module's squeeze layer feeding both expand branches
+    /// and a concat consumer reading both.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerSpecError`] when the layer list is invalid (see
+    /// [`Network::new`]), an edge is out of range or not forward
+    /// (`from < to`), an edge repeats, an interior layer is
+    /// disconnected, or a consumer's input channels do not match its
+    /// producers — a single producer must match exactly (residual
+    /// chain) and multiple producers must either each match (residual
+    /// add) or sum to the consumer's input channels (concat).
+    pub fn with_topology(
+        name: impl Into<String>,
+        layers: Vec<ConvLayer>,
+        edges: Vec<NetEdge>,
+    ) -> Result<Self, LayerSpecError> {
+        let mut net = Self::new(name, layers)?;
+        let n = net.layers.len() as u32;
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &edges {
+            if e.from >= n || e.to >= n {
+                return Err(LayerSpecError::new(format!(
+                    "edge {} -> {} out of range for {} layers",
+                    e.from, e.to, n
+                )));
+            }
+            if e.from >= e.to {
+                return Err(LayerSpecError::new(format!(
+                    "edge {} -> {} must point forward in layer order",
+                    e.from, e.to
+                )));
+            }
+            if !seen.insert((e.from, e.to)) {
+                return Err(LayerSpecError::new(format!(
+                    "duplicate edge {} -> {}",
+                    e.from, e.to
+                )));
+            }
+        }
+        if !edges.is_empty() {
+            for i in 0..n {
+                if i > 0 && !edges.iter().any(|e| e.to == i) {
+                    return Err(LayerSpecError::new(format!(
+                        "layer {i} has no incoming edge"
+                    )));
+                }
+                if i + 1 < n && !edges.iter().any(|e| e.from == i) {
+                    return Err(LayerSpecError::new(format!(
+                        "layer {i} has no outgoing edge"
+                    )));
+                }
+            }
+            // Shape check per consumer: producers must either each
+            // match the consumer's input shape (residual add) or their
+            // channels must sum to it over matching spatial extents
+            // (concat).
+            for to in 1..n {
+                let consumer = &net.layers[to as usize];
+                let producers: Vec<_> = edges
+                    .iter()
+                    .filter(|e| e.to == to)
+                    .map(|e| &net.layers[e.from as usize])
+                    .collect();
+                let spatial_ok = producers.iter().all(|p| {
+                    p.output_shape().height() == consumer.in_height()
+                        && p.output_shape().width() == consumer.in_width()
+                });
+                if !spatial_ok {
+                    return Err(LayerSpecError::new(format!(
+                        "producers of {:?} do not match its {}x{} spatial input",
+                        consumer.name(),
+                        consumer.in_height(),
+                        consumer.in_width()
+                    )));
+                }
+                let each_match = producers
+                    .iter()
+                    .all(|p| p.out_channels() == consumer.in_channels());
+                let channel_sum: u32 = producers.iter().map(|p| p.out_channels()).sum();
+                if !each_match && channel_sum != consumer.in_channels() {
+                    return Err(LayerSpecError::new(format!(
+                        "producers of {:?} supply {} channels (or per-producer mismatch) \
+                         but it consumes {}",
+                        consumer.name(),
+                        channel_sum,
+                        consumer.in_channels()
+                    )));
+                }
+            }
+        }
+        net.edges = edges;
+        Ok(net)
+    }
+
+    /// Whether the network is a simple chain (`layers[i] ->
+    /// layers[i+1]` only). Explicit edges that happen to form the
+    /// chain count as a chain.
+    #[must_use]
+    pub fn is_chain(&self) -> bool {
+        if self.edges.is_empty() {
+            return true;
+        }
+        let n = self.layers.len() as u32;
+        self.edges.len() as u32 == n.saturating_sub(1)
+            && self.edges.iter().all(|e| e.to == e.from + 1)
+    }
+
+    /// The effective producer→consumer edges: the explicit topology if
+    /// one was given, otherwise the implicit chain.
+    #[must_use]
+    pub fn edges(&self) -> Vec<NetEdge> {
+        if self.edges.is_empty() {
+            (1..self.layers.len() as u32)
+                .map(|i| NetEdge::new(i - 1, i))
+                .collect()
+        } else {
+            self.edges.clone()
+        }
+    }
+
+    /// Indices of the layers consuming layer `i`'s output.
+    #[must_use]
+    pub fn consumers_of(&self, i: u32) -> Vec<u32> {
+        self.edges()
+            .iter()
+            .filter(|e| e.from == i)
+            .map(|e| e.to)
+            .collect()
+    }
+
+    /// Indices of the layers producing layer `i`'s input.
+    #[must_use]
+    pub fn producers_of(&self, i: u32) -> Vec<u32> {
+        self.edges()
+            .iter()
+            .filter(|e| e.to == i)
+            .map(|e| e.from)
+            .collect()
     }
 
     /// Network name (e.g. `"vgg16"`).
@@ -183,5 +355,103 @@ mod tests {
     #[test]
     fn display_mentions_layer_count() {
         assert!(tiny().to_string().contains("2 conv layers"));
+    }
+
+    /// A minimal fire-module shape: squeeze feeds both expand branches,
+    /// whose outputs concat into the consumer.
+    fn branching() -> Network {
+        use crate::layer::ConvLayerBuilder;
+        Network::with_topology(
+            "fire",
+            vec![
+                ConvLayerBuilder::new("squeeze", 16, 8, 8, 4)
+                    .build()
+                    .unwrap(),
+                ConvLayerBuilder::new("e1", 4, 8, 8, 8).build().unwrap(),
+                ConvLayer::new("e3", 4, 8, 8, 8).unwrap(),
+                ConvLayerBuilder::new("head", 16, 8, 8, 16).build().unwrap(),
+            ],
+            vec![
+                NetEdge::new(0, 1),
+                NetEdge::new(0, 2),
+                NetEdge::new(1, 3),
+                NetEdge::new(2, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chains_report_is_chain() {
+        assert!(tiny().is_chain());
+        let edges = tiny().edges();
+        assert_eq!(edges, vec![NetEdge::new(0, 1)]);
+        assert_eq!(tiny().consumers_of(0), vec![1]);
+        assert_eq!(tiny().producers_of(1), vec![0]);
+    }
+
+    #[test]
+    fn branching_topology_is_not_a_chain() {
+        let net = branching();
+        assert!(!net.is_chain());
+        assert_eq!(net.consumers_of(0), vec![1, 2]);
+        assert_eq!(net.producers_of(3), vec![1, 2]);
+        assert_eq!(net.edges().len(), 4);
+    }
+
+    #[test]
+    fn explicit_chain_edges_still_count_as_a_chain() {
+        let net =
+            Network::with_topology("chain", tiny().layers().to_vec(), vec![NetEdge::new(0, 1)])
+                .unwrap();
+        assert!(net.is_chain());
+    }
+
+    #[test]
+    fn rejects_backward_and_out_of_range_edges() {
+        let layers = tiny().layers().to_vec();
+        let err =
+            Network::with_topology("bad", layers.clone(), vec![NetEdge::new(1, 0)]).unwrap_err();
+        assert!(err.to_string().contains("forward"));
+        let err =
+            Network::with_topology("bad", layers.clone(), vec![NetEdge::new(0, 5)]).unwrap_err();
+        assert!(err.to_string().contains("range"));
+        let err =
+            Network::with_topology("bad", layers, vec![NetEdge::new(0, 1), NetEdge::new(0, 1)])
+                .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_disconnected_interior_layers() {
+        use crate::layer::ConvLayerBuilder;
+        let layers = vec![
+            ConvLayerBuilder::new("a", 8, 8, 8, 8).build().unwrap(),
+            ConvLayerBuilder::new("b", 8, 8, 8, 8).build().unwrap(),
+            ConvLayerBuilder::new("c", 8, 8, 8, 8).build().unwrap(),
+        ];
+        // b has no incoming edge.
+        let err =
+            Network::with_topology("gap", layers, vec![NetEdge::new(0, 2), NetEdge::new(1, 2)])
+                .unwrap_err();
+        assert!(err.to_string().contains("incoming"), "{err}");
+    }
+
+    #[test]
+    fn rejects_channel_mismatch_at_a_concat_consumer() {
+        use crate::layer::ConvLayerBuilder;
+        let layers = vec![
+            ConvLayerBuilder::new("a", 8, 8, 8, 4).build().unwrap(),
+            ConvLayerBuilder::new("b", 4, 8, 8, 4).build().unwrap(),
+            // Consumer wants 16 channels; producers supply 4 + 4.
+            ConvLayerBuilder::new("c", 16, 8, 8, 8).build().unwrap(),
+        ];
+        let err = Network::with_topology(
+            "bad-concat",
+            layers,
+            vec![NetEdge::new(0, 1), NetEdge::new(0, 2), NetEdge::new(1, 2)],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("channels"), "{err}");
     }
 }

@@ -1,0 +1,98 @@
+//! A small residual/fire-module network with an explicit branching
+//! topology.
+//!
+//! SqueezeNet's fire modules are represented in the chain zoo with
+//! their concat folded into channel counts; this net makes the
+//! divergence explicit with [`crate::NetEdge`]s — each squeeze output
+//! feeds *two* expand consumers, and each pair of expand outputs
+//! concatenates into the next consumer. This is the zoo's stress test
+//! for anything that assumes `layers[i] -> layers[i+1]` edges (e.g.
+//! the inter-layer residency planner must decline it cleanly).
+
+use crate::layer::{ConvLayer, ConvLayerBuilder};
+use crate::network::{NetEdge, Network};
+
+fn conv1x1(name: &str, in_c: u32, hw: u32, out_c: u32) -> ConvLayer {
+    ConvLayerBuilder::new(name, in_c, hw, hw, out_c)
+        .build()
+        .expect("static fire-net spec is valid")
+}
+
+fn conv3x3(name: &str, in_c: u32, hw: u32, out_c: u32) -> ConvLayer {
+    ConvLayerBuilder::new(name, in_c, hw, hw, out_c)
+        .kernel(3, 3)
+        .padding(1)
+        .build()
+        .expect("static fire-net spec is valid")
+}
+
+/// Builds the branching fire net: a 3x3 stem, two fire modules
+/// (squeeze feeding parallel 1x1/3x3 expands whose outputs concat),
+/// and a 1x1 head.
+///
+/// Layer order is a topological order of the graph; the explicit
+/// edges record the divergence and the concats.
+///
+/// # Examples
+///
+/// ```
+/// let net = flexer_model::networks::firenet();
+/// assert!(!net.is_chain());
+/// // The squeeze layer feeds both expand branches.
+/// assert_eq!(net.consumers_of(1), vec![2, 3]);
+/// ```
+#[must_use]
+pub fn firenet() -> Network {
+    let hw = 32;
+    let layers = vec![
+        conv3x3("stem", 3, hw, 32),        // 0
+        conv1x1("f1_squeeze", 32, hw, 16), // 1
+        conv1x1("f1_expand1", 16, hw, 32), // 2
+        conv3x3("f1_expand3", 16, hw, 32), // 3
+        conv1x1("f2_squeeze", 64, hw, 16), // 4: concat of 32+32
+        conv1x1("f2_expand1", 16, hw, 32), // 5
+        conv3x3("f2_expand3", 16, hw, 32), // 6
+        conv1x1("head", 64, hw, 64),       // 7: concat of 32+32
+    ];
+    let edges = vec![
+        NetEdge::new(0, 1),
+        NetEdge::new(1, 2),
+        NetEdge::new(1, 3),
+        NetEdge::new(2, 4),
+        NetEdge::new(3, 4),
+        NetEdge::new(4, 5),
+        NetEdge::new(4, 6),
+        NetEdge::new(5, 7),
+        NetEdge::new(6, 7),
+    ];
+    Network::with_topology("firenet", layers, edges).expect("static fire-net spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_branching_topology() {
+        let net = firenet();
+        assert_eq!(net.layers().len(), 8);
+        assert!(!net.is_chain());
+        assert_eq!(net.edges().len(), 9);
+    }
+
+    #[test]
+    fn squeezes_feed_two_expands() {
+        let net = firenet();
+        assert_eq!(net.consumers_of(1), vec![2, 3]);
+        assert_eq!(net.consumers_of(4), vec![5, 6]);
+    }
+
+    #[test]
+    fn concat_consumers_read_both_branches() {
+        let net = firenet();
+        assert_eq!(net.producers_of(4), vec![2, 3]);
+        assert_eq!(net.producers_of(7), vec![5, 6]);
+        let f2 = net.layer_by_name("f2_squeeze").unwrap();
+        assert_eq!(f2.in_channels(), 64);
+    }
+}

@@ -1,0 +1,120 @@
+//! A MobileNet-style depthwise-separable network.
+//!
+//! Each separable block is a 3x3 depthwise convolution (one filter per
+//! channel, [`crate::LayerKind::Grouped`] with `G == C == K`) followed
+//! by a 1x1 pointwise convolution that mixes channels. The net here is
+//! a reduced-depth variant over a 64x64 input so that exhaustive
+//! per-layer searches stay fast in tests; the operator mix — and the
+//! kind-specific tiling it stresses — matches MobileNetV1.
+
+use crate::layer::{ConvLayer, ConvLayerBuilder};
+use crate::network::Network;
+
+fn pointwise(name: String, in_c: u32, hw: u32, out_c: u32) -> ConvLayer {
+    ConvLayerBuilder::new(name, in_c, hw, hw, out_c)
+        .build()
+        .expect("static MobileNet spec is valid")
+}
+
+/// Appends one depthwise-separable block: 3x3 depthwise (possibly
+/// strided) then 1x1 pointwise widening to `out_c`.
+fn separable(
+    layers: &mut Vec<ConvLayer>,
+    index: u32,
+    channels: u32,
+    hw: u32,
+    stride: u32,
+    out_c: u32,
+) {
+    layers.push(
+        ConvLayer::depthwise(format!("dw{index}"), channels, hw, hw, stride, 1)
+            .expect("static MobileNet spec is valid"),
+    );
+    let out_hw = (hw + 2 - 3) / stride + 1;
+    layers.push(pointwise(format!("pw{index}"), channels, out_hw, out_c));
+}
+
+/// Builds the reduced MobileNet-style net: a strided 3x3 stem then
+/// four depthwise-separable blocks, alternating stride-2 downsampling
+/// with channel doubling.
+///
+/// # Examples
+///
+/// ```
+/// let net = flexer_model::networks::mobilenet();
+/// assert_eq!(net.layers().len(), 9);
+/// let dw = net.layer_by_name("dw1").unwrap();
+/// assert_eq!(dw.groups(), dw.in_channels());
+/// ```
+#[must_use]
+pub fn mobilenet() -> Network {
+    let mut layers = Vec::with_capacity(9);
+    // Stem: 3x3 stride-2 dense conv, 64 -> 32.
+    layers.push(
+        ConvLayerBuilder::new("stem", 3, 64, 64, 16)
+            .kernel(3, 3)
+            .stride(2)
+            .padding(1)
+            .build()
+            .expect("static MobileNet spec is valid"),
+    );
+    separable(&mut layers, 1, 16, 32, 1, 32);
+    separable(&mut layers, 2, 32, 32, 2, 64);
+    separable(&mut layers, 3, 64, 16, 1, 128);
+    separable(&mut layers, 4, 128, 16, 2, 256);
+    Network::new("mobilenet", layers).expect("static MobileNet spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn nine_layers_alternating_kinds() {
+        let net = mobilenet();
+        assert_eq!(net.layers().len(), 9);
+        assert!(net.is_chain());
+        let depthwise = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind().is_grouped())
+            .count();
+        assert_eq!(depthwise, 4);
+    }
+
+    #[test]
+    fn depthwise_layers_have_one_group_per_channel() {
+        for l in mobilenet()
+            .layers()
+            .iter()
+            .filter(|l| l.kind().is_grouped())
+        {
+            assert_eq!(l.groups(), l.in_channels());
+            assert_eq!(l.in_channels(), l.out_channels());
+            assert_eq!(l.kind(), LayerKind::Grouped { groups: l.groups() });
+        }
+    }
+
+    #[test]
+    fn blocks_chain_shapes() {
+        let net = mobilenet();
+        let layers = net.layers();
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_shape(),
+                pair[1].input_shape(),
+                "{} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn strided_blocks_halve_the_extent() {
+        let net = mobilenet();
+        assert_eq!(net.layer_by_name("dw2").unwrap().out_height(), 16);
+        assert_eq!(net.layer_by_name("dw4").unwrap().out_height(), 8);
+    }
+}

@@ -19,19 +19,27 @@
 //! }
 //! ```
 
+mod fire;
+mod mobilenet;
 mod resnet;
 mod squeezenet;
+mod transformer;
 mod vgg;
 mod yolo;
 
+pub use fire::firenet;
+pub use mobilenet::mobilenet;
 pub use resnet::resnet50;
 pub use squeezenet::squeezenet;
+pub use transformer::transformer_encoder;
 pub use vgg::vgg16;
 pub use yolo::yolov2;
 
 use crate::network::Network;
 
-/// All four evaluation networks, in the paper's order.
+/// All evaluation networks: the paper's four CNNs in the paper's
+/// order, then the workload-diversity additions (transformer encoder,
+/// MobileNet-style, branching fire net).
 ///
 /// # Examples
 ///
@@ -40,11 +48,31 @@ use crate::network::Network;
 ///     .iter()
 ///     .map(|n| n.name().to_owned())
 ///     .collect();
-/// assert_eq!(names, ["vgg16", "resnet50", "squeezenet", "yolov2"]);
+/// assert_eq!(
+///     names,
+///     ["vgg16", "resnet50", "squeezenet", "yolov2",
+///      "transformer", "mobilenet", "firenet"]
+/// );
 /// ```
 #[must_use]
 pub fn all() -> Vec<Network> {
-    vec![vgg16(), resnet50(), squeezenet(), yolov2()]
+    vec![
+        vgg16(),
+        resnet50(),
+        squeezenet(),
+        yolov2(),
+        transformer_encoder(),
+        mobilenet(),
+        firenet(),
+    ]
+}
+
+/// The workload-diversity networks added beyond the paper's four
+/// CNNs: one per new operator kind / topology (matmul, depthwise,
+/// branching).
+#[must_use]
+pub fn diverse() -> Vec<Network> {
+    vec![transformer_encoder(), mobilenet(), firenet()]
 }
 
 /// Looks up an evaluation network by name.
@@ -53,6 +81,7 @@ pub fn all() -> Vec<Network> {
 ///
 /// ```
 /// assert!(flexer_model::networks::by_name("resnet50").is_some());
+/// assert!(flexer_model::networks::by_name("mobilenet").is_some());
 /// assert!(flexer_model::networks::by_name("alexnet").is_none());
 /// ```
 #[must_use]
@@ -62,6 +91,9 @@ pub fn by_name(name: &str) -> Option<Network> {
         "resnet50" => Some(resnet50()),
         "squeezenet" => Some(squeezenet()),
         "yolov2" => Some(yolov2()),
+        "transformer" => Some(transformer_encoder()),
+        "mobilenet" => Some(mobilenet()),
+        "firenet" => Some(firenet()),
         _ => None,
     }
 }
@@ -71,8 +103,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_four_present() {
-        assert_eq!(all().len(), 4);
+    fn all_seven_present() {
+        assert_eq!(all().len(), 7);
+        assert_eq!(diverse().len(), 3);
     }
 
     #[test]

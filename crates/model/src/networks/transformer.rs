@@ -1,0 +1,94 @@
+//! A small transformer encoder (DeiT-Tiny-like) lowered to matmul
+//! layers.
+//!
+//! The scheduler consumes per-layer hyper-parameters only, so an
+//! encoder block is represented by its four projection matmuls — QKV,
+//! attention output, and the two FFN linears — each an `M x K x N`
+//! matrix multiply over the token sequence (`M = seq`). Softmax,
+//! layernorm and the attention score products are elementwise/small
+//! and do not run on the tiled MAC datapath, mirroring how pooling is
+//! folded away in the CNN zoo.
+
+use crate::layer::ConvLayer;
+use crate::network::Network;
+
+/// Sequence length (196 = 14x14 patches of a 224 input).
+const SEQ: u32 = 196;
+/// Embedding dimension (DeiT-Tiny uses 192).
+const DIM: u32 = 192;
+/// Number of encoder blocks represented.
+const BLOCKS: u32 = 2;
+
+fn mm(name: String, m: u32, k: u32, n: u32) -> ConvLayer {
+    ConvLayer::matmul(name, m, k, n).expect("static transformer spec is valid")
+}
+
+/// Builds a two-block transformer encoder over 196 tokens of width
+/// 192: per block a fused QKV projection (`d -> 3d`), the attention
+/// output projection (`d -> d`) and an MLP (`d -> 4d -> d`), all as
+/// [`crate::LayerKind::Matmul`] layers.
+///
+/// # Examples
+///
+/// ```
+/// use flexer_model::LayerKind;
+///
+/// let net = flexer_model::networks::transformer_encoder();
+/// assert_eq!(net.layers().len(), 8);
+/// assert!(net.layers().iter().all(|l| l.kind() == LayerKind::Matmul));
+/// ```
+#[must_use]
+pub fn transformer_encoder() -> Network {
+    let mut layers = Vec::with_capacity((BLOCKS * 4) as usize);
+    for b in 0..BLOCKS {
+        layers.push(mm(format!("blk{b}_qkv"), SEQ, DIM, 3 * DIM));
+        layers.push(mm(format!("blk{b}_proj"), SEQ, DIM, DIM));
+        layers.push(mm(format!("blk{b}_ffn1"), SEQ, DIM, 4 * DIM));
+        layers.push(mm(format!("blk{b}_ffn2"), SEQ, 4 * DIM, DIM));
+    }
+    Network::new("transformer", layers).expect("static transformer spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn eight_matmuls() {
+        let net = transformer_encoder();
+        assert_eq!(net.layers().len(), 8);
+        assert!(net.layers().iter().all(|l| l.kind() == LayerKind::Matmul));
+        assert!(net.is_chain());
+    }
+
+    #[test]
+    fn qkv_widens_to_three_heads() {
+        let net = transformer_encoder();
+        let qkv = net.layer_by_name("blk0_qkv").unwrap();
+        assert_eq!(qkv.in_channels(), DIM);
+        assert_eq!(qkv.out_channels(), 3 * DIM);
+        assert_eq!(qkv.in_height(), SEQ);
+        assert_eq!(qkv.in_width(), 1);
+    }
+
+    #[test]
+    fn ffn_expands_four_fold() {
+        let net = transformer_encoder();
+        let ffn1 = net.layer_by_name("blk1_ffn1").unwrap();
+        let ffn2 = net.layer_by_name("blk1_ffn2").unwrap();
+        assert_eq!(ffn1.out_channels(), 4 * DIM);
+        assert_eq!(ffn2.in_channels(), 4 * DIM);
+        assert_eq!(ffn2.out_channels(), DIM);
+    }
+
+    #[test]
+    fn block_macs_match_closed_form() {
+        let per_block =
+            u64::from(SEQ) * u64::from(DIM) * u64::from(3 * DIM + DIM + 4 * DIM + 4 * DIM);
+        assert_eq!(
+            transformer_encoder().total_macs(),
+            per_block * u64::from(BLOCKS)
+        );
+    }
+}

@@ -279,6 +279,13 @@ impl SearchOptions {
         arch: &ArchConfig,
         kind: SchedulerKind,
     ) -> MemoKey {
+        // The operator kind normalizes to (tag, groups): matmul lowers
+        // to exactly the geometry of the equivalent pointwise conv, so
+        // the two deliberately share memo (and store) entries.
+        let (kind_tag, kind_groups) = match layer.kind() {
+            flexer_model::LayerKind::Dense | flexer_model::LayerKind::Matmul => (0, 1),
+            flexer_model::LayerKind::Grouped { groups } => (1, groups),
+        };
         MemoKey {
             shape: [
                 layer.in_channels(),
@@ -289,6 +296,8 @@ impl SearchOptions {
                 layer.kernel_w(),
                 layer.stride(),
                 layer.padding(),
+                kind_tag,
+                kind_groups,
             ],
             arch: arch.clone(),
             kind,
@@ -310,7 +319,7 @@ impl SearchOptions {
 /// collide the way a formatted string key could.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MemoKey {
-    shape: [u32; 8],
+    shape: [u32; 10],
     arch: ArchConfig,
     kind: SchedulerKind,
     metric: (u8, u64),

@@ -275,6 +275,14 @@ pub fn canonical_key_bytes(
 ) -> Vec<u8> {
     let mut w = WireWriter::new();
     // Layer *shape*, not name — same field order as `MemoKey::shape`.
+    // The operator kind is normalized to (tag, groups): a matmul lowers
+    // to exactly the geometry of the equivalent pointwise conv, so the
+    // two deliberately alias to one store entry ((0, 1), like Dense);
+    // grouped layers encode (1, G).
+    let (kind_tag, kind_groups) = match layer.kind() {
+        flexer_model::LayerKind::Dense | flexer_model::LayerKind::Matmul => (0, 1),
+        flexer_model::LayerKind::Grouped { groups } => (1, groups),
+    };
     for v in [
         layer.in_channels(),
         layer.in_height(),
@@ -284,6 +292,8 @@ pub fn canonical_key_bytes(
         layer.kernel_w(),
         layer.stride(),
         layer.padding(),
+        kind_tag,
+        kind_groups,
     ] {
         w.u32(v);
     }
@@ -293,6 +303,15 @@ pub fn canonical_key_bytes(
     w.u32(arch.pe_rows());
     w.u32(arch.pe_cols());
     w.u64(arch.dram_latency_cycles());
+    // Heterogeneous core classes: two configs with equal effective
+    // parameters but different class mixes must never alias.
+    w.usize(arch.core_classes().len());
+    for class in arch.core_classes() {
+        w.u32(class.count);
+        w.u32(class.pe_rows);
+        w.u32(class.pe_cols);
+        w.u64(class.spm_share_bytes);
+    }
     w.u8(match arch.element_size() {
         ElementSize::Int8 => 0,
         ElementSize::Fp16 => 1,

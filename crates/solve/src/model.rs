@@ -102,6 +102,27 @@ fn reload_factor(factors: &TilingFactors, order: [Dim; 3], kind: TileKind) -> u6
         .product()
 }
 
+/// [`reload_factor`] for a grouped layer, whose diagonal-only op set
+/// collapses the K and C loops into one channel-tile loop `T`.
+///
+/// The effective loop order is `[T, S]` (or `[S, T]` when the spatial
+/// loop comes first). Inputs and outputs are indexed by both effective
+/// dims, so they are always stationary; weights are not indexed by `S`,
+/// so an outer spatial loop sweeps the whole weight class once per
+/// iteration.
+fn grouped_reload_factor(factors: &TilingFactors, order: [Dim; 3], kind: TileKind) -> u64 {
+    match kind {
+        TileKind::Input | TileKind::Output => 1,
+        TileKind::Weight => {
+            if order[0] == Dim::S {
+                u64::from(factors.spatial())
+            } else {
+                1
+            }
+        }
+    }
+}
+
 /// Scores one (tiling, dataflow) candidate with the closed-form
 /// contention/occupancy model. Pure arithmetic over the tile
 /// geometry — no DFG, no SPM simulation.
@@ -143,10 +164,15 @@ pub fn estimate_resident(
     );
     let tiles = CompulsoryTiles::compute(layer, factors, arch.element_size().bytes());
     let order = loop_order(dataflow);
+    let grouped = layer.kind().is_grouped();
     let mut traffic = 0u64;
     let mut dma = 0u64;
     for kind in [TileKind::Input, TileKind::Weight, TileKind::Output] {
-        let reload = reload_factor(factors, order, kind);
+        let reload = if grouped {
+            grouped_reload_factor(factors, order, kind)
+        } else {
+            reload_factor(factors, order, kind)
+        };
         // Partial sums revisited r times are stored and reloaded on
         // each revisit but only stored on the final one: 2r − 1 passes.
         let passes = if kind == TileKind::Output {
@@ -374,6 +400,73 @@ mod tests {
         }
         for c in &ranked {
             assert!(c.estimated_score(metric) >= c.bound_score(metric));
+        }
+    }
+
+    #[test]
+    fn grouped_estimates_do_not_charge_phantom_cross_channel_reloads() {
+        // Regression: the dense stationarity analysis charges inputs a
+        // reload per output-channel tile (`kt` under KCS), but a
+        // grouped layer's diagonal op set touches each input tile from
+        // exactly one channel tile. With a channel-outer order every
+        // class is stationary, so the estimate's traffic must equal
+        // the compulsory floor even when kt > 1.
+        let layer = flexer_model::ConvLayerBuilder::new("g", 32, 14, 14, 32)
+            .kernel(3, 3)
+            .padding(1)
+            .groups(8)
+            .build()
+            .unwrap();
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let perf = SystolicModel::new(&arch);
+        let factors = TilingFactors::normalized(&layer, 4, 4, 2, 2);
+        assert!(factors.k() > 1);
+        let bound = lower_bound(&layer, &arch, &perf, &factors);
+        for df in [Dataflow::Kcs, Dataflow::Ksc, Dataflow::Cks, Dataflow::Csk] {
+            let est = estimate(&layer, &arch, &perf, &factors, df);
+            assert_eq!(est.transfer_bytes, bound.transfer_bytes, "{df}");
+        }
+        // A spatial-outer order does resweep the weights.
+        for df in [Dataflow::Skc, Dataflow::Sck] {
+            let est = estimate(&layer, &arch, &perf, &factors, df);
+            assert!(est.transfer_bytes > bound.transfer_bytes, "{df}");
+            assert!(est.latency >= bound.latency, "{df}");
+        }
+    }
+
+    #[test]
+    fn new_kinds_and_hetero_arch_keep_estimate_above_bound() {
+        let layers = [
+            ConvLayer::matmul("mm", 64, 96, 48).unwrap(),
+            ConvLayer::depthwise("dw", 32, 14, 14, 1, 1).unwrap(),
+            flexer_model::ConvLayerBuilder::new("g", 32, 8, 8, 64)
+                .groups(4)
+                .build()
+                .unwrap(),
+        ];
+        for arch in [ArchConfig::preset(ArchPreset::Arch1), ArchConfig::hetero1()] {
+            let perf = SystolicModel::new(&arch);
+            for layer in &layers {
+                for (k, c, h, w) in [(1, 1, 1, 1), (2, 2, 2, 2), (4, 4, 2, 1)] {
+                    let factors = TilingFactors::normalized(layer, k, c, h, w);
+                    let bound = lower_bound(layer, &arch, &perf, &factors);
+                    assert!(bound.latency > 0, "{} {}", layer.name(), factors);
+                    assert!(bound.transfer_bytes > 0, "{} {}", layer.name(), factors);
+                    for df in Dataflow::all() {
+                        let est = estimate(layer, &arch, &perf, &factors, df);
+                        assert!(
+                            est.latency >= bound.latency,
+                            "{} {factors} {df}",
+                            layer.name()
+                        );
+                        assert!(
+                            est.transfer_bytes >= bound.transfer_bytes,
+                            "{} {factors} {df}",
+                            layer.name()
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -17,7 +17,7 @@ pub(crate) const MAGIC: [u8; 4] = *b"FXS1";
 /// unreachable instead of being misdecoded. The store crate's golden
 /// fingerprint test pins the current value's output — drift forces a
 /// deliberate bump here.
-pub const FORMAT_VERSION: u32 = 3;
+pub const FORMAT_VERSION: u32 = 4;
 
 /// A 128-bit content address of one (layer shape, arch, options,
 /// scheduler kind, format version) tuple.

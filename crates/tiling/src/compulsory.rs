@@ -19,7 +19,9 @@ use flexer_model::ConvLayer;
 ///
 /// Index math matches [`crate::Dfg::tile_bytes`]: inputs at
 /// `c * spatial + s`, weights at `k * c_tiles + c`, outputs at
-/// `k * spatial + s`. [`crate::Dfg::build`] delegates to
+/// `k * spatial + s`. Grouped layers only materialize the diagonal
+/// `k == c` weight tiles (an off-diagonal channel-tile pair shares no
+/// group), stored at index `k`. [`crate::Dfg::build`] delegates to
 /// [`CompulsoryTiles::compute`], so the bound accounting and the
 /// scheduler see identical sizes by construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,8 +37,9 @@ impl CompulsoryTiles {
     #[must_use]
     pub fn compute(layer: &ConvLayer, factors: &TilingFactors, elem: u64) -> Self {
         let (kt, ct, st) = (factors.k(), factors.c(), factors.spatial());
+        let grouped = layer.kind().is_grouped();
         let mut in_bytes = vec![0u64; (ct * st) as usize];
-        let mut wt_bytes = vec![0u64; (kt * ct) as usize];
+        let mut wt_bytes = vec![0u64; (if grouped { kt } else { kt * ct }) as usize];
         let mut ot_bytes = vec![0u64; (kt * st) as usize];
         let spatial_dims: Vec<(u32, u32)> = (0..st)
             .map(|s| (s / factors.w(), s % factors.w()))
@@ -68,9 +71,20 @@ impl CompulsoryTiles {
         let taps = u64::from(layer.kernel_h()) * u64::from(layer.kernel_w());
         for k in 0..kt {
             let kc = u64::from(factors.k_extent(layer, k));
-            for c in 0..ct {
-                let cc = u64::from(factors.c_extent(layer, c));
-                wt_bytes[(k * ct + c) as usize] = kc * cc * taps * elem;
+            if grouped {
+                // One K/G x C/G weight block per covered group; the
+                // dense kc * cc product would overcount by the number
+                // of groups in the tile.
+                wt_bytes[k as usize] = u64::from(factors.group_extent(layer, k))
+                    * u64::from(layer.out_channels_per_group())
+                    * u64::from(layer.in_channels_per_group())
+                    * taps
+                    * elem;
+            } else {
+                for c in 0..ct {
+                    let cc = u64::from(factors.c_extent(layer, c));
+                    wt_bytes[(k * ct + c) as usize] = kc * cc * taps * elem;
+                }
             }
             for (s, &(sh, sw)) in spatial_dims.iter().enumerate() {
                 let he = u64::from(factors.h_range(layer, sh).1);
@@ -168,6 +182,11 @@ pub struct ComputeEnvelope {
 /// Computes the compute envelope of `layer` tiled by `factors` under
 /// `perf`. Dataflow-independent: the op multiset and the psum chains
 /// are fixed by the tiling alone.
+///
+/// Grouped layers contribute one operation per *diagonal* channel
+/// tile (`k == c`) with no partial-sum chain — each output channel's
+/// accumulation completes within its group — so every chain is a
+/// single operation.
 #[must_use]
 pub fn compute_envelope(
     layer: &ConvLayer,
@@ -178,6 +197,34 @@ pub fn compute_envelope(
     let mut total = 0u64;
     let mut max_op = 0u64;
     let mut chain_max = 0u64;
+    if layer.kind().is_grouped() {
+        for k in 0..kt {
+            let gi = factors.group_extent(layer, k);
+            for sh in 0..factors.h() {
+                let he = factors.h_range(layer, sh).1;
+                for sw in 0..factors.w() {
+                    let we = factors.w_range(layer, sw).1;
+                    let dims = ConvTileDims {
+                        out_channels: layer.out_channels_per_group(),
+                        in_channels: layer.in_channels_per_group(),
+                        out_height: he,
+                        out_width: we,
+                        kernel_h: layer.kernel_h(),
+                        kernel_w: layer.kernel_w(),
+                    };
+                    let cycles = perf.grouped_conv_cycles(gi, &dims);
+                    total = total.saturating_add(cycles);
+                    max_op = max_op.max(cycles);
+                    chain_max = chain_max.max(cycles);
+                }
+            }
+        }
+        return ComputeEnvelope {
+            total_cycles: total,
+            max_op_cycles: max_op,
+            chain_cycles: chain_max,
+        };
+    }
     for k in 0..kt {
         let kc = factors.k_extent(layer, k);
         for sh in 0..factors.h() {

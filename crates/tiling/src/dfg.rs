@@ -121,7 +121,8 @@ impl Dfg {
         arch: &ArchConfig,
         residency: Residency,
     ) -> Result<Self, TilingError> {
-        let num_ops = factors.num_ops();
+        let grouped = layer.kind().is_grouped();
+        let num_ops = factors.num_ops_for(layer);
         if num_ops > ABSOLUTE_MAX_OPS {
             return Err(TilingError::TooManyOps {
                 requested: num_ops,
@@ -152,8 +153,17 @@ impl Dfg {
         };
         let (d0, d1, d2) = (order[0], order[1], order[2]);
         let mut ops = Vec::with_capacity(num_ops);
-        // Dense (k, c, s) -> op id map used to wire the psum chains.
+        // (k, c, s) -> op id map used to wire the psum chains. Grouped
+        // layers only materialize the diagonal (k == c), so their map
+        // collapses to (k, s).
         let mut id_of = vec![OpId::new(0); num_ops];
+        let id_index = |k: u32, c: u32, s: u32| {
+            if grouped {
+                (k * st + s) as usize
+            } else {
+                ((k * ct + c) * st + s) as usize
+            }
+        };
         for i0 in 0..extent(d0) {
             for i1 in 0..extent(d1) {
                 for i2 in 0..extent(d2) {
@@ -167,18 +177,42 @@ impl Dfg {
                             LoopDim::S => s = i,
                         }
                     }
+                    // A grouped weight tensor is block-diagonal: weight
+                    // tile WT(k, c) is all zeros off the diagonal, so
+                    // only k == c produces an operation.
+                    if grouped && k != c {
+                        continue;
+                    }
                     let id = OpId::new(ops.len() as u32);
                     let (sh, sw) = spatial_dims[s as usize];
-                    let dims = ConvTileDims {
-                        out_channels: factors.k_extent(layer, k),
-                        in_channels: factors.c_extent(layer, c),
-                        out_height: factors.h_range(layer, sh).1,
-                        out_width: factors.w_range(layer, sw).1,
-                        kernel_h: layer.kernel_h(),
-                        kernel_w: layer.kernel_w(),
+                    let latency = if grouped {
+                        let dims = ConvTileDims {
+                            out_channels: layer.out_channels_per_group(),
+                            in_channels: layer.in_channels_per_group(),
+                            out_height: factors.h_range(layer, sh).1,
+                            out_width: factors.w_range(layer, sw).1,
+                            kernel_h: layer.kernel_h(),
+                            kernel_w: layer.kernel_w(),
+                        };
+                        perf.grouped_conv_cycles(factors.group_extent(layer, k), &dims)
+                    } else {
+                        let dims = ConvTileDims {
+                            out_channels: factors.k_extent(layer, k),
+                            in_channels: factors.c_extent(layer, c),
+                            out_height: factors.h_range(layer, sh).1,
+                            out_width: factors.w_range(layer, sw).1,
+                            kernel_h: layer.kernel_h(),
+                            kernel_w: layer.kernel_w(),
+                        };
+                        perf.conv_cycles(&dims)
                     };
-                    let op = TiledOp::new(id, k, c, s, c > 0, c == ct - 1, perf.conv_cycles(&dims));
-                    id_of[((k * ct + c) * st + s) as usize] = id;
+                    // Grouped ops accumulate no cross-tile psums: each
+                    // output channel sees exactly one input-channel
+                    // tile, so every op finalizes its output.
+                    let needs_psum = !grouped && c > 0;
+                    let is_final = grouped || c == ct - 1;
+                    let op = TiledOp::new(id, k, c, s, needs_psum, is_final, latency);
+                    id_of[id_index(k, c, s)] = id;
                     ops.push(op);
                 }
             }
@@ -188,8 +222,8 @@ impl Dfg {
         let mut pred = vec![None; num_ops];
         let mut succ = vec![None; num_ops];
         for op in &ops {
-            if op.c() > 0 {
-                let p = id_of[((op.k() * ct + op.c() - 1) * st + op.s()) as usize];
+            if op.needs_psum() {
+                let p = id_of[id_index(op.k(), op.c() - 1, op.s())];
                 pred[op.id().index()] = Some(p);
                 succ[p.index()] = Some(op.id());
             }
@@ -288,7 +322,15 @@ impl Dfg {
         let ct = self.factors.c();
         match tile {
             TileId::Input { c, s } => self.in_bytes[(c * st + s) as usize],
-            TileId::Weight { k, c } => self.wt_bytes[(k * ct + c) as usize],
+            TileId::Weight { k, c } => {
+                if self.layer.kind().is_grouped() {
+                    // Grouped weights exist only on the diagonal.
+                    debug_assert_eq!(k, c, "off-diagonal grouped weight tile");
+                    self.wt_bytes[k as usize]
+                } else {
+                    self.wt_bytes[(k * ct + c) as usize]
+                }
+            }
             TileId::Output { k, s } => self.ot_bytes[(k * st + s) as usize],
         }
     }
@@ -297,6 +339,15 @@ impl Dfg {
     /// the whole DFG (reads plus accumulation writes).
     #[must_use]
     pub fn initial_uses(&self, tile: TileId) -> u32 {
+        if self.layer.kind().is_grouped() {
+            // Diagonal-only ops: input c and output k tiles each meet
+            // exactly one op per spatial tile; weights are still shared
+            // across the spatial dimension.
+            return match tile {
+                TileId::Input { .. } | TileId::Output { .. } => 1,
+                TileId::Weight { .. } => self.factors.spatial(),
+            };
+        }
         match tile {
             TileId::Input { .. } => self.factors.k(),
             TileId::Weight { .. } => self.factors.spatial(),
@@ -326,8 +377,17 @@ impl Dfg {
     pub fn op_macs(&self, id: OpId) -> u64 {
         let op = self.op(id);
         let (sh, sw) = (op.s() / self.factors.w(), op.s() % self.factors.w());
-        u64::from(self.factors.k_extent(&self.layer, op.k()))
-            * u64::from(self.factors.c_extent(&self.layer, op.c()))
+        // Grouped channel connectivity is block-diagonal, not the dense
+        // k_extent * c_extent cross product.
+        let channel_macs = if self.layer.kind().is_grouped() {
+            u64::from(self.factors.group_extent(&self.layer, op.k()))
+                * u64::from(self.layer.out_channels_per_group())
+                * u64::from(self.layer.in_channels_per_group())
+        } else {
+            u64::from(self.factors.k_extent(&self.layer, op.k()))
+                * u64::from(self.factors.c_extent(&self.layer, op.c()))
+        };
+        channel_macs
             * u64::from(self.factors.h_range(&self.layer, sh).1)
             * u64::from(self.factors.w_range(&self.layer, sw).1)
             * u64::from(self.layer.kernel_h())
@@ -339,8 +399,14 @@ impl Dfg {
         let st = self.factors.spatial();
         let ct = self.factors.c();
         let kt = self.factors.k();
+        let grouped = self.layer.kind().is_grouped();
         let inputs = (0..ct).flat_map(move |c| (0..st).map(move |s| TileId::Input { c, s }));
-        let weights = (0..kt).flat_map(move |k| (0..ct).map(move |c| TileId::Weight { k, c }));
+        // Grouped weight tensors are block-diagonal: only WT(k, k)
+        // tiles exist.
+        let weights = (0..kt).flat_map(move |k| {
+            let cs = if grouped { k..=k } else { 0..=ct - 1 };
+            cs.map(move |c| TileId::Weight { k, c })
+        });
         let outputs = (0..kt).flat_map(move |k| (0..st).map(move |s| TileId::Output { k, s }));
         inputs.chain(weights).chain(outputs)
     }
@@ -531,6 +597,121 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, TilingError::TooManyOps { .. }));
+    }
+
+    fn grouped_layer(groups: u32) -> ConvLayer {
+        flexer_model::ConvLayerBuilder::new("g", 32, 16, 16, 32)
+            .kernel(3, 3)
+            .padding(1)
+            .groups(groups)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grouped_dfg_is_diagonal_only() {
+        let l = grouped_layer(8);
+        let dfg = build(&l, 4, 4, 2, 2, Dataflow::Kcs);
+        // t = 4 channel tiles, 4 spatial tiles: diagonal ops only.
+        assert_eq!(dfg.num_ops(), 4 * 4);
+        for op in dfg.ops() {
+            assert_eq!(op.k(), op.c(), "{op}");
+            assert!(!op.needs_psum(), "{op}");
+            assert!(op.is_final(), "{op}");
+            assert_eq!(dfg.pred(op.id()), None);
+            assert_eq!(dfg.succ(op.id()), None);
+        }
+        // No psum chains: every op is initially ready.
+        assert_eq!(dfg.initial_ready().count(), dfg.num_ops());
+    }
+
+    #[test]
+    fn grouped_weight_tiles_partition_the_block_diagonal_tensor() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let l = grouped_layer(8);
+        let dfg = build(&l, 4, 4, 2, 2, Dataflow::Kcs);
+        // unique_bytes must equal the layer's (group-reduced) weight
+        // tensor, not the dense K*C cross product.
+        assert_eq!(
+            dfg.unique_bytes(TileKind::Weight),
+            l.weight_bytes(arch.element_size())
+        );
+        // And the diagonal tiles must sum to the same.
+        let from_tiles: u64 = dfg
+            .tiles()
+            .filter(|t| matches!(t, TileId::Weight { .. }))
+            .map(|t| dfg.tile_bytes(t))
+            .sum();
+        assert_eq!(from_tiles, l.weight_bytes(arch.element_size()));
+    }
+
+    #[test]
+    fn grouped_tiles_enumeration_matches_op_operands() {
+        let l = grouped_layer(4);
+        let dfg = build(&l, 2, 2, 2, 1, Dataflow::Csk);
+        use std::collections::BTreeSet;
+        let enumerated: BTreeSet<TileId> = dfg.tiles().collect();
+        let referenced: BTreeSet<TileId> = dfg.ops().iter().flat_map(TiledOp::operands).collect();
+        assert_eq!(enumerated, referenced);
+    }
+
+    #[test]
+    fn grouped_initial_uses_match_reference_counts() {
+        let l = grouped_layer(8);
+        let dfg = build(&l, 4, 4, 2, 2, Dataflow::Sck);
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<TileId, u32> = BTreeMap::new();
+        for op in dfg.ops() {
+            for t in op.operands() {
+                *counts.entry(t).or_default() += 1;
+            }
+        }
+        for tile in dfg.tiles() {
+            assert_eq!(
+                dfg.initial_uses(tile),
+                counts.get(&tile).copied().unwrap_or(0),
+                "{tile}"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_op_macs_sum_to_layer_macs() {
+        let l = grouped_layer(8);
+        let dfg = build(&l, 4, 4, 2, 2, Dataflow::Kcs);
+        let total: u64 = dfg.ops().iter().map(|o| dfg.op_macs(o.id())).sum();
+        assert_eq!(total, l.macs());
+    }
+
+    #[test]
+    fn depthwise_dfg_ops_are_all_independent() {
+        let l = ConvLayer::depthwise("dw", 16, 8, 8, 1, 1).unwrap();
+        let dfg = build(&l, 4, 1, 2, 2, Dataflow::Kcs);
+        assert_eq!(dfg.num_ops(), 4 * 4);
+        assert_eq!(dfg.initial_ready().count(), 16);
+        let total: u64 = dfg.ops().iter().map(|o| dfg.op_macs(o.id())).sum();
+        assert_eq!(total, l.macs());
+    }
+
+    #[test]
+    fn matmul_dfg_matches_equivalent_pointwise_conv() {
+        // Matmul lowers to pointwise conv geometry: same tiling must
+        // produce a structurally identical DFG with equal latencies.
+        let mm = ConvLayer::matmul("mm", 64, 32, 48).unwrap();
+        let pw = flexer_model::ConvLayerBuilder::new("pw", 32, 64, 1, 48)
+            .build()
+            .unwrap();
+        let a = build(&mm, 2, 2, 4, 1, Dataflow::Kcs);
+        let b = build(&pw, 2, 2, 4, 1, Dataflow::Kcs);
+        assert_eq!(a.num_ops(), b.num_ops());
+        for (x, y) in a.ops().iter().zip(b.ops()) {
+            assert_eq!((x.k(), x.c(), x.s()), (y.k(), y.c(), y.s()));
+            assert_eq!(x.latency(), y.latency());
+            assert_eq!(x.needs_psum(), y.needs_psum());
+        }
+        for tile in a.tiles() {
+            assert_eq!(a.tile_bytes(tile), b.tile_bytes(tile), "{tile}");
+        }
     }
 
     #[test]

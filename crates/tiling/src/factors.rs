@@ -46,12 +46,22 @@ fn split(extent: u32, requested: u32) -> (u32, u32) {
 impl TilingFactors {
     /// Creates factors for `layer`, clamping each requested tile count
     /// to the dimension extent and normalizing away empty tiles.
+    ///
+    /// Grouped layers tile the *group* dimension: channel tiles must
+    /// contain whole groups (a tile straddling a group boundary would
+    /// couple unrelated channels), so both channel tile counts
+    /// normalize to one shared count `t <= G` and tile `i` covers
+    /// `group_extent(i)` whole groups.
     #[must_use]
     pub fn normalized(layer: &ConvLayer, k: u32, c: u32, h: u32, w: u32) -> Self {
-        let (k, _) = split(layer.out_channels(), k.max(1));
-        let (c, _) = split(layer.in_channels(), c.max(1));
         let (h, _) = split(layer.out_height(), h.max(1));
         let (w, _) = split(layer.out_width(), w.max(1));
+        if layer.kind().is_grouped() {
+            let (t, _) = split(layer.groups(), k.max(c).max(1));
+            return Self { k: t, c: t, h, w };
+        }
+        let (k, _) = split(layer.out_channels(), k.max(1));
+        let (c, _) = split(layer.in_channels(), c.max(1));
         Self { k, c, h, w }
     }
 
@@ -99,22 +109,62 @@ impl TilingFactors {
         self.h * self.w
     }
 
-    /// Total number of tiled convolution operations (`k * c * h * w`).
+    /// Total number of tiled convolution operations over the *dense*
+    /// iteration space (`k * c * h * w`). For grouped layers the DFG
+    /// only materializes the diagonal `k == c` operations — use
+    /// [`TilingFactors::num_ops_for`] for the actual operation count.
     #[must_use]
     pub const fn num_ops(&self) -> u64 {
         self.k as u64 * self.c as u64 * self.h as u64 * self.w as u64
     }
 
-    /// Extent of output-channel tile `i` for `layer`.
+    /// Actual number of tiled operations the DFG builds for `layer`
+    /// under these factors: `k * c * h * w` for dense/matmul layers,
+    /// but only the diagonal `t * h * w` for grouped layers (an
+    /// off-diagonal pair of channel tiles shares no group, so no
+    /// operation exists for it).
     #[must_use]
-    pub fn k_extent(&self, layer: &ConvLayer, i: u32) -> u32 {
-        dim_extent(layer.out_channels(), self.k, i)
+    pub fn num_ops_for(&self, layer: &ConvLayer) -> u64 {
+        if layer.kind().is_grouped() {
+            self.k as u64 * self.h as u64 * self.w as u64
+        } else {
+            self.num_ops()
+        }
     }
 
-    /// Extent of input-channel tile `i` for `layer`.
+    /// Number of whole groups covered by channel tile `i` of a grouped
+    /// layer (1 for dense/matmul layers, whose "group" is the whole
+    /// channel space).
+    #[must_use]
+    pub fn group_extent(&self, layer: &ConvLayer, i: u32) -> u32 {
+        if layer.kind().is_grouped() {
+            dim_extent(layer.groups(), self.k, i)
+        } else {
+            1
+        }
+    }
+
+    /// Extent of output-channel tile `i` for `layer`. Grouped layers
+    /// scale whole-group tile extents by `K/G` so tiles never straddle
+    /// a group boundary.
+    #[must_use]
+    pub fn k_extent(&self, layer: &ConvLayer, i: u32) -> u32 {
+        if layer.kind().is_grouped() {
+            dim_extent(layer.groups(), self.k, i) * layer.out_channels_per_group()
+        } else {
+            dim_extent(layer.out_channels(), self.k, i)
+        }
+    }
+
+    /// Extent of input-channel tile `i` for `layer` (group-aligned for
+    /// grouped layers, see [`TilingFactors::k_extent`]).
     #[must_use]
     pub fn c_extent(&self, layer: &ConvLayer, i: u32) -> u32 {
-        dim_extent(layer.in_channels(), self.c, i)
+        if layer.kind().is_grouped() {
+            dim_extent(layer.groups(), self.c, i) * layer.in_channels_per_group()
+        } else {
+            dim_extent(layer.in_channels(), self.c, i)
+        }
     }
 
     /// Output rows covered by spatial-row tile `i` for `layer`:
@@ -237,7 +287,7 @@ pub fn enumerate_tilings(
                     if !seen.insert(f) {
                         continue;
                     }
-                    if f.num_ops() > options.max_ops {
+                    if f.num_ops_for(layer) > options.max_ops {
                         continue;
                     }
                     if working_set_bytes(layer, &f, arch) <= arch.spm_bytes() {
@@ -263,7 +313,7 @@ pub fn enumerate_tilings(
         // estimate tends to undervalue.
         let est_half = options.max_tilings - options.max_tilings / 2;
         let mut rest = viable.split_off(est_half);
-        rest.sort_by_key(|f| (f.num_ops(), *f));
+        rest.sort_by_key(|f| (f.num_ops_for(layer), *f));
         rest.truncate(options.max_tilings - est_half);
         viable.extend(rest);
         viable.sort_by(by_estimate);
@@ -291,7 +341,9 @@ pub fn enumerate_tilings(
 pub fn estimate_metric(layer: &ConvLayer, f: &TilingFactors, arch: &ArchConfig) -> f64 {
     let ws = working_set_bytes(layer, f, arch).max(1);
     let fit = (arch.spm_bytes() / ws).max(1);
-    let parallelism = u64::from(arch.cores()).min(fit).min(f.num_ops().max(1));
+    let parallelism = u64::from(arch.cores())
+        .min(fit)
+        .min(f.num_ops_for(layer).max(1));
     let latency = layer.macs() as f64 / parallelism as f64;
 
     let elem = arch.element_size().bytes();
@@ -352,7 +404,18 @@ pub(crate) fn working_set_bytes(layer: &ConvLayer, f: &TilingFactors, arch: &Arc
         layer.in_width(),
     ));
     let input = cc * ih * iw * elem;
-    let weight = kc * cc * u64::from(layer.kernel_h()) * u64::from(layer.kernel_w()) * elem;
+    let taps = u64::from(layer.kernel_h()) * u64::from(layer.kernel_w());
+    // A grouped weight tile holds one K/G x C/G block per covered
+    // group, not the dense kc x cc cross product.
+    let weight = if layer.kind().is_grouped() {
+        u64::from(f.group_extent(layer, 0))
+            * u64::from(layer.out_channels_per_group())
+            * u64::from(layer.in_channels_per_group())
+            * taps
+            * elem
+    } else {
+        kc * cc * taps * elem
+    };
     let output = kc * u64::from(he) * u64::from(we) * elem;
     input + weight + output
 }
@@ -573,6 +636,109 @@ mod tests {
         let a = enumerate_tilings(&l, &arch, &TilingOptions::default());
         let b = enumerate_tilings(&l, &arch, &TilingOptions::default());
         assert_eq!(a, b);
+    }
+
+    fn grouped(c: u32, hw: u32, k: u32, g: u32) -> ConvLayer {
+        ConvLayerBuilder::new("g", c, hw, hw, k)
+            .kernel(3, 3)
+            .padding(1)
+            .groups(g)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grouped_factors_share_one_channel_tile_count() {
+        let l = grouped(8, 8, 12, 4);
+        // Asymmetric channel requests collapse to one group tiling.
+        let f = TilingFactors::normalized(&l, 4, 2, 1, 1);
+        assert_eq!(f.k(), f.c());
+        assert!(f.k() <= 4, "at most one tile per group");
+    }
+
+    #[test]
+    fn grouped_extents_are_group_aligned() {
+        // Regression: computing dim_extent over K directly (12 into 2
+        // tiles -> 6,6) happens to align here, but over C (8 into 2 ->
+        // 4,4) vs groups-of-2 it must scale whole groups. Check every
+        // tile's extent is a whole number of groups on both axes.
+        let l = grouped(8, 8, 12, 4);
+        let f = TilingFactors::normalized(&l, 3, 3, 1, 1);
+        let kpg = l.out_channels_per_group();
+        let cpg = l.in_channels_per_group();
+        let mut k_sum = 0;
+        let mut c_sum = 0;
+        let mut g_sum = 0;
+        for i in 0..f.k() {
+            assert_eq!(f.k_extent(&l, i) % kpg, 0, "tile {i} straddles a group");
+            assert_eq!(f.c_extent(&l, i) % cpg, 0, "tile {i} straddles a group");
+            assert_eq!(f.k_extent(&l, i) / kpg, f.group_extent(&l, i));
+            k_sum += f.k_extent(&l, i);
+            c_sum += f.c_extent(&l, i);
+            g_sum += f.group_extent(&l, i);
+        }
+        assert_eq!(k_sum, 12);
+        assert_eq!(c_sum, 8);
+        assert_eq!(g_sum, 4);
+    }
+
+    #[test]
+    fn depthwise_tiles_clamp_to_group_count() {
+        let l = grouped(16, 8, 16, 16);
+        let f = TilingFactors::normalized(&l, 100, 100, 1, 1);
+        assert_eq!((f.k(), f.c()), (16, 16));
+        assert_eq!(f.k_extent(&l, 0), 1);
+    }
+
+    #[test]
+    fn grouped_op_count_is_diagonal_only() {
+        let l = grouped(8, 8, 8, 4);
+        let f = TilingFactors::normalized(&l, 4, 4, 2, 2);
+        assert_eq!(f.num_ops(), 4 * 4 * 2 * 2, "dense iteration space");
+        assert_eq!(f.num_ops_for(&l), 4 * 2 * 2, "diagonal ops only");
+        // Dense layers are unchanged.
+        let d = layer(8, 8, 8);
+        let fd = TilingFactors::normalized(&d, 4, 4, 2, 2);
+        assert_eq!(fd.num_ops_for(&d), fd.num_ops());
+    }
+
+    #[test]
+    fn grouped_working_set_counts_block_diagonal_weights() {
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let g = grouped(32, 8, 32, 8);
+        let f = TilingFactors::normalized(&g, 1, 1, 1, 1);
+        // Equivalent dense geometry for comparison.
+        let d = layer(32, 8, 32);
+        let fd = TilingFactors::normalized(&d, 1, 1, 1, 1);
+        let ws_g = working_set_bytes(&g, &f, &arch);
+        let ws_d = working_set_bytes(&d, &fd, &arch);
+        // Same activations; weights shrink by the group factor.
+        let delta = d.weight_bytes(arch.element_size()) - g.weight_bytes(arch.element_size());
+        assert_eq!(ws_d - ws_g, delta);
+    }
+
+    #[test]
+    fn grouped_enumeration_respects_max_ops_on_actual_ops() {
+        // Regression: filtering on the dense k*c*h*w count would
+        // reject fine group tilings whose actual diagonal op count is
+        // within budget.
+        let arch = ArchConfig::preset(ArchPreset::Arch1);
+        let l = grouped(64, 28, 64, 64);
+        let opts = TilingOptions {
+            max_ops: 64,
+            ..Default::default()
+        };
+        let tilings = enumerate_tilings(&l, &arch, &opts);
+        assert!(!tilings.is_empty());
+        for f in &tilings {
+            assert!(f.num_ops_for(&l) <= 64);
+        }
+        // At least one tiling with more than 8 group tiles survives
+        // (its dense cross-product count would exceed the cap).
+        assert!(
+            tilings.iter().any(|f| f.k() >= 16 && f.num_ops() > 64),
+            "diagonal-count filter should admit fine group tilings: {tilings:?}"
+        );
     }
 
     #[test]

@@ -7,28 +7,57 @@ use flexer::prelude::*;
 use flexer::sched::{OooScheduler, StaticScheduler};
 use proptest::prelude::*;
 
-/// Random small-but-irregular conv layers (prime-ish extents, mixed
-/// kernels and strides).
+/// Random small-but-irregular layers across every operator kind:
+/// dense convs (prime-ish extents, mixed kernels and strides),
+/// matmuls, and grouped/depthwise convs whose channel counts are
+/// group-aligned by construction.
 fn layer_strategy() -> impl Strategy<Value = ConvLayer> {
     (
+        0u32..4,  // kind selector: 0-1 dense, 2 matmul, 3 grouped
         1u32..96, // in channels
         5u32..28, // spatial extent
         1u32..96, // out channels
         prop_oneof![Just((1u32, 0u32)), Just((3, 1)), Just((5, 2))],
         1u32..=2, // stride
+        1u32..=8, // group count (grouped only)
     )
-        .prop_map(|(c, hw, k, (kern, pad), stride)| {
-            ConvLayerBuilder::new("rand", c, hw, hw, k)
+        .prop_map(|(sel, c, hw, k, (kern, pad), stride, g)| match sel {
+            2 => ConvLayer::matmul("rand", hw * hw, c, k).expect("generated matmuls are valid"),
+            3 => {
+                // Channels as whole multiples of the group count;
+                // g == 1 exercises the normalize-to-dense path and
+                // cpg == kpg == 1 the depthwise extreme.
+                let (cpg, kpg) = (c % 12 + 1, k % 12 + 1);
+                ConvLayerBuilder::new("rand", g * cpg, hw, hw, g * kpg)
+                    .kernel(kern, kern)
+                    .stride(stride)
+                    .padding(pad)
+                    .groups(g)
+                    .build()
+                    .expect("generated grouped layers are valid")
+            }
+            _ => ConvLayerBuilder::new("rand", c, hw, hw, k)
                 .kernel(kern, kern)
                 .stride(stride)
                 .padding(pad)
                 .build()
-                .expect("generated layers are valid")
+                .expect("generated layers are valid"),
         })
 }
 
 fn dataflow_strategy() -> impl Strategy<Value = Dataflow> {
     prop::sample::select(Dataflow::all().to_vec())
+}
+
+/// Every Table-1 preset plus the heterogeneous configuration.
+fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
+    (0usize..=ArchPreset::all().len()).prop_map(|i| {
+        if i == ArchPreset::all().len() {
+            ArchConfig::hetero1()
+        } else {
+            ArchConfig::preset(ArchPreset::all()[i])
+        }
+    })
 }
 
 proptest! {
@@ -41,9 +70,8 @@ proptest! {
         k in 1u32..6,
         c in 1u32..6,
         s in 1u32..4,
-        preset in prop::sample::select(ArchPreset::all().to_vec()),
+        arch in arch_strategy(),
     ) {
-        let arch = ArchConfig::preset(preset);
         let model = SystolicModel::new(&arch);
         let factors = TilingFactors::normalized(&layer, k, c, s, s);
         let dfg = Dfg::build(&layer, factors, df, &model, &arch).unwrap();
@@ -97,9 +125,14 @@ proptest! {
         let factors = TilingFactors::normalized(&layer, k, c, s, s);
         let dfg = Dfg::build(&layer, factors, df, &model, &arch).unwrap();
 
-        prop_assert_eq!(dfg.num_ops() as u64, factors.num_ops());
+        prop_assert_eq!(dfg.num_ops() as u64, factors.num_ops_for(&layer));
         let ready = dfg.initial_ready().count() as u64;
-        prop_assert_eq!(ready, u64::from(factors.k()) * u64::from(factors.spatial()));
+        if layer.kind().is_grouped() {
+            // Grouped DFGs have no psum chains: everything is ready.
+            prop_assert_eq!(ready, dfg.num_ops() as u64);
+        } else {
+            prop_assert_eq!(ready, u64::from(factors.k()) * u64::from(factors.spatial()));
+        }
 
         // Weight/output tiles partition their tensors exactly.
         let elem = arch.element_size();
