@@ -94,9 +94,36 @@ port="$(cat .flexer-serve-ci.port)"
 wait "$serve_pid"
 rm -f .flexer-serve-ci.port
 rm -rf .flexer-store-ci
+# Fleet smoke: a supervised 3-node fleet must route every request to
+# its ring owner (asserted via per-node store counters), keep every
+# request answerable through failover while one member is down, and
+# bring a freshly rejoined member to manifest parity purely through
+# anti-entropy — the rejoined node answers its shard warm (hits > 0,
+# zero misses) with responses byte-identical to the pre-kill baseline.
+rm -rf .fleet-smoke-ci
+smoke_out="$(./target/release/flexer-fleet smoke \
+    --serve-bin ./target/release/flexer-serve --scratch .fleet-smoke-ci)"
+echo "$smoke_out"
+if ! grep -q '^fleet smoke: PASS' <<<"$smoke_out"; then
+    echo "check.sh: fleet smoke did not pass" >&2
+    exit 1
+fi
+rm -rf .fleet-smoke-ci
+# Fleet serving gate: 1-node vs 3-node (same total worker budget) —
+# cold responses byte-identical with provenance masked, and after
+# anti-entropy the fleet's aggregate warm-hit throughput over one
+# connection per node must strictly beat the single node — both
+# hard-asserted inside bench_json --fleet, which exits non-zero (and
+# prints no "fleet gate" lines) on violation. Emits BENCH_PR10.json.
+fleet_out="$(./target/release/bench_json --fleet)"
+echo "$fleet_out"
+if [ "$(grep -c '^fleet gate ' <<<"$fleet_out")" -lt 2 ]; then
+    echo "check.sh: bench_json --fleet did not report both gates" >&2
+    exit 1
+fi
 # Chaos gate: the deterministic harness drives real flexer-serve
 # daemons through soak, slow-loris, store-corruption, deadline-skew,
-# and kill/restart scenarios on three fixed seeds. Zero invariant
+# kill/restart, and sharded-fleet scenarios on three fixed seeds. Zero invariant
 # violations allowed; p50/p99 latency SLOs are asserted from the
 # deterministic trace layer's logical ticks (no wall-clock flake). A
 # failure dumps a replayable artifact under .chaos-artifacts/ naming

@@ -69,6 +69,16 @@
 //! Rows: `{bench, net, arch, cold_ns, warm_ns, layers,
 //! latency_cycles, dma_bytes}`. Writes `BENCH_PR9.json` (override
 //! with `FLEXER_BENCH_OUT_PR9`).
+//!
+//! Pass `--fleet` to run the *fleet serving* suite instead: a
+//! standalone `flexer-serve` node versus a 3-node consistent-hash
+//! fleet (same total worker budget). Hard-asserts cold responses are
+//! byte-identical once provenance is masked and that, after an
+//! anti-entropy pass replicates every entry fleet-wide, the fleet's
+//! aggregate warm-hit throughput (one connection per node) strictly
+//! beats the single node. Rows: `{bench, nodes, requests, total_ns,
+//! rps}` plus one identity row. Writes `BENCH_PR10.json` (override
+//! with `FLEXER_BENCH_OUT_PR10`).
 
 use flexer::prelude::*;
 use flexer::trace::Lane;
@@ -774,6 +784,184 @@ fn bench_store(dir: &str) {
     );
 }
 
+/// The PR 10 suite: fleet serving. A standalone node and a 3-node
+/// consistent-hash fleet answer the same cold requests byte-identically
+/// (provenance masked), then — after an anti-entropy pass replicates
+/// every entry fleet-wide — the fleet's aggregate warm-hit throughput
+/// over one connection per node must strictly beat the single node over
+/// its one connection. Writes `BENCH_PR10.json` (override with
+/// `FLEXER_BENCH_OUT_PR10`).
+fn bench_fleet() {
+    use flexer_fleet::{replica_parity, route_fingerprint, sync_pass, Router};
+    use flexer_serve::client::Client;
+    use flexer_serve::{mask_provenance, parse_request, request_shutdown, Server, ServerConfig};
+
+    let out10 =
+        std::env::var("FLEXER_BENCH_OUT_PR10").unwrap_or_else(|_| "BENCH_PR10.json".to_owned());
+    let scratch = std::env::temp_dir().join(format!("flexer-bench-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("bench scratch dir");
+
+    let boot = |store: std::path::PathBuf, workers: usize, name: &str| {
+        let server = Server::bind(ServerConfig {
+            store_dir: Some(store),
+            workers,
+            queue: 32,
+            node_name: Some(name.to_owned()),
+            ..ServerConfig::default()
+        })
+        .expect("bind bench server");
+        let addr = server.local_addr();
+        (
+            addr,
+            std::thread::spawn(move || server.run().expect("bench server run")),
+        )
+    };
+
+    // Same worker budget on both sides (4 total): the fleet's edge must
+    // come from sharding across nodes, not from extra threads.
+    let (solo_addr, solo_join) = boot(scratch.join("solo-store"), 4, "solo");
+    let mut fleet_joins = Vec::new();
+    let mut members: Vec<String> = Vec::new();
+    for i in 0..3usize {
+        let (addr, join) = boot(scratch.join(format!("n{i}-store")), 1, &format!("n{i}"));
+        members.push(addr.to_string());
+        fleet_joins.push((addr, join));
+    }
+    let router = Router::new(&members).retries(1);
+
+    let line_of = |c: u32| {
+        format!(
+            r#"{{"id":"b{c}","op":"schedule","layers":[{{"in_channels":{c},"height":14,"width":14,"out_channels":{c}}}]}}"#
+        )
+    };
+
+    // Six single-layer shapes spanning at least two ring owners, picked
+    // deterministically by scanning channel widths.
+    let mut shapes: Vec<u32> = Vec::new();
+    let mut owners: Vec<String> = Vec::new();
+    for c in (4..=128u32).step_by(2) {
+        let req = parse_request(&line_of(c)).expect("bench request parses");
+        let fp = route_fingerprint(&req).expect("schedule requests are keyed");
+        let owner = router.ring().owner(fp).expect("non-empty ring").to_owned();
+        if shapes.len() < 6 {
+            shapes.push(c);
+            owners.push(owner);
+        } else if owners.iter().all(|o| *o == owners[0]) && owner != owners[0] {
+            shapes[5] = c;
+            owners[5] = owner;
+        } else {
+            break;
+        }
+    }
+    let distinct = {
+        let mut d = owners.clone();
+        d.sort();
+        d.dedup();
+        d.len()
+    };
+    assert!(distinct >= 2, "bench shapes must span at least two shards");
+
+    // Cold pass: the routed fleet and the standalone node must agree on
+    // every response byte once provenance is masked.
+    for &c in &shapes {
+        let line = line_of(c);
+        let solo = flexer_serve::client::roundtrip(solo_addr, &line).expect("solo cold request");
+        let routed = router.dispatch(&line).expect("routed cold request");
+        assert_eq!(routed.failovers, 0, "all members alive, no failover");
+        assert_eq!(
+            mask_provenance(&solo),
+            mask_provenance(&routed.response),
+            "cold response for {c} channels diverged between 1-node and 3-node"
+        );
+    }
+    println!(
+        "fleet gate cold: {} shapes across {distinct} shards byte-identical to 1-node",
+        shapes.len()
+    );
+
+    // Replicate every entry fleet-wide so any member serves any shape
+    // warm, then verify parity before timing.
+    let report = sync_pass(&router, 3).expect("anti-entropy pass");
+    assert!(report.unreachable.is_empty(), "all members reachable");
+    assert!(replica_parity(&router, 3).expect("parity check").is_empty());
+
+    const WARM_REQUESTS: usize = 120;
+    const SAMPLES: usize = 3;
+    let lines: Vec<String> = (0..WARM_REQUESTS)
+        .map(|i| line_of(shapes[i % shapes.len()]))
+        .collect();
+
+    // Best of SAMPLES to shave scheduler noise; each sample opens fresh
+    // connections and replays all WARM_REQUESTS store hits.
+    let mut solo_ns = u128::MAX;
+    for _ in 0..SAMPLES {
+        let mut client = Client::connect(solo_addr).expect("solo warm connect");
+        client.roundtrip(&lines[0]).expect("solo warmup");
+        let t = Instant::now();
+        for line in &lines {
+            client.roundtrip(line).expect("solo warm request");
+        }
+        solo_ns = solo_ns.min(t.elapsed().as_nanos());
+    }
+
+    let mut fleet_ns = u128::MAX;
+    for _ in 0..SAMPLES {
+        let mut clients: Vec<Client> = members
+            .iter()
+            .map(|m| Client::connect(m.as_str()).expect("fleet warm connect"))
+            .collect();
+        for client in &mut clients {
+            client.roundtrip(&lines[0]).expect("fleet warmup");
+        }
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for (i, mut client) in clients.into_iter().enumerate() {
+                let lines = &lines;
+                scope.spawn(move || {
+                    for line in lines.iter().skip(i).step_by(3) {
+                        client.roundtrip(line).expect("fleet warm request");
+                    }
+                });
+            }
+        });
+        fleet_ns = fleet_ns.min(t.elapsed().as_nanos());
+    }
+
+    let rps = |ns: u128| WARM_REQUESTS as f64 / (ns as f64 / 1e9);
+    let (solo_rps, fleet_rps) = (rps(solo_ns), rps(fleet_ns));
+    println!(
+        "fleet gate warm: 1-node {solo_rps:.0} req/s, 3-node {fleet_rps:.0} req/s \
+         ({:.2}x aggregate)",
+        fleet_rps / solo_rps
+    );
+    assert!(
+        fleet_rps > solo_rps,
+        "3-node aggregate warm throughput ({fleet_rps:.0} req/s) must strictly beat \
+         1-node ({solo_rps:.0} req/s)"
+    );
+
+    let json = format!(
+        "[\n  {{\"bench\": \"fleet_cold_identity\", \"nodes\": 3, \"shapes\": {}, \
+         \"shards\": {distinct}, \"identical\": true}},\n  \
+         {{\"bench\": \"fleet_warm_single\", \"nodes\": 1, \"requests\": {WARM_REQUESTS}, \
+         \"total_ns\": {solo_ns}, \"rps\": {solo_rps:.1}}},\n  \
+         {{\"bench\": \"fleet_warm_fleet\", \"nodes\": 3, \"requests\": {WARM_REQUESTS}, \
+         \"total_ns\": {fleet_ns}, \"rps\": {fleet_rps:.1}}}\n]\n",
+        shapes.len()
+    );
+    std::fs::write(&out10, &json).expect("write benchmark output");
+    println!("wrote {out10}");
+
+    request_shutdown(solo_addr).expect("solo shutdown");
+    solo_join.join().expect("solo join");
+    for (addr, join) in fleet_joins {
+        request_shutdown(addr).expect("fleet shutdown");
+        join.join().expect("fleet join");
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut trace_out: Option<String> = None;
@@ -781,6 +969,7 @@ fn main() {
     let mut seed_only = false;
     let mut residency_only = false;
     let mut zoo_only = false;
+    let mut fleet_only = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace-out" => {
@@ -798,10 +987,13 @@ fn main() {
             "--zoo" => {
                 zoo_only = true;
             }
+            "--fleet" => {
+                fleet_only = true;
+            }
             other => {
                 eprintln!(
                     "unknown argument {other:?}; supported: --trace-out <path>, \
-                     --store <dir>, --seed, --residency, --zoo"
+                     --store <dir>, --seed, --residency, --zoo, --fleet"
                 );
                 std::process::exit(2);
             }
@@ -809,6 +1001,10 @@ fn main() {
     }
     if let Some(dir) = store_dir {
         bench_store(&dir);
+        return;
+    }
+    if fleet_only {
+        bench_fleet();
         return;
     }
     let iters: usize = std::env::var("FLEXER_BENCH_ITERS")

@@ -83,10 +83,16 @@ pub enum Scenario {
     Deadline,
     /// Kill/drain/restart cycles with warm-store reattach.
     Restart,
+    /// Three-member sharded fleet: routed soak with a mid-soak shard
+    /// kill, failover under a shed-load budget, and anti-entropy back
+    /// to manifest equality after the shard rejoins empty.
+    Fleet,
 }
 
 impl Scenario {
-    /// Every scenario, in run order.
+    /// Every scenario, in run order. New scenarios append — each forks
+    /// the root seed stream in order, so insertion anywhere else would
+    /// re-shuffle every later scenario's schedule of abuse.
     #[must_use]
     pub fn all() -> Vec<Self> {
         vec![
@@ -95,6 +101,7 @@ impl Scenario {
             Self::Corrupt,
             Self::Deadline,
             Self::Restart,
+            Self::Fleet,
         ]
     }
 
@@ -107,6 +114,7 @@ impl Scenario {
             Self::Corrupt => "corrupt",
             Self::Deadline => "deadline",
             Self::Restart => "restart",
+            Self::Fleet => "fleet",
         }
     }
 
@@ -241,6 +249,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             Scenario::Corrupt => scenarios::corrupt(cfg, &scratch, rng),
             Scenario::Deadline => scenarios::deadline(cfg, &scratch, rng),
             Scenario::Restart => scenarios::restart(cfg, &scratch, rng),
+            Scenario::Fleet => scenarios::fleet(cfg, &scratch, rng),
         };
         ops += outcome.ops;
         violations.extend(outcome.violations);
@@ -426,17 +435,21 @@ impl ServerHandle {
 }
 
 /// Boots a server for a scenario: a spawned `flexer-serve` child when
-/// the config names a binary, in-process otherwise.
+/// the config names a binary, in-process otherwise. `addr` pins the
+/// bind address (the fleet scenario restarts a killed member on its
+/// recorded `host:port` so the ring stays stable); `None` picks any
+/// free port.
 pub(crate) fn boot(
     cfg: &ChaosConfig,
     scratch: &Path,
     store_dir: Option<&Path>,
     workers: usize,
     queue: usize,
+    addr: Option<SocketAddr>,
 ) -> Result<ServerHandle, String> {
     match &cfg.serve_bin {
-        Some(bin) => boot_child(bin, scratch, store_dir, workers, queue),
-        None => boot_in_process(store_dir, workers, queue),
+        Some(bin) => boot_child(bin, scratch, store_dir, workers, queue, addr),
+        None => boot_in_process(store_dir, workers, queue, addr),
     }
 }
 
@@ -444,11 +457,13 @@ fn boot_in_process(
     store_dir: Option<&Path>,
     workers: usize,
     queue: usize,
+    addr: Option<SocketAddr>,
 ) -> Result<ServerHandle, String> {
     let server = Server::bind(ServerConfig {
         workers,
         queue,
         store_dir: store_dir.map(Path::to_path_buf),
+        addr: addr.map_or_else(|| "127.0.0.1:0".into(), |a| a.to_string()),
         ..ServerConfig::default()
     })
     .map_err(|e| format!("bind failed: {e}"))?;
@@ -466,12 +481,13 @@ fn boot_child(
     store_dir: Option<&Path>,
     workers: usize,
     queue: usize,
+    addr: Option<SocketAddr>,
 ) -> Result<ServerHandle, String> {
     let port_file = scratch.join(format!("port-{}", BOOT_ID.fetch_add(1, Ordering::Relaxed)));
     let _ = std::fs::remove_file(&port_file);
     let mut cmd = Command::new(bin);
     cmd.arg("--addr")
-        .arg("127.0.0.1:0")
+        .arg(addr.map_or_else(|| "127.0.0.1:0".into(), |a| a.to_string()))
         .arg("--port-file")
         .arg(&port_file)
         .arg("--workers")
@@ -576,19 +592,7 @@ pub(crate) fn check_response(line: &str, expect_id: Option<&str>) -> Result<Chec
 /// be byte-identical under this mask whether they were computed or
 /// warm-started.
 pub(crate) fn mask_provenance(line: &str) -> String {
-    let mut s = line
-        .replace(r#","store":"hit""#, "")
-        .replace(r#","store":"miss""#, "");
-    for key in ["\"store_hits\":", "\"store_misses\":"] {
-        if let Some(i) = s.find(key) {
-            let start = i + key.len();
-            let digits = s[start..]
-                .find(|c: char| !c.is_ascii_digit())
-                .map_or(s.len(), |d| start + d);
-            s.replace_range(start..digits, "0");
-        }
-    }
-    s
+    flexer_serve::mask_provenance(line)
 }
 
 /// Writes `line` + newline to a raw stream (scenario clients that

@@ -125,7 +125,7 @@ fn boot_or_bail(
     scenario: &'static str,
     out: &mut ScenarioOutcome,
 ) -> Option<ServerHandle> {
-    match boot(cfg, scratch, store, workers, queue) {
+    match boot(cfg, scratch, store, workers, queue, None) {
         Ok(server) => Some(server),
         Err(e) => {
             out.violate(scenario, format!("server boot failed: {e}"));
@@ -797,5 +797,275 @@ pub(crate) fn restart(cfg: &ChaosConfig, scratch: &Path, mut rng: SplitMix64) ->
             drain_or_violate(server, "restart", &mut out);
         }
     }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fleet
+
+/// The fleet scenario's shape pool — the base pool plus three extras so
+/// the router's placements spread across shards.
+const FLEET_SHAPES: [(u32, u32, u32, u32); 6] = [
+    SHAPES[0],
+    SHAPES[1],
+    SHAPES[2],
+    HAMMER_SHAPE,
+    (24, 14, 14, 24),
+    (12, 7, 7, 24),
+];
+
+/// Members in the chaos fleet.
+const FLEET_MEMBERS: usize = 3;
+/// Full replication so manifest *equality* (not just parity) is the
+/// post-rejoin assertion.
+const FLEET_REPLICAS: usize = 3;
+
+/// A three-member sharded fleet under routed load. Invariants: cold
+/// answers through the router match themselves replayed anywhere
+/// (modulo provenance); with one shard hard-killed mid-soak the
+/// failover error rate stays within the 20% shed-load budget and no
+/// answered request ever drifts; after the killed shard rejoins with a
+/// *wiped* store, one anti-entropy pass restores manifest equality
+/// across all members and the rejoined shard answers its whole request
+/// set from store hits alone — zero searches.
+pub(crate) fn fleet(cfg: &ChaosConfig, scratch: &Path, mut rng: SplitMix64) -> ScenarioOutcome {
+    use flexer_fleet::{fetch_manifest, replica_parity, sync_pass, Router};
+
+    let mut out = ScenarioOutcome::default();
+    let teardown = |handles: Vec<Option<ServerHandle>>, out: &mut ScenarioOutcome| {
+        for handle in handles.into_iter().flatten() {
+            if let Err(e) = handle.drain() {
+                out.violate("fleet", format!("member drain failed: {e}"));
+            }
+        }
+    };
+
+    // Boot the members.
+    let mut handles: Vec<Option<ServerHandle>> = Vec::with_capacity(FLEET_MEMBERS);
+    let mut stores: Vec<std::path::PathBuf> = Vec::with_capacity(FLEET_MEMBERS);
+    for i in 0..FLEET_MEMBERS {
+        let store = scratch.join(format!("fleet-n{i}-store"));
+        match boot(cfg, scratch, Some(&store), 2, 16, None) {
+            Ok(handle) => {
+                handles.push(Some(handle));
+                stores.push(store);
+            }
+            Err(e) => {
+                out.violate("fleet", format!("member {i} boot failed: {e}"));
+                teardown(handles, &mut out);
+                return out;
+            }
+        }
+    }
+    let addrs: Vec<SocketAddr> = handles
+        .iter()
+        .map(|h| h.as_ref().expect("just booted").addr())
+        .collect();
+    let members: Vec<String> = addrs.iter().map(ToString::to_string).collect();
+    let router = Router::new(&members)
+        .retries(1)
+        .backoff(Duration::from_millis(10));
+
+    // Cold references through the router. The id is a function of the
+    // shape so later replays of the same shape mask to identical bytes.
+    let mut refs: Vec<String> = Vec::with_capacity(FLEET_SHAPES.len());
+    for (n, shape) in FLEET_SHAPES.iter().enumerate() {
+        out.ops += 1;
+        match router.dispatch(&schedule_line(&format!("f{n}"), *shape, "")) {
+            Ok(routed) => refs.push(mask_provenance(&routed.response)),
+            Err(e) => {
+                out.violate("fleet", format!("cold request f{n} failed: {e}"));
+                teardown(handles, &mut out);
+                return out;
+            }
+        }
+    }
+
+    // Replicate everywhere, verify parity before injecting any fault.
+    match sync_pass(&router, FLEET_REPLICAS) {
+        Ok(_) => match replica_parity(&router, FLEET_REPLICAS) {
+            Ok(v) if v.is_empty() => {}
+            Ok(v) => out.violate(
+                "fleet",
+                format!("pre-fault parity violated: {}", v.join("; ")),
+            ),
+            Err(e) => out.violate("fleet", format!("pre-fault parity check failed: {e}")),
+        },
+        Err(e) => out.violate("fleet", format!("pre-fault sync failed: {e}")),
+    }
+
+    // Routed soak with a seeded mid-soak shard kill.
+    let total = cfg.profile.scale(30);
+    let kill_at = total / 3;
+    let victim = rng.below(FLEET_MEMBERS as u64) as usize;
+    let mut post_kill_ops = 0u64;
+    let mut post_kill_failures = 0u64;
+    for i in 0..total {
+        if i == kill_at {
+            if let Some(handle) = handles[victim].take() {
+                if let Err(e) = handle.kill() {
+                    out.violate(
+                        "fleet",
+                        format!("mid-soak kill of member {victim} failed: {e}"),
+                    );
+                }
+            }
+        }
+        let n = rng.below(FLEET_SHAPES.len() as u64) as usize;
+        let down = i >= kill_at;
+        out.ops += 1;
+        match router.dispatch(&schedule_line(&format!("f{n}"), FLEET_SHAPES[n], "")) {
+            Ok(routed) => {
+                if mask_provenance(&routed.response) != refs[n] {
+                    out.violate(
+                        "fleet",
+                        format!("soak op {i} (shape {n}): masked answer drifted from reference"),
+                    );
+                }
+            }
+            Err(e) => {
+                if down {
+                    post_kill_failures += 1;
+                } else {
+                    out.violate(
+                        "fleet",
+                        format!("soak op {i} failed with all members up: {e}"),
+                    );
+                }
+            }
+        }
+        if down {
+            post_kill_ops += 1;
+        }
+    }
+    // The failover budget: transport failures after the kill are shed
+    // load, bounded at 20% of post-kill traffic. Answer *drift* is
+    // never budgeted — it is always a violation above.
+    if post_kill_failures * 5 > post_kill_ops {
+        out.violate(
+            "fleet",
+            format!(
+                "failover error rate {post_kill_failures}/{post_kill_ops} exceeds \
+                 the 20% shed-load budget"
+            ),
+        );
+    }
+
+    // Rejoin the victim on its recorded address with a wiped store.
+    let _ = std::fs::remove_dir_all(&stores[victim]);
+    let mut attempt = 0u64;
+    handles[victim] = loop {
+        match boot(
+            cfg,
+            scratch,
+            Some(&stores[victim]),
+            2,
+            16,
+            Some(addrs[victim]),
+        ) {
+            Ok(handle) => break Some(handle),
+            Err(e) if attempt >= 5 => {
+                out.violate(
+                    "fleet",
+                    format!(
+                        "rejoin on {} failed after rebind retries: {e}",
+                        addrs[victim]
+                    ),
+                );
+                teardown(handles, &mut out);
+                return out;
+            }
+            // Re-binding a just-freed port can race the kernel.
+            Err(_) => {
+                attempt += 1;
+                std::thread::sleep(Duration::from_millis(100 * attempt));
+            }
+        }
+    };
+
+    // One anti-entropy pass must restore manifest equality.
+    if let Err(e) = sync_pass(&router, FLEET_REPLICAS) {
+        out.violate("fleet", format!("post-rejoin sync failed: {e}"));
+    }
+    let mut manifests = Vec::new();
+    for member in &members {
+        match fetch_manifest(member) {
+            Ok(rows) => manifests.push(rows),
+            Err(e) => out.violate("fleet", format!("manifest fetch failed: {e}")),
+        }
+    }
+    if manifests.len() == members.len() {
+        if manifests[0].is_empty() {
+            out.violate("fleet", "fleet manifests are empty after the run");
+        }
+        for (i, manifest) in manifests.iter().enumerate().skip(1) {
+            if manifest != &manifests[0] {
+                out.violate(
+                    "fleet",
+                    format!(
+                        "manifest inequality after rejoin: member 0 holds {} entries, \
+                         member {i} holds {}",
+                        manifests[0].len(),
+                        manifest.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    // The rejoined shard must answer the whole set from replicated
+    // entries: store hits only, zero misses, reference-identical bytes.
+    for (n, shape) in FLEET_SHAPES.iter().enumerate() {
+        out.ops += 1;
+        match rt(addrs[victim], &schedule_line(&format!("f{n}"), *shape, "")) {
+            Ok(reply) => {
+                if mask_provenance(&reply) != refs[n] {
+                    out.violate(
+                        "fleet",
+                        format!("rejoined member's answer for shape {n} drifted"),
+                    );
+                }
+            }
+            Err(e) => out.violate("fleet", format!("rejoined member refused shape {n}: {e}")),
+        }
+    }
+    if let Some(json) = checked_rt(
+        addrs[victim],
+        r#"{"op":"stats"}"#,
+        None,
+        &[],
+        "fleet",
+        &mut out,
+    ) {
+        let counter = |key: &str| {
+            json.get("store")
+                .and_then(|s| s.get(key))
+                .and_then(Json::as_num)
+                .unwrap_or(0.0)
+        };
+        if counter("hits") < FLEET_SHAPES.len() as f64 {
+            out.violate(
+                "fleet",
+                format!(
+                    "rejoined member served {} store hits for {} requests — replication \
+                     did not warm it",
+                    counter("hits"),
+                    FLEET_SHAPES.len()
+                ),
+            );
+        }
+        if counter("misses") > 0.0 {
+            out.violate(
+                "fleet",
+                format!(
+                    "rejoined member took {} store misses — it re-searched instead of \
+                     serving replicated entries",
+                    counter("misses")
+                ),
+            );
+        }
+    }
+
+    teardown(handles, &mut out);
     out
 }

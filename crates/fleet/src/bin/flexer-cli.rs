@@ -1,0 +1,325 @@
+//! `flexer-cli`: the command-line client for `flexer-serve` — one node
+//! or a whole fleet.
+//!
+//! Builds one protocol request from the arguments, prints the server's
+//! response line verbatim on stdout, and exits 0 only when the
+//! response says `"ok": true` — which makes it directly usable as a CI
+//! assertion. With `--fleet`, requests route by store fingerprint to
+//! the owning shard and fail over along ring successors; the serving
+//! node is reported on stderr so stdout stays machine-parseable.
+
+use flexer_fleet::{roundtrip_retrying, Router};
+use flexer_serve::protocol::Obj;
+use flexer_serve::{parse_request, Op};
+use flexer_trace::json::{parse, Json};
+use std::io::{ErrorKind, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+flexer-cli — client for the flexer-serve scheduling service
+
+USAGE: flexer-cli (--addr HOST:PORT | --fleet HOST:PORT,...) <COMMAND> [OPTIONS]
+
+COMMANDS:
+  health                        liveness probe
+  stats                         server and store counters
+  schedule <network>            out-of-order schedule
+  compare <network>             OoO vs. static-baseline comparison
+  verify <network>              comparison under differential verification
+  shutdown                      graceful drain: finish in-flight work,
+                                flush the store, stop the server
+  raw <json>                    send one raw request line
+
+<network> is a preset (vgg16, resnet50, squeezenet, yolov2) — use
+`raw` with inline \"layers\" for custom shapes.
+
+OPTIONS (schedule/compare/verify):
+  --arch arch1..arch8           architecture preset (default arch1)
+  --options quick|default       search options preset (default quick)
+  --deadline-ms N               per-request deadline
+  --mode exact|anytime          deadline semantics (schedule): exact fails
+                                on expiry, anytime returns the best-so-far
+                                with a proven optimality gap
+  --trace                       return the recorded span tree (schedule)
+  --id STR                      correlation id echoed in the response
+
+TRANSPORT OPTIONS:
+  --fleet A,B,C                 route across a fleet: scheduling requests
+                                go to the shard owning their store
+                                fingerprint and fail over to ring
+                                successors on connect/timeout errors;
+                                keyless ops (health, stats, shutdown,
+                                store_*) fan out to every member, one
+                                response line per member
+  --retries N                   extra attempts per node after a transport
+                                failure (default 2; requests are
+                                idempotent, shutdown is never retried)
+  --backoff-ms N                base backoff between attempts, growing
+                                linearly (default 50)
+  --vnodes N / --seed N         ring parameters (must match the fleet's
+                                topology; defaults match flexer-fleet)
+
+EXIT STATUS: 0 response ok and complete, 1 connection/protocol failure
+(after all retries and, with --fleet, all failover candidates),
+2 usage or typed server error, 3 response ok but partial (an anytime
+deadline cut the search; per-layer \"gap\" says how far off at worst).
+With --fleet fan-out the worst member's status wins (1 over 2 over 3).";
+
+fn build_request(cmd: &str, mut rest: std::env::Args) -> Result<String, String> {
+    let op = match cmd {
+        "health" | "stats" | "shutdown" => cmd,
+        "schedule" | "compare" | "verify" => cmd,
+        "raw" => {
+            return rest
+                .next()
+                .ok_or_else(|| "raw needs one JSON argument".into());
+        }
+        other => return Err(format!("unknown command {other:?} (see --help)")),
+    };
+    let mut o = Obj::new();
+    o.str("op", op);
+    if matches!(op, "schedule" | "compare" | "verify") {
+        let network = rest
+            .next()
+            .ok_or_else(|| format!("{op} needs a network name"))?;
+        o.str("network", &network);
+    }
+    while let Some(flag) = rest.next() {
+        let mut value = |what: &str| {
+            rest.next()
+                .ok_or_else(|| format!("{what} needs a value (see --help)"))
+        };
+        match flag.as_str() {
+            "--arch" => {
+                o.str("arch", &value("--arch")?);
+            }
+            "--options" => {
+                o.str("options", &value("--options")?);
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                o.u64("deadline_ms", ms);
+            }
+            "--mode" => {
+                o.str("mode", &value("--mode")?);
+            }
+            "--trace" => {
+                o.bool("trace", true);
+            }
+            "--id" => {
+                o.str("id", &value("--id")?);
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+    }
+    Ok(o.finish())
+}
+
+/// Print one line on stdout, tolerating the consumer closing the pipe
+/// early (`flexer-cli ... | head`): the request already succeeded, so
+/// a broken pipe must not panic or change the exit code. Rust ignores
+/// SIGPIPE, which turns the closed pipe into a write error here.
+fn emit(line: &str) {
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = writeln!(out, "{line}") {
+        if e.kind() != ErrorKind::BrokenPipe {
+            eprintln!("flexer-cli: stdout: {e}");
+        }
+    }
+}
+
+/// 0 ok, 1 protocol garbage, 2 typed error, 3 ok-but-partial.
+fn response_code(response: &str) -> u8 {
+    match parse(response) {
+        Ok(j) if j.get("ok").and_then(Json::as_bool) == Some(true) => {
+            if j.get("partial").and_then(Json::as_bool) == Some(true) {
+                eprintln!(
+                    "flexer-cli: partial result — the anytime deadline cut the \
+                     search; see per-layer \"gap\" for the proven bound"
+                );
+                3
+            } else {
+                0
+            }
+        }
+        Ok(_) => 2,
+        Err(_) => 1,
+    }
+}
+
+/// Worse-wins combination for fan-out exit codes: any transport
+/// failure dominates, then typed errors, then partials.
+fn worse(a: u8, b: u8) -> u8 {
+    let rank = |c: u8| match c {
+        1 => 3,
+        2 => 2,
+        3 => 1,
+        _ => 0,
+    };
+    if rank(b) > rank(a) {
+        b
+    } else {
+        a
+    }
+}
+
+struct Transport {
+    addr: Option<String>,
+    fleet: Option<String>,
+    retries: u32,
+    backoff: Duration,
+    vnodes: usize,
+    seed: u64,
+}
+
+fn run(transport: &Transport, line: &str) -> u8 {
+    let retries = transport.retries;
+    let backoff = transport.backoff;
+    if let Some(fleet) = &transport.fleet {
+        let addrs: Vec<&str> = fleet.split(',').filter(|a| !a.is_empty()).collect();
+        if addrs.is_empty() {
+            eprintln!("flexer-cli: --fleet needs at least one HOST:PORT");
+            return 2;
+        }
+        let router = Router::with_ring_params(&addrs, transport.vnodes, transport.seed)
+            .retries(retries)
+            .backoff(backoff);
+        let keyed = matches!(
+            parse_request(line),
+            Ok(req) if req.op != Op::Shutdown && flexer_fleet::route_fingerprint(&req).is_some()
+        );
+        if keyed {
+            match router.dispatch(line) {
+                Ok(routed) => {
+                    eprintln!(
+                        "flexer-cli: served by {} (attempts {}, failovers {})",
+                        routed.node, routed.attempts, routed.failovers
+                    );
+                    emit(&routed.response);
+                    response_code(&routed.response)
+                }
+                Err(e) => {
+                    eprintln!("flexer-cli: every fleet candidate failed: {e}");
+                    1
+                }
+            }
+        } else {
+            // Keyless ops fan out; shutdown is sent to each member
+            // exactly once (never retried — it is not idempotent).
+            let mut code = 0u8;
+            let is_shutdown = matches!(parse_request(line), Ok(req) if req.op == Op::Shutdown);
+            let node_retries = if is_shutdown { 0 } else { retries };
+            for addr in router.addrs() {
+                match roundtrip_retrying(addr, line, 1 + node_retries, backoff) {
+                    Ok((response, _)) => {
+                        eprintln!("flexer-cli: {addr}:");
+                        emit(&response);
+                        code = worse(code, response_code(&response));
+                    }
+                    Err(e) => {
+                        eprintln!("flexer-cli: {addr}: {e}");
+                        code = worse(code, 1);
+                    }
+                }
+            }
+            code
+        }
+    } else {
+        let addr = transport.addr.as_deref().expect("checked by caller");
+        let attempts = match parse_request(line) {
+            Ok(req) if req.op == Op::Shutdown => 1,
+            _ => 1 + retries,
+        };
+        match roundtrip_retrying(addr, line, attempts, backoff) {
+            Ok((response, used)) => {
+                if used > 1 {
+                    eprintln!("flexer-cli: succeeded on attempt {used}");
+                }
+                emit(&response);
+                response_code(&response)
+            }
+            Err(e) => {
+                eprintln!("flexer-cli: {e}");
+                1
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _ = args.next();
+    let mut transport = Transport {
+        addr: None,
+        fleet: None,
+        retries: 2,
+        backoff: Duration::from_millis(50),
+        vnodes: flexer_fleet::ring::DEFAULT_VNODES,
+        seed: flexer_fleet::ring::DEFAULT_SEED,
+    };
+    macro_rules! flag_value {
+        ($what:expr) => {
+            match args.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("flexer-cli: {} needs a value (see --help)", $what);
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+    macro_rules! parsed {
+        ($what:expr) => {
+            match flag_value!($what).parse() {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("flexer-cli: {}: {e}", $what);
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+    let cmd = loop {
+        match args.next().as_deref() {
+            Some("--addr") => transport.addr = Some(flag_value!("--addr")),
+            Some("--fleet") => transport.fleet = Some(flag_value!("--fleet")),
+            Some("--retries") => transport.retries = parsed!("--retries"),
+            Some("--backoff-ms") => {
+                transport.backoff = Duration::from_millis(parsed!("--backoff-ms"));
+            }
+            Some("--vnodes") => transport.vnodes = parsed!("--vnodes"),
+            Some("--seed") => transport.seed = parsed!("--seed"),
+            Some("-h" | "--help") => {
+                emit(USAGE);
+                return ExitCode::SUCCESS;
+            }
+            Some(cmd) => break cmd.to_string(),
+            None => {
+                eprintln!("flexer-cli: missing command (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    match (&transport.addr, &transport.fleet) {
+        (None, None) => {
+            eprintln!("flexer-cli: --addr HOST:PORT or --fleet HOST:PORT,... is required");
+            return ExitCode::from(2);
+        }
+        (Some(_), Some(_)) => {
+            eprintln!("flexer-cli: --addr and --fleet are mutually exclusive");
+            return ExitCode::from(2);
+        }
+        _ => {}
+    }
+    let line = match build_request(&cmd, args) {
+        Ok(line) => line,
+        Err(msg) => {
+            eprintln!("flexer-cli: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    ExitCode::from(run(&transport, &line))
+}

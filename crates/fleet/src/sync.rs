@@ -1,0 +1,342 @@
+//! Warm-store replication and anti-entropy over the NDJSON protocol.
+//!
+//! A sync pass is manifest-diff gossip: fetch every reachable member's
+//! validated manifest (`store_manifest`), compute each entry's replica
+//! set from the ring, and for every replica that lacks an entry, pull
+//! the checksummed wire bytes from a holder (`store_pull`) and push
+//! them to the replica (`store_push`), where they re-validate through
+//! the same corrupt-miss pipeline a disk read uses.
+//!
+//! Replication is conflict-free by construction: entries are
+//! content-addressed and the search is deterministic, so two stores
+//! can only ever hold *byte-identical* bytes under the same
+//! fingerprint. There is nothing to merge, no version to compare, no
+//! last-writer-wins — anti-entropy is pure set union, which is why a
+//! joining node can stream its ring-owned entries from its successors
+//! and immediately serve them byte-identically.
+//!
+//! Pass shape: unreachable members are skipped (they catch up on the
+//! next pass — gossip converges, it does not coordinate), and push
+//! requests are chunked to stay far under the protocol's 1 MiB line
+//! cap.
+
+use crate::ring::HashRing;
+use crate::router::{roundtrip_retrying, Router};
+use flexer_serve::{hex_decode, hex_encode, Obj};
+use flexer_store::Fingerprint;
+use flexer_trace::json::{parse as parse_json, Json};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::time::Duration;
+
+/// Fingerprints per `store_pull` request.
+const PULL_BATCH: usize = 16;
+/// Byte budget of hex payload per `store_push` request line — far
+/// under [`flexer_serve::MAX_LINE_BYTES`] so framing overhead never
+/// tips a request over the cap.
+const PUSH_BUDGET: usize = 256 * 1024;
+/// Transport attempts per replication request.
+const ATTEMPTS: u32 = 3;
+/// Base backoff between replication retries.
+const BACKOFF: Duration = Duration::from_millis(25);
+
+/// One row of a member's manifest, as fetched over the wire.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ManifestRow {
+    /// The entry's content address.
+    pub fingerprint: Fingerprint,
+    /// On-disk entry size (header + payload).
+    pub len: u64,
+    /// Payload checksum from the entry header.
+    pub checksum: u64,
+}
+
+/// What one anti-entropy pass did.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Members whose manifest was fetched.
+    pub nodes: usize,
+    /// Distinct fingerprints seen across the fleet.
+    pub entries: usize,
+    /// Entries newly written to an under-replicated member.
+    pub copied: u64,
+    /// Entries a destination already had (raced a concurrent pass).
+    pub existing: u64,
+    /// Entries a destination rejected as invalid — damage that was
+    /// caught, not replicated.
+    pub rejected: u64,
+    /// Entries whose holder could no longer export them (evicted or
+    /// quarantined between manifest and pull).
+    pub vanished: u64,
+    /// Members that could not be reached this pass.
+    pub unreachable: Vec<String>,
+}
+
+fn rt(addr: &str, line: &str) -> io::Result<String> {
+    roundtrip_retrying(addr, line, ATTEMPTS, BACKOFF).map(|(response, _)| response)
+}
+
+fn parse_ok(addr: &str, response: &str) -> Result<Json, String> {
+    let json = parse_json(response).map_err(|e| {
+        format!(
+            "{addr}: unparseable response: {} at {}",
+            e.message, e.offset
+        )
+    })?;
+    match json.get("ok") {
+        Some(Json::Bool(true)) => Ok(json),
+        _ => {
+            let code = json
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown");
+            let msg = json.get("message").and_then(Json::as_str).unwrap_or("");
+            Err(format!("{addr}: server error {code}: {msg}"))
+        }
+    }
+}
+
+fn row_u64(row: &Json, key: &str, addr: &str) -> Result<u64, String> {
+    row.get(key)
+        .and_then(Json::as_num)
+        .filter(|n| n.is_finite() && *n >= 0.0)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("{addr}: manifest row without {key}"))
+}
+
+/// Fetches one member's validated manifest, sorted by fingerprint.
+///
+/// # Errors
+///
+/// A transport failure (after retries) or a malformed/typed-error
+/// response, as a human-readable message naming the member.
+pub fn fetch_manifest(addr: &str) -> Result<Vec<ManifestRow>, String> {
+    let response = rt(addr, r#"{"op":"store_manifest"}"#).map_err(|e| format!("{addr}: {e}"))?;
+    let json = parse_ok(addr, &response)?;
+    let rows = json
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{addr}: manifest response without entries"))?;
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let fp = row
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(Fingerprint::from_hex)
+            .ok_or_else(|| format!("{addr}: manifest row with a bad fingerprint"))?;
+        out.push(ManifestRow {
+            fingerprint: fp,
+            len: row_u64(row, "len", addr)?,
+            checksum: row_u64(row, "checksum", addr)?,
+        });
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Pulls `fps` from `holder` as `(fingerprint, entry bytes)` pairs;
+/// fingerprints the holder reported missing are simply absent from the
+/// result.
+fn pull_entries(holder: &str, fps: &[Fingerprint]) -> Result<Vec<(Fingerprint, Vec<u8>)>, String> {
+    let mut out = Vec::with_capacity(fps.len());
+    for batch in fps.chunks(PULL_BATCH) {
+        let mut list = String::from("[");
+        for (i, fp) in batch.iter().enumerate() {
+            if i > 0 {
+                list.push(',');
+            }
+            list.push_str(&format!(r#""{}""#, fp.hex()));
+        }
+        list.push(']');
+        let mut o = Obj::new();
+        o.str("op", "store_pull").raw("fingerprints", &list);
+        let response = rt(holder, &o.finish()).map_err(|e| format!("{holder}: {e}"))?;
+        let json = parse_ok(holder, &response)?;
+        let rows = json
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{holder}: pull response without entries"))?;
+        for row in rows {
+            let fp = row
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .and_then(Fingerprint::from_hex)
+                .ok_or_else(|| format!("{holder}: pulled row with a bad fingerprint"))?;
+            let bytes = row
+                .get("bytes")
+                .and_then(Json::as_str)
+                .and_then(hex_decode)
+                .ok_or_else(|| format!("{holder}: pulled row with bad bytes"))?;
+            out.push((fp, bytes));
+        }
+    }
+    Ok(out)
+}
+
+/// Pushes entries to `target` in line-cap-respecting chunks; returns
+/// `(stored, existing, rejected)` totals.
+fn push_entries(
+    target: &str,
+    entries: &[(Fingerprint, Vec<u8>)],
+) -> Result<(u64, u64, u64), String> {
+    let mut totals = (0u64, 0u64, 0u64);
+    let mut i = 0;
+    while i < entries.len() {
+        let mut list = String::from("[");
+        let mut spent = 0usize;
+        let mut n = 0usize;
+        while i + n < entries.len() && (n == 0 || spent < PUSH_BUDGET) {
+            let (fp, bytes) = &entries[i + n];
+            if n > 0 {
+                list.push(',');
+            }
+            list.push_str(&format!(
+                r#"{{"fingerprint":"{}","bytes":"{}"}}"#,
+                fp.hex(),
+                hex_encode(bytes)
+            ));
+            spent += bytes.len() * 2;
+            n += 1;
+        }
+        list.push(']');
+        i += n;
+        let mut o = Obj::new();
+        o.str("op", "store_push").raw("entries", &list);
+        let response = rt(target, &o.finish()).map_err(|e| format!("{target}: {e}"))?;
+        let json = parse_ok(target, &response)?;
+        totals.0 += row_u64(&json, "stored", target)?;
+        totals.1 += row_u64(&json, "existing", target)?;
+        totals.2 += row_u64(&json, "rejected", target)?;
+    }
+    Ok(totals)
+}
+
+/// Runs one anti-entropy pass over the router's members: every entry
+/// ends up on the first `replicas` live nodes of its ring-successor
+/// list. Safe to run concurrently with serving traffic and with other
+/// passes — pure set union converges no matter the interleaving.
+///
+/// # Errors
+///
+/// A malformed response from a reachable member. Unreachable members
+/// are not an error (they are reported in the
+/// [`SyncReport::unreachable`] list); a pass with zero reachable
+/// members is.
+pub fn sync_pass(router: &Router, replicas: usize) -> Result<SyncReport, String> {
+    let mut report = SyncReport::default();
+    let replicas = replicas.max(1);
+    // 1. Gossip in: every reachable member's manifest.
+    let mut holdings: BTreeMap<Fingerprint, (u64, u64, Vec<String>)> = BTreeMap::new();
+    let mut reachable: Vec<String> = Vec::new();
+    for addr in router.addrs() {
+        match fetch_manifest(addr) {
+            Ok(rows) => {
+                for row in rows {
+                    let slot = holdings.entry(row.fingerprint).or_insert((
+                        row.len,
+                        row.checksum,
+                        Vec::new(),
+                    ));
+                    slot.2.push(addr.clone());
+                }
+                reachable.push(addr.clone());
+            }
+            Err(_) => report.unreachable.push(addr.clone()),
+        }
+    }
+    if reachable.is_empty() {
+        return Err("no fleet member reachable for anti-entropy".into());
+    }
+    report.nodes = reachable.len();
+    report.entries = holdings.len();
+    // 2. Diff: which live replica of each entry is missing it, and who
+    // can supply it. Work is grouped by (holder, target) so pulls and
+    // pushes batch naturally.
+    let ring: &HashRing = router.ring();
+    let mut moves: BTreeMap<(String, String), Vec<Fingerprint>> = BTreeMap::new();
+    for (fp, (_, _, holders)) in &holdings {
+        let Some(holder) = holders.iter().find(|h| reachable.contains(h)) else {
+            continue;
+        };
+        for target in ring.successors(*fp, replicas) {
+            if !reachable.iter().any(|a| a == target) {
+                continue;
+            }
+            if holders.iter().any(|h| h == target) {
+                continue;
+            }
+            moves
+                .entry((holder.clone(), target.to_string()))
+                .or_default()
+                .push(*fp);
+        }
+    }
+    // 3. Stream: pull from the holder, push to the replica.
+    for ((holder, target), fps) in moves {
+        let entries = pull_entries(&holder, &fps)?;
+        report.vanished += (fps.len() - entries.len()) as u64;
+        if entries.is_empty() {
+            continue;
+        }
+        let (stored, existing, rejected) = push_entries(&target, &entries)?;
+        report.copied += stored;
+        report.existing += existing;
+        report.rejected += rejected;
+    }
+    Ok(report)
+}
+
+/// Checks replica parity: every entry anyone holds must be present —
+/// with the same length and checksum — on each of the first `replicas`
+/// reachable nodes of its successor list. Returns the violations
+/// (empty = parity).
+///
+/// # Errors
+///
+/// A malformed response from a reachable member.
+pub fn replica_parity(router: &Router, replicas: usize) -> Result<Vec<String>, String> {
+    let mut by_node: BTreeMap<String, BTreeMap<Fingerprint, (u64, u64)>> = BTreeMap::new();
+    let mut all: BTreeMap<Fingerprint, (u64, u64)> = BTreeMap::new();
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    for addr in router.addrs() {
+        let Ok(rows) = fetch_manifest(addr) else {
+            continue;
+        };
+        reachable.insert(addr.clone());
+        let map: BTreeMap<Fingerprint, (u64, u64)> = rows
+            .into_iter()
+            .map(|r| (r.fingerprint, (r.len, r.checksum)))
+            .collect();
+        for (fp, meta) in &map {
+            if let Some(have) = all.get(fp) {
+                if have != meta {
+                    return Err(format!(
+                        "conflicting manifests for {}: {:?} vs {:?} — content addressing broken",
+                        fp.hex(),
+                        have,
+                        meta
+                    ));
+                }
+            }
+            all.insert(*fp, *meta);
+        }
+        by_node.insert(addr.clone(), map);
+    }
+    let mut violations = Vec::new();
+    for (fp, meta) in &all {
+        for target in router.ring().successors(*fp, replicas.max(1)) {
+            if !reachable.contains(target) {
+                continue;
+            }
+            match by_node.get(target).and_then(|m| m.get(fp)) {
+                Some(have) if have == meta => {}
+                Some(_) => violations.push(format!(
+                    "{}: replica {target} holds different bytes",
+                    fp.hex()
+                )),
+                None => violations.push(format!("{}: missing on replica {target}", fp.hex())),
+            }
+        }
+    }
+    Ok(violations)
+}

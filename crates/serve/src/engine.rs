@@ -7,10 +7,11 @@
 //! never collide — and one driver's memo cache warms every later
 //! request with the same configuration.
 
-use crate::protocol::{ok_response, ErrorKind, Mode, Obj, Op, OptionsName, Request};
+use crate::protocol::{hex_encode, ok_response, ErrorKind, Mode, Obj, Op, OptionsName, Request};
 use flexer::prelude::*;
 use flexer_arch::ArchPreset;
 use flexer_sched::SchedError;
+use flexer_store::{Ingest, ScheduleStore};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -149,6 +150,11 @@ pub struct Engine {
     store_dir: Option<PathBuf>,
     store_capacity: Option<u64>,
     residency: ResidencyCounters,
+    /// Dedicated store handle for the replication ops
+    /// (`store_manifest`/`store_pull`/`store_push`), opened lazily on
+    /// first use. Replication traffic deliberately bypasses the driver
+    /// stores so it never skews their hit/miss serving counters.
+    replication: Mutex<Option<Arc<ScheduleStore>>>,
 }
 
 impl Engine {
@@ -160,6 +166,7 @@ impl Engine {
             store_dir: None,
             store_capacity: None,
             residency: ResidencyCounters::default(),
+            replication: Mutex::new(None),
         }
     }
 
@@ -173,6 +180,7 @@ impl Engine {
             store_dir: Some(dir),
             store_capacity: capacity_bytes,
             residency: ResidencyCounters::default(),
+            replication: Mutex::new(None),
         }
     }
 
@@ -240,6 +248,15 @@ impl Engine {
                 total.corrupt += c.corrupt;
             }
         }
+        drop(drivers);
+        // The replication handle never hits or misses, but its
+        // eviction and corrupt-rejection counts are store traffic the
+        // stats op must not hide.
+        if let Some(store) = self.replication.lock().expect("replication store").as_ref() {
+            let c = store.counters();
+            total.evictions += c.evictions;
+            total.corrupt += c.corrupt;
+        }
         Some(total)
     }
 
@@ -250,6 +267,13 @@ impl Engine {
         drivers
             .values()
             .find_map(|d| d.store().and_then(|s| s.len().ok()))
+            .or_else(|| {
+                self.replication
+                    .lock()
+                    .expect("replication store")
+                    .as_ref()
+                    .and_then(|s| s.len().ok())
+            })
             .or(self.store_dir.as_ref().map(|_| 0))
     }
 
@@ -276,6 +300,129 @@ impl Engine {
                 let _ = store.flush();
             }
         }
+        drop(drivers);
+        if let Some(store) = self.replication.lock().expect("replication store").as_ref() {
+            let _ = store.flush();
+        }
+    }
+
+    /// The (lazily opened) store handle the replication ops use.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::BadRequest`] on a server without a persistent
+    /// store, [`ErrorKind::Internal`] when the directory cannot be
+    /// opened.
+    fn replication_store(&self) -> Result<Arc<ScheduleStore>, Failure> {
+        let dir = self.store_dir.as_ref().ok_or_else(|| {
+            (
+                ErrorKind::BadRequest,
+                "this server has no persistent store (started without --store)".to_string(),
+            )
+        })?;
+        let mut guard = self.replication.lock().expect("replication store");
+        if let Some(store) = guard.as_ref() {
+            return Ok(Arc::clone(store));
+        }
+        let store = match self.store_capacity {
+            Some(cap) => ScheduleStore::with_capacity(dir, cap),
+            None => ScheduleStore::open(dir),
+        }
+        .map_err(|e| {
+            (
+                ErrorKind::Internal,
+                format!("cannot open schedule store at {}: {e}", dir.display()),
+            )
+        })?;
+        let store = Arc::new(store);
+        *guard = Some(Arc::clone(&store));
+        Ok(store)
+    }
+
+    /// Executes one replication request ([`Op::StoreManifest`],
+    /// [`Op::StorePull`] or [`Op::StorePush`]) and returns the
+    /// serialized success line.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Failure`]: `bad_request` on a store-less server or
+    /// `internal` on store I/O errors. Damaged pushed entries are not
+    /// an error — they are rejected per entry and reported in the
+    /// response's `rejected` count, so one bad replica cannot stall an
+    /// anti-entropy pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for a non-replication op —
+    /// [`crate::protocol::parse_request`] routes only `store_*` ops
+    /// here.
+    pub fn run_store(&self, req: &Request) -> Result<String, Failure> {
+        let store = self.replication_store()?;
+        let internal = |e: std::io::Error| (ErrorKind::Internal, format!("store I/O failed: {e}"));
+        let mut o = ok_response(req.op, req.id.as_deref());
+        match req.op {
+            Op::StoreManifest => {
+                let entries = store.manifest().map_err(internal)?;
+                let mut rows = String::from("[");
+                for (i, e) in entries.iter().enumerate() {
+                    if i > 0 {
+                        rows.push(',');
+                    }
+                    rows.push_str(&format!(
+                        r#"{{"fingerprint":"{}","len":{},"checksum":{}}}"#,
+                        e.fingerprint.hex(),
+                        e.len,
+                        e.checksum
+                    ));
+                }
+                rows.push(']');
+                o.raw("entries", &rows).u64("count", entries.len() as u64);
+            }
+            Op::StorePull => {
+                let mut rows = String::from("[");
+                let mut missing = String::from("[");
+                let mut found = 0u64;
+                for fp in &req.fingerprints {
+                    match store.export(*fp).map_err(internal)? {
+                        Some(bytes) => {
+                            if found > 0 {
+                                rows.push(',');
+                            }
+                            found += 1;
+                            rows.push_str(&format!(
+                                r#"{{"fingerprint":"{}","bytes":"{}"}}"#,
+                                fp.hex(),
+                                hex_encode(&bytes)
+                            ));
+                        }
+                        None => {
+                            if missing.len() > 1 {
+                                missing.push(',');
+                            }
+                            missing.push_str(&format!(r#""{}""#, fp.hex()));
+                        }
+                    }
+                }
+                rows.push(']');
+                missing.push(']');
+                o.raw("entries", &rows).raw("missing", &missing);
+            }
+            Op::StorePush => {
+                let (mut stored, mut existing, mut rejected) = (0u64, 0u64, 0u64);
+                for (fp, bytes) in &req.entries {
+                    match store.ingest(*fp, bytes).map_err(internal)? {
+                        Ingest::Stored => stored += 1,
+                        Ingest::Exists => existing += 1,
+                        Ingest::Rejected(_) => rejected += 1,
+                    }
+                }
+                o.u64("stored", stored)
+                    .u64("existing", existing)
+                    .u64("rejected", rejected);
+            }
+            _ => unreachable!("engine only runs store ops here"),
+        }
+        Ok(o.finish())
     }
 
     /// Executes one scheduling request ([`Op::Schedule`],

@@ -33,5 +33,8 @@ pub mod server;
 
 pub use client::Client;
 pub use engine::{Deadline, Engine, ResidencySummary};
-pub use protocol::{parse_request, ErrorKind, Mode, Op, OptionsName, Request, MAX_LINE_BYTES};
+pub use protocol::{
+    hex_decode, hex_encode, mask_provenance, parse_request, ErrorKind, Mode, Obj, Op, OptionsName,
+    Request, MAX_LINE_BYTES,
+};
 pub use server::{request_shutdown, Server, ServerConfig};

@@ -19,6 +19,9 @@ OPTIONS:
   --workers N            worker threads (default 4)
   --queue N              accept-queue depth before shedding (default 16)
   --deadline-ms N        default per-request deadline (default 0 = none)
+  --node-name NAME       fleet-member name echoed in health/stats
+                         responses (scheduling responses stay
+                         byte-identical across the fleet)
   --stdin-shutdown       drain gracefully when stdin reaches EOF (the
                          no-signals stand-in for SIGTERM: run the daemon
                          with a pipe on stdin and close it to stop)
@@ -68,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--deadline-ms: {e}"))?;
             }
+            "--node-name" => config.node_name = Some(value("--node-name")?),
             "--stdin-shutdown" => stdin_shutdown = true,
             "-h" | "--help" => {
                 println!("{USAGE}");

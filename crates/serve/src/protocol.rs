@@ -14,6 +14,9 @@
 //! | `schedule` | network, `trace?`, `residency?` | totals, per-layer rows, `span_tree?`, `residency{...}?` |
 //! | `compare` | network | `speedup`, `transfer_reduction`, totals |
 //! | `verify` | network | as `compare`, plus `verified` |
+//! | `store_manifest` | — | `entries` `[{fingerprint,len,checksum},…]`, `count` |
+//! | `store_pull` | `fingerprints` | `entries` `[{fingerprint,bytes},…]`, `missing` |
+//! | `store_push` | `entries` | `stored`, `existing`, `rejected` |
 //! | `shutdown` | — | — (the server drains and exits) |
 //!
 //! A network is either `"network": "<preset>"` (any name
@@ -51,6 +54,20 @@
 //! "dma_bytes_saved"}`. The object is always present; all-zero means
 //! no request has opted in yet.
 //!
+//! # Replication ops
+//!
+//! The three `store_*` ops are the fleet replication surface (DESIGN.md
+//! §17). They require the server to have a persistent store and take no
+//! network. `store_manifest` snapshots the healthy entries (quarantined
+//! and in-flight files are never advertised). `store_pull` returns the
+//! checksummed wire bytes of the requested entries as lowercase hex —
+//! unknown or locally-corrupt fingerprints land in `missing`, never as
+//! damaged bytes. `store_push` ingests entries exported from a peer:
+//! every entry re-validates through the same header/checksum/decode
+//! pipeline a disk read uses, so damage is rejected (counted in the
+//! response's `rejected` and the store's corrupt counter) instead of
+//! replicated. All three are idempotent and safe to retry.
+//!
 //! # Deadline semantics
 //!
 //! `"deadline_ms"` is any non-negative integer; the edge cases are
@@ -71,6 +88,7 @@
 //!   layers, and a request with no layers is rejected at parse time.
 
 use flexer_model::{networks, ConvLayer, Network};
+use flexer_store::Fingerprint;
 use flexer_trace::json::{parse, Json};
 use std::fmt;
 use std::str::FromStr;
@@ -95,6 +113,13 @@ pub enum Op {
     Compare,
     /// Comparison under forced differential verification.
     Verify,
+    /// Snapshot of the store's healthy entries (fingerprint + header
+    /// material) for anti-entropy diffing.
+    StoreManifest,
+    /// Export the checksummed wire bytes of the requested entries.
+    StorePull,
+    /// Ingest entry bytes exported from a peer (re-validated locally).
+    StorePush,
     /// Graceful shutdown: drain in-flight requests, flush the store.
     Shutdown,
 }
@@ -109,6 +134,9 @@ impl Op {
             Op::Schedule => "schedule",
             Op::Compare => "compare",
             Op::Verify => "verify",
+            Op::StoreManifest => "store_manifest",
+            Op::StorePull => "store_pull",
+            Op::StorePush => "store_push",
             Op::Shutdown => "shutdown",
         }
     }
@@ -227,6 +255,10 @@ pub struct Request {
     /// producer→consumer edges the planner accepts keep the tensor
     /// resident in SPM instead of round-tripping through DRAM.
     pub residency: bool,
+    /// The entry addresses a `store_pull` asks for.
+    pub fingerprints: Vec<Fingerprint>,
+    /// The `(address, entry-file bytes)` pairs a `store_push` carries.
+    pub entries: Vec<(Fingerprint, Vec<u8>)>,
 }
 
 fn as_u64(j: &Json, what: &str) -> Result<u64, String> {
@@ -301,6 +333,47 @@ fn parse_network(obj: &Json) -> Result<Option<Network>, String> {
     }
 }
 
+/// Encodes bytes as lowercase hex — the wire form of store-entry
+/// payloads in `store_pull`/`store_push` messages.
+#[must_use]
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decodes a lowercase-hex string back into bytes. Returns `None` for
+/// odd lengths, uppercase, or non-hex characters — wire input is
+/// validated strictly.
+#[must_use]
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    fn nibble(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            _ => None,
+        }
+    }
+    let raw = s.as_bytes();
+    if !raw.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+fn parse_fingerprint(j: &Json, what: &str) -> Result<Fingerprint, String> {
+    let s = j
+        .as_str()
+        .ok_or_else(|| format!("{what} must be a string"))?;
+    Fingerprint::from_hex(s).ok_or_else(|| format!("{what} must be 32 lowercase hex digits"))
+}
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -331,6 +404,9 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorKind, String)> {
         Some("schedule") => Op::Schedule,
         Some("compare") => Op::Compare,
         Some("verify") => Op::Verify,
+        Some("store_manifest") => Op::StoreManifest,
+        Some("store_pull") => Op::StorePull,
+        Some("store_push") => Op::StorePush,
         Some("shutdown") => Op::Shutdown,
         Some(other) => return Err(bad(format!("unknown op {other:?}"))),
         None => return Err(bad("missing op".into())),
@@ -411,6 +487,65 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorKind, String)> {
     if residency && trace {
         return Err(bad("residency and trace are mutually exclusive".into()));
     }
+    let fingerprints = match obj.get("fingerprints") {
+        Some(j) => {
+            if op != Op::StorePull {
+                return Err(bad(format!(
+                    "fingerprints is only valid for op \"store_pull\", not {:?}",
+                    op.code()
+                )));
+            }
+            let items = j
+                .as_array()
+                .ok_or_else(|| bad("fingerprints must be an array".into()))?;
+            let mut fps = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                fps.push(parse_fingerprint(item, &format!("fingerprints[{i}]")).map_err(bad)?);
+            }
+            fps
+        }
+        None => Vec::new(),
+    };
+    if op == Op::StorePull && fingerprints.is_empty() {
+        return Err(bad(
+            "op \"store_pull\" needs a non-empty \"fingerprints\" array".into(),
+        ));
+    }
+    let entries = match obj.get("entries") {
+        Some(j) => {
+            if op != Op::StorePush {
+                return Err(bad(format!(
+                    "entries is only valid for op \"store_push\", not {:?}",
+                    op.code()
+                )));
+            }
+            let items = j
+                .as_array()
+                .ok_or_else(|| bad("entries must be an array".into()))?;
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let fp = item
+                    .get("fingerprint")
+                    .ok_or_else(|| bad(format!("entries[{i}] missing \"fingerprint\"")))?;
+                let fp =
+                    parse_fingerprint(fp, &format!("entries[{i}].fingerprint")).map_err(bad)?;
+                let bytes = item
+                    .get("bytes")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad(format!("entries[{i}].bytes must be a string")))?;
+                let bytes = hex_decode(bytes)
+                    .ok_or_else(|| bad(format!("entries[{i}].bytes must be lowercase hex")))?;
+                out.push((fp, bytes));
+            }
+            out
+        }
+        None => Vec::new(),
+    };
+    if op == Op::StorePush && entries.is_empty() {
+        return Err(bad(
+            "op \"store_push\" needs a non-empty \"entries\" array".into()
+        ));
+    }
     let network = parse_network(&obj).map_err(bad)?;
     if matches!(op, Op::Schedule | Op::Compare | Op::Verify) && network.is_none() {
         return Err(bad(format!(
@@ -428,7 +563,37 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorKind, String)> {
         mode,
         trace,
         residency,
+        fingerprints,
+        entries,
     })
+}
+
+/// Masks the store-provenance markers in a serialized scheduling
+/// response: per-layer `"store":"hit"/"miss"` tags are dropped and
+/// every `store_hits`/`store_misses` counter is zeroed.
+///
+/// Two responses for the same request must be byte-identical *after*
+/// this mask no matter which node of a fleet served them or how warm
+/// its store was — that invariant is what the chaos harness, the fleet
+/// smoke and the bench gates assert, so the masking lives here next to
+/// the protocol it censors.
+#[must_use]
+pub fn mask_provenance(line: &str) -> String {
+    let mut s = line
+        .replace(r#","store":"hit""#, "")
+        .replace(r#","store":"miss""#, "");
+    for key in ["\"store_hits\":", "\"store_misses\":"] {
+        let mut from = 0;
+        while let Some(i) = s[from..].find(key) {
+            let start = from + i + key.len();
+            let digits = s[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map_or(s.len(), |d| start + d);
+            s.replace_range(start..digits, "0");
+            from = start + 1;
+        }
+    }
+    s
 }
 
 /// Escapes `s` for embedding inside a JSON string literal.
@@ -711,6 +876,60 @@ mod tests {
             r#"{"op":"verify","network":"squeezenet","residency":true}"#,
             r#"{"op":"schedule","network":"squeezenet","residency":true,"mode":"anytime"}"#,
             r#"{"op":"schedule","network":"squeezenet","residency":true,"trace":true}"#,
+        ] {
+            assert_eq!(
+                parse_request(line).unwrap_err().0,
+                ErrorKind::BadRequest,
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn hex_codec_round_trips_and_rejects_garbage() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        let hex = hex_encode(&bytes);
+        assert_eq!(hex_decode(&hex).as_deref(), Some(bytes.as_slice()));
+        assert_eq!(hex_decode(""), Some(Vec::new()));
+        assert_eq!(hex_decode("abc"), None, "odd length");
+        assert_eq!(hex_decode("AB"), None, "uppercase");
+        assert_eq!(hex_decode("zz"), None, "non-hex");
+    }
+
+    #[test]
+    fn store_ops_parse_and_validate() {
+        let fp = Fingerprint::from_hex("000102030405060708090a0b0c0d0e0f").unwrap();
+        let req = parse_request(r#"{"op":"store_manifest"}"#).unwrap();
+        assert_eq!(req.op, Op::StoreManifest);
+        assert!(req.fingerprints.is_empty() && req.entries.is_empty());
+
+        let line = format!(r#"{{"op":"store_pull","fingerprints":["{}"]}}"#, fp.hex());
+        let req = parse_request(&line).unwrap();
+        assert_eq!(req.op, Op::StorePull);
+        assert_eq!(req.fingerprints, vec![fp]);
+
+        let line = format!(
+            r#"{{"op":"store_push","entries":[{{"fingerprint":"{}","bytes":"deadbeef"}}]}}"#,
+            fp.hex()
+        );
+        let req = parse_request(&line).unwrap();
+        assert_eq!(req.op, Op::StorePush);
+        assert_eq!(req.entries, vec![(fp, vec![0xde, 0xad, 0xbe, 0xef])]);
+
+        for line in [
+            // Missing / empty required members.
+            r#"{"op":"store_pull"}"#,
+            r#"{"op":"store_pull","fingerprints":[]}"#,
+            r#"{"op":"store_push"}"#,
+            r#"{"op":"store_push","entries":[]}"#,
+            // Malformed addresses and payloads.
+            r#"{"op":"store_pull","fingerprints":["xyz"]}"#,
+            r#"{"op":"store_pull","fingerprints":[7]}"#,
+            r#"{"op":"store_push","entries":[{"bytes":"ab"}]}"#,
+            r#"{"op":"store_push","entries":[{"fingerprint":"000102030405060708090a0b0c0d0e0f","bytes":"xyz"}]}"#,
+            // Replication members are exclusive to their ops.
+            r#"{"op":"health","fingerprints":["000102030405060708090a0b0c0d0e0f"]}"#,
+            r#"{"op":"schedule","network":"squeezenet","entries":[{"fingerprint":"000102030405060708090a0b0c0d0e0f","bytes":"ab"}]}"#,
         ] {
             assert_eq!(
                 parse_request(line).unwrap_err().0,

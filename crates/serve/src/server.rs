@@ -45,6 +45,12 @@ pub struct ServerConfig {
     /// Store eviction capacity in bytes (`None` = store default,
     /// `Some(0)` = unbounded).
     pub store_capacity: Option<u64>,
+    /// Optional fleet-member name, echoed in `health` and `stats`
+    /// responses as `"node"` so clients can tell which member of a
+    /// fleet answered. Scheduling responses deliberately omit it:
+    /// their bytes must stay identical no matter which replica serves
+    /// them.
+    pub node_name: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +62,7 @@ impl Default for ServerConfig {
             default_deadline_ms: 0,
             store_dir: None,
             store_capacity: None,
+            node_name: None,
         }
     }
 }
@@ -431,9 +438,22 @@ fn process_line(shared: &Shared, line: &str) -> (String, bool) {
     };
     let id = req.id.clone();
     match req.op {
-        Op::Health => (ok_response(Op::Health, id.as_deref()).finish(), false),
+        Op::Health => {
+            let mut o = ok_response(Op::Health, id.as_deref());
+            if let Some(node) = &shared.config.node_name {
+                o.str("node", node);
+            }
+            (o.finish(), false)
+        }
         Op::Shutdown => (ok_response(Op::Shutdown, id.as_deref()).finish(), true),
         Op::Stats => (stats_response(shared, id.as_deref()), false),
+        Op::StoreManifest | Op::StorePull | Op::StorePush => match shared.engine.run_store(&req) {
+            Ok(line) => (line, false),
+            Err((kind, msg)) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                (error_line(kind, id.as_deref(), &msg), false)
+            }
+        },
         Op::Schedule | Op::Compare | Op::Verify => {
             let deadline = Deadline::from_ms(req.deadline_ms, shared.config.default_deadline_ms);
             match shared.engine.run(&req, &deadline) {
@@ -449,6 +469,9 @@ fn process_line(shared: &Shared, line: &str) -> (String, bool) {
 
 fn stats_response(shared: &Shared, id: Option<&str>) -> String {
     let mut o = ok_response(Op::Stats, id);
+    if let Some(node) = &shared.config.node_name {
+        o.str("node", node);
+    }
     o.u64("requests", shared.requests.load(Ordering::Relaxed))
         .u64("errors", shared.errors.load(Ordering::Relaxed))
         .u64("overloaded", shared.overloaded.load(Ordering::Relaxed))

@@ -38,6 +38,22 @@ impl Fingerprint {
     pub const fn value(&self) -> u128 {
         self.0
     }
+
+    /// Parses the 32-hex-digit rendering produced by
+    /// [`Fingerprint::hex`]. Returns `None` for anything else — wrong
+    /// length, uppercase, or non-hex bytes — so wire input can be
+    /// validated strictly before it names a file on disk.
+    #[must_use]
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        if hex.len() != 32
+            || !hex
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+        {
+            return None;
+        }
+        u128::from_str_radix(hex, 16).ok().map(Fingerprint)
+    }
 }
 
 impl fmt::Display for Fingerprint {
@@ -96,6 +112,25 @@ mod tests {
             .chars()
             .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
         assert_eq!(fp.to_string(), hex);
+    }
+
+    #[test]
+    fn from_hex_round_trips_and_rejects_garbage() {
+        let fp = fingerprint_of_key_bytes(b"round-trip");
+        assert_eq!(Fingerprint::from_hex(&fp.hex()), Some(fp));
+        assert_eq!(Fingerprint::from_hex(""), None);
+        assert_eq!(Fingerprint::from_hex("abc"), None);
+        assert_eq!(
+            Fingerprint::from_hex(&fp.hex().to_uppercase()),
+            None,
+            "only the canonical lowercase rendering is an address"
+        );
+        let mut long = fp.hex();
+        long.push('0');
+        assert_eq!(Fingerprint::from_hex(&long), None);
+        let mut bad = fp.hex();
+        bad.replace_range(0..1, "g");
+        assert_eq!(Fingerprint::from_hex(&bad), None);
     }
 
     #[test]

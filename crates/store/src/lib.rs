@@ -67,4 +67,7 @@ mod fingerprint;
 mod store;
 
 pub use fingerprint::{fingerprint, fingerprint_of_key_bytes, Fingerprint, FORMAT_VERSION};
-pub use store::{CorruptKind, Lookup, ScheduleStore, StoreCounters, DEFAULT_CAPACITY_BYTES};
+pub use store::{
+    CorruptKind, Ingest, Lookup, ManifestEntry, ScheduleStore, StoreCounters,
+    DEFAULT_CAPACITY_BYTES,
+};

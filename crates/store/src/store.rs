@@ -105,6 +105,36 @@ pub struct StoreCounters {
     pub corrupt: u64,
 }
 
+/// One row of a [`ScheduleStore::manifest`]: a validated entry's
+/// address plus enough header material to diff stores without moving
+/// payloads. Two stores hold the same entry iff the fingerprint,
+/// length and checksum all agree (the payload encoding is canonical,
+/// so equal checksums over equal lengths mean equal bytes in
+/// practice).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ManifestEntry {
+    /// The entry's content address.
+    pub fingerprint: Fingerprint,
+    /// Total on-disk size of the entry file (header + payload).
+    pub len: u64,
+    /// The payload checksum recorded in (and re-verified against) the
+    /// header.
+    pub checksum: u64,
+}
+
+/// Outcome of a [`ScheduleStore::ingest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ingest {
+    /// The entry was validated and written.
+    Stored,
+    /// A valid entry already exists under this address; nothing
+    /// changed.
+    Exists,
+    /// The bytes failed validation and were discarded (counted under
+    /// the corrupt counter). The local store is untouched.
+    Rejected(CorruptKind),
+}
+
 /// In-memory recency: fingerprint hex → monotone sequence number.
 /// Files unknown to the map (written by an earlier process) fall back
 /// to their modification time, ordered before every in-process touch.
@@ -379,6 +409,100 @@ impl ScheduleStore {
         Ok(true)
     }
 
+    /// A validated snapshot of the store's contents, sorted by
+    /// fingerprint, for replication and anti-entropy diffing.
+    ///
+    /// Only healthy entries are advertised: quarantine files
+    /// (`.tmp-q-*`) and in-flight temp writes (`.tmp-*`) are skipped
+    /// by name, and any `.fxs` file whose header, checksum or payload
+    /// fails validation at snapshot time — e.g. an entry being
+    /// corrupted concurrently — is silently omitted rather than
+    /// offered to peers. The corrupt entry is left in place for the
+    /// normal [`ScheduleStore::get`] quarantine path to repair; a
+    /// manifest pass is read-only.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error listing the directory.
+    pub fn manifest(&self) -> io::Result<Vec<ManifestEntry>> {
+        let mut out = Vec::new();
+        for (stem, path, _, _) in self.entries()? {
+            // Defense in depth: entries() filters on the `.fxs`
+            // extension, which no temp/quarantine name carries, but a
+            // manifest must never advertise an in-flight or
+            // quarantined file even if that invariant drifts.
+            if stem.starts_with(".tmp-") {
+                continue;
+            }
+            let Some(fp) = Fingerprint::from_hex(&stem) else {
+                continue;
+            };
+            let Ok(bytes) = fs::read(&path) else { continue };
+            if parse_entry(&bytes).is_err() {
+                continue;
+            }
+            let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+            out.push(ManifestEntry {
+                fingerprint: fp,
+                len: bytes.len() as u64,
+                checksum,
+            });
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// The full wire bytes (header + payload) of the entry under `fp`,
+    /// re-validated before export so damage is never replicated.
+    /// Returns `None` when the entry is missing or fails validation.
+    ///
+    /// # Errors
+    ///
+    /// This method never returns `Err` today; the `io::Result` wrapper
+    /// keeps room for directory-level failures.
+    pub fn export(&self, fp: Fingerprint) -> io::Result<Option<Vec<u8>>> {
+        let Ok(bytes) = fs::read(self.entry_path(fp)) else {
+            return Ok(None);
+        };
+        if parse_entry(&bytes).is_err() {
+            return Ok(None);
+        }
+        Ok(Some(bytes))
+    }
+
+    /// Ingests entry-file bytes exported from a peer store under `fp`.
+    ///
+    /// The bytes are re-validated through the exact pipeline a disk
+    /// read uses — magic, version, length, checksum, payload decode —
+    /// so a corrupt or malicious replica can never plant a damaged
+    /// entry: invalid bytes are rejected (and counted under the
+    /// corrupt counter) without touching the local store. Valid bytes
+    /// are re-encoded through [`ScheduleStore::put`], which re-zeroes
+    /// the stats' store counters and preserves the atomic
+    /// write-then-rename and LRU eviction discipline. Because the
+    /// payload encoding is canonical, the re-encoded file is
+    /// byte-identical to a healthy peer's.
+    ///
+    /// Ingest does not count a hit or a miss: replication traffic must
+    /// not skew serving counters.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing the entry.
+    pub fn ingest(&self, fp: Fingerprint, bytes: &[u8]) -> io::Result<Ingest> {
+        match parse_entry(bytes) {
+            Ok(result) => Ok(if self.put(fp, &result)? {
+                Ingest::Stored
+            } else {
+                Ingest::Exists
+            }),
+            Err(kind) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                Ok(Ingest::Rejected(kind))
+            }
+        }
+    }
+
     /// Durably flushes the store: fsyncs the directory so completed
     /// renames survive power loss. Entry contents are already synced
     /// by [`ScheduleStore::put`].
@@ -625,6 +749,108 @@ mod tests {
         let store = ScheduleStore::open(&dir).unwrap();
         assert!(!dir.join(".tmp-deadbeef-1").exists());
         assert_eq!(store.len().unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_lists_valid_entries_and_skips_damage() {
+        let dir = scratch_dir("manifest");
+        let store = ScheduleStore::open(&dir).unwrap();
+        let result = sample_result();
+        let fps: Vec<Fingerprint> = (0..3u8).map(|i| fingerprint_of_key_bytes(&[i])).collect();
+        for &fp in &fps {
+            store.put(fp, &result).unwrap();
+        }
+        // Plant damage a manifest must never advertise: an in-flight
+        // temp write, a quarantine file, and a torn entry.
+        fs::write(dir.join(".tmp-deadbeef-9"), b"in flight").unwrap();
+        fs::write(dir.join(format!(".tmp-q-{}-9-0", fps[0].hex())), b"q").unwrap();
+        let torn = fingerprint_of_key_bytes(b"torn");
+        fs::write(store.entry_path(torn), b"FXS1 torn").unwrap();
+        let manifest = store.manifest().unwrap();
+        let mut want: Vec<String> = fps.iter().map(Fingerprint::hex).collect();
+        want.sort();
+        let got: Vec<String> = manifest.iter().map(|e| e.fingerprint.hex()).collect();
+        assert_eq!(got, want, "exactly the healthy entries, sorted");
+        for e in &manifest {
+            let bytes = fs::read(store.entry_path(e.fingerprint)).unwrap();
+            assert_eq!(e.len, bytes.len() as u64);
+            assert_eq!(
+                e.checksum,
+                u64::from_le_bytes(bytes[16..24].try_into().unwrap())
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn export_ingest_replicates_byte_identically() {
+        let a_dir = scratch_dir("export-a");
+        let b_dir = scratch_dir("export-b");
+        let a = ScheduleStore::open(&a_dir).unwrap();
+        let b = ScheduleStore::open(&b_dir).unwrap();
+        let fp = fingerprint_of_key_bytes(b"replicate");
+        a.put(fp, &sample_result()).unwrap();
+        let bytes = a.export(fp).unwrap().expect("valid entry exports");
+        assert_eq!(b.ingest(fp, &bytes).unwrap(), Ingest::Stored);
+        assert_eq!(b.ingest(fp, &bytes).unwrap(), Ingest::Exists);
+        assert_eq!(
+            fs::read(a.entry_path(fp)).unwrap(),
+            fs::read(b.entry_path(fp)).unwrap(),
+            "replicated entry file is byte-identical"
+        );
+        // Replication must not skew serving counters.
+        let c = b.counters();
+        assert_eq!((c.hits, c.misses, c.corrupt), (0, 0, 0));
+        let Lookup::Hit(warm) = b.get(fp) else {
+            panic!("expected hit on replica");
+        };
+        assert_eq!(warm.stats.store_hits, 0, "stored counters stay zeroed");
+        assert_eq!(a.manifest().unwrap(), b.manifest().unwrap());
+        fs::remove_dir_all(&a_dir).unwrap();
+        fs::remove_dir_all(&b_dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_rejects_damaged_bytes_without_touching_store() {
+        let dir = scratch_dir("ingest-reject");
+        let store = ScheduleStore::open(&dir).unwrap();
+        let fp = fingerprint_of_key_bytes(b"damaged");
+        let src = scratch_dir("ingest-src");
+        let source = ScheduleStore::open(&src).unwrap();
+        source.put(fp, &sample_result()).unwrap();
+        let mut bytes = source.export(fp).unwrap().unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        match store.ingest(fp, &bytes).unwrap() {
+            Ingest::Rejected(CorruptKind::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum rejection, got {other:?}"),
+        }
+        assert!(!store.contains(fp), "rejected bytes never land on disk");
+        assert_eq!(store.counters().corrupt, 1);
+        assert_eq!(
+            store.ingest(fp, b"FX").unwrap(),
+            Ingest::Rejected(CorruptKind::TruncatedHeader)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&src).unwrap();
+    }
+
+    #[test]
+    fn export_refuses_corrupt_entries() {
+        let dir = scratch_dir("export-corrupt");
+        let store = ScheduleStore::open(&dir).unwrap();
+        let fp = fingerprint_of_key_bytes(b"sick");
+        store.put(fp, &sample_result()).unwrap();
+        let path = store.entry_path(fp);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[HEADER_LEN + 2] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.export(fp).unwrap(), None, "damage is not replicated");
+        assert_eq!(
+            store.export(fingerprint_of_key_bytes(b"absent")).unwrap(),
+            None
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -344,6 +344,119 @@ fn stale_corrupt_evidence_cannot_destroy_a_completed_repair() {
     assert_eq!(a.len().unwrap(), 1);
 }
 
+/// Anti-entropy against a store under active attack: while a seeded
+/// corruptor mutates live entries (driving the quarantine path, so
+/// `.tmp-q-*` files genuinely flicker in and out of the directory) and
+/// a repairer re-searches and re-puts, concurrent `manifest()`
+/// snapshots must only ever advertise healthy entries at known
+/// addresses — never an in-flight temp write, a quarantine capture, or
+/// a torn `.fxs` — and every advertised row must export bytes a peer's
+/// `ingest` accepts (or have vanished to corruption since the
+/// snapshot, in which case `export` re-validates and returns `None`
+/// rather than shipping damage).
+#[test]
+fn manifest_during_corruption_only_advertises_healthy_entries() {
+    use flexer_store::Ingest;
+
+    let dir = Scratch::new("manifest-melee");
+    let peer_dir = Scratch::new("manifest-peer");
+    let (_, _, _, result) = canonical();
+    let fps: Vec<Fingerprint> = [&b"melee-a"[..], b"melee-b", b"melee-c"]
+        .iter()
+        .map(|k| flexer_store::fingerprint_of_key_bytes(k))
+        .collect();
+
+    let store = Arc::new(ScheduleStore::open(&dir.0).unwrap());
+    for &fp in &fps {
+        store.put(fp, &result).unwrap();
+    }
+    let entry_paths: Vec<PathBuf> = fps
+        .iter()
+        .map(|fp| dir.0.join(format!("{}.fxs", fp.hex())))
+        .collect();
+
+    let corruptor = {
+        let entry_paths = entry_paths.clone();
+        std::thread::spawn(move || {
+            let mut rng = Rng(0x5eed_aaaa_bbbb_0002);
+            for i in 0..300 {
+                corrupt_in_place(&entry_paths[i % entry_paths.len()], &mut rng);
+                std::thread::yield_now();
+            }
+        })
+    };
+    let repairer = {
+        let store = Arc::clone(&store);
+        let result = result.clone();
+        let fps = fps.clone();
+        std::thread::spawn(move || {
+            for _ in 0..100 {
+                for &fp in &fps {
+                    if matches!(store.get(fp), Lookup::Miss | Lookup::Corrupt(_)) {
+                        let _ = store.put(fp, &result);
+                    }
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    // The anti-entropy side, concurrent with the melee: snapshot,
+    // check, and replicate what the snapshot advertises.
+    let peer = ScheduleStore::open(&peer_dir.0).unwrap();
+    for _ in 0..100 {
+        let manifest = store.manifest().expect("manifest never errors");
+        for row in &manifest {
+            assert!(
+                fps.contains(&row.fingerprint),
+                "manifest advertised an unknown address {} — a temp or \
+                 quarantine file leaked into the snapshot",
+                row.fingerprint.hex()
+            );
+            if let Some(bytes) = store.export(row.fingerprint).unwrap() {
+                let verdict = peer.ingest(row.fingerprint, &bytes).unwrap();
+                assert!(
+                    !matches!(verdict, Ingest::Rejected(_)),
+                    "{}: an exported entry failed a peer's validation",
+                    row.fingerprint.hex()
+                );
+            }
+        }
+        std::thread::yield_now();
+    }
+
+    corruptor.join().expect("corruptor panicked");
+    repairer.join().expect("repairer panicked");
+
+    // Quiescent: one final repair pass, then the manifest advertises
+    // exactly the three healthy entries and a peer reaches parity.
+    for &fp in &fps {
+        if matches!(store.get(fp), Lookup::Miss | Lookup::Corrupt(_)) {
+            store.put(fp, &result).unwrap();
+        }
+    }
+    let final_manifest = store.manifest().unwrap();
+    let mut want = fps.clone();
+    want.sort();
+    let have: Vec<Fingerprint> = final_manifest.iter().map(|r| r.fingerprint).collect();
+    assert_eq!(have, want, "healed store advertises exactly its entries");
+    for row in &final_manifest {
+        let bytes = store
+            .export(row.fingerprint)
+            .unwrap()
+            .expect("healthy entry exports");
+        assert!(!matches!(
+            peer.ingest(row.fingerprint, &bytes).unwrap(),
+            Ingest::Rejected(_)
+        ));
+    }
+    assert_eq!(
+        peer.manifest().unwrap(),
+        final_manifest,
+        "replication from the healed store reaches manifest parity"
+    );
+}
+
 #[test]
 fn quarantine_leftovers_are_reaped_on_open() {
     let dir = Scratch::new("reap-q");

@@ -173,6 +173,104 @@ fn duplicate_shapes_share_one_entry() {
     );
 }
 
+/// Like [`masked_bytes`] but with the whole stats block and the
+/// evaluated counter cleared: across *nodes* the zoo networks contain
+/// repeated layer shapes, and a cold run replays duplicates from the
+/// in-memory memo (tiny stats) while a warm run serves them the
+/// persisted leader's full-search stats. The winner — schedule,
+/// factors, dataflow, score — must still match bit-for-bit.
+fn winner_bytes(r: &LayerSearchResult) -> Vec<u8> {
+    let mut r = r.clone();
+    r.stats = SearchStats::default();
+    r.evaluated = 0;
+    encode_layer_result(&r)
+}
+
+/// Cross-node warm start through replication alone: node A schedules
+/// the full diverse zoo (transformer, MobileNet-style, branching fire
+/// net) on the heterogeneous arch; node B's store is then populated
+/// purely through the replication primitives — `manifest`, `export`,
+/// `ingest`, exactly what the fleet's `store_pull` op wraps — and a
+/// fresh driver over it must answer every layer from the store with
+/// zero searches and winner-byte-identical results.
+#[test]
+fn replicated_store_warm_starts_node_b_without_search() {
+    use flexer_store::Ingest;
+
+    let a = Scratch::new("node-a");
+    let b = Scratch::new("node-b");
+    let driver_on = |dir: &Scratch| {
+        Flexer::new(ArchConfig::hetero1())
+            .with_options(SearchOptions::quick())
+            .with_store(&dir.0)
+            .unwrap()
+    };
+    let nets = networks::diverse();
+
+    // Node A computes everything the hard way.
+    let node_a = driver_on(&a);
+    let cold: Vec<NetworkResult> = nets
+        .iter()
+        .map(|net| node_a.schedule_network(net).unwrap())
+        .collect();
+
+    // Replicate A → B entry by entry. Node B never runs a search; its
+    // store is fed exported wire bytes only, each re-validated and
+    // freshly stored on ingest.
+    let store_a = node_a.store().unwrap();
+    let manifest_a = store_a.manifest().unwrap();
+    assert!(!manifest_a.is_empty(), "node A persisted the zoo");
+    {
+        let store_b = ScheduleStore::open(&b.0).unwrap();
+        for entry in &manifest_a {
+            let bytes = store_a
+                .export(entry.fingerprint)
+                .unwrap()
+                .expect("manifest entries export");
+            assert_eq!(
+                store_b.ingest(entry.fingerprint, &bytes).unwrap(),
+                Ingest::Stored,
+                "{}: fresh replica stores every entry",
+                entry.fingerprint.hex()
+            );
+        }
+        assert_eq!(
+            store_b.manifest().unwrap(),
+            manifest_a,
+            "replication reaches manifest parity (lengths and checksums)"
+        );
+    }
+
+    // A fresh driver on node B: empty memo, so every answer can only
+    // come from the replicated store.
+    let node_b = driver_on(&b);
+    for (net, cold) in nets.iter().zip(&cold) {
+        let warm = node_b.schedule_network(net).unwrap();
+        assert_eq!(cold.layers().len(), warm.layers().len());
+        for (c, w) in cold.layers().iter().zip(warm.layers()) {
+            assert_eq!(w.stats.store_hits, 1, "{}: node B must hit", w.layer);
+            assert_eq!(
+                w.stats.store_misses, 0,
+                "{}: node B must not search",
+                w.layer
+            );
+            assert_eq!(
+                winner_bytes(c),
+                winner_bytes(w),
+                "{}: node B winner must be byte-identical to node A",
+                c.layer
+            );
+        }
+    }
+    let counters = node_b.store().unwrap().counters();
+    assert_eq!(counters.misses, 0, "node B ran zero searches");
+    assert!(
+        counters.hits >= manifest_a.len() as u64,
+        "node B answered from the replicated entries"
+    );
+    assert_eq!(counters.corrupt, 0);
+}
+
 #[test]
 fn corrupt_entry_is_researched_and_repaired_transparently() {
     let dir = Scratch::new("repair");
